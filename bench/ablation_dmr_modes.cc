@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Ablation study: decompose Warped-DMR into its ingredients
+ * (intra-warp only / inter-warp only / both; mapping; ReplayQ depth
+ * saturation) and sweep the sampling-DMR extension's duty cycle —
+ * the design-choice evidence DESIGN.md calls out.
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+
+using namespace warped;
+
+namespace {
+
+struct Mode
+{
+    const char *name;
+    dmr::DmrConfig cfg;
+};
+
+void
+runGrid()
+{
+    std::vector<Mode> modes;
+    {
+        auto c = dmr::DmrConfig::paperDefault();
+        c.interWarp = false;
+        c.replayQSize = 0;
+        modes.push_back({"intra only", c});
+    }
+    {
+        auto c = dmr::DmrConfig::paperDefault();
+        c.intraWarp = false;
+        modes.push_back({"inter only", c});
+    }
+    modes.push_back({"both (paper)", dmr::DmrConfig::paperDefault()});
+
+    std::printf("%-14s", "mode");
+    const std::vector<std::string> names = {"BFS", "BitonicSort",
+                                            "MatrixMul", "CUFFT"};
+    for (const auto &n : names)
+        std::printf(" %11s", n.c_str());
+    std::printf("   (coverage %% / overhead x)\n");
+
+    std::vector<gpu::LaunchResult> bases;
+    for (const auto &n : names)
+        bases.push_back(bench::runWorkload(n, bench::paperGpu(),
+                                           dmr::DmrConfig::off()));
+
+    for (const auto &m : modes) {
+        std::printf("%-14s", m.name);
+        for (unsigned i = 0; i < names.size(); ++i) {
+            const auto r =
+                bench::runWorkload(names[i], bench::paperGpu(), m.cfg);
+            std::printf("  %4.1f/%5.2f", 100 * r.coverage(),
+                        double(r.cycles) / double(bases[i].cycles));
+        }
+        std::printf("\n");
+    }
+    std::printf(
+        "\nIntra-warp alone covers only divergent code (free); "
+        "inter-warp alone misses\npartial warps; the paper's design "
+        "needs both, which the grid shows.\n\n");
+}
+
+void
+runQueueSaturation()
+{
+    std::printf("ReplayQ depth saturation (MatrixMul, normalized "
+                "cycles):\n  q:    ");
+    const unsigned sizes[] = {0, 1, 2, 4, 6, 8, 10, 14, 20};
+    const auto base = bench::runWorkload("MatrixMul", bench::paperGpu(),
+                                         dmr::DmrConfig::off());
+    for (unsigned q : sizes)
+        std::printf(" %6u", q);
+    std::printf("\n  cost: ");
+    for (unsigned q : sizes) {
+        auto d = dmr::DmrConfig::paperDefault();
+        d.replayQSize = q;
+        const auto r =
+            bench::runWorkload("MatrixMul", bench::paperGpu(), d);
+        std::printf(" %6.3f", double(r.cycles) / double(base.cycles));
+    }
+    std::printf("\n\nThe knee sits near the Fig-8a mean same-type run "
+                "length, as §4.3.1 argues.\n\n");
+}
+
+void
+runSamplingCurve()
+{
+    std::printf("Sampling-DMR extension (SHA): duty cycle vs coverage "
+                "vs overhead\n");
+    std::printf("  %-10s %10s %10s\n", "duty", "coverage", "overhead");
+    const auto base = bench::runWorkload("SHA", bench::paperGpu(),
+                                         dmr::DmrConfig::off());
+    const std::pair<Cycle, Cycle> duties[] = {
+        {0, 0}, {1000, 750}, {1000, 500}, {1000, 250}, {1000, 100}};
+    for (auto [epoch, active] : duties) {
+        auto d = dmr::DmrConfig::paperDefault();
+        d.samplingEpoch = epoch;
+        d.samplingActive = active;
+        const auto r = bench::runWorkload("SHA", bench::paperGpu(), d);
+        const double duty =
+            epoch == 0 ? 1.0 : double(active) / double(epoch);
+        std::printf("  %9.0f%% %9.1f%% %10.3f\n", 100 * duty,
+                    100 * r.coverage(),
+                    double(r.cycles) / double(base.cycles));
+    }
+    std::printf("\nDuty-cycled protection trades transient coverage "
+                "for overhead (permanent\nfaults are still caught "
+                "eventually) — the Sampling+DMR idea the paper cites "
+                "as [15].\n");
+}
+
+void
+runSchedulerAblation()
+{
+    std::printf("\nScheduler-count ablation (paper Sec 2.2: more "
+                "schedulers = less heterogeneous\nidleness for "
+                "inter-warp DMR):\n");
+    std::printf("  %-12s %12s %12s %10s\n", "benchmark",
+                "1-sched ovh", "2-sched ovh", "2s speedup");
+    for (const std::string name : {"MatrixMul", "SHA", "SCAN"}) {
+        double ovh[2], basecy[2];
+        for (unsigned s = 1; s <= 2; ++s) {
+            auto cfg = bench::paperGpu();
+            cfg.numSchedulers = s;
+            const auto base =
+                bench::runWorkload(name, cfg, dmr::DmrConfig::off());
+            const auto prot = bench::runWorkload(
+                name, cfg, dmr::DmrConfig::paperDefault());
+            ovh[s - 1] = double(prot.cycles) / double(base.cycles);
+            basecy[s - 1] = double(base.cycles);
+        }
+        std::printf("  %-12s %12.3f %12.3f %9.2fx\n", name.c_str(),
+                    ovh[0], ovh[1], basecy[0] / basecy[1]);
+    }
+    std::printf("\nA second scheduler speeds the baseline up but "
+                "leaves fewer idle issue slots,\nso Warped-DMR's "
+                "relative cost grows — quantifying the paper's "
+                "single-scheduler\nbaseline choice.\n");
+}
+
+void
+runWarpWidthSweep()
+{
+    std::printf("\nWarp-width sweep (BFS; the intro's scaling "
+                "argument — wider SIMT bundles\ndiverge more, so "
+                "spatial DMR opportunity grows):\n");
+    std::printf("  %-8s %12s %12s %12s\n", "width", "full slots",
+                "coverage", "overhead");
+    for (unsigned ws : {16u, 32u, 64u}) {
+        auto cfg = bench::paperGpu();
+        cfg.warpSize = ws;
+        const auto base =
+            bench::runWorkload("BFS", cfg, dmr::DmrConfig::off());
+        const auto prot = bench::runWorkload(
+            "BFS", cfg, dmr::DmrConfig::paperDefault());
+        std::printf("  %-8u %11.1f%% %11.2f%% %12.3f\n", ws,
+                    100 * base.activeHist.rangeFraction(ws, ws),
+                    100 * prot.coverage(),
+                    double(prot.cycles) / double(base.cycles));
+    }
+}
+
+void
+runGatingGranularity()
+{
+    std::printf("\nPower-gating granularity (Sec 3.4): mean idle-gap "
+                "length at SM vs SP\ngranularity (cycles).\n");
+    std::printf("  %-12s %14s %14s\n", "benchmark", "SM idle gap",
+                "SP idle gap");
+    for (const std::string name : {"BFS", "BitonicSort", "SHA"}) {
+        auto cfg = bench::paperGpu();
+        cfg.trackIdleGaps = true;
+        auto w = workloads::makeByName(name);
+        gpu::Gpu g(cfg, dmr::DmrConfig::off());
+        const auto r = workloads::runVerified(*w, g);
+        std::printf("  %-12s %14.1f %14.1f\n", name.c_str(),
+                    r.meanSmIdleGap, r.meanLaneIdleGap);
+    }
+    std::printf(
+        "\nReading per Sec 3.4: on fully-utilized kernels (SHA) SP "
+        "gaps are a few cycles —\nbelow any realistic gating "
+        "break-even — so gating SPs buys nothing. Where SP\ngaps are "
+        "long (BFS), they belong to divergence-idled lanes, exactly "
+        "the slack\nintra-warp DMR converts into error coverage "
+        "instead of leakage savings.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    bench::printHeader("Ablation",
+                       "Warped-DMR decomposition, queue saturation, "
+                       "sampling and scheduler extensions");
+    runGrid();
+    runQueueSaturation();
+    runSamplingCurve();
+    runSchedulerAblation();
+    runWarpWidthSweep();
+    runGatingGranularity();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration harnesses: fixed-width
+ * table printing and the standard experiment setup (paper-default
+ * machine, all 11 Table-4 workloads).
+ */
+
+#ifndef WARPED_BENCH_BENCH_UTIL_HH
+#define WARPED_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "common/logging.hh"
+#include "dmr/dmr_config.hh"
+#include "gpu/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace warped {
+namespace bench {
+
+/** The paper's Table-3 machine. */
+inline arch::GpuConfig
+paperGpu()
+{
+    return arch::GpuConfig::paperDefault();
+}
+
+/** Print the standard header every harness emits. */
+inline void
+printHeader(const std::string &figure, const std::string &caption)
+{
+    std::printf("=======================================================");
+    std::printf("=================\n");
+    std::printf("Warped-DMR reproduction | %s\n", figure.c_str());
+    std::printf("%s\n", caption.c_str());
+    std::printf("Machine: %s\n", paperGpu().toString().c_str());
+    std::printf("=======================================================");
+    std::printf("=================\n");
+}
+
+/** Run one named workload, verified, under the given configs. */
+inline gpu::LaunchResult
+runWorkload(const std::string &name, const arch::GpuConfig &cfg,
+            const dmr::DmrConfig &dcfg)
+{
+    auto w = workloads::makeByName(name);
+    gpu::Gpu g(cfg, dcfg);
+    return workloads::runVerified(*w, g);
+}
+
+/** Geometric-style arithmetic mean helper for summary rows. */
+inline double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / double(v.size());
+}
+
+} // namespace bench
+} // namespace warped
+
+#endif // WARPED_BENCH_BENCH_UTIL_HH

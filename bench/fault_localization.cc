@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fault localization (paper §3.4): because Warped-DMR checks at the
+ * granularity of a single SP, a detected permanent fault can be
+ * pinned to its (SM, lane) — whereas SM- or chip-level duplication
+ * can only say "somewhere in this SM/chip" and must disable the whole
+ * unit. This harness injects random stuck-at faults and scores how
+ * often the error log's arbitration verdicts name the faulty core.
+ */
+
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "fault/fault_injector.hh"
+
+using namespace warped;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::printHeader("Fault localization",
+                       "Pinpointing the faulty SP from the error log "
+                       "(Sec 3.4's granularity argument)");
+
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 4;
+    std::printf("(campaign machine: %s)\n\n", cfg.toString().c_str());
+    auto dcfg = dmr::DmrConfig::paperDefault();
+    dcfg.arbitrateErrors = true;
+
+    Rng rng(0xCAFE);
+    constexpr unsigned kRuns = 40;
+    unsigned detected = 0, localized = 0;
+
+    for (unsigned run = 0; run < kRuns; ++run) {
+        fault::FaultSpec spec;
+        spec.kind = fault::FaultKind::StuckAtOne;
+        spec.sm = static_cast<unsigned>(rng.nextBelow(cfg.numSms));
+        spec.lane = static_cast<unsigned>(rng.nextBelow(cfg.warpSize));
+        spec.bit = static_cast<unsigned>(rng.nextBelow(32));
+
+        fault::FaultInjector injector;
+        injector.add(spec);
+
+        auto w = workloads::makeScan(4);
+        gpu::Gpu g(cfg, dcfg, 1, &injector);
+        w->setup(g);
+        const auto r = g.launch(w->program(), w->gridBlocks(),
+                                w->blockThreads(), 2000000);
+        if (r.dmr.errorsDetected == 0)
+            continue;
+        ++detected;
+
+        // Majority vote over the log: PrimaryBad events blame the
+        // primary lane, CheckerBad events blame the checker lane.
+        std::map<std::pair<unsigned, unsigned>, unsigned> blame;
+        for (const auto &ev : r.dmr.errorLog) {
+            if (ev.verdict == dmr::ErrorVerdict::PrimaryBad)
+                ++blame[{ev.sm, ev.primaryLane}];
+            else if (ev.verdict == dmr::ErrorVerdict::CheckerBad)
+                ++blame[{ev.sm, ev.checkerLane}];
+        }
+        if (blame.empty())
+            continue;
+        auto best = blame.begin();
+        for (auto it = blame.begin(); it != blame.end(); ++it) {
+            if (it->second > best->second)
+                best = it;
+        }
+        if (best->first == std::make_pair(spec.sm, spec.lane))
+            ++localized;
+    }
+
+    std::printf("stuck-at faults injected: %u\n", kRuns);
+    std::printf("detected:                 %u\n", detected);
+    std::printf("correctly localized:      %u (%.0f%% of detected)\n",
+                localized,
+                detected ? 100.0 * localized / detected : 0.0);
+    std::printf(
+        "\nAn SM-level scheme would have to disable a whole SM (32 "
+        "SPs); Warped-DMR's\nper-lane comparator plus arbitration "
+        "names the faulty core, enabling the\ncore re-routing repair "
+        "the paper cites [23].\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SDC rate vs raw fault rate: sweep a per-value corruption
+ * probability and compare outcomes on the unprotected machine versus
+ * Warped-DMR. The quantitative version of the paper's opening claim —
+ * error detection turns silent data corruptions (SDC) into detectable
+ * events (DUE).
+ */
+
+#include "bench/bench_util.hh"
+#include "fault/fault_injector.hh"
+
+using namespace warped;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::printHeader("Fault-rate sweep",
+                       "Outcome vs per-value corruption probability "
+                       "(SCAN, 20 runs per point)");
+
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 4;
+    std::printf("(sweep machine: %s)\n\n", cfg.toString().c_str());
+
+    std::printf("%-12s | %-22s | %-22s\n", "", "unprotected",
+                "Warped-DMR");
+    std::printf("%-12s | %6s %6s %6s | %6s %6s %6s\n", "fault prob",
+                "SDC", "ok", "hang", "SDC", "detect", "ok");
+
+    for (double p : {1e-7, 1e-6, 1e-5, 1e-4}) {
+        unsigned sdc0 = 0, ok0 = 0, hang0 = 0;
+        unsigned sdc1 = 0, det1 = 0, ok1 = 0;
+        for (unsigned run = 0; run < 20; ++run) {
+            for (int protect = 0; protect < 2; ++protect) {
+                fault::RandomFaultHook hook(p, 1000 + run);
+                auto w = workloads::makeScan(2);
+                gpu::Gpu g(cfg,
+                           protect ? dmr::DmrConfig::paperDefault()
+                                   : dmr::DmrConfig::off(),
+                           1, &hook);
+                w->setup(g);
+                const auto r =
+                    g.launch(w->program(), w->gridBlocks(),
+                             w->blockThreads(), 2000000);
+                const bool good = !r.hung && w->verify(g);
+                if (protect) {
+                    if (r.dmr.errorsDetected)
+                        ++det1;
+                    else if (good)
+                        ++ok1;
+                    else
+                        ++sdc1;
+                } else {
+                    if (r.hung)
+                        ++hang0;
+                    else if (good)
+                        ++ok0;
+                    else
+                        ++sdc0;
+                }
+            }
+        }
+        std::printf("%-12g | %6u %6u %6u | %6u %6u %6u\n", p, sdc0,
+                    ok0, hang0, sdc1, det1, ok1);
+    }
+
+    std::printf("\nWarped-DMR converts nearly every silent corruption "
+                "into a detected event;\nresidual SDCs live in the "
+                "uncovered fraction (cf. Fig 9a coverage).\n");
+    return 0;
+}

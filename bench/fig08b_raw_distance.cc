@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 8b: RAW dependency distances — for one tracked thread
+ * ("warp 1" of SM 0), the cycles between a register write and its
+ * next read, printed as a sorted (descending) series like the
+ * paper's log-scale plot, plus the headline statistics (minimum
+ * >= 8 cycles; a large fraction above 100).
+ */
+
+#include <algorithm>
+
+#include "bench/bench_util.hh"
+
+using namespace warped;
+
+int
+main()
+{
+    setVerbose(false);
+    bench::printHeader("Figure 8b",
+                       "RAW dependency distances of one tracked thread");
+
+    // The paper plots 7 of the benchmarks.
+    const std::vector<std::string> names = {
+        "MatrixMul", "CUFFT", "BitonicSort", "Nqueen",
+        "Laplace",   "SHA",   "RadixSort"};
+
+    std::printf("%-12s %8s %8s %10s %12s %12s\n", "benchmark",
+                "samples", "min", "median", ">100 cycles",
+                ">1000 cycles");
+
+    for (const auto &name : names) {
+        const auto r = bench::runWorkload(name, bench::paperGpu(),
+                                          dmr::DmrConfig::off());
+        auto v = r.rawDistances;
+        std::sort(v.begin(), v.end());
+        if (v.empty()) {
+            std::printf("%-12s %8s\n", name.c_str(), "none");
+            continue;
+        }
+        const auto above = [&](std::uint64_t d) {
+            const auto n = std::count_if(
+                v.begin(), v.end(),
+                [d](std::uint64_t s) { return s > d; });
+            return 100.0 * double(n) / double(v.size());
+        };
+        std::printf("%-12s %8zu %8llu %10llu %11.1f%% %11.1f%%\n",
+                    name.c_str(), v.size(),
+                    static_cast<unsigned long long>(v.front()),
+                    static_cast<unsigned long long>(v[v.size() / 2]),
+                    above(100), above(1000));
+    }
+
+    std::printf("\nSorted series (first 20 values, descending), per "
+                "the paper's plot:\n");
+    for (const auto &name : names) {
+        const auto r = bench::runWorkload(name, bench::paperGpu(),
+                                          dmr::DmrConfig::off());
+        auto v = r.rawDistances;
+        std::sort(v.begin(), v.end(), std::greater<>());
+        std::printf("%-12s:", name.c_str());
+        for (std::size_t i = 0; i < std::min<std::size_t>(20, v.size());
+             ++i)
+            std::printf(" %llu", static_cast<unsigned long long>(v[i]));
+        std::printf("\n");
+    }
+
+    std::printf("\nPaper shape check: the minimum RAW distance is the "
+                "pipeline depth (>=8 in the\npaper; RF+EXE here), and "
+                "a sizable fraction of dependencies sit beyond 100 "
+                "cycles,\nso RAW-on-unverified stalls are rare.\n");
+    return 0;
+}

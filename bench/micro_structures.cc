@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): raw speed of the core Warped-DMR
+ * structures and of the simulator itself — the "is the implementation
+ * usable" check, not a paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/simt_stack.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "dmr/replay_queue.hh"
+#include "dmr/rfu.hh"
+#include "dmr/thread_mapping.hh"
+#include "gpu/gpu.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+static void
+BM_RfuPair4(benchmark::State &state)
+{
+    std::array<unsigned, dmr::Rfu::kMaxWidth> v;
+    std::uint64_t mask = 0;
+    for (auto _ : state) {
+        mask = (mask + 1) & 0xF;
+        benchmark::DoNotOptimize(dmr::Rfu::pair(mask, 4, v));
+    }
+}
+BENCHMARK(BM_RfuPair4);
+
+static void
+BM_RfuPair8(benchmark::State &state)
+{
+    std::array<unsigned, dmr::Rfu::kMaxWidth> v;
+    std::uint64_t mask = 0;
+    for (auto _ : state) {
+        mask = (mask + 1) & 0xFF;
+        benchmark::DoNotOptimize(dmr::Rfu::pair(mask, 8, v));
+    }
+}
+BENCHMARK(BM_RfuPair8);
+
+static void
+BM_ReplayQueueChurn(benchmark::State &state)
+{
+    dmr::ReplayQueue q(10);
+    Rng rng(1);
+    func::ExecRecord r;
+    r.instr.op = isa::Opcode::IADD;
+    r.active = LaneMask::full(32);
+    unsigned i = 0;
+    for (auto _ : state) {
+        r.instr.op = (i++ % 2) ? isa::Opcode::IADD : isa::Opcode::LDG;
+        if (!q.full())
+            q.push(r, i);
+        benchmark::DoNotOptimize(
+            q.popDifferentType(isa::UnitType::SFU, rng));
+    }
+}
+BENCHMARK(BM_ReplayQueueChurn);
+
+static void
+BM_SimtStackDivergeReconverge(benchmark::State &state)
+{
+    arch::SimtStack s;
+    for (auto _ : state) {
+        s.reset(LaneMask::full(32), 0);
+        s.branch(LaneMask(0xFFFF), 10, 1, 20);
+        s.advanceTo(20);
+        s.advanceTo(20);
+        benchmark::DoNotOptimize(s.depth());
+    }
+}
+BENCHMARK(BM_SimtStackDivergeReconverge);
+
+static void
+BM_MappingPermute(benchmark::State &state)
+{
+    dmr::ThreadCoreMapping m(dmr::MappingPolicy::CrossCluster, 32, 4);
+    std::uint64_t raw = 0x123456789abcdefULL;
+    for (auto _ : state) {
+        raw = raw * 2862933555777941757ULL + 1;
+        benchmark::DoNotOptimize(m.toLaneSpace(LaneMask(raw)));
+    }
+}
+BENCHMARK(BM_MappingPermute);
+
+/** End-to-end simulator throughput: warp-instructions per second. */
+static void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    setVerbose(false);
+    const bool dmr_on = state.range(0) != 0;
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 2;
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        auto w = workloads::makeScan(2);
+        gpu::Gpu g(cfg, dmr_on ? dmr::DmrConfig::paperDefault()
+                               : dmr::DmrConfig::off());
+        const auto r = workloads::run(*w, g);
+        instrs += r.issuedWarpInstrs;
+    }
+    state.counters["warp_instrs_per_s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Arg(0)->Arg(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Divergence explorer: a custom data-dependent kernel (Collatz step
+ * counting) whose warps fray apart as threads finish at different
+ * times — a live view of how intra-warp DMR coverage tracks the
+ * active-thread distribution, and of what the thread-to-core mapping
+ * buys (paper §4.2).
+ *
+ *   $ ./divergence_explorer
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "dmr/dmr_config.hh"
+#include "gpu/gpu.hh"
+#include "isa/kernel_builder.hh"
+
+using namespace warped;
+
+namespace {
+
+/** steps(n): Collatz iterations until n == 1 (capped). */
+isa::Program
+buildCollatz(Addr in_dev, Addr out_dev)
+{
+    isa::KernelBuilder kb("collatz");
+    const auto gtid = kb.reg(), addr = kb.reg(), n = kb.reg(),
+               steps = kb.reg(), one = kb.reg(), pred = kb.reg(),
+               bit = kb.reg(), odd = kb.reg(), t = kb.reg();
+    kb.s2r(gtid, isa::SpecialReg::Gtid);
+    kb.shli(addr, gtid, 2);
+    kb.iaddi(addr, addr, static_cast<std::int32_t>(in_dev));
+    kb.ldg(n, addr);
+    kb.movi(steps, 0);
+    kb.movi(one, 1);
+
+    kb.whileLoop([&] { kb.isetpGt(pred, n, one); }, pred, [&] {
+        kb.andi(bit, n, 1);
+        kb.isetpEq(odd, bit, one);
+        kb.ifThenElse(
+            odd,
+            [&] {
+                // n = 3n + 1
+                kb.imul(t, n, one);   // t = n (keep mix realistic)
+                kb.iadd(t, t, n);
+                kb.iadd(t, t, n);
+                kb.iaddi(n, t, 1);
+            },
+            [&] { kb.shri(n, n, 1); });
+        kb.iaddi(steps, steps, 1);
+    });
+
+    kb.shli(addr, gtid, 2);
+    kb.iaddi(addr, addr, static_cast<std::int32_t>(out_dev));
+    kb.stg(addr, steps);
+    return kb.build();
+}
+
+unsigned
+collatzRef(unsigned n)
+{
+    unsigned steps = 0;
+    while (n > 1) {
+        n = (n & 1) ? 3 * n + 1 : n / 2;
+        ++steps;
+    }
+    return steps;
+}
+
+void
+runWith(dmr::MappingPolicy policy, const char *label)
+{
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 2;
+    auto dcfg = dmr::DmrConfig::paperDefault();
+    dcfg.mapping = policy;
+
+    constexpr unsigned kThreads = 512;
+    gpu::Gpu gpu(cfg, dcfg);
+    const Addr in_dev = gpu.allocator().alloc(kThreads * 4);
+    const Addr out_dev = gpu.allocator().alloc(kThreads * 4);
+    for (unsigned i = 0; i < kThreads; ++i)
+        gpu.mem().writeWord(in_dev + 4 * i, i + 1);
+
+    const auto prog = buildCollatz(in_dev, out_dev);
+    const auto r = gpu.launch(prog, 2, 256);
+
+    bool ok = true;
+    for (unsigned i = 0; i < kThreads && ok; ++i)
+        ok = gpu.mem().readWord(out_dev + 4 * i) == collatzRef(i + 1);
+
+    std::printf("%-22s result %s, cycles %6llu, coverage %6.2f%%\n",
+                label, ok ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(r.cycles),
+                100.0 * r.coverage());
+
+    if (policy == dmr::MappingPolicy::CrossCluster) {
+        std::printf("\nactive-thread distribution of the issue "
+                    "slots:\n");
+        const unsigned buckets[][2] = {
+            {1, 1}, {2, 11}, {12, 21}, {22, 31}, {32, 32}};
+        const char *names[] = {"1", "2-11", "12-21", "22-31", "32"};
+        for (unsigned b = 0; b < 5; ++b) {
+            const double f = r.activeHist.rangeFraction(
+                buckets[b][0], buckets[b][1]);
+            std::printf("  %-6s %5.1f%%  ", names[b], 100 * f);
+            for (int i = 0; i < int(f * 50); ++i)
+                std::printf("#");
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Collatz step counting: data-dependent loop trip "
+                "counts fray the warps.\n\n");
+    runWith(dmr::MappingPolicy::CrossCluster,
+            "cross-cluster mapping");
+    runWith(dmr::MappingPolicy::Linear, "linear mapping");
+    std::printf("\nThe cross-cluster mapping spreads the surviving "
+                "(low-numbered) threads\nacross SIMT clusters so more "
+                "of them sit next to an idle checker lane.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * fault_campaign_cli: parameterized fault-injection campaigns from
+ * the command line — the front end to src/fault.
+ *
+ *   $ ./fault_campaign_cli SCAN --runs 100 --kind stuck1
+ *   $ ./fault_campaign_cli Libor --kind stuck1 --unit sfu --no-shuffle
+ *   $ ./fault_campaign_cli MatrixMul --kind transient --dmr off
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "fault/campaign.hh"
+
+using namespace warped;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: fault_campaign_cli <workload> [options]\n"
+        "  --runs N          faults to inject (default 50)\n"
+        "  --kind transient|stuck0|stuck1   (default transient)\n"
+        "  --unit sp|sfu|ldst               restrict the fault site\n"
+        "  --sms N           SMs (default 4)\n"
+        "  --seed N          campaign seed (default 42)\n"
+        "  --dmr off         run unprotected (SDC measurement)\n"
+        "  --no-shuffle      disable lane shuffling\n"
+        "  --no-intra / --no-inter\n"
+        "  --arbitrate       classify detections by majority vote\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string workload = argv[1];
+
+    fault::CampaignConfig cc;
+    auto dcfg = dmr::DmrConfig::paperDefault();
+    unsigned sms = 4;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--runs") {
+            const char *v = next();
+            if (!v)
+                return usage(), 2;
+            cc.runs = std::strtoul(v, nullptr, 10);
+        } else if (a == "--kind") {
+            const char *v = next();
+            if (!v)
+                return usage(), 2;
+            if (std::strcmp(v, "transient") == 0)
+                cc.kind = fault::FaultKind::TransientBitFlip;
+            else if (std::strcmp(v, "stuck0") == 0)
+                cc.kind = fault::FaultKind::StuckAtZero;
+            else
+                cc.kind = fault::FaultKind::StuckAtOne;
+        } else if (a == "--unit") {
+            const char *v = next();
+            if (!v)
+                return usage(), 2;
+            if (std::strcmp(v, "sfu") == 0)
+                cc.unit = isa::UnitType::SFU;
+            else if (std::strcmp(v, "ldst") == 0)
+                cc.unit = isa::UnitType::LDST;
+            else
+                cc.unit = isa::UnitType::SP;
+        } else if (a == "--sms") {
+            const char *v = next();
+            if (!v)
+                return usage(), 2;
+            sms = std::strtoul(v, nullptr, 10);
+        } else if (a == "--seed") {
+            const char *v = next();
+            if (!v)
+                return usage(), 2;
+            cc.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--dmr") {
+            const char *v = next();
+            if (v && std::strcmp(v, "off") == 0)
+                dcfg = dmr::DmrConfig::off();
+        } else if (a == "--no-shuffle") {
+            dcfg.laneShuffle = false;
+        } else if (a == "--no-intra") {
+            dcfg.intraWarp = false;
+        } else if (a == "--no-inter") {
+            dcfg.interWarp = false;
+        } else if (a == "--arbitrate") {
+            dcfg.arbitrateErrors = true;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = sms;
+
+    std::printf("campaign: %s, %u x %s%s, DMR %s%s\n",
+                workload.c_str(), cc.runs, faultKindName(cc.kind),
+                cc.unit ? (std::string(" on ") +
+                           isa::unitTypeName(*cc.unit))
+                              .c_str()
+                        : "",
+                dcfg.enabled ? "on" : "off",
+                dcfg.laneShuffle ? "" : " (no lane shuffle)");
+
+    const auto res = fault::runCampaign(
+        [&] { return workloads::makeByNameScaled(workload, 1); }, cfg,
+        dcfg, cc);
+
+    std::printf("  detected:       %u\n", res.detected);
+    std::printf("  hangs (DUE):    %u\n", res.hangs);
+    std::printf("  SDC:            %u\n", res.sdc);
+    std::printf("  benign:         %u\n", res.benign);
+    std::printf("  not activated:  %u\n", res.notActivated);
+    std::printf("  detection rate: %.1f%% of activated\n",
+                100 * res.detectionRate());
+    if (res.detected) {
+        std::printf("  mean detection latency: %.1f cycles "
+                    "(kernel length: %.0f)\n",
+                    res.meanDetectionLatency(),
+                    double(res.kernelLengthSum) / res.detected);
+    }
+    return 0;
+}

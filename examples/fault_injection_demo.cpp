@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fault-injection demo: plant a permanent stuck-at fault in one SIMT
+ * lane's SFU datapath and watch Warped-DMR's comparator catch it —
+ * then disable lane shuffling and watch the same fault hide (the
+ * paper's §3.2 hidden-error problem).
+ *
+ *   $ ./fault_injection_demo
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "fault/fault_injector.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+namespace {
+
+void
+runOnce(bool lane_shuffle)
+{
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 2;
+
+    auto dcfg = dmr::DmrConfig::paperDefault();
+    dcfg.laneShuffle = lane_shuffle;
+
+    // Stuck-at-1 on bit 12 of SM 0, physical lane 9, SFU outputs
+    // only: a pure-dataflow fault that never disturbs control flow.
+    fault::FaultInjector injector;
+    fault::FaultSpec spec;
+    spec.kind = fault::FaultKind::StuckAtOne;
+    spec.sm = 0;
+    spec.lane = 9;
+    spec.bit = 12;
+    spec.unit = isa::UnitType::SFU;
+    injector.add(spec);
+
+    auto w = workloads::makeLibor(2); // SFU-heavy financial kernel
+    gpu::Gpu gpu(cfg, dcfg, /*seed=*/1, &injector);
+    const auto r = workloads::run(*w, gpu);
+
+    std::printf("lane shuffling %s:\n", lane_shuffle ? "ON " : "OFF");
+    std::printf("  fault activations:   %llu\n",
+                static_cast<unsigned long long>(
+                    injector.activations()));
+    std::printf("  comparator mismatches: %llu\n",
+                static_cast<unsigned long long>(
+                    r.dmr.errorsDetected));
+    std::printf("  output correct:      %s\n",
+                w->verify(gpu) ? "yes" : "NO (corrupted)");
+    if (!r.dmr.errorLog.empty()) {
+        const auto &e = r.dmr.errorLog.front();
+        std::printf("  first detection: cycle %llu, warp %u, pc %u, "
+                    "thread slot %u\n"
+                    "    primary lane %u produced 0x%08x, checker "
+                    "lane %u produced 0x%08x\n",
+                    static_cast<unsigned long long>(e.cycle), e.warpId,
+                    e.pc, e.slot, e.primaryLane, e.primary,
+                    e.checkerLane, e.checker);
+    } else {
+        std::printf("  (no detection: the verification ran on the "
+                    "faulty core itself)\n");
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Permanent stuck-at-1 fault in one lane's SFU "
+                "datapath, Libor workload\n\n");
+    runOnce(true);
+    runOnce(false);
+    std::printf("Lane shuffling is what turns a silent corruption "
+                "into a detected error:\nwithout it, the redundant "
+                "execution re-runs on the same faulty core and\n"
+                "produces the same wrong answer (the hidden-error "
+                "problem, paper Sec 3.2).\n");
+    return 0;
+}

@@ -1,0 +1,8 @@
+.kernel triple  (regs 4, shared 0B)
+  0:	S2R r0, #6
+  1:	MOVI r1, #3
+  2:	IMUL r2, r0, r1
+  3:	SHLI r3, r0, #2
+  4:	IADDI r3, r3, #256
+  5:	STG r3, r2, [r3+0]
+  6:	EXIT

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * warped_sim: the command-line driver — run any Table-4 workload (or
+ * all of them) under a chosen protection configuration and print the
+ * full statistics block. The "downstream user" front end.
+ *
+ *   $ ./warped_sim --help
+ *   $ ./warped_sim MatrixMul --qsize 5 --mapping linear
+ *   $ ./warped_sim all --dmr off
+ *   $ ./warped_sim SHA --sampling 1000:250 --arbitrate --disasm
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "gpu/report.hh"
+#include "isa/assembler.hh"
+#include "power/power_model.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "all";
+    dmr::DmrConfig dmr = dmr::DmrConfig::paperDefault();
+    unsigned numSms = 30;
+    unsigned cluster = 4;
+    unsigned schedulers = 1;
+    arch::SchedPolicy sched = arch::SchedPolicy::LooseRoundRobin;
+    bool bankConflicts = false;
+    bool coalescing = false;
+    bool contention = false;
+    unsigned warpSize = 32;
+    std::string kernelFile;
+    unsigned kblocks = 4, kthreads = 128;
+    bool disasm = false;
+    bool verbose = false;
+    bool report = false;
+    bool json = false;
+    unsigned trace = 0;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: warped_sim [workload|all] [options]\n"
+        "\n"
+        "workloads: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul\n"
+        "           RadixSort SHA Libor CUFFT\n"
+        "\n"
+        "options:\n"
+        "  --dmr on|off          enable/disable Warped-DMR "
+        "(default on)\n"
+        "  --no-intra            disable intra-warp (spatial) DMR\n"
+        "  --no-inter            disable inter-warp (temporal) DMR\n"
+        "  --no-shuffle          disable lane shuffling\n"
+        "  --mapping linear|cross   thread-to-core mapping "
+        "(default cross)\n"
+        "  --qsize N             ReplayQ entries (default 10)\n"
+        "  --cluster 4|8         SIMT-cluster width (default 4)\n"
+        "  --sms N               number of SMs (default 30)\n"
+        "  --sampling E:A        sampling DMR: active A of every E "
+        "cycles\n"
+        "  --sched lrr|gto       warp scheduling policy "
+        "(default lrr)\n"
+        "  --schedulers N        schedulers per SM (default 1)\n"
+        "  --bank-conflicts      model register-bank conflicts\n"
+        "  --coalescing          model global-memory coalescing\n"
+        "  --contention          model memory-partition contention\n"
+        "  --warp N              warp width (default 32)\n"
+        "  --arbitrate           classify detections by majority "
+        "vote\n"
+        "  --dmtr                DMTR baseline mode\n"
+        "  --disasm              print the kernel disassembly\n"
+        "  --trace N             print the first N issue events\n"
+        "  --report              print the full statistics block\n"
+        "  --json                emit one JSON object per workload\n"
+        "  --verbose             keep warn/info output\n"
+        "  --list                print the workload table and exit\n"
+        "  --kernel F [--blocks N] [--threads M]\n"
+        "                        run a text-assembly kernel file "
+        "instead of a workload\n");
+}
+
+bool
+parse(int argc, char **argv, Options &o)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--help" || a == "-h") {
+            return false;
+        } else if (a == "--list") {
+            std::printf("%-12s %-26s %8s %8s %10s %10s\n", "name",
+                        "category", "blocks", "threads", "bytes in",
+                        "bytes out");
+            for (const auto &n : workloads::allNames()) {
+                auto w = workloads::makeByName(n);
+                arch::GpuConfig c = arch::GpuConfig::testDefault();
+                gpu::Gpu g(c, dmr::DmrConfig::off());
+                w->setup(g);
+                std::printf("%-12s %-26s %8u %8u %10zu %10zu\n",
+                            n.c_str(), w->category().c_str(),
+                            w->gridBlocks(), w->blockThreads(),
+                            w->bytesIn(), w->bytesOut());
+            }
+            std::exit(0);
+        } else if (a == "--dmr") {
+            const char *v = next();
+            if (!v)
+                return false;
+            if (std::strcmp(v, "off") == 0)
+                o.dmr = dmr::DmrConfig::off();
+        } else if (a == "--no-intra") {
+            o.dmr.intraWarp = false;
+        } else if (a == "--no-inter") {
+            o.dmr.interWarp = false;
+        } else if (a == "--no-shuffle") {
+            o.dmr.laneShuffle = false;
+        } else if (a == "--mapping") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.dmr.mapping = std::strcmp(v, "linear") == 0
+                                ? dmr::MappingPolicy::Linear
+                                : dmr::MappingPolicy::CrossCluster;
+        } else if (a == "--qsize") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.dmr.replayQSize = std::strtoul(v, nullptr, 10);
+        } else if (a == "--cluster") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.cluster = std::strtoul(v, nullptr, 10);
+        } else if (a == "--sms") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.numSms = std::strtoul(v, nullptr, 10);
+        } else if (a == "--sampling") {
+            const char *v = next();
+            if (!v)
+                return false;
+            unsigned long e = 0, act = 0;
+            if (std::sscanf(v, "%lu:%lu", &e, &act) != 2)
+                return false;
+            o.dmr.samplingEpoch = e;
+            o.dmr.samplingActive = act;
+        } else if (a == "--sched") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.sched = std::strcmp(v, "gto") == 0
+                          ? arch::SchedPolicy::GreedyThenOldest
+                          : arch::SchedPolicy::LooseRoundRobin;
+        } else if (a == "--schedulers") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.schedulers = std::strtoul(v, nullptr, 10);
+        } else if (a == "--bank-conflicts") {
+            o.bankConflicts = true;
+        } else if (a == "--coalescing") {
+            o.coalescing = true;
+        } else if (a == "--contention") {
+            o.contention = true;
+        } else if (a == "--warp") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.warpSize = std::strtoul(v, nullptr, 10);
+        } else if (a == "--arbitrate") {
+            o.dmr.arbitrateErrors = true;
+        } else if (a == "--dmtr") {
+            o.dmr = dmr::DmrConfig::dmtr();
+        } else if (a == "--kernel") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.kernelFile = v;
+        } else if (a == "--blocks") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.kblocks = std::strtoul(v, nullptr, 10);
+        } else if (a == "--threads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.kthreads = std::strtoul(v, nullptr, 10);
+        } else if (a == "--trace") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.trace = std::strtoul(v, nullptr, 10);
+        } else if (a == "--report") {
+            o.report = true;
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (a == "--disasm") {
+            o.disasm = true;
+        } else if (a == "--verbose") {
+            o.verbose = true;
+        } else if (a[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            return false;
+        } else {
+            o.workload = a;
+        }
+    }
+    return true;
+}
+
+int
+runOne(const std::string &name, const Options &o,
+       const arch::GpuConfig &cfg)
+{
+    auto w = workloads::makeByName(name);
+    gpu::Gpu g(cfg, o.dmr);
+    w->setup(g);
+    if (o.disasm)
+        std::printf("%s\n", w->program().disassemble().c_str());
+
+    const auto r = g.launch(w->program(), w->gridBlocks(),
+                            w->blockThreads());
+    const bool ok = w->verify(g);
+
+    if (o.json) {
+        std::printf("%s\n",
+                    report::jsonReport(r, cfg, name).c_str());
+        return ok ? 0 : 1;
+    }
+
+    if (o.trace) {
+        std::printf("issue trace (first %u events per SM):\n",
+                    o.trace);
+        unsigned shown = 0;
+        for (const auto &ev : r.trace) {
+            if (shown++ >= o.trace)
+                break;
+            std::printf("  cy %6llu sm%-2u w%-2u [%2u/32] pc %3u  %s\n",
+                        static_cast<unsigned long long>(ev.cycle),
+                        ev.sm, ev.warp, ev.activeCount, ev.pc,
+                        ev.instr.toString().c_str());
+        }
+    }
+
+    if (o.report)
+        std::printf("%s", report::textReport(r, cfg).c_str());
+
+    power::PowerModel pm(cfg);
+    std::printf("%-12s %-16s %8llu cy %8.1f us  cover %6.2f%%  "
+                "power %5.1f W  %s\n",
+                name.c_str(), w->category().c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                r.timeNs / 1e3, 100 * r.coverage(),
+                pm.estimate(r).total(), ok ? "OK" : "FAIL");
+
+    if (o.dmr.enabled) {
+        std::printf(
+            "    verified: intra %llu / inter %llu thread-instrs; "
+            "stalls: eager %llu, raw %llu; queue events: enq %llu, "
+            "deq %llu, drain %llu+%llu\n",
+            static_cast<unsigned long long>(r.dmr.intraVerifiedThreads),
+            static_cast<unsigned long long>(r.dmr.interVerifiedThreads),
+            static_cast<unsigned long long>(r.dmr.eagerStalls),
+            static_cast<unsigned long long>(r.dmr.rawStalls),
+            static_cast<unsigned long long>(r.dmr.enqueues),
+            static_cast<unsigned long long>(r.dmr.dequeueVerifications),
+            static_cast<unsigned long long>(
+                r.dmr.idleDrainVerifications),
+            static_cast<unsigned long long>(
+                r.dmr.unitDrainVerifications));
+        if (r.dmr.errorsDetected) {
+            std::printf("    ERRORS DETECTED: %llu",
+                        static_cast<unsigned long long>(
+                            r.dmr.errorsDetected));
+            if (o.dmr.arbitrateErrors) {
+                std::printf(" (primary-bad %llu, checker-bad %llu, "
+                            "inconclusive %llu)",
+                            static_cast<unsigned long long>(
+                                r.dmr.arbPrimaryBad),
+                            static_cast<unsigned long long>(
+                                r.dmr.arbCheckerBad),
+                            static_cast<unsigned long long>(
+                                r.dmr.arbInconclusive));
+            }
+            std::printf("\n");
+        }
+    }
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parse(argc, argv, o)) {
+        usage();
+        return 2;
+    }
+    setVerbose(o.verbose);
+
+    auto cfg = arch::GpuConfig::paperDefault();
+    cfg.numSms = o.numSms;
+    cfg.lanesPerCluster = o.cluster;
+    cfg.numSchedulers = o.schedulers;
+    cfg.schedPolicy = o.sched;
+    cfg.modelBankConflicts = o.bankConflicts;
+    cfg.modelCoalescing = o.coalescing;
+    cfg.modelMemContention = o.contention;
+    cfg.warpSize = o.warpSize;
+    cfg.traceIssueLimit = o.trace;
+
+    std::printf("%s\n", cfg.toString().c_str());
+
+    if (!o.kernelFile.empty()) {
+        std::ifstream f(o.kernelFile);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         o.kernelFile.c_str());
+            return 1;
+        }
+        std::string text((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+        const auto prog = isa::parseProgram(text);
+        if (o.disasm)
+            std::printf("%s\n", prog.disassemble().c_str());
+        gpu::Gpu g(cfg, o.dmr);
+        const auto r = g.launch(prog, o.kblocks, o.kthreads);
+        if (o.json) {
+            std::printf("%s\n",
+                        report::jsonReport(r, cfg, prog.name()).c_str());
+        } else {
+            std::printf("%s", report::textReport(r, cfg).c_str());
+        }
+        return 0;
+    }
+
+    int rc = 0;
+    if (o.workload == "all") {
+        for (const auto &n : workloads::allNames())
+            rc |= runOne(n, o, cfg);
+    } else {
+        rc = runOne(o.workload, o, cfg);
+    }
+    return rc;
+}

@@ -1,0 +1,63 @@
+#include "arch/gpu_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace arch {
+
+GpuConfig
+GpuConfig::paperDefault()
+{
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::testDefault()
+{
+    GpuConfig c;
+    c.numSms = 2;
+    c.globalMemLatency = 40;
+    c.sharedMemLatency = 8;
+    c.globalMemBytes = 8u * 1024u * 1024u;
+    return c;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (warpSize == 0 || warpSize > 64)
+        warped_fatal("warpSize must be in [1,64], got ", warpSize);
+    if (lanesPerCluster == 0 || warpSize % lanesPerCluster != 0)
+        warped_fatal("lanesPerCluster (", lanesPerCluster,
+                     ") must divide warpSize (", warpSize, ")");
+    if (numSms == 0)
+        warped_fatal("need at least one SM");
+    if (maxThreadsPerSm < warpSize)
+        warped_fatal("maxThreadsPerSm must hold at least one warp");
+    if (rfStages == 0 || spLatency == 0)
+        warped_fatal("pipeline latencies must be non-zero");
+    if (numSchedulers == 0 || numSchedulers > 4)
+        warped_fatal("numSchedulers must be in [1,4], got ",
+                     numSchedulers);
+    if (clockGhz <= 0.0)
+        warped_fatal("clockGhz must be positive");
+}
+
+std::string
+GpuConfig::toString() const
+{
+    std::ostringstream os;
+    os << "GPU: " << numSms << " SMs x " << warpSize
+       << "-wide SIMT, cluster " << lanesPerCluster
+       << ", max " << maxThreadsPerSm << " thr/SM, "
+       << numRegBanks << " reg banks, RF " << rfStages
+       << "cy, SP " << spLatency << "cy, SFU " << sfuLatency
+       << "cy, shmem " << sharedMemLatency << "cy, gmem "
+       << globalMemLatency << "cy, clock " << clockGhz << " GHz";
+    return os.str();
+}
+
+} // namespace arch
+} // namespace warped

@@ -1,0 +1,114 @@
+#include "arch/simt_stack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace arch {
+
+void
+SimtStack::reset(LaneMask initial, Pc entry)
+{
+    stack_.clear();
+    if (initial.any())
+        stack_.push_back({initial, entry, isa::kNoPc});
+}
+
+Pc
+SimtStack::pc() const
+{
+    if (stack_.empty())
+        warped_panic("SimtStack::pc on a finished warp");
+    return stack_.back().pc;
+}
+
+LaneMask
+SimtStack::activeMask() const
+{
+    if (stack_.empty())
+        return LaneMask{};
+    return stack_.back().mask;
+}
+
+void
+SimtStack::advanceTo(Pc next)
+{
+    if (stack_.empty())
+        warped_panic("SimtStack::advanceTo on a finished warp");
+    stack_.back().pc = next;
+    popConverged();
+}
+
+void
+SimtStack::branch(LaneMask taken, Pc target, Pc fallthrough, Pc reconv)
+{
+    if (stack_.empty())
+        warped_panic("SimtStack::branch on a finished warp");
+
+    Entry &top = stack_.back();
+    const LaneMask active = top.mask;
+    const LaneMask not_taken = active & ~taken;
+
+    if ((taken & ~active).any())
+        warped_panic("branch taken mask contains inactive lanes");
+
+    if (not_taken.none()) {            // uniformly taken
+        advanceTo(target);
+        return;
+    }
+    if (taken.none()) {                // uniformly not taken
+        advanceTo(fallthrough);
+        return;
+    }
+
+    // Divergence.
+    if (reconv == isa::kNoPc)
+        warped_panic("divergent branch without a reconvergence PC");
+
+    top.pc = reconv;
+    // A pure trampoline (the entry would sit at pc == rpc waiting to
+    // be popped) carries no information: the entry below it already
+    // resumes at the same reconvergence PC with a superset mask.
+    // Eliding it keeps depth independent of loop trip counts.
+    if (top.rpc == reconv)
+        stack_.pop_back();
+
+    if (stack_.size() + 2 > kMaxDepth)
+        warped_panic("SIMT stack overflow (depth ", stack_.size(),
+                     "): unstructured control flow?");
+
+    // Push taken first so the not-taken path executes first, matching
+    // the paper's Fig 3 serialization order.
+    if (target != reconv)
+        stack_.push_back({taken, target, reconv});
+    if (fallthrough != reconv)
+        stack_.push_back({not_taken, fallthrough, reconv});
+
+    popConverged();
+}
+
+void
+SimtStack::exitThreads(LaneMask exited)
+{
+    for (auto &e : stack_)
+        e.mask &= ~exited;
+    while (!stack_.empty() &&
+           (stack_.back().mask.none() ||
+            stack_.back().pc == stack_.back().rpc)) {
+        stack_.pop_back();
+    }
+    // Drop empty interior entries as well: they would otherwise
+    // resurface as empty tops later.
+    std::erase_if(stack_, [](const Entry &e) { return e.mask.none(); });
+}
+
+void
+SimtStack::popConverged()
+{
+    while (!stack_.empty() && stack_.back().pc == stack_.back().rpc)
+        stack_.pop_back();
+}
+
+} // namespace arch
+} // namespace warped

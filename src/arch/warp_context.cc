@@ -1,0 +1,50 @@
+#include "arch/warp_context.hh"
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace arch {
+
+WarpContext::WarpContext(unsigned warp_size, unsigned num_regs,
+                         unsigned block_id, unsigned warp_in_block,
+                         unsigned block_threads, unsigned block_dim,
+                         unsigned grid_dim)
+    : warpSize_(warp_size), numRegs_(num_regs), blockId_(block_id),
+      warpInBlock_(warp_in_block), blockDim_(block_dim),
+      gridDim_(grid_dim), regs_(warp_size * num_regs, 0)
+{
+    const unsigned first = warp_in_block * warp_size;
+    for (unsigned lane = 0; lane < warp_size; ++lane) {
+        if (first + lane < block_threads)
+            validLanes_.set(lane);
+    }
+    stack_.reset(validLanes_, 0);
+}
+
+RegValue
+WarpContext::reg(unsigned lane, RegIndex r) const
+{
+    if (lane >= warpSize_ || r >= numRegs_)
+        warped_panic("register read out of range: lane ", lane, " r",
+                     unsigned(r));
+    return regs_[lane * numRegs_ + r];
+}
+
+void
+WarpContext::setReg(unsigned lane, RegIndex r, RegValue v)
+{
+    if (lane >= warpSize_ || r >= numRegs_)
+        warped_panic("register write out of range: lane ", lane, " r",
+                     unsigned(r));
+    regs_[lane * numRegs_ + r] = v;
+}
+
+void
+WarpContext::markExited(LaneMask m)
+{
+    exited_ |= m;
+    stack_.exitThreads(m);
+}
+
+} // namespace arch
+} // namespace warped

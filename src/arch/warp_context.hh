@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Architectural (functional) state of one warp.
+ */
+
+#ifndef WARPED_ARCH_WARP_CONTEXT_HH
+#define WARPED_ARCH_WARP_CONTEXT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/simt_stack.hh"
+#include "common/lane_mask.hh"
+#include "common/types.hh"
+
+namespace warped {
+namespace arch {
+
+/**
+ * Per-warp functional state: thread register windows, the SIMT
+ * reconvergence stack, exit/barrier status, and the warp's position
+ * inside its block/grid.
+ */
+class WarpContext
+{
+  public:
+    /**
+     * @param warp_size      lanes per warp
+     * @param num_regs       registers per thread
+     * @param block_id       this warp's block index in the grid
+     * @param warp_in_block  this warp's index within its block
+     * @param block_threads  threads in the block (tail warps partial)
+     * @param block_dim      threads per full block
+     * @param grid_dim       blocks in the grid
+     */
+    WarpContext(unsigned warp_size, unsigned num_regs, unsigned block_id,
+                unsigned warp_in_block, unsigned block_threads,
+                unsigned block_dim, unsigned grid_dim);
+
+    unsigned warpSize() const { return warpSize_; }
+    unsigned numRegs() const { return numRegs_; }
+    unsigned blockId() const { return blockId_; }
+    unsigned warpInBlock() const { return warpInBlock_; }
+    unsigned blockDim() const { return blockDim_; }
+    unsigned gridDim() const { return gridDim_; }
+
+    /** Thread index within the block for lane @p lane. */
+    unsigned tid(unsigned lane) const
+    { return warpInBlock_ * warpSize_ + lane; }
+
+    /** Lanes that actually hold threads (tail warps are partial). */
+    LaneMask validLanes() const { return validLanes_; }
+
+    RegValue reg(unsigned lane, RegIndex r) const;
+    void setReg(unsigned lane, RegIndex r, RegValue v);
+
+    SimtStack &stack() { return stack_; }
+    const SimtStack &stack() const { return stack_; }
+
+    /** Threads that executed EXIT. */
+    LaneMask exited() const { return exited_; }
+    void markExited(LaneMask m);
+
+    bool atBarrier() const { return atBarrier_; }
+    void setAtBarrier(bool b) { atBarrier_ = b; }
+
+    /** All threads exited (or the warp never had any). */
+    bool finished() const { return stack_.done(); }
+
+  private:
+    unsigned warpSize_;
+    unsigned numRegs_;
+    unsigned blockId_;
+    unsigned warpInBlock_;
+    unsigned blockDim_;
+    unsigned gridDim_;
+    LaneMask validLanes_;
+    LaneMask exited_;
+    bool atBarrier_ = false;
+    SimtStack stack_;
+    std::vector<RegValue> regs_; ///< lane-major: [lane * numRegs + r]
+};
+
+} // namespace arch
+} // namespace warped
+
+#endif // WARPED_ARCH_WARP_CONTEXT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic() — a simulator bug: something that must never happen did.
+ * fatal() — a user/configuration error the simulation cannot survive.
+ * warn()  — suspicious but survivable.
+ * inform() — status output.
+ */
+
+#ifndef WARPED_COMMON_LOGGING_HH
+#define WARPED_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace warped {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Toggle warn()/inform() console output (tests silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+} // namespace warped
+
+#define warped_panic(...) \
+    ::warped::panicImpl(__FILE__, __LINE__, \
+                        ::warped::detail::format(__VA_ARGS__))
+#define warped_fatal(...) \
+    ::warped::fatalImpl(__FILE__, __LINE__, \
+                        ::warped::detail::format(__VA_ARGS__))
+#define warped_warn(...) \
+    ::warped::warnImpl(::warped::detail::format(__VA_ARGS__))
+#define warped_inform(...) \
+    ::warped::informImpl(::warped::detail::format(__VA_ARGS__))
+
+#endif // WARPED_COMMON_LOGGING_HH

@@ -1,0 +1,50 @@
+#include "common/rng.hh"
+
+#include <cassert>
+
+namespace warped {
+
+Rng::Rng(std::uint64_t seed)
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ULL)
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    // xorshift64* (Vigna, 2014).
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    assert(bound > 0);
+    return next() % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next()
+                                                    : nextBelow(span));
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(next() >> 40) / float(1 << 24);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextFloat() < p;
+}
+
+} // namespace warped

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Everything stochastic in the simulator (ReplayQ candidate picks,
+ * fault-injection campaigns, workload input generation) draws from a
+ * seeded Rng so every figure in EXPERIMENTS.md is bit-reproducible.
+ */
+
+#ifndef WARPED_COMMON_RNG_HH
+#define WARPED_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace warped {
+
+/** xorshift64* generator: tiny, fast and statistically adequate. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform float in [0, 1). */
+    float nextFloat();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace warped
+
+#endif // WARPED_COMMON_RNG_HH

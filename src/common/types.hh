@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Warped-DMR module.
+ */
+
+#ifndef WARPED_COMMON_TYPES_HH
+#define WARPED_COMMON_TYPES_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace warped {
+
+/** Simulation time, measured in SM core-clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A 32-bit architectural register value (integers and floats share it). */
+using RegValue = std::uint32_t;
+
+/** Architectural register index within a thread's register window. */
+using RegIndex = std::uint8_t;
+
+/** Byte address into global or shared memory. */
+using Addr = std::uint64_t;
+
+/** Program counter: index of an instruction inside a Program. */
+using Pc = std::uint32_t;
+
+/** Reinterpret a register value as an IEEE-754 single-precision float. */
+inline float
+asFloat(RegValue v)
+{
+    return std::bit_cast<float>(v);
+}
+
+/** Reinterpret an IEEE-754 single-precision float as a register value. */
+inline RegValue
+asReg(float f)
+{
+    return std::bit_cast<RegValue>(f);
+}
+
+/** Reinterpret a register value as a signed 32-bit integer. */
+inline std::int32_t
+asSigned(RegValue v)
+{
+    return static_cast<std::int32_t>(v);
+}
+
+} // namespace warped
+
+#endif // WARPED_COMMON_TYPES_HH

@@ -1,0 +1,25 @@
+#include "dmr/dmr_config.hh"
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace dmr {
+
+void
+DmrConfig::validate() const
+{
+    if (replayQSize > 1024)
+        warped_fatal("replayQSize ", replayQSize,
+                     " is unreasonably large (max 1024)");
+    if (samplingEpoch == 0 && samplingActive != 0)
+        warped_fatal("samplingActive without a samplingEpoch");
+    if (samplingEpoch != 0 && samplingActive > samplingEpoch)
+        warped_fatal("samplingActive (", samplingActive,
+                     ") exceeds samplingEpoch (", samplingEpoch, ")");
+    if (enabled && !intraWarp && !interWarp && !temporalAll)
+        warped_warn("DMR enabled but every mechanism is off: "
+                    "coverage will be zero");
+}
+
+} // namespace dmr
+} // namespace warped

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Warped-DMR configuration knobs (the axes of Fig 9a/9b).
+ */
+
+#ifndef WARPED_DMR_DMR_CONFIG_HH
+#define WARPED_DMR_DMR_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace warped {
+namespace dmr {
+
+/** ReplayQ dequeue choice among different-type candidates: the paper
+ *  picks at random (§4.3); OldestFirst is the FIFO ablation. */
+enum class DequeuePolicy { Random, OldestFirst };
+
+/**
+ * Thread-to-core affinity (§4.2). Linear is the believed-default
+ * in-order mapping (thread i on lane i); CrossCluster round-robins
+ * consecutive threads across SIMT clusters, raising the chance that a
+ * cluster containing active lanes also contains idle verifier lanes.
+ */
+enum class MappingPolicy { Linear, CrossCluster };
+
+struct DmrConfig
+{
+    bool enabled = true;      ///< master switch (false = baseline GPU)
+    bool intraWarp = true;    ///< spatial DMR on idle lanes (§3.1)
+    bool interWarp = true;    ///< temporal DMR via ReplayQ (§3.2)
+    unsigned replayQSize = 10; ///< entries (§4.3.1; Fig 9b sweeps it)
+    bool laneShuffle = true;  ///< §3.2 lane shuffling (hidden errors)
+    MappingPolicy mapping = MappingPolicy::CrossCluster;
+    /** DMTR baseline (§5.3): temporally verify *every* instruction in
+     *  the following cycle, partial-mask ones included (SRT with one
+     *  cycle of slack); no spatial DMR. */
+    bool temporalAll = false;
+
+    /**
+     * Sampling DMR (extension; cf. Nomura et al. [15] in the paper's
+     * related work): protection is active only for the first
+     * `samplingActive` cycles of every `samplingEpoch`-cycle epoch.
+     * 0 = always on (the paper's Warped-DMR). Permanent faults are
+     * still eventually detected; transient faults outside the duty
+     * cycle are missed — the trade the §6 discussion describes.
+     */
+    Cycle samplingEpoch = 0;
+    Cycle samplingActive = 0;
+
+    /**
+     * Error arbitration (extension; the paper leaves handling to the
+     * scheduler): on a comparator mismatch, re-execute the thread a
+     * third time on yet another lane and majority-vote. Classifies
+     * each detection as transient (third run agrees with one side)
+     * or suspected-permanent (the same lane keeps disagreeing).
+     */
+    bool arbitrateErrors = false;
+
+    /** How popDifferentType picks among candidates (paper: Random). */
+    DequeuePolicy dequeuePolicy = DequeuePolicy::Random;
+
+    /** Sanity-check knob combinations; throws via warped_fatal. */
+    void validate() const;
+
+    /** True when the engine protects instructions at @p now. */
+    bool
+    activeAt(Cycle now) const
+    {
+        if (!enabled)
+            return false;
+        if (samplingEpoch == 0)
+            return true;
+        return (now % samplingEpoch) < samplingActive;
+    }
+
+    /** No error detection at all: the baseline machine. */
+    static DmrConfig
+    off()
+    {
+        DmrConfig c;
+        c.enabled = false;
+        c.intraWarp = false;
+        c.interWarp = false;
+        c.mapping = MappingPolicy::Linear; // the unmodified scheduler
+        return c;
+    }
+
+    /** The paper's tuned design (cross mapping, 10-entry ReplayQ). */
+    static DmrConfig paperDefault() { return DmrConfig{}; }
+
+    /** Fig 9a first bar: 4-lane clusters, default in-order mapping. */
+    static DmrConfig
+    baselineMapping()
+    {
+        DmrConfig c;
+        c.mapping = MappingPolicy::Linear;
+        return c;
+    }
+
+    /** The DMTR comparison point of §5.3 / Fig 10. */
+    static DmrConfig
+    dmtr()
+    {
+        DmrConfig c;
+        c.intraWarp = false;
+        c.laneShuffle = false;
+        c.mapping = MappingPolicy::Linear;
+        c.replayQSize = 0;
+        c.temporalAll = true;
+        return c;
+    }
+};
+
+} // namespace dmr
+} // namespace warped
+
+#endif // WARPED_DMR_DMR_CONFIG_HH

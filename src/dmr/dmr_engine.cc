@@ -1,0 +1,293 @@
+#include "dmr/dmr_engine.hh"
+
+#include "common/logging.hh"
+#include "dmr/rfu.hh"
+
+namespace warped {
+namespace dmr {
+
+DmrEngine::DmrEngine(const arch::GpuConfig &gpu, const DmrConfig &cfg,
+                     func::Executor &exec, std::uint64_t seed)
+    : gpu_(gpu), cfg_(cfg), exec_(exec),
+      mapping_(cfg.mapping, gpu.warpSize, gpu.lanesPerCluster),
+      queue_(cfg.replayQSize), rng_(seed)
+{
+}
+
+std::uint64_t
+DmrEngine::readMaskOf(const isa::Instruction &in)
+{
+    std::uint64_t mask = 0;
+    for (unsigned s = 0; s < in.numSrcs(); ++s)
+        mask |= 1ULL << in.src[s].idx;
+    return mask;
+}
+
+bool
+DmrEngine::rawHazardStall(unsigned warp_id, const isa::Instruction &next,
+                          Cycle now)
+{
+    if (!cfg_.enabled || !cfg_.interWarp)
+        return false;
+    const std::uint64_t reads = readMaskOf(next);
+    if (reads == 0)
+        return false;
+    auto producer = queue_.popRawHazard(warp_id, reads);
+    if (!producer)
+        return false;
+    // The pipeline stalls this cycle; the freed units verify the
+    // producer so the consumer can go next cycle.
+    interWarpVerify(producer->rec, now);
+    ++stats_.rawStalls;
+    return true;
+}
+
+unsigned
+DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
+{
+    if (!cfg_.enabled)
+        return 0;
+
+    // The Replay Checker first decides the fate of the instruction
+    // one cycle ahead in the RF stage (Algorithm 1), using this
+    // instruction as the co-execution partner candidate.
+    verifiedUnitThisCycle_ = -1;
+    unsigned stall = replayCheck(rec.instr.unit(), now);
+
+    // Opportunistic drain (§4.3): any execution unit whose issue slot
+    // is unused this cycle — by the new instruction and by the
+    // co-executed verification — re-executes one queued instruction
+    // of its own type.
+    if (cfg_.interWarp) {
+        for (unsigned t = 0; t < isa::kNumUnitTypes; ++t) {
+            const auto ut = static_cast<isa::UnitType>(t);
+            if (ut == rec.instr.unit() ||
+                static_cast<int>(t) == verifiedUnitThisCycle_) {
+                continue;
+            }
+            if (auto e = queue_.popOldestOfType(ut)) {
+                interWarpVerify(e->rec, now);
+                ++stats_.unitDrainVerifications;
+            }
+        }
+    }
+
+    const bool verifiable = rec.verifiable();
+    const unsigned active = rec.active.count();
+    const bool full_mask = active == gpu_.warpSize;
+
+    if (verifiable) {
+        stats_.verifiableThreadInstrs += active;
+        // Sampling extension: outside the duty cycle the instruction
+        // issues unprotected (it stays in the coverage denominator).
+        if (!cfg_.activeAt(now)) {
+            stats_.sampledOutThreadInstrs += active;
+            return stall;
+        }
+        const bool temporal =
+            cfg_.interWarp && (full_mask || cfg_.temporalAll);
+        if (full_mask)
+            ++stats_.interWarpInstrs;
+        else
+            ++stats_.intraWarpInstrs;
+        if (temporal)
+            pending_ = rec;
+        else if (!full_mask && cfg_.intraWarp)
+            intraWarpVerify(rec, now);
+    }
+    return stall;
+}
+
+unsigned
+DmrEngine::replayCheck(isa::UnitType next_type, Cycle now)
+{
+    if (!pending_)
+        return 0;
+
+    func::ExecRecord pending = std::move(*pending_);
+    pending_.reset();
+
+    if (pending.instr.unit() != next_type) {
+        // Different unit types: the pending instruction's units are
+        // idle this cycle; co-execute its DMR copy for free.
+        verifiedUnitThisCycle_ =
+            static_cast<int>(pending.instr.unit());
+        interWarpVerify(pending, now);
+        ++stats_.coexecVerifications;
+        return 0;
+    }
+
+    // Same type. Look for a queued instruction of a different type
+    // whose unit is idle this cycle.
+    if (auto e = queue_.popDifferentType(next_type, rng_,
+                                         cfg_.dequeuePolicy)) {
+        verifiedUnitThisCycle_ = static_cast<int>(e->rec.instr.unit());
+        interWarpVerify(e->rec, now);
+        ++stats_.dequeueVerifications;
+        queue_.push(std::move(pending), now);
+        ++stats_.enqueues;
+        return 0;
+    }
+
+    if (queue_.full()) {
+        // Eager re-execution: one stall cycle, then the operands
+        // still in the pipeline are replayed on the same units.
+        interWarpVerify(pending, now + 1);
+        ++stats_.eagerStalls;
+        return 1;
+    }
+
+    queue_.push(std::move(pending), now);
+    ++stats_.enqueues;
+    return 0;
+}
+
+void
+DmrEngine::onIdleCycle(Cycle now)
+{
+    if (!cfg_.enabled || !cfg_.interWarp)
+        return;
+    if (pending_) {
+        func::ExecRecord pending = std::move(*pending_);
+        pending_.reset();
+        interWarpVerify(pending, now);
+        ++stats_.idleDrainVerifications;
+        return;
+    }
+    if (auto e = queue_.popOldest()) {
+        interWarpVerify(e->rec, now);
+        ++stats_.idleDrainVerifications;
+    }
+}
+
+std::uint64_t
+DmrEngine::drainAll(Cycle now)
+{
+    if (!cfg_.enabled || !cfg_.interWarp)
+        return 0;
+    std::uint64_t cycles = 0;
+    while (pending_ || !queue_.empty()) {
+        ++cycles;
+        onIdleCycle(now + cycles);
+    }
+    stats_.finalDrainCycles += cycles;
+    return cycles;
+}
+
+void
+DmrEngine::intraWarpVerify(const func::ExecRecord &rec, Cycle now)
+{
+    const unsigned w = gpu_.lanesPerCluster;
+    const unsigned n_clusters = gpu_.clustersPerWarp();
+    const LaneMask lane_active = mapping_.toLaneSpace(rec.active);
+
+    LaneMask covered_slots;
+    for (unsigned c = 0; c < n_clusters; ++c) {
+        const std::uint64_t bits = lane_active.clusterBits(c, w);
+        if (bits == 0)
+            continue;
+        std::array<unsigned, Rfu::kMaxWidth> verifies;
+        Rfu::pair(bits, w, verifies);
+        for (unsigned m = 0; m < w; ++m) {
+            if (verifies[m] == Rfu::kNone)
+                continue;
+            const unsigned monitored_lane = c * w + verifies[m];
+            const unsigned checker_lane = c * w + m;
+            const unsigned slot = mapping_.slotOf(monitored_lane);
+            verifySlot(rec, slot, checker_lane, true, now);
+            covered_slots.set(slot);
+            ++stats_.redundantThreadExecs[
+                static_cast<unsigned>(rec.instr.unit())];
+        }
+    }
+    const unsigned covered = covered_slots.count();
+    stats_.verifiedThreadInstrs += covered;
+    stats_.intraVerifiedThreads += covered;
+}
+
+void
+DmrEngine::interWarpVerify(const func::ExecRecord &rec, Cycle now)
+{
+    const unsigned w = gpu_.lanesPerCluster;
+    unsigned verified = 0;
+    for (unsigned slot = 0; slot < gpu_.warpSize; ++slot) {
+        if (!rec.active.test(slot))
+            continue;
+        const unsigned primary_lane = mapping_.laneOf(slot);
+        const unsigned checker_lane =
+            cfg_.laneShuffle ? shuffledLane(primary_lane, w)
+                             : primary_lane;
+        verifySlot(rec, slot, checker_lane, false, now);
+        ++verified;
+        ++stats_.redundantThreadExecs[
+            static_cast<unsigned>(rec.instr.unit())];
+    }
+    stats_.verifiedThreadInstrs += verified;
+    stats_.interVerifiedThreads += verified;
+}
+
+void
+DmrEngine::verifySlot(const func::ExecRecord &rec, unsigned slot,
+                      unsigned checker_lane, bool intra, Cycle now)
+{
+    const std::array<RegValue, 3> ops = {rec.operands[0][slot],
+                                         rec.operands[1][slot],
+                                         rec.operands[2][slot]};
+    const RegValue pure =
+        func::Executor::computeLane(rec.instr, ops, rec.laneInfo[slot]);
+
+    func::FaultCtx ctx;
+    ctx.sm = exec_.smId();
+    ctx.lane = checker_lane;
+    ctx.unit = rec.instr.unit();
+    ctx.cycle = now;
+    ctx.isAddress = rec.instr.isMem();
+    const RegValue got = exec_.hook().apply(pure, ctx);
+
+    ++stats_.comparisons;
+    if (got != rec.results[slot]) {
+        ++stats_.errorsDetected;
+
+        ErrorVerdict verdict = ErrorVerdict::None;
+        if (cfg_.arbitrateErrors) {
+            // Third execution on yet another lane; majority vote
+            // classifies which side is suspect (extension — the
+            // paper defers handling to the scheduler).
+            const unsigned third_lane =
+                shuffledLane(checker_lane, gpu_.lanesPerCluster);
+            func::FaultCtx tctx = ctx;
+            tctx.lane = third_lane;
+            const RegValue third = exec_.hook().apply(pure, tctx);
+            ++stats_.arbitrations;
+            if (third == got) {
+                verdict = ErrorVerdict::PrimaryBad;
+                ++stats_.arbPrimaryBad;
+            } else if (third == rec.results[slot]) {
+                verdict = ErrorVerdict::CheckerBad;
+                ++stats_.arbCheckerBad;
+            } else {
+                verdict = ErrorVerdict::Inconclusive;
+                ++stats_.arbInconclusive;
+            }
+        }
+
+        if (stats_.errorLog.size() < DmrStats::kMaxErrorLog) {
+            ErrorEvent ev;
+            ev.cycle = now;
+            ev.sm = exec_.smId();
+            ev.warpId = rec.warpId;
+            ev.pc = rec.pc;
+            ev.slot = slot;
+            ev.primaryLane = mapping_.laneOf(slot);
+            ev.checkerLane = checker_lane;
+            ev.primary = rec.results[slot];
+            ev.checker = got;
+            ev.intraWarp = intra;
+            ev.verdict = verdict;
+            stats_.errorLog.push_back(ev);
+        }
+    }
+}
+
+} // namespace dmr
+} // namespace warped

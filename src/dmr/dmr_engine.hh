@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The per-SM Warped-DMR engine: decides, for every issued warp
+ * instruction, whether it is verified spatially (intra-warp DMR via
+ * the RFU) or temporally (inter-warp DMR via co-execution / ReplayQ,
+ * Algorithm 1), performs the redundant executions through the fault
+ * hook, and runs the comparator.
+ */
+
+#ifndef WARPED_DMR_DMR_ENGINE_HH
+#define WARPED_DMR_DMR_ENGINE_HH
+
+#include <optional>
+
+#include "arch/gpu_config.hh"
+#include "common/rng.hh"
+#include "dmr/dmr_config.hh"
+#include "dmr/dmr_stats.hh"
+#include "dmr/replay_queue.hh"
+#include "dmr/thread_mapping.hh"
+#include "func/executor.hh"
+
+namespace warped {
+namespace dmr {
+
+class DmrEngine
+{
+  public:
+    /**
+     * @param gpu   machine geometry (cluster width, warp size)
+     * @param cfg   Warped-DMR knobs
+     * @param exec  the SM's executor (fault hook + SM id)
+     * @param seed  RNG seed for the ReplayQ random pick
+     */
+    DmrEngine(const arch::GpuConfig &gpu, const DmrConfig &cfg,
+              func::Executor &exec, std::uint64_t seed);
+
+    /**
+     * Pre-issue check: true when @p next of warp @p warp_id reads a
+     * register produced by an unverified ReplayQ entry. The engine
+     * consumes the stall cycle to verify one blocking producer
+     * (paper: "executes the verification of the source instruction
+     * before allowing the consumer instruction to execute").
+     */
+    bool rawHazardStall(unsigned warp_id, const isa::Instruction &next,
+                        Cycle now);
+
+    /**
+     * Account and protect an issued instruction. Must be called for
+     * every issue, in order. @return extra pipeline stall cycles
+     * (1 when the ReplayQ was full with no co-execution partner).
+     */
+    unsigned onIssue(const func::ExecRecord &rec, Cycle now);
+
+    /** No instruction issued this cycle: drain one verification. */
+    void onIdleCycle(Cycle now);
+
+    /**
+     * End of kernel: verify the pending instruction and every queued
+     * entry, one per cycle. @return cycles consumed.
+     */
+    std::uint64_t drainAll(Cycle now);
+
+    const DmrStats &stats() const { return stats_; }
+    const ThreadCoreMapping &mapping() const { return mapping_; }
+    const DmrConfig &config() const { return cfg_; }
+    unsigned replayQueueSize() const { return queue_.size(); }
+    bool hasPending() const { return pending_.has_value(); }
+
+  private:
+    /** Intra-warp DMR: RFU pairing + comparison; updates coverage. */
+    void intraWarpVerify(const func::ExecRecord &rec, Cycle now);
+
+    /** Inter-warp DMR: re-execute all lanes (shuffled) and compare. */
+    void interWarpVerify(const func::ExecRecord &rec, Cycle now);
+
+    /** Re-run one thread slot on @p checker_lane and compare. */
+    void verifySlot(const func::ExecRecord &rec, unsigned slot,
+                    unsigned checker_lane, bool intra, Cycle now);
+
+    /** Algorithm 1, applied to the pending instruction when the next
+     *  instruction issues. @return stall cycles (0 or 1). */
+    unsigned replayCheck(isa::UnitType next_type, Cycle now);
+
+    static std::uint64_t readMaskOf(const isa::Instruction &in);
+
+    const arch::GpuConfig &gpu_;
+    DmrConfig cfg_;
+    func::Executor &exec_;
+    ThreadCoreMapping mapping_;
+    ReplayQueue queue_;
+    Rng rng_;
+    DmrStats stats_;
+
+    /** The fully-utilized instruction currently in the RF stage,
+     *  awaiting the Replay Checker's decision. */
+    std::optional<func::ExecRecord> pending_;
+
+    /** Unit type used by a verification this cycle (-1 = none):
+     *  the opportunistic drain must not double-book an issue slot. */
+    int verifiedUnitThisCycle_ = -1;
+};
+
+} // namespace dmr
+} // namespace warped
+
+#endif // WARPED_DMR_DMR_ENGINE_HH

@@ -1,0 +1,97 @@
+#include "dmr/replay_queue.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace dmr {
+
+void
+ReplayQueue::push(func::ExecRecord rec, Cycle now)
+{
+    if (full())
+        warped_panic("ReplayQueue overflow (capacity ", capacity_, ")");
+    entries_.push_back({std::move(rec), now});
+}
+
+std::optional<ReplayQueue::Entry>
+ReplayQueue::popDifferentType(isa::UnitType busy, Rng &rng,
+                              DequeuePolicy policy)
+{
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].rec.instr.unit() != busy)
+            candidates.push_back(i);
+    }
+    if (candidates.empty())
+        return std::nullopt;
+    const std::size_t pick =
+        (policy == DequeuePolicy::OldestFirst || candidates.size() == 1)
+            ? candidates[0]
+            : candidates[rng.nextBelow(candidates.size())];
+    Entry e = std::move(entries_[pick]);
+    entries_.erase(entries_.begin() + pick);
+    return e;
+}
+
+std::optional<ReplayQueue::Entry>
+ReplayQueue::popOldest()
+{
+    if (entries_.empty())
+        return std::nullopt;
+    Entry e = std::move(entries_.front());
+    entries_.pop_front();
+    return e;
+}
+
+std::optional<ReplayQueue::Entry>
+ReplayQueue::popOldestOfType(isa::UnitType t)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].rec.instr.unit() == t) {
+            Entry e = std::move(entries_[i]);
+            entries_.erase(entries_.begin() + i);
+            return e;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+ReplayQueue::writesInMask(const func::ExecRecord &rec,
+                          std::uint64_t reg_read_mask)
+{
+    if (!rec.instr.hasDst())
+        return false;
+    return (reg_read_mask >> rec.instr.dst.idx) & 1ULL;
+}
+
+bool
+ReplayQueue::hasRawHazard(unsigned warp_id,
+                          std::uint64_t reg_read_mask) const
+{
+    for (const auto &e : entries_) {
+        if (e.rec.warpId == warp_id && writesInMask(e.rec, reg_read_mask))
+            return true;
+    }
+    return false;
+}
+
+std::optional<ReplayQueue::Entry>
+ReplayQueue::popRawHazard(unsigned warp_id, std::uint64_t reg_read_mask)
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const auto &e = entries_[i];
+        if (e.rec.warpId == warp_id &&
+            writesInMask(e.rec, reg_read_mask)) {
+            Entry out = std::move(entries_[i]);
+            entries_.erase(entries_.begin() + i);
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace dmr
+} // namespace warped

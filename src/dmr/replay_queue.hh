@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ReplayQ (paper §4.3): the buffer of unverified fully-utilized warp
+ * instructions awaiting temporal DMR.
+ *
+ * Each entry keeps the opcode, the per-lane source operand values and
+ * the per-lane original execution results (§4.3.1: 32 lanes x 3
+ * operands x 4B + 32 x 4B results + opcode = 514~516 B/entry, ~5 KB
+ * for 10 entries).
+ */
+
+#ifndef WARPED_DMR_REPLAY_QUEUE_HH
+#define WARPED_DMR_REPLAY_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "common/rng.hh"
+#include "dmr/dmr_config.hh"
+#include "func/executor.hh"
+
+namespace warped {
+namespace dmr {
+
+class ReplayQueue
+{
+  public:
+    struct Entry
+    {
+        func::ExecRecord rec;
+        Cycle enqueued = 0;
+    };
+
+    explicit ReplayQueue(unsigned capacity) : capacity_(capacity) {}
+
+    unsigned capacity() const { return capacity_; }
+    unsigned size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** Enqueue an unverified instruction; caller checks !full(). */
+    void push(func::ExecRecord rec, Cycle now);
+
+    /**
+     * Dequeue an entry whose unit type differs from @p busy — the
+     * co-execution candidate of Algorithm 1. When several qualify the
+     * pick follows @p policy: at random (paper §4.3) via @p rng, or
+     * oldest-first (FIFO ablation).
+     */
+    std::optional<Entry>
+    popDifferentType(isa::UnitType busy, Rng &rng,
+                     DequeuePolicy policy = DequeuePolicy::Random);
+
+    /** Dequeue the oldest entry (idle-cycle and end-of-kernel drain). */
+    std::optional<Entry> popOldest();
+
+    /**
+     * Dequeue the oldest entry of unit type @p t — the opportunistic
+     * per-unit drain: a queued instruction is re-executed as soon as
+     * its execution unit has an idle issue slot (paper §4.3).
+     */
+    std::optional<Entry> popOldestOfType(isa::UnitType t);
+
+    /**
+     * True when some queued entry of warp @p warp_id writes a register
+     * in @p regs (bitset over register indices) — the RAW-on-
+     * unverified-result hazard that must stall the consumer.
+     */
+    bool hasRawHazard(unsigned warp_id, std::uint64_t reg_read_mask) const;
+
+    /**
+     * Dequeue the oldest entry of @p warp_id writing one of @p regs
+     * (hazard resolution: verify the producer first).
+     */
+    std::optional<Entry> popRawHazard(unsigned warp_id,
+                                      std::uint64_t reg_read_mask);
+
+    /** Paper §4.3.1: bytes one entry occupies in hardware. */
+    static constexpr std::size_t
+    entryBytes(unsigned warp_size)
+    {
+        return std::size_t{warp_size} * 3 * 4 // source operands
+             + std::size_t{warp_size} * 4     // original results
+             + 2;                             // opcode
+    }
+
+  private:
+    static bool writesInMask(const func::ExecRecord &rec,
+                             std::uint64_t reg_read_mask);
+
+    unsigned capacity_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace dmr
+} // namespace warped
+
+#endif // WARPED_DMR_REPLAY_QUEUE_HH

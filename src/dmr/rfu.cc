@@ -1,0 +1,57 @@
+#include "dmr/rfu.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace dmr {
+
+std::uint64_t
+Rfu::pair(std::uint64_t active_bits, unsigned width,
+          std::array<unsigned, kMaxWidth> &verifies)
+{
+    if (width == 0 || width > kMaxWidth || !std::has_single_bit(width))
+        warped_panic("RFU cluster width must be a power of two <= ",
+                     kMaxWidth, ", got ", width);
+
+    verifies.fill(kNone);
+    std::uint64_t covered = 0;
+    for (unsigned m = 0; m < width; ++m) {
+        if ((active_bits >> m) & 1)
+            continue; // active lane: MUX m forwards its own operands
+        // Idle lane: scan Table-1 priorities for the first active lane.
+        for (unsigned k = 1; k < width; ++k) {
+            const unsigned lane = priority(m, k);
+            if ((active_bits >> lane) & 1) {
+                verifies[m] = lane;
+                covered |= (1ULL << lane);
+                break;
+            }
+        }
+    }
+    return covered;
+}
+
+std::uint64_t
+Rfu::covered(std::uint64_t active_bits, unsigned width)
+{
+    std::array<unsigned, kMaxWidth> v;
+    return pair(active_bits, width, v);
+}
+
+double
+Rfu::theoreticalCoverage(std::uint64_t active_bits, unsigned width)
+{
+    const unsigned active =
+        std::popcount(active_bits & ((1ULL << width) - 1));
+    const unsigned idle = width - active;
+    if (active == 0)
+        return 1.0;
+    if (idle >= active)
+        return 1.0;
+    return double(idle) / double(active);
+}
+
+} // namespace dmr
+} // namespace warped

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Register Forwarding Unit (paper §4.1, Fig 6, Table 1).
+ *
+ * Each SIMT cluster of W lanes has W W-input MUXes. MUX m serves lane
+ * m: if lane m is active it forwards lane m's own operands; if lane m
+ * is idle, the MUX scans the other lanes in the priority order
+ * m^1, m^2, ..., m^(W-1) and forwards the first *active* lane's
+ * operands, turning lane m into that lane's spatial-DMR checker.
+ *
+ * The paper's Table 1 priority matrix for W = 4 is exactly
+ * priority(m, k) = m XOR k — the same rule generalizes to the 8-lane
+ * cluster variant evaluated in Fig 9a.
+ */
+
+#ifndef WARPED_DMR_RFU_HH
+#define WARPED_DMR_RFU_HH
+
+#include <array>
+#include <cstdint>
+
+namespace warped {
+namespace dmr {
+
+class Rfu
+{
+  public:
+    /** "This MUX forwards nothing" marker. */
+    static constexpr unsigned kNone = ~0u;
+
+    /** Maximum supported cluster width. */
+    static constexpr unsigned kMaxWidth = 8;
+
+    /**
+     * The Table-1 priority entry: the lane MUX @p m considers at
+     * priority level @p k (0 = highest = its own lane).
+     */
+    static constexpr unsigned
+    priority(unsigned m, unsigned k)
+    {
+        return m ^ k;
+    }
+
+    /**
+     * Resolve the MUX network for one cluster.
+     *
+     * @param active_bits  low @p width bits: lane occupancy
+     * @param width        lanes per cluster (power of two, <= 8)
+     * @param verifies     out: verifies[m] = the active lane whose
+     *                     execution idle lane m redundantly runs, or
+     *                     kNone when lane m is active / no active lane
+     *                     exists
+     * @return bit mask (cluster-local) of active lanes that got at
+     *         least one checker — the lanes intra-warp DMR covers.
+     */
+    static std::uint64_t pair(std::uint64_t active_bits, unsigned width,
+                              std::array<unsigned, kMaxWidth> &verifies);
+
+    /** Covered-active mask only (convenience for coverage stats). */
+    static std::uint64_t covered(std::uint64_t active_bits,
+                                 unsigned width);
+
+    /**
+     * Theoretical intra-warp coverage of a cluster occupancy per
+     * §3.3: 1.0 when #active <= #idle, else #idle / #active.
+     * (The XOR MUX network achieves this bound; a property test
+     * asserts pair() == this formula for every occupancy.)
+     */
+    static double theoreticalCoverage(std::uint64_t active_bits,
+                                      unsigned width);
+};
+
+} // namespace dmr
+} // namespace warped
+
+#endif // WARPED_DMR_RFU_HH

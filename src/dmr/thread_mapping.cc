@@ -1,0 +1,47 @@
+#include "dmr/thread_mapping.hh"
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace dmr {
+
+ThreadCoreMapping::ThreadCoreMapping(MappingPolicy policy,
+                                     unsigned warp_size,
+                                     unsigned cluster_width)
+    : policy_(policy), warpSize_(warp_size), clusterWidth_(cluster_width)
+{
+    if (warp_size == 0 || warp_size > kMaxWarp ||
+        warp_size % cluster_width != 0) {
+        warped_panic("bad mapping geometry: warp ", warp_size,
+                     ", cluster ", cluster_width);
+    }
+    const unsigned n_clusters = warp_size / cluster_width;
+    for (unsigned slot = 0; slot < warp_size; ++slot) {
+        unsigned lane;
+        if (policy == MappingPolicy::Linear) {
+            lane = slot;
+        } else {
+            // Round-robin across clusters: thread 0 -> cluster 0
+            // slot 0, thread 1 -> cluster 1 slot 0, ...
+            const unsigned cluster = slot % n_clusters;
+            const unsigned pos = slot / n_clusters;
+            lane = cluster * cluster_width + pos;
+        }
+        laneOf_[slot] = lane;
+        slotOf_[lane] = slot;
+    }
+}
+
+LaneMask
+ThreadCoreMapping::toLaneSpace(LaneMask slot_mask) const
+{
+    LaneMask out;
+    for (unsigned slot = 0; slot < warpSize_; ++slot) {
+        if (slot_mask.test(slot))
+            out.set(laneOf_[slot]);
+    }
+    return out;
+}
+
+} // namespace dmr
+} // namespace warped

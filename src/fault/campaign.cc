@@ -1,0 +1,75 @@
+#include "fault/campaign.hh"
+
+#include "common/rng.hh"
+
+namespace warped {
+namespace fault {
+
+CampaignResult
+runCampaign(const std::function<std::unique_ptr<workloads::Workload>()>
+                &factory,
+            const arch::GpuConfig &gpu_cfg,
+            const dmr::DmrConfig &dmr_cfg, const CampaignConfig &cfg)
+{
+    // Fault-free dry run: learn the cycle span for placing transients.
+    Cycle span;
+    {
+        auto w = factory();
+        gpu::Gpu g(gpu_cfg, dmr_cfg);
+        span = workloads::run(*w, g).cycles;
+    }
+
+    Rng rng(cfg.seed);
+    CampaignResult res;
+    for (unsigned i = 0; i < cfg.runs; ++i) {
+        FaultSpec spec;
+        spec.kind = cfg.kind;
+        spec.sm = static_cast<unsigned>(rng.nextBelow(gpu_cfg.numSms));
+        spec.lane =
+            static_cast<unsigned>(rng.nextBelow(gpu_cfg.warpSize));
+        spec.bit = static_cast<unsigned>(rng.nextBelow(32));
+        spec.unit = cfg.unit;
+        if (cfg.kind == FaultKind::TransientBitFlip) {
+            const auto lo = static_cast<Cycle>(cfg.windowLo * span);
+            const auto hi = static_cast<Cycle>(cfg.windowHi * span);
+            spec.cycleBegin =
+                lo + rng.nextBelow(hi > lo ? hi - lo : 1);
+            spec.cycleEnd = spec.cycleBegin; // single-cycle pulse
+        }
+
+        FaultInjector injector;
+        injector.add(spec);
+
+        auto w = factory();
+        gpu::Gpu g(gpu_cfg, dmr_cfg, /*seed=*/1, &injector);
+        w->setup(g);
+        // Watchdog: a fault can corrupt a loop counter and hang the
+        // kernel; give it a generous multiple of the fault-free span.
+        const Cycle watchdog = span * 20 + 100000;
+        const auto r = g.launch(w->program(), w->gridBlocks(),
+                                w->blockThreads(), watchdog);
+
+        ++res.runs;
+        if (injector.activations() == 0) {
+            ++res.notActivated;
+        } else if (r.dmr.errorsDetected > 0) {
+            ++res.detected;
+            if (!r.dmr.errorLog.empty()) {
+                const Cycle det = r.dmr.errorLog.front().cycle;
+                const Cycle act = injector.firstActivationCycle();
+                res.detectionLatencySum += det >= act ? det - act : 0;
+                res.kernelLengthSum += span;
+            }
+        } else if (r.hung) {
+            ++res.hangs;
+        } else if (!w->verify(g)) {
+            ++res.sdc;
+        } else {
+            ++res.benign;
+        }
+    }
+    return res;
+}
+
+} // namespace fault
+} // namespace warped

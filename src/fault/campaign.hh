@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fault-injection campaign: measures Warped-DMR's *observed*
+ * detection rate, the experimental counterpart to the analytic
+ * coverage number of Fig 9a. Each run injects one random fault,
+ * executes a workload, and classifies the outcome.
+ */
+
+#ifndef WARPED_FAULT_CAMPAIGN_HH
+#define WARPED_FAULT_CAMPAIGN_HH
+
+#include <functional>
+#include <string>
+
+#include "arch/gpu_config.hh"
+#include "dmr/dmr_config.hh"
+#include "fault/fault_injector.hh"
+#include "workloads/workload.hh"
+
+namespace warped {
+namespace fault {
+
+enum class Outcome
+{
+    Detected,      ///< the DMR comparator fired
+    Hang,          ///< the fault destroyed control flow (watchdog DUE)
+    Sdc,           ///< silent data corruption: wrong output, no alarm
+    Benign,        ///< fault activated but the output is still correct
+    NotActivated,  ///< the faulty lane/cycle never produced a value
+};
+
+struct CampaignResult
+{
+    unsigned runs = 0;
+    unsigned detected = 0;
+    unsigned hangs = 0;  ///< watchdog-detectable, not silent
+    unsigned sdc = 0;
+    unsigned benign = 0;
+    unsigned notActivated = 0;
+
+    /** Sum over detected runs of (first comparator mismatch cycle -
+     *  first fault activation cycle); with `detected` gives the mean
+     *  detection latency — the "detect early" advantage over
+     *  kernel-granularity software schemes (paper Sec 1). */
+    std::uint64_t detectionLatencySum = 0;
+    /** Sum of fault-free kernel lengths of the detected runs: what a
+     *  compare-at-the-end software scheme's latency would be. */
+    std::uint64_t kernelLengthSum = 0;
+
+    double
+    meanDetectionLatency() const
+    {
+        return detected ? double(detectionLatencySum) / detected : 0.0;
+    }
+
+    /** Comparator-detection rate among activated, terminating runs. */
+    double
+    detectionRate() const
+    {
+        const unsigned activated = detected + sdc + benign;
+        return activated ? double(detected) / double(activated) : 1.0;
+    }
+
+    /** SDC rate among activated faults. */
+    double
+    sdcRate() const
+    {
+        const unsigned activated = detected + sdc + benign + hangs;
+        return activated ? double(sdc) / double(activated) : 0.0;
+    }
+};
+
+struct CampaignConfig
+{
+    unsigned runs = 50;
+    FaultKind kind = FaultKind::TransientBitFlip;
+    /** Restrict faults to one execution-unit type (e.g. SFU-only for
+     *  pure-dataflow faults that never touch control flow). */
+    std::optional<isa::UnitType> unit;
+    std::uint64_t seed = 42;
+    /** Transient faults are placed uniformly inside the fault-free
+     *  run's cycle span scaled by this fraction pair. */
+    double windowLo = 0.05, windowHi = 0.85;
+};
+
+/**
+ * Run the campaign for one workload.
+ *
+ * @param factory creates a fresh workload instance per run
+ * @param gpu_cfg machine description
+ * @param dmr_cfg protection configuration under test
+ * @param cfg     campaign parameters
+ */
+CampaignResult
+runCampaign(const std::function<std::unique_ptr<workloads::Workload>()>
+                &factory,
+            const arch::GpuConfig &gpu_cfg,
+            const dmr::DmrConfig &dmr_cfg, const CampaignConfig &cfg);
+
+} // namespace fault
+} // namespace warped
+
+#endif // WARPED_FAULT_CAMPAIGN_HH

@@ -1,0 +1,279 @@
+#include "func/executor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace func {
+
+namespace {
+
+NullFaultHook nullHook;
+
+std::int32_t
+sdiv(std::int32_t a, std::int32_t b)
+{
+    if (b == 0)
+        return 0; // hardware-defined: x/0 -> 0
+    if (a == INT32_MIN && b == -1)
+        return INT32_MIN;
+    return a / b;
+}
+
+std::int32_t
+smod(std::int32_t a, std::int32_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == INT32_MIN && b == -1)
+        return 0;
+    return a % b;
+}
+
+RegValue
+boolVal(bool b)
+{
+    return b ? 1u : 0u;
+}
+
+} // namespace
+
+NullFaultHook &
+NullFaultHook::instance()
+{
+    return nullHook;
+}
+
+Executor::Executor(const arch::GpuConfig &cfg, unsigned sm_id,
+                   mem::Memory &global, FaultHook &hook)
+    : cfg_(cfg), smId_(sm_id), global_(global), hook_(&hook)
+{
+}
+
+RegValue
+Executor::computeLane(const isa::Instruction &in,
+                      const std::array<RegValue, 3> &ops,
+                      const LaneInfo &li)
+{
+    using isa::Opcode;
+    const RegValue a = ops[0], b = ops[1], c = ops[2];
+    const auto sa = asSigned(a), sb = asSigned(b);
+    const float fa = asFloat(a), fb = asFloat(b), fc = asFloat(c);
+
+    switch (in.op) {
+      case Opcode::IADD: return a + b;
+      case Opcode::ISUB: return a - b;
+      case Opcode::IMUL: return a * b;
+      case Opcode::IMAD: return a * b + c;
+      case Opcode::IDIV: return static_cast<RegValue>(sdiv(sa, sb));
+      case Opcode::IMOD: return static_cast<RegValue>(smod(sa, sb));
+      case Opcode::IMIN: return sa < sb ? a : b;
+      case Opcode::IMAX: return sa > sb ? a : b;
+      case Opcode::AND:  return a & b;
+      case Opcode::OR:   return a | b;
+      case Opcode::XOR:  return a ^ b;
+      case Opcode::NOT:  return ~a;
+      case Opcode::SHL:  return a << (b & 31u);
+      case Opcode::SHR:  return a >> (b & 31u);
+      case Opcode::SRA:  return static_cast<RegValue>(sa >> (b & 31u));
+      case Opcode::SHLI: return a << (static_cast<RegValue>(in.imm) & 31u);
+      case Opcode::SHRI: return a >> (static_cast<RegValue>(in.imm) & 31u);
+      case Opcode::ANDI: return a & static_cast<RegValue>(in.imm);
+      case Opcode::ISETP_EQ: return boolVal(sa == sb);
+      case Opcode::ISETP_NE: return boolVal(sa != sb);
+      case Opcode::ISETP_LT: return boolVal(sa < sb);
+      case Opcode::ISETP_LE: return boolVal(sa <= sb);
+      case Opcode::ISETP_GT: return boolVal(sa > sb);
+      case Opcode::ISETP_GE: return boolVal(sa >= sb);
+      case Opcode::SEL:  return a != 0 ? b : c;
+      case Opcode::MOV:  return a;
+      case Opcode::MOVI: return static_cast<RegValue>(in.imm);
+      case Opcode::IADDI:
+        return a + static_cast<RegValue>(in.imm);
+      case Opcode::S2R:
+        switch (static_cast<isa::SpecialReg>(in.imm)) {
+          case isa::SpecialReg::Tid:    return li.tid;
+          case isa::SpecialReg::Ctaid:  return li.ctaid;
+          case isa::SpecialReg::Ntid:   return li.ntid;
+          case isa::SpecialReg::Nctaid: return li.nctaid;
+          case isa::SpecialReg::LaneId: return li.laneId;
+          case isa::SpecialReg::WarpId: return li.warpId;
+          case isa::SpecialReg::Gtid:
+            return li.ctaid * li.ntid + li.tid;
+        }
+        warped_panic("bad S2R selector ", in.imm);
+      case Opcode::SHFL_XOR:
+      case Opcode::SHFL_DOWN:
+        // The executor records the *gathered* source value as
+        // operand 0 (see step()), so the compute itself is identity —
+        // which also makes DMR re-execution exact from the record.
+        return a;
+      case Opcode::I2F:  return asReg(static_cast<float>(sa));
+      case Opcode::F2I:
+        return static_cast<RegValue>(static_cast<std::int32_t>(fa));
+      case Opcode::FADD: return asReg(fa + fb);
+      case Opcode::FSUB: return asReg(fa - fb);
+      case Opcode::FMUL: return asReg(fa * fb);
+      case Opcode::FFMA: return asReg(std::fma(fa, fb, fc));
+      case Opcode::FMIN: return asReg(std::fmin(fa, fb));
+      case Opcode::FMAX: return asReg(std::fmax(fa, fb));
+      case Opcode::FNEG: return asReg(-fa);
+      case Opcode::FSETP_EQ: return boolVal(fa == fb);
+      case Opcode::FSETP_NE: return boolVal(fa != fb);
+      case Opcode::FSETP_LT: return boolVal(fa < fb);
+      case Opcode::FSETP_LE: return boolVal(fa <= fb);
+      case Opcode::FSETP_GT: return boolVal(fa > fb);
+      case Opcode::FSETP_GE: return boolVal(fa >= fb);
+      case Opcode::SIN:   return asReg(std::sin(fa));
+      case Opcode::COS:   return asReg(std::cos(fa));
+      case Opcode::SQRT:  return asReg(std::sqrt(fa));
+      case Opcode::RSQRT: return asReg(1.0f / std::sqrt(fa));
+      case Opcode::EX2:   return asReg(std::exp2(fa));
+      case Opcode::LG2:   return asReg(std::log2(fa));
+      case Opcode::RCP:   return asReg(1.0f / fa);
+      case Opcode::LDG:
+      case Opcode::STG:
+      case Opcode::LDS:
+      case Opcode::STS:
+        // Effective-address computation: the part of a memory
+        // instruction Warped-DMR verifies (data is ECC-protected).
+        return a + static_cast<RegValue>(in.imm);
+      case Opcode::BRA:
+      case Opcode::BRZ:
+      case Opcode::BRNZ:
+      case Opcode::BAR:
+      case Opcode::EXIT:
+      case Opcode::NOP:
+        return 0;
+    }
+    warped_panic("unhandled opcode in computeLane");
+}
+
+ExecRecord
+Executor::step(arch::WarpContext &warp, const isa::Program &prog,
+               mem::Memory &shared, const unsigned *lane_of, Cycle now)
+{
+    using isa::Opcode;
+
+    ExecRecord rec;
+    const Pc pc = warp.stack().pc();
+    const isa::Instruction &in = prog.at(pc);
+    const LaneMask active = warp.stack().activeMask();
+    const unsigned ws = warp.warpSize();
+
+    rec.instr = in;
+    rec.pc = pc;
+    rec.active = active;
+
+    if (active.none())
+        warped_panic("executing with empty active mask at pc ", pc);
+
+    // Gather operands and compute per-thread results.
+    for (unsigned slot = 0; slot < ws; ++slot) {
+        if (!active.test(slot))
+            continue;
+        std::array<RegValue, 3> ops{0, 0, 0};
+        for (unsigned s = 0; s < in.numSrcs(); ++s) {
+            ops[s] = warp.reg(slot, in.src[s].idx);
+            rec.operands[s][slot] = ops[s];
+        }
+        if (isa::opcodeIsShuffle(in.op)) {
+            // Cross-lane gather: resolve the source slot now and
+            // record its value as the operand. Inactive or
+            // out-of-range sources fall back to the lane's own value
+            // (CUDA shuffle semantics for missing lanes).
+            unsigned src_slot = slot;
+            if (in.op == isa::Opcode::SHFL_XOR) {
+                src_slot = slot ^ static_cast<unsigned>(in.imm);
+            } else {
+                src_slot = slot + static_cast<unsigned>(in.imm);
+            }
+            if (src_slot < ws && active.test(src_slot))
+                ops[0] = warp.reg(src_slot, in.src[0].idx);
+            rec.operands[0][slot] = ops[0];
+        }
+        LaneInfo li;
+        li.tid = static_cast<std::int32_t>(warp.tid(slot));
+        li.ctaid = static_cast<std::int32_t>(warp.blockId());
+        li.ntid = static_cast<std::int32_t>(warp.blockDim());
+        li.nctaid = static_cast<std::int32_t>(warp.gridDim());
+        li.laneId = static_cast<std::int32_t>(slot);
+        li.warpId = static_cast<std::int32_t>(warp.warpInBlock());
+        rec.laneInfo[slot] = li;
+
+        RegValue pure = computeLane(in, ops, li);
+
+        if (in.hasDst() || in.isMem()) {
+            FaultCtx ctx;
+            ctx.sm = smId_;
+            ctx.lane = lane_of ? lane_of[slot] : slot;
+            ctx.unit = in.unit();
+            ctx.cycle = now;
+            ctx.isAddress = in.isMem();
+            pure = hook_->apply(pure, ctx);
+        }
+        rec.results[slot] = pure;
+    }
+
+    // Perform architectural effects.
+    switch (in.op) {
+      case Opcode::BRA:
+      case Opcode::BRZ:
+      case Opcode::BRNZ: {
+        rec.wasBranch = true;
+        LaneMask taken;
+        for (unsigned slot = 0; slot < ws; ++slot) {
+            if (!active.test(slot))
+                continue;
+            bool t = true;
+            if (in.op == Opcode::BRZ)
+                t = rec.operands[0][slot] == 0;
+            else if (in.op == Opcode::BRNZ)
+                t = rec.operands[0][slot] != 0;
+            if (t)
+                taken.set(slot);
+        }
+        warp.stack().branch(taken, in.target, pc + 1, in.reconv);
+        return rec;
+      }
+      case Opcode::BAR:
+        rec.wasBarrier = true;
+        warp.setAtBarrier(true);
+        warp.stack().advanceTo(pc + 1);
+        return rec;
+      case Opcode::EXIT:
+        rec.wasExit = true;
+        warp.markExited(active);
+        return rec;
+      default:
+        break;
+    }
+
+    // Memory accesses + register writes.
+    for (unsigned slot = 0; slot < ws; ++slot) {
+        if (!active.test(slot))
+            continue;
+        if (in.isMem()) {
+            // A corrupted address is wrapped into the segment so the
+            // simulation survives; the DMR comparator still sees the
+            // raw mismatch.
+            mem::Memory &m = opcodeIsSharedMem(in.op) ? shared : global_;
+            Addr addr = rec.results[slot];
+            addr = (addr % m.size()) & ~Addr{3};
+            if (in.isLoad()) {
+                warp.setReg(slot, in.dst.idx, m.readWord(addr));
+            } else {
+                m.writeWord(addr, rec.operands[1][slot]);
+            }
+        } else if (in.hasDst()) {
+            warp.setReg(slot, in.dst.idx, rec.results[slot]);
+        }
+    }
+
+    warp.stack().advanceTo(pc + 1);
+    return rec;
+}
+
+} // namespace func
+} // namespace warped

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Functional executor: executes one warp instruction (execute-at-
+ * schedule), updating architectural state, and records everything the
+ * DMR machinery later needs to re-execute and compare (per-lane
+ * operands, per-lane results/addresses, the lane info).
+ */
+
+#ifndef WARPED_FUNC_EXECUTOR_HH
+#define WARPED_FUNC_EXECUTOR_HH
+
+#include <array>
+
+#include "arch/gpu_config.hh"
+#include "arch/warp_context.hh"
+#include "common/lane_mask.hh"
+#include "func/fault_hook.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+
+namespace warped {
+namespace func {
+
+/** Per-thread context needed to evaluate S2R. */
+struct LaneInfo
+{
+    std::int32_t tid = 0;
+    std::int32_t ctaid = 0;
+    std::int32_t ntid = 0;
+    std::int32_t nctaid = 0;
+    std::int32_t laneId = 0;
+    std::int32_t warpId = 0;
+};
+
+/** Maximum warp width the recording arrays support. */
+constexpr unsigned kMaxWarp = 64;
+
+/**
+ * Everything observable about one executed warp instruction.
+ * This is the payload that flows down the timing pipeline and into
+ * the DMR engine.
+ */
+struct ExecRecord
+{
+    isa::Instruction instr;
+    Pc pc = 0;
+    unsigned warpId = 0;      ///< warp slot within the SM
+    LaneMask active;          ///< thread-slot active mask
+    bool wasBranch = false;
+    bool wasBarrier = false;
+    bool wasExit = false;
+
+    /** Per-thread-slot source operand values (index [src][slot]). */
+    std::array<std::array<RegValue, kMaxWarp>, 3> operands{};
+    /** Per-thread-slot result: dest value, or the computed byte
+     *  address for memory instructions. */
+    std::array<RegValue, kMaxWarp> results{};
+    /** Per-thread-slot S2R context (verification must reproduce it). */
+    std::array<LaneInfo, kMaxWarp> laneInfo{};
+
+    /** Is there a per-lane value to verify (dst or address)? */
+    bool
+    verifiable() const
+    {
+        return instr.hasDst() || instr.isMem();
+    }
+};
+
+/**
+ * Executes instructions for the warps of one SM.
+ */
+class Executor
+{
+  public:
+    /**
+     * @param cfg     machine description (latencies unused here)
+     * @param sm_id   SM index, forwarded to the fault hook
+     * @param global  the GPU's global memory
+     * @param hook    execution-unit fault boundary
+     */
+    Executor(const arch::GpuConfig &cfg, unsigned sm_id,
+             mem::Memory &global, FaultHook &hook);
+
+    /**
+     * Pure per-lane computation: what the instruction produces for one
+     * thread given operand values. For memory instructions this is
+     * the effective byte address. Has no side effects; used by both
+     * primary execution and DMR re-execution.
+     */
+    static RegValue computeLane(const isa::Instruction &in,
+                                const std::array<RegValue, 3> &ops,
+                                const LaneInfo &li);
+
+    /**
+     * Execute the instruction at the warp's current PC for its active
+     * mask: reads operands, computes per-lane results through the
+     * fault hook (at physical lane = @p lane_of [slot]), performs
+     * memory accesses and register writes, and advances the SIMT
+     * stack.
+     *
+     * @param warp     warp functional state
+     * @param prog     kernel image
+     * @param shared   the warp's block's shared-memory segment
+     * @param lane_of  thread-slot -> physical-lane permutation
+     *                 (thread-core mapping, §4.2); identity when null
+     * @param now      current cycle (fault-hook context)
+     */
+    ExecRecord step(arch::WarpContext &warp, const isa::Program &prog,
+                    mem::Memory &shared, const unsigned *lane_of,
+                    Cycle now);
+
+    unsigned smId() const { return smId_; }
+    FaultHook &hook() { return *hook_; }
+
+  private:
+    const arch::GpuConfig &cfg_;
+    unsigned smId_;
+    mem::Memory &global_;
+    FaultHook *hook_;
+};
+
+} // namespace func
+} // namespace warped
+
+#endif // WARPED_FUNC_EXECUTOR_HH

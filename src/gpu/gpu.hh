@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The GPGPU chip: global memory, the block dispatcher, and the
+ * kernel-launch run loop over all SMs.
+ */
+
+#ifndef WARPED_GPU_GPU_HH
+#define WARPED_GPU_GPU_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "dmr/dmr_config.hh"
+#include "dmr/dmr_stats.hh"
+#include "func/fault_hook.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "sm/sm.hh"
+#include "stats/histogram.hh"
+
+namespace warped {
+namespace gpu {
+
+/** Chip-wide, per-launch aggregated results. */
+struct LaunchResult
+{
+    explicit LaunchResult(unsigned warp_size)
+        : activeHist(warp_size + 1)
+    {
+    }
+
+    std::uint64_t cycles = 0;  ///< kernel duration in core cycles
+    double timeNs = 0.0;
+    bool hung = false; ///< cycle cap hit (e.g. fault-corrupted loop)
+
+    std::uint64_t issuedWarpInstrs = 0;
+    std::uint64_t issuedThreadInstrs = 0;
+    std::uint64_t busyCycles = 0;  ///< sum over SMs of issuing cycles
+    std::uint64_t smCycles = 0;    ///< sum over SMs of ticked cycles
+    std::uint64_t stallCyclesDmr = 0;
+    std::uint64_t stallCyclesRaw = 0;
+    std::uint64_t blocksRetired = 0;
+
+    /** Fig 1 source: issue slots by active-thread count. */
+    stats::Histogram activeHist;
+
+    /** Fig 5 source: issue slots / thread executions per unit type. */
+    std::array<std::uint64_t, isa::kNumUnitTypes> unitIssues{};
+    std::array<std::uint64_t, isa::kNumUnitTypes> unitThreadExecs{};
+
+    /** Fig 8a source: weighted mean / max same-type run lengths. */
+    std::array<double, isa::kNumUnitTypes> meanTypeRun{};
+    std::array<std::uint64_t, isa::kNumUnitTypes> maxTypeRun{};
+    std::array<std::uint64_t, isa::kNumUnitTypes> typeRunCount{};
+
+    /** Fig 8b source: tracked thread's RAW distances. */
+    std::vector<std::uint64_t> rawDistances;
+
+    /** Warped-DMR counters summed over SMs. */
+    dmr::DmrStats dmr;
+
+    /** Merged bounded issue trace (cycle-ordered) when enabled. */
+    std::vector<sm::TraceEvent> trace;
+
+    /** §3.4 idle-gap means (when GpuConfig::trackIdleGaps). */
+    double meanSmIdleGap = 0.0;
+    double meanLaneIdleGap = 0.0;
+
+    /** Convenience: Fig 9a coverage. */
+    double coverage() const { return dmr.coverage(); }
+};
+
+class Gpu
+{
+  public:
+    /**
+     * @param cfg  machine description (validated)
+     * @param dcfg Warped-DMR configuration
+     * @param seed determinism seed for ReplayQ picks
+     * @param hook fault boundary; nullptr = fault-free
+     */
+    Gpu(arch::GpuConfig cfg, dmr::DmrConfig dcfg,
+        std::uint64_t seed = 1, func::FaultHook *hook = nullptr);
+
+    mem::Memory &mem() { return mem_; }
+    const mem::Memory &mem() const { return mem_; }
+    mem::LinearAllocator &allocator() { return alloc_; }
+    const arch::GpuConfig &config() const { return cfg_; }
+    const dmr::DmrConfig &dmrConfig() const { return dcfg_; }
+
+    /**
+     * Run @p prog over @p grid_blocks blocks of @p block_threads
+     * threads to completion (including DMR drain) and aggregate the
+     * statistics.
+     *
+     * @param cycle_cap 0 = the default hard cap (exceeding it is
+     *        fatal: a simulator bug); > 0 = a watchdog budget —
+     *        exceeding it ends the launch with `hung` set, which
+     *        fault-injection campaigns use to classify kernels whose
+     *        control flow a fault destroyed.
+     */
+    LaunchResult launch(const isa::Program &prog, unsigned grid_blocks,
+                        unsigned block_threads, Cycle cycle_cap = 0);
+
+  private:
+    arch::GpuConfig cfg_;
+    dmr::DmrConfig dcfg_;
+    std::uint64_t seed_;
+    func::FaultHook *hook_;
+    mem::Memory mem_;
+    mem::LinearAllocator alloc_;
+};
+
+} // namespace gpu
+} // namespace warped
+
+#endif // WARPED_GPU_GPU_HH

@@ -1,0 +1,129 @@
+#include "gpu/report.hh"
+
+#include <sstream>
+
+namespace warped {
+namespace report {
+
+namespace {
+
+/** Minimal JSON string escaper (names here are ASCII identifiers). */
+std::string
+jesc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+textReport(const gpu::LaunchResult &r, const arch::GpuConfig &cfg)
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << "cycles:               " << r.cycles << " ("
+       << r.timeNs / 1e3 << " us @ " << cfg.clockGhz << " GHz)\n";
+    os << "warp instructions:    " << r.issuedWarpInstrs << "\n";
+    os << "thread instructions:  " << r.issuedThreadInstrs << "\n";
+    os << "blocks retired:       " << r.blocksRetired << "\n";
+    os << "issue-slot unit mix:  SP " << r.unitIssues[0] << ", SFU "
+       << r.unitIssues[1] << ", LD/ST " << r.unitIssues[2] << "\n";
+
+    os << "active-thread slots:  ";
+    const unsigned buckets[][2] = {
+        {1, 1}, {2, 11}, {12, 21}, {22, 31}, {32, 32}};
+    const char *names[] = {"1", "2-11", "12-21", "22-31", "32"};
+    for (unsigned b = 0; b < 5; ++b) {
+        os << names[b] << "="
+           << 100.0 * r.activeHist.rangeFraction(buckets[b][0],
+                                                 buckets[b][1])
+           << "% ";
+    }
+    os << "\n";
+
+    os << "coverage:             " << 100.0 * r.coverage() << "% ("
+       << r.dmr.verifiedThreadInstrs << " / "
+       << r.dmr.verifiableThreadInstrs << " thread-instrs)\n";
+    os << "  intra-warp:         " << r.dmr.intraVerifiedThreads
+       << "\n";
+    os << "  inter-warp:         " << r.dmr.interVerifiedThreads
+       << "\n";
+    os << "inter-warp paths:     coexec " << r.dmr.coexecVerifications
+       << ", dequeue " << r.dmr.dequeueVerifications << ", idle "
+       << r.dmr.idleDrainVerifications << ", unit-drain "
+       << r.dmr.unitDrainVerifications << "\n";
+    os << "stalls:               eager " << r.dmr.eagerStalls
+       << ", RAW " << r.dmr.rawStalls << "\n";
+    os << "comparator:           " << r.dmr.comparisons
+       << " checks, " << r.dmr.errorsDetected << " mismatches\n";
+    if (r.dmr.sampledOutThreadInstrs) {
+        os << "sampling:             " << r.dmr.sampledOutThreadInstrs
+           << " thread-instrs unprotected (duty cycle)\n";
+    }
+    if (r.hung)
+        os << "WATCHDOG:             kernel hit its cycle cap\n";
+    return os.str();
+}
+
+std::string
+jsonReport(const gpu::LaunchResult &r, const arch::GpuConfig &cfg,
+           const std::string &workload_name)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "{";
+    if (!workload_name.empty())
+        os << "\"workload\":\"" << jesc(workload_name) << "\",";
+    os << "\"cycles\":" << r.cycles;
+    os << ",\"time_ns\":" << r.timeNs;
+    os << ",\"hung\":" << (r.hung ? "true" : "false");
+    os << ",\"warp_instrs\":" << r.issuedWarpInstrs;
+    os << ",\"thread_instrs\":" << r.issuedThreadInstrs;
+    os << ",\"blocks\":" << r.blocksRetired;
+    os << ",\"sms\":" << cfg.numSms;
+
+    os << ",\"unit_issues\":{\"sp\":" << r.unitIssues[0]
+       << ",\"sfu\":" << r.unitIssues[1] << ",\"ldst\":"
+       << r.unitIssues[2] << "}";
+
+    os << ",\"active_hist\":[";
+    for (unsigned v = 0; v <= cfg.warpSize; ++v) {
+        if (v)
+            os << ",";
+        os << r.activeHist.count(v);
+    }
+    os << "]";
+
+    os << ",\"dmr\":{";
+    os << "\"coverage\":" << r.coverage();
+    os << ",\"verifiable\":" << r.dmr.verifiableThreadInstrs;
+    os << ",\"verified\":" << r.dmr.verifiedThreadInstrs;
+    os << ",\"intra\":" << r.dmr.intraVerifiedThreads;
+    os << ",\"inter\":" << r.dmr.interVerifiedThreads;
+    os << ",\"coexec\":" << r.dmr.coexecVerifications;
+    os << ",\"dequeue\":" << r.dmr.dequeueVerifications;
+    os << ",\"idle_drain\":" << r.dmr.idleDrainVerifications;
+    os << ",\"unit_drain\":" << r.dmr.unitDrainVerifications;
+    os << ",\"enqueues\":" << r.dmr.enqueues;
+    os << ",\"eager_stalls\":" << r.dmr.eagerStalls;
+    os << ",\"raw_stalls\":" << r.dmr.rawStalls;
+    os << ",\"comparisons\":" << r.dmr.comparisons;
+    os << ",\"errors_detected\":" << r.dmr.errorsDetected;
+    os << ",\"sampled_out\":" << r.dmr.sampledOutThreadInstrs;
+    os << ",\"arb_primary_bad\":" << r.dmr.arbPrimaryBad;
+    os << ",\"arb_checker_bad\":" << r.dmr.arbCheckerBad;
+    os << "}";
+
+    os << "}";
+    return os.str();
+}
+
+} // namespace report
+} // namespace warped

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable and JSON renderings of a launch's statistics — the
+ * output surface of the CLI driver and of downstream tooling.
+ */
+
+#ifndef WARPED_GPU_REPORT_HH
+#define WARPED_GPU_REPORT_HH
+
+#include <string>
+
+#include "gpu/gpu.hh"
+
+namespace warped {
+namespace report {
+
+/** Multi-line plain-text statistics block. */
+std::string textReport(const gpu::LaunchResult &r,
+                       const arch::GpuConfig &cfg);
+
+/**
+ * Single-object JSON rendering of every launch statistic (cycles,
+ * histograms, unit mix, DMR counters, coverage). Stable key names;
+ * no external dependencies.
+ */
+std::string jsonReport(const gpu::LaunchResult &r,
+                       const arch::GpuConfig &cfg,
+                       const std::string &workload_name = "");
+
+} // namespace report
+} // namespace warped
+
+#endif // WARPED_GPU_REPORT_HH

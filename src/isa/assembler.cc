@@ -1,0 +1,255 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace isa {
+
+namespace {
+
+/** Cursor over one instruction line. */
+class LineParser
+{
+  public:
+    LineParser(const std::string &line, unsigned line_no)
+        : s_(line), lineNo_(line_no)
+    {
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        warped_fatal("assembler: line ", lineNo_, ": ", what, " in '",
+                     s_, "'");
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t'))
+            ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    consume(char c)
+    {
+        if (!tryConsume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    tryConsumeWord(const std::string &w)
+    {
+        skipWs();
+        if (s_.compare(pos_, w.size(), w) == 0) {
+            pos_ += w.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    word()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '_' || s_[pos_] == '.'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a word");
+        return s_.substr(start, pos_ - start);
+    }
+
+    std::int64_t
+    integer()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected an integer");
+        return std::stoll(s_.substr(start, pos_ - start));
+    }
+
+    Reg
+    reg()
+    {
+        skipWs();
+        if (pos_ >= s_.size() || s_[pos_] != 'r')
+            fail("expected a register");
+        ++pos_;
+        const auto v = integer();
+        if (v < 0 || v > 255)
+            fail("register index out of range");
+        return Reg{static_cast<RegIndex>(v)};
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= s_.size();
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    unsigned lineNo_;
+};
+
+const std::map<std::string, Opcode> &
+nameTable()
+{
+    static const std::map<std::string, Opcode> table = [] {
+        std::map<std::string, Opcode> t;
+        for (unsigned i = 0; i < opcodeCount(); ++i) {
+            const auto op = static_cast<Opcode>(i);
+            t.emplace(opcodeName(op), op);
+        }
+        return t;
+    }();
+    return table;
+}
+
+bool
+printsImm(Opcode op)
+{
+    return op == Opcode::MOVI || op == Opcode::S2R ||
+           op == Opcode::IADDI || op == Opcode::SHLI ||
+           op == Opcode::SHRI || op == Opcode::ANDI ||
+           opcodeIsShuffle(op);
+}
+
+} // namespace
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    const auto &t = nameTable();
+    const auto it = t.find(name);
+    if (it == t.end())
+        warped_fatal("assembler: unknown mnemonic '", name, "'");
+    return it->second;
+}
+
+Program
+parseProgram(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    unsigned line_no = 0;
+
+    std::string name = "parsed";
+    unsigned num_regs = 0, shared_bytes = 0;
+    bool have_header = false;
+    std::vector<Instruction> instrs;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        LineParser lp(line, line_no);
+        if (lp.atEnd())
+            continue;
+
+        if (lp.tryConsumeWord(".kernel")) {
+            name = lp.word();
+            lp.consume('(');
+            if (!lp.tryConsumeWord("regs"))
+                lp.fail("expected 'regs'");
+            num_regs = static_cast<unsigned>(lp.integer());
+            lp.consume(',');
+            if (!lp.tryConsumeWord("shared"))
+                lp.fail("expected 'shared'");
+            shared_bytes = static_cast<unsigned>(lp.integer());
+            lp.consume('B');
+            lp.consume(')');
+            have_header = true;
+            continue;
+        }
+
+        // "<pc>: MNEMONIC operands"
+        const auto pc = lp.integer();
+        lp.consume(':');
+        if (static_cast<std::size_t>(pc) != instrs.size())
+            lp.fail("instructions must be listed in PC order");
+
+        Instruction ins;
+        ins.op = opcodeFromName(lp.word());
+
+        bool first = true;
+        auto sep = [&] {
+            if (!first)
+                lp.consume(',');
+            first = false;
+        };
+
+        if (ins.hasDst()) {
+            sep();
+            ins.dst = lp.reg();
+        }
+        for (unsigned s = 0; s < ins.numSrcs(); ++s) {
+            sep();
+            ins.src[s] = lp.reg();
+        }
+        if (printsImm(ins.op)) {
+            sep();
+            lp.consume('#');
+            ins.imm = static_cast<std::int32_t>(lp.integer());
+        }
+        if (ins.isMem()) {
+            sep();
+            lp.consume('[');
+            const Reg base = lp.reg();
+            if (base.idx != ins.src[0].idx)
+                lp.fail("address base must match the first source");
+            ins.imm = static_cast<std::int32_t>(lp.integer());
+            lp.consume(']');
+        }
+        if (ins.isBranch()) {
+            lp.tryConsume(','); // the printer separates with ", "
+            lp.consume('-');
+            lp.consume('>');
+            ins.target = static_cast<Pc>(lp.integer());
+            if (lp.tryConsume('(')) {
+                if (!lp.tryConsumeWord("reconv"))
+                    lp.fail("expected 'reconv'");
+                ins.reconv = static_cast<Pc>(lp.integer());
+                lp.consume(')');
+            }
+        }
+        if (!lp.atEnd())
+            lp.fail("trailing characters");
+        instrs.push_back(ins);
+    }
+
+    if (!have_header)
+        warped_fatal("assembler: missing .kernel header");
+
+    Program p(name, std::move(instrs), num_regs, shared_bytes);
+    p.validate();
+    return p;
+}
+
+} // namespace isa
+} // namespace warped

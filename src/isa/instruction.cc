@@ -1,0 +1,40 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace warped {
+namespace isa {
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op);
+    bool first = true;
+    auto sep = [&]() -> std::ostringstream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+    if (hasDst())
+        sep() << "r" << unsigned(dst.idx);
+    for (unsigned i = 0; i < numSrcs(); ++i)
+        sep() << "r" << unsigned(src[i].idx);
+    if (op == Opcode::MOVI || op == Opcode::S2R ||
+        op == Opcode::IADDI || op == Opcode::SHLI ||
+        op == Opcode::SHRI || op == Opcode::ANDI ||
+        opcodeIsShuffle(op))
+        sep() << "#" << imm;
+    if (isMem())
+        sep() << "[r" << unsigned(src[0].idx) << (imm >= 0 ? "+" : "")
+              << imm << "]";
+    if (isBranch()) {
+        sep() << "-> " << target;
+        if (reconv != kNoPc)
+            os << " (reconv " << reconv << ")";
+    }
+    return os.str();
+}
+
+} // namespace isa
+} // namespace warped

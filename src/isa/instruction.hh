@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A single mini-ISA instruction.
+ */
+
+#ifndef WARPED_ISA_INSTRUCTION_HH
+#define WARPED_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcode.hh"
+
+namespace warped {
+namespace isa {
+
+/** A typed register handle, to keep workload code readable. */
+struct Reg
+{
+    RegIndex idx = 0;
+    constexpr bool operator==(const Reg &) const = default;
+};
+
+/** Sentinel PC meaning "no target / no reconvergence point". */
+constexpr Pc kNoPc = ~Pc{0};
+
+/**
+ * One decoded instruction. Addressing for memory operations is
+ * [src0 + imm]; MOVI materializes the immediate; branch instructions
+ * carry both the branch target and the immediate-post-dominator
+ * reconvergence PC computed by the KernelBuilder.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    Reg dst;
+    Reg src[3];
+    std::int32_t imm = 0;
+    Pc target = kNoPc;  ///< branch target
+    Pc reconv = kNoPc;  ///< reconvergence PC for potentially divergent
+                        ///< branches
+
+    UnitType unit() const { return opcodeUnit(op); }
+    unsigned numSrcs() const { return opcodeNumSrcs(op); }
+    bool hasDst() const { return opcodeHasDst(op); }
+    bool isBranch() const { return opcodeIsBranch(op); }
+    bool isLoad() const { return opcodeIsLoad(op); }
+    bool isStore() const { return opcodeIsStore(op); }
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** Disassemble to a human-readable string. */
+    std::string toString() const;
+};
+
+} // namespace isa
+} // namespace warped
+
+#endif // WARPED_ISA_INSTRUCTION_HH

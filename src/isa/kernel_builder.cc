@@ -1,0 +1,335 @@
+#include "isa/kernel_builder.hh"
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace isa {
+
+KernelBuilder::KernelBuilder(std::string name, unsigned max_regs)
+    : name_(std::move(name)), maxRegs_(max_regs)
+{
+}
+
+Reg
+KernelBuilder::reg()
+{
+    if (nextReg_ >= maxRegs_)
+        warped_fatal("kernel '", name_, "': out of registers (window ",
+                     maxRegs_, ")");
+    return Reg{static_cast<RegIndex>(nextReg_++)};
+}
+
+unsigned
+KernelBuilder::shared(unsigned bytes)
+{
+    const unsigned base = sharedBytes_;
+    // Keep 4-byte alignment for word accesses.
+    sharedBytes_ += (bytes + 3u) & ~3u;
+    return base;
+}
+
+void
+KernelBuilder::emit2(Opcode op, Reg d, Reg a)
+{
+    Instruction in;
+    in.op = op;
+    in.dst = d;
+    in.src[0] = a;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::emit3(Opcode op, Reg d, Reg a, Reg b)
+{
+    Instruction in;
+    in.op = op;
+    in.dst = d;
+    in.src[0] = a;
+    in.src[1] = b;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::emit4(Opcode op, Reg d, Reg a, Reg b, Reg c)
+{
+    Instruction in;
+    in.op = op;
+    in.dst = d;
+    in.src[0] = a;
+    in.src[1] = b;
+    in.src[2] = c;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::movi(Reg d, std::int32_t imm)
+{
+    Instruction in;
+    in.op = Opcode::MOVI;
+    in.dst = d;
+    in.imm = imm;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::movf(Reg d, float value)
+{
+    movi(d, static_cast<std::int32_t>(asReg(value)));
+}
+
+void
+KernelBuilder::iaddi(Reg d, Reg a, std::int32_t imm)
+{
+    Instruction in;
+    in.op = Opcode::IADDI;
+    in.dst = d;
+    in.src[0] = a;
+    in.imm = imm;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::shli(Reg d, Reg a, std::int32_t imm)
+{
+    Instruction in;
+    in.op = Opcode::SHLI;
+    in.dst = d;
+    in.src[0] = a;
+    in.imm = imm;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::shri(Reg d, Reg a, std::int32_t imm)
+{
+    Instruction in;
+    in.op = Opcode::SHRI;
+    in.dst = d;
+    in.src[0] = a;
+    in.imm = imm;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::andi(Reg d, Reg a, std::int32_t imm)
+{
+    Instruction in;
+    in.op = Opcode::ANDI;
+    in.dst = d;
+    in.src[0] = a;
+    in.imm = imm;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::ror(Reg d, Reg a, unsigned r, Reg scratch)
+{
+    if (r == 0 || r >= 32)
+        warped_fatal("kernel '", name_, "': ror amount must be 1..31");
+    if (scratch == a || scratch == d)
+        warped_fatal("kernel '", name_,
+                     "': ror scratch register must be distinct");
+    shri(scratch, a, static_cast<std::int32_t>(r));
+    shli(d, a, static_cast<std::int32_t>(32 - r));
+    or_(d, d, scratch);
+}
+
+void
+KernelBuilder::shflXor(Reg d, Reg a, std::int32_t mask)
+{
+    Instruction in;
+    in.op = Opcode::SHFL_XOR;
+    in.dst = d;
+    in.src[0] = a;
+    in.imm = mask;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::shflDown(Reg d, Reg a, std::int32_t delta)
+{
+    Instruction in;
+    in.op = Opcode::SHFL_DOWN;
+    in.dst = d;
+    in.src[0] = a;
+    in.imm = delta;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::s2r(Reg d, SpecialReg sr)
+{
+    Instruction in;
+    in.op = Opcode::S2R;
+    in.dst = d;
+    in.imm = static_cast<std::int32_t>(sr);
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::ldg(Reg d, Reg addr, std::int32_t offset)
+{
+    Instruction in;
+    in.op = Opcode::LDG;
+    in.dst = d;
+    in.src[0] = addr;
+    in.imm = offset;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::stg(Reg addr, Reg value, std::int32_t offset)
+{
+    Instruction in;
+    in.op = Opcode::STG;
+    in.src[0] = addr;
+    in.src[1] = value;
+    in.imm = offset;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::lds(Reg d, Reg addr, std::int32_t offset)
+{
+    Instruction in;
+    in.op = Opcode::LDS;
+    in.dst = d;
+    in.src[0] = addr;
+    in.imm = offset;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::sts(Reg addr, Reg value, std::int32_t offset)
+{
+    Instruction in;
+    in.op = Opcode::STS;
+    in.src[0] = addr;
+    in.src[1] = value;
+    in.imm = offset;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::bar()
+{
+    Instruction in;
+    in.op = Opcode::BAR;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::exit()
+{
+    Instruction in;
+    in.op = Opcode::EXIT;
+    instrs_.push_back(in);
+}
+
+void
+KernelBuilder::nop()
+{
+    Instruction in;
+    in.op = Opcode::NOP;
+    instrs_.push_back(in);
+}
+
+Pc
+KernelBuilder::emitBranch(Opcode op, Reg pred)
+{
+    Instruction in;
+    in.op = op;
+    if (op != Opcode::BRA)
+        in.src[0] = pred;
+    instrs_.push_back(in);
+    return static_cast<Pc>(instrs_.size() - 1);
+}
+
+void
+KernelBuilder::patchTarget(Pc branch_pc, Pc target)
+{
+    instrs_.at(branch_pc).target = target;
+}
+
+void
+KernelBuilder::patchReconv(Pc branch_pc, Pc reconv)
+{
+    instrs_.at(branch_pc).reconv = reconv;
+}
+
+void
+KernelBuilder::ifThen(Reg pred, const BodyFn &then_body)
+{
+    // BRZ pred -> end (skip the body when the predicate is false).
+    const Pc br = emitBranch(Opcode::BRZ, pred);
+    then_body();
+    const Pc end = here();
+    patchTarget(br, end);
+    patchReconv(br, end);
+}
+
+void
+KernelBuilder::ifThenElse(Reg pred, const BodyFn &then_body,
+                          const BodyFn &else_body)
+{
+    const Pc br = emitBranch(Opcode::BRZ, pred);
+    then_body();
+    const Pc skip = emitBranch(Opcode::BRA, Reg{});
+    const Pc else_pc = here();
+    else_body();
+    const Pc end = here();
+    patchTarget(br, else_pc);
+    patchReconv(br, end);
+    patchTarget(skip, end);
+}
+
+void
+KernelBuilder::whileLoop(const BodyFn &cond_body, Reg pred,
+                         const BodyFn &loop_body)
+{
+    const Pc head = here();
+    cond_body();
+    const Pc br = emitBranch(Opcode::BRZ, pred);
+    loop_body();
+    const Pc back = emitBranch(Opcode::BRA, Reg{});
+    patchTarget(back, head);
+    const Pc end = here();
+    patchTarget(br, end);
+    patchReconv(br, end);
+}
+
+void
+KernelBuilder::forCounter(Reg i, std::int32_t first, Reg limit,
+                          std::int32_t step, const BodyFn &loop_body)
+{
+    if (step == 0)
+        warped_fatal("kernel '", name_, "': forCounter with step 0");
+    movi(i, first);
+    const Reg pred = reg();
+    whileLoop(
+        [&] {
+            if (step > 0)
+                isetpLt(pred, i, limit);
+            else
+                isetpGt(pred, i, limit);
+        },
+        pred,
+        [&] {
+            loop_body();
+            iaddi(i, i, step);
+        });
+}
+
+Program
+KernelBuilder::build()
+{
+    if (instrs_.empty() || instrs_.back().op != Opcode::EXIT)
+        exit();
+    Program p(name_, instrs_, nextReg_ == 0 ? 1 : nextReg_,
+              sharedBytes_);
+    p.validate();
+    return p;
+}
+
+} // namespace isa
+} // namespace warped

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Structured assembler for the mini-ISA.
+ *
+ * The builder emits instructions sequentially and provides structured
+ * control-flow helpers (ifThen / ifThenElse / whileLoop / forCounter)
+ * that compute branch targets and immediate-post-dominator
+ * reconvergence PCs automatically, so every divergent branch the
+ * workloads produce is correctly reconverged by the SIMT stack.
+ */
+
+#ifndef WARPED_ISA_KERNEL_BUILDER_HH
+#define WARPED_ISA_KERNEL_BUILDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace warped {
+namespace isa {
+
+class KernelBuilder
+{
+  public:
+    /**
+     * @param name      kernel name (diagnostics)
+     * @param max_regs  register window per thread
+     */
+    explicit KernelBuilder(std::string name, unsigned max_regs = 32);
+
+    /** Allocate the next unused register. */
+    Reg reg();
+
+    /** Reserve @p bytes of per-block shared memory; returns the base
+     *  byte offset of the reservation. */
+    unsigned shared(unsigned bytes);
+
+    // ---- integer ALU -----------------------------------------------
+    void iadd(Reg d, Reg a, Reg b) { emit3(Opcode::IADD, d, a, b); }
+    void isub(Reg d, Reg a, Reg b) { emit3(Opcode::ISUB, d, a, b); }
+    void imul(Reg d, Reg a, Reg b) { emit3(Opcode::IMUL, d, a, b); }
+    void imad(Reg d, Reg a, Reg b, Reg c)
+    { emit4(Opcode::IMAD, d, a, b, c); }
+    void idiv(Reg d, Reg a, Reg b) { emit3(Opcode::IDIV, d, a, b); }
+    void imod(Reg d, Reg a, Reg b) { emit3(Opcode::IMOD, d, a, b); }
+    void imin(Reg d, Reg a, Reg b) { emit3(Opcode::IMIN, d, a, b); }
+    void imax(Reg d, Reg a, Reg b) { emit3(Opcode::IMAX, d, a, b); }
+    void and_(Reg d, Reg a, Reg b) { emit3(Opcode::AND, d, a, b); }
+    void or_(Reg d, Reg a, Reg b) { emit3(Opcode::OR, d, a, b); }
+    void xor_(Reg d, Reg a, Reg b) { emit3(Opcode::XOR, d, a, b); }
+    void not_(Reg d, Reg a) { emit2(Opcode::NOT, d, a); }
+    void shl(Reg d, Reg a, Reg b) { emit3(Opcode::SHL, d, a, b); }
+    void shr(Reg d, Reg a, Reg b) { emit3(Opcode::SHR, d, a, b); }
+    void sra(Reg d, Reg a, Reg b) { emit3(Opcode::SRA, d, a, b); }
+    void isetpEq(Reg d, Reg a, Reg b) { emit3(Opcode::ISETP_EQ, d, a, b); }
+    void isetpNe(Reg d, Reg a, Reg b) { emit3(Opcode::ISETP_NE, d, a, b); }
+    void isetpLt(Reg d, Reg a, Reg b) { emit3(Opcode::ISETP_LT, d, a, b); }
+    void isetpLe(Reg d, Reg a, Reg b) { emit3(Opcode::ISETP_LE, d, a, b); }
+    void isetpGt(Reg d, Reg a, Reg b) { emit3(Opcode::ISETP_GT, d, a, b); }
+    void isetpGe(Reg d, Reg a, Reg b) { emit3(Opcode::ISETP_GE, d, a, b); }
+    void sel(Reg d, Reg cond, Reg t, Reg f)
+    { emit4(Opcode::SEL, d, cond, t, f); }
+    void mov(Reg d, Reg a) { emit2(Opcode::MOV, d, a); }
+    void movi(Reg d, std::int32_t imm);
+    void movf(Reg d, float value);
+    void iaddi(Reg d, Reg a, std::int32_t imm);
+    void shli(Reg d, Reg a, std::int32_t imm);
+    void shri(Reg d, Reg a, std::int32_t imm);
+    void andi(Reg d, Reg a, std::int32_t imm);
+    /** d = rotate-right(a, r) — three SP instructions. */
+    void ror(Reg d, Reg a, unsigned r, Reg scratch);
+    void s2r(Reg d, SpecialReg sr);
+    void i2f(Reg d, Reg a) { emit2(Opcode::I2F, d, a); }
+    void f2i(Reg d, Reg a) { emit2(Opcode::F2I, d, a); }
+    /** d = a of the warp slot (own XOR mask); inactive/out-of-warp
+     *  sources return the lane's own value (CUDA __shfl_xor). */
+    void shflXor(Reg d, Reg a, std::int32_t mask);
+    /** d = a of warp slot (own + delta), clamped to the warp. */
+    void shflDown(Reg d, Reg a, std::int32_t delta);
+
+    // ---- floating point --------------------------------------------
+    void fadd(Reg d, Reg a, Reg b) { emit3(Opcode::FADD, d, a, b); }
+    void fsub(Reg d, Reg a, Reg b) { emit3(Opcode::FSUB, d, a, b); }
+    void fmul(Reg d, Reg a, Reg b) { emit3(Opcode::FMUL, d, a, b); }
+    void ffma(Reg d, Reg a, Reg b, Reg c)
+    { emit4(Opcode::FFMA, d, a, b, c); }
+    void fmin(Reg d, Reg a, Reg b) { emit3(Opcode::FMIN, d, a, b); }
+    void fmax(Reg d, Reg a, Reg b) { emit3(Opcode::FMAX, d, a, b); }
+    void fneg(Reg d, Reg a) { emit2(Opcode::FNEG, d, a); }
+    void fsetpEq(Reg d, Reg a, Reg b) { emit3(Opcode::FSETP_EQ, d, a, b); }
+    void fsetpNe(Reg d, Reg a, Reg b) { emit3(Opcode::FSETP_NE, d, a, b); }
+    void fsetpLt(Reg d, Reg a, Reg b) { emit3(Opcode::FSETP_LT, d, a, b); }
+    void fsetpLe(Reg d, Reg a, Reg b) { emit3(Opcode::FSETP_LE, d, a, b); }
+    void fsetpGt(Reg d, Reg a, Reg b) { emit3(Opcode::FSETP_GT, d, a, b); }
+    void fsetpGe(Reg d, Reg a, Reg b) { emit3(Opcode::FSETP_GE, d, a, b); }
+
+    // ---- SFU --------------------------------------------------------
+    void sin(Reg d, Reg a) { emit2(Opcode::SIN, d, a); }
+    void cos(Reg d, Reg a) { emit2(Opcode::COS, d, a); }
+    void sqrt(Reg d, Reg a) { emit2(Opcode::SQRT, d, a); }
+    void rsqrt(Reg d, Reg a) { emit2(Opcode::RSQRT, d, a); }
+    void ex2(Reg d, Reg a) { emit2(Opcode::EX2, d, a); }
+    void lg2(Reg d, Reg a) { emit2(Opcode::LG2, d, a); }
+    void rcp(Reg d, Reg a) { emit2(Opcode::RCP, d, a); }
+
+    // ---- memory: address is [addr + offset] bytes -------------------
+    void ldg(Reg d, Reg addr, std::int32_t offset = 0);
+    void stg(Reg addr, Reg value, std::int32_t offset = 0);
+    void lds(Reg d, Reg addr, std::int32_t offset = 0);
+    void sts(Reg addr, Reg value, std::int32_t offset = 0);
+
+    // ---- control ----------------------------------------------------
+    void bar();
+    void exit();
+    void nop();
+
+    using BodyFn = std::function<void()>;
+
+    /** if (pred != 0) { then_body() } — divergent, reconverged. */
+    void ifThen(Reg pred, const BodyFn &then_body);
+
+    /** if (pred != 0) { then } else { else } — divergent, reconverged. */
+    void ifThenElse(Reg pred, const BodyFn &then_body,
+                    const BodyFn &else_body);
+
+    /**
+     * while-loop. @p cond_body must (re)compute the loop predicate
+     * into @p pred each iteration; the loop runs while pred != 0.
+     */
+    void whileLoop(const BodyFn &cond_body, Reg pred,
+                   const BodyFn &loop_body);
+
+    /**
+     * Counted loop: for (i = first; i < limit; i += step) body().
+     * @p i must be a dedicated register; @p limit is a register the
+     * body must not clobber.
+     */
+    void forCounter(Reg i, std::int32_t first, Reg limit,
+                    std::int32_t step, const BodyFn &loop_body);
+
+    /** Number of instructions emitted so far (the next PC). */
+    Pc here() const { return static_cast<Pc>(instrs_.size()); }
+
+    /** Finalize: appends EXIT if missing, validates, returns program. */
+    Program build();
+
+  private:
+    void emit2(Opcode op, Reg d, Reg a);
+    void emit3(Opcode op, Reg d, Reg a, Reg b);
+    void emit4(Opcode op, Reg d, Reg a, Reg b, Reg c);
+    Pc emitBranch(Opcode op, Reg pred);
+    void patchTarget(Pc branch_pc, Pc target);
+    void patchReconv(Pc branch_pc, Pc reconv);
+
+    std::string name_;
+    unsigned maxRegs_;
+    unsigned nextReg_ = 0;
+    unsigned sharedBytes_ = 0;
+    std::vector<Instruction> instrs_;
+};
+
+} // namespace isa
+} // namespace warped
+
+#endif // WARPED_ISA_KERNEL_BUILDER_HH

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The mini-ISA opcode set and its classification into the three
+ * execution-unit types the paper's scheduler feeds (SP, SFU, LD/ST).
+ *
+ * The set is modeled after the PTX/SASS subset that the Table-4
+ * workloads need: integer and floating-point arithmetic incl. the
+ * 3R1W multiply-add, transcendentals on the SFU, global/shared
+ * loads/stores, and structured control flow.
+ */
+
+#ifndef WARPED_ISA_OPCODE_HH
+#define WARPED_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace warped {
+namespace isa {
+
+/**
+ * Execution-unit type. One warp scheduler feeds all three (paper §2.2),
+ * which is the source of the heterogeneous-unit idleness inter-warp
+ * DMR exploits. Control instructions execute on the SP datapath.
+ */
+enum class UnitType : std::uint8_t { SP = 0, SFU = 1, LDST = 2 };
+
+/** Number of distinct execution-unit types. */
+constexpr unsigned kNumUnitTypes = 3;
+
+const char *unitTypeName(UnitType t);
+
+/**
+ * X-macro opcode table: OP(name, unit, nSrcs, hasDst, isBranch).
+ * Keeping the table in one place keeps the disassembler, the
+ * functional executor dispatch and the validators consistent.
+ */
+#define WARPED_OPCODE_TABLE(OP) \
+    /* integer SP */ \
+    OP(IADD,  SP,   2, 1, 0) \
+    OP(ISUB,  SP,   2, 1, 0) \
+    OP(IMUL,  SP,   2, 1, 0) \
+    OP(IMAD,  SP,   3, 1, 0) \
+    OP(IDIV,  SP,   2, 1, 0) \
+    OP(IMOD,  SP,   2, 1, 0) \
+    OP(IMIN,  SP,   2, 1, 0) \
+    OP(IMAX,  SP,   2, 1, 0) \
+    OP(AND,   SP,   2, 1, 0) \
+    OP(OR,    SP,   2, 1, 0) \
+    OP(XOR,   SP,   2, 1, 0) \
+    OP(NOT,   SP,   1, 1, 0) \
+    OP(SHL,   SP,   2, 1, 0) \
+    OP(SHR,   SP,   2, 1, 0) \
+    OP(SRA,   SP,   2, 1, 0) \
+    OP(SHLI,  SP,   1, 1, 0) \
+    OP(SHRI,  SP,   1, 1, 0) \
+    OP(ANDI,  SP,   1, 1, 0) \
+    OP(ISETP_EQ, SP, 2, 1, 0) \
+    OP(ISETP_NE, SP, 2, 1, 0) \
+    OP(ISETP_LT, SP, 2, 1, 0) \
+    OP(ISETP_LE, SP, 2, 1, 0) \
+    OP(ISETP_GT, SP, 2, 1, 0) \
+    OP(ISETP_GE, SP, 2, 1, 0) \
+    OP(SEL,   SP,   3, 1, 0) \
+    OP(MOV,   SP,   1, 1, 0) \
+    OP(MOVI,  SP,   0, 1, 0) \
+    OP(IADDI, SP,   1, 1, 0) \
+    OP(S2R,   SP,   0, 1, 0) \
+    OP(I2F,   SP,   1, 1, 0) \
+    OP(F2I,   SP,   1, 1, 0) \
+    OP(SHFL_XOR,  SP, 1, 1, 0) \
+    OP(SHFL_DOWN, SP, 1, 1, 0) \
+    /* floating point SP */ \
+    OP(FADD,  SP,   2, 1, 0) \
+    OP(FSUB,  SP,   2, 1, 0) \
+    OP(FMUL,  SP,   2, 1, 0) \
+    OP(FFMA,  SP,   3, 1, 0) \
+    OP(FMIN,  SP,   2, 1, 0) \
+    OP(FMAX,  SP,   2, 1, 0) \
+    OP(FNEG,  SP,   1, 1, 0) \
+    OP(FSETP_EQ, SP, 2, 1, 0) \
+    OP(FSETP_NE, SP, 2, 1, 0) \
+    OP(FSETP_LT, SP, 2, 1, 0) \
+    OP(FSETP_LE, SP, 2, 1, 0) \
+    OP(FSETP_GT, SP, 2, 1, 0) \
+    OP(FSETP_GE, SP, 2, 1, 0) \
+    /* special function unit */ \
+    OP(SIN,   SFU,  1, 1, 0) \
+    OP(COS,   SFU,  1, 1, 0) \
+    OP(SQRT,  SFU,  1, 1, 0) \
+    OP(RSQRT, SFU,  1, 1, 0) \
+    OP(EX2,   SFU,  1, 1, 0) \
+    OP(LG2,   SFU,  1, 1, 0) \
+    OP(RCP,   SFU,  1, 1, 0) \
+    /* memory */ \
+    OP(LDG,   LDST, 1, 1, 0) \
+    OP(STG,   LDST, 2, 0, 0) \
+    OP(LDS,   LDST, 1, 1, 0) \
+    OP(STS,   LDST, 2, 0, 0) \
+    /* control (SP datapath) */ \
+    OP(BRA,   SP,   0, 0, 1) \
+    OP(BRZ,   SP,   1, 0, 1) \
+    OP(BRNZ,  SP,   1, 0, 1) \
+    OP(BAR,   SP,   0, 0, 0) \
+    OP(EXIT,  SP,   0, 0, 0) \
+    OP(NOP,   SP,   0, 0, 0)
+
+enum class Opcode : std::uint8_t
+{
+#define WARPED_OP_ENUM(name, unit, nsrc, hasdst, isbr) name,
+    WARPED_OPCODE_TABLE(WARPED_OP_ENUM)
+#undef WARPED_OP_ENUM
+};
+
+/** Number of opcodes in the ISA. */
+unsigned opcodeCount();
+
+/** Mnemonic for disassembly/diagnostics. */
+const char *opcodeName(Opcode op);
+
+/** Which execution unit the opcode occupies. */
+UnitType opcodeUnit(Opcode op);
+
+/** Number of register source operands (0..3). */
+unsigned opcodeNumSrcs(Opcode op);
+
+/** True when the opcode writes a destination register. */
+bool opcodeHasDst(Opcode op);
+
+/** True for BRA/BRZ/BRNZ. */
+bool opcodeIsBranch(Opcode op);
+
+/** True for LDG/LDS (register write arrives from memory). */
+bool opcodeIsLoad(Opcode op);
+
+/** True for STG/STS. */
+bool opcodeIsStore(Opcode op);
+
+/** True for operations touching shared (vs global) memory. */
+bool opcodeIsSharedMem(Opcode op);
+
+/** True for the warp-shuffle cross-lane reads (SHFL_*). */
+bool opcodeIsShuffle(Opcode op);
+
+/**
+ * Special values readable via S2R (selector stored in the
+ * instruction's immediate field).
+ */
+enum class SpecialReg : std::uint8_t
+{
+    Tid = 0,    ///< thread index within the block
+    Ctaid = 1,  ///< block index within the grid
+    Ntid = 2,   ///< threads per block
+    Nctaid = 3, ///< blocks in the grid
+    LaneId = 4, ///< lane within the warp (pre-mapping thread slot)
+    WarpId = 5, ///< warp index within the block
+    Gtid = 6,   ///< global thread id = ctaid * ntid + tid
+};
+
+} // namespace isa
+} // namespace warped
+
+#endif // WARPED_ISA_OPCODE_HH

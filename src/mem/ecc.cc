@@ -1,0 +1,164 @@
+#include "mem/ecc.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace mem {
+
+namespace {
+
+// Codeword layout (classic Hamming numbering): bit 0 holds the
+// overall parity; bits 1..39 are Hamming positions where powers of
+// two (1, 2, 4, 8, 16, 32) are check bits and the remaining 32
+// positions carry the data bits in ascending order.
+
+constexpr bool
+isPowerOfTwo(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Hamming position (1..39) of data bit @p i (0..31). */
+constexpr unsigned
+dataPosition(unsigned i)
+{
+    unsigned pos = 0, seen = 0;
+    for (pos = 1; pos <= 39; ++pos) {
+        if (isPowerOfTwo(pos))
+            continue;
+        if (seen == i)
+            return pos;
+        ++seen;
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t
+Secded::encode(std::uint32_t data)
+{
+    std::uint64_t cw = 0;
+    for (unsigned i = 0; i < 32; ++i) {
+        if ((data >> i) & 1)
+            cw |= 1ULL << dataPosition(i);
+    }
+    // Check bits: parity over all positions whose index has the
+    // check bit set.
+    for (unsigned c = 1; c <= 32; c <<= 1) {
+        unsigned parity = 0;
+        for (unsigned pos = 1; pos <= 39; ++pos) {
+            if ((pos & c) && ((cw >> pos) & 1))
+                parity ^= 1;
+        }
+        if (parity)
+            cw |= 1ULL << c;
+    }
+    // Overall parity over bits 1..39 stored in bit 0.
+    if (std::popcount(cw >> 1) & 1)
+        cw |= 1ULL;
+    return cw;
+}
+
+Secded::Decoded
+Secded::decode(std::uint64_t codeword)
+{
+    // Syndrome: for each check bit, parity over its covered positions
+    // including the check bit itself.
+    unsigned syndrome = 0;
+    for (unsigned c = 1; c <= 32; c <<= 1) {
+        unsigned parity = 0;
+        for (unsigned pos = 1; pos <= 39; ++pos) {
+            if ((pos & c) && ((codeword >> pos) & 1))
+                parity ^= 1;
+        }
+        if (parity)
+            syndrome |= c;
+    }
+    const bool overall =
+        (std::popcount(codeword) & 1) != 0; // includes bit 0
+
+    Decoded out;
+    if (syndrome == 0 && !overall) {
+        out.status = Status::Ok;
+    } else if (overall) {
+        // Odd number of flipped bits: a single-bit error. Syndrome 0
+        // means the overall parity bit itself flipped.
+        out.status = Status::Corrected;
+        if (syndrome != 0 && syndrome <= 39)
+            codeword ^= 1ULL << syndrome;
+    } else {
+        // Even flip count with non-zero syndrome: double error.
+        out.status = Status::DoubleError;
+    }
+
+    for (unsigned i = 0; i < 32; ++i) {
+        if ((codeword >> dataPosition(i)) & 1)
+            out.data |= 1u << i;
+    }
+    return out;
+}
+
+EccMemory::EccMemory(std::size_t bytes)
+    : words_((bytes + 3) / 4, Secded::encode(0))
+{
+}
+
+std::size_t
+EccMemory::index(Addr addr) const
+{
+    const std::size_t i = addr / 4;
+    if (i >= words_.size())
+        warped_panic("ECC memory access at ", addr, " out of bounds");
+    return i;
+}
+
+void
+EccMemory::writeWord(Addr addr, RegValue value)
+{
+    words_[index(addr)] = Secded::encode(value);
+}
+
+RegValue
+EccMemory::readWord(Addr addr, Secded::Status *status)
+{
+    const std::size_t i = index(addr);
+    const auto dec = Secded::decode(words_[i]);
+    if (dec.status == Secded::Status::Corrected) {
+        ++corrected_;
+        words_[i] = Secded::encode(dec.data); // in-place scrub
+    } else if (dec.status == Secded::Status::DoubleError) {
+        ++doubleErrors_;
+    }
+    if (status)
+        *status = dec.status;
+    return dec.data;
+}
+
+void
+EccMemory::injectBitFlip(Addr addr, unsigned bit)
+{
+    if (bit >= Secded::kCodeBits)
+        warped_panic("ECC bit index ", bit, " out of range");
+    words_[index(addr)] ^= 1ULL << bit;
+}
+
+std::uint64_t
+EccMemory::scrub()
+{
+    std::uint64_t fixed = 0;
+    for (auto &w : words_) {
+        const auto dec = Secded::decode(w);
+        if (dec.status == Secded::Status::Corrected) {
+            w = Secded::encode(dec.data);
+            ++fixed;
+        }
+    }
+    corrected_ += fixed;
+    return fixed;
+}
+
+} // namespace mem
+} // namespace warped

@@ -1,0 +1,91 @@
+#include "mem/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace mem {
+
+Memory::Memory(std::size_t bytes) : bytes_(bytes, 0)
+{
+}
+
+void
+Memory::check(Addr addr, std::size_t n) const
+{
+    if (addr + n > bytes_.size() || addr + n < addr)
+        warped_panic("memory access [", addr, ", ", addr + n,
+                     ") out of bounds (size ", bytes_.size(), ")");
+}
+
+RegValue
+Memory::readWord(Addr addr) const
+{
+    check(addr, 4);
+    RegValue v;
+    std::memcpy(&v, bytes_.data() + addr, 4);
+    return v;
+}
+
+void
+Memory::writeWord(Addr addr, RegValue value)
+{
+    check(addr, 4);
+    std::memcpy(bytes_.data() + addr, &value, 4);
+}
+
+std::uint8_t
+Memory::readByte(Addr addr) const
+{
+    check(addr, 1);
+    return bytes_[addr];
+}
+
+void
+Memory::writeByte(Addr addr, std::uint8_t value)
+{
+    check(addr, 1);
+    bytes_[addr] = value;
+}
+
+void
+Memory::copyIn(Addr addr, const void *src, std::size_t n)
+{
+    check(addr, n);
+    std::memcpy(bytes_.data() + addr, src, n);
+}
+
+void
+Memory::copyOut(Addr addr, void *dst, std::size_t n) const
+{
+    check(addr, n);
+    std::memcpy(dst, bytes_.data() + addr, n);
+}
+
+void
+Memory::clear()
+{
+    std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+LinearAllocator::LinearAllocator(std::size_t capacity, Addr base)
+    : capacity_(capacity), next_(base)
+{
+}
+
+Addr
+LinearAllocator::alloc(std::size_t bytes)
+{
+    const Addr addr = next_;
+    const std::size_t padded = (bytes + 255u) & ~std::size_t{255u};
+    if (addr + padded > capacity_)
+        warped_fatal("device allocator exhausted: want ", bytes,
+                     " bytes at ", addr, ", capacity ", capacity_);
+    next_ = addr + padded;
+    return addr;
+}
+
+} // namespace mem
+} // namespace warped

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Simulated memories.
+ *
+ * Following the paper's fault model (§1), memory is assumed to be
+ * ECC-protected and therefore always returns correct data; only the
+ * *address computation* of memory instructions is subject to (and
+ * verified against) errors. Consequently no cache hierarchy is
+ * modeled — LD/ST timing uses fixed shared/global latencies from
+ * GpuConfig.
+ */
+
+#ifndef WARPED_MEM_MEMORY_HH
+#define WARPED_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace warped {
+namespace mem {
+
+/**
+ * A flat, byte-addressable, bounds-checked memory. Used both for the
+ * GPU's global memory and for per-block shared-memory segments.
+ */
+class Memory
+{
+  public:
+    explicit Memory(std::size_t bytes);
+
+    std::size_t size() const { return bytes_.size(); }
+
+    /** 32-bit word access; @p addr is a byte address (any alignment
+     *  is accepted; workloads use 4-byte-aligned addresses). */
+    RegValue readWord(Addr addr) const;
+    void writeWord(Addr addr, RegValue value);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Bulk host<->device style copies (workload setup/teardown). */
+    void copyIn(Addr addr, const void *src, std::size_t n);
+    void copyOut(Addr addr, void *dst, std::size_t n) const;
+
+    /** Zero the whole memory. */
+    void clear();
+
+  private:
+    void check(Addr addr, std::size_t n) const;
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Bump allocator over a Memory, used by workloads to lay out their
+ * device buffers. Returns 256-byte-aligned addresses (mimicking
+ * cudaMalloc alignment) and never frees.
+ */
+class LinearAllocator
+{
+  public:
+    explicit LinearAllocator(std::size_t capacity, Addr base = 256);
+
+    /** Allocate @p bytes; fatal on exhaustion. */
+    Addr alloc(std::size_t bytes);
+
+    std::size_t used() const { return next_; }
+
+  private:
+    std::size_t capacity_;
+    Addr next_;
+};
+
+} // namespace mem
+} // namespace warped
+
+#endif // WARPED_MEM_MEMORY_HH

@@ -1,0 +1,30 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+namespace warped {
+namespace mem {
+
+MemorySystem::MemorySystem(const arch::GpuConfig &cfg)
+    : cfg_(cfg), partitionFreeAt_(std::max(1u, cfg.memoryPartitions), 0)
+{
+}
+
+Cycle
+MemorySystem::access(Cycle now, const std::vector<Addr> &segments)
+{
+    Cycle done = now + cfg_.globalMemLatency;
+    for (const Addr seg : segments) {
+        const std::size_t p = seg % partitionFreeAt_.size();
+        const Cycle start = std::max(now, partitionFreeAt_[p]);
+        partitionFreeAt_[p] = start + cfg_.memoryServicePeriod;
+        const Cycle resp = start + cfg_.globalMemLatency;
+        queueing_ += start - now;
+        ++transactions_;
+        done = std::max(done, resp);
+    }
+    return done;
+}
+
+} // namespace mem
+} // namespace warped

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Chip-level global-memory timing: partition queueing.
+ *
+ * The baseline model (and the paper's) charges every global access a
+ * fixed latency. With GpuConfig::modelMemContention the chip instead
+ * owns one MemorySystem shared by all SMs: transactions are
+ * interleaved across partitions by segment address, each partition
+ * services one transaction per service period, and a warp access
+ * completes when its slowest transaction is serviced — so
+ * bandwidth-bound kernels see queueing delay on top of the DRAM
+ * latency. Everything is computed at issue time (deterministic
+ * look-ahead), which keeps the functional-first pipeline intact.
+ */
+
+#ifndef WARPED_MEM_MEMORY_SYSTEM_HH
+#define WARPED_MEM_MEMORY_SYSTEM_HH
+
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "common/types.hh"
+
+namespace warped {
+namespace mem {
+
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const arch::GpuConfig &cfg);
+
+    /**
+     * Schedule one warp's global transactions.
+     *
+     * @param now       issue cycle
+     * @param segments  distinct segment addresses the warp touches
+     * @return cycle at which the last transaction's data is back
+     */
+    Cycle access(Cycle now, const std::vector<Addr> &segments);
+
+    std::uint64_t transactions() const { return transactions_; }
+
+    /** Total queueing delay accumulated beyond the raw latency. */
+    std::uint64_t queueingCycles() const { return queueing_; }
+
+  private:
+    const arch::GpuConfig &cfg_;
+    std::vector<Cycle> partitionFreeAt_;
+    std::uint64_t transactions_ = 0;
+    std::uint64_t queueing_ = 0;
+};
+
+} // namespace mem
+} // namespace warped
+
+#endif // WARPED_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,97 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace warped {
+namespace power {
+
+std::string
+PowerBreakdown::toString() const
+{
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << "SP " << sp << "W, SFU " << sfu << "W, LD/ST "
+       << ldst << "W, RF " << regFile << "W, FDS " << fds
+       << "W, CMP " << comparator << "W, const " << constant
+       << "W, idle " << idle << "W => " << total() << "W";
+    return os.str();
+}
+
+PowerModel::PowerModel(const arch::GpuConfig &cfg,
+                       const PowerParams &params)
+    : cfg_(cfg), params_(params)
+{
+}
+
+double
+PowerModel::rate(double events, const gpu::LaunchResult &r) const
+{
+    if (r.cycles == 0)
+        return 0.0;
+    const double lane_cycles = double(r.cycles) * cfg_.numSms *
+                               cfg_.warpSize;
+    return std::clamp(events / lane_cycles, 0.0, 1.0);
+}
+
+PowerBreakdown
+PowerModel::estimate(const gpu::LaunchResult &r) const
+{
+    using UT = isa::UnitType;
+    const auto u = [](UT t) { return static_cast<unsigned>(t); };
+
+    PowerBreakdown b;
+    // Primary + redundant executions drive the unit access rates.
+    const double sp_execs =
+        double(r.unitThreadExecs[u(UT::SP)]) +
+        double(r.dmr.redundantThreadExecs[u(UT::SP)]);
+    const double sfu_execs =
+        double(r.unitThreadExecs[u(UT::SFU)]) +
+        double(r.dmr.redundantThreadExecs[u(UT::SFU)]);
+    const double ldst_execs =
+        double(r.unitThreadExecs[u(UT::LDST)]) +
+        double(r.dmr.redundantThreadExecs[u(UT::LDST)]);
+
+    b.sp = params_.spMax * rate(sp_execs, r);
+    b.sfu = params_.sfuMax * rate(sfu_execs, r);
+    b.ldst = params_.ldstMax * rate(ldst_execs, r);
+
+    // Register file: ~3 operand accesses per thread-instruction; the
+    // RFU forwards operands for redundant runs (no extra RF reads for
+    // inter-warp replays beyond the buffered copies, §4.3.1), modeled
+    // as one access per redundant execution.
+    const double redundant_total =
+        double(r.dmr.redundantThreadExecs[0]) +
+        double(r.dmr.redundantThreadExecs[1]) +
+        double(r.dmr.redundantThreadExecs[2]);
+    b.regFile = params_.regFileMax *
+                rate(3.0 * double(r.issuedThreadInstrs) +
+                         redundant_total,
+                     r);
+
+    // Fetch/decode/schedule works per issue slot (per SM, not lane).
+    const double issue_rate =
+        r.cycles ? std::clamp(double(r.issuedWarpInstrs) /
+                                  (double(r.cycles) * cfg_.numSms),
+                              0.0, 1.0)
+                 : 0.0;
+    b.fds = params_.fdsMax * issue_rate;
+
+    b.comparator =
+        params_.comparatorMax * rate(double(r.dmr.comparisons), r);
+
+    b.constant = params_.constantPower;
+    b.idle = params_.idlePower;
+    return b;
+}
+
+double
+PowerModel::energyMj(const gpu::LaunchResult &r) const
+{
+    const double watts = estimate(r).total();
+    const double seconds = r.timeNs * 1e-9;
+    return watts * seconds * 1e3;
+}
+
+} // namespace power
+} // namespace warped

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Analytical GPU power/energy model in the style of Hong & Kim
+ * (ISCA'10), as used by the paper's §5.4 (Fig 11).
+ *
+ * Eq. 1-2: RP_comp = MaxPower_comp * AccessRate_comp, where the
+ * access rate is the component's activity per available slot. Total
+ * power = sum of component runtime powers + a per-SM constant +
+ * chip idle power. Energy = power x (cycles x cycle period).
+ *
+ * Warped-DMR's contribution: redundant executions raise the SP / SFU
+ * / LD-ST (address path) access rates, and the RFU + comparator add
+ * a small fixed-energy term per verification; memory components are
+ * untouched (redundant runs reuse already-loaded data, §5.4). The
+ * absolute MaxPower constants approximate the GTX280-class numbers
+ * of [9]; Fig 11 is reported *normalized*, which only depends on the
+ * relative mix.
+ */
+
+#ifndef WARPED_POWER_POWER_MODEL_HH
+#define WARPED_POWER_POWER_MODEL_HH
+
+#include <string>
+
+#include "arch/gpu_config.hh"
+#include "gpu/gpu.hh"
+
+namespace warped {
+namespace power {
+
+/** MaxPower_comp parameters, chip-wide watts at 100 % access rate. */
+struct PowerParams
+{
+    double spMax = 38.0;       ///< shader cores
+    double sfuMax = 14.0;      ///< special function units
+    double ldstMax = 9.0;      ///< LD/ST address path
+    double regFileMax = 18.0;  ///< operand reads/writes
+    double fdsMax = 22.0;      ///< fetch/decode/schedule
+    double comparatorMax = 1.5; ///< DMR comparators + RFU muxes
+    double constantPower = 28.0; ///< always-on while a kernel runs
+    double idlePower = 32.0;   ///< static/leakage floor (~60 %, §3.4)
+};
+
+struct PowerBreakdown
+{
+    double sp = 0, sfu = 0, ldst = 0, regFile = 0, fds = 0,
+           comparator = 0, constant = 0, idle = 0;
+
+    double
+    total() const
+    {
+        return sp + sfu + ldst + regFile + fds + comparator +
+               constant + idle;
+    }
+
+    std::string toString() const;
+};
+
+class PowerModel
+{
+  public:
+    explicit PowerModel(const arch::GpuConfig &cfg,
+                        const PowerParams &params = {});
+
+    /**
+     * Average power over one kernel launch. Redundant (DMR)
+     * executions recorded in @p r contribute to the unit access
+     * rates; pass a result from a DMR-off run for the baseline.
+     */
+    PowerBreakdown estimate(const gpu::LaunchResult &r) const;
+
+    /** Energy in millijoules: power x kernel time. */
+    double energyMj(const gpu::LaunchResult &r) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    /** Activity per lane-cycle across the chip, clamped to [0, 1]. */
+    double rate(double events, const gpu::LaunchResult &r) const;
+
+    const arch::GpuConfig cfg_;
+    PowerParams params_;
+};
+
+} // namespace power
+} // namespace warped
+
+#endif // WARPED_POWER_POWER_MODEL_HH

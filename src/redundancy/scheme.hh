@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Error-detection scheme comparison (paper §5.3, Fig 10).
+ *
+ * Five configurations of the same workload:
+ *  - Original:   no protection.
+ *  - R-Naive:    the kernel (and its host<->device transfers) run
+ *                twice; outputs are compared on the CPU.
+ *  - R-Thread:   the grid is doubled with redundant thread blocks;
+ *                hidden when the chip has idle capacity, and the
+ *                output transfer doubles (CPU-side comparison).
+ *  - DMTR:       per-instruction temporal DMR with one cycle of
+ *                slack (simplified SRT), on-GPU comparison.
+ *  - Warped-DMR: the paper's mechanism, on-GPU comparison.
+ */
+
+#ifndef WARPED_REDUNDANCY_SCHEME_HH
+#define WARPED_REDUNDANCY_SCHEME_HH
+
+#include <string>
+
+#include "arch/gpu_config.hh"
+#include "gpu/gpu.hh"
+#include "workloads/workload.hh"
+
+namespace warped {
+namespace redundancy {
+
+/**
+ * Host<->device copy timing (the paper measured it with the CUDA
+ * timer on real hardware; we model a PCIe gen-2 x16 link).
+ */
+struct TransferModel
+{
+    double bandwidthGBps = 4.0; ///< effective PCIe gen2 x16
+    double perCallUs = 8.0;     ///< driver + DMA setup per memcpy
+
+    double
+    timeNs(std::size_t bytes, unsigned calls = 1) const
+    {
+        return double(bytes) / (bandwidthGBps) /* GB/s == B/ns */
+               + double(calls) * perCallUs * 1e3;
+    }
+};
+
+enum class Scheme
+{
+    Original,
+    RNaive,
+    RThread,
+    Dmtr,
+    WarpedDmr,
+};
+
+const char *schemeName(Scheme s);
+
+struct SchemeResult
+{
+    Scheme scheme = Scheme::Original;
+    double kernelNs = 0.0;
+    double transferNs = 0.0;
+    gpu::LaunchResult launch{32};
+
+    double totalNs() const { return kernelNs + transferNs; }
+};
+
+/**
+ * Run @p scheme for the named Table-4 workload and report kernel and
+ * transfer components.
+ *
+ * @param redundant_factory for R-Thread: a factory creating the
+ *        workload with doubled thread blocks; pass nullptr for
+ *        workloads whose geometry cannot double (falls back to 2x
+ *        serial kernel time, the no-idle-resources worst case the
+ *        paper describes).
+ */
+SchemeResult
+runScheme(Scheme scheme, const std::string &workload_name,
+          const arch::GpuConfig &cfg,
+          const TransferModel &tm = TransferModel{});
+
+} // namespace redundancy
+} // namespace warped
+
+#endif // WARPED_REDUNDANCY_SCHEME_HH

@@ -1,0 +1,53 @@
+#include "sm/scoreboard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace sm {
+
+Scoreboard::Scoreboard(unsigned num_warps, unsigned num_regs)
+    : numRegs_(num_regs), readyAt_(std::size_t{num_warps} * num_regs, 0)
+{
+}
+
+bool
+Scoreboard::ready(unsigned warp, const isa::Instruction &in,
+                  Cycle now) const
+{
+    const Cycle *row = readyAt_.data() + std::size_t{warp} * numRegs_;
+    for (unsigned s = 0; s < in.numSrcs(); ++s) {
+        if (row[in.src[s].idx] > now)
+            return false;
+    }
+    if (in.hasDst() && row[in.dst.idx] > now)
+        return false;
+    return true;
+}
+
+void
+Scoreboard::issue(unsigned warp, const isa::Instruction &in,
+                  Cycle writeback)
+{
+    if (!in.hasDst())
+        return;
+    Cycle &slot = readyAt_[std::size_t{warp} * numRegs_ + in.dst.idx];
+    slot = std::max(slot, writeback);
+}
+
+Cycle
+Scoreboard::readyAt(unsigned warp, RegIndex r) const
+{
+    return readyAt_[std::size_t{warp} * numRegs_ + r];
+}
+
+void
+Scoreboard::resetWarp(unsigned warp)
+{
+    std::fill_n(readyAt_.begin() + std::size_t{warp} * numRegs_,
+                numRegs_, 0);
+}
+
+} // namespace sm
+} // namespace warped

@@ -1,0 +1,389 @@
+#include "sm/sm.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace sm {
+
+Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
+       unsigned sm_id, const isa::Program &prog, mem::Memory &global,
+       func::FaultHook &hook, std::uint64_t seed,
+       mem::MemorySystem *mem_sys)
+    : cfg_(cfg), memSys_(mem_sys), smId_(sm_id), prog_(prog),
+      global_(global),
+      exec_(cfg, sm_id, global, hook),
+      engine_(cfg, dmr, exec_, seed + sm_id * 0x9e3779b9ULL),
+      scoreboard_(cfg.maxThreadsPerSm / cfg.warpSize, prog.numRegs()),
+      stats_(cfg.warpSize, prog.numRegs()),
+      maxWarps_(cfg.maxThreadsPerSm / cfg.warpSize),
+      warps_(maxWarps_), warpBlockSlot_(maxWarps_, -1),
+      blocks_(cfg.maxBlocksPerSm)
+{
+    stats_.traceLimit = cfg.traceIssueLimit;
+    stats_.trackIdleGaps = cfg.trackIdleGaps;
+}
+
+bool
+Sm::canAcceptBlock(unsigned block_threads) const
+{
+    const unsigned need_warps = cfg_.warpsPerBlock(block_threads);
+    if (residentThreads_ + block_threads > cfg_.maxThreadsPerSm)
+        return false;
+
+    bool free_block = false;
+    for (const auto &b : blocks_) {
+        if (!b.active) {
+            free_block = true;
+            break;
+        }
+    }
+    if (!free_block)
+        return false;
+
+    unsigned free_warps = 0;
+    for (unsigned w = 0; w < maxWarps_; ++w) {
+        if (!warps_[w].has_value())
+            ++free_warps;
+    }
+    if (free_warps < need_warps)
+        return false;
+
+    unsigned shared_in_use = 0;
+    for (const auto &b : blocks_) {
+        if (b.active && b.shared)
+            shared_in_use += b.shared->size();
+    }
+    return shared_in_use + prog_.sharedBytes() <= cfg_.sharedMemBytes;
+}
+
+void
+Sm::assignBlock(unsigned block_id, unsigned block_threads,
+                unsigned grid_dim)
+{
+    if (!canAcceptBlock(block_threads))
+        warped_panic("assignBlock on a full SM");
+
+    unsigned slot = 0;
+    while (blocks_[slot].active)
+        ++slot;
+
+    BlockSlot &b = blocks_[slot];
+    b.active = true;
+    b.blockId = block_id;
+    b.warpSlots.clear();
+    // At least one word so shared-memory-free kernels still have a
+    // valid segment object.
+    b.shared = std::make_unique<mem::Memory>(
+        prog_.sharedBytes() ? prog_.sharedBytes() : 4u);
+
+    const unsigned need_warps = cfg_.warpsPerBlock(block_threads);
+    unsigned assigned = 0;
+    for (unsigned w = 0; w < maxWarps_ && assigned < need_warps; ++w) {
+        if (warps_[w].has_value())
+            continue;
+        warps_[w].emplace(cfg_.warpSize, prog_.numRegs(), block_id,
+                          assigned, block_threads, block_threads,
+                          grid_dim);
+        scoreboard_.resetWarp(w);
+        warpBlockSlot_[w] = static_cast<int>(slot);
+        b.warpSlots.push_back(w);
+        ++assigned;
+        ++residentWarps_;
+    }
+    residentThreads_ += block_threads;
+}
+
+void
+Sm::releaseBarriers()
+{
+    for (auto &b : blocks_) {
+        if (!b.active)
+            continue;
+        bool any_waiting = false;
+        bool all_arrived = true;
+        for (unsigned w : b.warpSlots) {
+            const auto &warp = warps_[w];
+            if (!warp || warp->finished())
+                continue;
+            if (warp->atBarrier())
+                any_waiting = true;
+            else
+                all_arrived = false;
+        }
+        if (any_waiting && all_arrived) {
+            for (unsigned w : b.warpSlots) {
+                if (warps_[w])
+                    warps_[w]->setAtBarrier(false);
+            }
+        }
+    }
+}
+
+void
+Sm::retireIfDone(unsigned block_slot)
+{
+    BlockSlot &b = blocks_[block_slot];
+    for (unsigned w : b.warpSlots) {
+        if (warps_[w] && !warps_[w]->finished())
+            return;
+    }
+    unsigned threads = 0;
+    for (unsigned w : b.warpSlots) {
+        if (warps_[w])
+            threads += warps_[w]->validLanes().count();
+        warps_[w].reset();
+        warpBlockSlot_[w] = -1;
+        scoreboard_.resetWarp(w);
+        --residentWarps_;
+    }
+    residentThreads_ -= threads;
+    b.active = false;
+    b.shared.reset();
+    b.warpSlots.clear();
+    ++stats_.blocksRetired;
+}
+
+unsigned
+Sm::bankConflictCycles(const isa::Instruction &in) const
+{
+    if (!cfg_.modelBankConflicts)
+        return 0;
+    // Sources hitting the same bank (register index mod 4) serialize
+    // into extra register-fetch cycles.
+    unsigned bank_uses[4] = {0, 0, 0, 0};
+    for (unsigned s = 0; s < in.numSrcs(); ++s)
+        ++bank_uses[in.src[s].idx % 4];
+    unsigned worst = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        worst = std::max(worst, bank_uses[b]);
+    return worst > 1 ? worst - 1 : 0;
+}
+
+Cycle
+Sm::writebackTime(const isa::Instruction &in, Cycle now) const
+{
+    unsigned lat;
+    if (in.isMem()) {
+        lat = isa::opcodeIsSharedMem(in.op) ? cfg_.sharedMemLatency
+                                            : cfg_.globalMemLatency;
+    } else if (in.unit() == isa::UnitType::SFU) {
+        lat = cfg_.sfuLatency;
+    } else {
+        lat = cfg_.spLatency;
+    }
+    return now + cfg_.rfStages + bankConflictCycles(in) + lat;
+}
+
+void
+Sm::recordIssue(const func::ExecRecord &rec, Cycle now)
+{
+    const unsigned active = rec.active.count();
+    const unsigned type = static_cast<unsigned>(rec.instr.unit());
+
+    ++stats_.issuedWarpInstrs;
+    stats_.issuedThreadInstrs += active;
+    stats_.activeCountHist.add(active);
+    ++stats_.unitIssues[type];
+    stats_.unitThreadExecs[type] += active;
+    stats_.typeRuns.observe(type);
+
+    if (stats_.trackIdleGaps) {
+        // Lane-granular gaps: a lane is busy this cycle iff the
+        // issued instruction's (mapped) mask covers it.
+        const LaneMask lanes =
+            engine_.mapping().toLaneSpace(rec.active);
+        for (unsigned l = 0; l < cfg_.warpSize; ++l) {
+            if (lanes.test(l)) {
+                if (stats_.laneIdleRun[l] > 0) {
+                    stats_.laneIdleGap.add(
+                        double(stats_.laneIdleRun[l]));
+                    stats_.laneIdleRun[l] = 0;
+                }
+            } else {
+                ++stats_.laneIdleRun[l];
+            }
+        }
+    }
+
+    if (stats_.trace.size() < stats_.traceLimit) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.sm = smId_;
+        ev.warp = rec.warpId;
+        ev.pc = rec.pc;
+        ev.instr = rec.instr;
+        ev.activeCount = active;
+        stats_.trace.push_back(ev);
+    }
+
+    if (stats_.trackRawDistance &&
+        rec.warpId == stats_.trackedWarpSlot &&
+        rec.active.test(stats_.trackedThreadSlot)) {
+        const auto &in = rec.instr;
+        for (unsigned s = 0; s < in.numSrcs(); ++s)
+            stats_.rawDistance.onRead(in.src[s].idx, now);
+        if (in.hasDst())
+            stats_.rawDistance.onWrite(in.dst.idx, now);
+    }
+}
+
+Sm::IssueOutcome
+Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
+{
+    auto &warp = warps_[warp_slot];
+    if (!warp || warp->finished() || warp->atBarrier())
+        return IssueOutcome::None;
+
+    const isa::Instruction &in = prog_.at(warp->stack().pc());
+    if (!scoreboard_.ready(warp_slot, in, now))
+        return IssueOutcome::None;
+    if (cfg_.modelCoalescing && in.isMem() &&
+        !isa::opcodeIsSharedMem(in.op) && now < ldstPortFreeAt_) {
+        return IssueOutcome::None; // LD/ST port still draining
+    }
+
+    // RAW hazard against an unverified ReplayQ result: the pipeline
+    // stalls for a cycle while the producer is verified.
+    if (engine_.rawHazardStall(warp_slot, in, now)) {
+        ++stats_.stallCyclesRaw;
+        lastProgress_ = now;
+        return IssueOutcome::Stalled; // cycle consumed
+    }
+    unit_out = in.unit();
+
+    const int block_slot = warpBlockSlot_[warp_slot];
+    mem::Memory &shared = *blocks_[block_slot].shared;
+
+    func::ExecRecord rec = exec_.step(
+        *warp, prog_, shared, engine_.mapping().laneTable(), now);
+    rec.warpId = warp_slot;
+
+    unsigned extra_mem_cycles = 0;
+    Cycle contended_ready = 0;
+    const bool global_mem =
+        in.isMem() && !isa::opcodeIsSharedMem(in.op);
+    if (global_mem && (cfg_.modelCoalescing ||
+                       (cfg_.modelMemContention && memSys_))) {
+        // One transaction per distinct memory segment the warp hits.
+        std::set<Addr> segments;
+        for (unsigned slot = 0; slot < cfg_.warpSize; ++slot) {
+            if (rec.active.test(slot))
+                segments.insert(rec.results[slot] /
+                                cfg_.coalesceSegmentBytes);
+        }
+        if (cfg_.modelCoalescing) {
+            const auto n = static_cast<unsigned>(segments.size());
+            extra_mem_cycles = n > 1 ? n - 1 : 0;
+            ldstPortFreeAt_ = now + 1 + extra_mem_cycles;
+        }
+        if (cfg_.modelMemContention && memSys_) {
+            const std::vector<Addr> segs(segments.begin(),
+                                         segments.end());
+            contended_ready =
+                memSys_->access(now, segs) + cfg_.rfStages;
+        }
+    }
+
+    scoreboard_.issue(warp_slot, in,
+                      std::max(writebackTime(in, now) +
+                                   extra_mem_cycles,
+                               contended_ready));
+    recordIssue(rec, now);
+    ++stats_.busyCycles;
+
+    const unsigned stall = engine_.onIssue(rec, now);
+    stallCycles_ += stall;
+    stats_.stallCyclesDmr += stall;
+
+    if (warp->finished())
+        retireIfDone(block_slot);
+
+    lastScheduled_ = warp_slot;
+    lastProgress_ = now;
+    return IssueOutcome::Issued;
+}
+
+void
+Sm::tick(Cycle now)
+{
+    ++stats_.cycles;
+
+    if (stallCycles_ > 0) {
+        --stallCycles_;
+        return;
+    }
+
+    releaseBarriers();
+
+    // Up to numSchedulers issues per cycle, each from a different
+    // warp. With multiple schedulers each has private SP units, but
+    // the LD/ST units and SFUs are shared (paper §2.2), so at most
+    // one instruction per shared unit type issues per cycle.
+    unsigned progress = 0;
+    bool ldst_used = false, sfu_used = false;
+    // Fix the scan base up front: tryIssue advances lastScheduled_,
+    // and re-reading it mid-scan could revisit an already-issued warp.
+    // LRR resumes after the last issued warp; GTO retries the same
+    // warp first (greedy) and then falls back to slot order (oldest).
+    const bool gto =
+        cfg_.schedPolicy == arch::SchedPolicy::GreedyThenOldest;
+    const unsigned base = lastScheduled_;
+    const unsigned scan_len = gto ? maxWarps_ + 1 : maxWarps_;
+    for (unsigned i = 1;
+         i <= scan_len && progress < cfg_.numSchedulers; ++i) {
+        const unsigned w = gto ? (i == 1 ? base : i - 2)
+                               : (base + i) % maxWarps_;
+        const auto &warp = warps_[w];
+        if (!warp || warp->finished() || warp->atBarrier())
+            continue;
+        if (cfg_.numSchedulers > 1) {
+            const auto unit = prog_.at(warp->stack().pc()).unit();
+            if (unit == isa::UnitType::LDST && ldst_used)
+                continue;
+            if (unit == isa::UnitType::SFU && sfu_used)
+                continue;
+        }
+        isa::UnitType unit = isa::UnitType::SP;
+        const auto outcome = tryIssue(w, now, unit);
+        if (outcome == IssueOutcome::None)
+            continue;
+        ++progress;
+        if (outcome == IssueOutcome::Stalled || stallCycles_ > 0)
+            break; // a pipeline stall ends this cycle's issue group
+        if (unit == isa::UnitType::LDST)
+            ldst_used = true;
+        else if (unit == isa::UnitType::SFU)
+            sfu_used = true;
+    }
+    if (stats_.trackIdleGaps) {
+        if (progress > 0) {
+            if (stats_.smIdleRun > 0) {
+                stats_.smIdleGap.add(double(stats_.smIdleRun));
+                stats_.smIdleRun = 0;
+            }
+        } else {
+            ++stats_.smIdleRun;
+        }
+    }
+
+    if (progress > 0)
+        return;
+
+    // Nothing issued: every unit is idle; the DMR engine may drain a
+    // pending verification for free.
+    if (stats_.trackIdleGaps) {
+        for (unsigned l = 0; l < cfg_.warpSize; ++l)
+            ++stats_.laneIdleRun[l];
+    }
+    engine_.onIdleCycle(now);
+
+    if (busy() && now - lastProgress_ > 1000000)
+        warped_panic("SM ", smId_, " made no progress for 1M cycles: "
+                     "barrier deadlock or scoreboard bug (pc ",
+                     "unknown)");
+}
+
+} // namespace sm
+} // namespace warped

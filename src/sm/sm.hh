@@ -1,0 +1,123 @@
+/**
+ * @file
+ * One streaming multiprocessor: warp state, the single warp scheduler
+ * feeding SP / SFU / LD-ST units (paper §2.2), the scoreboard, and the
+ * attached Warped-DMR engine.
+ *
+ * Pipeline model (Fig 7): FETCH(1) and DEC/SCHED(1) are folded into
+ * the scheduler (functional-first simulation resolves branches at
+ * schedule time); RF takes rfStages cycles and EXE is super-pipelined
+ * with per-unit-type latency, so a destination register written by an
+ * instruction issued at cycle t is readable at t + rfStages + lat.
+ * At most one warp instruction issues per cycle per SM.
+ */
+
+#ifndef WARPED_SM_SM_HH
+#define WARPED_SM_SM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "arch/warp_context.hh"
+#include "dmr/dmr_engine.hh"
+#include "func/executor.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "mem/memory_system.hh"
+#include "sm/scoreboard.hh"
+#include "sm/sm_stats.hh"
+
+namespace warped {
+namespace sm {
+
+class Sm
+{
+  public:
+    /**
+     * @param cfg    machine description
+     * @param dmr    Warped-DMR configuration
+     * @param sm_id  this SM's index
+     * @param prog   the kernel being executed
+     * @param global GPU global memory
+     * @param hook   execution-unit fault boundary
+     * @param seed   RNG seed (ReplayQ random pick)
+     */
+    Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
+       unsigned sm_id, const isa::Program &prog, mem::Memory &global,
+       func::FaultHook &hook, std::uint64_t seed,
+       mem::MemorySystem *mem_sys = nullptr);
+
+    /** Room for another block of @p block_threads threads? */
+    bool canAcceptBlock(unsigned block_threads) const;
+
+    /** Make a block resident. */
+    void assignBlock(unsigned block_id, unsigned block_threads,
+                     unsigned grid_dim);
+
+    /** Any resident unfinished warp? */
+    bool busy() const { return residentWarps_ > 0; }
+
+    /** All work done *and* all pending verifications performed? */
+    bool
+    drained() const
+    {
+        return !busy() && !engine_.hasPending() &&
+               engine_.replayQueueSize() == 0;
+    }
+
+    /** Advance one core-clock cycle. */
+    void tick(Cycle now);
+
+    SmStats &stats() { return stats_; }
+    const SmStats &stats() const { return stats_; }
+    dmr::DmrEngine &dmrEngine() { return engine_; }
+    const dmr::DmrEngine &dmrEngine() const { return engine_; }
+    unsigned id() const { return smId_; }
+
+  private:
+    struct BlockSlot
+    {
+        bool active = false;
+        unsigned blockId = 0;
+        std::vector<unsigned> warpSlots;
+        std::unique_ptr<mem::Memory> shared;
+    };
+
+    enum class IssueOutcome { None, Issued, Stalled };
+
+    void releaseBarriers();
+    void retireIfDone(unsigned block_slot);
+    IssueOutcome tryIssue(unsigned warp_slot, Cycle now,
+                          isa::UnitType &unit_out);
+    unsigned bankConflictCycles(const isa::Instruction &in) const;
+    Cycle writebackTime(const isa::Instruction &in, Cycle now) const;
+    void recordIssue(const func::ExecRecord &rec, Cycle now);
+
+    const arch::GpuConfig &cfg_;
+    mem::MemorySystem *memSys_;
+    unsigned smId_;
+    const isa::Program &prog_;
+    mem::Memory &global_;
+    func::Executor exec_;
+    dmr::DmrEngine engine_;
+    Scoreboard scoreboard_;
+    SmStats stats_;
+
+    unsigned maxWarps_;
+    std::vector<std::optional<arch::WarpContext>> warps_;
+    std::vector<int> warpBlockSlot_; ///< warp slot -> block slot or -1
+    std::vector<BlockSlot> blocks_;
+    unsigned residentWarps_ = 0;
+    unsigned residentThreads_ = 0;
+    unsigned lastScheduled_ = 0;
+    unsigned stallCycles_ = 0;
+    Cycle lastProgress_ = 0;
+    Cycle ldstPortFreeAt_ = 0; ///< coalescing: port busy horizon
+};
+
+} // namespace sm
+} // namespace warped
+
+#endif // WARPED_SM_SM_HH

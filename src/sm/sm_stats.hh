@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-SM timing statistics: the raw series behind Figs 1, 5, 8a, 8b
+ * and the power model's access rates.
+ */
+
+#ifndef WARPED_SM_SM_STATS_HH
+#define WARPED_SM_SM_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+#include "stats/distance.hh"
+#include "stats/histogram.hh"
+#include "stats/run_length.hh"
+
+namespace warped {
+namespace sm {
+
+/** One issued warp instruction, for the bounded debug trace. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    unsigned sm = 0;
+    unsigned warp = 0;
+    Pc pc = 0;
+    isa::Instruction instr;
+    unsigned activeCount = 0;
+};
+
+struct SmStats
+{
+    explicit SmStats(unsigned warp_size, unsigned num_regs)
+        : activeCountHist(warp_size + 1),
+          typeRuns(isa::kNumUnitTypes), rawDistance(num_regs)
+    {
+    }
+
+    std::uint64_t cycles = 0;          ///< ticks while resident work
+    std::uint64_t busyCycles = 0;      ///< cycles with an issue
+    std::uint64_t issuedWarpInstrs = 0;
+    std::uint64_t issuedThreadInstrs = 0;
+    std::uint64_t stallCyclesDmr = 0;  ///< eager-re-exec bubbles
+    std::uint64_t stallCyclesRaw = 0;  ///< RAW-on-unverified bubbles
+    std::uint64_t blocksRetired = 0;
+
+    /** Fig 1: issue slots by number of active threads (1..warpSize). */
+    stats::Histogram activeCountHist;
+
+    /** Fig 5: issue slots per execution-unit type. */
+    std::array<std::uint64_t, isa::kNumUnitTypes> unitIssues{};
+
+    /** Per-unit active-thread executions (power access rates). */
+    std::array<std::uint64_t, isa::kNumUnitTypes> unitThreadExecs{};
+
+    /** Fig 8a: same-type issue run lengths. */
+    stats::RunLengthTracker typeRuns;
+
+    /** §3.4 idle-gap tracking (GpuConfig::trackIdleGaps): run lengths
+     *  of consecutive no-issue cycles at SM granularity, and of
+     *  consecutive not-covered cycles per SP lane. Long SM gaps are
+     *  power-gateable; short SP gaps are not — which is why idle SPs
+     *  are better repurposed for DMR than gated. */
+    bool trackIdleGaps = false;
+    stats::Mean smIdleGap;
+    stats::Mean laneIdleGap;
+    std::uint64_t smIdleRun = 0;
+    std::array<std::uint64_t, 64> laneIdleRun{};
+
+    /** Bounded issue trace (GpuConfig::traceIssueLimit). */
+    std::vector<TraceEvent> trace;
+    unsigned traceLimit = 0;
+
+    /** Fig 8b: write->read distances of one tracked thread. */
+    stats::RawDistanceTracker rawDistance;
+    bool trackRawDistance = false; ///< enabled on the tracked SM only
+    unsigned trackedWarpSlot = 1;  ///< "warp 1" in the paper's caption
+    unsigned trackedThreadSlot = 0;
+};
+
+} // namespace sm
+} // namespace warped
+
+#endif // WARPED_SM_SM_STATS_HH

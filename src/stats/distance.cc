@@ -1,0 +1,61 @@
+#include "stats/distance.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace warped {
+namespace stats {
+
+RawDistanceTracker::RawDistanceTracker(unsigned n_registers)
+    : pending_(n_registers)
+{
+}
+
+void
+RawDistanceTracker::onWrite(unsigned reg, Cycle now)
+{
+    if (reg >= pending_.size())
+        return;
+    pending_[reg] = {now, true};
+}
+
+void
+RawDistanceTracker::onRead(unsigned reg, Cycle now)
+{
+    if (reg >= pending_.size())
+        return;
+    auto &p = pending_[reg];
+    if (!p.awaitingRead)
+        return;
+    samples_.push_back(now >= p.when ? now - p.when : 0);
+    p.awaitingRead = false;
+}
+
+std::vector<std::uint64_t>
+RawDistanceTracker::sortedDescending() const
+{
+    auto v = samples_;
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+}
+
+double
+RawDistanceTracker::fractionAbove(std::uint64_t d) const
+{
+    if (samples_.empty())
+        return 0.0;
+    const auto n = std::count_if(samples_.begin(), samples_.end(),
+                                 [d](std::uint64_t s) { return s > d; });
+    return double(n) / double(samples_.size());
+}
+
+std::uint64_t
+RawDistanceTracker::minDistance() const
+{
+    if (samples_.empty())
+        return 0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+} // namespace stats
+} // namespace warped

@@ -1,0 +1,64 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace stats {
+
+void
+Histogram::add(unsigned value, std::uint64_t weight)
+{
+    if (value >= counts_.size())
+        warped_panic("histogram value ", value, " out of domain [0,",
+                     counts_.size(), ")");
+    counts_[value] += weight;
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    return std::accumulate(counts_.begin(), counts_.end(),
+                           std::uint64_t{0});
+}
+
+std::uint64_t
+Histogram::rangeCount(unsigned lo, unsigned hi) const
+{
+    std::uint64_t sum = 0;
+    const unsigned top = std::min<unsigned>(hi, counts_.size() - 1);
+    for (unsigned v = lo; v <= top && v < counts_.size(); ++v)
+        sum += counts_[v];
+    return sum;
+}
+
+double
+Histogram::rangeFraction(unsigned lo, unsigned hi) const
+{
+    const auto t = total();
+    return t == 0 ? 0.0 : double(rangeCount(lo, hi)) / double(t);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void
+Mean::add(double value, double weight)
+{
+    sum_ += value * weight;
+    weight_ += weight;
+}
+
+double
+Mean::mean() const
+{
+    return weight_ == 0.0 ? 0.0 : sum_ / weight_;
+}
+
+} // namespace stats
+} // namespace warped

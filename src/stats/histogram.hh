@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple counting histograms used by the figure harnesses.
+ */
+
+#ifndef WARPED_STATS_HISTOGRAM_HH
+#define WARPED_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace warped {
+namespace stats {
+
+/**
+ * Histogram over a fixed integer domain [0, size): one counter per
+ * exact value. Used e.g. for cycles-per-active-thread-count (Fig 1,
+ * domain 0..32).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned size) : counts_(size, 0) {}
+
+    void add(unsigned value, std::uint64_t weight = 1);
+
+    std::uint64_t count(unsigned value) const { return counts_.at(value); }
+    std::uint64_t total() const;
+    unsigned size() const { return counts_.size(); }
+
+    /**
+     * Sum the counters over the inclusive value range [lo, hi],
+     * clamped to the domain. This is how Fig 1's 2-11 / 12-21 / 22-31
+     * buckets are produced from the exact per-count histogram.
+     */
+    std::uint64_t rangeCount(unsigned lo, unsigned hi) const;
+
+    /** Fraction of total() falling in [lo, hi]; 0 when empty. */
+    double rangeFraction(unsigned lo, unsigned hi) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+/**
+ * Weighted-mean accumulator.
+ */
+class Mean
+{
+  public:
+    void add(double value, double weight = 1.0);
+    double mean() const;
+    double weight() const { return weight_; }
+
+  private:
+    double sum_ = 0.0;
+    double weight_ = 0.0;
+};
+
+} // namespace stats
+} // namespace warped
+
+#endif // WARPED_STATS_HISTOGRAM_HH

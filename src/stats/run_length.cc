@@ -1,0 +1,68 @@
+#include "stats/run_length.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace stats {
+
+RunLengthTracker::RunLengthTracker(unsigned n_categories)
+    : means_(n_categories), maxes_(n_categories, 0),
+      counts_(n_categories, 0)
+{
+}
+
+void
+RunLengthTracker::observe(unsigned category)
+{
+    if (category >= means_.size())
+        warped_panic("run-length category ", category, " out of range");
+    if (category == current_) {
+        ++currentLen_;
+        return;
+    }
+    closeRun();
+    current_ = category;
+    currentLen_ = 1;
+}
+
+void
+RunLengthTracker::finish()
+{
+    closeRun();
+    current_ = kNone;
+    currentLen_ = 0;
+}
+
+void
+RunLengthTracker::closeRun()
+{
+    if (current_ == kNone || currentLen_ == 0)
+        return;
+    means_[current_].add(double(currentLen_));
+    maxes_[current_] = std::max(maxes_[current_], currentLen_);
+    ++counts_[current_];
+    currentLen_ = 0;
+}
+
+double
+RunLengthTracker::meanRunLength(unsigned category) const
+{
+    return means_.at(category).mean();
+}
+
+std::uint64_t
+RunLengthTracker::maxRunLength(unsigned category) const
+{
+    return maxes_.at(category);
+}
+
+std::uint64_t
+RunLengthTracker::runCount(unsigned category) const
+{
+    return counts_.at(category);
+}
+
+} // namespace stats
+} // namespace warped

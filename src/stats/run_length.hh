@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Run-length tracker for instruction-type switching distances (Fig 8a).
+ *
+ * The paper measures, per execution-unit type, the average number of
+ * consecutively issued instructions of the same type before the issue
+ * stream switches to another type.
+ */
+
+#ifndef WARPED_STATS_RUN_LENGTH_HH
+#define WARPED_STATS_RUN_LENGTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace warped {
+namespace stats {
+
+/**
+ * Observes a categorical event stream (category ids 0..nCategories-1)
+ * and records, for each category, the mean and max length of maximal
+ * same-category runs.
+ */
+class RunLengthTracker
+{
+  public:
+    explicit RunLengthTracker(unsigned n_categories);
+
+    /** Feed the next issued event's category. */
+    void observe(unsigned category);
+
+    /** Close the trailing run (call once at end of simulation). */
+    void finish();
+
+    /** Mean run length of @p category over all completed runs. */
+    double meanRunLength(unsigned category) const;
+
+    /** Longest completed run of @p category. */
+    std::uint64_t maxRunLength(unsigned category) const;
+
+    /** Number of completed runs of @p category. */
+    std::uint64_t runCount(unsigned category) const;
+
+  private:
+    void closeRun();
+
+    unsigned current_ = kNone;
+    std::uint64_t currentLen_ = 0;
+    std::vector<Mean> means_;
+    std::vector<std::uint64_t> maxes_;
+    std::vector<std::uint64_t> counts_;
+
+    static constexpr unsigned kNone = ~0u;
+};
+
+} // namespace stats
+} // namespace warped
+
+#endif // WARPED_STATS_RUN_LENGTH_HH

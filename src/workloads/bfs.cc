@@ -1,0 +1,199 @@
+/**
+ * @file
+ * BFS (Table 4, Primitives): level-synchronous breadth-first search.
+ * Each block explores its own 256-node subgraph (a chain with random
+ * shortcut edges, so the frontier stays a handful of nodes for many
+ * levels). Every level all threads check their frontier membership,
+ * then only the few frontier threads walk their adjacency lists —
+ * the paper's most underutilized workload (over 40 % of instructions
+ * executed by a single active thread).
+ */
+
+#include <queue>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kNodes = 256; // per block
+constexpr unsigned kLevels = 24;
+constexpr std::int32_t kUnvisited = -1;
+
+class Bfs final : public WorkloadBase
+{
+  public:
+    explicit Bfs(unsigned blocks)
+        : WorkloadBase("BFS", "Linear Algebra/Primitives")
+    {
+        block_ = kNodes;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        buildGraph();
+
+        cost0_.assign(std::size_t{grid_} * kNodes, kUnvisited);
+        for (unsigned b = 0; b < grid_; ++b)
+            cost0_[std::size_t{b} * kNodes] = 0; // per-block source
+
+        baseRow_ = upload(gpu, row_);
+        baseCol_ = upload(gpu, col_);
+        baseCost_ = upload(gpu, cost0_);
+        bytesOut_ += cost0_.size() * 4; // cost array is the output
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto cost = download<std::int32_t>(
+            gpu, baseCost_, std::size_t{grid_} * kNodes);
+        const auto want = referenceCost();
+        return cost == want;
+    }
+
+  private:
+    void
+    buildGraph()
+    {
+        Rng rng(0x4246); // 'BF'
+        const unsigned total = grid_ * kNodes;
+        std::vector<std::vector<std::int32_t>> adj(total);
+        for (unsigned b = 0; b < grid_; ++b) {
+            const unsigned base = b * kNodes;
+            for (unsigned i = 0; i + 1 < kNodes; ++i) {
+                adj[base + i].push_back(base + i + 1);
+                adj[base + i + 1].push_back(base + i);
+            }
+            // Shortcut edges widen some frontiers.
+            for (unsigned i = 0; i < kNodes; ++i) {
+                if (rng.nextBool(0.25)) {
+                    const unsigned j = rng.nextBelow(kNodes);
+                    if (j != i) {
+                        adj[base + i].push_back(base + j);
+                        adj[base + j].push_back(base + i);
+                    }
+                }
+            }
+        }
+        row_.assign(total + 1, 0);
+        for (unsigned v = 0; v < total; ++v)
+            row_[v + 1] = row_[v] +
+                          static_cast<std::int32_t>(adj[v].size());
+        col_.clear();
+        for (unsigned v = 0; v < total; ++v)
+            col_.insert(col_.end(), adj[v].begin(), adj[v].end());
+    }
+
+    std::vector<std::int32_t>
+    referenceCost() const
+    {
+        std::vector<std::int32_t> cost(std::size_t{grid_} * kNodes,
+                                       kUnvisited);
+        for (unsigned b = 0; b < grid_; ++b) {
+            const unsigned src = b * kNodes;
+            std::queue<unsigned> q;
+            cost[src] = 0;
+            q.push(src);
+            while (!q.empty()) {
+                const unsigned v = q.front();
+                q.pop();
+                if (cost[v] >= static_cast<std::int32_t>(kLevels))
+                    continue; // the kernel runs kLevels relaxations
+                for (std::int32_t e = row_[v]; e < row_[v + 1]; ++e) {
+                    const auto nb = static_cast<unsigned>(col_[e]);
+                    if (cost[nb] == kUnvisited) {
+                        cost[nb] = cost[v] + 1;
+                        q.push(nb);
+                    }
+                }
+            }
+        }
+        return cost;
+    }
+
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("bfs", 32);
+
+        const Reg tid = kb.reg(), ctaid = kb.reg();
+        kb.s2r(tid, isa::SpecialReg::Tid);
+        kb.s2r(ctaid, isa::SpecialReg::Ctaid);
+
+        const Reg node = kb.reg(), cn = kb.reg();
+        kb.movi(cn, kNodes);
+        kb.imad(node, ctaid, cn, tid);
+
+        const Reg base_cost = kb.reg(), base_row = kb.reg(),
+                  base_col = kb.reg();
+        kb.movi(base_cost, static_cast<std::int32_t>(baseCost_));
+        kb.movi(base_row, static_cast<std::int32_t>(baseRow_));
+        kb.movi(base_col, static_cast<std::int32_t>(baseCol_));
+
+        const Reg cost_addr = kb.reg(), row_addr = kb.reg();
+        kb.shli(cost_addr, node, 2);
+        kb.iadd(cost_addr, cost_addr, base_cost);
+        kb.shli(row_addr, node, 2);
+        kb.iadd(row_addr, row_addr, base_row);
+
+        const Reg minus1 = kb.reg();
+        kb.movi(minus1, kUnvisited);
+
+        const Reg my_cost = kb.reg(), pred = kb.reg();
+        const Reg rs = kb.reg(), re = kb.reg(), e = kb.reg(),
+                  p_edge = kb.reg();
+        const Reg t = kb.reg(), nb = kb.reg(), nb_addr = kb.reg(),
+                  c = kb.reg(), p_unvis = kb.reg(), lvl1 = kb.reg();
+
+        const Reg lvl = kb.reg(), c_levels = kb.reg();
+        kb.movi(c_levels, kLevels);
+        kb.forCounter(lvl, 0, c_levels, 1, [&] {
+            kb.ldg(my_cost, cost_addr);
+            kb.isetpEq(pred, my_cost, lvl);
+            kb.ifThen(pred, [&] {
+                kb.ldg(rs, row_addr);
+                kb.ldg(re, row_addr, 4);
+                kb.mov(e, rs);
+                kb.whileLoop([&] { kb.isetpLt(p_edge, e, re); },
+                             p_edge, [&] {
+                    kb.shli(t, e, 2);
+                    kb.iadd(t, t, base_col);
+                    kb.ldg(nb, t);
+                    kb.shli(nb_addr, nb, 2);
+                    kb.iadd(nb_addr, nb_addr, base_cost);
+                    kb.ldg(c, nb_addr);
+                    kb.isetpEq(p_unvis, c, minus1);
+                    kb.ifThen(p_unvis, [&] {
+                        kb.iaddi(lvl1, lvl, 1);
+                        kb.stg(nb_addr, lvl1);
+                    });
+                    kb.iaddi(e, e, 1);
+                });
+            });
+            kb.bar();
+        });
+
+        prog_ = kb.build();
+    }
+
+    std::vector<std::int32_t> row_, col_, cost0_;
+    Addr baseRow_ = 0, baseCol_ = 0, baseCost_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBfs(unsigned blocks)
+{
+    return std::make_unique<Bfs>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * BitonicSort (Table 4, Sorting): per-block bitonic sorting network
+ * over 256 keys in shared memory. Every compare-exchange step masks
+ * off half the threads (ixj > tid) and the data-dependent swap
+ * diverges further — BitonicSort is the most underutilized workload
+ * in the paper's Fig 1 (up to 77 % idle lanes).
+ */
+
+#include <algorithm>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kN = 256;
+
+class BitonicSort final : public WorkloadBase
+{
+  public:
+    explicit BitonicSort(unsigned blocks)
+        : WorkloadBase("BitonicSort", "Sorting")
+    {
+        block_ = kN;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x4253); // 'BS'
+        in_.resize(std::size_t{grid_} * kN);
+        for (auto &v : in_)
+            v = static_cast<std::uint32_t>(rng.nextBelow(1u << 30));
+
+        baseIn_ = upload(gpu, in_);
+        baseOut_ = allocOut(gpu, in_.size() * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto out =
+            download<std::uint32_t>(gpu, baseOut_, in_.size());
+        for (unsigned b = 0; b < grid_; ++b) {
+            std::vector<std::uint32_t> want(in_.begin() + b * kN,
+                                            in_.begin() + (b + 1) * kN);
+            std::sort(want.begin(), want.end());
+            for (unsigned i = 0; i < kN; ++i) {
+                if (out[b * kN + i] != want[i])
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("bitonic", 32);
+        const unsigned s_data = kb.shared(kN * 4);
+
+        const Reg tid = kb.reg(), gtid = kb.reg();
+        kb.s2r(tid, isa::SpecialReg::Tid);
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg base = kb.reg(), addr = kb.reg(), val = kb.reg();
+        kb.movi(base, static_cast<std::int32_t>(baseIn_));
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base);
+        kb.ldg(val, addr);
+
+        const Reg my_sh = kb.reg();
+        kb.shli(my_sh, tid, 2);
+        kb.iaddi(my_sh, my_sh, static_cast<std::int32_t>(s_data));
+        kb.sts(my_sh, val);
+
+        const Reg ixj = kb.reg(), pred = kb.reg(), sh_ixj = kb.reg();
+        const Reg a = kb.reg(), b = kb.reg();
+        const Reg up = kb.reg(), pgt = kb.reg(), plt = kb.reg(),
+                  doswap = kb.reg(), dir = kb.reg(), zero = kb.reg();
+        kb.movi(zero, 0);
+
+        for (unsigned k = 2; k <= kN; k <<= 1) {
+            for (unsigned j = k >> 1; j > 0; j >>= 1) {
+                kb.bar();
+                // Partner index and the half-mask predicate.
+                kb.movi(ixj, static_cast<std::int32_t>(j));
+                kb.xor_(ixj, tid, ixj);
+                kb.isetpGt(pred, ixj, tid);
+                const unsigned kk = k;
+                kb.ifThen(pred, [&] {
+                    kb.shli(sh_ixj, ixj, 2);
+                    kb.iaddi(sh_ixj, sh_ixj,
+                             static_cast<std::int32_t>(s_data));
+                    kb.lds(a, my_sh);
+                    kb.lds(b, sh_ixj);
+                    // Ascending when (tid & k) == 0.
+                    kb.andi(dir, tid, static_cast<std::int32_t>(kk));
+                    kb.isetpEq(up, dir, zero);
+                    kb.isetpGt(pgt, a, b);
+                    kb.isetpLt(plt, a, b);
+                    kb.sel(doswap, up, pgt, plt);
+                    kb.ifThen(doswap, [&] {
+                        kb.sts(my_sh, b);
+                        kb.sts(sh_ixj, a);
+                    });
+                });
+            }
+        }
+
+        kb.bar();
+        kb.lds(val, my_sh);
+        const Reg base_out = kb.reg();
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base_out);
+        kb.stg(addr, val);
+
+        prog_ = kb.build();
+    }
+
+    std::vector<std::uint32_t> in_;
+    Addr baseIn_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBitonicSort(unsigned blocks)
+{
+    return std::make_unique<BitonicSort>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

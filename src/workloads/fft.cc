@@ -1,0 +1,255 @@
+/**
+ * @file
+ * CUFFT stand-in (Table 4, Scientific): per-block 256-point radix-2
+ * complex FFT in shared memory with SFU-computed twiddles (SIN/COS).
+ * The block's 120 worker threads form three fully-utilized warps
+ * plus one 24/32-utilized warp, so most instructions are inter-warp
+ * covered while the >80 %-utilized partial warps pull the intra-warp
+ * coverage down — reproducing CUFFT's lowest-coverage spot in the
+ * paper's Fig 9a.
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kPoints = 256;         // complex points per block
+constexpr unsigned kWorkers = 120;        // threads per block
+constexpr unsigned kLogPoints = 8;
+
+unsigned
+bitrev8(unsigned i)
+{
+    unsigned r = 0;
+    for (unsigned b = 0; b < kLogPoints; ++b) {
+        if (i & (1u << b))
+            r |= 1u << (kLogPoints - 1 - b);
+    }
+    return r;
+}
+
+class Fft final : public WorkloadBase
+{
+  public:
+    explicit Fft(unsigned blocks) : WorkloadBase("CUFFT", "Scientific")
+    {
+        block_ = kWorkers;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x4646); // 'FF'
+        in_.resize(std::size_t{grid_} * kPoints * 2);
+        for (auto &v : in_)
+            v = rng.nextFloat() * 2.0f - 1.0f;
+
+        baseIn_ = upload(gpu, in_);
+        baseOut_ = allocOut(gpu, in_.size() * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto out = download<float>(gpu, baseOut_, in_.size());
+        for (unsigned b = 0; b < grid_; ++b) {
+            const auto want = referenceFft(&in_[b * kPoints * 2]);
+            for (unsigned i = 0; i < kPoints * 2; ++i) {
+                if (!nearlyEqual(out[b * kPoints * 2 + i], want[i],
+                                 1e-4f))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    /** CPU reference mirroring the kernel's exact float operations. */
+    static std::vector<float>
+    referenceFft(const float *in)
+    {
+        std::vector<float> x(kPoints * 2);
+        for (unsigned i = 0; i < kPoints; ++i) {
+            const unsigned j = bitrev8(i);
+            x[2 * j] = in[2 * i];
+            x[2 * j + 1] = in[2 * i + 1];
+        }
+        for (unsigned s = 1; s <= kLogPoints; ++s) {
+            const unsigned m = 1u << s, half = m >> 1;
+            const float ang_unit =
+                -std::numbers::pi_v<float> / float(half);
+            for (unsigned b = 0; b < kPoints / 2; ++b) {
+                const unsigned group = b >> (s - 1);
+                const unsigned k = b & (half - 1);
+                const unsigned i1 = group * m + k;
+                const unsigned i2 = i1 + half;
+                const float ang = float(k) * ang_unit;
+                const float wr = std::cos(ang), wi = std::sin(ang);
+                const float x2r = x[2 * i2], x2i = x[2 * i2 + 1];
+                float t = wi * x2i;
+                t = -t;
+                const float tr = std::fma(wr, x2r, t);
+                const float t2 = wi * x2r;
+                const float ti = std::fma(wr, x2i, t2);
+                const float x1r = x[2 * i1], x1i = x[2 * i1 + 1];
+                x[2 * i2] = x1r - tr;
+                x[2 * i2 + 1] = x1i - ti;
+                x[2 * i1] = x1r + tr;
+                x[2 * i1 + 1] = x1i + ti;
+            }
+        }
+        return x;
+    }
+
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("fft", 48);
+        const unsigned s_data = kb.shared(kPoints * 2 * 4);
+
+        const Reg tid = kb.reg(), ctaid = kb.reg();
+        kb.s2r(tid, isa::SpecialReg::Tid);
+        kb.s2r(ctaid, isa::SpecialReg::Ctaid);
+
+        const Reg base_in = kb.reg(), base_out = kb.reg();
+        kb.movi(base_in, static_cast<std::int32_t>(baseIn_));
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+
+        // This block's global segment base (byte address).
+        const Reg blk_in = kb.reg(), blk_out = kb.reg(), t = kb.reg();
+        kb.movi(t, kPoints * 2 * 4);
+        kb.imad(blk_in, ctaid, t, base_in);
+        kb.imad(blk_out, ctaid, t, base_out);
+
+        const Reg i = kb.reg(), p = kb.reg(), c_points = kb.reg();
+        kb.movi(c_points, kPoints);
+
+        const Reg rev = kb.reg(), u = kb.reg(), a_in = kb.reg(),
+                  a_sh = kb.reg(), vr = kb.reg(), vi = kb.reg();
+
+        // Load with bit-reversal: for (i = tid; i < 64; i += 28).
+        kb.mov(i, tid);
+        kb.whileLoop([&] { kb.isetpLt(p, i, c_points); }, p, [&] {
+            // rev = bit-reverse-8(i)
+            kb.movi(rev, 0);
+            for (unsigned bpos = 0; bpos < kLogPoints; ++bpos) {
+                const int dst = static_cast<int>(kLogPoints - 1 - bpos);
+                kb.andi(u, i, 1 << bpos);
+                if (dst > static_cast<int>(bpos))
+                    kb.shli(u, u, dst - static_cast<int>(bpos));
+                else if (dst < static_cast<int>(bpos))
+                    kb.shri(u, u, static_cast<int>(bpos) - dst);
+                kb.or_(rev, rev, u);
+            }
+
+            kb.shli(a_in, i, 3); // 2 floats * 4 bytes
+            kb.iadd(a_in, a_in, blk_in);
+            kb.ldg(vr, a_in, 0);
+            kb.ldg(vi, a_in, 4);
+            kb.shli(a_sh, rev, 3);
+            kb.iaddi(a_sh, a_sh, static_cast<std::int32_t>(s_data));
+            kb.sts(a_sh, vr, 0);
+            kb.sts(a_sh, vi, 4);
+
+            kb.iaddi(i, i, kWorkers);
+        });
+        kb.bar();
+
+        const Reg b = kb.reg(), pb = kb.reg(), grp = kb.reg(),
+                  k = kb.reg(), i1 = kb.reg(), a1 = kb.reg(),
+                  a2 = kb.reg();
+        const Reg kf = kb.reg(), ang = kb.reg(), wr = kb.reg(),
+                  wi = kb.reg(), c_ang = kb.reg();
+        const Reg x1r = kb.reg(), x1i = kb.reg(), x2r = kb.reg(),
+                  x2i = kb.reg(), tr = kb.reg(), ti = kb.reg(),
+                  tt = kb.reg();
+        const Reg c_half_bf = kb.reg();
+        kb.movi(c_half_bf, kPoints / 2);
+
+        for (unsigned s = 1; s <= kLogPoints; ++s) {
+            const unsigned half = 1u << (s - 1);
+            const float ang_unit =
+                -std::numbers::pi_v<float> / float(half);
+
+            kb.mov(b, tid);
+            kb.whileLoop([&] { kb.isetpLt(pb, b, c_half_bf); }, pb,
+                         [&] {
+                kb.shri(grp, b, static_cast<std::int32_t>(s - 1));
+                kb.andi(k, b, static_cast<std::int32_t>(half - 1));
+                kb.shli(i1, grp, static_cast<std::int32_t>(s));
+                kb.iadd(i1, i1, k);
+                // Shared byte addresses of the two complex points.
+                kb.shli(a1, i1, 3);
+                kb.iaddi(a1, a1, static_cast<std::int32_t>(s_data));
+                kb.iaddi(a2, a1, static_cast<std::int32_t>(half * 8));
+
+                kb.i2f(kf, k);
+                kb.movf(c_ang, ang_unit);
+                kb.fmul(ang, kf, c_ang);
+                kb.cos(wr, ang);
+                kb.sin(wi, ang);
+
+                kb.lds(x2r, a2, 0);
+                kb.lds(x2i, a2, 4);
+                kb.fmul(tt, wi, x2i);
+                kb.fneg(tt, tt);
+                kb.ffma(tr, wr, x2r, tt);
+                kb.fmul(tt, wi, x2r);
+                kb.ffma(ti, wr, x2i, tt);
+
+                kb.lds(x1r, a1, 0);
+                kb.lds(x1i, a1, 4);
+                kb.fsub(x2r, x1r, tr);
+                kb.fsub(x2i, x1i, ti);
+                kb.sts(a2, x2r, 0);
+                kb.sts(a2, x2i, 4);
+                kb.fadd(x1r, x1r, tr);
+                kb.fadd(x1i, x1i, ti);
+                kb.sts(a1, x1r, 0);
+                kb.sts(a1, x1i, 4);
+
+                kb.iaddi(b, b, kWorkers);
+            });
+            kb.bar();
+        }
+
+        // Store the spectrum back.
+        kb.mov(i, tid);
+        kb.whileLoop([&] { kb.isetpLt(p, i, c_points); }, p, [&] {
+            kb.shli(a_sh, i, 3);
+            kb.iaddi(a_sh, a_sh, static_cast<std::int32_t>(s_data));
+            kb.lds(vr, a_sh, 0);
+            kb.lds(vi, a_sh, 4);
+            kb.shli(a_in, i, 3);
+            kb.iadd(a_in, a_in, blk_out);
+            kb.stg(a_in, vr, 0);
+            kb.stg(a_in, vi, 4);
+            kb.iaddi(i, i, kWorkers);
+        });
+
+        prog_ = kb.build();
+    }
+
+    std::vector<float> in_;
+    Addr baseIn_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft(unsigned blocks)
+{
+    return std::make_unique<Fft>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

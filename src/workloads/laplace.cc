@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Laplace transform / 5-point stencil (Table 4, Scientific): one
+ * thread per grid cell; interior cells average their four neighbors,
+ * boundary cells copy the input. The boundary test diverges warps
+ * that straddle the domain edge (31/1 splits on row-interior warps),
+ * a mild-divergence profile between BFS and MatrixMul.
+ */
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+class Laplace final : public WorkloadBase
+{
+  public:
+    explicit Laplace(unsigned n)
+        : WorkloadBase("Laplace", "Scientific"), n_(n)
+    {
+        block_ = 128;
+        const unsigned cells = n_ * n_;
+        if (cells % block_ != 0)
+            warped_fatal("Laplace: N*N must be a multiple of ", block_);
+        grid_ = cells / block_;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x4c41); // 'LA'
+        in_.resize(std::size_t{n_} * n_);
+        for (auto &v : in_)
+            v = rng.nextFloat() * 2.0f - 1.0f;
+
+        baseIn_ = upload(gpu, in_);
+        baseOut_ = allocOut(gpu, std::size_t{n_} * n_ * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto out =
+            download<float>(gpu, baseOut_, std::size_t{n_} * n_);
+        for (unsigned i = 0; i < n_; ++i) {
+            for (unsigned j = 0; j < n_; ++j) {
+                float want;
+                if (i == 0 || i == n_ - 1 || j == 0 || j == n_ - 1) {
+                    want = in_[i * n_ + j];
+                } else {
+                    const float sum = ((in_[(i - 1) * n_ + j] +
+                                        in_[(i + 1) * n_ + j]) +
+                                       in_[i * n_ + j - 1]) +
+                                      in_[i * n_ + j + 1];
+                    want = sum * 0.25f;
+                }
+                if (!nearlyEqual(out[i * n_ + j], want))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("laplace", 48);
+        const std::int32_t n = static_cast<std::int32_t>(n_);
+
+        const Reg gtid = kb.reg();
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg c_n = kb.reg(), c4 = kb.reg();
+        kb.movi(c_n, n);
+        kb.movi(c4, 4);
+
+        const Reg i = kb.reg(), j = kb.reg();
+        kb.idiv(i, gtid, c_n);
+        kb.imod(j, gtid, c_n);
+
+        // interior = (i > 0) & (i < n-1) & (j > 0) & (j < n-1)
+        const Reg zero = kb.reg(), nm1 = kb.reg();
+        kb.movi(zero, 0);
+        kb.movi(nm1, n - 1);
+        const Reg p1 = kb.reg(), p2 = kb.reg(), interior = kb.reg();
+        kb.isetpGt(p1, i, zero);
+        kb.isetpLt(p2, i, nm1);
+        kb.and_(interior, p1, p2);
+        kb.isetpGt(p1, j, zero);
+        kb.and_(interior, interior, p1);
+        kb.isetpLt(p2, j, nm1);
+        kb.and_(interior, interior, p2);
+
+        const Reg base_in = kb.reg(), base_out = kb.reg();
+        kb.movi(base_in, static_cast<std::int32_t>(baseIn_));
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+
+        // Byte address of (i, j) in the input grid.
+        const Reg center = kb.reg();
+        kb.imad(center, i, c_n, j);
+        kb.imad(center, center, c4, base_in);
+
+        const Reg result = kb.reg();
+        const Reg up = kb.reg(), down = kb.reg(), left = kb.reg(),
+                  right = kb.reg(), sum = kb.reg(), quarter = kb.reg();
+
+        kb.ifThenElse(
+            interior,
+            [&] {
+                kb.ldg(up, center, -4 * n);
+                kb.ldg(down, center, 4 * n);
+                kb.ldg(left, center, -4);
+                kb.ldg(right, center, 4);
+                kb.fadd(sum, up, down);
+                kb.fadd(sum, sum, left);
+                kb.fadd(sum, sum, right);
+                kb.movf(quarter, 0.25f);
+                kb.fmul(result, sum, quarter);
+            },
+            [&] { kb.ldg(result, center); });
+
+        const Reg addr_out = kb.reg();
+        kb.imad(addr_out, i, c_n, j);
+        kb.imad(addr_out, addr_out, c4, base_out);
+        kb.stg(addr_out, result);
+
+        prog_ = kb.build();
+    }
+
+    unsigned n_;
+    std::vector<float> in_;
+    Addr baseIn_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLaplace(unsigned n)
+{
+    return std::make_unique<Laplace>(n);
+}
+
+} // namespace workloads
+} // namespace warped

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Libor (Table 4, Financial): a Monte-Carlo forward-rate path
+ * simulation in the style of the LIBOR market model benchmark. Each
+ * thread evolves one path: the quasi-random increment and the
+ * drift/discount terms use SFU transcendentals (SIN, EX2, RCP), so
+ * Libor is the suite's SFU-heavy member (Fig 5) while keeping every
+ * warp fully utilized (inter-warp-DMR dominated, like the paper).
+ */
+
+#include <cmath>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kSteps = 24;
+
+class Libor final : public WorkloadBase
+{
+  public:
+    explicit Libor(unsigned blocks)
+        : WorkloadBase("Libor", "Financial")
+    {
+        block_ = 64;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        const unsigned threads = grid_ * block_;
+        seeds_.resize(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            seeds_[t] = 0.01f * static_cast<float>(t) + 0.125f;
+
+        baseSeed_ = upload(gpu, seeds_);
+        baseOut_ = allocOut(gpu, std::size_t{threads} * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const unsigned threads = grid_ * block_;
+        const auto out = download<float>(gpu, baseOut_, threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            if (!nearlyEqual(out[t], reference(seeds_[t])))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    /** CPU reference with the kernel's exact op sequence. */
+    static float
+    reference(float seed)
+    {
+        float x = seed;
+        float rate = 0.05f;
+        float value = 0.0f;
+        for (unsigned k = 0; k < kSteps; ++k) {
+            const float z = std::sin(x);             // SIN
+            x = std::fma(x, 1.61803f, 0.31830f);     // FFMA
+            const float zz = z * z;                  // FMUL
+            const float drift = std::exp2(-zz);      // FNEG + EX2
+            rate = std::fma(rate, drift, 0.001f);    // FFMA
+            const float denom = std::fma(rate, rate, 1.0f); // FFMA
+            const float disc = 1.0f / denom;         // RCP
+            value = std::fma(rate, disc, value);     // FFMA
+        }
+        return value;
+    }
+
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("libor", 32);
+
+        const Reg gtid = kb.reg();
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg base_seed = kb.reg(), addr = kb.reg();
+        kb.movi(base_seed, static_cast<std::int32_t>(baseSeed_));
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base_seed);
+
+        const Reg x = kb.reg();
+        kb.ldg(x, addr);
+
+        const Reg rate = kb.reg(), value = kb.reg();
+        kb.movf(rate, 0.05f);
+        kb.movf(value, 0.0f);
+
+        const Reg c_phi = kb.reg(), c_pi = kb.reg(), c_eps = kb.reg(),
+                  c_one = kb.reg();
+        kb.movf(c_phi, 1.61803f);
+        kb.movf(c_pi, 0.31830f);
+        kb.movf(c_eps, 0.001f);
+        kb.movf(c_one, 1.0f);
+
+        const Reg z = kb.reg(), zz = kb.reg(), drift = kb.reg(),
+                  denom = kb.reg(), disc = kb.reg();
+
+        const Reg i = kb.reg(), c_steps = kb.reg();
+        kb.movi(c_steps, kSteps);
+        kb.forCounter(i, 0, c_steps, 1, [&] {
+            kb.sin(z, x);                  // SFU
+            kb.ffma(x, x, c_phi, c_pi);
+            kb.fmul(zz, z, z);
+            kb.fneg(zz, zz);
+            kb.ex2(drift, zz);             // SFU
+            kb.ffma(rate, rate, drift, c_eps);
+            kb.ffma(denom, rate, rate, c_one);
+            kb.rcp(disc, denom);           // SFU
+            kb.ffma(value, rate, disc, value);
+        });
+
+        const Reg base_out = kb.reg(), out_addr = kb.reg();
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+        kb.shli(out_addr, gtid, 2);
+        kb.iadd(out_addr, out_addr, base_out);
+        kb.stg(out_addr, value);
+
+        prog_ = kb.build();
+    }
+
+    std::vector<float> seeds_;
+    Addr baseSeed_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLibor(unsigned blocks)
+{
+    return std::make_unique<Libor>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

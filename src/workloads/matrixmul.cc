@@ -1,0 +1,237 @@
+/**
+ * @file
+ * MatrixMul (Table 4, Linear Algebra): shared-memory tiled dense
+ * matrix multiply with 2x2 register blocking, the paper's flagship
+ * fully-utilized workload. Every warp runs with a full active mask;
+ * the inner product interleaves 4-deep LDS groups with 4-deep FFMA
+ * groups at a balanced ~50/50 SP / LD-ST mix (like real matmul SASS).
+ * Those short same-type runs are what give MatrixMul the suite's
+ * largest no-ReplayQ overhead in Fig 9b while a 10-entry queue
+ * absorbs most of it.
+ */
+
+#include <cmath>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kTile = 32;   // shared tile is kTile x kTile
+constexpr unsigned kThreads = 256; // 16x16 threads, each owns 2x2 C
+
+class MatrixMul final : public WorkloadBase
+{
+  public:
+    explicit MatrixMul(unsigned n)
+        : WorkloadBase("MatrixMul", "Linear Algebra/Primitives"), n_(n)
+    {
+        if (n_ % kTile != 0)
+            warped_fatal("MatrixMul: N must be a multiple of ", kTile);
+        block_ = kThreads;
+        const unsigned tiles = n_ / kTile;
+        grid_ = tiles * tiles;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x4d4d); // 'MM'
+        a_.resize(std::size_t{n_} * n_);
+        b_.resize(std::size_t{n_} * n_);
+        for (auto &v : a_)
+            v = rng.nextFloat();
+        for (auto &v : b_)
+            v = rng.nextFloat();
+
+        baseA_ = upload(gpu, a_);
+        baseB_ = upload(gpu, b_);
+        baseC_ = allocOut(gpu, std::size_t{n_} * n_ * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto c = download<float>(gpu, baseC_,
+                                       std::size_t{n_} * n_);
+        for (unsigned row = 0; row < n_; ++row) {
+            for (unsigned col = 0; col < n_; ++col) {
+                // One accumulator per C element, sequential in k —
+                // the kernel's exact FP ordering.
+                float acc = 0.0f;
+                for (unsigned k = 0; k < n_; ++k) {
+                    acc = std::fma(a_[row * n_ + k],
+                                   b_[k * n_ + col], acc);
+                }
+                if (!nearlyEqual(c[row * n_ + col], acc, 1e-4f))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("matrixmul", 64);
+
+        const unsigned tiles = n_ / kTile;
+        const std::int32_t n = static_cast<std::int32_t>(n_);
+        const unsigned s_a = kb.shared(kTile * kTile * 4);
+        const unsigned s_b = kb.shared(kTile * kTile * 4);
+
+        const Reg tid = kb.reg(), ctaid = kb.reg();
+        kb.s2r(tid, isa::SpecialReg::Tid);
+        kb.s2r(ctaid, isa::SpecialReg::Ctaid);
+
+        const Reg c16 = kb.reg(), c_n = kb.reg(), c_tiles = kb.reg(),
+                  c4 = kb.reg(), c32 = kb.reg();
+        kb.movi(c16, 16);
+        kb.movi(c_n, n);
+        kb.movi(c_tiles, static_cast<std::int32_t>(tiles));
+        kb.movi(c4, 4);
+        kb.movi(c32, kTile);
+
+        const Reg tx = kb.reg(), ty = kb.reg();
+        kb.imod(tx, tid, c16);
+        kb.idiv(ty, tid, c16);
+        const Reg bx = kb.reg(), by = kb.reg();
+        kb.imod(bx, ctaid, c_tiles);
+        kb.idiv(by, ctaid, c_tiles);
+
+        const Reg base_a = kb.reg(), base_b = kb.reg(),
+                  base_c = kb.reg();
+        kb.movi(base_a, static_cast<std::int32_t>(baseA_));
+        kb.movi(base_b, static_cast<std::int32_t>(baseB_));
+        kb.movi(base_c, static_cast<std::int32_t>(baseC_));
+
+        // 2x2 register blocking: this thread owns C rows
+        // row0 = by*32 + 2*ty (+1) and cols col0 = bx*32 + 2*tx (+1).
+        const Reg row0 = kb.reg(), col0 = kb.reg(), two = kb.reg();
+        kb.movi(two, 2);
+        kb.imul(row0, ty, two);
+        kb.imad(row0, by, c32, row0);
+        kb.imul(col0, tx, two);
+        kb.imad(col0, bx, c32, col0);
+
+        const Reg acc00 = kb.reg(), acc01 = kb.reg(),
+                  acc10 = kb.reg(), acc11 = kb.reg();
+        for (Reg a : {acc00, acc01, acc10, acc11})
+            kb.movf(a, 0.0f);
+
+        // Shared-memory row/column base addresses (constant over the
+        // whole kernel: immediate offsets select k).
+        // sA row bases: s_a + (2*ty+r)*kTile*4 ; sB col base:
+        // s_b + (2*tx)*4, row k selected by offset k*kTile*4.
+        const Reg sh_a0 = kb.reg(), sh_a1 = kb.reg(),
+                  sh_b = kb.reg();
+        kb.imul(sh_a0, ty, two);
+        kb.imul(sh_a0, sh_a0, c32);
+        kb.imul(sh_a0, sh_a0, c4);
+        kb.iaddi(sh_a0, sh_a0, static_cast<std::int32_t>(s_a));
+        kb.iaddi(sh_a1, sh_a0, kTile * 4);
+        kb.imul(sh_b, tx, two);
+        kb.imul(sh_b, sh_b, c4);
+        kb.iaddi(sh_b, sh_b, static_cast<std::int32_t>(s_b));
+
+        // Tile-load cooperative addressing: thread loads elements
+        // tid + 256*j (j = 0..3) of each 32x32 tile; within a tile
+        // those are rows (tid/32 + 8j), col tid%32.
+        const Reg lrow = kb.reg(), lcol = kb.reg();
+        kb.idiv(lrow, tid, c32);
+        kb.imod(lcol, tid, c32);
+        // Shared destination byte address of element (lrow, lcol).
+        const Reg sh_wa = kb.reg(), sh_wb = kb.reg(), t0 = kb.reg();
+        kb.imad(t0, lrow, c32, lcol);
+        kb.imul(t0, t0, c4);
+        kb.iaddi(sh_wa, t0, static_cast<std::int32_t>(s_a));
+        kb.iaddi(sh_wb, t0, static_cast<std::int32_t>(s_b));
+
+        const Reg t = kb.reg();
+        const Reg ga = kb.reg(), gb = kb.reg(), v = kb.reg(),
+                  tmp = kb.reg();
+        const Reg a0 = kb.reg(), a1 = kb.reg(), b0 = kb.reg(),
+                  b1 = kb.reg();
+
+        kb.forCounter(t, 0, c_tiles, 1, [&] {
+            // ga = &A[by*32 + lrow][t*32 + lcol]
+            kb.imad(tmp, by, c32, lrow);
+            kb.imad(tmp, tmp, c_n, lcol);
+            kb.imad(tmp, t, c32, tmp);
+            kb.imad(ga, tmp, c4, base_a);
+            // gb = &B[t*32 + lrow][bx*32 + lcol]
+            kb.imad(tmp, t, c32, lrow);
+            kb.imad(tmp, tmp, c_n, lcol);
+            kb.imad(tmp, bx, c32, tmp);
+            kb.imad(gb, tmp, c4, base_b);
+
+            // Four cooperative rows, 8 apart; global stride 8*N*4,
+            // shared stride 8*32*4 bytes (immediate offsets).
+            for (unsigned j = 0; j < 4; ++j) {
+                const std::int32_t g_off =
+                    static_cast<std::int32_t>(j * 8) * n * 4;
+                const std::int32_t s_off =
+                    static_cast<std::int32_t>(j * 8 * kTile * 4);
+                kb.ldg(v, ga, g_off);
+                kb.sts(sh_wa, v, s_off);
+                kb.ldg(v, gb, g_off);
+                kb.sts(sh_wb, v, s_off);
+            }
+            kb.bar();
+
+            // Inner product over the tile: per k, a 4-deep LDS group
+            // feeding a 4-deep FFMA group (the interleaving a real
+            // compiler emits, since each FFMA consumes the loads just
+            // ahead of it).
+            for (unsigned k = 0; k < kTile; ++k) {
+                const std::int32_t ak = static_cast<std::int32_t>(k * 4);
+                const std::int32_t bk =
+                    static_cast<std::int32_t>(k * kTile * 4);
+                kb.lds(a0, sh_a0, ak);
+                kb.lds(a1, sh_a1, ak);
+                kb.lds(b0, sh_b, bk);
+                kb.lds(b1, sh_b, bk + 4);
+                kb.ffma(acc00, a0, b0, acc00);
+                kb.ffma(acc01, a0, b1, acc01);
+                kb.ffma(acc10, a1, b0, acc10);
+                kb.ffma(acc11, a1, b1, acc11);
+            }
+            kb.bar();
+        });
+
+        // Store the 2x2 block of C.
+        const Reg addr = kb.reg();
+        const Reg accs[4] = {acc00, acc01, acc10, acc11};
+        for (unsigned r = 0; r < 2; ++r) {
+            for (unsigned c = 0; c < 2; ++c) {
+                kb.iaddi(tmp, row0, static_cast<std::int32_t>(r));
+                kb.imad(tmp, tmp, c_n, col0);
+                kb.iaddi(tmp, tmp, static_cast<std::int32_t>(c));
+                kb.imad(addr, tmp, c4, base_c);
+                kb.stg(addr, accs[r * 2 + c]);
+            }
+        }
+
+        prog_ = kb.build();
+    }
+
+    unsigned n_;
+    std::vector<float> a_, b_;
+    Addr baseA_ = 0, baseB_ = 0, baseC_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMatrixMul(unsigned n)
+{
+    return std::make_unique<MatrixMul>(n);
+}
+
+} // namespace workloads
+} // namespace warped

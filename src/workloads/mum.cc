@@ -1,0 +1,173 @@
+/**
+ * @file
+ * MUM (Table 4, Scientific — MUMmer-style sequence matching): each
+ * thread streams one DNA query through a suffix trie of the reference
+ * genome stored in global memory. Match lengths are data dependent,
+ * so warps fray apart as queries die at different depths: a pointer-
+ * chasing, LD/ST-heavy, divergence-heavy profile like the original.
+ */
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kRefLen = 2048;
+constexpr unsigned kQueryLen = 12;
+constexpr std::int32_t kNull = -1;
+
+class Mum final : public WorkloadBase
+{
+  public:
+    explicit Mum(unsigned blocks) : WorkloadBase("MUM", "Scientific")
+    {
+        block_ = 48; // non-multiple of warp size: contiguous-tail warps
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x4d55); // 'MU'
+
+        // Reference string over {A,C,G,T} = {0..3}.
+        std::vector<std::int32_t> ref(kRefLen);
+        for (auto &c : ref)
+            c = static_cast<std::int32_t>(rng.nextBelow(4));
+
+        // Suffix trie up to depth kQueryLen. trie_[node*4+c] = child.
+        trie_.assign(4, kNull); // node 0 = root
+        for (unsigned pos = 0; pos + kQueryLen <= kRefLen; ++pos) {
+            std::int32_t node = 0;
+            for (unsigned d = 0; d < kQueryLen; ++d) {
+                const auto c = ref[pos + d];
+                std::int32_t &slot = trie_[node * 4 + c];
+                if (slot == kNull) {
+                    slot = static_cast<std::int32_t>(trie_.size() / 4);
+                    trie_.insert(trie_.end(), 4, kNull);
+                }
+                node = trie_[node * 4 + c];
+            }
+        }
+
+        // Queries: half sampled from the reference (full-length
+        // matches), half random (die early).
+        const unsigned threads = grid_ * block_;
+        queries_.resize(std::size_t{threads} * kQueryLen);
+        for (unsigned t = 0; t < threads; ++t) {
+            if (rng.nextBool(0.5)) {
+                const unsigned pos =
+                    rng.nextBelow(kRefLen - kQueryLen);
+                for (unsigned d = 0; d < kQueryLen; ++d)
+                    queries_[t * kQueryLen + d] = ref[pos + d];
+            } else {
+                for (unsigned d = 0; d < kQueryLen; ++d)
+                    queries_[t * kQueryLen + d] =
+                        static_cast<std::int32_t>(rng.nextBelow(4));
+            }
+        }
+
+        baseTrie_ = upload(gpu, trie_);
+        baseQuery_ = upload(gpu, queries_);
+        baseOut_ = allocOut(gpu, std::size_t{threads} * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const unsigned threads = grid_ * block_;
+        const auto out =
+            download<std::int32_t>(gpu, baseOut_, threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            std::int32_t node = 0, len = 0;
+            for (unsigned d = 0; d < kQueryLen && node != kNull; ++d) {
+                const auto c = queries_[t * kQueryLen + d];
+                node = trie_[node * 4 + c];
+                if (node != kNull)
+                    ++len;
+            }
+            if (out[t] != len)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("mum", 32);
+
+        const Reg gtid = kb.reg();
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg base_trie = kb.reg(), base_q = kb.reg(),
+                  base_out = kb.reg();
+        kb.movi(base_trie, static_cast<std::int32_t>(baseTrie_));
+        kb.movi(base_q, static_cast<std::int32_t>(baseQuery_));
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+
+        const Reg q_addr = kb.reg(), c_qlen = kb.reg();
+        kb.movi(c_qlen, kQueryLen);
+        kb.imul(q_addr, gtid, c_qlen);
+        kb.shli(q_addr, q_addr, 2);
+        kb.iadd(q_addr, q_addr, base_q);
+
+        const Reg node = kb.reg(), len = kb.reg(), alive = kb.reg(),
+                  minus1 = kb.reg();
+        kb.movi(node, 0);
+        kb.movi(len, 0);
+        kb.movi(alive, 1);
+        kb.movi(minus1, kNull);
+
+        const Reg pos = kb.reg(), t = kb.reg(), ch = kb.reg(),
+                  child = kb.reg(), p_match = kb.reg();
+
+        kb.forCounter(pos, 0, c_qlen, 1, [&] {
+            kb.ifThen(alive, [&] {
+                kb.shli(t, pos, 2);
+                kb.iadd(t, t, q_addr);
+                kb.ldg(ch, t);
+                // child = trie[node*4 + ch]
+                kb.shli(t, node, 2);
+                kb.iadd(t, t, ch);
+                kb.shli(t, t, 2);
+                kb.iadd(t, t, base_trie);
+                kb.ldg(child, t);
+                kb.isetpNe(p_match, child, minus1);
+                kb.ifThenElse(
+                    p_match,
+                    [&] {
+                        kb.mov(node, child);
+                        kb.iaddi(len, len, 1);
+                    },
+                    [&] { kb.movi(alive, 0); });
+            });
+        });
+
+        const Reg out_addr = kb.reg();
+        kb.shli(out_addr, gtid, 2);
+        kb.iadd(out_addr, out_addr, base_out);
+        kb.stg(out_addr, len);
+
+        prog_ = kb.build();
+    }
+
+    std::vector<std::int32_t> trie_, queries_;
+    Addr baseTrie_ = 0, baseQuery_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMum(unsigned blocks)
+{
+    return std::make_unique<Mum>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * NQueen (Table 4, AI/Simulation): 8-queens solution counting. Each
+ * thread exhausts the subtree under one 2-row queen-placement prefix
+ * using an iterative bitmask depth-first search with its stack in
+ * global scratch memory. Subtree sizes differ wildly across threads,
+ * so warps decay into long single-thread tails — the paper's other
+ * deeply divergent workload besides BFS.
+ */
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kQueens = 8;
+constexpr std::int32_t kFull = (1 << kQueens) - 1;
+constexpr unsigned kStackWords = 32; // 4 arrays x 8 depths
+
+/** Reference: count solutions under the (c0, c1) prefix. */
+std::uint32_t
+countRef(unsigned c0, unsigned c1)
+{
+    struct Rec
+    {
+        static std::uint32_t
+        go(std::uint32_t cols, std::uint32_t ld, std::uint32_t rd,
+           unsigned depth)
+        {
+            if (depth == kQueens)
+                return 1;
+            std::uint32_t n = 0;
+            std::uint32_t poss =
+                ~(cols | ld | rd) & static_cast<std::uint32_t>(kFull);
+            while (poss) {
+                const std::uint32_t bit = poss & (~poss + 1);
+                poss ^= bit;
+                n += go(cols | bit, (ld | bit) << 1,
+                        (rd | bit) >> 1, depth + 1);
+            }
+            return n;
+        }
+    };
+    const std::uint32_t b0 = 1u << c0;
+    const std::uint32_t b1 = 1u << c1;
+    const std::uint32_t cols0 = b0, ld0 = b0 << 1, rd0 = b0 >> 1;
+    if (b1 & (cols0 | ld0 | rd0))
+        return 0;
+    return Rec::go(cols0 | b1, (ld0 | b1) << 1, (rd0 | b1) >> 1, 2);
+}
+
+class Nqueen final : public WorkloadBase
+{
+  public:
+    explicit Nqueen(unsigned blocks)
+        : WorkloadBase("Nqueen", "AI/Simulation")
+    {
+        block_ = 64; // one thread per 2-row prefix
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        const unsigned threads = grid_ * block_;
+        baseScratch_ = gpu.allocator().alloc(
+            std::size_t{threads} * kStackWords * 4);
+        baseOut_ = allocOut(gpu, std::size_t{threads} * 4);
+        bytesIn_ += 64; // parameter block only: NQueen is compute-bound
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const unsigned threads = grid_ * block_;
+        const auto out =
+            download<std::uint32_t>(gpu, baseOut_, threads);
+        std::uint64_t total = 0;
+        for (unsigned t = 0; t < threads; ++t) {
+            const unsigned prefix = t % 64;
+            const auto want = countRef(prefix % 8, prefix / 8);
+            if (out[t] != want)
+                return false;
+            total += out[t];
+        }
+        // All 64 prefixes together enumerate the full board.
+        return total == 92ULL * (std::uint64_t{threads} / 64);
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("nqueen", 48);
+
+        const Reg gtid = kb.reg();
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg c8 = kb.reg(), c64 = kb.reg();
+        kb.movi(c8, 8);
+        kb.movi(c64, 64);
+
+        const Reg prefix = kb.reg(), c0 = kb.reg(), c1 = kb.reg();
+        kb.imod(prefix, gtid, c64);
+        kb.imod(c0, prefix, c8);
+        kb.idiv(c1, prefix, c8);
+
+        const Reg one = kb.reg(), b0 = kb.reg(), b1 = kb.reg();
+        kb.movi(one, 1);
+        kb.shl(b0, one, c0);
+        kb.shl(b1, one, c1);
+
+        // Depth-1 attack masks from the row-0 queen.
+        const Reg cols = kb.reg(), ld = kb.reg(), rd = kb.reg(),
+                  attacked = kb.reg(), p_valid = kb.reg(),
+                  zero = kb.reg();
+        kb.movi(zero, 0);
+        kb.mov(cols, b0);
+        kb.shli(ld, b0, 1);
+        kb.shri(rd, b0, 1);
+        kb.or_(attacked, cols, ld);
+        kb.or_(attacked, attacked, rd);
+        kb.and_(attacked, attacked, b1);
+        kb.isetpEq(p_valid, attacked, zero);
+
+        const Reg count = kb.reg();
+        kb.movi(count, 0);
+
+        // Per-thread scratch base: poss at +0, cols at +32B,
+        // ld at +64B, rd at +96B (8 words each).
+        const Reg scratch = kb.reg(), t = kb.reg();
+        kb.movi(t, kStackWords * 4);
+        kb.imul(scratch, gtid, t);
+        kb.iaddi(scratch, scratch,
+                 static_cast<std::int32_t>(baseScratch_));
+
+        const Reg d = kb.reg(), daddr = kb.reg(), p_loop = kb.reg(),
+                  poss = kb.reg(), p_has = kb.reg(), bit = kb.reg(),
+                  nbit = kb.reg(), p_last = kb.reg(), np = kb.reg(),
+                  c7 = kb.reg(), c2 = kb.reg(), full = kb.reg();
+        kb.movi(c7, 7);
+        kb.movi(c2, 2);
+        kb.movi(full, kFull);
+
+        kb.ifThen(p_valid, [&] {
+            // Depth-2 state after both prefix queens.
+            kb.or_(cols, cols, b1);
+            kb.or_(ld, ld, b1);
+            kb.shli(ld, ld, 1);
+            kb.or_(rd, rd, b1);
+            kb.shri(rd, rd, 1);
+
+            // Store the depth-2 frame.
+            kb.movi(d, 2);
+            auto frame_addr = [&](const Reg &dst, unsigned array) {
+                kb.shli(dst, d, 2);
+                kb.iadd(dst, dst, scratch);
+                if (array)
+                    kb.iaddi(dst, dst,
+                             static_cast<std::int32_t>(array * 32));
+            };
+            const Reg fa = kb.reg();
+            // poss[2] = ~(cols|ld|rd) & full
+            kb.or_(np, cols, ld);
+            kb.or_(np, np, rd);
+            kb.not_(np, np);
+            kb.and_(np, np, full);
+            frame_addr(fa, 0);
+            kb.stg(fa, np);
+            frame_addr(fa, 1);
+            kb.stg(fa, cols);
+            frame_addr(fa, 2);
+            kb.stg(fa, ld);
+            frame_addr(fa, 3);
+            kb.stg(fa, rd);
+
+            kb.whileLoop([&] { kb.isetpGe(p_loop, d, c2); }, p_loop,
+                         [&] {
+                frame_addr(daddr, 0);
+                kb.ldg(poss, daddr);
+                kb.isetpNe(p_has, poss, zero);
+                kb.ifThenElse(
+                    p_has,
+                    [&] {
+                        // bit = poss & -poss; poss ^= bit
+                        kb.isub(nbit, zero, poss);
+                        kb.and_(bit, poss, nbit);
+                        kb.xor_(poss, poss, bit);
+                        kb.stg(daddr, poss);
+                        kb.isetpEq(p_last, d, c7);
+                        kb.ifThenElse(
+                            p_last,
+                            [&] { kb.iaddi(count, count, 1); },
+                            [&] {
+                                // Descend: child masks from this
+                                // frame's stored state.
+                                frame_addr(fa, 1);
+                                kb.ldg(cols, fa);
+                                frame_addr(fa, 2);
+                                kb.ldg(ld, fa);
+                                frame_addr(fa, 3);
+                                kb.ldg(rd, fa);
+                                kb.or_(cols, cols, bit);
+                                kb.or_(ld, ld, bit);
+                                kb.shli(ld, ld, 1);
+                                kb.or_(rd, rd, bit);
+                                kb.shri(rd, rd, 1);
+                                kb.or_(np, cols, ld);
+                                kb.or_(np, np, rd);
+                                kb.not_(np, np);
+                                kb.and_(np, np, full);
+                                kb.iaddi(d, d, 1);
+                                frame_addr(fa, 0);
+                                kb.stg(fa, np);
+                                frame_addr(fa, 1);
+                                kb.stg(fa, cols);
+                                frame_addr(fa, 2);
+                                kb.stg(fa, ld);
+                                frame_addr(fa, 3);
+                                kb.stg(fa, rd);
+                            });
+                    },
+                    [&] { kb.iaddi(d, d, -1); });
+            });
+        });
+
+        const Reg base_out = kb.reg(), out_addr = kb.reg();
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+        kb.shli(out_addr, gtid, 2);
+        kb.iadd(out_addr, out_addr, base_out);
+        kb.stg(out_addr, count);
+
+        prog_ = kb.build();
+    }
+
+    Addr baseScratch_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNqueen(unsigned blocks)
+{
+    return std::make_unique<Nqueen>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

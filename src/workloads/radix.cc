@@ -1,0 +1,212 @@
+/**
+ * @file
+ * RadixSort (Table 4, Sorting): per-block LSD radix sort of 256
+ * 8-bit keys — 8 split-by-bit passes, each built from a flag vector,
+ * a Blelloch exclusive scan in shared memory and a scatter. The
+ * pass structure alternates full-warp phases with the scan's
+ * shrinking-activity tree, a profile between SCAN and MatrixMul.
+ */
+
+#include <algorithm>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kN = 256;   // keys per block == threads
+constexpr unsigned kBits = 8;  // key width
+
+class RadixSort final : public WorkloadBase
+{
+  public:
+    explicit RadixSort(unsigned blocks)
+        : WorkloadBase("RadixSort", "Sorting")
+    {
+        block_ = kN;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x5253); // 'RS'
+        in_.resize(std::size_t{grid_} * kN);
+        for (auto &v : in_)
+            v = static_cast<std::uint32_t>(rng.nextBelow(1u << kBits));
+
+        baseIn_ = upload(gpu, in_);
+        baseOut_ = allocOut(gpu, in_.size() * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto out =
+            download<std::uint32_t>(gpu, baseOut_, in_.size());
+        for (unsigned b = 0; b < grid_; ++b) {
+            std::vector<std::uint32_t> want(in_.begin() + b * kN,
+                                            in_.begin() + (b + 1) * kN);
+            std::sort(want.begin(), want.end());
+            for (unsigned i = 0; i < kN; ++i) {
+                if (out[b * kN + i] != want[i])
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("radixsort", 48);
+        const unsigned s_keys = kb.shared(kN * 4);
+        const unsigned s_scan = kb.shared(kN * 4);
+        const unsigned s_tmp = kb.shared(kN * 4);
+        const unsigned s_total = kb.shared(4);
+
+        const Reg tid = kb.reg(), gtid = kb.reg();
+        kb.s2r(tid, isa::SpecialReg::Tid);
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg addr = kb.reg(), val = kb.reg();
+        const Reg base_in = kb.reg();
+        kb.movi(base_in, static_cast<std::int32_t>(baseIn_));
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base_in);
+        kb.ldg(val, addr);
+
+        // Per-thread shared byte addresses into the three buffers.
+        const Reg a_key = kb.reg(), a_scan = kb.reg(),
+                  a_tmp = kb.reg(), t4 = kb.reg();
+        kb.shli(t4, tid, 2);
+        kb.iaddi(a_key, t4, static_cast<std::int32_t>(s_keys));
+        kb.iaddi(a_scan, t4, static_cast<std::int32_t>(s_scan));
+        kb.iaddi(a_tmp, t4, static_cast<std::int32_t>(s_tmp));
+        kb.sts(a_key, val);
+
+        const Reg cd = kb.reg(), pred = kb.reg();
+        const Reg ai = kb.reg(), bi = kb.reg(), va = kb.reg(),
+                  vb = kb.reg();
+
+        auto tree_addrs = [&](unsigned offset) {
+            kb.shli(ai, tid, 1);
+            kb.iaddi(ai, ai, 1);
+            kb.shli(ai, ai, static_cast<std::int32_t>(
+                                std::countr_zero(offset)));
+            kb.iaddi(ai, ai, -1);
+            kb.iaddi(bi, ai, static_cast<std::int32_t>(offset));
+            kb.shli(ai, ai, 2);
+            kb.iaddi(ai, ai, static_cast<std::int32_t>(s_scan));
+            kb.shli(bi, bi, 2);
+            kb.iaddi(bi, bi, static_cast<std::int32_t>(s_scan));
+        };
+
+        /** Exclusive Blelloch scan of s_scan, leaving the element
+         *  total in s_total. */
+        auto emit_scan = [&] {
+            for (unsigned d = kN / 2, offset = 1; d > 0;
+                 d >>= 1, offset <<= 1) {
+                kb.bar();
+                kb.movi(cd, static_cast<std::int32_t>(d));
+                kb.isetpLt(pred, tid, cd);
+                const unsigned off = offset;
+                kb.ifThen(pred, [&] {
+                    tree_addrs(off);
+                    kb.lds(va, ai);
+                    kb.lds(vb, bi);
+                    kb.iadd(vb, vb, va);
+                    kb.sts(bi, vb);
+                });
+            }
+            kb.bar();
+            kb.movi(cd, kN - 1);
+            kb.isetpEq(pred, tid, cd);
+            kb.ifThen(pred, [&] {
+                kb.movi(ai, static_cast<std::int32_t>(
+                                s_scan + (kN - 1) * 4));
+                kb.lds(va, ai);
+                kb.movi(bi, static_cast<std::int32_t>(s_total));
+                kb.sts(bi, va);
+                kb.movi(va, 0);
+                kb.sts(ai, va);
+            });
+            for (unsigned d = 1, offset = kN / 2; d < kN;
+                 d <<= 1, offset >>= 1) {
+                kb.bar();
+                kb.movi(cd, static_cast<std::int32_t>(d));
+                kb.isetpLt(pred, tid, cd);
+                const unsigned off = offset;
+                kb.ifThen(pred, [&] {
+                    tree_addrs(off);
+                    kb.lds(va, ai);
+                    kb.lds(vb, bi);
+                    kb.sts(ai, vb);
+                    kb.iadd(vb, vb, va);
+                    kb.sts(bi, vb);
+                });
+            }
+            kb.bar();
+        };
+
+        const Reg key = kb.reg(), bit = kb.reg(), flag = kb.reg(),
+                  one = kb.reg();
+        kb.movi(one, 1);
+        const Reg rank0 = kb.reg(), total0 = kb.reg(), pos = kb.reg(),
+                  a_total = kb.reg(), a_dst = kb.reg(), tmp = kb.reg();
+        kb.movi(a_total, static_cast<std::int32_t>(s_total));
+
+        for (unsigned b = 0; b < kBits; ++b) {
+            kb.lds(key, a_key);
+            kb.shri(bit, key, static_cast<std::int32_t>(b));
+            kb.andi(bit, bit, 1);
+            kb.xor_(flag, bit, one); // 1 when the bit is 0
+            kb.sts(a_scan, flag);
+
+            emit_scan();
+
+            kb.lds(rank0, a_scan);
+            kb.lds(total0, a_total);
+            // pos = flag ? rank0 : total0 + (tid - rank0)
+            kb.isub(tmp, tid, rank0);
+            kb.iadd(tmp, tmp, total0);
+            kb.sel(pos, flag, rank0, tmp);
+
+            kb.shli(a_dst, pos, 2);
+            kb.iaddi(a_dst, a_dst, static_cast<std::int32_t>(s_tmp));
+            kb.sts(a_dst, key);
+            kb.bar();
+            kb.lds(key, a_tmp);
+            kb.sts(a_key, key);
+            kb.bar();
+        }
+
+        const Reg base_out = kb.reg();
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+        kb.lds(val, a_key);
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base_out);
+        kb.stg(addr, val);
+
+        prog_ = kb.build();
+    }
+
+    std::vector<std::uint32_t> in_;
+    Addr baseIn_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeRadixSort(unsigned blocks)
+{
+    return std::make_unique<RadixSort>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

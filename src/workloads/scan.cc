@@ -1,0 +1,171 @@
+/**
+ * @file
+ * SCAN (Table 4, Primitives): per-block Blelloch work-efficient
+ * exclusive prefix sum over 256 elements in shared memory. The
+ * upsweep/downsweep trees halve the number of active threads each
+ * step (128, 64, ..., 1), painting the whole spectrum of partial
+ * active masks that intra-warp DMR feeds on (Fig 1).
+ */
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kN = 256; // elements per block == block threads
+
+class Scan final : public WorkloadBase
+{
+  public:
+    explicit Scan(unsigned blocks)
+        : WorkloadBase("SCAN", "Linear Algebra/Primitives")
+    {
+        block_ = kN;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x5343); // 'SC'
+        in_.resize(std::size_t{grid_} * kN);
+        for (auto &v : in_)
+            v = static_cast<std::uint32_t>(rng.nextBelow(1000));
+
+        baseIn_ = upload(gpu, in_);
+        baseOut_ = allocOut(gpu, in_.size() * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const auto out =
+            download<std::uint32_t>(gpu, baseOut_, in_.size());
+        for (unsigned b = 0; b < grid_; ++b) {
+            std::uint32_t acc = 0;
+            for (unsigned i = 0; i < kN; ++i) {
+                if (out[b * kN + i] != acc)
+                    return false;
+                acc += in_[b * kN + i];
+            }
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("scan", 32);
+        const unsigned s_data = kb.shared(kN * 4);
+
+        const Reg tid = kb.reg(), gtid = kb.reg();
+        kb.s2r(tid, isa::SpecialReg::Tid);
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg base_in = kb.reg(), base_out = kb.reg(),
+                  addr = kb.reg();
+        kb.movi(base_in, static_cast<std::int32_t>(baseIn_));
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+
+        // Shared byte address of element tid.
+        const Reg my_sh = kb.reg();
+        kb.shli(my_sh, tid, 2);
+        kb.iaddi(my_sh, my_sh, static_cast<std::int32_t>(s_data));
+
+        const Reg val = kb.reg();
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base_in);
+        kb.ldg(val, addr);
+        kb.sts(my_sh, val);
+
+        const Reg cd = kb.reg(), pred = kb.reg();
+        const Reg ai = kb.reg(), bi = kb.reg();
+        const Reg va = kb.reg(), vb = kb.reg();
+
+        // Emit ai/bi shared addresses for the tree step with the
+        // given offset: ai = (2*tid+1)*offset - 1, bi = ai + offset.
+        auto tree_addrs = [&](unsigned offset) {
+            kb.shli(ai, tid, 1);
+            kb.iaddi(ai, ai, 1);
+            kb.shli(ai, ai, static_cast<std::int32_t>(
+                                std::countr_zero(offset)));
+            kb.iaddi(ai, ai, -1);
+            kb.iaddi(bi, ai, static_cast<std::int32_t>(offset));
+            kb.shli(ai, ai, 2);
+            kb.iaddi(ai, ai, static_cast<std::int32_t>(s_data));
+            kb.shli(bi, bi, 2);
+            kb.iaddi(bi, bi, static_cast<std::int32_t>(s_data));
+        };
+
+        // Upsweep (reduce) phase.
+        for (unsigned d = kN / 2, offset = 1; d > 0;
+             d >>= 1, offset <<= 1) {
+            kb.bar();
+            kb.movi(cd, static_cast<std::int32_t>(d));
+            kb.isetpLt(pred, tid, cd);
+            const unsigned off = offset;
+            kb.ifThen(pred, [&] {
+                tree_addrs(off);
+                kb.lds(va, ai);
+                kb.lds(vb, bi);
+                kb.iadd(vb, vb, va);
+                kb.sts(bi, vb);
+            });
+        }
+
+        // Clear the root for the exclusive scan.
+        kb.bar();
+        kb.movi(cd, kN - 1);
+        kb.isetpEq(pred, tid, cd);
+        kb.ifThen(pred, [&] {
+            kb.movi(va, 0);
+            kb.movi(ai, static_cast<std::int32_t>(
+                            s_data + (kN - 1) * 4));
+            kb.sts(ai, va);
+        });
+
+        // Downsweep phase.
+        for (unsigned d = 1, offset = kN / 2; d < kN;
+             d <<= 1, offset >>= 1) {
+            kb.bar();
+            kb.movi(cd, static_cast<std::int32_t>(d));
+            kb.isetpLt(pred, tid, cd);
+            const unsigned off = offset;
+            kb.ifThen(pred, [&] {
+                tree_addrs(off);
+                kb.lds(va, ai);
+                kb.lds(vb, bi);
+                kb.sts(ai, vb);
+                kb.iadd(vb, vb, va);
+                kb.sts(bi, vb);
+            });
+        }
+
+        kb.bar();
+        kb.lds(val, my_sh);
+        kb.shli(addr, gtid, 2);
+        kb.iadd(addr, addr, base_out);
+        kb.stg(addr, val);
+
+        prog_ = kb.build();
+    }
+
+    std::vector<std::uint32_t> in_;
+    Addr baseIn_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeScan(unsigned blocks)
+{
+    return std::make_unique<Scan>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

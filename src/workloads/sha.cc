@@ -1,0 +1,249 @@
+/**
+ * @file
+ * SHA (Table 4, Compression/Encryption): each thread compresses one
+ * 64-byte message chunk with a 24-round SHA-256-style compression
+ * function (real Ch/Maj/Sigma round structure and the standard round
+ * constants). All warps are fully utilized and the register-resident
+ * rounds form the longest same-type (SP) issue runs of the suite —
+ * SHA is one of the paper's long-switch-distance outliers in Fig 8a.
+ */
+
+#include <array>
+
+#include "isa/kernel_builder.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+namespace {
+
+constexpr unsigned kRounds = 24;
+
+// First kRounds SHA-256 round constants.
+constexpr std::array<std::uint32_t, 24> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da};
+
+constexpr std::array<std::uint32_t, 8> kH0 = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+std::uint32_t
+rotr(std::uint32_t x, unsigned r)
+{
+    return (x >> r) | (x << (32 - r));
+}
+
+/** CPU reference: must mirror the kernel's exact operation set. */
+std::uint32_t
+compressRef(const std::uint32_t *w16)
+{
+    std::array<std::uint32_t, 16> w;
+    for (unsigned i = 0; i < 16; ++i)
+        w[i] = w16[i];
+    std::array<std::uint32_t, 8> h = kH0;
+    for (unsigned r = 0; r < kRounds; ++r) {
+        std::uint32_t wr;
+        if (r < 16) {
+            wr = w[r];
+        } else {
+            const std::uint32_t w15 = w[(r - 15) & 15];
+            const std::uint32_t w2 = w[(r - 2) & 15];
+            const std::uint32_t s0 =
+                rotr(w15, 7) ^ rotr(w15, 18) ^ (w15 >> 3);
+            const std::uint32_t s1 =
+                rotr(w2, 17) ^ rotr(w2, 19) ^ (w2 >> 10);
+            wr = w[r & 15] + s0 + w[(r - 7) & 15] + s1;
+            w[r & 15] = wr;
+        }
+        const std::uint32_t S1 =
+            rotr(h[4], 6) ^ rotr(h[4], 11) ^ rotr(h[4], 25);
+        const std::uint32_t ch = (h[4] & h[5]) ^ (~h[4] & h[6]);
+        const std::uint32_t t1 = h[7] + S1 + ch + kK[r] + wr;
+        const std::uint32_t S0 =
+            rotr(h[0], 2) ^ rotr(h[0], 13) ^ rotr(h[0], 22);
+        const std::uint32_t maj =
+            (h[0] & h[1]) ^ (h[0] & h[2]) ^ (h[1] & h[2]);
+        const std::uint32_t t2 = S0 + maj;
+        h[7] = h[6];
+        h[6] = h[5];
+        h[5] = h[4];
+        h[4] = h[3] + t1;
+        h[3] = h[2];
+        h[2] = h[1];
+        h[1] = h[0];
+        h[0] = t1 + t2;
+    }
+    // Fold the state into one word (the kernel stores one digest word
+    // per thread).
+    std::uint32_t d = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        d ^= h[i] + kH0[i];
+    return d;
+}
+
+class Sha final : public WorkloadBase
+{
+  public:
+    explicit Sha(unsigned blocks)
+        : WorkloadBase("SHA", "Compression/Encryption")
+    {
+        block_ = 64;
+        grid_ = blocks;
+    }
+
+    void
+    setup(gpu::Gpu &gpu) override
+    {
+        Rng rng(0x5348); // 'SH'
+        const unsigned threads = grid_ * block_;
+        msg_.resize(std::size_t{threads} * 16);
+        for (auto &v : msg_)
+            v = static_cast<std::uint32_t>(rng.next());
+
+        baseMsg_ = upload(gpu, msg_);
+        baseOut_ = allocOut(gpu, std::size_t{threads} * 4);
+        buildKernel();
+    }
+
+    bool
+    verify(const gpu::Gpu &gpu) const override
+    {
+        const unsigned threads = grid_ * block_;
+        const auto out =
+            download<std::uint32_t>(gpu, baseOut_, threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            if (out[t] != compressRef(&msg_[std::size_t{t} * 16]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    void
+    buildKernel()
+    {
+        using isa::Reg;
+        isa::KernelBuilder kb("sha", 48);
+
+        const Reg gtid = kb.reg();
+        kb.s2r(gtid, isa::SpecialReg::Gtid);
+
+        const Reg base_msg = kb.reg(), addr = kb.reg();
+        kb.movi(base_msg, static_cast<std::int32_t>(baseMsg_));
+        kb.shli(addr, gtid, 6); // 16 words * 4 bytes per thread
+        kb.iadd(addr, addr, base_msg);
+
+        // Message schedule ring buffer: 16 registers.
+        Reg w[16];
+        for (unsigned i = 0; i < 16; ++i) {
+            w[i] = kb.reg();
+            kb.ldg(w[i], addr, static_cast<std::int32_t>(i * 4));
+        }
+
+        // Working state a..h.
+        Reg h[8];
+        for (unsigned i = 0; i < 8; ++i) {
+            h[i] = kb.reg();
+            kb.movi(h[i], static_cast<std::int32_t>(kH0[i]));
+        }
+
+        const Reg t1 = kb.reg(), t2 = kb.reg(), s = kb.reg(),
+                  u = kb.reg(), v = kb.reg();
+
+        // Rounds, fully unrolled: a long SP burst per round.
+        for (unsigned r = 0; r < kRounds; ++r) {
+            Reg wr = w[r & 15];
+            if (r >= 16) {
+                // w[r] = w[r-16] + s0(w[r-15]) + w[r-7] + s1(w[r-2])
+                const Reg w15 = w[(r - 15) & 15];
+                const Reg w2 = w[(r - 2) & 15];
+                kb.ror(s, w15, 7, u);
+                kb.ror(v, w15, 18, u);
+                kb.xor_(s, s, v);
+                kb.shri(v, w15, 3);
+                kb.xor_(s, s, v);           // s = s0
+                kb.iadd(wr, wr, s);
+                kb.ror(s, w2, 17, u);
+                kb.ror(v, w2, 19, u);
+                kb.xor_(s, s, v);
+                kb.shri(v, w2, 10);
+                kb.xor_(s, s, v);           // s = s1
+                kb.iadd(wr, wr, s);
+                kb.iadd(wr, wr, w[(r - 7) & 15]);
+            }
+            // t1 = h + S1(e) + Ch(e,f,g) + K[r] + w[r]
+            kb.ror(s, h[4], 6, u);
+            kb.ror(v, h[4], 11, u);
+            kb.xor_(s, s, v);
+            kb.ror(v, h[4], 25, u);
+            kb.xor_(s, s, v);               // s = S1
+            kb.iadd(t1, h[7], s);
+            kb.and_(u, h[4], h[5]);
+            kb.not_(v, h[4]);
+            kb.and_(v, v, h[6]);
+            kb.xor_(u, u, v);               // u = Ch
+            kb.iadd(t1, t1, u);
+            kb.iaddi(t1, t1, static_cast<std::int32_t>(kK[r]));
+            kb.iadd(t1, t1, wr);
+            // t2 = S0(a) + Maj(a,b,c)
+            kb.ror(s, h[0], 2, u);
+            kb.ror(v, h[0], 13, u);
+            kb.xor_(s, s, v);
+            kb.ror(v, h[0], 22, u);
+            kb.xor_(s, s, v);               // s = S0
+            kb.and_(u, h[0], h[1]);
+            kb.and_(v, h[0], h[2]);
+            kb.xor_(u, u, v);
+            kb.and_(v, h[1], h[2]);
+            kb.xor_(u, u, v);               // u = Maj
+            kb.iadd(t2, s, u);
+            // Rotate the state by register renaming; the registers of
+            // the dying h and d values are recycled for e' and a'.
+            const Reg old_h = h[7], old_d = h[3];
+            h[7] = h[6];
+            h[6] = h[5];
+            h[5] = h[4];
+            kb.iadd(old_h, old_d, t1); // e' = d + t1
+            h[4] = old_h;
+            h[3] = h[2];
+            h[2] = h[1];
+            h[1] = h[0];
+            kb.iadd(old_d, t1, t2);    // a' = t1 + t2
+            h[0] = old_d;
+        }
+
+        // Fold the state into one output word: xor of (h[i] + H0[i]).
+        const Reg acc = kb.reg();
+        kb.movi(acc, 0);
+        for (unsigned i = 0; i < 8; ++i) {
+            kb.iaddi(u, h[i], static_cast<std::int32_t>(kH0[i]));
+            kb.xor_(acc, acc, u);
+        }
+
+        const Reg base_out = kb.reg(), out_addr = kb.reg();
+        kb.movi(base_out, static_cast<std::int32_t>(baseOut_));
+        kb.shli(out_addr, gtid, 2);
+        kb.iadd(out_addr, out_addr, base_out);
+        kb.stg(out_addr, acc);
+
+        prog_ = kb.build();
+    }
+
+    std::vector<std::uint32_t> msg_;
+    Addr baseMsg_ = 0, baseOut_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSha(unsigned blocks)
+{
+    return std::make_unique<Sha>(blocks);
+}
+
+} // namespace workloads
+} // namespace warped

@@ -1,0 +1,91 @@
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workloads/workload_base.hh"
+
+namespace warped {
+namespace workloads {
+
+bool
+nearlyEqual(float a, float b, float rel)
+{
+    if (a == b)
+        return true;
+    if (std::isnan(a) || std::isnan(b))
+        return false;
+    const float diff = std::fabs(a - b);
+    const float mag = std::fmax(std::fabs(a), std::fabs(b));
+    return diff <= rel * std::fmax(mag, 1.0f);
+}
+
+gpu::LaunchResult
+run(Workload &w, gpu::Gpu &gpu)
+{
+    w.setup(gpu);
+    return gpu.launch(w.program(), w.gridBlocks(), w.blockThreads());
+}
+
+gpu::LaunchResult
+runVerified(Workload &w, gpu::Gpu &gpu)
+{
+    auto r = run(w, gpu);
+    if (!w.verify(gpu))
+        warped_fatal("workload '", w.name(),
+                     "' failed output verification on a fault-free GPU");
+    return r;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeAll()
+{
+    std::vector<std::unique_ptr<Workload>> v;
+    v.push_back(makeBfs());
+    v.push_back(makeNqueen());
+    v.push_back(makeMum());
+    v.push_back(makeScan());
+    v.push_back(makeBitonicSort());
+    v.push_back(makeLaplace());
+    v.push_back(makeMatrixMul());
+    v.push_back(makeRadixSort());
+    v.push_back(makeSha());
+    v.push_back(makeLibor());
+    v.push_back(makeFft());
+    return v;
+}
+
+const std::vector<std::string> &
+allNames()
+{
+    static const std::vector<std::string> names = {
+        "BFS", "Nqueen", "MUM", "SCAN", "BitonicSort", "Laplace",
+        "MatrixMul", "RadixSort", "SHA", "Libor", "CUFFT"};
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeByName(const std::string &name)
+{
+    return makeByNameScaled(name, 1);
+}
+
+std::unique_ptr<Workload>
+makeByNameScaled(const std::string &name, unsigned s)
+{
+    if (name == "BFS") return makeBfs(30 * s);
+    if (name == "Nqueen") return makeNqueen(24 * s);
+    if (name == "MUM") return makeMum(30 * s);
+    if (name == "SCAN") return makeScan(40 * s);
+    if (name == "BitonicSort") return makeBitonicSort(30 * s);
+    if (name == "Laplace") return s == 1 ? makeLaplace() : nullptr;
+    if (name == "MatrixMul") return s == 1 ? makeMatrixMul() : nullptr;
+    if (name == "RadixSort") return makeRadixSort(24 * s);
+    if (name == "SHA") return makeSha(30 * s);
+    if (name == "Libor") return makeLibor(30 * s);
+    if (name == "CUFFT") return makeFft(30 * s);
+    warped_fatal("unknown workload '", name, "'");
+}
+
+} // namespace workloads
+} // namespace warped

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Benchmark workloads (paper Table 4).
+ *
+ * Each workload is a real algorithm hand-written in the mini-ISA:
+ * it lays out device buffers, builds its kernel, declares its launch
+ * geometry and host<->device transfer sizes (Fig 10), and verifies
+ * the GPU's output against a CPU reference computed with identical
+ * operation ordering (so float results match bit-for-bit on a
+ * fault-free machine).
+ */
+
+#ifndef WARPED_WORKLOADS_WORKLOAD_HH
+#define WARPED_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "isa/program.hh"
+
+namespace warped {
+namespace workloads {
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Benchmark name as used in the paper's figures. */
+    virtual const std::string &name() const = 0;
+
+    /** Table-4 application category. */
+    virtual const std::string &category() const = 0;
+
+    /** Write inputs into device memory and build the kernel. */
+    virtual void setup(gpu::Gpu &gpu) = 0;
+
+    virtual const isa::Program &program() const = 0;
+    virtual unsigned gridBlocks() const = 0;
+    virtual unsigned blockThreads() const = 0;
+
+    /** Host->device bytes a real run would copy before launch. */
+    virtual std::size_t bytesIn() const = 0;
+    /** Device->host bytes copied back after the kernel. */
+    virtual std::size_t bytesOut() const = 0;
+
+    /** Compare device results against the CPU reference. */
+    virtual bool verify(const gpu::Gpu &gpu) const = 0;
+};
+
+/** setup + launch; fatal when verify() fails on a fault-free GPU. */
+gpu::LaunchResult runVerified(Workload &w, gpu::Gpu &gpu);
+
+/** setup + launch without verification (fault-injection runs). */
+gpu::LaunchResult run(Workload &w, gpu::Gpu &gpu);
+
+// ---- factories (scale 1 = the default benchmark size) --------------
+std::unique_ptr<Workload> makeBfs(unsigned blocks = 30);
+std::unique_ptr<Workload> makeNqueen(unsigned blocks = 24);
+std::unique_ptr<Workload> makeMum(unsigned blocks = 30);
+std::unique_ptr<Workload> makeScan(unsigned blocks = 40);
+std::unique_ptr<Workload> makeBitonicSort(unsigned blocks = 30);
+std::unique_ptr<Workload> makeLaplace(unsigned n = 64);
+std::unique_ptr<Workload> makeMatrixMul(unsigned n = 160);
+std::unique_ptr<Workload> makeRadixSort(unsigned blocks = 24);
+std::unique_ptr<Workload> makeSha(unsigned blocks = 30);
+std::unique_ptr<Workload> makeLibor(unsigned blocks = 30);
+std::unique_ptr<Workload> makeFft(unsigned blocks = 30);
+
+/** All 11 Table-4 workloads, in the paper's Fig-1 order. */
+std::vector<std::unique_ptr<Workload>> makeAll();
+
+/** Factory by paper name (BFS, Nqueen, MUM, SCAN, BitonicSort,
+ *  Laplace, MatrixMul, RadixSort, SHA, Libor, CUFFT). */
+std::unique_ptr<Workload> makeByName(const std::string &name);
+
+/** The 11 paper names in Fig-1 order. */
+const std::vector<std::string> &allNames();
+
+/**
+ * Factory with a thread-block multiplier (R-Thread's doubled grids).
+ * Returns nullptr for workloads whose geometry is not expressed in
+ * blocks (Laplace, MatrixMul) when block_scale != 1.
+ */
+std::unique_ptr<Workload> makeByNameScaled(const std::string &name,
+                                           unsigned block_scale);
+
+} // namespace workloads
+} // namespace warped
+
+#endif // WARPED_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared plumbing for workload implementations.
+ */
+
+#ifndef WARPED_WORKLOADS_WORKLOAD_BASE_HH
+#define WARPED_WORKLOADS_WORKLOAD_BASE_HH
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "workloads/workload.hh"
+
+namespace warped {
+namespace workloads {
+
+class WorkloadBase : public Workload
+{
+  public:
+    WorkloadBase(std::string name, std::string category)
+        : name_(std::move(name)), category_(std::move(category))
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    const std::string &category() const override { return category_; }
+    const isa::Program &program() const override { return prog_; }
+    unsigned gridBlocks() const override { return grid_; }
+    unsigned blockThreads() const override { return block_; }
+    std::size_t bytesIn() const override { return bytesIn_; }
+    std::size_t bytesOut() const override { return bytesOut_; }
+
+  protected:
+    /** Copy a host vector to a fresh device buffer; tracks bytesIn. */
+    template <typename T>
+    Addr
+    upload(gpu::Gpu &gpu, const std::vector<T> &host)
+    {
+        const std::size_t n = host.size() * sizeof(T);
+        const Addr a = gpu.allocator().alloc(n ? n : 4);
+        if (n)
+            gpu.mem().copyIn(a, host.data(), n);
+        bytesIn_ += n;
+        return a;
+    }
+
+    /** Allocate an output buffer; tracks bytesOut. */
+    Addr
+    allocOut(gpu::Gpu &gpu, std::size_t bytes)
+    {
+        const Addr a = gpu.allocator().alloc(bytes ? bytes : 4);
+        bytesOut_ += bytes;
+        return a;
+    }
+
+    /** Read back a device buffer into a host vector. */
+    template <typename T>
+    std::vector<T>
+    download(const gpu::Gpu &gpu, Addr addr, std::size_t count) const
+    {
+        std::vector<T> host(count);
+        if (count)
+            gpu.mem().copyOut(addr, host.data(), count * sizeof(T));
+        return host;
+    }
+
+    std::string name_;
+    std::string category_;
+    isa::Program prog_;
+    unsigned grid_ = 1;
+    unsigned block_ = 32;
+    std::size_t bytesIn_ = 0;
+    std::size_t bytesOut_ = 0;
+};
+
+/** Float comparison helper: exact match expected on the fault-free
+ *  machine (identical op ordering), but verify with a tiny epsilon so
+ *  the check stays meaningful if the reference is ever reordered. */
+bool nearlyEqual(float a, float b, float rel = 1e-5f);
+
+} // namespace workloads
+} // namespace warped
+
+#endif // WARPED_WORKLOADS_WORKLOAD_BASE_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests: common substrate (LaneMask, Rng, logging, scalar
+ * reinterpretation helpers).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/lane_mask.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+using namespace warped;
+
+TEST(LaneMask, FullAndSingle)
+{
+    EXPECT_EQ(LaneMask::full(32).count(), 32u);
+    EXPECT_EQ(LaneMask::full(64).count(), 64u);
+    EXPECT_EQ(LaneMask::full(1).raw(), 1ull);
+    EXPECT_TRUE(LaneMask::single(5).test(5));
+    EXPECT_EQ(LaneMask::single(5).count(), 1u);
+    EXPECT_TRUE(LaneMask().none());
+}
+
+TEST(LaneMask, SetClearAssign)
+{
+    LaneMask m;
+    m.set(3);
+    m.set(17);
+    EXPECT_TRUE(m.test(3));
+    EXPECT_TRUE(m.test(17));
+    EXPECT_EQ(m.count(), 2u);
+    m.clear(3);
+    EXPECT_FALSE(m.test(3));
+    m.assign(3, true);
+    EXPECT_TRUE(m.test(3));
+    m.assign(3, false);
+    EXPECT_FALSE(m.test(3));
+}
+
+TEST(LaneMask, BitwiseOps)
+{
+    const LaneMask a(0b1100), b(0b1010);
+    EXPECT_EQ((a & b).raw(), 0b1000ull);
+    EXPECT_EQ((a | b).raw(), 0b1110ull);
+    EXPECT_EQ((a ^ b).raw(), 0b0110ull);
+    EXPECT_EQ((a & ~b).raw(), 0b0100ull);
+}
+
+TEST(LaneMask, ClusterBits)
+{
+    // Lanes 0,1 in cluster 0 and lane 5 in cluster 1 (width 4).
+    LaneMask m(0b100011);
+    EXPECT_EQ(m.clusterBits(0, 4), 0b0011ull);
+    EXPECT_EQ(m.clusterBits(1, 4), 0b0010ull);
+    EXPECT_EQ(m.clusterBits(0, 8), 0b100011ull);
+}
+
+TEST(LaneMask, AllOfAndLowest)
+{
+    EXPECT_TRUE(LaneMask::full(32).allOf(32));
+    LaneMask m = LaneMask::full(32);
+    m.clear(31);
+    EXPECT_FALSE(m.allOf(32));
+    EXPECT_TRUE(m.allOf(31));
+    EXPECT_EQ(LaneMask(0b11000).lowest(), 3u);
+}
+
+TEST(LaneMask, ToString)
+{
+    EXPECT_EQ(LaneMask(0b0011).toString(4), "1100");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBelow(17), 17u);
+        const auto v = r.nextRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const float f = r.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+    }
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    setVerbose(false);
+    EXPECT_THROW(warped_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    setVerbose(false);
+    EXPECT_THROW(warped_fatal("bad config"), std::runtime_error);
+}
+
+TEST(Types, FloatRoundTrip)
+{
+    EXPECT_EQ(asFloat(asReg(1.5f)), 1.5f);
+    EXPECT_EQ(asReg(asFloat(0x40490fdbu)), 0x40490fdbu);
+    EXPECT_EQ(asSigned(0xffffffffu), -1);
+}

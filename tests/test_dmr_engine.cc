@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests: the Warped-DMR engine — Algorithm 1 path by path,
+ * intra/inter classification, coverage accounting, detection, and
+ * the DMTR mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dmr/dmr_engine.hh"
+#include "fault/fault_injector.hh"
+#include "mem/memory.hh"
+
+using namespace warped;
+using dmr::DmrConfig;
+using dmr::DmrEngine;
+
+namespace {
+
+struct EngineFixture : ::testing::Test
+{
+    EngineFixture()
+        : cfg(arch::GpuConfig::testDefault()), global(4096),
+          exec(cfg, 0, global, func::NullFaultHook::instance())
+    {
+    }
+
+    DmrEngine
+    makeEngine(DmrConfig d)
+    {
+        return DmrEngine(cfg, d, exec, 1);
+    }
+
+    /** A synthetic executed instruction with plausible payloads. */
+    func::ExecRecord
+    rec(isa::Opcode op, unsigned active_count = 32,
+        unsigned warp_id = 0, unsigned dst = 1, unsigned src = 2)
+    {
+        func::ExecRecord r;
+        r.instr.op = op;
+        r.instr.dst = isa::Reg{static_cast<RegIndex>(dst)};
+        r.instr.src[0] = isa::Reg{static_cast<RegIndex>(src)};
+        r.warpId = warp_id;
+        for (unsigned s = 0; s < active_count; ++s)
+            r.active.set(s);
+        for (unsigned s = 0; s < 32; ++s) {
+            r.operands[0][s] = s + 1;
+            r.operands[1][s] = 7;
+            std::array<RegValue, 3> ops = {r.operands[0][s],
+                                           r.operands[1][s], 0};
+            r.results[s] = func::Executor::computeLane(
+                r.instr, ops, r.laneInfo[s]);
+        }
+        return r;
+    }
+
+    arch::GpuConfig cfg;
+    mem::Memory global;
+    func::Executor exec;
+};
+
+} // namespace
+
+TEST_F(EngineFixture, DisabledEngineDoesNothing)
+{
+    auto e = makeEngine(DmrConfig::off());
+    EXPECT_EQ(e.onIssue(rec(isa::Opcode::IADD), 0), 0u);
+    EXPECT_EQ(e.stats().verifiableThreadInstrs, 0u);
+    EXPECT_EQ(e.stats().comparisons, 0u);
+}
+
+TEST_F(EngineFixture, PartialMaskGoesIntraWarp)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD, /*active*/ 8), 0);
+    const auto &s = e.stats();
+    EXPECT_EQ(s.intraWarpInstrs, 1u);
+    EXPECT_EQ(s.interWarpInstrs, 0u);
+    // 8 active spread by cross mapping over 8 clusters: one active
+    // and three idle per cluster -> every active covered.
+    EXPECT_EQ(s.intraVerifiedThreads, 8u);
+    EXPECT_EQ(s.verifiableThreadInstrs, 8u);
+    EXPECT_FALSE(e.hasPending());
+    EXPECT_EQ(s.errorsDetected, 0u);
+}
+
+TEST_F(EngineFixture, FullMaskBecomesPending)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD), 0);
+    EXPECT_TRUE(e.hasPending());
+    EXPECT_EQ(e.stats().interWarpInstrs, 1u);
+    EXPECT_EQ(e.stats().verifiedThreadInstrs, 0u); // not yet verified
+}
+
+TEST_F(EngineFixture, Algorithm1CoexecOnTypeSwitch)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD), 0);          // SP, pending
+    const auto stall = e.onIssue(rec(isa::Opcode::LDG), 1); // LDST
+    EXPECT_EQ(stall, 0u);
+    EXPECT_EQ(e.stats().coexecVerifications, 1u);
+    EXPECT_EQ(e.stats().interVerifiedThreads, 32u);
+    EXPECT_TRUE(e.hasPending()); // the LDG is now pending
+}
+
+TEST_F(EngineFixture, Algorithm1EnqueueOnSameType)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD), 0);
+    const auto stall = e.onIssue(rec(isa::Opcode::IMUL), 1); // SP too
+    EXPECT_EQ(stall, 0u);
+    EXPECT_EQ(e.stats().enqueues, 1u);
+    EXPECT_EQ(e.replayQueueSize(), 1u);
+}
+
+TEST_F(EngineFixture, Algorithm1DequeueDifferentType)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    // Queue an SP entry via a same-type pair.
+    e.onIssue(rec(isa::Opcode::IADD, 32, 0, 1), 0);
+    e.onIssue(rec(isa::Opcode::IMUL, 32, 0, 3), 1);
+    ASSERT_EQ(e.replayQueueSize(), 1u);
+    // LDST pair: the pending LDG is same-type with the incoming STG,
+    // so the queued *SP* entry is dequeued and verified while the STG
+    // issues, and the LDG is enqueued.
+    e.onIssue(rec(isa::Opcode::LDG, 32, 0, 4), 2);  // coexec SP IMUL
+    e.onIssue(rec(isa::Opcode::STG, 32, 0, 0), 3);
+    const auto &s = e.stats();
+    EXPECT_GE(s.dequeueVerifications + s.coexecVerifications +
+                  s.unitDrainVerifications,
+              2u);
+    // Everything issued so far except the live pending is verified or
+    // queued; drain the rest and check totals.
+    e.drainAll(10);
+    EXPECT_EQ(s.verifiedThreadInstrs, e.stats().verifiableThreadInstrs);
+}
+
+TEST_F(EngineFixture, Algorithm1EagerStallWhenQueueFull)
+{
+    auto d = DmrConfig::paperDefault();
+    d.replayQSize = 0;
+    auto e = makeEngine(d);
+    e.onIssue(rec(isa::Opcode::IADD), 0);
+    const auto stall = e.onIssue(rec(isa::Opcode::IMUL), 1);
+    EXPECT_EQ(stall, 1u);
+    EXPECT_EQ(e.stats().eagerStalls, 1u);
+    // The eager re-execution verified the pending instruction.
+    EXPECT_EQ(e.stats().interVerifiedThreads, 32u);
+}
+
+TEST_F(EngineFixture, RawHazardStallVerifiesProducer)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    // Producer of r5 queued (same-type pair of SP instructions).
+    e.onIssue(rec(isa::Opcode::IADD, 32, /*warp*/ 0, /*dst*/ 5), 0);
+    e.onIssue(rec(isa::Opcode::IMUL, 32, 0, /*dst*/ 6), 1);
+    ASSERT_EQ(e.replayQueueSize(), 1u);
+
+    // Consumer instruction reading r5 from the same warp.
+    isa::Instruction consumer;
+    consumer.op = isa::Opcode::IADD;
+    consumer.dst = isa::Reg{7};
+    consumer.src[0] = isa::Reg{5};
+    EXPECT_TRUE(e.rawHazardStall(0, consumer, 2));
+    EXPECT_EQ(e.stats().rawStalls, 1u);
+    EXPECT_EQ(e.replayQueueSize(), 0u);
+    // Re-check: hazard resolved.
+    EXPECT_FALSE(e.rawHazardStall(0, consumer, 3));
+}
+
+TEST_F(EngineFixture, RawHazardIgnoresOtherWarps)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD, 32, /*warp*/ 0, /*dst*/ 5), 0);
+    e.onIssue(rec(isa::Opcode::IMUL, 32, 0, 6), 1);
+    isa::Instruction consumer;
+    consumer.op = isa::Opcode::IADD;
+    consumer.src[0] = isa::Reg{5};
+    EXPECT_FALSE(e.rawHazardStall(/*warp*/ 1, consumer, 2));
+}
+
+TEST_F(EngineFixture, IdleCycleDrainsPendingThenQueue)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD), 0);
+    e.onIssue(rec(isa::Opcode::IMUL), 1); // first IADD queued
+    EXPECT_TRUE(e.hasPending());
+    e.onIdleCycle(2); // verifies the pending IMUL
+    EXPECT_FALSE(e.hasPending());
+    EXPECT_EQ(e.replayQueueSize(), 1u);
+    e.onIdleCycle(3); // drains the queued IADD
+    EXPECT_EQ(e.replayQueueSize(), 0u);
+    EXPECT_EQ(e.stats().idleDrainVerifications, 2u);
+    EXPECT_EQ(e.stats().verifiedThreadInstrs, 64u);
+}
+
+TEST_F(EngineFixture, DrainAllEmptiesEverything)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    for (unsigned i = 0; i < 6; ++i)
+        e.onIssue(rec(isa::Opcode::IADD, 32, 0, i), i);
+    const auto cycles = e.drainAll(100);
+    EXPECT_GT(cycles, 0u);
+    EXPECT_FALSE(e.hasPending());
+    EXPECT_EQ(e.replayQueueSize(), 0u);
+    EXPECT_EQ(e.stats().verifiedThreadInstrs,
+              e.stats().verifiableThreadInstrs);
+}
+
+TEST_F(EngineFixture, OpportunisticUnitDrain)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    // Pair of SP instructions: the first one is enqueued.
+    e.onIssue(rec(isa::Opcode::IADD), 0);
+    e.onIssue(rec(isa::Opcode::IMUL), 1);
+    ASSERT_EQ(e.replayQueueSize(), 1u);
+    // LDG issues: the pending IMUL co-executes on the idle SP slot,
+    // so the queued SP IADD must wait (both SP slots would collide).
+    e.onIssue(rec(isa::Opcode::LDG), 2);
+    EXPECT_EQ(e.replayQueueSize(), 1u);
+    EXPECT_EQ(e.stats().coexecVerifications, 1u);
+    // A second LDST: same type as the pending LDG, so Algorithm 1
+    // dequeues the waiting SP entry for the now-idle SP unit and
+    // enqueues the LDG in its place.
+    e.onIssue(rec(isa::Opcode::STG, 32, 0, 0), 3);
+    EXPECT_EQ(e.stats().dequeueVerifications, 1u);
+    EXPECT_EQ(e.replayQueueSize(), 1u); // the LDG
+    EXPECT_TRUE(e.hasPending());        // the STG
+    // An SFU instruction: the pending STG co-executes on LD/ST and
+    // the opportunistic drain verifies the queued LDG... except the
+    // LD/ST slot is taken by the co-execution — so it drains on the
+    // next SP-issuing cycle instead.
+    e.onIssue(rec(isa::Opcode::SIN), 4);
+    EXPECT_EQ(e.replayQueueSize(), 1u);
+    e.onIssue(rec(isa::Opcode::IADD, 32, 0, 9), 5);
+    // SP issues, pending SIN co-execs on SFU, LD/ST slot is free:
+    // the queued LDG drains opportunistically.
+    EXPECT_EQ(e.stats().unitDrainVerifications, 1u);
+    EXPECT_EQ(e.replayQueueSize(), 0u);
+}
+
+TEST_F(EngineFixture, BranchesParticipateInTypeComparisonOnly)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::LDG), 0); // pending LDST
+    // A branch (SP type, not verifiable) co-executes the pending LDG.
+    func::ExecRecord br = rec(isa::Opcode::BRA);
+    br.instr.dst = isa::Reg{0};
+    EXPECT_EQ(e.onIssue(br, 1), 0u);
+    EXPECT_EQ(e.stats().coexecVerifications, 1u);
+    // The branch itself never becomes pending (nothing to verify).
+    EXPECT_FALSE(e.hasPending());
+    // And it is not part of the coverage denominator.
+    EXPECT_EQ(e.stats().verifiableThreadInstrs, 32u);
+}
+
+TEST_F(EngineFixture, DmtrVerifiesPartialMasksTemporally)
+{
+    auto e = makeEngine(DmrConfig::dmtr());
+    e.onIssue(rec(isa::Opcode::IADD, /*active*/ 4), 0);
+    EXPECT_TRUE(e.hasPending()); // partial mask still pends in DMTR
+    EXPECT_EQ(e.stats().intraVerifiedThreads, 0u);
+    e.onIdleCycle(1);
+    EXPECT_EQ(e.stats().interVerifiedThreads, 4u);
+}
+
+TEST_F(EngineFixture, IntraDisabledLeavesPartialUnverified)
+{
+    auto d = DmrConfig::paperDefault();
+    d.intraWarp = false;
+    auto e = makeEngine(d);
+    e.onIssue(rec(isa::Opcode::IADD, 8), 0);
+    e.drainAll(1);
+    EXPECT_EQ(e.stats().verifiedThreadInstrs, 0u);
+    EXPECT_EQ(e.stats().verifiableThreadInstrs, 8u);
+    EXPECT_LT(e.stats().coverage(), 1.0);
+}
+
+TEST_F(EngineFixture, DetectsCorruptedPrimaryResult)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    auto r = rec(isa::Opcode::IADD);
+    r.results[3] ^= 0x4; // corrupt one lane's recorded result
+    e.onIssue(r, 0);
+    e.drainAll(1);
+    EXPECT_EQ(e.stats().errorsDetected, 1u);
+    ASSERT_EQ(e.stats().errorLog.size(), 1u);
+    EXPECT_EQ(e.stats().errorLog[0].slot, 3u);
+    EXPECT_FALSE(e.stats().errorLog[0].intraWarp);
+}
+
+TEST_F(EngineFixture, IntraWarpDetectsCorruption)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    auto r = rec(isa::Opcode::IADD, /*active*/ 4);
+    r.results[2] += 1;
+    e.onIssue(r, 0);
+    EXPECT_GE(e.stats().errorsDetected, 1u);
+    EXPECT_TRUE(e.stats().errorLog[0].intraWarp);
+}
+
+TEST_F(EngineFixture, LaneShuffleSendsCheckerToDifferentLane)
+{
+    auto e = makeEngine(DmrConfig::paperDefault());
+    e.onIssue(rec(isa::Opcode::IADD), 0);
+    e.onIdleCycle(1);
+    // Force a mismatch to inspect the lanes used.
+    auto r = rec(isa::Opcode::IADD);
+    r.results[0] ^= 1;
+    e.onIssue(r, 2);
+    e.drainAll(3);
+    ASSERT_FALSE(e.stats().errorLog.empty());
+    const auto &ev = e.stats().errorLog.front();
+    EXPECT_NE(ev.checkerLane, ev.primaryLane);
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests: mini-ISA (opcode table, instruction formatting, program
+ * validation, KernelBuilder structured control flow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/kernel_builder.hh"
+#include "isa/program.hh"
+
+using namespace warped;
+using namespace warped::isa;
+
+TEST(Opcode, TableConsistency)
+{
+    for (unsigned i = 0; i < opcodeCount(); ++i) {
+        const auto op = static_cast<Opcode>(i);
+        EXPECT_NE(opcodeName(op), nullptr);
+        EXPECT_LE(opcodeNumSrcs(op), 3u);
+        if (opcodeIsLoad(op)) {
+            EXPECT_TRUE(opcodeHasDst(op));
+            EXPECT_EQ(opcodeUnit(op), UnitType::LDST);
+        }
+        if (opcodeIsStore(op)) {
+            EXPECT_FALSE(opcodeHasDst(op));
+            EXPECT_EQ(opcodeUnit(op), UnitType::LDST);
+        }
+        if (opcodeIsBranch(op)) {
+            EXPECT_FALSE(opcodeHasDst(op));
+        }
+    }
+}
+
+TEST(Opcode, UnitClassification)
+{
+    EXPECT_EQ(opcodeUnit(Opcode::FFMA), UnitType::SP);
+    EXPECT_EQ(opcodeUnit(Opcode::SIN), UnitType::SFU);
+    EXPECT_EQ(opcodeUnit(Opcode::LDG), UnitType::LDST);
+    EXPECT_EQ(opcodeUnit(Opcode::BRA), UnitType::SP);
+    EXPECT_TRUE(opcodeIsSharedMem(Opcode::LDS));
+    EXPECT_TRUE(opcodeIsSharedMem(Opcode::STS));
+    EXPECT_FALSE(opcodeIsSharedMem(Opcode::LDG));
+}
+
+TEST(Instruction, Disassembly)
+{
+    Instruction in;
+    in.op = Opcode::IADD;
+    in.dst = Reg{3};
+    in.src[0] = Reg{1};
+    in.src[1] = Reg{2};
+    EXPECT_EQ(in.toString(), "IADD r3, r1, r2");
+
+    Instruction mv;
+    mv.op = Opcode::MOVI;
+    mv.dst = Reg{0};
+    mv.imm = -7;
+    EXPECT_EQ(mv.toString(), "MOVI r0, #-7");
+}
+
+TEST(Program, ValidateRejectsEmpty)
+{
+    setVerbose(false);
+    Program p("empty", {}, 4, 0);
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(Program, ValidateRejectsBadBranchTarget)
+{
+    setVerbose(false);
+    Instruction br;
+    br.op = Opcode::BRA;
+    br.target = 99;
+    Instruction ex;
+    ex.op = Opcode::EXIT;
+    Program p("bad", {br, ex}, 4, 0);
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(Program, ValidateRejectsMissingReconv)
+{
+    setVerbose(false);
+    Instruction br;
+    br.op = Opcode::BRZ;
+    br.src[0] = Reg{0};
+    br.target = 1;
+    br.reconv = kNoPc;
+    Instruction ex;
+    ex.op = Opcode::EXIT;
+    Program p("noreconv", {br, ex}, 4, 0);
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(Program, ValidateRejectsRegisterOverflow)
+{
+    setVerbose(false);
+    Instruction in;
+    in.op = Opcode::MOVI;
+    in.dst = Reg{9};
+    Instruction ex;
+    ex.op = Opcode::EXIT;
+    Program p("regs", {in, ex}, 4, 0);
+    EXPECT_THROW(p.validate(), std::runtime_error);
+}
+
+TEST(Builder, AppendsExit)
+{
+    KernelBuilder kb("k");
+    auto r = kb.reg();
+    kb.movi(r, 1);
+    const auto p = kb.build();
+    EXPECT_EQ(p.at(p.size() - 1).op, Opcode::EXIT);
+}
+
+TEST(Builder, RegisterExhaustionIsFatal)
+{
+    setVerbose(false);
+    KernelBuilder kb("k", 2);
+    kb.reg();
+    kb.reg();
+    EXPECT_THROW(kb.reg(), std::runtime_error);
+}
+
+TEST(Builder, SharedAllocatorAligns)
+{
+    KernelBuilder kb("k");
+    EXPECT_EQ(kb.shared(6), 0u);
+    EXPECT_EQ(kb.shared(4), 8u); // previous rounded up to 8
+    auto r = kb.reg();
+    kb.movi(r, 0);
+    EXPECT_EQ(kb.build().sharedBytes(), 12u);
+}
+
+TEST(Builder, IfThenShapes)
+{
+    KernelBuilder kb("k");
+    auto p = kb.reg(), x = kb.reg();
+    kb.movi(p, 1);
+    kb.ifThen(p, [&] { kb.movi(x, 5); });
+    const auto prog = kb.build();
+    // pc0 MOVI, pc1 BRZ -> 3 (reconv 3), pc2 MOVI, pc3 EXIT
+    EXPECT_EQ(prog.at(1).op, Opcode::BRZ);
+    EXPECT_EQ(prog.at(1).target, 3u);
+    EXPECT_EQ(prog.at(1).reconv, 3u);
+}
+
+TEST(Builder, IfThenElseShapes)
+{
+    KernelBuilder kb("k");
+    auto p = kb.reg(), x = kb.reg();
+    kb.movi(p, 1);
+    kb.ifThenElse(p, [&] { kb.movi(x, 1); }, [&] { kb.movi(x, 2); });
+    const auto prog = kb.build();
+    // pc0 MOVI, pc1 BRZ -> else(4) reconv 5, pc2 then, pc3 BRA -> 5,
+    // pc4 else, pc5 EXIT
+    EXPECT_EQ(prog.at(1).op, Opcode::BRZ);
+    EXPECT_EQ(prog.at(1).target, 4u);
+    EXPECT_EQ(prog.at(1).reconv, 5u);
+    EXPECT_EQ(prog.at(3).op, Opcode::BRA);
+    EXPECT_EQ(prog.at(3).target, 5u);
+}
+
+TEST(Builder, WhileLoopShapes)
+{
+    KernelBuilder kb("k");
+    auto p = kb.reg(), x = kb.reg();
+    kb.whileLoop([&] { kb.isetpLt(p, x, x); }, p,
+                 [&] { kb.iaddi(x, x, 1); });
+    const auto prog = kb.build();
+    // pc0 ISETP_LT, pc1 BRZ -> 4 reconv 4, pc2 IADDI, pc3 BRA -> 0,
+    // pc4 EXIT
+    EXPECT_EQ(prog.at(1).op, Opcode::BRZ);
+    EXPECT_EQ(prog.at(1).target, 4u);
+    EXPECT_EQ(prog.at(1).reconv, 4u);
+    EXPECT_EQ(prog.at(3).op, Opcode::BRA);
+    EXPECT_EQ(prog.at(3).target, 0u);
+}
+
+TEST(Builder, RorRequiresDistinctScratch)
+{
+    setVerbose(false);
+    KernelBuilder kb("k");
+    auto a = kb.reg(), d = kb.reg(), s = kb.reg();
+    EXPECT_THROW(kb.ror(d, a, 0, s), std::runtime_error);
+    EXPECT_THROW(kb.ror(d, a, 5, a), std::runtime_error);
+    kb.ror(d, a, 5, s); // ok
+    EXPECT_EQ(kb.here(), 3u);
+}
+
+TEST(Builder, ForCounterStepZeroIsFatal)
+{
+    setVerbose(false);
+    KernelBuilder kb("k");
+    auto i = kb.reg(), lim = kb.reg();
+    EXPECT_THROW(kb.forCounter(i, 0, lim, 0, [] {}),
+                 std::runtime_error);
+}
+
+TEST(Instruction, ShuffleDisassembly)
+{
+    Instruction in;
+    in.op = Opcode::SHFL_XOR;
+    in.dst = Reg{2};
+    in.src[0] = Reg{1};
+    in.imm = 16;
+    EXPECT_EQ(in.toString(), "SHFL_XOR r2, r1, #16");
+}
+
+TEST(Instruction, NegativeMemOffsetDisassembly)
+{
+    Instruction in;
+    in.op = Opcode::LDG;
+    in.dst = Reg{0};
+    in.src[0] = Reg{3};
+    in.imm = -8;
+    EXPECT_EQ(in.toString(), "LDG r0, r3, [r3-8]");
+}
+
+TEST(Opcode, ShuffleClassification)
+{
+    EXPECT_TRUE(opcodeIsShuffle(Opcode::SHFL_XOR));
+    EXPECT_TRUE(opcodeIsShuffle(Opcode::SHFL_DOWN));
+    EXPECT_FALSE(opcodeIsShuffle(Opcode::MOV));
+    EXPECT_EQ(opcodeUnit(Opcode::SHFL_XOR), UnitType::SP);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit and property tests: thread-to-core mapping (§4.2) and lane
+ * shuffling (§3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "dmr/rfu.hh"
+#include "dmr/thread_mapping.hh"
+
+using namespace warped;
+using dmr::MappingPolicy;
+using dmr::ThreadCoreMapping;
+
+TEST(Mapping, LinearIsIdentity)
+{
+    ThreadCoreMapping m(MappingPolicy::Linear, 32, 4);
+    for (unsigned s = 0; s < 32; ++s) {
+        EXPECT_EQ(m.laneOf(s), s);
+        EXPECT_EQ(m.slotOf(s), s);
+    }
+}
+
+TEST(Mapping, CrossClusterRoundRobin)
+{
+    // §4.2: thread 0 -> cluster 0, thread 1 -> cluster 1, ...
+    ThreadCoreMapping m(MappingPolicy::CrossCluster, 32, 4);
+    const unsigned n_clusters = 8;
+    for (unsigned s = 0; s < 32; ++s)
+        EXPECT_EQ(m.laneOf(s) / 4, s % n_clusters) << "slot " << s;
+    EXPECT_EQ(m.laneOf(0), 0u);
+    EXPECT_EQ(m.laneOf(1), 4u);
+    EXPECT_EQ(m.laneOf(8), 1u);
+}
+
+class MappingBijection
+    : public ::testing::TestWithParam<std::pair<MappingPolicy, unsigned>>
+{
+};
+
+TEST_P(MappingBijection, IsBijective)
+{
+    const auto [policy, width] = GetParam();
+    ThreadCoreMapping m(policy, 32, width);
+    std::uint64_t seen = 0;
+    for (unsigned s = 0; s < 32; ++s) {
+        const unsigned l = m.laneOf(s);
+        ASSERT_LT(l, 32u);
+        EXPECT_FALSE((seen >> l) & 1) << "lane " << l << " duplicated";
+        seen |= 1ULL << l;
+        EXPECT_EQ(m.slotOf(l), s);
+    }
+    EXPECT_EQ(seen, ~0ULL >> 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, MappingBijection,
+    ::testing::Values(std::pair{MappingPolicy::Linear, 4u},
+                      std::pair{MappingPolicy::CrossCluster, 4u},
+                      std::pair{MappingPolicy::Linear, 8u},
+                      std::pair{MappingPolicy::CrossCluster, 8u}));
+
+TEST(Mapping, MaskPermutation)
+{
+    ThreadCoreMapping m(MappingPolicy::CrossCluster, 32, 4);
+    LaneMask slots;
+    slots.set(0);
+    slots.set(1);
+    const auto lanes = m.toLaneSpace(slots);
+    EXPECT_TRUE(lanes.test(0));
+    EXPECT_TRUE(lanes.test(4));
+    EXPECT_EQ(lanes.count(), 2u);
+}
+
+TEST(Mapping, CrossSpreadsContiguousActivity)
+{
+    // The §4.2 motivation: a contiguous run of k active threads lands
+    // in ceil(k/8) clusters under the linear mapping but spreads over
+    // min(k, 8) clusters under cross mapping, so idle checker lanes
+    // are available in-cluster.
+    ThreadCoreMapping cross(MappingPolicy::CrossCluster, 32, 4);
+    ThreadCoreMapping linear(MappingPolicy::Linear, 32, 4);
+    for (unsigned k = 1; k <= 16; ++k) {
+        LaneMask slots;
+        for (unsigned s = 0; s < k; ++s)
+            slots.set(s);
+        const auto lm = linear.toLaneSpace(slots);
+        const auto cm = cross.toLaneSpace(slots);
+        unsigned covered_linear = 0, covered_cross = 0;
+        for (unsigned c = 0; c < 8; ++c) {
+            covered_linear +=
+                std::popcount(dmr::Rfu::covered(lm.clusterBits(c, 4), 4));
+            covered_cross +=
+                std::popcount(dmr::Rfu::covered(cm.clusterBits(c, 4), 4));
+        }
+        EXPECT_GE(covered_cross, covered_linear) << "k=" << k;
+        if (k == 16) {
+            // 16 contiguous actives: linear fills 4 clusters solid
+            // (zero coverage); cross puts 2 active + 2 idle in every
+            // cluster (full coverage).
+            EXPECT_EQ(covered_linear, 0u);
+            EXPECT_EQ(covered_cross, 16u);
+        }
+    }
+}
+
+TEST(Mapping, BadGeometryPanics)
+{
+    setVerbose(false);
+    EXPECT_THROW(ThreadCoreMapping(MappingPolicy::Linear, 30, 4),
+                 std::logic_error);
+    EXPECT_THROW(ThreadCoreMapping(MappingPolicy::Linear, 0, 4),
+                 std::logic_error);
+}
+
+TEST(LaneShuffle, DifferentLaneSameCluster)
+{
+    // §3.2: the verifying core must differ from the original core but
+    // stay within the SIMT cluster (wiring locality).
+    for (unsigned width : {4u, 8u}) {
+        for (unsigned lane = 0; lane < 32; ++lane) {
+            const unsigned s = dmr::shuffledLane(lane, width);
+            EXPECT_NE(s, lane);
+            EXPECT_EQ(s / width, lane / width);
+        }
+    }
+}
+
+TEST(LaneShuffle, IsBijective)
+{
+    std::uint64_t seen = 0;
+    for (unsigned lane = 0; lane < 32; ++lane)
+        seen |= 1ULL << dmr::shuffledLane(lane, 4);
+    EXPECT_EQ(seen, ~0ULL >> 32);
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests: simulated memories and the device allocator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/memory.hh"
+
+using namespace warped;
+using mem::LinearAllocator;
+using mem::Memory;
+
+TEST(Memory, WordRoundTrip)
+{
+    Memory m(256);
+    m.writeWord(0, 0x12345678);
+    m.writeWord(252, 0xcafebabe);
+    EXPECT_EQ(m.readWord(0), 0x12345678u);
+    EXPECT_EQ(m.readWord(252), 0xcafebabeu);
+}
+
+TEST(Memory, ByteAccessAndEndianness)
+{
+    Memory m(16);
+    m.writeWord(0, 0x04030201);
+    EXPECT_EQ(m.readByte(0), 1u); // little-endian like the host
+    EXPECT_EQ(m.readByte(3), 4u);
+    m.writeByte(1, 0xff);
+    EXPECT_EQ(m.readWord(0), 0x0403ff01u);
+}
+
+TEST(Memory, UnalignedWordAccessWorks)
+{
+    Memory m(16);
+    m.writeWord(1, 0xaabbccdd);
+    EXPECT_EQ(m.readWord(1), 0xaabbccddu);
+}
+
+TEST(Memory, OutOfBoundsPanics)
+{
+    setVerbose(false);
+    Memory m(16);
+    EXPECT_THROW(m.readWord(13), std::logic_error);
+    EXPECT_THROW(m.writeWord(16, 0), std::logic_error);
+    EXPECT_THROW(m.readByte(16), std::logic_error);
+}
+
+TEST(Memory, BulkCopies)
+{
+    Memory m(64);
+    const std::uint32_t src[4] = {1, 2, 3, 4};
+    m.copyIn(8, src, sizeof(src));
+    std::uint32_t dst[4] = {};
+    m.copyOut(8, dst, sizeof(dst));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(dst[i], src[i]);
+    m.clear();
+    EXPECT_EQ(m.readWord(8), 0u);
+}
+
+TEST(Allocator, AlignedAndMonotonic)
+{
+    LinearAllocator a(1 << 20);
+    const Addr x = a.alloc(100);
+    const Addr y = a.alloc(1);
+    EXPECT_EQ(x % 256, 0u);
+    EXPECT_EQ(y % 256, 0u);
+    EXPECT_GT(y, x);
+    EXPECT_GE(y - x, 100u);
+}
+
+TEST(Allocator, ExhaustionIsFatal)
+{
+    setVerbose(false);
+    LinearAllocator a(1024);
+    a.alloc(512);
+    EXPECT_THROW(a.alloc(512), std::runtime_error);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests: the Hong&Kim-style analytical power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/power_model.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+using power::PowerModel;
+
+namespace {
+
+gpu::LaunchResult
+emptyResult()
+{
+    return gpu::LaunchResult(32);
+}
+
+} // namespace
+
+TEST(PowerModel, IdleChipConsumesFloorOnly)
+{
+    PowerModel m(arch::GpuConfig::testDefault());
+    auto r = emptyResult();
+    r.cycles = 1000;
+    const auto b = m.estimate(r);
+    EXPECT_DOUBLE_EQ(b.sp, 0.0);
+    EXPECT_DOUBLE_EQ(b.sfu, 0.0);
+    EXPECT_DOUBLE_EQ(b.total(),
+                     m.params().constantPower + m.params().idlePower);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal)
+{
+    PowerModel m(arch::GpuConfig::testDefault());
+    auto r = emptyResult();
+    r.cycles = 100;
+    r.issuedWarpInstrs = 50;
+    r.issuedThreadInstrs = 1600;
+    r.unitThreadExecs[0] = 1200;
+    r.unitThreadExecs[2] = 400;
+    const auto b = m.estimate(r);
+    EXPECT_NEAR(b.total(),
+                b.sp + b.sfu + b.ldst + b.regFile + b.fds +
+                    b.comparator + b.constant + b.idle,
+                1e-12);
+    EXPECT_GT(b.sp, 0.0);
+    EXPECT_GT(b.fds, 0.0);
+}
+
+TEST(PowerModel, RatesAreClamped)
+{
+    PowerModel m(arch::GpuConfig::testDefault());
+    auto r = emptyResult();
+    r.cycles = 1;
+    r.unitThreadExecs[0] = 1u << 30; // absurd activity
+    const auto b = m.estimate(r);
+    EXPECT_LE(b.sp, m.params().spMax);
+}
+
+TEST(PowerModel, RedundantExecutionRaisesPower)
+{
+    PowerModel m(arch::GpuConfig::testDefault());
+    auto base = emptyResult();
+    base.cycles = 1000;
+    base.issuedWarpInstrs = 500;
+    base.issuedThreadInstrs = 16000;
+    base.unitThreadExecs[0] = 16000;
+
+    auto prot = base;
+    prot.dmr.redundantThreadExecs[0] = 16000;
+    prot.dmr.comparisons = 16000;
+    EXPECT_GT(m.estimate(prot).total(), m.estimate(base).total());
+}
+
+TEST(PowerModel, EnergyIsPowerTimesTime)
+{
+    PowerModel m(arch::GpuConfig::testDefault());
+    auto r = emptyResult();
+    r.cycles = 1000;
+    r.timeNs = 1250.0;
+    const double watts = m.estimate(r).total();
+    EXPECT_NEAR(m.energyMj(r), watts * 1250e-9 * 1e3, 1e-12);
+}
+
+TEST(PowerModel, DmrCostsPowerAndEnergyOnRealWorkload)
+{
+    setVerbose(false);
+    const auto cfg = arch::GpuConfig::testDefault();
+    PowerModel m(cfg);
+
+    auto w1 = workloads::makeScan(2);
+    gpu::Gpu g1(cfg, dmr::DmrConfig::off());
+    const auto base = workloads::runVerified(*w1, g1);
+
+    auto w2 = workloads::makeScan(2);
+    gpu::Gpu g2(cfg, dmr::DmrConfig::paperDefault());
+    const auto prot = workloads::runVerified(*w2, g2);
+
+    const double p_ratio =
+        m.estimate(prot).total() / m.estimate(base).total();
+    const double e_ratio = m.energyMj(prot) / m.energyMj(base);
+    EXPECT_GT(p_ratio, 1.0);
+    EXPECT_LT(p_ratio, 2.0);
+    EXPECT_GT(e_ratio, 1.0);
+    // Energy ratio >= power ratio: the protected run is never faster.
+    EXPECT_GE(e_ratio, p_ratio * 0.95);
+}
+
+TEST(PowerModel, BreakdownToStringMentionsEveryComponent)
+{
+    PowerModel m(arch::GpuConfig::testDefault());
+    auto r = gpu::LaunchResult(32);
+    r.cycles = 10;
+    const auto s = m.estimate(r).toString();
+    for (const char *key : {"SP", "SFU", "LD/ST", "RF", "FDS", "CMP",
+                            "const", "idle"})
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+}

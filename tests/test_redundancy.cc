@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests: the software-scheme comparison harness and transfer
+ * model (§5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "redundancy/scheme.hh"
+
+using namespace warped;
+using namespace warped::redundancy;
+
+TEST(TransferModel, LinearInBytesPlusSetup)
+{
+    TransferModel tm;
+    tm.bandwidthGBps = 4.0;
+    tm.perCallUs = 10.0;
+    // 4 GB/s == 4 B/ns: 4000 bytes -> 1000 ns + 10 us setup.
+    EXPECT_DOUBLE_EQ(tm.timeNs(4000), 1000.0 + 10000.0);
+    EXPECT_DOUBLE_EQ(tm.timeNs(0), 10000.0);
+    EXPECT_DOUBLE_EQ(tm.timeNs(4000, 2), 1000.0 + 20000.0);
+}
+
+TEST(SchemeNames, AllDistinct)
+{
+    EXPECT_STREQ(schemeName(Scheme::Original), "Original");
+    EXPECT_STREQ(schemeName(Scheme::RNaive), "R-Naive");
+    EXPECT_STREQ(schemeName(Scheme::RThread), "R-Thread");
+    EXPECT_STREQ(schemeName(Scheme::Dmtr), "DMTR");
+    EXPECT_STREQ(schemeName(Scheme::WarpedDmr), "Warped-DMR");
+}
+
+namespace {
+
+struct SchemeFixture : ::testing::Test
+{
+    SchemeFixture() : cfg(arch::GpuConfig::testDefault())
+    {
+        setVerbose(false);
+        cfg.numSms = 4;
+    }
+    arch::GpuConfig cfg;
+};
+
+} // namespace
+
+TEST_F(SchemeFixture, RNaiveDoublesKernelAndTransfers)
+{
+    const auto orig = runScheme(Scheme::Original, "SHA", cfg);
+    const auto naive = runScheme(Scheme::RNaive, "SHA", cfg);
+    EXPECT_DOUBLE_EQ(naive.kernelNs, 2.0 * orig.kernelNs);
+    EXPECT_DOUBLE_EQ(naive.transferNs, 2.0 * orig.transferNs);
+}
+
+TEST_F(SchemeFixture, RThreadBetween1xAnd2x)
+{
+    const auto orig = runScheme(Scheme::Original, "SHA", cfg);
+    const auto rthr = runScheme(Scheme::RThread, "SHA", cfg);
+    EXPECT_GE(rthr.kernelNs, 0.9 * orig.kernelNs);
+    EXPECT_LE(rthr.kernelNs, 2.2 * orig.kernelNs);
+    // Output transfer duplicated, input not.
+    EXPECT_GT(rthr.transferNs, orig.transferNs);
+    EXPECT_LT(rthr.transferNs, 2.0 * orig.transferNs + 1.0);
+}
+
+TEST_F(SchemeFixture, HardwareSchemesKeepTransfersUnchanged)
+{
+    const auto orig = runScheme(Scheme::Original, "SHA", cfg);
+    const auto dmtr = runScheme(Scheme::Dmtr, "SHA", cfg);
+    const auto warped = runScheme(Scheme::WarpedDmr, "SHA", cfg);
+    EXPECT_DOUBLE_EQ(dmtr.transferNs, orig.transferNs);
+    EXPECT_DOUBLE_EQ(warped.transferNs, orig.transferNs);
+}
+
+TEST_F(SchemeFixture, WarpedDmrIsCheapestProtection)
+{
+    const auto naive = runScheme(Scheme::RNaive, "SCAN", cfg);
+    const auto rthr = runScheme(Scheme::RThread, "SCAN", cfg);
+    const auto dmtr = runScheme(Scheme::Dmtr, "SCAN", cfg);
+    const auto warped = runScheme(Scheme::WarpedDmr, "SCAN", cfg);
+    EXPECT_LE(warped.totalNs(), naive.totalNs());
+    EXPECT_LE(warped.totalNs(), rthr.totalNs());
+    EXPECT_LE(warped.totalNs(), dmtr.totalNs() * 1.02);
+}
+
+TEST_F(SchemeFixture, DmtrCoversEverything)
+{
+    const auto dmtr = runScheme(Scheme::Dmtr, "BitonicSort", cfg);
+    // DMTR temporally verifies every instruction, partial warps too.
+    EXPECT_DOUBLE_EQ(dmtr.launch.coverage(), 1.0);
+    EXPECT_EQ(dmtr.launch.dmr.intraVerifiedThreads, 0u);
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests: the ReplayQ (§4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dmr/replay_queue.hh"
+
+using namespace warped;
+using dmr::ReplayQueue;
+
+namespace {
+
+func::ExecRecord
+rec(isa::Opcode op, unsigned warp_id = 0, unsigned dst = 0)
+{
+    func::ExecRecord r;
+    r.instr.op = op;
+    r.instr.dst = isa::Reg{static_cast<RegIndex>(dst)};
+    r.warpId = warp_id;
+    r.active = LaneMask::full(32);
+    return r;
+}
+
+} // namespace
+
+TEST(ReplayQueue, CapacityAndFifoOrder)
+{
+    ReplayQueue q(3);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    q.push(rec(isa::Opcode::IADD, 1), 10);
+    q.push(rec(isa::Opcode::IMUL, 2), 11);
+    q.push(rec(isa::Opcode::FADD, 3), 12);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.size(), 3u);
+    auto e = q.popOldest();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->rec.warpId, 1u);
+    EXPECT_EQ(e->enqueued, 10u);
+}
+
+TEST(ReplayQueue, ZeroCapacityIsAlwaysFull)
+{
+    ReplayQueue q(0);
+    EXPECT_TRUE(q.full());
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.popOldest().has_value());
+}
+
+TEST(ReplayQueue, OverflowPanics)
+{
+    setVerbose(false);
+    ReplayQueue q(1);
+    q.push(rec(isa::Opcode::IADD), 0);
+    EXPECT_THROW(q.push(rec(isa::Opcode::IADD), 1), std::logic_error);
+}
+
+TEST(ReplayQueue, PopDifferentTypeSkipsBusyUnit)
+{
+    ReplayQueue q(4);
+    Rng rng(1);
+    q.push(rec(isa::Opcode::IADD), 0);  // SP
+    q.push(rec(isa::Opcode::LDG), 1);   // LDST
+    // Busy unit is LDST: only the SP entry qualifies.
+    auto e = q.popDifferentType(isa::UnitType::LDST, rng);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->rec.instr.op, isa::Opcode::IADD);
+    // Now only the LDST entry remains: nothing differs from LDST.
+    EXPECT_FALSE(q.popDifferentType(isa::UnitType::LDST, rng));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ReplayQueue, PopDifferentTypeRandomPickIsFromCandidates)
+{
+    // With several qualifying entries, the random pick must always
+    // return one whose type differs from the busy unit.
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        ReplayQueue q(4);
+        Rng rng(seed);
+        q.push(rec(isa::Opcode::IADD), 0);
+        q.push(rec(isa::Opcode::SIN), 1);
+        q.push(rec(isa::Opcode::LDG), 2);
+        auto e = q.popDifferentType(isa::UnitType::SP, rng);
+        ASSERT_TRUE(e.has_value());
+        EXPECT_NE(e->rec.instr.unit(), isa::UnitType::SP);
+    }
+}
+
+TEST(ReplayQueue, PopOldestOfType)
+{
+    ReplayQueue q(4);
+    q.push(rec(isa::Opcode::IADD, 1), 0);
+    q.push(rec(isa::Opcode::LDG, 2), 1);
+    q.push(rec(isa::Opcode::IMUL, 3), 2);
+    auto e = q.popOldestOfType(isa::UnitType::SP);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->rec.warpId, 1u); // oldest SP entry
+    EXPECT_FALSE(q.popOldestOfType(isa::UnitType::SFU).has_value());
+}
+
+TEST(ReplayQueue, RawHazardMatchesWarpAndRegister)
+{
+    ReplayQueue q(4);
+    q.push(rec(isa::Opcode::IADD, /*warp*/ 2, /*dst*/ 5), 0);
+
+    // Same warp reading r5: hazard.
+    EXPECT_TRUE(q.hasRawHazard(2, 1ULL << 5));
+    // Same warp reading other registers: no hazard.
+    EXPECT_FALSE(q.hasRawHazard(2, 1ULL << 6));
+    // Different warp reading r5: no hazard.
+    EXPECT_FALSE(q.hasRawHazard(3, 1ULL << 5));
+
+    auto e = q.popRawHazard(2, 1ULL << 5);
+    ASSERT_TRUE(e.has_value());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ReplayQueue, StoresDontCreateRawHazards)
+{
+    ReplayQueue q(4);
+    auto r = rec(isa::Opcode::STG, 1);
+    q.push(r, 0);
+    EXPECT_FALSE(q.hasRawHazard(1, ~0ULL));
+}
+
+TEST(ReplayQueue, EntryBytesMatchesPaperArithmetic)
+{
+    // §4.3.1: 32 lanes x 3 operands x 4B + 32 x 4B + 2B opcode.
+    EXPECT_EQ(ReplayQueue::entryBytes(32), 514u);
+    EXPECT_GE(ReplayQueue::entryBytes(32) * 10, 5140u);
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests: the text/JSON statistics reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gpu/report.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+namespace {
+
+struct ReportFixture : ::testing::Test
+{
+    ReportFixture() : cfg(arch::GpuConfig::testDefault())
+    {
+        setVerbose(false);
+        auto w = workloads::makeScan(1);
+        gpu::Gpu g(cfg, dmr::DmrConfig::paperDefault());
+        result = std::make_unique<gpu::LaunchResult>(
+            workloads::runVerified(*w, g));
+    }
+
+    arch::GpuConfig cfg;
+    std::unique_ptr<gpu::LaunchResult> result;
+};
+
+} // namespace
+
+TEST_F(ReportFixture, TextReportContainsKeyLines)
+{
+    const auto txt = report::textReport(*result, cfg);
+    EXPECT_NE(txt.find("cycles:"), std::string::npos);
+    EXPECT_NE(txt.find("coverage:"), std::string::npos);
+    EXPECT_NE(txt.find("intra-warp:"), std::string::npos);
+    EXPECT_NE(txt.find("comparator:"), std::string::npos);
+    // No watchdog line on a clean run.
+    EXPECT_EQ(txt.find("WATCHDOG"), std::string::npos);
+}
+
+TEST_F(ReportFixture, JsonIsWellFormedEnoughToRoundTripNumbers)
+{
+    const auto js = report::jsonReport(*result, cfg, "SCAN");
+    // Structural sanity: balanced braces/brackets, expected keys.
+    EXPECT_EQ(js.front(), '{');
+    EXPECT_EQ(js.back(), '}');
+    EXPECT_EQ(std::count(js.begin(), js.end(), '{'),
+              std::count(js.begin(), js.end(), '}'));
+    EXPECT_EQ(std::count(js.begin(), js.end(), '['),
+              std::count(js.begin(), js.end(), ']'));
+    EXPECT_NE(js.find("\"workload\":\"SCAN\""), std::string::npos);
+    EXPECT_NE(js.find("\"coverage\":"), std::string::npos);
+
+    // Numbers embedded verbatim.
+    EXPECT_NE(js.find("\"cycles\":" + std::to_string(result->cycles)),
+              std::string::npos);
+    EXPECT_NE(js.find("\"verified\":" +
+                      std::to_string(result->dmr.verifiedThreadInstrs)),
+              std::string::npos);
+
+    // The active histogram array has warpSize+1 entries.
+    const auto pos = js.find("\"active_hist\":[");
+    ASSERT_NE(pos, std::string::npos);
+    const auto end = js.find(']', pos);
+    const auto body = js.substr(pos, end - pos);
+    EXPECT_EQ(std::count(body.begin(), body.end(), ','),
+              cfg.warpSize);
+}
+
+TEST_F(ReportFixture, JsonEscapesNames)
+{
+    const auto js = report::jsonReport(*result, cfg, "we\"ird\\name");
+    EXPECT_NE(js.find("we\\\"ird\\\\name"), std::string::npos);
+}

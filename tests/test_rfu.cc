@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit and property tests: the Register Forwarding Unit (Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "dmr/rfu.hh"
+
+using namespace warped;
+using dmr::Rfu;
+
+TEST(Rfu, Table1ExactMatch)
+{
+    // Paper Table 1: rows are priority levels, columns MUX0..3.
+    const unsigned expect[4][4] = {
+        {0, 1, 2, 3}, // 1st
+        {1, 0, 3, 2}, // 2nd
+        {2, 3, 0, 1}, // 3rd
+        {3, 2, 1, 0}, // 4th
+    };
+    for (unsigned k = 0; k < 4; ++k)
+        for (unsigned m = 0; m < 4; ++m)
+            EXPECT_EQ(Rfu::priority(m, k), expect[k][m])
+                << "MUX" << m << " priority " << k;
+}
+
+TEST(Rfu, PaperFigure6Example)
+{
+    // Active mask 4'b0011: threads 0,1 active; lanes 2,3 verify them.
+    std::array<unsigned, Rfu::kMaxWidth> v;
+    const auto covered = Rfu::pair(0b0011, 4, v);
+    EXPECT_EQ(covered, 0b0011ull);
+    EXPECT_EQ(v[0], Rfu::kNone); // active lanes forward themselves
+    EXPECT_EQ(v[1], Rfu::kNone);
+    // MUX2 priorities: 2 (idle), 3 (idle), 0 (active) -> verifies 0.
+    EXPECT_EQ(v[2], 0u);
+    // MUX3 priorities: 3, 2, 1 (active) -> verifies 1.
+    EXPECT_EQ(v[3], 1u);
+}
+
+TEST(Rfu, SingleActiveGetsTripleRedundancy)
+{
+    // Paper §4.1: one active lane is redundantly executed on all
+    // three idle lanes (more than DMR, allowed by design).
+    std::array<unsigned, Rfu::kMaxWidth> v;
+    const auto covered = Rfu::pair(0b0001, 4, v);
+    EXPECT_EQ(covered, 0b0001ull);
+    EXPECT_EQ(v[1], 0u);
+    EXPECT_EQ(v[2], 0u);
+    EXPECT_EQ(v[3], 0u);
+}
+
+TEST(Rfu, FullClusterHasNoCheckers)
+{
+    std::array<unsigned, Rfu::kMaxWidth> v;
+    EXPECT_EQ(Rfu::pair(0b1111, 4, v), 0ull);
+    for (unsigned m = 0; m < 4; ++m)
+        EXPECT_EQ(v[m], Rfu::kNone);
+}
+
+TEST(Rfu, EmptyClusterPairsNothing)
+{
+    std::array<unsigned, Rfu::kMaxWidth> v;
+    EXPECT_EQ(Rfu::pair(0, 4, v), 0ull);
+}
+
+TEST(Rfu, NonPowerOfTwoWidthPanics)
+{
+    setVerbose(false);
+    std::array<unsigned, Rfu::kMaxWidth> v;
+    EXPECT_THROW(Rfu::pair(0b1, 3, v), std::logic_error);
+    EXPECT_THROW(Rfu::pair(0b1, 16, v), std::logic_error);
+}
+
+TEST(Rfu, TheoreticalCoverageFormula)
+{
+    // §3.3: 1.0 while active <= half, else idle/active.
+    EXPECT_DOUBLE_EQ(Rfu::theoreticalCoverage(0b0011, 4), 1.0);
+    EXPECT_DOUBLE_EQ(Rfu::theoreticalCoverage(0b0111, 4), 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(Rfu::theoreticalCoverage(0b1111, 4), 0.0);
+    EXPECT_DOUBLE_EQ(Rfu::theoreticalCoverage(0, 4), 1.0);
+}
+
+/** Structural invariants for every occupancy of both cluster sizes. */
+class RfuSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RfuSweep, PairingInvariants)
+{
+    const unsigned width = GetParam();
+    for (std::uint64_t mask = 0; mask < (1ULL << width); ++mask) {
+        std::array<unsigned, Rfu::kMaxWidth> v;
+        const auto covered = Rfu::pair(mask, width, v);
+
+        // Covered lanes are a subset of the active lanes.
+        EXPECT_EQ(covered & ~mask, 0ull);
+        for (unsigned m = 0; m < width; ++m) {
+            if ((mask >> m) & 1) {
+                // Active lanes never act as checkers.
+                EXPECT_EQ(v[m], Rfu::kNone);
+            } else if (v[m] != Rfu::kNone) {
+                // A checker always monitors an *active* lane, and the
+                // first active one in its Table-1 priority order.
+                EXPECT_NE(v[m], m);
+                EXPECT_TRUE((mask >> v[m]) & 1);
+                for (unsigned k = 1; k < width; ++k) {
+                    const unsigned cand = Rfu::priority(m, k);
+                    if (cand == v[m])
+                        break;
+                    EXPECT_FALSE((mask >> cand) & 1)
+                        << "MUX" << m
+                        << " skipped a higher-priority active lane";
+                }
+            } else {
+                // No pick means no active lane exists at all.
+                EXPECT_EQ(mask, 0ull);
+            }
+        }
+    }
+}
+
+TEST_P(RfuSweep, CoverageBound)
+{
+    const unsigned width = GetParam();
+    unsigned below_bound = 0;
+    for (std::uint64_t mask = 1; mask < (1ULL << width); ++mask) {
+        const unsigned active = std::popcount(mask);
+        const unsigned idle = width - active;
+        const unsigned covered =
+            std::popcount(Rfu::covered(mask, width));
+        EXPECT_LE(covered, std::min(active, idle));
+        if (covered < std::min(active, idle))
+            ++below_bound;
+    }
+    if (width == 4) {
+        // The paper's 4-lane network achieves the bound everywhere.
+        EXPECT_EQ(below_bound, 0u);
+    } else if (width == 8) {
+        // The XOR network provably misses the bound on exactly 40 of
+        // the 255 non-trivial 8-lane occupancies — one reason the
+        // "more hardware intensive" 8-lane cluster of Fig 9a is not
+        // proportionally better.
+        EXPECT_EQ(below_bound, 40u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RfuSweep, ::testing::Values(2u, 4u, 8u),
+                         [](const auto &info) {
+                             return "w" + std::to_string(info.param);
+                         });

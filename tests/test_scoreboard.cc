@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests: the register scoreboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/scoreboard.hh"
+
+using namespace warped;
+using namespace warped::isa;
+using sm::Scoreboard;
+
+namespace {
+
+Instruction
+add(unsigned dst, unsigned s0, unsigned s1)
+{
+    Instruction in;
+    in.op = Opcode::IADD;
+    in.dst = Reg{static_cast<RegIndex>(dst)};
+    in.src[0] = Reg{static_cast<RegIndex>(s0)};
+    in.src[1] = Reg{static_cast<RegIndex>(s1)};
+    return in;
+}
+
+} // namespace
+
+TEST(Scoreboard, FreshRegistersAreReady)
+{
+    Scoreboard sb(4, 16);
+    EXPECT_TRUE(sb.ready(0, add(0, 1, 2), 0));
+}
+
+TEST(Scoreboard, RawBlocksUntilWriteback)
+{
+    Scoreboard sb(4, 16);
+    sb.issue(0, add(5, 1, 2), /*writeback*/ 10);
+    // Consumer reads r5.
+    EXPECT_FALSE(sb.ready(0, add(6, 5, 1), 9));
+    EXPECT_TRUE(sb.ready(0, add(6, 5, 1), 10));
+}
+
+TEST(Scoreboard, WawBlocks)
+{
+    Scoreboard sb(4, 16);
+    sb.issue(0, add(5, 1, 2), 10);
+    EXPECT_FALSE(sb.ready(0, add(5, 1, 2), 5));
+    EXPECT_TRUE(sb.ready(0, add(5, 1, 2), 10));
+}
+
+TEST(Scoreboard, WarpsAreIndependent)
+{
+    Scoreboard sb(4, 16);
+    sb.issue(0, add(5, 1, 2), 100);
+    EXPECT_TRUE(sb.ready(1, add(6, 5, 1), 0));
+}
+
+TEST(Scoreboard, LaterWritebackWins)
+{
+    Scoreboard sb(4, 16);
+    sb.issue(0, add(5, 1, 2), 100);
+    sb.issue(0, add(5, 1, 2), 50); // must not shorten
+    EXPECT_EQ(sb.readyAt(0, 5), 100u);
+}
+
+TEST(Scoreboard, ResetWarpClears)
+{
+    Scoreboard sb(4, 16);
+    sb.issue(0, add(5, 1, 2), 100);
+    sb.resetWarp(0);
+    EXPECT_TRUE(sb.ready(0, add(6, 5, 1), 0));
+}
+
+TEST(Scoreboard, StoreHasNoDestination)
+{
+    Scoreboard sb(4, 16);
+    Instruction st;
+    st.op = Opcode::STG;
+    st.src[0] = Reg{1};
+    st.src[1] = Reg{2};
+    sb.issue(0, st, 50); // no-op
+    EXPECT_TRUE(sb.ready(0, add(0, 3, 4), 0));
+    // But a store waits for its operands.
+    sb.issue(0, add(2, 3, 4), 30);
+    EXPECT_FALSE(sb.ready(0, st, 29));
+    EXPECT_TRUE(sb.ready(0, st, 30));
+}

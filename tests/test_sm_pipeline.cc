@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Integration tests: the SM timing pipeline — issue discipline,
+ * latency-induced RAW distances, barrier synchronization, block
+ * residency and retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "func/fault_hook.hh"
+#include "isa/kernel_builder.hh"
+#include "mem/memory.hh"
+#include "sm/sm.hh"
+
+using namespace warped;
+using namespace warped::isa;
+
+namespace {
+
+struct SmFixture : ::testing::Test
+{
+    SmFixture() : cfg(arch::GpuConfig::testDefault()), global(1 << 16)
+    {
+        setVerbose(false);
+    }
+
+    /** Run the program on one SM until drained; return cycles. */
+    Cycle
+    runToCompletion(const Program &prog, unsigned blocks,
+                    unsigned threads,
+                    dmr::DmrConfig d = dmr::DmrConfig::off(),
+                    sm::Sm **out = nullptr)
+    {
+        smInstance = std::make_unique<sm::Sm>(
+            cfg, d, 0, prog, global,
+            func::NullFaultHook::instance(), 1);
+        auto &s = *smInstance;
+        unsigned next = 0;
+        Cycle cycle = 0;
+        while (true) {
+            if (next < blocks && s.canAcceptBlock(threads))
+                s.assignBlock(next++, threads, blocks);
+            if (next == blocks && s.drained())
+                break;
+            s.tick(cycle);
+            ++cycle;
+            if (cycle > 1000000)
+                ADD_FAILURE() << "SM did not finish";
+        }
+        if (out)
+            *out = &s;
+        return cycle;
+    }
+
+    arch::GpuConfig cfg;
+    mem::Memory global;
+    std::unique_ptr<sm::Sm> smInstance;
+};
+
+} // namespace
+
+TEST_F(SmFixture, SingleWarpStraightLine)
+{
+    KernelBuilder kb("k", 16);
+    auto a = kb.reg(), b = kb.reg();
+    kb.movi(a, 1);  // independent instructions issue back to back
+    kb.movi(b, 2);
+    const auto prog = kb.build();
+
+    sm::Sm *s = nullptr;
+    const auto cycles = runToCompletion(prog, 1, 32, dmr::DmrConfig::off(), &s);
+    EXPECT_EQ(s->stats().issuedWarpInstrs, 3u); // 2 MOVI + EXIT
+    EXPECT_EQ(s->stats().blocksRetired, 1u);
+    // 3 issues plus pipeline fill; well under 20 cycles.
+    EXPECT_LT(cycles, 20u);
+}
+
+TEST_F(SmFixture, DependentChainPaysLatency)
+{
+    // movi -> iadd(dep) -> iadd(dep): each dependent issue waits
+    // rfStages + spLatency after its producer.
+    KernelBuilder kb("k", 16);
+    auto a = kb.reg();
+    kb.movi(a, 1);
+    kb.iaddi(a, a, 1);
+    kb.iaddi(a, a, 1);
+    const auto prog = kb.build();
+
+    const auto cycles = runToCompletion(prog, 1, 32);
+    const unsigned dep_lat = cfg.rfStages + cfg.spLatency;
+    EXPECT_GE(cycles, 2 * dep_lat);
+}
+
+TEST_F(SmFixture, GlobalLoadLatencyDominates)
+{
+    KernelBuilder kb("k", 16);
+    auto addr = kb.reg(), v = kb.reg(), w = kb.reg();
+    kb.movi(addr, 0x100);
+    kb.ldg(v, addr);
+    kb.iaddi(w, v, 1); // depends on the load
+    const auto prog = kb.build();
+
+    const auto cycles = runToCompletion(prog, 1, 32);
+    EXPECT_GE(cycles, Cycle{cfg.globalMemLatency});
+}
+
+TEST_F(SmFixture, MultipleWarpsHideLatency)
+{
+    // One warp of dependent loads vs. eight warps: per-warp time is
+    // dominated by latency, so eight warps should NOT take 8x.
+    KernelBuilder kb("k", 16);
+    auto addr = kb.reg(), v = kb.reg();
+    kb.movi(addr, 0x40);
+    for (int i = 0; i < 4; ++i)
+        kb.ldg(v, addr, i * 4); // independent loads
+    const auto prog = kb.build();
+
+    const auto one = runToCompletion(prog, 1, 32);
+    const auto eight = runToCompletion(prog, 1, 256);
+    EXPECT_LT(eight, 3 * one);
+}
+
+TEST_F(SmFixture, BarrierSynchronizesWarps)
+{
+    // Two warps: warp 0 stores a flag before the barrier; warp 1
+    // reads it after. Without the barrier the read could race ahead.
+    KernelBuilder kb("k", 16);
+    auto tid = kb.reg(), p = kb.reg(), addr = kb.reg(), v = kb.reg(),
+         zero = kb.reg();
+    kb.s2r(tid, SpecialReg::Tid);
+    kb.movi(zero, 0);
+    kb.movi(addr, 0x80);
+    kb.isetpEq(p, tid, zero);
+    kb.ifThen(p, [&] {
+        kb.movi(v, 42);
+        kb.stg(addr, v);
+    });
+    kb.bar();
+    kb.ldg(v, addr);
+    kb.stg(addr, v, 4); // every thread republishes what it saw
+    const auto prog = kb.build();
+
+    runToCompletion(prog, 1, 64);
+    EXPECT_EQ(global.readWord(0x84), 42u);
+}
+
+TEST_F(SmFixture, BlockRetirementFreesResidency)
+{
+    KernelBuilder kb("k", 16);
+    auto a = kb.reg();
+    kb.movi(a, 1);
+    const auto prog = kb.build();
+
+    // More blocks than can ever be resident at once.
+    sm::Sm *s = nullptr;
+    runToCompletion(prog, 24, 256, dmr::DmrConfig::off(), &s);
+    EXPECT_EQ(s->stats().blocksRetired, 24u);
+    EXPECT_FALSE(s->busy());
+}
+
+TEST_F(SmFixture, CapacityChecksRejectOverload)
+{
+    KernelBuilder kb("k", 16);
+    auto a = kb.reg();
+    kb.movi(a, 1);
+    const auto prog = kb.build();
+
+    sm::Sm s(cfg, dmr::DmrConfig::off(), 0, prog, global,
+             func::NullFaultHook::instance(), 1);
+    // 1024-thread SM: four 256-thread blocks fit, a fifth does not.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(s.canAcceptBlock(256));
+        s.assignBlock(i, 256, 8);
+    }
+    EXPECT_FALSE(s.canAcceptBlock(256));
+    EXPECT_FALSE(s.canAcceptBlock(32));
+}
+
+TEST_F(SmFixture, SharedMemoryLimitsResidency)
+{
+    KernelBuilder kb("k", 16);
+    kb.shared(40 * 1024); // > half of the 64 KB shared memory
+    auto a = kb.reg();
+    kb.movi(a, 1);
+    const auto prog = kb.build();
+
+    sm::Sm s(cfg, dmr::DmrConfig::off(), 0, prog, global,
+             func::NullFaultHook::instance(), 1);
+    ASSERT_TRUE(s.canAcceptBlock(64));
+    s.assignBlock(0, 64, 2);
+    EXPECT_FALSE(s.canAcceptBlock(64)); // no room for a second copy
+}
+
+TEST_F(SmFixture, OneIssuePerCycleBound)
+{
+    KernelBuilder kb("k", 16);
+    auto a = kb.reg(), b = kb.reg();
+    kb.movi(a, 1);
+    kb.movi(b, 2);
+    kb.iadd(a, a, b);
+    const auto prog = kb.build();
+
+    sm::Sm *s = nullptr;
+    const auto cycles =
+        runToCompletion(prog, 4, 256, dmr::DmrConfig::off(), &s);
+    EXPECT_LE(s->stats().busyCycles, cycles);
+    EXPECT_EQ(s->stats().issuedWarpInstrs, s->stats().busyCycles);
+}
+
+TEST_F(SmFixture, DmrStallCyclesAreAccounted)
+{
+    // A same-type chain with a zero-entry queue forces eager stalls.
+    KernelBuilder kb("k", 16);
+    auto a = kb.reg(), b = kb.reg(), c = kb.reg();
+    kb.movi(a, 1);
+    kb.movi(b, 2);
+    kb.movi(c, 3);
+    kb.iadd(a, a, b);
+    const auto prog = kb.build();
+
+    auto d = dmr::DmrConfig::paperDefault();
+    d.replayQSize = 0;
+    sm::Sm *s = nullptr;
+    runToCompletion(prog, 1, 32, d, &s);
+    EXPECT_GT(s->stats().stallCyclesDmr, 0u);
+    EXPECT_EQ(s->stats().stallCyclesDmr,
+              s->dmrEngine().stats().eagerStalls);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests: statistics substrate (histograms, run-length tracking,
+ * RAW-distance tracking).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "stats/distance.hh"
+#include "stats/histogram.hh"
+#include "stats/run_length.hh"
+
+using namespace warped::stats;
+
+TEST(Histogram, CountsAndRanges)
+{
+    Histogram h(33);
+    h.add(1);
+    h.add(1);
+    h.add(15, 3);
+    h.add(32);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.rangeCount(1, 1), 2u);
+    EXPECT_EQ(h.rangeCount(12, 21), 3u);
+    EXPECT_EQ(h.rangeCount(2, 11), 0u);
+    EXPECT_DOUBLE_EQ(h.rangeFraction(32, 32), 1.0 / 6.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.rangeFraction(0, 32), 0.0);
+}
+
+TEST(Histogram, OutOfDomainPanics)
+{
+    warped::setVerbose(false);
+    Histogram h(4);
+    EXPECT_THROW(h.add(4), std::logic_error);
+}
+
+TEST(Histogram, RangeClampsToDomain)
+{
+    Histogram h(4);
+    h.add(3);
+    EXPECT_EQ(h.rangeCount(2, 100), 1u);
+}
+
+TEST(Mean, WeightedMean)
+{
+    Mean m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    m.add(2.0, 1.0);
+    m.add(10.0, 3.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 8.0);
+}
+
+TEST(RunLength, BasicRuns)
+{
+    RunLengthTracker t(3);
+    // Stream: 0 0 0 1 1 0 2
+    for (unsigned c : {0u, 0u, 0u, 1u, 1u, 0u, 2u})
+        t.observe(c);
+    t.finish();
+    EXPECT_DOUBLE_EQ(t.meanRunLength(0), 2.0); // runs 3 and 1
+    EXPECT_EQ(t.maxRunLength(0), 3u);
+    EXPECT_EQ(t.runCount(0), 2u);
+    EXPECT_DOUBLE_EQ(t.meanRunLength(1), 2.0);
+    EXPECT_DOUBLE_EQ(t.meanRunLength(2), 1.0);
+}
+
+TEST(RunLength, FinishIsIdempotent)
+{
+    RunLengthTracker t(2);
+    t.observe(0);
+    t.finish();
+    t.finish();
+    EXPECT_EQ(t.runCount(0), 1u);
+}
+
+TEST(RunLength, EmptyCategory)
+{
+    RunLengthTracker t(2);
+    t.observe(0);
+    t.finish();
+    EXPECT_DOUBLE_EQ(t.meanRunLength(1), 0.0);
+    EXPECT_EQ(t.maxRunLength(1), 0u);
+}
+
+TEST(RunLength, OutOfRangePanics)
+{
+    warped::setVerbose(false);
+    RunLengthTracker t(2);
+    EXPECT_THROW(t.observe(2), std::logic_error);
+}
+
+TEST(RawDistance, WriteThenRead)
+{
+    RawDistanceTracker t(8);
+    t.onWrite(3, 100);
+    t.onRead(3, 112);
+    ASSERT_EQ(t.samples().size(), 1u);
+    EXPECT_EQ(t.samples()[0], 12u);
+}
+
+TEST(RawDistance, OnlyFirstReadCounts)
+{
+    RawDistanceTracker t(8);
+    t.onWrite(3, 100);
+    t.onRead(3, 110);
+    t.onRead(3, 500); // not a new dependence edge
+    EXPECT_EQ(t.samples().size(), 1u);
+}
+
+TEST(RawDistance, ReadWithoutWriteIgnored)
+{
+    RawDistanceTracker t(8);
+    t.onRead(2, 50);
+    EXPECT_TRUE(t.samples().empty());
+}
+
+TEST(RawDistance, MultipleRegisters)
+{
+    RawDistanceTracker t(8);
+    t.onWrite(0, 0);
+    t.onWrite(1, 10);
+    t.onRead(1, 30);
+    t.onRead(0, 1000);
+    EXPECT_EQ(t.samples().size(), 2u);
+    EXPECT_DOUBLE_EQ(t.fractionAbove(100), 0.5);
+    EXPECT_EQ(t.minDistance(), 20u);
+    auto sorted = t.sortedDescending();
+    EXPECT_EQ(sorted.front(), 1000u);
+}
+
+TEST(RawDistance, OutOfRangeRegisterIgnored)
+{
+    RawDistanceTracker t(4);
+    t.onWrite(9, 0);
+    t.onRead(9, 5);
+    EXPECT_TRUE(t.samples().empty());
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Workload-profile regression tests: each Table-4 kernel exists to
+ * exhibit a specific divergence / instruction-mix / coverage profile
+ * (the shapes behind Figs 1, 5 and 9a). These tests pin those
+ * profiles so an innocent-looking kernel edit cannot silently turn a
+ * divergence benchmark into a full-warp one.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+namespace {
+
+gpu::LaunchResult
+profileOf(std::unique_ptr<workloads::Workload> w,
+          dmr::DmrConfig d = dmr::DmrConfig::paperDefault())
+{
+    setVerbose(false);
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 4;
+    gpu::Gpu g(cfg, d);
+    return workloads::runVerified(*w, g);
+}
+
+double
+fullWarpFraction(const gpu::LaunchResult &r)
+{
+    return r.activeHist.rangeFraction(32, 32);
+}
+
+double
+unitShare(const gpu::LaunchResult &r, isa::UnitType t)
+{
+    return double(r.unitIssues[static_cast<unsigned>(t)]) /
+           double(r.issuedWarpInstrs);
+}
+
+} // namespace
+
+TEST(Profiles, BfsIsTheDivergenceExtreme)
+{
+    const auto r = profileOf(workloads::makeBfs(4));
+    // Most issue slots run with a small fraction of the warp active.
+    EXPECT_LT(fullWarpFraction(r), 0.45);
+    EXPECT_GT(r.activeHist.rangeFraction(1, 11), 0.4);
+}
+
+TEST(Profiles, NqueenHasLongSparseTails)
+{
+    const auto r = profileOf(workloads::makeNqueen(2));
+    EXPECT_LT(fullWarpFraction(r), 0.1);
+    EXPECT_GT(r.activeHist.rangeFraction(1, 11), 0.5);
+}
+
+TEST(Profiles, FullyUtilizedTrio)
+{
+    // MatrixMul, SHA and Libor must stay 100 % full-warp: they are
+    // the paper's inter-warp-DMR-only representatives.
+    for (auto *name : {"MatrixMul", "SHA", "Libor"}) {
+        auto w = name == std::string("MatrixMul")
+                     ? workloads::makeMatrixMul(64)
+                     : workloads::makeByNameScaled(name, 1);
+        const auto r = profileOf(std::move(w));
+        EXPECT_DOUBLE_EQ(fullWarpFraction(r), 1.0) << name;
+        EXPECT_EQ(r.dmr.intraWarpInstrs, 0u) << name;
+    }
+}
+
+TEST(Profiles, CufftSitsInTheHighUtilizationBand)
+{
+    // The paper's coverage-floor case: partial warps mostly >22
+    // active, so intra-warp DMR can only cover a fraction.
+    const auto r = profileOf(workloads::makeFft(4));
+    EXPECT_GT(r.activeHist.rangeFraction(22, 31), 0.1);
+    EXPECT_GT(fullWarpFraction(r), 0.4);
+    EXPECT_LT(r.coverage(), 0.95);
+    EXPECT_GT(r.coverage(), 0.75);
+}
+
+TEST(Profiles, MumTailWarpsRewardCrossMapping)
+{
+    // The §4.2 showcase: 48-thread blocks leave a contiguous 16/32
+    // tail warp that only the cross mapping can pair up.
+    auto linear = dmr::DmrConfig::baselineMapping();
+    const auto r_lin = profileOf(workloads::makeMum(4), linear);
+    const auto r_cross = profileOf(workloads::makeMum(4));
+    EXPECT_GT(r_cross.coverage(), r_lin.coverage() + 0.1);
+}
+
+TEST(Profiles, LiborIsTheSfuWorkload)
+{
+    const auto r = profileOf(workloads::makeLibor(2));
+    EXPECT_GT(unitShare(r, isa::UnitType::SFU), 0.15);
+    // And nothing else comes close.
+    const auto sha = profileOf(workloads::makeSha(2));
+    EXPECT_LT(unitShare(sha, isa::UnitType::SFU), 0.01);
+}
+
+TEST(Profiles, ShaIsSpDense)
+{
+    const auto r = profileOf(workloads::makeSha(2));
+    EXPECT_GT(unitShare(r, isa::UnitType::SP), 0.9);
+}
+
+TEST(Profiles, MatrixMulIsBalancedSpLdst)
+{
+    // The balanced mix is what lets inter-warp DMR keep up with it
+    // (verification-bandwidth argument in EXPERIMENTS.md).
+    const auto r = profileOf(workloads::makeMatrixMul(64));
+    EXPECT_GT(unitShare(r, isa::UnitType::LDST), 0.35);
+    EXPECT_GT(unitShare(r, isa::UnitType::SP), 0.35);
+}
+
+TEST(Profiles, ScanRadixShowTreePhases)
+{
+    for (auto *name : {"SCAN", "RadixSort"}) {
+        auto w = name == std::string("SCAN")
+                     ? workloads::makeScan(2)
+                     : workloads::makeRadixSort(2);
+        const auto r = profileOf(std::move(w));
+        // Full phases dominate but the shrinking tree leaves a
+        // visible partial-mask share...
+        EXPECT_GT(fullWarpFraction(r), 0.6) << name;
+        EXPECT_GT(r.dmr.intraWarpInstrs, 0u) << name;
+        // ...that cross mapping covers completely (Fig 9a: 100 %).
+        EXPECT_DOUBLE_EQ(r.coverage(), 1.0) << name;
+    }
+}
+
+TEST(Profiles, BitonicLivesOnHalfMasks)
+{
+    const auto r = profileOf(workloads::makeBitonicSort(2));
+    EXPECT_GT(r.activeHist.rangeFraction(12, 21), 0.35);
+}
+
+TEST(Profiles, CoverageOrderingAcrossConfigs)
+{
+    // The Fig 9a ordering at test scale: cross mapping beats the
+    // 4-lane linear baseline on average.
+    double lin = 0, cross = 0;
+    const char *names[] = {"BFS", "MUM", "SCAN", "CUFFT"};
+    for (auto *name : names) {
+        auto mk = [&] { return workloads::makeByNameScaled(name, 1); };
+        lin += profileOf(mk(), dmr::DmrConfig::baselineMapping())
+                   .coverage();
+        cross += profileOf(mk()).coverage();
+    }
+    EXPECT_GT(cross, lin);
+}

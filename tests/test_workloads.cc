@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional correctness of every Table-4 workload: each kernel's GPU
+ * output must match its CPU reference, with Warped-DMR off and on
+ * (DMR must never change architectural results), and coverage /
+ * instruction-accounting invariants must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+namespace {
+
+arch::GpuConfig
+smallCfg()
+{
+    return arch::GpuConfig::testDefault();
+}
+
+std::unique_ptr<workloads::Workload>
+makeSmall(const std::string &name)
+{
+    using namespace workloads;
+    // Shrunken instances keep unit tests fast; the bench harnesses
+    // use the full Table-4-scaled defaults.
+    if (name == "BFS") return makeBfs(2);
+    if (name == "Nqueen") return makeNqueen(1);
+    if (name == "MUM") return makeMum(2);
+    if (name == "SCAN") return makeScan(2);
+    if (name == "BitonicSort") return makeBitonicSort(2);
+    if (name == "Laplace") return makeLaplace(32);
+    if (name == "MatrixMul") return makeMatrixMul(32);
+    if (name == "RadixSort") return makeRadixSort(2);
+    if (name == "SHA") return makeSha(2);
+    if (name == "Libor") return makeLibor(2);
+    if (name == "CUFFT") return makeFft(4);
+    ADD_FAILURE() << "unknown workload " << name;
+    return nullptr;
+}
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadCorrectness, MatchesCpuReferenceWithDmrOff)
+{
+    setVerbose(false);
+    auto w = makeSmall(GetParam());
+    gpu::Gpu g(smallCfg(), dmr::DmrConfig::off());
+    auto r = workloads::runVerified(*w, g);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.issuedWarpInstrs, 0u);
+}
+
+TEST_P(WorkloadCorrectness, MatchesCpuReferenceWithDmrOn)
+{
+    setVerbose(false);
+    auto w = makeSmall(GetParam());
+    gpu::Gpu g(smallCfg(), dmr::DmrConfig::paperDefault());
+    auto r = workloads::runVerified(*w, g);
+    // On a fault-free machine the comparator must never fire.
+    EXPECT_EQ(r.dmr.errorsDetected, 0u);
+    // Every verifiable thread-execution is either intra- or
+    // inter-warp verified, never both.
+    EXPECT_EQ(r.dmr.verifiedThreadInstrs,
+              r.dmr.intraVerifiedThreads + r.dmr.interVerifiedThreads);
+    EXPECT_LE(r.dmr.verifiedThreadInstrs, r.dmr.verifiableThreadInstrs);
+    EXPECT_GT(r.coverage(), 0.5);
+    // (CUFFT sits lowest, near the paper's 90 %.)
+    EXPECT_LE(r.coverage(), 1.0);
+}
+
+TEST_P(WorkloadCorrectness, DmrNeverSlowsDownMoreThanTheoreticalBound)
+{
+    setVerbose(false);
+    auto w1 = makeSmall(GetParam());
+    gpu::Gpu g1(smallCfg(), dmr::DmrConfig::off());
+    const auto base = workloads::runVerified(*w1, g1);
+
+    auto w2 = makeSmall(GetParam());
+    gpu::Gpu g2(smallCfg(), dmr::DmrConfig::paperDefault());
+    const auto prot = workloads::runVerified(*w2, g2);
+
+    // DMR adds stall cycles but never removes work. Stall-shifted
+    // warp interleaving can perturb total cycles a few percent in
+    // either direction, so allow slack downward and bound upward by
+    // the 2x cost of full temporal DMR.
+    EXPECT_GE(double(prot.cycles), 0.9 * double(base.cycles));
+    EXPECT_LE(double(prot.cycles), 2.05 * double(base.cycles))
+        << "overhead beyond the DMR theoretical bound";
+    // Identical functional work on both machines.
+    EXPECT_EQ(prot.issuedThreadInstrs, base.issuedThreadInstrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadCorrectness,
+    ::testing::ValuesIn(workloads::allNames()),
+    [](const auto &info) { return info.param; });

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Render the figure-bench tables as SVG bar charts.
+
+Parses the text tables the bench binaries print (either a combined
+bench_output.txt or the per-figure files tools/reproduce.sh writes
+into results/) and emits one SVG per figure. Zero dependencies.
+
+Usage:
+    tools/plot_figures.py [bench_output.txt] [-o outdir]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+PALETTE = ["#4878a8", "#e49444", "#d1605e", "#85b6b2", "#6a9f58",
+           "#e7ca60", "#a87c9f", "#f1a2a9"]
+
+
+def esc(s):
+    return s.replace("&", "&amp;").replace("<", "&lt;")
+
+
+def grouped_bars(title, categories, series, path, y_label="",
+                 percent=False):
+    """series: list of (name, [values aligned with categories])."""
+    bar_w, gap, group_gap = 14, 2, 18
+    n_series = len(series)
+    group_w = n_series * (bar_w + gap) + group_gap
+    left, top, h = 70, 40, 260
+    width = left + len(categories) * group_w + 40
+    height = top + h + 90
+
+    vmax = max(max(vals) for _, vals in series) or 1.0
+    if percent:
+        vmax = max(vmax, 100.0)
+
+    out = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+           f'height="{height}" font-family="sans-serif" '
+           f'font-size="11">']
+    out.append(f'<text x="{left}" y="20" font-size="14" '
+               f'font-weight="bold">{esc(title)}</text>')
+    # y axis + gridlines
+    for i in range(5):
+        v = vmax * i / 4
+        y = top + h - h * i / 4
+        out.append(f'<line x1="{left}" y1="{y:.1f}" '
+                   f'x2="{width - 20}" y2="{y:.1f}" stroke="#ddd"/>')
+        out.append(f'<text x="{left - 6}" y="{y + 4:.1f}" '
+                   f'text-anchor="end">{v:.2f}</text>')
+    if y_label:
+        out.append(f'<text x="12" y="{top - 10}">{esc(y_label)}</text>')
+
+    for ci, cat in enumerate(categories):
+        x0 = left + ci * group_w
+        for si, (name, vals) in enumerate(series):
+            v = vals[ci]
+            bh = h * v / vmax
+            x = x0 + si * (bar_w + gap)
+            y = top + h - bh
+            out.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w}" '
+                f'height="{bh:.1f}" '
+                f'fill="{PALETTE[si % len(PALETTE)]}"/>')
+        out.append(
+            f'<text x="{x0 + group_w / 2 - group_gap / 2:.1f}" '
+            f'y="{top + h + 14}" text-anchor="middle" '
+            f'transform="rotate(30 {x0 + group_w / 2:.0f} '
+            f'{top + h + 14})">{esc(cat)}</text>')
+
+    # legend
+    lx = left
+    ly = height - 18
+    for si, (name, _) in enumerate(series):
+        out.append(f'<rect x="{lx}" y="{ly - 10}" width="10" '
+                   f'height="10" '
+                   f'fill="{PALETTE[si % len(PALETTE)]}"/>')
+        out.append(f'<text x="{lx + 14}" y="{ly}">{esc(name)}</text>')
+        lx += 14 + 8 * len(name) + 24
+    out.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(out))
+    print(f"wrote {path}")
+
+
+def parse_table(lines, start, n_value_cols):
+    """Parse 'name  v1  v2 ...' rows until a blank/non-matching line."""
+    rows = []
+    pat = re.compile(r"^(\S+)\s+(.*)$")
+    num = re.compile(r"-?\d+(?:\.\d+)?")
+    for line in lines[start:]:
+        m = pat.match(line.strip())
+        if not m:
+            break
+        vals = num.findall(m.group(2))
+        if len(vals) < n_value_cols:
+            break
+        rows.append((m.group(1), [float(v) for v in
+                                  vals[:n_value_cols]]))
+    return rows
+
+
+def section(lines, header):
+    for i, line in enumerate(lines):
+        if header in line:
+            return i
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input", nargs="?", default="bench_output.txt")
+    ap.add_argument("-o", "--outdir", default="results/plots")
+    args = ap.parse_args()
+
+    with open(args.input) as f:
+        lines = f.read().splitlines()
+    os.makedirs(args.outdir, exist_ok=True)
+
+    # Figure 1: benchmark, 5 bucket percentages.
+    i = section(lines, "Figure 1")
+    if i is not None:
+        j = next(k for k in range(i, len(lines))
+                 if lines[k].startswith("benchmark"))
+        rows = parse_table(lines, j + 1, 5)
+        cats = [r[0] for r in rows]
+        buckets = ["1", "2-11", "12-21", "22-31", "32"]
+        series = [(buckets[b], [r[1][b] for r in rows])
+                  for b in range(5)]
+        grouped_bars("Fig 1: issue slots by active-thread count (%)",
+                     cats, series,
+                     os.path.join(args.outdir, "fig01.svg"),
+                     percent=True)
+
+    # Figure 9a: three coverage columns.
+    i = section(lines, "Figure 9a")
+    if i is not None:
+        j = next(k for k in range(i, len(lines))
+                 if lines[k].startswith("benchmark"))
+        rows = parse_table(lines, j + 1, 3)
+        rows = [r for r in rows if r[0] != "Paper:"]
+        cats = [r[0] for r in rows]
+        names = ["4-lane cluster", "8-lane cluster", "cross mapping"]
+        series = [(names[b], [r[1][b] for r in rows])
+                  for b in range(3)]
+        grouped_bars("Fig 9a: error coverage (%)", cats, series,
+                     os.path.join(args.outdir, "fig09a.svg"),
+                     percent=True)
+
+    # Figure 9b: four normalized-cycle columns.
+    i = section(lines, "Figure 9b")
+    if i is not None:
+        j = next(k for k in range(i, len(lines))
+                 if lines[k].startswith("benchmark"))
+        rows = parse_table(lines, j + 1, 4)
+        rows = [r for r in rows if r[0] != "Paper"]
+        cats = [r[0] for r in rows]
+        names = ["q=0", "q=1", "q=5", "q=10"]
+        series = [(names[b], [r[1][b] for r in rows])
+                  for b in range(4)]
+        grouped_bars("Fig 9b: normalized kernel cycles vs ReplayQ size",
+                     cats, series,
+                     os.path.join(args.outdir, "fig09b.svg"))
+
+    # Figure 10: five scheme columns.
+    i = section(lines, "Figure 10")
+    if i is not None:
+        j = next(k for k in range(i, len(lines))
+                 if lines[k].startswith("benchmark"))
+        rows = parse_table(lines, j + 1, 5)
+        cats = [r[0] for r in rows]
+        names = ["Original", "R-Naive", "R-Thread", "DMTR",
+                 "Warped-DMR"]
+        series = [(names[b], [r[1][b] for r in rows])
+                  for b in range(5)]
+        grouped_bars("Fig 10: normalized total time by scheme", cats,
+                     series, os.path.join(args.outdir, "fig10.svg"))
+
+    # Figure 11: power & energy columns.
+    i = section(lines, "Figure 11")
+    if i is not None:
+        j = next(k for k in range(i, len(lines))
+                 if lines[k].startswith("benchmark"))
+        rows = parse_table(lines, j + 1, 2)
+        rows = [r for r in rows if r[0] != "Paper"]
+        cats = [r[0] for r in rows]
+        series = [("power", [r[1][0] for r in rows]),
+                  ("energy", [r[1][1] for r in rows])]
+        grouped_bars("Fig 11: normalized power and energy", cats,
+                     series, os.path.join(args.outdir, "fig11.svg"))
+
+    print("done")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Build everything, run the full test suite, and regenerate every
+# paper figure into ./results/.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "== $name =="
+    "$b" | tee "results/$name.txt"
+done
+echo "All figures regenerated under results/."
