@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_rate_sweep.dir/fault_rate_sweep.cc.o"
+  "CMakeFiles/fault_rate_sweep.dir/fault_rate_sweep.cc.o.d"
+  "fault_rate_sweep"
+  "fault_rate_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_rate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_active_threads.dir/fig01_active_threads.cc.o"
+  "CMakeFiles/fig01_active_threads.dir/fig01_active_threads.cc.o.d"
+  "fig01_active_threads"
+  "fig01_active_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_active_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_inst_mix.dir/fig05_inst_mix.cc.o"
+  "CMakeFiles/fig05_inst_mix.dir/fig05_inst_mix.cc.o.d"
+  "fig05_inst_mix"
+  "fig05_inst_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_inst_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

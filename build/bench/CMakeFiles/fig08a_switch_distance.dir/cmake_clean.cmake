@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_switch_distance.dir/fig08a_switch_distance.cc.o"
+  "CMakeFiles/fig08a_switch_distance.dir/fig08a_switch_distance.cc.o.d"
+  "fig08a_switch_distance"
+  "fig08a_switch_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_switch_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

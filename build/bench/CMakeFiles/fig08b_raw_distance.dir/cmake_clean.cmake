@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_raw_distance.dir/fig08b_raw_distance.cc.o"
+  "CMakeFiles/fig08b_raw_distance.dir/fig08b_raw_distance.cc.o.d"
+  "fig08b_raw_distance"
+  "fig08b_raw_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_raw_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

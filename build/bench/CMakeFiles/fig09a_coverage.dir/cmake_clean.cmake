@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_coverage.dir/fig09a_coverage.cc.o"
+  "CMakeFiles/fig09a_coverage.dir/fig09a_coverage.cc.o.d"
+  "fig09a_coverage"
+  "fig09a_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

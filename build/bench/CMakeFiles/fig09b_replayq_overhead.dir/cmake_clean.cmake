@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_replayq_overhead.dir/fig09b_replayq_overhead.cc.o"
+  "CMakeFiles/fig09b_replayq_overhead.dir/fig09b_replayq_overhead.cc.o.d"
+  "fig09b_replayq_overhead"
+  "fig09b_replayq_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_replayq_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

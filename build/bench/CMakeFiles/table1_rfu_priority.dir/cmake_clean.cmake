@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rfu_priority.dir/table1_rfu_priority.cc.o"
+  "CMakeFiles/table1_rfu_priority.dir/table1_rfu_priority.cc.o.d"
+  "table1_rfu_priority"
+  "table1_rfu_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rfu_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

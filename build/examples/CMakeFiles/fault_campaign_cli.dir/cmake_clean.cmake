@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_campaign_cli.dir/fault_campaign_cli.cpp.o"
+  "CMakeFiles/fault_campaign_cli.dir/fault_campaign_cli.cpp.o.d"
+  "fault_campaign_cli"
+  "fault_campaign_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_campaign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

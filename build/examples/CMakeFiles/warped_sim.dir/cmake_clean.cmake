@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_sim.dir/warped_sim.cpp.o"
+  "CMakeFiles/warped_sim.dir/warped_sim.cpp.o.d"
+  "warped_sim"
+  "warped_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("isa")
+subdirs("arch")
+subdirs("mem")
+subdirs("func")
+subdirs("sm")
+subdirs("dmr")
+subdirs("gpu")
+subdirs("fault")
+subdirs("power")
+subdirs("workloads")
+subdirs("redundancy")

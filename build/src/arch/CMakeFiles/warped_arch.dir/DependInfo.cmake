@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/gpu_config.cc" "src/arch/CMakeFiles/warped_arch.dir/gpu_config.cc.o" "gcc" "src/arch/CMakeFiles/warped_arch.dir/gpu_config.cc.o.d"
+  "/root/repo/src/arch/simt_stack.cc" "src/arch/CMakeFiles/warped_arch.dir/simt_stack.cc.o" "gcc" "src/arch/CMakeFiles/warped_arch.dir/simt_stack.cc.o.d"
+  "/root/repo/src/arch/warp_context.cc" "src/arch/CMakeFiles/warped_arch.dir/warp_context.cc.o" "gcc" "src/arch/CMakeFiles/warped_arch.dir/warp_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/warped_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/warped_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_arch.dir/gpu_config.cc.o"
+  "CMakeFiles/warped_arch.dir/gpu_config.cc.o.d"
+  "CMakeFiles/warped_arch.dir/simt_stack.cc.o"
+  "CMakeFiles/warped_arch.dir/simt_stack.cc.o.d"
+  "CMakeFiles/warped_arch.dir/warp_context.cc.o"
+  "CMakeFiles/warped_arch.dir/warp_context.cc.o.d"
+  "libwarped_arch.a"
+  "libwarped_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

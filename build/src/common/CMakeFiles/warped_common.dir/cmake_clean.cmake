@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_common.dir/logging.cc.o"
+  "CMakeFiles/warped_common.dir/logging.cc.o.d"
+  "CMakeFiles/warped_common.dir/rng.cc.o"
+  "CMakeFiles/warped_common.dir/rng.cc.o.d"
+  "libwarped_common.a"
+  "libwarped_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

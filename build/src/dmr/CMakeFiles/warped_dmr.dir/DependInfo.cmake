@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dmr/dmr_config.cc" "src/dmr/CMakeFiles/warped_dmr.dir/dmr_config.cc.o" "gcc" "src/dmr/CMakeFiles/warped_dmr.dir/dmr_config.cc.o.d"
+  "/root/repo/src/dmr/dmr_engine.cc" "src/dmr/CMakeFiles/warped_dmr.dir/dmr_engine.cc.o" "gcc" "src/dmr/CMakeFiles/warped_dmr.dir/dmr_engine.cc.o.d"
+  "/root/repo/src/dmr/replay_queue.cc" "src/dmr/CMakeFiles/warped_dmr.dir/replay_queue.cc.o" "gcc" "src/dmr/CMakeFiles/warped_dmr.dir/replay_queue.cc.o.d"
+  "/root/repo/src/dmr/rfu.cc" "src/dmr/CMakeFiles/warped_dmr.dir/rfu.cc.o" "gcc" "src/dmr/CMakeFiles/warped_dmr.dir/rfu.cc.o.d"
+  "/root/repo/src/dmr/thread_mapping.cc" "src/dmr/CMakeFiles/warped_dmr.dir/thread_mapping.cc.o" "gcc" "src/dmr/CMakeFiles/warped_dmr.dir/thread_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/warped_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/warped_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/warped_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/warped_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/warped_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/warped_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

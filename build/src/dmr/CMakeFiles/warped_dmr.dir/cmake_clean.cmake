@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_dmr.dir/dmr_config.cc.o"
+  "CMakeFiles/warped_dmr.dir/dmr_config.cc.o.d"
+  "CMakeFiles/warped_dmr.dir/dmr_engine.cc.o"
+  "CMakeFiles/warped_dmr.dir/dmr_engine.cc.o.d"
+  "CMakeFiles/warped_dmr.dir/replay_queue.cc.o"
+  "CMakeFiles/warped_dmr.dir/replay_queue.cc.o.d"
+  "CMakeFiles/warped_dmr.dir/rfu.cc.o"
+  "CMakeFiles/warped_dmr.dir/rfu.cc.o.d"
+  "CMakeFiles/warped_dmr.dir/thread_mapping.cc.o"
+  "CMakeFiles/warped_dmr.dir/thread_mapping.cc.o.d"
+  "libwarped_dmr.a"
+  "libwarped_dmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_dmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_fault.dir/campaign.cc.o"
+  "CMakeFiles/warped_fault.dir/campaign.cc.o.d"
+  "CMakeFiles/warped_fault.dir/fault_injector.cc.o"
+  "CMakeFiles/warped_fault.dir/fault_injector.cc.o.d"
+  "libwarped_fault.a"
+  "libwarped_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_func.dir/executor.cc.o"
+  "CMakeFiles/warped_func.dir/executor.cc.o.d"
+  "libwarped_func.a"
+  "libwarped_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

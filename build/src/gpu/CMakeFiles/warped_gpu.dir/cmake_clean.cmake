@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_gpu.dir/gpu.cc.o"
+  "CMakeFiles/warped_gpu.dir/gpu.cc.o.d"
+  "CMakeFiles/warped_gpu.dir/report.cc.o"
+  "CMakeFiles/warped_gpu.dir/report.cc.o.d"
+  "libwarped_gpu.a"
+  "libwarped_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_isa.dir/assembler.cc.o"
+  "CMakeFiles/warped_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/warped_isa.dir/instruction.cc.o"
+  "CMakeFiles/warped_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/warped_isa.dir/kernel_builder.cc.o"
+  "CMakeFiles/warped_isa.dir/kernel_builder.cc.o.d"
+  "CMakeFiles/warped_isa.dir/opcode.cc.o"
+  "CMakeFiles/warped_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/warped_isa.dir/program.cc.o"
+  "CMakeFiles/warped_isa.dir/program.cc.o.d"
+  "libwarped_isa.a"
+  "libwarped_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/ecc.cc" "src/mem/CMakeFiles/warped_mem.dir/ecc.cc.o" "gcc" "src/mem/CMakeFiles/warped_mem.dir/ecc.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/mem/CMakeFiles/warped_mem.dir/memory.cc.o" "gcc" "src/mem/CMakeFiles/warped_mem.dir/memory.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/warped_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/warped_mem.dir/memory_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/warped_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/warped_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/warped_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_mem.dir/ecc.cc.o"
+  "CMakeFiles/warped_mem.dir/ecc.cc.o.d"
+  "CMakeFiles/warped_mem.dir/memory.cc.o"
+  "CMakeFiles/warped_mem.dir/memory.cc.o.d"
+  "CMakeFiles/warped_mem.dir/memory_system.cc.o"
+  "CMakeFiles/warped_mem.dir/memory_system.cc.o.d"
+  "libwarped_mem.a"
+  "libwarped_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_power.dir/power_model.cc.o"
+  "CMakeFiles/warped_power.dir/power_model.cc.o.d"
+  "libwarped_power.a"
+  "libwarped_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_redundancy.dir/scheme.cc.o"
+  "CMakeFiles/warped_redundancy.dir/scheme.cc.o.d"
+  "libwarped_redundancy.a"
+  "libwarped_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

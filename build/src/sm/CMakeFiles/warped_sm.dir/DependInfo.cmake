@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sm/scoreboard.cc" "src/sm/CMakeFiles/warped_sm.dir/scoreboard.cc.o" "gcc" "src/sm/CMakeFiles/warped_sm.dir/scoreboard.cc.o.d"
+  "/root/repo/src/sm/sm.cc" "src/sm/CMakeFiles/warped_sm.dir/sm.cc.o" "gcc" "src/sm/CMakeFiles/warped_sm.dir/sm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/warped_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/warped_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/warped_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/warped_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/warped_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/warped_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmr/CMakeFiles/warped_dmr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_sm.dir/scoreboard.cc.o"
+  "CMakeFiles/warped_sm.dir/scoreboard.cc.o.d"
+  "CMakeFiles/warped_sm.dir/sm.cc.o"
+  "CMakeFiles/warped_sm.dir/sm.cc.o.d"
+  "libwarped_sm.a"
+  "libwarped_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

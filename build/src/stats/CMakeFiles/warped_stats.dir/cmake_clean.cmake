@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_stats.dir/distance.cc.o"
+  "CMakeFiles/warped_stats.dir/distance.cc.o.d"
+  "CMakeFiles/warped_stats.dir/histogram.cc.o"
+  "CMakeFiles/warped_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/warped_stats.dir/run_length.cc.o"
+  "CMakeFiles/warped_stats.dir/run_length.cc.o.d"
+  "libwarped_stats.a"
+  "libwarped_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwarped_stats.a"
+)

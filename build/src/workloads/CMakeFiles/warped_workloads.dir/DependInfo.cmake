@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cc" "src/workloads/CMakeFiles/warped_workloads.dir/bfs.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/bfs.cc.o.d"
+  "/root/repo/src/workloads/bitonic.cc" "src/workloads/CMakeFiles/warped_workloads.dir/bitonic.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/bitonic.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/workloads/CMakeFiles/warped_workloads.dir/fft.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/fft.cc.o.d"
+  "/root/repo/src/workloads/laplace.cc" "src/workloads/CMakeFiles/warped_workloads.dir/laplace.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/laplace.cc.o.d"
+  "/root/repo/src/workloads/libor.cc" "src/workloads/CMakeFiles/warped_workloads.dir/libor.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/libor.cc.o.d"
+  "/root/repo/src/workloads/matrixmul.cc" "src/workloads/CMakeFiles/warped_workloads.dir/matrixmul.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/matrixmul.cc.o.d"
+  "/root/repo/src/workloads/mum.cc" "src/workloads/CMakeFiles/warped_workloads.dir/mum.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/mum.cc.o.d"
+  "/root/repo/src/workloads/nqueen.cc" "src/workloads/CMakeFiles/warped_workloads.dir/nqueen.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/nqueen.cc.o.d"
+  "/root/repo/src/workloads/radix.cc" "src/workloads/CMakeFiles/warped_workloads.dir/radix.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/radix.cc.o.d"
+  "/root/repo/src/workloads/scan.cc" "src/workloads/CMakeFiles/warped_workloads.dir/scan.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/scan.cc.o.d"
+  "/root/repo/src/workloads/sha.cc" "src/workloads/CMakeFiles/warped_workloads.dir/sha.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/sha.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/warped_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/warped_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/warped_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/warped_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sm/CMakeFiles/warped_sm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmr/CMakeFiles/warped_dmr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/warped_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/warped_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/warped_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/warped_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/warped_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warped_workloads.dir/bfs.cc.o"
+  "CMakeFiles/warped_workloads.dir/bfs.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/bitonic.cc.o"
+  "CMakeFiles/warped_workloads.dir/bitonic.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/fft.cc.o"
+  "CMakeFiles/warped_workloads.dir/fft.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/laplace.cc.o"
+  "CMakeFiles/warped_workloads.dir/laplace.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/libor.cc.o"
+  "CMakeFiles/warped_workloads.dir/libor.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/matrixmul.cc.o"
+  "CMakeFiles/warped_workloads.dir/matrixmul.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/mum.cc.o"
+  "CMakeFiles/warped_workloads.dir/mum.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/nqueen.cc.o"
+  "CMakeFiles/warped_workloads.dir/nqueen.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/radix.cc.o"
+  "CMakeFiles/warped_workloads.dir/radix.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/scan.cc.o"
+  "CMakeFiles/warped_workloads.dir/scan.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/sha.cc.o"
+  "CMakeFiles/warped_workloads.dir/sha.cc.o.d"
+  "CMakeFiles/warped_workloads.dir/workload.cc.o"
+  "CMakeFiles/warped_workloads.dir/workload.cc.o.d"
+  "libwarped_workloads.a"
+  "libwarped_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warped_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

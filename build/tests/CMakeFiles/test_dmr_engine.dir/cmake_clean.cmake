@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dmr_engine.dir/test_dmr_engine.cc.o"
+  "CMakeFiles/test_dmr_engine.dir/test_dmr_engine.cc.o.d"
+  "test_dmr_engine"
+  "test_dmr_engine.pdb"
+  "test_dmr_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dmr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_kernels.dir/test_fuzz_kernels.cc.o"
+  "CMakeFiles/test_fuzz_kernels.dir/test_fuzz_kernels.cc.o.d"
+  "test_fuzz_kernels"
+  "test_fuzz_kernels.pdb"
+  "test_fuzz_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

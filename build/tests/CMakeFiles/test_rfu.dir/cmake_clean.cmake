@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfu.dir/test_rfu.cc.o"
+  "CMakeFiles/test_rfu.dir/test_rfu.cc.o.d"
+  "test_rfu"
+  "test_rfu.pdb"
+  "test_rfu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

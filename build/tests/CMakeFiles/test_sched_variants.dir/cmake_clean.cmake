@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_variants.dir/test_sched_variants.cc.o"
+  "CMakeFiles/test_sched_variants.dir/test_sched_variants.cc.o.d"
+  "test_sched_variants"
+  "test_sched_variants.pdb"
+  "test_sched_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scoreboard.dir/test_scoreboard.cc.o"
+  "CMakeFiles/test_scoreboard.dir/test_scoreboard.cc.o.d"
+  "test_scoreboard"
+  "test_scoreboard.pdb"
+  "test_scoreboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shfl_and_contention.dir/test_shfl_and_contention.cc.o"
+  "CMakeFiles/test_shfl_and_contention.dir/test_shfl_and_contention.cc.o.d"
+  "test_shfl_and_contention"
+  "test_shfl_and_contention.pdb"
+  "test_shfl_and_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shfl_and_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sm_pipeline.dir/test_sm_pipeline.cc.o"
+  "CMakeFiles/test_sm_pipeline.dir/test_sm_pipeline.cc.o.d"
+  "test_sm_pipeline"
+  "test_sm_pipeline.pdb"
+  "test_sm_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_profiles.dir/test_workload_profiles.cc.o"
+  "CMakeFiles/test_workload_profiles.dir/test_workload_profiles.cc.o.d"
+  "test_workload_profiles"
+  "test_workload_profiles.pdb"
+  "test_workload_profiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_simt_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_rfu[1]_include.cmake")
+include("/root/repo/build/tests/test_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_replay_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_dmr_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_scoreboard[1]_include.cmake")
+include("/root/repo/build/tests/test_sm_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_redundancy[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_ecc[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_profiles[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_shfl_and_contention[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
