@@ -21,7 +21,7 @@ struct Mode
 };
 
 void
-runGrid()
+runGrid(unsigned jobs)
 {
     std::vector<Mode> modes;
     {
@@ -44,18 +44,36 @@ runGrid()
         std::printf(" %11s", n.c_str());
     std::printf("   (coverage %% / overhead x)\n");
 
-    std::vector<gpu::LaunchResult> bases;
-    for (const auto &n : names)
-        bases.push_back(bench::runWorkload(n, bench::paperGpu(),
-                                           dmr::DmrConfig::off()));
+    // Every (mode, workload) cell plus the baselines is an
+    // independent simulation; fan them all out and print in order.
+    struct Cell
+    {
+        double coverage = 0.0;
+        Cycle cycles = 0;
+    };
+    std::vector<std::optional<gpu::LaunchResult>> bases(names.size());
+    std::vector<Cell> cells(modes.size() * names.size());
+    sim::RunPool pool(jobs);
+    pool.parallelFor(bases.size() + cells.size(), [&](std::size_t i) {
+        if (i < bases.size()) {
+            bases[i].emplace(bench::runWorkload(
+                names[i], bench::paperGpu(), dmr::DmrConfig::off()));
+            return;
+        }
+        const std::size_t c = i - bases.size();
+        const auto r = bench::runWorkload(names[c % names.size()],
+                                          bench::paperGpu(),
+                                          modes[c / names.size()].cfg);
+        cells[c] = Cell{r.coverage(), r.cycles};
+    });
 
-    for (const auto &m : modes) {
-        std::printf("%-14s", m.name);
-        for (unsigned i = 0; i < names.size(); ++i) {
-            const auto r =
-                bench::runWorkload(names[i], bench::paperGpu(), m.cfg);
-            std::printf("  %4.1f/%5.2f", 100 * r.coverage(),
-                        double(r.cycles) / double(bases[i].cycles));
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+        std::printf("%-14s", modes[m].name);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &cell = cells[m * names.size() + i];
+            std::printf("  %4.1f/%5.2f", 100 * cell.coverage,
+                        double(cell.cycles) /
+                            double(bases[i]->cycles));
         }
         std::printf("\n");
     }
@@ -193,13 +211,14 @@ runGatingGranularity()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const unsigned jobs = bench::parseJobs(argc, argv);
     bench::printHeader("Ablation",
                        "Warped-DMR decomposition, queue saturation, "
                        "sampling and scheduler extensions");
-    runGrid();
+    runGrid(jobs);
     runQueueSaturation();
     runSamplingCurve();
     runSchedulerAblation();

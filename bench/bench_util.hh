@@ -9,13 +9,18 @@
 #define WARPED_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "arch/gpu_config.hh"
 #include "common/logging.hh"
 #include "dmr/dmr_config.hh"
 #include "gpu/gpu.hh"
+#include "sim/run_pool.hh"
 #include "workloads/workload.hh"
 
 namespace warped {
@@ -49,6 +54,49 @@ runWorkload(const std::string &name, const arch::GpuConfig &cfg,
     auto w = workloads::makeByName(name);
     gpu::Gpu g(cfg, dcfg);
     return workloads::runVerified(*w, g);
+}
+
+/**
+ * Parse the standard `--jobs N` harness flag (0 = hardware
+ * concurrency, the default). Every figure/campaign binary accepts it.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            return static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    return sim::RunPool::kHardwareConcurrency;
+}
+
+/**
+ * The standard workload sweep: evaluate @p fn for every Table-4
+ * workload (Fig-1 order) across a RunPool, returning results in that
+ * order — output is identical to a sequential sweep regardless of
+ * @p jobs. @p fn must be callable concurrently (each call should
+ * build its own Workload and Gpu).
+ */
+template <typename Fn>
+auto
+sweepWorkloads(Fn &&fn, unsigned jobs = sim::RunPool::kHardwareConcurrency)
+    -> std::vector<std::invoke_result_t<Fn &, const std::string &>>
+{
+    using R = std::invoke_result_t<Fn &, const std::string &>;
+    const auto &names = workloads::allNames();
+    // Optional slots: R need not be default-constructible
+    // (gpu::LaunchResult is not).
+    std::vector<std::optional<R>> slots(names.size());
+    sim::RunPool pool(jobs);
+    pool.parallelFor(names.size(), [&](std::size_t i) {
+        slots[i].emplace(fn(names[i]));
+    });
+    std::vector<R> out;
+    out.reserve(slots.size());
+    for (auto &s : slots)
+        out.push_back(std::move(*s));
+    return out;
 }
 
 /** Geometric-style arithmetic mean helper for summary rows. */

@@ -15,9 +15,10 @@
 using namespace warped;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const unsigned jobs = bench::parseJobs(argc, argv);
     bench::printHeader("Fault campaign",
                        "Observed detection rate under injected faults "
                        "(transient & stuck-at)");
@@ -45,6 +46,7 @@ main()
 
     fault::CampaignConfig cc;
     cc.runs = 40;
+    cc.jobs = jobs;
 
     std::printf("%-12s %-10s %9s %5s %5s %6s %6s %8s %10s\n",
                 "benchmark", "fault", "detected", "hang", "SDC",
@@ -81,6 +83,7 @@ main()
     for (const auto &t : targets) {
         fault::CampaignConfig cl;
         cl.runs = 20;
+        cl.jobs = jobs;
         cl.kind = fault::FaultKind::StuckAtOne;
         const auto res = fault::runCampaign(
             t.factory, gpu_cfg, dmr::DmrConfig::paperDefault(), cl);
@@ -104,6 +107,7 @@ main()
                 "SFU datapath, Libor):\n");
     fault::CampaignConfig cs;
     cs.runs = 40;
+    cs.jobs = jobs;
     cs.kind = fault::FaultKind::StuckAtOne;
     cs.unit = isa::UnitType::SFU;
     auto with = dmr::DmrConfig::paperDefault();

@@ -15,10 +15,22 @@
 
 using namespace warped;
 
+namespace {
+
+/** Outcome of one injection run, folded in submission order. */
+struct Verdict
+{
+    bool detected = false;
+    bool localized = false;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const unsigned jobs = bench::parseJobs(argc, argv);
     bench::printHeader("Fault localization",
                        "Pinpointing the faulty SP from the error log "
                        "(Sec 3.4's granularity argument)");
@@ -29,17 +41,22 @@ main()
     auto dcfg = dmr::DmrConfig::paperDefault();
     dcfg.arbitrateErrors = true;
 
+    // Draw every fault spec up front from the single master stream so
+    // the spec sequence is independent of the worker count.
     Rng rng(0xCAFE);
     constexpr unsigned kRuns = 40;
-    unsigned detected = 0, localized = 0;
-
-    for (unsigned run = 0; run < kRuns; ++run) {
-        fault::FaultSpec spec;
+    std::vector<fault::FaultSpec> specs(kRuns);
+    for (auto &spec : specs) {
         spec.kind = fault::FaultKind::StuckAtOne;
         spec.sm = static_cast<unsigned>(rng.nextBelow(cfg.numSms));
         spec.lane = static_cast<unsigned>(rng.nextBelow(cfg.warpSize));
         spec.bit = static_cast<unsigned>(rng.nextBelow(32));
+    }
 
+    std::vector<Verdict> verdicts(kRuns);
+    sim::RunPool pool(jobs);
+    pool.parallelFor(kRuns, [&](std::size_t run) {
+        const auto &spec = specs[run];
         fault::FaultInjector injector;
         injector.add(spec);
 
@@ -49,8 +66,8 @@ main()
         const auto r = g.launch(w->program(), w->gridBlocks(),
                                 w->blockThreads(), 2000000);
         if (r.dmr.errorsDetected == 0)
-            continue;
-        ++detected;
+            return;
+        verdicts[run].detected = true;
 
         // Majority vote over the log: PrimaryBad events blame the
         // primary lane, CheckerBad events blame the checker lane.
@@ -62,14 +79,20 @@ main()
                 ++blame[{ev.sm, ev.checkerLane}];
         }
         if (blame.empty())
-            continue;
+            return;
         auto best = blame.begin();
         for (auto it = blame.begin(); it != blame.end(); ++it) {
             if (it->second > best->second)
                 best = it;
         }
-        if (best->first == std::make_pair(spec.sm, spec.lane))
-            ++localized;
+        verdicts[run].localized =
+            best->first == std::make_pair(spec.sm, spec.lane);
+    });
+
+    unsigned detected = 0, localized = 0;
+    for (const auto &v : verdicts) {
+        detected += v.detected;
+        localized += v.localized;
     }
 
     std::printf("stuck-at faults injected: %u\n", kRuns);

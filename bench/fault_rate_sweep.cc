@@ -12,10 +12,23 @@
 
 using namespace warped;
 
+namespace {
+
+/** Outcome of one (run, protect) cell, folded after the fan-out. */
+struct Cell
+{
+    bool detected = false;
+    bool hung = false;
+    bool good = false;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    const unsigned jobs = bench::parseJobs(argc, argv);
     bench::printHeader("Fault-rate sweep",
                        "Outcome vs per-value corruption probability "
                        "(SCAN, 20 runs per point)");
@@ -29,37 +42,46 @@ main()
     std::printf("%-12s | %6s %6s %6s | %6s %6s %6s\n", "fault prob",
                 "SDC", "ok", "hang", "SDC", "detect", "ok");
 
+    sim::RunPool pool(jobs);
     for (double p : {1e-7, 1e-6, 1e-5, 1e-4}) {
+        // 40 independent cells: run 0..19 x {unprotected, protected}.
+        // Hook seeds depend only on the run index, so the fan-out is
+        // deterministic for any jobs value.
+        std::vector<Cell> cells(40);
+        pool.parallelFor(cells.size(), [&](std::size_t i) {
+            const unsigned run = static_cast<unsigned>(i / 2);
+            const bool protect = (i % 2) != 0;
+            fault::RandomFaultHook hook(p, 1000 + run);
+            auto w = workloads::makeScan(2);
+            gpu::Gpu g(cfg,
+                       protect ? dmr::DmrConfig::paperDefault()
+                               : dmr::DmrConfig::off(),
+                       1, &hook);
+            w->setup(g);
+            const auto r = g.launch(w->program(), w->gridBlocks(),
+                                    w->blockThreads(), 2000000);
+            cells[i] = Cell{r.dmr.errorsDetected > 0, r.hung,
+                            !r.hung && w->verify(g)};
+        });
+
         unsigned sdc0 = 0, ok0 = 0, hang0 = 0;
         unsigned sdc1 = 0, det1 = 0, ok1 = 0;
-        for (unsigned run = 0; run < 20; ++run) {
-            for (int protect = 0; protect < 2; ++protect) {
-                fault::RandomFaultHook hook(p, 1000 + run);
-                auto w = workloads::makeScan(2);
-                gpu::Gpu g(cfg,
-                           protect ? dmr::DmrConfig::paperDefault()
-                                   : dmr::DmrConfig::off(),
-                           1, &hook);
-                w->setup(g);
-                const auto r =
-                    g.launch(w->program(), w->gridBlocks(),
-                             w->blockThreads(), 2000000);
-                const bool good = !r.hung && w->verify(g);
-                if (protect) {
-                    if (r.dmr.errorsDetected)
-                        ++det1;
-                    else if (good)
-                        ++ok1;
-                    else
-                        ++sdc1;
-                } else {
-                    if (r.hung)
-                        ++hang0;
-                    else if (good)
-                        ++ok0;
-                    else
-                        ++sdc0;
-                }
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const auto &c = cells[i];
+            if ((i % 2) != 0) {
+                if (c.detected)
+                    ++det1;
+                else if (c.good)
+                    ++ok1;
+                else
+                    ++sdc1;
+            } else {
+                if (c.hung)
+                    ++hang0;
+                else if (c.good)
+                    ++ok0;
+                else
+                    ++sdc0;
             }
         }
         std::printf("%-12g | %6u %6u %6u | %6u %6u %6u\n", p, sdc0,

@@ -11,7 +11,7 @@
 using namespace warped;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader(
@@ -21,11 +21,19 @@ main()
     std::printf("%-12s %8s %8s %8s %8s %8s   %s\n", "benchmark", "1",
                 "2-11", "12-21", "22-31", "32", "warp instrs");
 
+    const auto results = bench::sweepWorkloads(
+        [](const std::string &name) {
+            return bench::runWorkload(name, bench::paperGpu(),
+                                      dmr::DmrConfig::off());
+        },
+        bench::parseJobs(argc, argv));
+
     double min_full = 1.0;
     std::string min_name;
-    for (const auto &name : workloads::allNames()) {
-        const auto r = bench::runWorkload(name, bench::paperGpu(),
-                                          dmr::DmrConfig::off());
+    const auto &names = workloads::allNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const auto &r = results[i];
         const auto &h = r.activeHist;
         const double f1 = h.rangeFraction(1, 1);
         const double f2 = h.rangeFraction(2, 11);

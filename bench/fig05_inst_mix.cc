@@ -11,7 +11,7 @@
 using namespace warped;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader("Figure 5",
@@ -20,9 +20,17 @@ main()
     std::printf("%-12s %8s %8s %8s\n", "benchmark", "SP", "SFU",
                 "LD/ST");
 
-    for (const auto &name : workloads::allNames()) {
-        const auto r = bench::runWorkload(name, bench::paperGpu(),
-                                          dmr::DmrConfig::off());
+    const auto results = bench::sweepWorkloads(
+        [](const std::string &name) {
+            return bench::runWorkload(name, bench::paperGpu(),
+                                      dmr::DmrConfig::off());
+        },
+        bench::parseJobs(argc, argv));
+
+    const auto &names = workloads::allNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const auto &r = results[i];
         const double total = double(r.issuedWarpInstrs);
         const auto u = [&](isa::UnitType t) {
             return 100.0 *

@@ -14,7 +14,7 @@
 using namespace warped;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader(
@@ -24,10 +24,18 @@ main()
     std::printf("%-12s %9s %9s %9s %9s\n", "benchmark", "SP", "SFU",
                 "LD/ST", "max(all)");
 
+    const auto results = bench::sweepWorkloads(
+        [](const std::string &name) {
+            return bench::runWorkload(name, bench::paperGpu(),
+                                      dmr::DmrConfig::off());
+        },
+        bench::parseJobs(argc, argv));
+
     double worst_mean = 0.0;
-    for (const auto &name : workloads::allNames()) {
-        const auto r = bench::runWorkload(name, bench::paperGpu(),
-                                          dmr::DmrConfig::off());
+    const auto &names = workloads::allNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const auto &r = results[i];
         std::uint64_t mx = 0;
         for (unsigned t = 0; t < isa::kNumUnitTypes; ++t)
             mx = std::max(mx, r.maxTypeRun[t]);

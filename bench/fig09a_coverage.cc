@@ -12,8 +12,17 @@
 
 using namespace warped;
 
+namespace {
+
+struct Row
+{
+    double c4 = 0.0, c8 = 0.0, cx = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader("Figure 9a",
@@ -22,25 +31,31 @@ main()
     std::printf("%-12s %14s %14s %14s\n", "benchmark", "4-lane cluster",
                 "8-lane cluster", "cross mapping");
 
+    const auto rows = bench::sweepWorkloads(
+        [](const std::string &name) {
+            auto cfg4 = bench::paperGpu();
+            auto cfg8 = cfg4;
+            cfg8.lanesPerCluster = 8;
+
+            const auto r4 = bench::runWorkload(
+                name, cfg4, dmr::DmrConfig::baselineMapping());
+            const auto r8 = bench::runWorkload(
+                name, cfg8, dmr::DmrConfig::baselineMapping());
+            const auto rx = bench::runWorkload(
+                name, cfg4, dmr::DmrConfig::paperDefault());
+            return Row{100 * r4.coverage(), 100 * r8.coverage(),
+                       100 * rx.coverage()};
+        },
+        bench::parseJobs(argc, argv));
+
     std::vector<double> c4, c8, cx;
-    for (const auto &name : workloads::allNames()) {
-        auto cfg4 = bench::paperGpu();
-
-        auto cfg8 = cfg4;
-        cfg8.lanesPerCluster = 8;
-
-        const auto r4 = bench::runWorkload(
-            name, cfg4, dmr::DmrConfig::baselineMapping());
-        auto d8 = dmr::DmrConfig::baselineMapping();
-        const auto r8 = bench::runWorkload(name, cfg8, d8);
-        const auto rx = bench::runWorkload(
-            name, cfg4, dmr::DmrConfig::paperDefault());
-
-        c4.push_back(100 * r4.coverage());
-        c8.push_back(100 * r8.coverage());
-        cx.push_back(100 * rx.coverage());
-        std::printf("%-12s %13.2f%% %13.2f%% %13.2f%%\n", name.c_str(),
-                    c4.back(), c8.back(), cx.back());
+    const auto &names = workloads::allNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        c4.push_back(rows[i].c4);
+        c8.push_back(rows[i].c8);
+        cx.push_back(rows[i].cx);
+        std::printf("%-12s %13.2f%% %13.2f%% %13.2f%%\n",
+                    names[i].c_str(), c4.back(), c8.back(), cx.back());
     }
 
     std::printf("%-12s %13.2f%% %13.2f%% %13.2f%%\n", "AVERAGE",

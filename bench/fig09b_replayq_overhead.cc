@@ -6,12 +6,14 @@
  * 1.41 / 1.32 / 1.24 / 1.16.
  */
 
+#include <array>
+
 #include "bench/bench_util.hh"
 
 using namespace warped;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader(
@@ -22,19 +24,29 @@ main()
     std::printf("%-12s %8s %8s %8s %8s\n", "benchmark", "q=0", "q=1",
                 "q=5", "q=10");
 
+    const auto rows = bench::sweepWorkloads(
+        [&](const std::string &name) {
+            const auto base = bench::runWorkload(
+                name, bench::paperGpu(), dmr::DmrConfig::off());
+            std::array<double, 4> norms{};
+            for (unsigned i = 0; i < 4; ++i) {
+                auto d = dmr::DmrConfig::paperDefault();
+                d.replayQSize = sizes[i];
+                const auto r =
+                    bench::runWorkload(name, bench::paperGpu(), d);
+                norms[i] = double(r.cycles) / double(base.cycles);
+            }
+            return norms;
+        },
+        bench::parseJobs(argc, argv));
+
     std::vector<double> sums[4];
-    for (const auto &name : workloads::allNames()) {
-        const auto base = bench::runWorkload(name, bench::paperGpu(),
-                                             dmr::DmrConfig::off());
-        std::printf("%-12s", name.c_str());
+    const auto &names = workloads::allNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::printf("%-12s", names[w].c_str());
         for (unsigned i = 0; i < 4; ++i) {
-            auto d = dmr::DmrConfig::paperDefault();
-            d.replayQSize = sizes[i];
-            const auto r =
-                bench::runWorkload(name, bench::paperGpu(), d);
-            const double norm = double(r.cycles) / double(base.cycles);
-            sums[i].push_back(norm);
-            std::printf(" %8.3f", norm);
+            sums[i].push_back(rows[w][i]);
+            std::printf(" %8.3f", rows[w][i]);
         }
         std::printf("\n");
     }

@@ -5,13 +5,25 @@
  * DMTR and Warped-DMR (paper §5.3).
  */
 
+#include <array>
+
 #include "bench/bench_util.hh"
 #include "redundancy/scheme.hh"
 
 using namespace warped;
 
+namespace {
+
+struct Row
+{
+    std::array<double, 5> norm{};
+    double xferShare = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader("Figure 10",
@@ -29,22 +41,33 @@ main()
                 "benchmark", "Original", "R-Naive", "R-Thread", "DMTR",
                 "Warped-DMR");
 
-    std::vector<double> norm[5];
-    for (const auto &name : workloads::allNames()) {
-        double base_total = 0.0, base_xfer = 0.0;
-        std::printf("%-12s", name.c_str());
-        for (unsigned i = 0; i < 5; ++i) {
-            const auto r = redundancy::runScheme(
-                schemes[i], name, bench::paperGpu());
-            if (i == 0) {
-                base_total = r.totalNs();
-                base_xfer = r.transferNs;
+    const auto rows = bench::sweepWorkloads(
+        [&](const std::string &name) {
+            Row row;
+            double base_total = 0.0, base_xfer = 0.0;
+            for (unsigned i = 0; i < 5; ++i) {
+                const auto r = redundancy::runScheme(
+                    schemes[i], name, bench::paperGpu());
+                if (i == 0) {
+                    base_total = r.totalNs();
+                    base_xfer = r.transferNs;
+                }
+                row.norm[i] = r.totalNs() / base_total;
             }
-            const double v = r.totalNs() / base_total;
-            norm[i].push_back(v);
-            std::printf(" %10.3f", v);
+            row.xferShare = base_xfer / base_total;
+            return row;
+        },
+        bench::parseJobs(argc, argv));
+
+    std::vector<double> norm[5];
+    const auto &names = workloads::allNames();
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::printf("%-12s", names[w].c_str());
+        for (unsigned i = 0; i < 5; ++i) {
+            norm[i].push_back(rows[w].norm[i]);
+            std::printf(" %10.3f", rows[w].norm[i]);
         }
-        std::printf("   (%.0f%%)\n", 100.0 * base_xfer / base_total);
+        std::printf("   (%.0f%%)\n", 100.0 * rows[w].xferShare);
     }
 
     std::printf("%-12s", "AVERAGE");

@@ -10,34 +10,53 @@
 
 using namespace warped;
 
+namespace {
+
+struct Row
+{
+    double powerRatio = 0.0, energyRatio = 0.0;
+    double basePower = 0.0, dmrPower = 0.0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
     bench::printHeader("Figure 11",
                        "Normalized power and energy (Warped-DMR / "
                        "baseline)");
 
-    power::PowerModel model(bench::paperGpu());
-
     std::printf("%-12s %10s %10s %14s %14s\n", "benchmark", "power",
                 "energy", "base power(W)", "dmr power(W)");
 
-    std::vector<double> powers, energies;
-    for (const auto &name : workloads::allNames()) {
-        const auto base = bench::runWorkload(name, bench::paperGpu(),
-                                             dmr::DmrConfig::off());
-        const auto prot = bench::runWorkload(
-            name, bench::paperGpu(), dmr::DmrConfig::paperDefault());
+    const auto rows = bench::sweepWorkloads(
+        [](const std::string &name) {
+            power::PowerModel model(bench::paperGpu());
+            const auto base = bench::runWorkload(
+                name, bench::paperGpu(), dmr::DmrConfig::off());
+            const auto prot = bench::runWorkload(
+                name, bench::paperGpu(),
+                dmr::DmrConfig::paperDefault());
 
-        const double p0 = model.estimate(base).total();
-        const double p1 = model.estimate(prot).total();
-        const double e0 = model.energyMj(base);
-        const double e1 = model.energyMj(prot);
-        powers.push_back(p1 / p0);
-        energies.push_back(e1 / e0);
+            const double p0 = model.estimate(base).total();
+            const double p1 = model.estimate(prot).total();
+            const double e0 = model.energyMj(base);
+            const double e1 = model.energyMj(prot);
+            return Row{p1 / p0, e1 / e0, p0, p1};
+        },
+        bench::parseJobs(argc, argv));
+
+    std::vector<double> powers, energies;
+    const auto &names = workloads::allNames();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        powers.push_back(rows[i].powerRatio);
+        energies.push_back(rows[i].energyRatio);
         std::printf("%-12s %10.3f %10.3f %14.1f %14.1f\n",
-                    name.c_str(), p1 / p0, e1 / e0, p0, p1);
+                    names[i].c_str(), rows[i].powerRatio,
+                    rows[i].energyRatio, rows[i].basePower,
+                    rows[i].dmrPower);
     }
 
     std::printf("%-12s %10.3f %10.3f\n", "AVERAGE",

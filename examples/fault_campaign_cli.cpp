@@ -29,6 +29,9 @@ usage()
         "  --unit sp|sfu|ldst               restrict the fault site\n"
         "  --sms N           SMs (default 4)\n"
         "  --seed N          campaign seed (default 42)\n"
+        "  --jobs N          worker threads (0 = hardware "
+        "concurrency, the default);\n"
+        "                    results are identical for every N\n"
         "  --dmr off         run unprotected (SDC measurement)\n"
         "  --no-shuffle      disable lane shuffling\n"
         "  --no-intra / --no-inter\n"
@@ -91,6 +94,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage(), 2;
             cc.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--jobs") {
+            const char *v = next();
+            if (!v)
+                return usage(), 2;
+            cc.jobs = std::strtoul(v, nullptr, 10);
         } else if (a == "--dmr") {
             const char *v = next();
             if (v && std::strcmp(v, "off") == 0)

@@ -1,31 +1,48 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace warped {
 
 namespace {
-bool verboseFlag = true;
+
+std::atomic<bool> verboseFlag{true};
+
+// Serializes console output so concurrent simulations (sim::RunPool
+// workers) never interleave half-written lines.
+std::mutex &
+outputMutex()
+{
+    static std::mutex m;
+    return m;
 }
+
+} // namespace
 
 void
 setVerbose(bool verbose)
 {
-    verboseFlag = verbose;
+    verboseFlag.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return verboseFlag;
+    return verboseFlag.load(std::memory_order_relaxed);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     // Throw instead of abort() so tests can assert on panics; the
     // uncaught-exception path still terminates the process.
     throw std::logic_error("panic: " + msg);
@@ -34,22 +51,30 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(outputMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     throw std::runtime_error("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (verboseFlag)
+    if (verbose()) {
+        std::lock_guard<std::mutex> lock(outputMutex());
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (verboseFlag)
+    if (verbose()) {
+        std::lock_guard<std::mutex> lock(outputMutex());
         std::fprintf(stderr, "info: %s\n", msg.c_str());
+    }
 }
 
 } // namespace warped

@@ -6,6 +6,10 @@
  * fatal() — a user/configuration error the simulation cannot survive.
  * warn()  — suspicious but survivable.
  * inform() — status output.
+ *
+ * Thread-safe: the verbosity flag is atomic and console output is
+ * serialized by a mutex, so concurrent simulations (sim::RunPool
+ * workers) never interleave half-written lines.
  */
 
 #ifndef WARPED_COMMON_LOGGING_HH
@@ -23,7 +27,8 @@ namespace warped {
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/** Toggle warn()/inform() console output (tests silence it). */
+/** Toggle warn()/inform() console output (tests silence it).
+ *  Safe to call from any thread. */
 void setVerbose(bool verbose);
 bool verbose();
 

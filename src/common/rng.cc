@@ -47,4 +47,22 @@ Rng::nextBool(double p)
     return nextFloat() < p;
 }
 
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t master, std::uint64_t stream)
+{
+    // Two mixing rounds separate the master/stream contributions;
+    // Rng's constructor maps an (astronomically unlikely) zero to its
+    // own default.
+    return splitmix64(splitmix64(master) ^ (stream + 1));
+}
+
 } // namespace warped

@@ -39,6 +39,22 @@ class Rng
     std::uint64_t state_;
 };
 
+/**
+ * One step of the splitmix64 output function (Steele et al.): a
+ * bijective 64-bit mix with good avalanche behaviour.
+ */
+std::uint64_t splitmix64(std::uint64_t x);
+
+/**
+ * Derive an independent per-run seed from a campaign master seed.
+ *
+ * Each (master, stream) pair yields a statistically independent seed,
+ * so parallel campaign runs can each own a private Rng while staying
+ * bit-identical to the sequential order — run i's draws never depend
+ * on how many draws run i-1 made, or on which thread executed it.
+ */
+std::uint64_t deriveSeed(std::uint64_t master, std::uint64_t stream);
+
 } // namespace warped
 
 #endif // WARPED_COMMON_RNG_HH

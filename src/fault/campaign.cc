@@ -1,9 +1,83 @@
 #include "fault/campaign.hh"
 
+#include <vector>
+
 #include "common/rng.hh"
+#include "sim/run_pool.hh"
 
 namespace warped {
 namespace fault {
+
+namespace {
+
+/** What one injected run contributed, before the ordered fold. */
+struct RunRecord
+{
+    Outcome outcome = Outcome::NotActivated;
+    std::uint64_t detectionLatency = 0; ///< valid for Detected runs
+    bool hasLatency = false;
+};
+
+/**
+ * One campaign run: derive the fault from the run's private Rng,
+ * execute a fresh workload on a fresh Gpu, classify the outcome.
+ * Thread-safe: everything it touches is local to the run.
+ */
+RunRecord
+runOne(unsigned run_index, Cycle span,
+       const std::function<std::unique_ptr<workloads::Workload>()>
+           &factory,
+       const arch::GpuConfig &gpu_cfg, const dmr::DmrConfig &dmr_cfg,
+       const CampaignConfig &cfg)
+{
+    Rng rng(deriveSeed(cfg.seed, run_index));
+    FaultSpec spec;
+    spec.kind = cfg.kind;
+    spec.sm = static_cast<unsigned>(rng.nextBelow(gpu_cfg.numSms));
+    spec.lane = static_cast<unsigned>(rng.nextBelow(gpu_cfg.warpSize));
+    spec.bit = static_cast<unsigned>(rng.nextBelow(32));
+    spec.unit = cfg.unit;
+    if (cfg.kind == FaultKind::TransientBitFlip) {
+        const auto lo = static_cast<Cycle>(cfg.windowLo * span);
+        const auto hi = static_cast<Cycle>(cfg.windowHi * span);
+        spec.cycleBegin = lo + rng.nextBelow(hi > lo ? hi - lo : 1);
+        spec.cycleEnd = spec.cycleBegin; // single-cycle pulse
+    }
+
+    FaultInjector injector;
+    injector.add(spec);
+
+    auto w = factory();
+    gpu::Gpu g(gpu_cfg, dmr_cfg, /*seed=*/1, &injector);
+    w->setup(g);
+    // Watchdog: a fault can corrupt a loop counter and hang the
+    // kernel; give it a generous multiple of the fault-free span.
+    const Cycle watchdog = span * 20 + 100000;
+    const auto r = g.launch(w->program(), w->gridBlocks(),
+                            w->blockThreads(), watchdog);
+
+    RunRecord rec;
+    if (injector.activations() == 0) {
+        rec.outcome = Outcome::NotActivated;
+    } else if (r.dmr.errorsDetected > 0) {
+        rec.outcome = Outcome::Detected;
+        if (!r.dmr.errorLog.empty()) {
+            const Cycle det = r.dmr.errorLog.front().cycle;
+            const Cycle act = injector.firstActivationCycle();
+            rec.detectionLatency = det >= act ? det - act : 0;
+            rec.hasLatency = true;
+        }
+    } else if (r.hung) {
+        rec.outcome = Outcome::Hang;
+    } else if (!w->verify(g)) {
+        rec.outcome = Outcome::Sdc;
+    } else {
+        rec.outcome = Outcome::Benign;
+    }
+    return rec;
+}
+
+} // namespace
 
 CampaignResult
 runCampaign(const std::function<std::unique_ptr<workloads::Workload>()>
@@ -19,53 +93,40 @@ runCampaign(const std::function<std::unique_ptr<workloads::Workload>()>
         span = workloads::run(*w, g).cycles;
     }
 
-    Rng rng(cfg.seed);
+    // Fan the independent runs out over the pool. Each run writes its
+    // record into its own slot; the fold below walks the slots in
+    // submission order, so the counters are bit-identical to a
+    // sequential campaign for any jobs value.
+    std::vector<RunRecord> records(cfg.runs);
+    sim::RunPool pool(cfg.jobs);
+    pool.parallelFor(cfg.runs, [&](std::size_t i) {
+        records[i] = runOne(static_cast<unsigned>(i), span, factory,
+                            gpu_cfg, dmr_cfg, cfg);
+    });
+
     CampaignResult res;
-    for (unsigned i = 0; i < cfg.runs; ++i) {
-        FaultSpec spec;
-        spec.kind = cfg.kind;
-        spec.sm = static_cast<unsigned>(rng.nextBelow(gpu_cfg.numSms));
-        spec.lane =
-            static_cast<unsigned>(rng.nextBelow(gpu_cfg.warpSize));
-        spec.bit = static_cast<unsigned>(rng.nextBelow(32));
-        spec.unit = cfg.unit;
-        if (cfg.kind == FaultKind::TransientBitFlip) {
-            const auto lo = static_cast<Cycle>(cfg.windowLo * span);
-            const auto hi = static_cast<Cycle>(cfg.windowHi * span);
-            spec.cycleBegin =
-                lo + rng.nextBelow(hi > lo ? hi - lo : 1);
-            spec.cycleEnd = spec.cycleBegin; // single-cycle pulse
-        }
-
-        FaultInjector injector;
-        injector.add(spec);
-
-        auto w = factory();
-        gpu::Gpu g(gpu_cfg, dmr_cfg, /*seed=*/1, &injector);
-        w->setup(g);
-        // Watchdog: a fault can corrupt a loop counter and hang the
-        // kernel; give it a generous multiple of the fault-free span.
-        const Cycle watchdog = span * 20 + 100000;
-        const auto r = g.launch(w->program(), w->gridBlocks(),
-                                w->blockThreads(), watchdog);
-
+    for (const auto &rec : records) {
         ++res.runs;
-        if (injector.activations() == 0) {
+        switch (rec.outcome) {
+        case Outcome::NotActivated:
             ++res.notActivated;
-        } else if (r.dmr.errorsDetected > 0) {
+            break;
+        case Outcome::Detected:
             ++res.detected;
-            if (!r.dmr.errorLog.empty()) {
-                const Cycle det = r.dmr.errorLog.front().cycle;
-                const Cycle act = injector.firstActivationCycle();
-                res.detectionLatencySum += det >= act ? det - act : 0;
+            if (rec.hasLatency) {
+                res.detectionLatencySum += rec.detectionLatency;
                 res.kernelLengthSum += span;
             }
-        } else if (r.hung) {
+            break;
+        case Outcome::Hang:
             ++res.hangs;
-        } else if (!w->verify(g)) {
+            break;
+        case Outcome::Sdc:
             ++res.sdc;
-        } else {
+            break;
+        case Outcome::Benign:
             ++res.benign;
+            break;
         }
     }
     return res;

@@ -81,6 +81,11 @@ struct CampaignConfig
     /** Transient faults are placed uniformly inside the fault-free
      *  run's cycle span scaled by this fraction pair. */
     double windowLo = 0.05, windowHi = 0.85;
+    /** Worker threads for the run fan-out; 0 = hardware concurrency,
+     *  1 = sequential. Run i draws its fault from a private Rng
+     *  seeded by deriveSeed(seed, i) and results fold in submission
+     *  order, so CampaignResult is bit-identical for every value. */
+    unsigned jobs = 0;
 };
 
 /**

@@ -9,8 +9,6 @@ namespace func {
 
 namespace {
 
-NullFaultHook nullHook;
-
 std::int32_t
 sdiv(std::int32_t a, std::int32_t b)
 {
@@ -42,6 +40,9 @@ boolVal(bool b)
 NullFaultHook &
 NullFaultHook::instance()
 {
+    // Magic static: thread-safe initialization; the hook itself is
+    // stateless, so concurrent apply() calls are race-free.
+    static NullFaultHook nullHook;
     return nullHook;
 }
 

@@ -48,7 +48,10 @@ class NullFaultHook final : public FaultHook
     RegValue apply(RegValue pure, const FaultCtx &) override
     { return pure; }
 
-    /** Shared singleton (the hook is stateless). */
+    /** Shared singleton. The hook carries no state, so one instance
+     *  may be applied concurrently from any number of simulation
+     *  threads; initialization is thread-safe (function-local
+     *  static). */
     static NullFaultHook &instance();
 };
 

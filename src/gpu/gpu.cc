@@ -1,8 +1,9 @@
 #include "gpu/gpu.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
+#include "gpu/launch_loop.hh"
+#include "mem/memory_system.hh"
+#include "stats/launch_aggregator.hh"
 
 namespace warped {
 namespace gpu {
@@ -51,119 +52,16 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
     sms[0]->stats().trackedWarpSlot =
         cfg_.warpsPerBlock(block_threads) > 1 ? 1 : 0;
 
-    unsigned next_block = 0;
-    Cycle cycle = 0;
-    constexpr Cycle kHardCap = 500'000'000;
-    bool hung = false;
+    LaunchLoop loop(sms, prog.name(), grid_blocks, block_threads,
+                    cycle_cap);
+    const auto outcome = loop.run();
 
-    for (;;) {
-        // Dispatch at most one block per SM per cycle.
-        for (auto &s : sms) {
-            if (next_block < grid_blocks &&
-                s->canAcceptBlock(block_threads)) {
-                s->assignBlock(next_block++, block_threads, grid_blocks);
-            }
-        }
-
-        bool anything = false;
-        for (auto &s : sms) {
-            if (s->busy() || !s->drained()) {
-                s->tick(cycle);
-                anything = true;
-            }
-        }
-        if (!anything && next_block == grid_blocks)
-            break;
-        ++cycle;
-        if (cycle_cap != 0 && cycle > cycle_cap) {
-            hung = true;
-            break;
-        }
-        if (cycle > kHardCap)
-            warped_fatal("kernel '", prog.name(),
-                         "' exceeded the cycle cap");
-    }
-
-    LaunchResult r(cfg_.warpSize);
-    r.hung = hung;
-    r.cycles = cycle;
-    r.timeNs = double(cycle) * cfg_.cyclePeriodNs();
-
-    std::array<stats::Mean, isa::kNumUnitTypes> run_means;
-    stats::Mean sm_gap, lane_gap;
-    for (auto &sp : sms) {
-        auto &s = *sp;
-        auto &st = s.stats();
-        st.typeRuns.finish();
-
-        r.issuedWarpInstrs += st.issuedWarpInstrs;
-        r.issuedThreadInstrs += st.issuedThreadInstrs;
-        r.busyCycles += st.busyCycles;
-        r.smCycles += st.cycles;
-        r.stallCyclesDmr += st.stallCyclesDmr;
-        r.stallCyclesRaw += st.stallCyclesRaw;
-        r.blocksRetired += st.blocksRetired;
-
-        for (unsigned v = 0; v <= cfg_.warpSize; ++v)
-            r.activeHist.add(v, st.activeCountHist.count(v));
-        for (unsigned t = 0; t < isa::kNumUnitTypes; ++t) {
-            r.unitIssues[t] += st.unitIssues[t];
-            r.unitThreadExecs[t] += st.unitThreadExecs[t];
-            run_means[t].add(st.typeRuns.meanRunLength(t),
-                             double(st.typeRuns.runCount(t)));
-            r.maxTypeRun[t] =
-                std::max(r.maxTypeRun[t], st.typeRuns.maxRunLength(t));
-            r.typeRunCount[t] += st.typeRuns.runCount(t);
-        }
-        if (st.trackRawDistance)
-            r.rawDistances = st.rawDistance.samples();
-        r.trace.insert(r.trace.end(), st.trace.begin(),
-                       st.trace.end());
-        sm_gap.add(st.smIdleGap.mean(), st.smIdleGap.weight());
-        lane_gap.add(st.laneIdleGap.mean(), st.laneIdleGap.weight());
-
-        const auto &d = s.dmrEngine().stats();
-        r.dmr.verifiableThreadInstrs += d.verifiableThreadInstrs;
-        r.dmr.verifiedThreadInstrs += d.verifiedThreadInstrs;
-        r.dmr.intraVerifiedThreads += d.intraVerifiedThreads;
-        r.dmr.interVerifiedThreads += d.interVerifiedThreads;
-        r.dmr.intraWarpInstrs += d.intraWarpInstrs;
-        r.dmr.interWarpInstrs += d.interWarpInstrs;
-        r.dmr.coexecVerifications += d.coexecVerifications;
-        r.dmr.dequeueVerifications += d.dequeueVerifications;
-        r.dmr.idleDrainVerifications += d.idleDrainVerifications;
-        r.dmr.unitDrainVerifications += d.unitDrainVerifications;
-        r.dmr.enqueues += d.enqueues;
-        r.dmr.eagerStalls += d.eagerStalls;
-        r.dmr.rawStalls += d.rawStalls;
-        r.dmr.finalDrainCycles += d.finalDrainCycles;
-        for (unsigned t = 0; t < isa::kNumUnitTypes; ++t)
-            r.dmr.redundantThreadExecs[t] += d.redundantThreadExecs[t];
-        r.dmr.comparisons += d.comparisons;
-        r.dmr.errorsDetected += d.errorsDetected;
-        r.dmr.arbitrations += d.arbitrations;
-        r.dmr.arbPrimaryBad += d.arbPrimaryBad;
-        r.dmr.arbCheckerBad += d.arbCheckerBad;
-        r.dmr.arbInconclusive += d.arbInconclusive;
-        r.dmr.sampledOutThreadInstrs += d.sampledOutThreadInstrs;
-        for (const auto &ev : d.errorLog) {
-            if (r.dmr.errorLog.size() < dmr::DmrStats::kMaxErrorLog)
-                r.dmr.errorLog.push_back(ev);
-        }
-    }
-    for (unsigned t = 0; t < isa::kNumUnitTypes; ++t)
-        r.meanTypeRun[t] = run_means[t].mean();
-
-    r.meanSmIdleGap = sm_gap.mean();
-    r.meanLaneIdleGap = lane_gap.mean();
-
-    std::stable_sort(r.trace.begin(), r.trace.end(),
-                     [](const sm::TraceEvent &a,
-                        const sm::TraceEvent &b) {
-                         return a.cycle < b.cycle;
-                     });
-
-    return r;
+    stats::LaunchAggregator agg(cfg_.warpSize);
+    for (auto &sp : sms)
+        agg.addSm(sp->stats(), sp->dmrEngine().stats());
+    return agg.finish(outcome.cycles,
+                      double(outcome.cycles) * cfg_.cyclePeriodNs(),
+                      outcome.hung);
 }
 
 } // namespace gpu

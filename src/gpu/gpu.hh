@@ -1,76 +1,31 @@
 /**
  * @file
  * The GPGPU chip: global memory, the block dispatcher, and the
- * kernel-launch run loop over all SMs.
+ * kernel-launch entry point over all SMs.
+ *
+ * Gpu::launch composes two extracted pieces: gpu::LaunchLoop (block
+ * dispatch + tick + watchdog) and stats::LaunchAggregator (folding
+ * per-SM statistics into a LaunchResult). A Gpu instance is fully
+ * self-contained — independent instances may run concurrently on
+ * different threads (sim::RunPool relies on this).
  */
 
 #ifndef WARPED_GPU_GPU_HH
 #define WARPED_GPU_GPU_HH
 
-#include <array>
-#include <memory>
-#include <vector>
-
 #include "arch/gpu_config.hh"
 #include "dmr/dmr_config.hh"
-#include "dmr/dmr_stats.hh"
 #include "func/fault_hook.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
 #include "sm/sm.hh"
-#include "stats/histogram.hh"
+#include "stats/launch_result.hh"
 
 namespace warped {
 namespace gpu {
 
-/** Chip-wide, per-launch aggregated results. */
-struct LaunchResult
-{
-    explicit LaunchResult(unsigned warp_size)
-        : activeHist(warp_size + 1)
-    {
-    }
-
-    std::uint64_t cycles = 0;  ///< kernel duration in core cycles
-    double timeNs = 0.0;
-    bool hung = false; ///< cycle cap hit (e.g. fault-corrupted loop)
-
-    std::uint64_t issuedWarpInstrs = 0;
-    std::uint64_t issuedThreadInstrs = 0;
-    std::uint64_t busyCycles = 0;  ///< sum over SMs of issuing cycles
-    std::uint64_t smCycles = 0;    ///< sum over SMs of ticked cycles
-    std::uint64_t stallCyclesDmr = 0;
-    std::uint64_t stallCyclesRaw = 0;
-    std::uint64_t blocksRetired = 0;
-
-    /** Fig 1 source: issue slots by active-thread count. */
-    stats::Histogram activeHist;
-
-    /** Fig 5 source: issue slots / thread executions per unit type. */
-    std::array<std::uint64_t, isa::kNumUnitTypes> unitIssues{};
-    std::array<std::uint64_t, isa::kNumUnitTypes> unitThreadExecs{};
-
-    /** Fig 8a source: weighted mean / max same-type run lengths. */
-    std::array<double, isa::kNumUnitTypes> meanTypeRun{};
-    std::array<std::uint64_t, isa::kNumUnitTypes> maxTypeRun{};
-    std::array<std::uint64_t, isa::kNumUnitTypes> typeRunCount{};
-
-    /** Fig 8b source: tracked thread's RAW distances. */
-    std::vector<std::uint64_t> rawDistances;
-
-    /** Warped-DMR counters summed over SMs. */
-    dmr::DmrStats dmr;
-
-    /** Merged bounded issue trace (cycle-ordered) when enabled. */
-    std::vector<sm::TraceEvent> trace;
-
-    /** §3.4 idle-gap means (when GpuConfig::trackIdleGaps). */
-    double meanSmIdleGap = 0.0;
-    double meanLaneIdleGap = 0.0;
-
-    /** Convenience: Fig 9a coverage. */
-    double coverage() const { return dmr.coverage(); }
-};
+/** Chip-wide, per-launch aggregated results (see src/stats). */
+using LaunchResult = stats::LaunchResult;
 
 class Gpu
 {

@@ -1,0 +1,58 @@
+#include "gpu/launch_loop.hh"
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace gpu {
+
+LaunchLoop::LaunchLoop(std::vector<std::unique_ptr<sm::Sm>> &sms,
+                       const std::string &kernel_name,
+                       unsigned grid_blocks, unsigned block_threads,
+                       Cycle cycle_cap)
+    : sms_(sms), kernelName_(kernel_name), gridBlocks_(grid_blocks),
+      blockThreads_(block_threads), cycleCap_(cycle_cap)
+{
+}
+
+LaunchLoop::Outcome
+LaunchLoop::run()
+{
+    unsigned next_block = 0;
+    Cycle cycle = 0;
+    constexpr Cycle kHardCap = 500'000'000;
+    bool hung = false;
+
+    for (;;) {
+        // Dispatch at most one block per SM per cycle.
+        for (auto &s : sms_) {
+            if (next_block < gridBlocks_ &&
+                s->canAcceptBlock(blockThreads_)) {
+                s->assignBlock(next_block++, blockThreads_,
+                               gridBlocks_);
+            }
+        }
+
+        bool anything = false;
+        for (auto &s : sms_) {
+            if (s->busy() || !s->drained()) {
+                s->tick(cycle);
+                anything = true;
+            }
+        }
+        if (!anything && next_block == gridBlocks_)
+            break;
+        ++cycle;
+        if (cycleCap_ != 0 && cycle > cycleCap_) {
+            hung = true;
+            break;
+        }
+        if (cycle > kHardCap)
+            warped_fatal("kernel '", kernelName_,
+                         "' exceeded the cycle cap");
+    }
+
+    return {cycle, hung};
+}
+
+} // namespace gpu
+} // namespace warped

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The kernel-launch run loop: block dispatch, per-cycle SM ticking
+ * and the hang watchdog — extracted from Gpu::launch so orchestration
+ * is separate from stats aggregation (stats::LaunchAggregator) and
+ * testable on its own.
+ */
+
+#ifndef WARPED_GPU_LAUNCH_LOOP_HH
+#define WARPED_GPU_LAUNCH_LOOP_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sm/sm.hh"
+
+namespace warped {
+namespace gpu {
+
+class LaunchLoop
+{
+  public:
+    /** Outcome of driving the SMs to completion (or the watchdog). */
+    struct Outcome
+    {
+        Cycle cycles = 0;
+        bool hung = false;
+    };
+
+    /**
+     * @param sms           the chip's SMs (already constructed)
+     * @param kernel_name   for the hard-cap fatal message
+     * @param grid_blocks   blocks to dispatch
+     * @param block_threads threads per block
+     * @param cycle_cap     0 = the default hard cap (exceeding it is
+     *        fatal); > 0 = a watchdog budget — exceeding it ends the
+     *        launch with hung set.
+     */
+    LaunchLoop(std::vector<std::unique_ptr<sm::Sm>> &sms,
+               const std::string &kernel_name, unsigned grid_blocks,
+               unsigned block_threads, Cycle cycle_cap);
+
+    /** Dispatch and tick until every SM drains (or the watchdog). */
+    Outcome run();
+
+  private:
+    std::vector<std::unique_ptr<sm::Sm>> &sms_;
+    const std::string &kernelName_;
+    unsigned gridBlocks_;
+    unsigned blockThreads_;
+    Cycle cycleCap_;
+};
+
+} // namespace gpu
+} // namespace warped
+
+#endif // WARPED_GPU_LAUNCH_LOOP_HH

@@ -1,0 +1,107 @@
+#include "sim/run_pool.hh"
+
+#include <algorithm>
+
+namespace warped {
+namespace sim {
+
+unsigned
+RunPool::defaultJobs()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+RunPool::RunPool(unsigned jobs)
+    : jobs_(std::min(kMaxJobs, jobs == kHardwareConcurrency
+                                   ? defaultJobs()
+                                   : jobs)),
+      queueCap_(std::size_t{4} * jobs_)
+{
+    if (jobs_ == 1)
+        return; // inline mode: no workers, no queue
+    workers_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+RunPool::~RunPool()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return inFlight_ == 0; });
+        stopping_ = true;
+    }
+    notEmpty_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+RunPool::submit(std::function<void()> task)
+{
+    if (jobs_ == 1) {
+        task();
+        return;
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notFull_.wait(lock,
+                      [this] { return queue_.size() < queueCap_; });
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    notEmpty_.notify_one();
+}
+
+void
+RunPool::wait()
+{
+    if (jobs_ == 1)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return inFlight_ == 0; });
+    if (firstError_) {
+        auto err = firstError_;
+        firstError_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+RunPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            notEmpty_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        notFull_.notify_one();
+
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace sim
+} // namespace warped

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * sim::RunPool — the experiment plane's worker pool.
+ *
+ * Every campaign and figure harness in this repo runs thousands of
+ * *independent* kernel launches; a RunPool fans them out over
+ * std::thread workers behind a bounded task queue. Determinism is
+ * preserved by construction: callers index their tasks and write into
+ * pre-sized result slots, so the folded output is bit-identical to a
+ * sequential run no matter how many workers raced (each run owns a
+ * private Gpu and a seed derived via warped::deriveSeed).
+ *
+ * jobs == 1 degenerates to inline execution on the calling thread —
+ * no threads are spawned, which keeps single-job runs valgrind/ASan
+ * cheap and exactly equivalent to the historical sequential code.
+ */
+
+#ifndef WARPED_SIM_RUN_POOL_HH
+#define WARPED_SIM_RUN_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace warped {
+namespace sim {
+
+class RunPool
+{
+  public:
+    /** Worker count meaning "use the hardware concurrency". */
+    static constexpr unsigned kHardwareConcurrency = 0;
+
+    /**
+     * Hard ceiling on worker threads. Runs are CPU-bound, so any
+     * value past the core count only adds scheduling noise; the cap
+     * mostly guards against garbage on the command line (e.g.
+     * `--jobs -3` wrapping to four billion via strtoul).
+     */
+    static constexpr unsigned kMaxJobs = 256;
+
+    /** std::thread::hardware_concurrency clamped to at least 1. */
+    static unsigned defaultJobs();
+
+    /**
+     * @param jobs worker threads, clamped to kMaxJobs;
+     *        kHardwareConcurrency (0) picks defaultJobs(); 1 runs
+     *        every task inline in submit().
+     */
+    explicit RunPool(unsigned jobs = kHardwareConcurrency);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~RunPool();
+
+    RunPool(const RunPool &) = delete;
+    RunPool &operator=(const RunPool &) = delete;
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Enqueue one task. Blocks while the queue is at capacity
+     * (bounded queue: submission can never outrun execution by more
+     * than a few batches, keeping memory flat for huge campaigns).
+     * With jobs() == 1 the task runs inline instead.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. Rethrows the
+     * first exception any task raised (warped_fatal / warped_panic
+     * throw), after all in-flight tasks drained.
+     */
+    void wait();
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool and wait. The canonical
+     * deterministic pattern: fn writes its result into slot i of a
+     * pre-sized vector, and the caller folds slots in index order.
+     */
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        if (jobs_ == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            submit([&fn, i] { fn(i); });
+        wait();
+    }
+
+  private:
+    void workerLoop();
+
+    unsigned jobs_;
+    std::size_t queueCap_;
+    std::mutex mutex_;
+    std::condition_variable notEmpty_; ///< work for idle workers
+    std::condition_variable notFull_;  ///< room for submitters
+    std::condition_variable idle_;     ///< everything drained
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0; ///< queued + currently executing
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace sim
+} // namespace warped
+
+#endif // WARPED_SIM_RUN_POOL_HH

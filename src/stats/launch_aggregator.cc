@@ -1,0 +1,104 @@
+#include "stats/launch_aggregator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace stats {
+
+LaunchAggregator::LaunchAggregator(unsigned warp_size)
+    : warpSize_(warp_size), result_(warp_size)
+{
+}
+
+void
+LaunchAggregator::addSm(sm::SmStats &st, const dmr::DmrStats &d)
+{
+    auto &r = result_;
+    st.typeRuns.finish();
+
+    r.issuedWarpInstrs += st.issuedWarpInstrs;
+    r.issuedThreadInstrs += st.issuedThreadInstrs;
+    r.busyCycles += st.busyCycles;
+    r.smCycles += st.cycles;
+    r.stallCyclesDmr += st.stallCyclesDmr;
+    r.stallCyclesRaw += st.stallCyclesRaw;
+    r.blocksRetired += st.blocksRetired;
+
+    for (unsigned v = 0; v <= warpSize_; ++v)
+        r.activeHist.add(v, st.activeCountHist.count(v));
+    for (unsigned t = 0; t < isa::kNumUnitTypes; ++t) {
+        r.unitIssues[t] += st.unitIssues[t];
+        r.unitThreadExecs[t] += st.unitThreadExecs[t];
+        runMeans_[t].add(st.typeRuns.meanRunLength(t),
+                         double(st.typeRuns.runCount(t)));
+        r.maxTypeRun[t] =
+            std::max(r.maxTypeRun[t], st.typeRuns.maxRunLength(t));
+        r.typeRunCount[t] += st.typeRuns.runCount(t);
+    }
+    if (st.trackRawDistance) {
+        if (++rawTrackers_ > 1)
+            warped_panic("more than one SM tracks RAW distances; "
+                         "Fig 8b expects a single tracked thread");
+        const auto &samples = st.rawDistance.samples();
+        r.rawDistances.insert(r.rawDistances.end(), samples.begin(),
+                              samples.end());
+    }
+    r.trace.insert(r.trace.end(), st.trace.begin(), st.trace.end());
+    smGap_.add(st.smIdleGap.mean(), st.smIdleGap.weight());
+    laneGap_.add(st.laneIdleGap.mean(), st.laneIdleGap.weight());
+
+    r.dmr.verifiableThreadInstrs += d.verifiableThreadInstrs;
+    r.dmr.verifiedThreadInstrs += d.verifiedThreadInstrs;
+    r.dmr.intraVerifiedThreads += d.intraVerifiedThreads;
+    r.dmr.interVerifiedThreads += d.interVerifiedThreads;
+    r.dmr.intraWarpInstrs += d.intraWarpInstrs;
+    r.dmr.interWarpInstrs += d.interWarpInstrs;
+    r.dmr.coexecVerifications += d.coexecVerifications;
+    r.dmr.dequeueVerifications += d.dequeueVerifications;
+    r.dmr.idleDrainVerifications += d.idleDrainVerifications;
+    r.dmr.unitDrainVerifications += d.unitDrainVerifications;
+    r.dmr.enqueues += d.enqueues;
+    r.dmr.eagerStalls += d.eagerStalls;
+    r.dmr.rawStalls += d.rawStalls;
+    r.dmr.finalDrainCycles += d.finalDrainCycles;
+    for (unsigned t = 0; t < isa::kNumUnitTypes; ++t)
+        r.dmr.redundantThreadExecs[t] += d.redundantThreadExecs[t];
+    r.dmr.comparisons += d.comparisons;
+    r.dmr.errorsDetected += d.errorsDetected;
+    r.dmr.arbitrations += d.arbitrations;
+    r.dmr.arbPrimaryBad += d.arbPrimaryBad;
+    r.dmr.arbCheckerBad += d.arbCheckerBad;
+    r.dmr.arbInconclusive += d.arbInconclusive;
+    r.dmr.sampledOutThreadInstrs += d.sampledOutThreadInstrs;
+    for (const auto &ev : d.errorLog) {
+        if (r.dmr.errorLog.size() < dmr::DmrStats::kMaxErrorLog)
+            r.dmr.errorLog.push_back(ev);
+    }
+}
+
+LaunchResult
+LaunchAggregator::finish(Cycle cycles, double time_ns, bool hung)
+{
+    auto &r = result_;
+    r.cycles = cycles;
+    r.timeNs = time_ns;
+    r.hung = hung;
+
+    for (unsigned t = 0; t < isa::kNumUnitTypes; ++t)
+        r.meanTypeRun[t] = runMeans_[t].mean();
+    r.meanSmIdleGap = smGap_.mean();
+    r.meanLaneIdleGap = laneGap_.mean();
+
+    std::stable_sort(r.trace.begin(), r.trace.end(),
+                     [](const sm::TraceEvent &a,
+                        const sm::TraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    return std::move(r);
+}
+
+} // namespace stats
+} // namespace warped

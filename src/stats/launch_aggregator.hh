@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Folds per-SM statistics (SmStats + the attached DmrEngine's
+ * DmrStats) into one chip-wide LaunchResult.
+ *
+ * Extracted from Gpu::launch so the ~70 lines of aggregation can be
+ * unit-tested against hand-built SmStats, and so the launch loop
+ * proper (dispatch/tick/watchdog — gpu::LaunchLoop) stays free of
+ * accounting code.
+ */
+
+#ifndef WARPED_STATS_LAUNCH_AGGREGATOR_HH
+#define WARPED_STATS_LAUNCH_AGGREGATOR_HH
+
+#include "stats/launch_result.hh"
+
+namespace warped {
+namespace stats {
+
+class LaunchAggregator
+{
+  public:
+    explicit LaunchAggregator(unsigned warp_size);
+
+    /**
+     * Fold one SM's counters into the accumulating result.
+     *
+     * @p st is taken non-const because the trailing same-type issue
+     * run must be closed (RunLengthTracker::finish) before the run
+     * statistics are valid.
+     *
+     * At most one SM may have trackRawDistance set (the Fig 8b
+     * "warp 1, thread 0" tracker); a second tracker is a panic, and
+     * samples append rather than overwrite.
+     */
+    void addSm(sm::SmStats &st, const dmr::DmrStats &d);
+
+    /**
+     * Close the aggregation: compute the weighted run-length means,
+     * sort the merged issue trace by cycle, and stamp the launch
+     * outcome. The aggregator is spent afterwards.
+     */
+    LaunchResult finish(Cycle cycles, double time_ns, bool hung);
+
+  private:
+    unsigned warpSize_;
+    LaunchResult result_;
+    std::array<Mean, isa::kNumUnitTypes> runMeans_;
+    Mean smGap_, laneGap_;
+    unsigned rawTrackers_ = 0;
+};
+
+} // namespace stats
+} // namespace warped
+
+#endif // WARPED_STATS_LAUNCH_AGGREGATOR_HH

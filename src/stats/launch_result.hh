@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chip-wide, per-launch aggregated results.
+ *
+ * Lives in src/stats (not src/gpu) so the aggregation that produces
+ * it — stats::LaunchAggregator — can be unit-tested against
+ * hand-built SmStats without instantiating an Sm or a Gpu. The gpu
+ * layer re-exports it as gpu::LaunchResult.
+ */
+
+#ifndef WARPED_STATS_LAUNCH_RESULT_HH
+#define WARPED_STATS_LAUNCH_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dmr/dmr_stats.hh"
+#include "sm/sm_stats.hh"
+#include "stats/histogram.hh"
+
+namespace warped {
+namespace stats {
+
+/** Chip-wide, per-launch aggregated results. */
+struct LaunchResult
+{
+    explicit LaunchResult(unsigned warp_size)
+        : activeHist(warp_size + 1)
+    {
+    }
+
+    std::uint64_t cycles = 0;  ///< kernel duration in core cycles
+    double timeNs = 0.0;
+    bool hung = false; ///< cycle cap hit (e.g. fault-corrupted loop)
+
+    std::uint64_t issuedWarpInstrs = 0;
+    std::uint64_t issuedThreadInstrs = 0;
+    std::uint64_t busyCycles = 0;  ///< sum over SMs of issuing cycles
+    std::uint64_t smCycles = 0;    ///< sum over SMs of ticked cycles
+    std::uint64_t stallCyclesDmr = 0;
+    std::uint64_t stallCyclesRaw = 0;
+    std::uint64_t blocksRetired = 0;
+
+    /** Fig 1 source: issue slots by active-thread count. */
+    stats::Histogram activeHist;
+
+    /** Fig 5 source: issue slots / thread executions per unit type. */
+    std::array<std::uint64_t, isa::kNumUnitTypes> unitIssues{};
+    std::array<std::uint64_t, isa::kNumUnitTypes> unitThreadExecs{};
+
+    /** Fig 8a source: weighted mean / max same-type run lengths. */
+    std::array<double, isa::kNumUnitTypes> meanTypeRun{};
+    std::array<std::uint64_t, isa::kNumUnitTypes> maxTypeRun{};
+    std::array<std::uint64_t, isa::kNumUnitTypes> typeRunCount{};
+
+    /** Fig 8b source: tracked thread's RAW distances. */
+    std::vector<std::uint64_t> rawDistances;
+
+    /** Warped-DMR counters summed over SMs. */
+    dmr::DmrStats dmr;
+
+    /** Merged bounded issue trace (cycle-ordered) when enabled. */
+    std::vector<sm::TraceEvent> trace;
+
+    /** §3.4 idle-gap means (when GpuConfig::trackIdleGaps). */
+    double meanSmIdleGap = 0.0;
+    double meanLaneIdleGap = 0.0;
+
+    /** Convenience: Fig 9a coverage. */
+    double coverage() const { return dmr.coverage(); }
+};
+
+} // namespace stats
+} // namespace warped
+
+#endif // WARPED_STATS_LAUNCH_RESULT_HH

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the experiment plane introduced with the
+ * launch/aggregation refactor: sim::RunPool (determinism, exception
+ * propagation), stats::LaunchAggregator (folding hand-built SmStats
+ * without any Sm), seed derivation, and the flagship property — a
+ * parallel fault campaign is bit-identical to a sequential one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fault/campaign.hh"
+#include "sim/run_pool.hh"
+#include "stats/launch_aggregator.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+TEST(RunPool, DefaultJobsIsAtLeastOne)
+{
+    EXPECT_GE(sim::RunPool::defaultJobs(), 1u);
+    sim::RunPool pool; // kHardwareConcurrency
+    EXPECT_GE(pool.jobs(), 1u);
+}
+
+TEST(RunPool, AbsurdJobCountsClampToTheCeiling)
+{
+    // strtoul("-3") wraps to ~4 billion; the ctor must not try to
+    // spawn that many threads.
+    sim::RunPool pool(4294967293u);
+    EXPECT_EQ(pool.jobs(), sim::RunPool::kMaxJobs);
+}
+
+TEST(RunPool, ParallelForFillsEverySlotInIndexOrder)
+{
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        sim::RunPool pool(jobs);
+        std::vector<std::size_t> out(257, 0);
+        pool.parallelFor(out.size(),
+                         [&](std::size_t i) { out[i] = i * i; });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(RunPool, BoundedQueueHandlesManyMoreTasksThanWorkers)
+{
+    sim::RunPool pool(2);
+    std::atomic<std::uint64_t> sum{0};
+    const std::size_t n = 1000; // far beyond the queue capacity
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&sum, i] { sum += i; });
+    pool.wait();
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(RunPool, WaitRethrowsTheFirstTaskError)
+{
+    sim::RunPool pool(4);
+    pool.parallelFor(8, [](std::size_t) {});
+    pool.wait(); // no error: returns
+
+    for (std::size_t i = 0; i < 8; ++i)
+        pool.submit([i] {
+            if (i == 3)
+                throw std::runtime_error("boom");
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The pool survives: it keeps accepting work afterwards.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(RunPool, SingleJobRunsInline)
+{
+    sim::RunPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id seen;
+    pool.submit([&] { seen = std::this_thread::get_id(); });
+    pool.wait();
+    EXPECT_EQ(seen, caller);
+}
+
+TEST(Rng, DeriveSeedIsDeterministicAndStreamSeparated)
+{
+    EXPECT_EQ(deriveSeed(42, 0), deriveSeed(42, 0));
+    EXPECT_NE(deriveSeed(42, 0), deriveSeed(42, 1));
+    EXPECT_NE(deriveSeed(42, 0), deriveSeed(43, 0));
+    // Consecutive streams give uncorrelated first draws.
+    Rng a(deriveSeed(7, 0)), b(deriveSeed(7, 1));
+    EXPECT_NE(a.next(), b.next());
+}
+
+namespace {
+
+constexpr unsigned kWarp = 4;
+constexpr unsigned kRegs = 8;
+
+sm::SmStats
+makeStats()
+{
+    return sm::SmStats(kWarp, kRegs);
+}
+
+} // namespace
+
+TEST(LaunchAggregator, FoldsTwoHandBuiltSmStats)
+{
+    auto st1 = makeStats();
+    st1.issuedWarpInstrs = 10;
+    st1.issuedThreadInstrs = 40;
+    st1.busyCycles = 9;
+    st1.cycles = 20;
+    st1.blocksRetired = 2;
+    st1.activeCountHist.add(4, 6);
+    st1.activeCountHist.add(2, 4);
+    st1.unitIssues[0] = 8;
+    st1.unitThreadExecs[0] = 30;
+    // One same-type run of length 3 for unit 0.
+    st1.typeRuns.observe(0);
+    st1.typeRuns.observe(0);
+    st1.typeRuns.observe(0);
+
+    auto st2 = makeStats();
+    st2.issuedWarpInstrs = 5;
+    st2.issuedThreadInstrs = 20;
+    st2.busyCycles = 5;
+    st2.cycles = 12;
+    st2.blocksRetired = 1;
+    st2.activeCountHist.add(4, 5);
+    st2.unitIssues[0] = 5;
+    st2.unitThreadExecs[0] = 18;
+    // One run of length 1 for unit 0.
+    st2.typeRuns.observe(0);
+
+    dmr::DmrStats d1;
+    d1.verifiableThreadInstrs = 100;
+    d1.verifiedThreadInstrs = 90;
+    d1.errorsDetected = 1;
+    dmr::DmrStats d2;
+    d2.verifiableThreadInstrs = 50;
+    d2.verifiedThreadInstrs = 50;
+
+    stats::LaunchAggregator agg(kWarp);
+    agg.addSm(st1, d1);
+    agg.addSm(st2, d2);
+    const auto r = agg.finish(/*cycles=*/25, /*time_ns=*/31.25,
+                              /*hung=*/false);
+
+    EXPECT_EQ(r.cycles, 25u);
+    EXPECT_DOUBLE_EQ(r.timeNs, 31.25);
+    EXPECT_FALSE(r.hung);
+
+    EXPECT_EQ(r.issuedWarpInstrs, 15u);
+    EXPECT_EQ(r.issuedThreadInstrs, 60u);
+    EXPECT_EQ(r.busyCycles, 14u);
+    EXPECT_EQ(r.smCycles, 32u);
+    EXPECT_EQ(r.blocksRetired, 3u);
+
+    EXPECT_EQ(r.activeHist.count(4), 11u);
+    EXPECT_EQ(r.activeHist.count(2), 4u);
+    EXPECT_EQ(r.unitIssues[0], 13u);
+    EXPECT_EQ(r.unitThreadExecs[0], 48u);
+
+    // Weighted mean of run lengths: (3*1 + 1*1) / 2 runs.
+    EXPECT_DOUBLE_EQ(r.meanTypeRun[0], 2.0);
+    EXPECT_EQ(r.maxTypeRun[0], 3u);
+    EXPECT_EQ(r.typeRunCount[0], 2u);
+
+    EXPECT_EQ(r.dmr.verifiableThreadInstrs, 150u);
+    EXPECT_EQ(r.dmr.verifiedThreadInstrs, 140u);
+    EXPECT_EQ(r.dmr.errorsDetected, 1u);
+    EXPECT_NEAR(r.coverage(), 140.0 / 150.0, 1e-12);
+}
+
+TEST(LaunchAggregator, MergedTraceIsCycleSorted)
+{
+    auto st1 = makeStats();
+    auto st2 = makeStats();
+    sm::TraceEvent e;
+    e.cycle = 9;
+    st1.trace.push_back(e);
+    e.cycle = 2;
+    st1.trace.push_back(e);
+    e.cycle = 5;
+    st2.trace.push_back(e);
+
+    dmr::DmrStats d;
+    stats::LaunchAggregator agg(kWarp);
+    agg.addSm(st1, d);
+    agg.addSm(st2, d);
+    const auto r = agg.finish(0, 0.0, false);
+    ASSERT_EQ(r.trace.size(), 3u);
+    EXPECT_EQ(r.trace[0].cycle, 2u);
+    EXPECT_EQ(r.trace[1].cycle, 5u);
+    EXPECT_EQ(r.trace[2].cycle, 9u);
+}
+
+TEST(LaunchAggregator, RawDistanceSamplesComeFromTheSingleTracker)
+{
+    auto st1 = makeStats();
+    st1.trackRawDistance = true;
+    st1.rawDistance.onWrite(0, 10);
+    st1.rawDistance.onRead(0, 14);
+    st1.rawDistance.onWrite(1, 20);
+    st1.rawDistance.onRead(1, 21);
+    auto st2 = makeStats();
+
+    dmr::DmrStats d;
+    stats::LaunchAggregator agg(kWarp);
+    agg.addSm(st1, d);
+    agg.addSm(st2, d);
+    const auto r = agg.finish(0, 0.0, false);
+    ASSERT_EQ(r.rawDistances.size(), 2u);
+    EXPECT_EQ(std::accumulate(r.rawDistances.begin(),
+                              r.rawDistances.end(), std::uint64_t{0}),
+              5u);
+}
+
+TEST(LaunchAggregator, SecondRawDistanceTrackerPanics)
+{
+    auto st1 = makeStats();
+    st1.trackRawDistance = true;
+    auto st2 = makeStats();
+    st2.trackRawDistance = true;
+
+    dmr::DmrStats d;
+    stats::LaunchAggregator agg(kWarp);
+    agg.addSm(st1, d);
+    EXPECT_THROW(agg.addSm(st2, d), std::logic_error);
+}
+
+TEST(Campaign, ParallelCampaignIsBitIdenticalToSequential)
+{
+    setVerbose(false);
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 2;
+
+    fault::CampaignConfig cc;
+    cc.runs = 6;
+    cc.kind = fault::FaultKind::StuckAtOne;
+    cc.seed = 1234;
+
+    const auto factory = [] { return workloads::makeScan(1); };
+
+    cc.jobs = 1;
+    const auto seq = fault::runCampaign(
+        factory, cfg, dmr::DmrConfig::paperDefault(), cc);
+    cc.jobs = 8;
+    const auto par = fault::runCampaign(
+        factory, cfg, dmr::DmrConfig::paperDefault(), cc);
+
+    EXPECT_EQ(seq.runs, par.runs);
+    EXPECT_EQ(seq.detected, par.detected);
+    EXPECT_EQ(seq.hangs, par.hangs);
+    EXPECT_EQ(seq.sdc, par.sdc);
+    EXPECT_EQ(seq.benign, par.benign);
+    EXPECT_EQ(seq.notActivated, par.notActivated);
+    EXPECT_EQ(seq.detectionLatencySum, par.detectionLatencySum);
+    EXPECT_EQ(seq.kernelLengthSum, par.kernelLengthSum);
+}
+
+TEST(Campaign, MasterSeedSelectsTheFaultSet)
+{
+    setVerbose(false);
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 2;
+
+    fault::CampaignConfig cc;
+    cc.runs = 4;
+    cc.kind = fault::FaultKind::TransientBitFlip;
+    cc.jobs = 2;
+
+    const auto factory = [] { return workloads::makeScan(1); };
+    cc.seed = 1;
+    const auto a = fault::runCampaign(
+        factory, cfg, dmr::DmrConfig::paperDefault(), cc);
+    const auto b = fault::runCampaign(
+        factory, cfg, dmr::DmrConfig::paperDefault(), cc);
+
+    // Same master seed -> identical campaign, even across pools.
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.notActivated, b.notActivated);
+    EXPECT_EQ(a.detectionLatencySum, b.detectionLatencySum);
+}
