@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "gpu/report.hh"
+#include "trace/export.hh"
 #include "isa/assembler.hh"
 #include "power/power_model.hh"
 #include "workloads/workload.hh"
@@ -45,7 +46,27 @@ struct Options
     bool report = false;
     bool json = false;
     unsigned trace = 0;
+    std::string traceOut;
+    std::string metricsOut;
 };
+
+/**
+ * Output path for one workload's export: with a single workload the
+ * given path is used verbatim; under "all" the workload name is
+ * spliced in before the extension so runs don't clobber each other.
+ */
+std::string
+exportPath(const std::string &base, const std::string &name, bool multi)
+{
+    if (!multi)
+        return base;
+    const auto dot = base.rfind('.');
+    const auto slash = base.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + "." + name;
+    return base.substr(0, dot) + "." + name + base.substr(dot);
+}
 
 void
 usage()
@@ -81,6 +102,12 @@ usage()
         "  --dmtr                DMTR baseline mode\n"
         "  --disasm              print the kernel disassembly\n"
         "  --trace N             print the first N issue events\n"
+        "  --trace-out F         record structured events and write a\n"
+        "                        Chrome trace_event JSON to F\n"
+        "  --metrics-out F       write the flat metrics registry "
+        "JSON to F\n"
+        "                        (with 'all', the workload name is\n"
+        "                        spliced in before the extension)\n"
         "  --report              print the full statistics block\n"
         "  --json                emit one JSON object per workload\n"
         "  --verbose             keep warn/info output\n"
@@ -205,6 +232,16 @@ parse(int argc, char **argv, Options &o)
             if (!v)
                 return false;
             o.trace = std::strtoul(v, nullptr, 10);
+        } else if (a == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.traceOut = v;
+        } else if (a == "--metrics-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            o.metricsOut = v;
         } else if (a == "--report") {
             o.report = true;
         } else if (a == "--json") {
@@ -236,6 +273,24 @@ runOne(const std::string &name, const Options &o,
     const auto r = g.launch(w->program(), w->gridBlocks(),
                             w->blockThreads());
     const bool ok = w->verify(g);
+
+    const bool multi = o.workload == "all";
+    if (!o.traceOut.empty()) {
+        const auto path = exportPath(o.traceOut, name, multi);
+        std::ofstream f(path);
+        if (!f)
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        else
+            trace::writeChromeTrace(f, r.events, name);
+    }
+    if (!o.metricsOut.empty()) {
+        const auto path = exportPath(o.metricsOut, name, multi);
+        std::ofstream f(path);
+        if (!f)
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        else
+            trace::writeMetricsJson(f, r.metrics);
+    }
 
     if (o.json) {
         std::printf("%s\n",
@@ -325,6 +380,7 @@ main(int argc, char **argv)
     cfg.modelMemContention = o.contention;
     cfg.warpSize = o.warpSize;
     cfg.traceIssueLimit = o.trace;
+    cfg.traceEvents = !o.traceOut.empty();
 
     std::printf("%s\n", cfg.toString().c_str());
 

@@ -83,6 +83,24 @@ struct GpuConfig
     unsigned traceIssueLimit = 0;
 
     /**
+     * Structured cycle-level tracing (src/trace): when set, the
+     * launch owns a trace::Recorder, every pipeline seam (issue,
+     * commit, DMR decisions, ReplayQ traffic, dispatch) emits
+     * trace::Events, and the merged stream lands in
+     * LaunchResult::events. Off by default: disabled tracing costs
+     * one null-pointer test per seam.
+     */
+    bool traceEvents = false;
+
+    /**
+     * Per-SM event ring capacity when traceEvents is set: the ring
+     * keeps the most recent N events and counts drops
+     * (trace.dropped). 0 = unbounded — what the golden-trace and
+     * invariant suites use so the ledger sees every event.
+     */
+    unsigned traceRingCapacity = 0;
+
+    /**
      * Model global-memory coalescing (off by default — the paper's
      * fixed-latency LD/ST model): a warp's global access is split
      * into one transaction per distinct coalesceSegmentBytes-sized

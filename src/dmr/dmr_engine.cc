@@ -14,6 +14,30 @@ DmrEngine::DmrEngine(const arch::GpuConfig &gpu, const DmrConfig &cfg,
 {
 }
 
+void
+DmrEngine::attachRecorder(trace::Recorder *rec)
+{
+    recorder_ = rec;
+    queue_.attachRecorder(rec, exec_.smId());
+}
+
+void
+DmrEngine::emit(trace::EventKind kind, const func::ExecRecord &rec,
+                Cycle now, std::uint64_t a1)
+{
+    if (!recorder_)
+        return;
+    trace::Event ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.unit = static_cast<std::uint8_t>(rec.instr.unit());
+    ev.warp = rec.warpId;
+    ev.pc = rec.pc;
+    ev.a0 = rec.traceId;
+    ev.a1 = a1;
+    recorder_->record(exec_.smId(), ev);
+}
+
 std::uint64_t
 DmrEngine::readMaskOf(const isa::Instruction &in)
 {
@@ -32,11 +56,12 @@ DmrEngine::rawHazardStall(unsigned warp_id, const isa::Instruction &next,
     const std::uint64_t reads = readMaskOf(next);
     if (reads == 0)
         return false;
-    auto producer = queue_.popRawHazard(warp_id, reads);
+    auto producer = queue_.popRawHazard(warp_id, reads, now);
     if (!producer)
         return false;
     // The pipeline stalls this cycle; the freed units verify the
     // producer so the consumer can go next cycle.
+    emit(trace::EventKind::RawStall, producer->rec, now, reads);
     interWarpVerify(producer->rec, now);
     ++stats_.rawStalls;
     return true;
@@ -65,7 +90,7 @@ DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
                 static_cast<int>(t) == verifiedUnitThisCycle_) {
                 continue;
             }
-            if (auto e = queue_.popOldestOfType(ut)) {
+            if (auto e = queue_.popOldestOfType(ut, now)) {
                 interWarpVerify(e->rec, now);
                 ++stats_.unitDrainVerifications;
             }
@@ -120,7 +145,7 @@ DmrEngine::replayCheck(isa::UnitType next_type, Cycle now)
     // Same type. Look for a queued instruction of a different type
     // whose unit is idle this cycle.
     if (auto e = queue_.popDifferentType(next_type, rng_,
-                                         cfg_.dequeuePolicy)) {
+                                         cfg_.dequeuePolicy, now)) {
         verifiedUnitThisCycle_ = static_cast<int>(e->rec.instr.unit());
         interWarpVerify(e->rec, now);
         ++stats_.dequeueVerifications;
@@ -132,6 +157,8 @@ DmrEngine::replayCheck(isa::UnitType next_type, Cycle now)
     if (queue_.full()) {
         // Eager re-execution: one stall cycle, then the operands
         // still in the pipeline are replayed on the same units.
+        emit(trace::EventKind::ReplayOverflow, pending, now,
+             queue_.capacity());
         interWarpVerify(pending, now + 1);
         ++stats_.eagerStalls;
         return 1;
@@ -150,11 +177,13 @@ DmrEngine::onIdleCycle(Cycle now)
     if (pending_) {
         func::ExecRecord pending = std::move(*pending_);
         pending_.reset();
+        emit(trace::EventKind::IdleDrain, pending, now, 0);
         interWarpVerify(pending, now);
         ++stats_.idleDrainVerifications;
         return;
     }
-    if (auto e = queue_.popOldest()) {
+    if (auto e = queue_.popOldest(now)) {
+        emit(trace::EventKind::IdleDrain, e->rec, now, 1);
         interWarpVerify(e->rec, now);
         ++stats_.idleDrainVerifications;
     }
@@ -201,6 +230,9 @@ DmrEngine::intraWarpVerify(const func::ExecRecord &rec, Cycle now)
         }
     }
     const unsigned covered = covered_slots.count();
+    if (covered > 0)
+        emit(trace::EventKind::RfuForward, rec, now, covered);
+    emit(trace::EventKind::IntraVerify, rec, now, covered);
     stats_.verifiedThreadInstrs += covered;
     stats_.intraVerifiedThreads += covered;
 }
@@ -222,6 +254,7 @@ DmrEngine::interWarpVerify(const func::ExecRecord &rec, Cycle now)
         ++stats_.redundantThreadExecs[
             static_cast<unsigned>(rec.instr.unit())];
     }
+    emit(trace::EventKind::InterVerify, rec, now, verified);
     stats_.verifiedThreadInstrs += verified;
     stats_.interVerifiedThreads += verified;
 }
@@ -247,6 +280,7 @@ DmrEngine::verifySlot(const func::ExecRecord &rec, unsigned slot,
     ++stats_.comparisons;
     if (got != rec.results[slot]) {
         ++stats_.errorsDetected;
+        emit(trace::EventKind::ErrorDetected, rec, now, slot);
 
         ErrorVerdict verdict = ErrorVerdict::None;
         if (cfg_.arbitrateErrors) {

@@ -61,6 +61,20 @@ class DmrEngine
      */
     std::uint64_t drainAll(Cycle now);
 
+    /**
+     * Emit structured trace events (Algorithm-1 decisions, RFU
+     * forwarding, ReplayQ traffic, detections) to @p rec. nullptr
+     * detaches; disabled tracing costs one pointer test per seam.
+     */
+    void attachRecorder(trace::Recorder *rec);
+
+    /**
+     * Stamp end-of-launch derived statistics (the ReplayQ depth
+     * watermark) into stats(). Called once per launch by Gpu::launch
+     * so the per-issue path stays free of watermark folding.
+     */
+    void finalizeStats() { stats_.replayQPeak = queue_.peakDepth(); }
+
     const DmrStats &stats() const { return stats_; }
     const ThreadCoreMapping &mapping() const { return mapping_; }
     const DmrConfig &config() const { return cfg_; }
@@ -84,6 +98,13 @@ class DmrEngine
 
     static std::uint64_t readMaskOf(const isa::Instruction &in);
 
+    /** Emit one engine-level event (no-op when detached). Out of
+     *  line so the event construction never bloats the hot verify /
+     *  issue paths of a recorder-less run. */
+    [[gnu::noinline]]
+    void emit(trace::EventKind kind, const func::ExecRecord &rec,
+              Cycle now, std::uint64_t a1);
+
     const arch::GpuConfig &gpu_;
     DmrConfig cfg_;
     func::Executor &exec_;
@@ -91,6 +112,7 @@ class DmrEngine
     ReplayQueue queue_;
     Rng rng_;
     DmrStats stats_;
+    trace::Recorder *recorder_ = nullptr;
 
     /** The fully-utilized instruction currently in the RF stage,
      *  awaiting the Replay Checker's decision. */

@@ -64,6 +64,7 @@ struct DmrStats
     std::uint64_t eagerStalls = 0;   ///< ReplayQ full -> 1-cycle stall
     std::uint64_t rawStalls = 0;     ///< RAW on unverified result
     std::uint64_t finalDrainCycles = 0;
+    std::uint64_t replayQPeak = 0;   ///< deepest ReplayQ occupancy
 
     // Redundant thread-executions per unit type (power model input).
     std::array<std::uint64_t, isa::kNumUnitTypes> redundantThreadExecs{};

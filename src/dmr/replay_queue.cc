@@ -1,5 +1,6 @@
 #include "dmr/replay_queue.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/logging.hh"
@@ -12,12 +13,44 @@ ReplayQueue::push(func::ExecRecord rec, Cycle now)
 {
     if (full())
         warped_panic("ReplayQueue overflow (capacity ", capacity_, ")");
+    if (recorder_) [[unlikely]]
+        recordEvent(trace::EventKind::ReplayPush, rec,
+                    entries_.size() + 1, now);
     entries_.push_back({std::move(rec), now});
+    peakDepth_ = std::max(peakDepth_,
+                          static_cast<unsigned>(entries_.size()));
+}
+
+ReplayQueue::Entry
+ReplayQueue::take(std::size_t i, Cycle now)
+{
+    Entry e = std::move(entries_[i]);
+    entries_.erase(entries_.begin() + i);
+    if (recorder_) [[unlikely]]
+        recordEvent(trace::EventKind::ReplayPop, e.rec,
+                    entries_.size(), now);
+    return e;
+}
+
+void
+ReplayQueue::recordEvent(trace::EventKind kind,
+                         const func::ExecRecord &rec,
+                         std::uint64_t depth_after, Cycle now)
+{
+    trace::Event ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.unit = static_cast<std::uint8_t>(rec.instr.unit());
+    ev.warp = rec.warpId;
+    ev.pc = rec.pc;
+    ev.a0 = rec.traceId;
+    ev.a1 = depth_after;
+    recorder_->record(smId_, ev);
 }
 
 std::optional<ReplayQueue::Entry>
 ReplayQueue::popDifferentType(isa::UnitType busy, Rng &rng,
-                              DequeuePolicy policy)
+                              DequeuePolicy policy, Cycle now)
 {
     std::vector<std::size_t> candidates;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -30,30 +63,23 @@ ReplayQueue::popDifferentType(isa::UnitType busy, Rng &rng,
         (policy == DequeuePolicy::OldestFirst || candidates.size() == 1)
             ? candidates[0]
             : candidates[rng.nextBelow(candidates.size())];
-    Entry e = std::move(entries_[pick]);
-    entries_.erase(entries_.begin() + pick);
-    return e;
+    return take(pick, now);
 }
 
 std::optional<ReplayQueue::Entry>
-ReplayQueue::popOldest()
+ReplayQueue::popOldest(Cycle now)
 {
     if (entries_.empty())
         return std::nullopt;
-    Entry e = std::move(entries_.front());
-    entries_.pop_front();
-    return e;
+    return take(0, now);
 }
 
 std::optional<ReplayQueue::Entry>
-ReplayQueue::popOldestOfType(isa::UnitType t)
+ReplayQueue::popOldestOfType(isa::UnitType t, Cycle now)
 {
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (entries_[i].rec.instr.unit() == t) {
-            Entry e = std::move(entries_[i]);
-            entries_.erase(entries_.begin() + i);
-            return e;
-        }
+        if (entries_[i].rec.instr.unit() == t)
+            return take(i, now);
     }
     return std::nullopt;
 }
@@ -79,15 +105,14 @@ ReplayQueue::hasRawHazard(unsigned warp_id,
 }
 
 std::optional<ReplayQueue::Entry>
-ReplayQueue::popRawHazard(unsigned warp_id, std::uint64_t reg_read_mask)
+ReplayQueue::popRawHazard(unsigned warp_id, std::uint64_t reg_read_mask,
+                          Cycle now)
 {
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         const auto &e = entries_[i];
         if (e.rec.warpId == warp_id &&
             writesInMask(e.rec, reg_read_mask)) {
-            Entry out = std::move(entries_[i]);
-            entries_.erase(entries_.begin() + i);
-            return out;
+            return take(i, now);
         }
     }
     return std::nullopt;

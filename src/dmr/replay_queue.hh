@@ -19,6 +19,7 @@
 #include "common/rng.hh"
 #include "dmr/dmr_config.hh"
 #include "func/executor.hh"
+#include "trace/recorder.hh"
 
 namespace warped {
 namespace dmr {
@@ -39,6 +40,17 @@ class ReplayQueue
     bool empty() const { return entries_.empty(); }
     bool full() const { return entries_.size() >= capacity_; }
 
+    /** Deepest the queue has ever been (invariant: <= capacity). */
+    unsigned peakDepth() const { return peakDepth_; }
+
+    /** Emit push/pop events to @p rec on behalf of SM @p sm. */
+    void
+    attachRecorder(trace::Recorder *rec, unsigned sm)
+    {
+        recorder_ = rec;
+        smId_ = sm;
+    }
+
     /** Enqueue an unverified instruction; caller checks !full(). */
     void push(func::ExecRecord rec, Cycle now);
 
@@ -50,17 +62,19 @@ class ReplayQueue
      */
     std::optional<Entry>
     popDifferentType(isa::UnitType busy, Rng &rng,
-                     DequeuePolicy policy = DequeuePolicy::Random);
+                     DequeuePolicy policy = DequeuePolicy::Random,
+                     Cycle now = 0);
 
     /** Dequeue the oldest entry (idle-cycle and end-of-kernel drain). */
-    std::optional<Entry> popOldest();
+    std::optional<Entry> popOldest(Cycle now = 0);
 
     /**
      * Dequeue the oldest entry of unit type @p t — the opportunistic
      * per-unit drain: a queued instruction is re-executed as soon as
      * its execution unit has an idle issue slot (paper §4.3).
      */
-    std::optional<Entry> popOldestOfType(isa::UnitType t);
+    std::optional<Entry> popOldestOfType(isa::UnitType t,
+                                         Cycle now = 0);
 
     /**
      * True when some queued entry of warp @p warp_id writes a register
@@ -74,7 +88,8 @@ class ReplayQueue
      * (hazard resolution: verify the producer first).
      */
     std::optional<Entry> popRawHazard(unsigned warp_id,
-                                      std::uint64_t reg_read_mask);
+                                      std::uint64_t reg_read_mask,
+                                      Cycle now = 0);
 
     /** Paper §4.3.1: bytes one entry occupies in hardware. */
     static constexpr std::size_t
@@ -89,8 +104,20 @@ class ReplayQueue
     static bool writesInMask(const func::ExecRecord &rec,
                              std::uint64_t reg_read_mask);
 
+    /** Remove entry @p i, emitting the ReplayPop event. */
+    Entry take(std::size_t i, Cycle now);
+
+    /** Cold path: build + record a push/pop event (recorder_ set);
+     *  @p depth_after is the queue depth after the operation. */
+    [[gnu::noinline]]
+    void recordEvent(trace::EventKind kind, const func::ExecRecord &rec,
+                     std::uint64_t depth_after, Cycle now);
+
     unsigned capacity_;
+    unsigned peakDepth_ = 0;
     std::deque<Entry> entries_;
+    trace::Recorder *recorder_ = nullptr;
+    unsigned smId_ = 0;
 };
 
 } // namespace dmr

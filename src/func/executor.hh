@@ -45,6 +45,12 @@ struct ExecRecord
     isa::Instruction instr;
     Pc pc = 0;
     unsigned warpId = 0;      ///< warp slot within the SM
+    /** Launch-unique issue id ((sm << 40) | per-SM issue index),
+     *  stamped by Sm::recordIssue. Trace events reference it so the
+     *  test suites can pair every verification with exactly one
+     *  issue; 0 for records that never passed through an SM issue
+     *  slot (unit-test fixtures). */
+    std::uint64_t traceId = 0;
     LaneMask active;          ///< thread-slot active mask
     bool wasBranch = false;
     bool wasBarrier = false;

@@ -1,9 +1,12 @@
 #include "gpu/gpu.hh"
 
+#include <optional>
+
 #include "common/logging.hh"
 #include "gpu/launch_loop.hh"
 #include "mem/memory_system.hh"
 #include "stats/launch_aggregator.hh"
+#include "trace/recorder.hh"
 
 namespace warped {
 namespace gpu {
@@ -52,13 +55,25 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
     sms[0]->stats().trackedWarpSlot =
         cfg_.warpsPerBlock(block_threads) > 1 ? 1 : 0;
 
+    // The launch's private event recorder: per-SM ring buffers, so
+    // recording never crosses SM (or RunPool worker) boundaries.
+    std::optional<trace::Recorder> recorder;
+    if (cfg_.traceEvents)
+        recorder.emplace(cfg_.numSms, cfg_.traceRingCapacity);
+
     LaunchLoop loop(sms, prog.name(), grid_blocks, block_threads,
                     cycle_cap);
+    if (recorder)
+        loop.attachRecorder(&*recorder);
     const auto outcome = loop.run();
 
     stats::LaunchAggregator agg(cfg_.warpSize);
-    for (auto &sp : sms)
+    for (auto &sp : sms) {
+        sp->dmrEngine().finalizeStats();
         agg.addSm(sp->stats(), sp->dmrEngine().stats());
+    }
+    if (recorder)
+        agg.addTrace(*recorder);
     return agg.finish(outcome.cycles,
                       double(outcome.cycles) * cfg_.cyclePeriodNs(),
                       outcome.hung);

@@ -14,6 +14,14 @@ LaunchLoop::LaunchLoop(std::vector<std::unique_ptr<sm::Sm>> &sms,
 {
 }
 
+void
+LaunchLoop::attachRecorder(trace::Recorder *rec)
+{
+    recorder_ = rec;
+    for (auto &s : sms_)
+        s->attachRecorder(rec);
+}
+
 LaunchLoop::Outcome
 LaunchLoop::run()
 {
@@ -21,12 +29,21 @@ LaunchLoop::run()
     Cycle cycle = 0;
     constexpr Cycle kHardCap = 500'000'000;
     bool hung = false;
+    std::uint64_t ticks = 0;
 
     for (;;) {
         // Dispatch at most one block per SM per cycle.
         for (auto &s : sms_) {
             if (next_block < gridBlocks_ &&
                 s->canAcceptBlock(blockThreads_)) {
+                if (recorder_) {
+                    trace::Event ev;
+                    ev.cycle = cycle;
+                    ev.kind = trace::EventKind::BlockDispatch;
+                    ev.a0 = next_block;
+                    ev.a1 = s->id();
+                    recorder_->record(trace::kChipSm, ev);
+                }
                 s->assignBlock(next_block++, blockThreads_,
                                gridBlocks_);
             }
@@ -36,6 +53,7 @@ LaunchLoop::run()
         for (auto &s : sms_) {
             if (s->busy() || !s->drained()) {
                 s->tick(cycle);
+                ++ticks;
                 anything = true;
             }
         }
@@ -51,7 +69,16 @@ LaunchLoop::run()
                          "' exceeded the cycle cap");
     }
 
-    return {cycle, hung};
+    if (recorder_) {
+        trace::Event ev;
+        ev.cycle = cycle;
+        ev.kind = trace::EventKind::LaunchEnd;
+        ev.a0 = cycle;
+        ev.a1 = hung ? 1 : 0;
+        recorder_->record(trace::kChipSm, ev);
+    }
+
+    return {cycle, hung, next_block, ticks};
 }
 
 } // namespace gpu

@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "sm/sm.hh"
+#include "trace/recorder.hh"
 
 namespace warped {
 namespace gpu {
@@ -26,6 +27,8 @@ class LaunchLoop
     {
         Cycle cycles = 0;
         bool hung = false;
+        std::uint64_t dispatchedBlocks = 0;
+        std::uint64_t smTicks = 0; ///< sum over SMs of ticked cycles
     };
 
     /**
@@ -44,7 +47,14 @@ class LaunchLoop
     /** Dispatch and tick until every SM drains (or the watchdog). */
     Outcome run();
 
+    /**
+     * Emit dispatch/launch-end events to @p rec (chip lane) and
+     * cascade it to every SM. Call before run(); nullptr = silent.
+     */
+    void attachRecorder(trace::Recorder *rec);
+
   private:
+    trace::Recorder *recorder_ = nullptr;
     std::vector<std::unique_ptr<sm::Sm>> &sms_;
     const std::string &kernelName_;
     unsigned gridBlocks_;

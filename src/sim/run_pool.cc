@@ -38,11 +38,20 @@ RunPool::~RunPool()
         w.join();
 }
 
+RunPool::Counters
+RunPool::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
 void
 RunPool::submit(std::function<void()> task)
 {
     if (jobs_ == 1) {
+        ++counters_.submitted;
         task();
+        ++counters_.completed;
         return;
     }
     {
@@ -51,6 +60,11 @@ RunPool::submit(std::function<void()> task)
                       [this] { return queue_.size() < queueCap_; });
         queue_.push_back(std::move(task));
         ++inFlight_;
+        ++counters_.submitted;
+        counters_.peakQueueDepth =
+            std::max(counters_.peakQueueDepth, queue_.size());
+        counters_.peakInFlight =
+            std::max(counters_.peakInFlight, inFlight_);
     }
     notEmpty_.notify_one();
 }
@@ -87,9 +101,11 @@ RunPool::workerLoop()
         }
         notFull_.notify_one();
 
+        bool failed = false;
         try {
             task();
         } catch (...) {
+            failed = true;
             std::lock_guard<std::mutex> lock(mutex_);
             if (!firstError_)
                 firstError_ = std::current_exception();
@@ -97,6 +113,9 @@ RunPool::workerLoop()
 
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.completed;
+            if (failed)
+                ++counters_.failed;
             if (--inFlight_ == 0)
                 idle_.notify_all();
         }

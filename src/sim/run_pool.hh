@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -63,6 +64,24 @@ class RunPool
     unsigned jobs() const { return jobs_; }
 
     /**
+     * Job-lifecycle counters for the observability layer's metrics
+     * surface. submitted/completed are deterministic for a given
+     * campaign; peakQueueDepth and peakInFlight depend on worker
+     * scheduling and are diagnostics only (never goldened).
+     */
+    struct Counters
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0; ///< tasks that threw
+        std::size_t peakQueueDepth = 0;
+        std::size_t peakInFlight = 0;
+    };
+
+    /** Snapshot of the lifecycle counters (thread-safe). */
+    Counters counters() const;
+
+    /**
      * Enqueue one task. Blocks while the queue is at capacity
      * (bounded queue: submission can never outrun execution by more
      * than a few batches, keeping memory flat for huge campaigns).
@@ -87,8 +106,13 @@ class RunPool
     parallelFor(std::size_t n, Fn &&fn)
     {
         if (jobs_ == 1) {
-            for (std::size_t i = 0; i < n; ++i)
+            // Inline fast path: still feed the lifecycle counters so
+            // a campaign's metrics don't depend on the job count.
+            for (std::size_t i = 0; i < n; ++i) {
+                ++counters_.submitted;
                 fn(i);
+                ++counters_.completed;
+            }
             return;
         }
         for (std::size_t i = 0; i < n; ++i)
@@ -101,7 +125,8 @@ class RunPool
 
     unsigned jobs_;
     std::size_t queueCap_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
+    Counters counters_; ///< guarded by mutex_ (inline mode: no races)
     std::condition_variable notEmpty_; ///< work for idle workers
     std::condition_variable notFull_;  ///< room for submitters
     std::condition_variable idle_;     ///< everything drained

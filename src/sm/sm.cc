@@ -218,6 +218,9 @@ Sm::recordIssue(const func::ExecRecord &rec, Cycle now)
         stats_.trace.push_back(ev);
     }
 
+    if (recorder_) [[unlikely]]
+        traceIssue(rec, active, now);
+
     if (stats_.trackRawDistance &&
         rec.warpId == stats_.trackedWarpSlot &&
         rec.active.test(stats_.trackedThreadSlot)) {
@@ -227,6 +230,39 @@ Sm::recordIssue(const func::ExecRecord &rec, Cycle now)
         if (in.hasDst())
             stats_.rawDistance.onWrite(in.dst.idx, now);
     }
+}
+
+void
+Sm::traceIssue(const func::ExecRecord &rec, unsigned active, Cycle now)
+{
+    trace::Event ev;
+    ev.cycle = now;
+    ev.kind = trace::EventKind::Issue;
+    ev.unit = static_cast<std::uint8_t>(rec.instr.unit());
+    ev.warp = rec.warpId;
+    ev.pc = rec.pc;
+    ev.a0 = rec.traceId;
+    ev.a1 = active;
+    recorder_->record(smId_, ev);
+}
+
+void
+Sm::traceCommit(const func::ExecRecord &rec, const isa::Instruction &in,
+                Cycle ready, Cycle now)
+{
+    // Only instructions that produce a result (or touch memory) have
+    // a writeback to commit.
+    if (!in.hasDst() && !in.isMem())
+        return;
+    trace::Event ev;
+    ev.cycle = ready;
+    ev.kind = trace::EventKind::Commit;
+    ev.unit = static_cast<std::uint8_t>(in.unit());
+    ev.warp = rec.warpId;
+    ev.pc = rec.pc;
+    ev.a0 = rec.traceId;
+    ev.a1 = ready - now;
+    recorder_->record(smId_, ev);
 }
 
 Sm::IssueOutcome
@@ -259,6 +295,7 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     func::ExecRecord rec = exec_.step(
         *warp, prog_, shared, engine_.mapping().laneTable(), now);
     rec.warpId = warp_slot;
+    rec.traceId = (std::uint64_t{smId_} << 40) | ++issueSeq_;
 
     unsigned extra_mem_cycles = 0;
     Cycle contended_ready = 0;
@@ -286,11 +323,13 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
         }
     }
 
-    scoreboard_.issue(warp_slot, in,
-                      std::max(writebackTime(in, now) +
-                                   extra_mem_cycles,
-                               contended_ready));
+    const Cycle ready = std::max(writebackTime(in, now) +
+                                     extra_mem_cycles,
+                                 contended_ready);
+    scoreboard_.issue(warp_slot, in, ready);
     recordIssue(rec, now);
+    if (recorder_) [[unlikely]]
+        traceCommit(rec, in, ready, now);
     ++stats_.busyCycles;
 
     const unsigned stall = engine_.onIssue(rec, now);

@@ -28,6 +28,7 @@
 #include "mem/memory_system.hh"
 #include "sm/scoreboard.hh"
 #include "sm/sm_stats.hh"
+#include "trace/recorder.hh"
 
 namespace warped {
 namespace sm {
@@ -70,6 +71,19 @@ class Sm
     /** Advance one core-clock cycle. */
     void tick(Cycle now);
 
+    /**
+     * Emit structured trace events (issue/commit here, plus the DMR
+     * engine's and ReplayQ's seams) to @p rec. Call before the first
+     * tick; nullptr (the default state) keeps tracing at one pointer
+     * test per seam.
+     */
+    void
+    attachRecorder(trace::Recorder *rec)
+    {
+        recorder_ = rec;
+        engine_.attachRecorder(rec);
+    }
+
     SmStats &stats() { return stats_; }
     const SmStats &stats() const { return stats_; }
     dmr::DmrEngine &dmrEngine() { return engine_; }
@@ -95,6 +109,18 @@ class Sm
     Cycle writebackTime(const isa::Instruction &in, Cycle now) const;
     void recordIssue(const func::ExecRecord &rec, Cycle now);
 
+    /** Cold path: build + record the Issue event. Kept out of line so
+     *  the recorder_ == nullptr fast path stays free of dead code. */
+    [[gnu::noinline]]
+    void traceIssue(const func::ExecRecord &rec, unsigned active,
+                    Cycle now);
+
+    /** Cold path: build + record the Commit event. */
+    [[gnu::noinline]]
+    void traceCommit(const func::ExecRecord &rec,
+                     const isa::Instruction &in, Cycle ready,
+                     Cycle now);
+
     const arch::GpuConfig &cfg_;
     mem::MemorySystem *memSys_;
     unsigned smId_;
@@ -104,6 +130,9 @@ class Sm
     dmr::DmrEngine engine_;
     Scoreboard scoreboard_;
     SmStats stats_;
+
+    trace::Recorder *recorder_ = nullptr;
+    std::uint64_t issueSeq_ = 0; ///< per-SM issue index (traceId low)
 
     unsigned maxWarps_;
     std::vector<std::optional<arch::WarpContext>> warps_;

@@ -1,6 +1,7 @@
 #include "stats/launch_aggregator.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -63,6 +64,7 @@ LaunchAggregator::addSm(sm::SmStats &st, const dmr::DmrStats &d)
     r.dmr.eagerStalls += d.eagerStalls;
     r.dmr.rawStalls += d.rawStalls;
     r.dmr.finalDrainCycles += d.finalDrainCycles;
+    r.dmr.replayQPeak = std::max(r.dmr.replayQPeak, d.replayQPeak);
     for (unsigned t = 0; t < isa::kNumUnitTypes; ++t)
         r.dmr.redundantThreadExecs[t] += d.redundantThreadExecs[t];
     r.dmr.comparisons += d.comparisons;
@@ -76,6 +78,69 @@ LaunchAggregator::addSm(sm::SmStats &st, const dmr::DmrStats &d)
         if (r.dmr.errorLog.size() < dmr::DmrStats::kMaxErrorLog)
             r.dmr.errorLog.push_back(ev);
     }
+}
+
+void
+LaunchAggregator::addTrace(const trace::Recorder &rec)
+{
+    result_.events = rec.merged();
+    traceRecorded_ = rec.recorded();
+    traceDropped_ = rec.dropped();
+}
+
+void
+LaunchAggregator::buildMetrics()
+{
+    auto &r = result_;
+    auto &m = r.metrics;
+
+    m.counter("sim.cycles") = r.cycles;
+    m.counter("sim.hung") = r.hung ? 1 : 0;
+    m.counter("sim.issuedWarpInstrs") = r.issuedWarpInstrs;
+    m.counter("sim.issuedThreadInstrs") = r.issuedThreadInstrs;
+    m.counter("sim.busyCycles") = r.busyCycles;
+    m.counter("sim.smCycles") = r.smCycles;
+    m.counter("sim.stallCyclesDmr") = r.stallCyclesDmr;
+    m.counter("sim.stallCyclesRaw") = r.stallCyclesRaw;
+    m.counter("sim.blocksRetired") = r.blocksRetired;
+
+    for (unsigned t = 0; t < isa::kNumUnitTypes; ++t) {
+        const std::string unit =
+            isa::unitTypeName(static_cast<isa::UnitType>(t));
+        m.counter("sm.unitIssues." + unit) = r.unitIssues[t];
+        m.counter("sm.unitThreadExecs." + unit) = r.unitThreadExecs[t];
+        m.counter("dmr.redundantThreadExecs." + unit) =
+            r.dmr.redundantThreadExecs[t];
+    }
+
+    const auto &d = r.dmr;
+    m.counter("dmr.verifiableThreadInstrs") = d.verifiableThreadInstrs;
+    m.counter("dmr.verifiedThreadInstrs") = d.verifiedThreadInstrs;
+    m.counter("dmr.intraVerifiedThreads") = d.intraVerifiedThreads;
+    m.counter("dmr.interVerifiedThreads") = d.interVerifiedThreads;
+    m.counter("dmr.intraWarpInstrs") = d.intraWarpInstrs;
+    m.counter("dmr.interWarpInstrs") = d.interWarpInstrs;
+    m.counter("dmr.coexecVerifications") = d.coexecVerifications;
+    m.counter("dmr.dequeueVerifications") = d.dequeueVerifications;
+    m.counter("dmr.idleDrainVerifications") = d.idleDrainVerifications;
+    m.counter("dmr.unitDrainVerifications") = d.unitDrainVerifications;
+    m.counter("dmr.enqueues") = d.enqueues;
+    m.counter("dmr.eagerStalls") = d.eagerStalls;
+    m.counter("dmr.rawStalls") = d.rawStalls;
+    m.counter("dmr.finalDrainCycles") = d.finalDrainCycles;
+    m.counter("dmr.replayQPeak") = d.replayQPeak;
+    m.counter("dmr.comparisons") = d.comparisons;
+    m.counter("dmr.errorsDetected") = d.errorsDetected;
+    m.counter("dmr.sampledOutThreadInstrs") = d.sampledOutThreadInstrs;
+
+    m.counter("trace.recorded") = traceRecorded_;
+    m.counter("trace.dropped") = traceDropped_;
+    m.counter("trace.merged") = r.events.size();
+
+    m.gauge("dmr.coverage") = d.coverage();
+    m.gauge("sim.timeNs") = r.timeNs;
+    m.gauge("sim.ipc") =
+        r.cycles ? double(r.issuedWarpInstrs) / double(r.cycles) : 0.0;
 }
 
 LaunchResult
@@ -96,6 +161,8 @@ LaunchAggregator::finish(Cycle cycles, double time_ns, bool hung)
                         const sm::TraceEvent &b) {
                          return a.cycle < b.cycle;
                      });
+
+    buildMetrics();
 
     return std::move(r);
 }

@@ -13,6 +13,7 @@
 #define WARPED_STATS_LAUNCH_AGGREGATOR_HH
 
 #include "stats/launch_result.hh"
+#include "trace/recorder.hh"
 
 namespace warped {
 namespace stats {
@@ -36,18 +37,33 @@ class LaunchAggregator
     void addSm(sm::SmStats &st, const dmr::DmrStats &d);
 
     /**
+     * Fold the launch's structured event stream in: merges the
+     * recorder's per-SM lanes into the (cycle, sm, seq) total order
+     * and accounts recorded/dropped counts. The fold is a pure
+     * function of the recorder contents, so the resulting trace is
+     * byte-identical no matter how many RunPool workers raced.
+     */
+    void addTrace(const trace::Recorder &rec);
+
+    /**
      * Close the aggregation: compute the weighted run-length means,
-     * sort the merged issue trace by cycle, and stamp the launch
-     * outcome. The aggregator is spent afterwards.
+     * sort the merged issue trace by cycle, stamp the launch
+     * outcome, and derive the flat metrics registry from the folded
+     * counters. The aggregator is spent afterwards.
      */
     LaunchResult finish(Cycle cycles, double time_ns, bool hung);
 
   private:
+    /** Derive the flat metrics registry from the folded counters. */
+    void buildMetrics();
+
     unsigned warpSize_;
     LaunchResult result_;
     std::array<Mean, isa::kNumUnitTypes> runMeans_;
     Mean smGap_, laneGap_;
     unsigned rawTrackers_ = 0;
+    std::uint64_t traceRecorded_ = 0;
+    std::uint64_t traceDropped_ = 0;
 };
 
 } // namespace stats

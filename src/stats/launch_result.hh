@@ -18,6 +18,8 @@
 #include "dmr/dmr_stats.hh"
 #include "sm/sm_stats.hh"
 #include "stats/histogram.hh"
+#include "trace/event.hh"
+#include "trace/metrics.hh"
 
 namespace warped {
 namespace stats {
@@ -62,6 +64,22 @@ struct LaunchResult
 
     /** Merged bounded issue trace (cycle-ordered) when enabled. */
     std::vector<sm::TraceEvent> trace;
+
+    /**
+     * Structured cycle-level event stream, merged over SM lanes and
+     * totally ordered by (cycle, sm, seq) — populated when
+     * GpuConfig::traceEvents is set (src/trace). Feed it to
+     * trace::writeChromeTrace for chrome://tracing.
+     */
+    std::vector<trace::Event> events;
+
+    /**
+     * The flat per-run metrics registry: every counter above plus the
+     * DMR ledger and trace bookkeeping under stable dotted names
+     * (sim.*, dmr.*, trace.*). Always populated — it is derived from
+     * the aggregate counters, so it costs nothing per cycle.
+     */
+    trace::MetricsRegistry metrics;
 
     /** §3.4 idle-gap means (when GpuConfig::trackIdleGaps). */
     double meanSmIdleGap = 0.0;

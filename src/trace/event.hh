@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The structured trace-event vocabulary of the observability layer.
+ *
+ * One Event is emitted at every load-bearing seam of the pipeline —
+ * SM issue/commit, the Warped-DMR engine's Algorithm-1 decisions,
+ * ReplayQ push/pop/overflow, RFU forwarding, block dispatch — and is
+ * the oracle the golden-trace and invariant test suites assert
+ * against. Events are POD, timestamped in core-clock cycles, and
+ * deterministic: the same configuration and seed always produce the
+ * same event stream, byte for byte, regardless of host threading.
+ */
+
+#ifndef WARPED_TRACE_EVENT_HH
+#define WARPED_TRACE_EVENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace warped {
+namespace trace {
+
+/** What happened. Names are stable — they appear in golden traces. */
+enum class EventKind : std::uint8_t
+{
+    Issue = 0,      ///< SM issued a warp instruction (a0 = traceId,
+                    ///< a1 = active-thread count)
+    Commit,         ///< destination/writeback ready (cycle = writeback
+                    ///< time, a0 = traceId, a1 = latency in cycles)
+    IntraVerify,    ///< intra-warp (spatial) DMR verified an
+                    ///< instruction (a0 = traceId, a1 = threads)
+    InterVerify,    ///< inter-warp (temporal) DMR verified an
+                    ///< instruction (a0 = traceId, a1 = threads)
+    RfuForward,     ///< RFU paired idle checker lanes to active lanes
+                    ///< (a0 = traceId, a1 = pairs forwarded)
+    ReplayPush,     ///< ReplayQ enqueue (a0 = traceId, a1 = depth
+                    ///< after the push)
+    ReplayPop,      ///< ReplayQ dequeue (a0 = traceId, a1 = depth
+                    ///< after the pop)
+    ReplayOverflow, ///< ReplayQ full with no co-execution partner:
+                    ///< Algorithm 1's forced 1-cycle stall + eager
+                    ///< re-execution (a0 = traceId, a1 = capacity)
+    RawStall,       ///< RAW hazard on an unverified ReplayQ result
+                    ///< (a0 = traceId of the producer, a1 = reg mask)
+    IdleDrain,      ///< idle-cycle verification drain (a0 = traceId)
+    ErrorDetected,  ///< comparator mismatch (a0 = traceId, a1 = slot)
+    BlockDispatch,  ///< block assigned to an SM (a0 = block id)
+    LaunchEnd,      ///< kernel drained (a0 = total cycles, a1 = hung)
+};
+
+constexpr unsigned kNumEventKinds =
+    static_cast<unsigned>(EventKind::LaunchEnd) + 1;
+
+/** Stable lower-snake name used by the exporters and golden files. */
+const char *eventKindName(EventKind k);
+
+/** Chip-level events (dispatch, launch end) use this SM id. */
+constexpr std::uint16_t kChipSm = 0xffff;
+
+/** Events with no meaningful unit carry this. */
+constexpr std::uint8_t kNoUnit = 0xff;
+
+/**
+ * One structured trace event. `seq` is the per-SM emission index the
+ * Recorder assigns; (cycle, sm, seq) totally orders a merged trace.
+ * `a0`/`a1` are kind-specific arguments (see EventKind).
+ */
+struct Event
+{
+    Cycle cycle = 0;
+    std::uint32_t seq = 0;
+    std::uint16_t sm = 0;
+    EventKind kind = EventKind::Issue;
+    std::uint8_t unit = kNoUnit; ///< isa::UnitType index or kNoUnit
+    std::uint32_t warp = 0;
+    Pc pc = 0;
+    std::uint64_t a0 = 0;
+    std::uint64_t a1 = 0;
+};
+
+} // namespace trace
+} // namespace warped
+
+#endif // WARPED_TRACE_EVENT_HH

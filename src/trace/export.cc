@@ -1,0 +1,81 @@
+#include "trace/export.hh"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace warped {
+namespace trace {
+
+namespace {
+
+const char *
+unitLabel(std::uint8_t unit)
+{
+    switch (unit) {
+      case 0: return "SP";
+      case 1: return "SFU";
+      case 2: return "LDST";
+      default: return "-";
+    }
+}
+
+void
+writeProcessMeta(std::ostream &os, std::uint16_t sm,
+                 const std::string &process_label, bool &first)
+{
+    os << (first ? "" : ",\n") << "  {\"name\":\"process_name\","
+       << "\"ph\":\"M\",\"pid\":" << sm << ",\"tid\":0,"
+       << "\"args\":{\"name\":\"" << process_label
+       << (sm == kChipSm ? " chip" : " sm") << "\"}}";
+    first = false;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const std::vector<Event> &events,
+                 const std::string &process_label)
+{
+    os << "{\n\"displayTimeUnit\": \"ns\",\n"
+       << "\"metadata\": {\"timeUnit\": \"core-cycles\"},\n"
+       << "\"traceEvents\": [\n";
+
+    bool first = true;
+    std::set<std::uint16_t> sms;
+    for (const auto &ev : events)
+        sms.insert(ev.sm);
+    for (const auto sm : sms)
+        writeProcessMeta(os, sm, process_label, first);
+
+    for (const auto &ev : events) {
+        os << (first ? "" : ",\n");
+        first = false;
+        os << "  {\"name\":\"" << eventKindName(ev.kind)
+           << "\",\"cat\":\"warped\",\"ph\":\"X\",\"dur\":1"
+           << ",\"ts\":" << ev.cycle << ",\"pid\":" << ev.sm
+           << ",\"tid\":" << ev.warp << ",\"args\":{\"seq\":" << ev.seq
+           << ",\"pc\":" << ev.pc << ",\"unit\":\""
+           << unitLabel(ev.unit) << "\",\"a0\":" << ev.a0
+           << ",\"a1\":" << ev.a1 << "}}";
+    }
+    os << "\n]\n}\n";
+}
+
+std::string
+chromeTraceJson(const std::vector<Event> &events,
+                const std::string &process_label)
+{
+    std::ostringstream os;
+    writeChromeTrace(os, events, process_label);
+    return os.str();
+}
+
+void
+writeMetricsJson(std::ostream &os, const MetricsRegistry &m)
+{
+    os << m.toJson();
+}
+
+} // namespace trace
+} // namespace warped

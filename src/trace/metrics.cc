@@ -1,0 +1,83 @@
+#include "trace/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace warped {
+namespace trace {
+
+std::uint64_t &
+MetricsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+double &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool
+MetricsRegistry::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+bool
+MetricsRegistry::hasGauge(const std::string &name) const
+{
+    return gauges_.count(name) != 0;
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+    for (const auto &[k, v] : other.gauges_) {
+        auto it = gauges_.find(k);
+        if (it == gauges_.end())
+            gauges_[k] = v;
+        else
+            it->second = std::max(it->second, v);
+    }
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n";
+    bool first = true;
+    for (const auto &[k, v] : counters_) {
+        os << (first ? "" : ",\n") << "  \"" << k << "\": " << v;
+        first = false;
+    }
+    for (const auto &[k, v] : gauges_) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", v);
+        os << (first ? "" : ",\n") << "  \"" << k << "\": " << buf;
+        first = false;
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+} // namespace trace
+} // namespace warped

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * trace::MetricsRegistry — named counters and gauges, the flat
+ * per-run metrics surface.
+ *
+ * Counters are monotonically accumulated 64-bit integers; gauges are
+ * point-in-time doubles (coverage, means). Keys iterate in sorted
+ * order (std::map), so the JSON rendering is deterministic and safe
+ * to diff in the golden-trace suite. Merging adds counters and keeps
+ * the maximum of gauges — the semantics every per-SM fold in this
+ * repo needs (sums for activity, peaks for watermarks); derived
+ * gauges such as coverage are stamped once after the fold.
+ */
+
+#ifndef WARPED_TRACE_METRICS_HH
+#define WARPED_TRACE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace warped {
+namespace trace {
+
+class MetricsRegistry
+{
+  public:
+    /** Reference to the named counter, creating it at zero. */
+    std::uint64_t &counter(const std::string &name);
+
+    /** Reference to the named gauge, creating it at zero. */
+    double &gauge(const std::string &name);
+
+    /** Counter value; 0 when absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Gauge value; 0.0 when absent. */
+    double gaugeValue(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+    bool hasGauge(const std::string &name) const;
+
+    const std::map<std::string, std::uint64_t> &
+    counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const
+    {
+        return gauges_;
+    }
+
+    /** Add @p other's counters in; gauges fold by maximum. */
+    void merge(const MetricsRegistry &other);
+
+    /**
+     * One flat JSON object, keys sorted, counters as integers and
+     * gauges with six fractional digits — byte-stable across runs,
+     * worker counts, and compilers.
+     */
+    std::string toJson() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+} // namespace trace
+} // namespace warped
+
+#endif // WARPED_TRACE_METRICS_HH

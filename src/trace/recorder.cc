@@ -1,0 +1,106 @@
+#include "trace/recorder.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace trace {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::Issue: return "issue";
+      case EventKind::Commit: return "commit";
+      case EventKind::IntraVerify: return "intra_verify";
+      case EventKind::InterVerify: return "inter_verify";
+      case EventKind::RfuForward: return "rfu_forward";
+      case EventKind::ReplayPush: return "replay_push";
+      case EventKind::ReplayPop: return "replay_pop";
+      case EventKind::ReplayOverflow: return "replay_overflow";
+      case EventKind::RawStall: return "raw_stall";
+      case EventKind::IdleDrain: return "idle_drain";
+      case EventKind::ErrorDetected: return "error_detected";
+      case EventKind::BlockDispatch: return "block_dispatch";
+      case EventKind::LaunchEnd: return "launch_end";
+    }
+    return "unknown";
+}
+
+Recorder::Recorder(unsigned n_sms, std::size_t capacity)
+    : nSms_(n_sms)
+{
+    lanes_.reserve(n_sms + 1);
+    for (unsigned i = 0; i <= n_sms; ++i)
+        lanes_.emplace_back(capacity);
+    nextSeq_.assign(n_sms + 1, 0);
+}
+
+std::size_t
+Recorder::laneIndex(unsigned sm) const
+{
+    if (sm == kChipSm)
+        return nSms_;
+    if (sm >= nSms_)
+        warped_panic("trace::Recorder: event from SM ", sm,
+                     " but only ", nSms_, " lanes exist");
+    return sm;
+}
+
+void
+Recorder::record(unsigned sm, Event ev)
+{
+    const std::size_t lane = laneIndex(sm);
+    ev.sm = sm == kChipSm ? kChipSm : static_cast<std::uint16_t>(sm);
+    ev.seq = nextSeq_[lane]++;
+    lanes_[lane].push(ev);
+    ++recorded_;
+}
+
+std::vector<Event>
+Recorder::laneSnapshot(unsigned sm) const
+{
+    return lanes_[laneIndex(sm)].snapshot();
+}
+
+std::uint64_t
+Recorder::laneDropped(unsigned sm) const
+{
+    return lanes_[laneIndex(sm)].dropped();
+}
+
+std::uint64_t
+Recorder::dropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lanes_)
+        n += l.dropped();
+    return n;
+}
+
+std::vector<Event>
+Recorder::merged() const
+{
+    std::vector<Event> out;
+    std::size_t total = 0;
+    for (const auto &l : lanes_)
+        total += l.size();
+    out.reserve(total);
+    for (const auto &l : lanes_) {
+        const auto snap = l.snapshot();
+        out.insert(out.end(), snap.begin(), snap.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.sm != b.sm)
+                      return a.sm < b.sm;
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+} // namespace trace
+} // namespace warped

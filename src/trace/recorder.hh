@@ -1,0 +1,79 @@
+/**
+ * @file
+ * trace::Recorder — the per-launch event sink.
+ *
+ * One Recorder belongs to one Gpu launch and is written by that
+ * launch's SMs only; it holds one ring buffer per SM (plus a chip
+ * lane for dispatch/launch events) so recording is a bounded-memory,
+ * append-only operation with no cross-SM coordination. Concurrent
+ * *launches* (sim::RunPool workers) each own a private Recorder, so
+ * the merged trace is deterministic for any worker count.
+ *
+ * Recording costs one pointer test when tracing is disabled: every
+ * instrumented layer holds a `Recorder *` that stays nullptr unless
+ * arch::GpuConfig::traceEvents is set.
+ */
+
+#ifndef WARPED_TRACE_RECORDER_HH
+#define WARPED_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.hh"
+#include "trace/ring_buffer.hh"
+
+namespace warped {
+namespace trace {
+
+class Recorder
+{
+  public:
+    /**
+     * @param n_sms    SM lanes to allocate (chip events get one more)
+     * @param capacity per-lane ring capacity; 0 = unbounded
+     */
+    Recorder(unsigned n_sms, std::size_t capacity);
+
+    unsigned numSms() const { return nSms_; }
+
+    /**
+     * Record one event on @p sm's lane (kChipSm for chip-level
+     * events). The per-lane sequence number is assigned here; the
+     * caller fills every other field.
+     */
+    void record(unsigned sm, Event ev);
+
+    /** Events one lane kept, oldest-first. */
+    std::vector<Event> laneSnapshot(unsigned sm) const;
+
+    /** Events one lane overwrote (bounded mode only). */
+    std::uint64_t laneDropped(unsigned sm) const;
+
+    /** Total events recorded (kept + dropped), all lanes. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Total events overwritten, all lanes. */
+    std::uint64_t dropped() const;
+
+    /**
+     * All lanes merged into one stream, totally ordered by
+     * (cycle, sm, seq) — the canonical trace the exporters and the
+     * golden suite consume. Chip-lane events order with sm = kChipSm
+     * (after every real SM at the same cycle).
+     */
+    std::vector<Event> merged() const;
+
+  private:
+    std::size_t laneIndex(unsigned sm) const;
+
+    unsigned nSms_;
+    std::uint64_t recorded_ = 0;
+    std::vector<RingBuffer<Event>> lanes_; ///< [0..nSms) + chip lane
+    std::vector<std::uint32_t> nextSeq_;
+};
+
+} // namespace trace
+} // namespace warped
+
+#endif // WARPED_TRACE_RECORDER_HH

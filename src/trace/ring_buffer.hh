@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A fixed-capacity ring buffer that keeps the most recent N pushes
+ * and counts what it dropped. Capacity 0 means unbounded (the test
+ * suites use it so coverage-ledger invariants see every event).
+ */
+
+#ifndef WARPED_TRACE_RING_BUFFER_HH
+#define WARPED_TRACE_RING_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace warped {
+namespace trace {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    bool unbounded() const { return capacity_ == 0; }
+    std::uint64_t dropped() const { return dropped_; }
+
+    void
+    push(T v)
+    {
+        if (unbounded()) {
+            items_.push_back(std::move(v));
+            return;
+        }
+        if (items_.size() < capacity_) {
+            items_.push_back(std::move(v));
+            return;
+        }
+        // Overwrite the oldest entry; `head_` marks the logical start.
+        items_[head_] = std::move(v);
+        head_ = (head_ + 1) % capacity_;
+        ++dropped_;
+    }
+
+    /** Contents oldest-first (unwraps the ring). */
+    std::vector<T>
+    snapshot() const
+    {
+        std::vector<T> out;
+        out.reserve(items_.size());
+        for (std::size_t i = 0; i < items_.size(); ++i)
+            out.push_back(items_[(head_ + i) % items_.size()]);
+        return out;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::vector<T> items_;
+};
+
+} // namespace trace
+} // namespace warped
+
+#endif // WARPED_TRACE_RING_BUFFER_HH

@@ -11,6 +11,7 @@
 #include "dmr/dmr_engine.hh"
 #include "fault/fault_injector.hh"
 #include "mem/memory.hh"
+#include "trace/recorder.hh"
 
 using namespace warped;
 using dmr::DmrConfig;
@@ -314,4 +315,74 @@ TEST_F(EngineFixture, LaneShuffleSendsCheckerToDifferentLane)
     ASSERT_FALSE(e.stats().errorLog.empty());
     const auto &ev = e.stats().errorLog.front();
     EXPECT_NE(ev.checkerLane, ev.primaryLane);
+}
+
+TEST_F(EngineFixture, ReplayQueueOverflowForcesEagerStall)
+{
+    // The Algorithm-1 overflow path: a full 10-entry ReplayQ with no
+    // different-type co-execution candidate forces the one-cycle
+    // stall + eager re-execution of §4.3.1.
+    auto e = makeEngine(DmrConfig::paperDefault()); // replayQSize = 10
+    trace::Recorder recorder(1, 0);
+    e.attachRecorder(&recorder);
+
+    // 11 full-mask same-type issues: the first becomes pending, each
+    // later issue pushes its predecessor into the queue until all 10
+    // entries are occupied (and one instruction is still pending).
+    Cycle now = 0;
+    for (unsigned w = 0; w < 11; ++w)
+        EXPECT_EQ(e.onIssue(rec(isa::Opcode::IADD, 32, w), now++), 0u);
+    EXPECT_EQ(e.replayQueueSize(), 10u);
+    EXPECT_EQ(e.stats().enqueues, 10u);
+    EXPECT_TRUE(e.hasPending());
+    EXPECT_EQ(e.stats().interVerifiedThreads, 0u); // nothing drained
+
+    // One more same-type issue: queue full, every queued entry is the
+    // same type as the busy unit, so nothing can co-execute -> the
+    // pending instruction is eagerly re-executed behind a forced
+    // 1-cycle stall, and the queue is NOT flushed (depth stays 10).
+    const auto stall = e.onIssue(rec(isa::Opcode::IADD, 32, 11), now);
+    EXPECT_EQ(stall, 1u);
+    EXPECT_EQ(e.stats().eagerStalls, 1u);
+    EXPECT_EQ(e.stats().interVerifiedThreads, 32u);
+    EXPECT_EQ(e.replayQueueSize(), 10u);
+    EXPECT_TRUE(e.hasPending()); // the new instruction took the slot
+
+    // The event stream tells the same story: ten pushes whose depths
+    // climb 1..10, no pops, and exactly one overflow stamped with the
+    // configured capacity.
+    unsigned pushes = 0, pops = 0, overflows = 0;
+    for (const auto &ev : recorder.laneSnapshot(0)) {
+        switch (ev.kind) {
+          case trace::EventKind::ReplayPush:
+            EXPECT_EQ(ev.a1, ++pushes);
+            break;
+          case trace::EventKind::ReplayPop:
+            ++pops;
+            break;
+          case trace::EventKind::ReplayOverflow:
+            ++overflows;
+            EXPECT_EQ(ev.a1, 10u);
+            break;
+          default:
+            break;
+        }
+    }
+    EXPECT_EQ(pushes, 10u);
+    EXPECT_EQ(pops, 0u);
+    EXPECT_EQ(overflows, 1u);
+
+    // A different-type issue afterwards unblocks verification again:
+    // the pending SP instruction co-executes for free against the
+    // idle SP units — no further stalls even though the queue is
+    // still at capacity.
+    EXPECT_EQ(e.onIssue(rec(isa::Opcode::LDG, 32, 12), now + 1), 0u);
+    EXPECT_EQ(e.stats().coexecVerifications, 1u);
+    EXPECT_EQ(e.stats().eagerStalls, 1u);
+
+    // Idle cycles then drain the backlog one entry at a time.
+    Cycle t = now + 2;
+    while (e.replayQueueSize() > 0 || e.hasPending())
+        e.onIdleCycle(t++);
+    EXPECT_EQ(e.replayQueueSize(), 0u);
 }

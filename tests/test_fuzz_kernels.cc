@@ -13,139 +13,16 @@
 #include <vector>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
 #include "gpu/gpu.hh"
-#include "isa/kernel_builder.hh"
+#include "kernel_fuzzer.hh"
 
 using namespace warped;
-using isa::KernelBuilder;
-using isa::Reg;
+using testutil::KernelFuzzer;
 
 namespace {
 
 constexpr unsigned kThreads = 64;
 constexpr unsigned kOutWords = kThreads;
-
-/**
- * Random structured-kernel generator. Produces terminating programs:
- * loops are counted with small immediate bounds, and all control flow
- * comes from the builder's structured helpers.
- */
-class KernelFuzzer
-{
-  public:
-    explicit KernelFuzzer(std::uint64_t seed) : rng_(seed) {}
-
-    isa::Program
-    generate(Addr out)
-    {
-        KernelBuilder kb("fuzz", 24);
-        // r0..r5: value registers, r6: tid-derived, r7: scratch.
-        for (unsigned i = 0; i < 6; ++i)
-            vals_.push_back(kb.reg());
-        const Reg tid = kb.reg();
-        scratch_ = kb.reg();
-        kb.s2r(tid, isa::SpecialReg::Gtid);
-        for (unsigned i = 0; i < 6; ++i) {
-            // Mix the thread id in so lanes diverge on data.
-            kb.iaddi(vals_[i], tid,
-                     static_cast<std::int32_t>(rng_.nextBelow(97)));
-        }
-
-        emitBlock(kb, /*depth*/ 0);
-
-        // Fold everything into one output word per thread.
-        const Reg acc = kb.reg(), addr = kb.reg();
-        kb.movi(acc, 0);
-        for (const Reg v : vals_)
-            kb.xor_(acc, acc, v);
-        kb.shli(addr, tid, 2);
-        kb.iaddi(addr, addr, static_cast<std::int32_t>(out));
-        kb.stg(addr, acc);
-        return kb.build();
-    }
-
-  private:
-    Reg
-    pick()
-    {
-        return vals_[rng_.nextBelow(vals_.size())];
-    }
-
-    void
-    emitArith(KernelBuilder &kb)
-    {
-        const Reg d = pick(), a = pick(), b = pick();
-        switch (rng_.nextBelow(10)) {
-          case 0: kb.iadd(d, a, b); break;
-          case 1: kb.isub(d, a, b); break;
-          case 2: kb.imul(d, a, b); break;
-          case 3: kb.xor_(d, a, b); break;
-          case 4: kb.and_(d, a, b); break;
-          case 5: kb.imax(d, a, b); break;
-          case 6:
-            kb.shli(d, a, static_cast<std::int32_t>(
-                              1 + rng_.nextBelow(4)));
-            break;
-          case 7:
-            // Cross-lane traffic inside possibly-divergent regions:
-            // the shuffle fallback semantics get a workout.
-            kb.shflXor(d, a, static_cast<std::int32_t>(
-                                 1u << rng_.nextBelow(5)));
-            break;
-          case 8:
-            kb.shflDown(d, a, static_cast<std::int32_t>(
-                                  1 + rng_.nextBelow(7)));
-            break;
-          default:
-            kb.iaddi(d, a, static_cast<std::int32_t>(
-                               rng_.nextBelow(31)) -
-                               15);
-            break;
-        }
-    }
-
-    void
-    emitBlock(KernelBuilder &kb, unsigned depth)
-    {
-        const unsigned stmts = 2 + rng_.nextBelow(4);
-        for (unsigned i = 0; i < stmts; ++i) {
-            const auto roll = rng_.nextBelow(10);
-            if (depth == 0 && roll == 9) {
-                // Block-wide barrier (only legal at full convergence).
-                kb.bar();
-                continue;
-            }
-            if (depth < 3 && roll < 2) {
-                // Divergent if/else on a data-dependent predicate.
-                const Reg p = scratch_;
-                kb.andi(p, pick(), static_cast<std::int32_t>(
-                                       1 + rng_.nextBelow(7)));
-                if (rng_.nextBool()) {
-                    kb.ifThenElse(
-                        p, [&] { emitBlock(kb, depth + 1); },
-                        [&] { emitBlock(kb, depth + 1); });
-                } else {
-                    kb.ifThen(p, [&] { emitBlock(kb, depth + 1); });
-                }
-            } else if (depth < 2 && roll == 2) {
-                // Bounded counted loop (possibly divergent inside).
-                const Reg i_reg = kb.reg();
-                const Reg lim = kb.reg();
-                kb.movi(lim, static_cast<std::int32_t>(
-                                 1 + rng_.nextBelow(5)));
-                kb.forCounter(i_reg, 0, lim, 1,
-                              [&] { emitBlock(kb, depth + 1); });
-            } else {
-                emitArith(kb);
-            }
-        }
-    }
-
-    Rng rng_;
-    std::vector<Reg> vals_;
-    Reg scratch_;
-};
 
 std::vector<std::uint32_t>
 runImage(const isa::Program &prog, const dmr::DmrConfig &d,

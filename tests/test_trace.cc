@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests: the observability layer's building blocks — the ring
+ * buffer, the per-launch event Recorder, the metrics registry, and
+ * the exporters. Whole-pipeline trace semantics (pairing, golden
+ * diffs) live in test_trace_golden.cc / test_trace_invariants.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "trace/export.hh"
+#include "trace/metrics.hh"
+#include "trace/recorder.hh"
+#include "trace/ring_buffer.hh"
+
+using namespace warped;
+
+namespace {
+
+trace::Event
+ev(Cycle cycle, trace::EventKind kind, std::uint64_t a0 = 0,
+   std::uint64_t a1 = 0)
+{
+    trace::Event e;
+    e.cycle = cycle;
+    e.kind = kind;
+    e.a0 = a0;
+    e.a1 = a1;
+    return e;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- //
+// RingBuffer
+// ---------------------------------------------------------------- //
+
+TEST(RingBuffer, UnboundedKeepsEverything)
+{
+    trace::RingBuffer<int> rb(0);
+    EXPECT_TRUE(rb.unbounded());
+    for (int i = 0; i < 1000; ++i)
+        rb.push(i);
+    EXPECT_EQ(rb.size(), 1000u);
+    EXPECT_EQ(rb.dropped(), 0u);
+    const auto snap = rb.snapshot();
+    ASSERT_EQ(snap.size(), 1000u);
+    EXPECT_EQ(snap.front(), 0);
+    EXPECT_EQ(snap.back(), 999);
+}
+
+TEST(RingBuffer, BoundedKeepsMostRecentAndCountsDrops)
+{
+    trace::RingBuffer<int> rb(4);
+    for (int i = 0; i < 10; ++i)
+        rb.push(i);
+    EXPECT_EQ(rb.size(), 4u);
+    EXPECT_EQ(rb.dropped(), 6u);
+    // The snapshot unwraps the ring: oldest surviving entry first.
+    const auto snap = rb.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap, (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingBuffer, BoundedBelowCapacityDropsNothing)
+{
+    trace::RingBuffer<int> rb(8);
+    rb.push(1);
+    rb.push(2);
+    EXPECT_EQ(rb.size(), 2u);
+    EXPECT_EQ(rb.dropped(), 0u);
+    EXPECT_EQ(rb.snapshot(), (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------- //
+// Recorder
+// ---------------------------------------------------------------- //
+
+TEST(Recorder, AssignsPerLaneSequenceAndStampsSm)
+{
+    trace::Recorder rec(2, 0);
+    rec.record(0, ev(5, trace::EventKind::Issue));
+    rec.record(0, ev(6, trace::EventKind::Commit));
+    rec.record(1, ev(5, trace::EventKind::Issue));
+
+    const auto lane0 = rec.laneSnapshot(0);
+    ASSERT_EQ(lane0.size(), 2u);
+    EXPECT_EQ(lane0[0].seq, 0u);
+    EXPECT_EQ(lane0[1].seq, 1u);
+    EXPECT_EQ(lane0[0].sm, 0u);
+
+    const auto lane1 = rec.laneSnapshot(1);
+    ASSERT_EQ(lane1.size(), 1u);
+    EXPECT_EQ(lane1[0].seq, 0u); // sequences are per-lane
+    EXPECT_EQ(lane1[0].sm, 1u);
+    EXPECT_EQ(rec.recorded(), 3u);
+}
+
+TEST(Recorder, MergedOrdersByCycleThenSmThenSeq)
+{
+    trace::Recorder rec(2, 0);
+    // Interleave lanes and cycles out of global order; per-lane
+    // streams are still cycle-monotonic as in a real launch.
+    rec.record(1, ev(1, trace::EventKind::Issue, 101));
+    rec.record(0, ev(1, trace::EventKind::Issue, 100));
+    rec.record(0, ev(1, trace::EventKind::Commit, 100));
+    rec.record(trace::kChipSm, ev(1, trace::EventKind::BlockDispatch));
+    rec.record(0, ev(2, trace::EventKind::Issue, 102));
+
+    const auto m = rec.merged();
+    ASSERT_EQ(m.size(), 5u);
+    // cycle 1: sm0 (seq 0, 1), then sm1, then the chip lane.
+    EXPECT_EQ(m[0].sm, 0u);
+    EXPECT_EQ(m[0].a0, 100u);
+    EXPECT_EQ(m[1].sm, 0u);
+    EXPECT_EQ(m[1].kind, trace::EventKind::Commit);
+    EXPECT_EQ(m[2].sm, 1u);
+    EXPECT_EQ(m[3].sm, trace::kChipSm);
+    // cycle 2 last.
+    EXPECT_EQ(m[4].cycle, 2u);
+}
+
+TEST(Recorder, BoundedLanesDropIndependently)
+{
+    trace::Recorder rec(2, 2);
+    for (Cycle c = 0; c < 5; ++c)
+        rec.record(0, ev(c, trace::EventKind::Issue));
+    rec.record(1, ev(0, trace::EventKind::Issue));
+
+    EXPECT_EQ(rec.laneDropped(0), 3u);
+    EXPECT_EQ(rec.laneDropped(1), 0u);
+    EXPECT_EQ(rec.dropped(), 3u);
+    EXPECT_EQ(rec.recorded(), 6u); // kept + dropped
+    // Sequence numbers survive the drops: the kept lane-0 events are
+    // the last two emissions.
+    const auto lane0 = rec.laneSnapshot(0);
+    ASSERT_EQ(lane0.size(), 2u);
+    EXPECT_EQ(lane0[0].seq, 3u);
+    EXPECT_EQ(lane0[1].seq, 4u);
+}
+
+TEST(Recorder, OutOfRangeSmPanics)
+{
+    setVerbose(false);
+    trace::Recorder rec(2, 0);
+    EXPECT_THROW(rec.record(2, ev(0, trace::EventKind::Issue)),
+                 std::logic_error);
+}
+
+TEST(Recorder, EventKindNamesAreStable)
+{
+    // Golden traces bake these strings in; renaming one is a
+    // golden-breaking change and must be deliberate.
+    using K = trace::EventKind;
+    EXPECT_STREQ(trace::eventKindName(K::Issue), "issue");
+    EXPECT_STREQ(trace::eventKindName(K::Commit), "commit");
+    EXPECT_STREQ(trace::eventKindName(K::IntraVerify), "intra_verify");
+    EXPECT_STREQ(trace::eventKindName(K::InterVerify), "inter_verify");
+    EXPECT_STREQ(trace::eventKindName(K::RfuForward), "rfu_forward");
+    EXPECT_STREQ(trace::eventKindName(K::ReplayPush), "replay_push");
+    EXPECT_STREQ(trace::eventKindName(K::ReplayPop), "replay_pop");
+    EXPECT_STREQ(trace::eventKindName(K::ReplayOverflow),
+                 "replay_overflow");
+    EXPECT_STREQ(trace::eventKindName(K::RawStall), "raw_stall");
+    EXPECT_STREQ(trace::eventKindName(K::IdleDrain), "idle_drain");
+    EXPECT_STREQ(trace::eventKindName(K::ErrorDetected),
+                 "error_detected");
+    EXPECT_STREQ(trace::eventKindName(K::BlockDispatch),
+                 "block_dispatch");
+    EXPECT_STREQ(trace::eventKindName(K::LaunchEnd), "launch_end");
+}
+
+// ---------------------------------------------------------------- //
+// MetricsRegistry
+// ---------------------------------------------------------------- //
+
+TEST(MetricsRegistry, CountersAndGaugesCreateAtZero)
+{
+    trace::MetricsRegistry m;
+    EXPECT_FALSE(m.hasCounter("a"));
+    EXPECT_EQ(m.counterValue("a"), 0u);
+    m.counter("a") += 3;
+    EXPECT_TRUE(m.hasCounter("a"));
+    EXPECT_EQ(m.counterValue("a"), 3u);
+
+    EXPECT_FALSE(m.hasGauge("g"));
+    m.gauge("g") = 0.5;
+    EXPECT_TRUE(m.hasGauge("g"));
+    EXPECT_DOUBLE_EQ(m.gaugeValue("g"), 0.5);
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndMaxesGauges)
+{
+    trace::MetricsRegistry a, b;
+    a.counter("n") = 2;
+    a.counter("onlyA") = 1;
+    a.gauge("peak") = 0.3;
+    b.counter("n") = 5;
+    b.counter("onlyB") = 7;
+    b.gauge("peak") = 0.9;
+    b.gauge("onlyB") = 1.5;
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("n"), 7u);
+    EXPECT_EQ(a.counterValue("onlyA"), 1u);
+    EXPECT_EQ(a.counterValue("onlyB"), 7u);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("peak"), 0.9);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("onlyB"), 1.5);
+}
+
+TEST(MetricsRegistry, JsonIsSortedAndFixedPrecision)
+{
+    trace::MetricsRegistry m;
+    m.counter("z.count") = 42;
+    m.counter("a.count") = 1;
+    m.gauge("m.cover") = 0.96425;
+
+    // Counters render first (sorted), then gauges (sorted) — a
+    // stable total order the golden suite can diff byte-for-byte.
+    const std::string json = m.toJson();
+    const auto a = json.find("\"a.count\": 1");
+    const auto z = json.find("\"z.count\": 42");
+    const auto cov = json.find("\"m.cover\": 0.964250");
+    EXPECT_NE(a, std::string::npos);
+    EXPECT_NE(z, std::string::npos);
+    EXPECT_NE(cov, std::string::npos);
+    EXPECT_LT(a, z);
+    EXPECT_LT(z, cov);
+}
+
+// ---------------------------------------------------------------- //
+// Exporters
+// ---------------------------------------------------------------- //
+
+TEST(Export, ChromeTraceHasMetadataAndOneLinePerEvent)
+{
+    std::vector<trace::Event> events;
+    auto e = ev(3, trace::EventKind::Issue, 7, 32);
+    e.sm = 1;
+    e.warp = 2;
+    e.pc = 4;
+    e.unit = 0; // SP
+    events.push_back(e);
+    auto c = ev(9, trace::EventKind::BlockDispatch, 0, 1);
+    c.sm = trace::kChipSm;
+    events.push_back(c);
+
+    const std::string json = trace::chromeTraceJson(events, "unit");
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"timeUnit\": \"core-cycles\""),
+              std::string::npos);
+    // One process_name metadata record per distinct SM id.
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"unit sm\""), std::string::npos);
+    EXPECT_NE(json.find("\"unit chip\""), std::string::npos);
+    // The issue event with its kind-specific args.
+    EXPECT_NE(json.find("\"name\":\"issue\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"unit\":\"SP\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"block_dispatch\""),
+              std::string::npos);
+
+    // Stream and string renderings agree.
+    std::ostringstream os;
+    trace::writeChromeTrace(os, events, "unit");
+    EXPECT_EQ(os.str(), json);
+}
+
+TEST(Export, MetricsJsonMatchesRegistryRendering)
+{
+    trace::MetricsRegistry m;
+    m.counter("x") = 9;
+    std::ostringstream os;
+    trace::writeMetricsJson(os, m);
+    EXPECT_EQ(os.str(), m.toJson());
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Property tests on the structured event traces of randomly generated
+ * kernels (the shared KernelFuzzer): invariants that must hold for
+ * every program the simulator can run, not just the Table-4
+ * workloads.
+ *
+ *  - The ReplayQ depth reconstructed from push/pop events never
+ *    exceeds the configured capacity, and agrees with the
+ *    dmr.replayQPeak watermark in the metrics registry.
+ *  - Every DMR verification event (intra, inter, drain) carries the
+ *    traceId of exactly one issue event — verification is never
+ *    invented and never double-attributed.
+ *  - The merged trace is byte-identical whether launches run inline
+ *    (--jobs 1) or race across a worker pool (--jobs 8).
+ *  - Bounded ring lanes drop oldest-first and account every drop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gpu/gpu.hh"
+#include "kernel_fuzzer.hh"
+#include "sim/run_pool.hh"
+#include "trace/export.hh"
+
+using namespace warped;
+using testutil::KernelFuzzer;
+
+namespace {
+
+constexpr unsigned kThreads = 64;
+
+arch::GpuConfig
+traceCfg()
+{
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 2;
+    cfg.traceEvents = true;
+    return cfg;
+}
+
+stats::LaunchResult
+runTraced(std::uint64_t seed, const arch::GpuConfig &cfg,
+          const dmr::DmrConfig &d)
+{
+    KernelFuzzer fuzz(seed);
+    gpu::Gpu g(cfg, d);
+    const Addr out = g.allocator().alloc(kThreads * 4);
+    const isa::Program prog = fuzz.generate(out);
+    return g.launch(prog, 1, kThreads);
+}
+
+} // namespace
+
+class TraceInvariants : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceInvariants, ReplayDepthNeverExceedsCapacity)
+{
+    setVerbose(false);
+    const auto d = dmr::DmrConfig::paperDefault();
+    const auto r = runTraced(GetParam(), traceCfg(), d);
+
+    // Reconstruct each SM's queue depth from the event stream alone:
+    // a1 of push/pop events is the depth after the operation.
+    std::map<std::uint16_t, std::uint64_t> depth;
+    for (const auto &ev : r.events) {
+        if (ev.kind == trace::EventKind::ReplayPush) {
+            EXPECT_EQ(ev.a1, depth[ev.sm] + 1);
+            depth[ev.sm] = ev.a1;
+        } else if (ev.kind == trace::EventKind::ReplayPop) {
+            ASSERT_GT(depth[ev.sm], 0u);
+            EXPECT_EQ(ev.a1, depth[ev.sm] - 1);
+            depth[ev.sm] = ev.a1;
+        }
+        if (ev.kind == trace::EventKind::ReplayPush ||
+            ev.kind == trace::EventKind::ReplayPop) {
+            EXPECT_LE(ev.a1, d.replayQSize);
+        }
+    }
+    // The watermark the metrics registry reports is the max depth any
+    // event stream reached, and is itself capacity-bounded.
+    EXPECT_LE(r.metrics.counterValue("dmr.replayQPeak"),
+              d.replayQSize);
+}
+
+TEST_P(TraceInvariants, EveryVerificationPairsWithOneIssue)
+{
+    setVerbose(false);
+    const auto r =
+        runTraced(GetParam(), traceCfg(), dmr::DmrConfig::paperDefault());
+
+    // traceIds are unique per issue by construction; collect them.
+    std::map<std::uint64_t, unsigned> issued;
+    for (const auto &ev : r.events) {
+        if (ev.kind == trace::EventKind::Issue) {
+            EXPECT_NE(ev.a0, 0u); // 0 = "never stamped"
+            ++issued[ev.a0];
+        }
+    }
+    for (const auto &kv : issued)
+        EXPECT_EQ(kv.second, 1u)
+            << "traceId " << kv.first << " issued twice";
+
+    // Every verification/queue event refers to exactly one of them.
+    for (const auto &ev : r.events) {
+        switch (ev.kind) {
+          case trace::EventKind::IntraVerify:
+          case trace::EventKind::InterVerify:
+          case trace::EventKind::RfuForward:
+          case trace::EventKind::ReplayPush:
+          case trace::EventKind::ReplayPop:
+            EXPECT_EQ(issued.count(ev.a0), 1u)
+                << trace::eventKindName(ev.kind)
+                << " references unknown traceId " << ev.a0;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // And no instruction is inter-warp verified more than once: a
+    // ReplayQ entry leaves the queue exactly once.
+    std::map<std::uint64_t, unsigned> interVerified;
+    for (const auto &ev : r.events)
+        if (ev.kind == trace::EventKind::InterVerify)
+            ++interVerified[ev.a0];
+    for (const auto &kv : interVerified)
+        EXPECT_EQ(kv.second, 1u)
+            << "traceId " << kv.first << " inter-verified twice";
+}
+
+TEST_P(TraceInvariants, HasOneLaunchEndAndIsOrdered)
+{
+    setVerbose(false);
+    const auto r =
+        runTraced(GetParam(), traceCfg(), dmr::DmrConfig::paperDefault());
+    ASSERT_FALSE(r.events.empty());
+
+    // Exactly one launch_end, on the chip lane, stamped with the
+    // final cycle. Commit events may sort after it: they carry the
+    // writeback-ready cycle, which can land past the drain point.
+    std::size_t launchEnds = 0;
+    for (std::size_t i = 0; i < r.events.size(); ++i) {
+        const auto &ev = r.events[i];
+        if (ev.kind == trace::EventKind::LaunchEnd) {
+            ++launchEnds;
+            EXPECT_EQ(ev.sm, trace::kChipSm);
+            EXPECT_EQ(ev.a0, r.cycles);
+            for (std::size_t j = i + 1; j < r.events.size(); ++j)
+                EXPECT_EQ(r.events[j].kind, trace::EventKind::Commit);
+        }
+    }
+    EXPECT_EQ(launchEnds, 1u);
+
+    for (std::size_t i = 1; i < r.events.size(); ++i) {
+        const auto &a = r.events[i - 1], &b = r.events[i];
+        const bool ordered =
+            a.cycle < b.cycle ||
+            (a.cycle == b.cycle &&
+             (a.sm < b.sm || (a.sm == b.sm && a.seq < b.seq)));
+        ASSERT_TRUE(ordered) << "merge order violated at index " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceInvariants,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(TraceDeterminism, ByteIdenticalAcrossJobCounts)
+{
+    setVerbose(false);
+    constexpr std::size_t kRuns = 8;
+
+    // The experiment-plane pattern: pre-sized slots, one private Gpu
+    // per task, folded in index order.
+    auto campaign = [&](unsigned jobs) {
+        std::vector<std::string> traces(kRuns);
+        std::vector<std::string> metrics(kRuns);
+        sim::RunPool pool(jobs);
+        pool.parallelFor(kRuns, [&](std::size_t i) {
+            const auto r =
+                runTraced(100 + i, traceCfg(),
+                          dmr::DmrConfig::paperDefault());
+            traces[i] = trace::chromeTraceJson(r.events, "fuzz");
+            metrics[i] = r.metrics.toJson();
+        });
+        const auto c = pool.counters();
+        EXPECT_EQ(c.submitted, kRuns);
+        EXPECT_EQ(c.completed, kRuns);
+        EXPECT_EQ(c.failed, 0u);
+        return std::make_pair(traces, metrics);
+    };
+
+    const auto seq = campaign(1);
+    const auto par = campaign(8);
+    for (std::size_t i = 0; i < kRuns; ++i) {
+        EXPECT_EQ(seq.first[i], par.first[i])
+            << "trace for run " << i << " differs across job counts";
+        EXPECT_EQ(seq.second[i], par.second[i])
+            << "metrics for run " << i << " differ across job counts";
+    }
+    // Traces are non-trivial (the comparison above isn't vacuous).
+    EXPECT_GT(seq.first[0].size(), 1000u);
+}
+
+TEST(TraceBounded, RingCapacityDropsOldestAndAccounts)
+{
+    setVerbose(false);
+    auto cfg = traceCfg();
+    cfg.traceRingCapacity = 64; // per SM lane (plus the chip lane)
+    const auto r =
+        runTraced(1, cfg, dmr::DmrConfig::paperDefault());
+
+    const auto recorded = r.metrics.counterValue("trace.recorded");
+    const auto dropped = r.metrics.counterValue("trace.dropped");
+    const auto merged = r.metrics.counterValue("trace.merged");
+    EXPECT_EQ(merged, r.events.size());
+    EXPECT_EQ(recorded, merged + dropped);
+    EXPECT_GT(dropped, 0u); // a fuzz run easily overflows 64/lane
+    EXPECT_LE(r.events.size(), (cfg.numSms + 1) * 64u);
+
+    // What survives is the tail of each lane: the launch_end event
+    // is always present (it is the last chip-lane emission, so the
+    // ring can never have overwritten it).
+    bool sawEnd = false;
+    for (const auto &ev : r.events)
+        sawEnd |= ev.kind == trace::EventKind::LaunchEnd;
+    EXPECT_TRUE(sawEnd);
+}

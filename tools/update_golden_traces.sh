@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerate the golden-trace suite's reference files
+# (tests/golden/*.json) after an intentional change to issue order,
+# DMR scheduling, the event vocabulary, or the exporters.
+#
+# Builds test_trace_golden in ./build (configuring if needed), runs it
+# in update mode, then re-runs it in check mode so a non-deterministic
+# regeneration can never be committed silently. Review the resulting
+# golden diff in the commit.
+#
+# Usage: tools/update_golden_traces.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+[ -f "$BUILD/CMakeCache.txt" ] || cmake -B "$BUILD" -S .
+cmake --build "$BUILD" --target test_trace_golden -j "$(nproc)"
+
+WARPED_UPDATE_GOLDEN=1 "$BUILD/tests/test_trace_golden"
+"$BUILD/tests/test_trace_golden"
+
+echo "golden traces updated; review with: git diff tests/golden"
