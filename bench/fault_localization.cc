@@ -4,14 +4,15 @@
  * granularity of a single SP, a detected permanent fault can be
  * pinned to its (SM, lane) — whereas SM- or chip-level duplication
  * can only say "somewhere in this SM/chip" and must disable the whole
- * unit. This harness injects random stuck-at faults and scores how
- * often the error log's arbitration verdicts name the faulty core.
+ * unit. This harness samples stuck-at sites from the
+ * fault::FaultSiteSpace and scores how often the error log's
+ * arbitration verdicts name the faulty core.
  */
 
 #include <map>
 
 #include "bench/bench_util.hh"
-#include "fault/fault_injector.hh"
+#include "fault/site_space.hh"
 
 using namespace warped;
 
@@ -41,22 +42,22 @@ main(int argc, char **argv)
     auto dcfg = dmr::DmrConfig::paperDefault();
     dcfg.arbitrateErrors = true;
 
-    // Draw every fault spec up front from the single master stream so
-    // the spec sequence is independent of the worker count.
-    Rng rng(0xCAFE);
+    // The permanent-fault slice of the site space: every
+    // (SM, lane, bit) with a whole-run stuck-at-1 window. Site draws
+    // derive from (seed, run index) alone, so the spec sequence is
+    // independent of the worker count.
+    fault::SiteSpaceConfig sc;
+    sc.numSms = cfg.numSms;
+    sc.warpSize = cfg.warpSize;
+    sc.kinds = {fault::FaultKind::StuckAtOne};
+    const fault::FaultSiteSpace space(sc, /*span=*/0);
     constexpr unsigned kRuns = 40;
-    std::vector<fault::FaultSpec> specs(kRuns);
-    for (auto &spec : specs) {
-        spec.kind = fault::FaultKind::StuckAtOne;
-        spec.sm = static_cast<unsigned>(rng.nextBelow(cfg.numSms));
-        spec.lane = static_cast<unsigned>(rng.nextBelow(cfg.warpSize));
-        spec.bit = static_cast<unsigned>(rng.nextBelow(32));
-    }
+    constexpr std::uint64_t kSeed = 0xCAFE;
 
     std::vector<Verdict> verdicts(kRuns);
     sim::RunPool pool(jobs);
     pool.parallelFor(kRuns, [&](std::size_t run) {
-        const auto &spec = specs[run];
+        const auto spec = space.site(space.sampleIndex(kSeed, run));
         fault::FaultInjector injector;
         injector.add(spec);
 
@@ -95,6 +96,8 @@ main(int argc, char **argv)
         localized += v.localized;
     }
 
+    std::printf("stuck-at sites in the space: %llu\n",
+                static_cast<unsigned long long>(space.size()));
     std::printf("stuck-at faults injected: %u\n", kRuns);
     std::printf("detected:                 %u\n", detected);
     std::printf("correctly localized:      %u (%.0f%% of detected)\n",

@@ -1,13 +1,15 @@
 /**
  * @file
  * SDC rate vs raw fault rate: sweep a per-value corruption
- * probability and compare outcomes on the unprotected machine versus
- * Warped-DMR. The quantitative version of the paper's opening claim —
- * error detection turns silent data corruptions (SDC) into detectable
- * events (DUE).
+ * probability and compare outcome classes on the unprotected machine
+ * versus Warped-DMR, using the campaign engine's Masked/Detected/
+ * SDC/DUE taxonomy and Wilson intervals. The quantitative version of
+ * the paper's opening claim — error detection turns silent data
+ * corruptions (SDC) into detectable events (DUE).
  */
 
 #include "bench/bench_util.hh"
+#include "fault/campaign_engine.hh"
 #include "fault/fault_injector.hh"
 
 using namespace warped;
@@ -17,9 +19,8 @@ namespace {
 /** Outcome of one (run, protect) cell, folded after the fan-out. */
 struct Cell
 {
-    bool detected = false;
-    bool hung = false;
-    bool good = false;
+    fault::OutcomeClass cls = fault::OutcomeClass::Masked;
+    bool activated = false;
 };
 
 } // namespace
@@ -30,17 +31,18 @@ main(int argc, char **argv)
     setVerbose(false);
     const unsigned jobs = bench::parseJobs(argc, argv);
     bench::printHeader("Fault-rate sweep",
-                       "Outcome vs per-value corruption probability "
-                       "(SCAN, 20 runs per point)");
+                       "Outcome class vs per-value corruption "
+                       "probability (SCAN, 20 runs per point)");
 
     auto cfg = arch::GpuConfig::testDefault();
     cfg.numSms = 4;
     std::printf("(sweep machine: %s)\n\n", cfg.toString().c_str());
 
-    std::printf("%-12s | %-22s | %-22s\n", "", "unprotected",
+    std::printf("%-12s | %-22s | %-36s\n", "", "unprotected",
                 "Warped-DMR");
-    std::printf("%-12s | %6s %6s %6s | %6s %6s %6s\n", "fault prob",
-                "SDC", "ok", "hang", "SDC", "detect", "ok");
+    std::printf("%-12s | %6s %6s %6s | %6s %6s %6s %16s\n",
+                "fault prob", "SDC", "mask", "DUE", "SDC", "detect",
+                "mask", "det. 95% CI");
 
     sim::RunPool pool(jobs);
     for (double p : {1e-7, 1e-6, 1e-5, 1e-4}) {
@@ -60,32 +62,32 @@ main(int argc, char **argv)
             w->setup(g);
             const auto r = g.launch(w->program(), w->gridBlocks(),
                                     w->blockThreads(), 2000000);
-            cells[i] = Cell{r.dmr.errorsDetected > 0, r.hung,
-                            !r.hung && w->verify(g)};
+            const bool activated = hook.activations() > 0;
+            const bool detected = r.dmr.errorsDetected > 0;
+            const bool ok = activated && !detected && !r.hung
+                                ? w->verify(g)
+                                : true;
+            cells[i] = Cell{fault::classifyOutcome(activated, detected,
+                                                   r.hung, ok),
+                            activated};
         });
 
-        unsigned sdc0 = 0, ok0 = 0, hang0 = 0;
-        unsigned sdc1 = 0, det1 = 0, ok1 = 0;
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            const auto &c = cells[i];
-            if ((i % 2) != 0) {
-                if (c.detected)
-                    ++det1;
-                else if (c.good)
-                    ++ok1;
-                else
-                    ++sdc1;
-            } else {
-                if (c.hung)
-                    ++hang0;
-                else if (c.good)
-                    ++ok0;
-                else
-                    ++sdc0;
-            }
-        }
-        std::printf("%-12g | %6u %6u %6u | %6u %6u %6u\n", p, sdc0,
-                    ok0, hang0, sdc1, det1, ok1);
+        fault::OutcomeCounts unprot, prot;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            ((i % 2) != 0 ? prot : unprot)
+                .add(cells[i].cls, cells[i].activated);
+
+        const auto ci = prot.detectionCi();
+        std::printf("%-12g | %6llu %6llu %6llu | %6llu %6llu %6llu "
+                    "  [%5.1f, %5.1f]\n",
+                    p,
+                    static_cast<unsigned long long>(unprot.sdc),
+                    static_cast<unsigned long long>(unprot.masked),
+                    static_cast<unsigned long long>(unprot.due),
+                    static_cast<unsigned long long>(prot.sdc),
+                    static_cast<unsigned long long>(prot.detected),
+                    static_cast<unsigned long long>(prot.masked),
+                    100 * ci.lo, 100 * ci.hi);
     }
 
     std::printf("\nWarped-DMR converts nearly every silent corruption "

@@ -17,6 +17,7 @@
 #include <fstream>
 
 #include "common/logging.hh"
+#include "fault/campaign_engine.hh"
 #include "gpu/report.hh"
 #include "trace/export.hh"
 #include "isa/assembler.hh"
@@ -69,10 +70,256 @@ exportPath(const std::string &base, const std::string &name, bool multi)
 }
 
 void
+campaignUsage()
+{
+    std::printf(
+        "usage: warped_sim campaign <workload> [options]\n"
+        "\n"
+        "Statistical fault-injection campaign: sample fault sites\n"
+        "(SM x lane x bit x window x kind), classify each injected\n"
+        "run as Masked/Detected/SDC/DUE against the golden run, and\n"
+        "report coverage with Wilson 95%% confidence intervals\n"
+        "(see docs/FAULT_MODEL.md).\n"
+        "\n"
+        "options:\n"
+        "  --size N            workload size parameter (factory-\n"
+        "                      specific; default = paper scale)\n"
+        "  --sites N           fault sites to sample (default:\n"
+        "                      derived from --moe)\n"
+        "  --moe F             target 95%% margin of error when\n"
+        "                      --sites is absent (default 0.01)\n"
+        "  --kinds K[,K...]    transient,stuck0,stuck1 (default all)\n"
+        "  --unit any|sp|sfu|ldst   unit axis of the site space\n"
+        "  --windows N         transient pulse windows (default:\n"
+        "                      one per cycle, capped at 4096)\n"
+        "  --sms N             SMs (default 4)\n"
+        "  --seed N            campaign master seed (default 42)\n"
+        "  --jobs N            worker threads (0 = hardware\n"
+        "                      concurrency; output identical for\n"
+        "                      every N; default 0)\n"
+        "  --checkpoint F      periodic JSON state file; an existing\n"
+        "                      matching file resumes the campaign\n"
+        "  --checkpoint-every N  runs per checkpoint chunk "
+        "(default 1000)\n"
+        "  --out F             write the campaign report JSON to F\n"
+        "  --dmr off | --no-intra | --no-inter | --no-shuffle |\n"
+        "  --mapping linear|cross | --qsize N\n"
+        "                      protection configuration under test\n");
+}
+
+int
+campaignMain(int argc, char **argv)
+{
+    if (argc < 3) {
+        campaignUsage();
+        return 2;
+    }
+    const std::string workload = argv[2];
+
+    fault::EngineConfig ec;
+    ec.workload = workload;
+    ec.jobs = 0;
+    unsigned sms = 4;
+    unsigned size = 0;
+    std::string outPath;
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (a == "--size") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            size = std::strtoul(v, nullptr, 10);
+        } else if (a == "--sites") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.sites = std::strtoull(v, nullptr, 10);
+        } else if (a == "--moe") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.marginOfError = std::strtod(v, nullptr);
+        } else if (a == "--kinds") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.space.kinds.clear();
+            for (const char *p = v; *p;) {
+                const char *comma = std::strchr(p, ',');
+                const std::string k =
+                    comma ? std::string(p, comma) : std::string(p);
+                if (k == "transient")
+                    ec.space.kinds.push_back(
+                        fault::FaultKind::TransientBitFlip);
+                else if (k == "stuck0")
+                    ec.space.kinds.push_back(
+                        fault::FaultKind::StuckAtZero);
+                else if (k == "stuck1")
+                    ec.space.kinds.push_back(
+                        fault::FaultKind::StuckAtOne);
+                else
+                    return campaignUsage(), 2;
+                if (!comma)
+                    break;
+                p = comma + 1;
+            }
+            if (ec.space.kinds.empty())
+                return campaignUsage(), 2;
+        } else if (a == "--unit") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            if (std::strcmp(v, "any") == 0)
+                ec.space.units = {std::nullopt};
+            else if (std::strcmp(v, "sp") == 0)
+                ec.space.units = {isa::UnitType::SP};
+            else if (std::strcmp(v, "sfu") == 0)
+                ec.space.units = {isa::UnitType::SFU};
+            else if (std::strcmp(v, "ldst") == 0)
+                ec.space.units = {isa::UnitType::LDST};
+            else
+                return campaignUsage(), 2;
+        } else if (a == "--windows") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.space.cycleWindows = std::strtoul(v, nullptr, 10);
+        } else if (a == "--sms") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            sms = std::strtoul(v, nullptr, 10);
+        } else if (a == "--seed") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--jobs") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.jobs = std::strtoul(v, nullptr, 10);
+        } else if (a == "--checkpoint") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.checkpointPath = v;
+        } else if (a == "--checkpoint-every") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.checkpointEvery = std::strtoull(v, nullptr, 10);
+        } else if (a == "--out") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            outPath = v;
+        } else if (a == "--dmr") {
+            if ((v = next()) && std::strcmp(v, "off") == 0)
+                ec.dmr = dmr::DmrConfig::off();
+        } else if (a == "--no-intra") {
+            ec.dmr.intraWarp = false;
+        } else if (a == "--no-inter") {
+            ec.dmr.interWarp = false;
+        } else if (a == "--no-shuffle") {
+            ec.dmr.laneShuffle = false;
+        } else if (a == "--mapping") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.dmr.mapping = std::strcmp(v, "linear") == 0
+                                 ? dmr::MappingPolicy::Linear
+                                 : dmr::MappingPolicy::CrossCluster;
+        } else if (a == "--qsize") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            ec.dmr.replayQSize = std::strtoul(v, nullptr, 10);
+        } else {
+            std::fprintf(stderr, "unknown campaign option %s\n",
+                         a.c_str());
+            campaignUsage();
+            return 2;
+        }
+    }
+
+    ec.gpu = arch::GpuConfig::testDefault();
+    ec.gpu.numSms = sms;
+
+    std::printf("campaign: %s (size %s), seed %llu, machine: %s\n",
+                workload.c_str(),
+                size ? std::to_string(size).c_str() : "default",
+                static_cast<unsigned long long>(ec.seed),
+                ec.gpu.toString().c_str());
+
+    fault::CampaignEngine engine(
+        [&] { return workloads::makeByNameSized(workload, size); },
+        ec);
+    const auto rep = engine.run();
+
+    const auto &o = rep.overall;
+    std::printf("\nsite space: %llu sites, sampled %llu "
+                "(golden span %llu cycles)\n",
+                static_cast<unsigned long long>(rep.spaceSize),
+                static_cast<unsigned long long>(rep.sampled),
+                static_cast<unsigned long long>(rep.span));
+    const auto frac = [&](std::uint64_t n) {
+        return o.total() ? 100.0 * double(n) / double(o.total())
+                         : 0.0;
+    };
+    std::printf("  masked:    %8llu  (%5.2f%%, %llu never "
+                "activated)\n",
+                static_cast<unsigned long long>(o.masked),
+                frac(o.masked),
+                static_cast<unsigned long long>(o.notActivated));
+    std::printf("  detected:  %8llu  (%5.2f%%)\n",
+                static_cast<unsigned long long>(o.detected),
+                frac(o.detected));
+    std::printf("  SDC:       %8llu  (%5.2f%%)\n",
+                static_cast<unsigned long long>(o.sdc), frac(o.sdc));
+    std::printf("  DUE:       %8llu  (%5.2f%%)\n",
+                static_cast<unsigned long long>(o.due), frac(o.due));
+
+    const auto cov = o.coverageCi();
+    const auto det = o.detectionCi();
+    std::printf("\ncoverage (detected / sampled):        %6.2f%%  "
+                "Wilson 95%% CI [%5.2f, %5.2f]\n",
+                100 * o.coverage(), 100 * cov.lo, 100 * cov.hi);
+    std::printf("detection rate (of non-masked):       %6.2f%%  "
+                "Wilson 95%% CI [%5.2f, %5.2f]\n",
+                100 * o.detectionRate(), 100 * det.lo, 100 * det.hi);
+    if (rep.latencyCount)
+        std::printf("mean detection latency: %.1f cycles over %llu "
+                    "detections (kernel length %.0f)\n",
+                    rep.meanDetectionLatency(),
+                    static_cast<unsigned long long>(rep.latencyCount),
+                    double(rep.kernelLengthSum) /
+                        double(rep.latencyCount));
+
+    if (!rep.byKind.empty()) {
+        std::printf("\nper-kind coverage:\n");
+        for (const auto &[kind, c] : rep.byKind) {
+            const auto ci = c.coverageCi();
+            std::printf("  %-18s %6.2f%%  [%5.2f, %5.2f]  "
+                        "(%llu sampled)\n",
+                        faultKindName(kind), 100 * c.coverage(),
+                        100 * ci.lo, 100 * ci.hi,
+                        static_cast<unsigned long long>(c.total()));
+        }
+    }
+
+    if (!outPath.empty()) {
+        std::ofstream f(outPath);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
+            return 1;
+        }
+        f << rep.toJson();
+        std::printf("\nreport JSON written to %s\n", outPath.c_str());
+    }
+    return 0;
+}
+
+void
 usage()
 {
     std::printf(
         "usage: warped_sim [workload|all] [options]\n"
+        "       warped_sim campaign <workload> [options]   "
+        "(fault-injection campaign;\n"
+        "                                                  "
+        " see warped_sim campaign)\n"
         "\n"
         "workloads: BFS Nqueen MUM SCAN BitonicSort Laplace MatrixMul\n"
         "           RadixSort SHA Libor CUFFT\n"
@@ -363,6 +610,11 @@ runOne(const std::string &name, const Options &o,
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
+        setVerbose(false);
+        return campaignMain(argc, argv);
+    }
+
     Options o;
     if (!parse(argc, argv, o)) {
         usage();

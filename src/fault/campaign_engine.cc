@@ -1,0 +1,522 @@
+#include "fault/campaign_engine.hh"
+
+#include <bit>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gpu/gpu.hh"
+#include "sim/run_pool.hh"
+
+namespace warped {
+namespace fault {
+
+namespace {
+
+/** Stable lower-case slug for metric keys ("transient", "stuck0",
+ *  "stuck1" — matching the CLI spellings). */
+const char *
+kindSlug(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::TransientBitFlip:
+        return "transient";
+      case FaultKind::StuckAtZero:
+        return "stuck0";
+      case FaultKind::StuckAtOne:
+        return "stuck1";
+    }
+    return "?";
+}
+
+/** Stable lower-case label for a unit-restriction axis entry. */
+std::string
+unitLabel(const std::optional<isa::UnitType> &u)
+{
+    if (!u)
+        return "any";
+    std::string s = isa::unitTypeName(*u);
+    for (auto &c : s)
+        c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** What one injected run contributed, before the ordered fold. */
+struct RunRecord
+{
+    OutcomeClass cls = OutcomeClass::Masked;
+    bool activated = false;
+    FaultKind kind = FaultKind::TransientBitFlip;
+    std::optional<isa::UnitType> unit;
+    std::uint64_t latency = 0;
+    bool hasLatency = false;
+};
+
+void
+emitCounts(trace::MetricsRegistry &m, const std::string &prefix,
+           const OutcomeCounts &c)
+{
+    if (c.masked)
+        m.counter(prefix + ".masked") = c.masked;
+    if (c.notActivated)
+        m.counter(prefix + ".masked.not_activated") = c.notActivated;
+    if (c.detected)
+        m.counter(prefix + ".detected") = c.detected;
+    if (c.sdc)
+        m.counter(prefix + ".sdc") = c.sdc;
+    if (c.due)
+        m.counter(prefix + ".due") = c.due;
+}
+
+void
+restoreCounts(const std::map<std::string, std::uint64_t> &kv,
+              const std::string &prefix, OutcomeCounts &c)
+{
+    const auto get = [&](const char *leaf) -> std::uint64_t {
+        const auto it = kv.find(prefix + leaf);
+        return it == kv.end() ? 0 : it->second;
+    };
+    c.masked = get(".masked");
+    c.notActivated = get(".masked.not_activated");
+    c.detected = get(".detected");
+    c.sdc = get(".sdc");
+    c.due = get(".due");
+}
+
+/**
+ * Parse every `"key": <unsigned integer>` pair out of a flat JSON
+ * document (quoted string values are skipped). This is the inverse
+ * of the checkpoint writer below, which only ever emits that shape.
+ */
+std::map<std::string, std::uint64_t>
+parseFlatCounters(const std::string &text)
+{
+    std::map<std::string, std::uint64_t> kv;
+    std::size_t i = 0;
+    while ((i = text.find('"', i)) != std::string::npos) {
+        const auto end = text.find('"', i + 1);
+        if (end == std::string::npos)
+            break;
+        const std::string key = text.substr(i + 1, end - i - 1);
+        std::size_t j = end + 1;
+        while (j < text.size() &&
+               (text[j] == ':' || std::isspace(
+                                      static_cast<unsigned char>(
+                                          text[j]))))
+            ++j;
+        if (j < text.size() &&
+            std::isdigit(static_cast<unsigned char>(text[j]))) {
+            std::uint64_t v = 0;
+            while (j < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[j])))
+                v = v * 10 + (text[j++] - '0');
+            kv[key] = v;
+        }
+        i = j;
+    }
+    return kv;
+}
+
+} // namespace
+
+const char *
+outcomeClassName(OutcomeClass c)
+{
+    switch (c) {
+      case OutcomeClass::Masked:
+        return "masked";
+      case OutcomeClass::Detected:
+        return "detected";
+      case OutcomeClass::Sdc:
+        return "sdc";
+      case OutcomeClass::Due:
+        return "due";
+    }
+    return "?";
+}
+
+OutcomeClass
+classifyOutcome(bool activated, bool detected, bool hung,
+                bool output_ok)
+{
+    if (!activated)
+        return OutcomeClass::Masked;
+    if (detected)
+        return OutcomeClass::Detected;
+    if (hung)
+        return OutcomeClass::Due;
+    if (!output_ok)
+        return OutcomeClass::Sdc;
+    return OutcomeClass::Masked;
+}
+
+void
+OutcomeCounts::add(OutcomeClass c, bool activated)
+{
+    switch (c) {
+      case OutcomeClass::Masked:
+        ++masked;
+        if (!activated)
+            ++notActivated;
+        break;
+      case OutcomeClass::Detected:
+        ++detected;
+        break;
+      case OutcomeClass::Sdc:
+        ++sdc;
+        break;
+      case OutcomeClass::Due:
+        ++due;
+        break;
+    }
+}
+
+double
+OutcomeCounts::coverage() const
+{
+    const auto t = total();
+    return t == 0 ? 0.0 : double(detected) / double(t);
+}
+
+stats::Interval
+OutcomeCounts::coverageCi(double z) const
+{
+    return stats::wilsonInterval(detected, total(), z);
+}
+
+double
+OutcomeCounts::detectionRate() const
+{
+    const auto consequential = detected + sdc + due;
+    return consequential == 0
+               ? 1.0
+               : double(detected) / double(consequential);
+}
+
+stats::Interval
+OutcomeCounts::detectionCi(double z) const
+{
+    return stats::wilsonInterval(detected, detected + sdc + due, z);
+}
+
+unsigned
+latencyBucket(std::uint64_t cycles)
+{
+    const unsigned b = std::bit_width(cycles);
+    return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+}
+
+double
+CampaignReport::meanDetectionLatency() const
+{
+    return latencyCount ? double(latencySum) / double(latencyCount)
+                        : 0.0;
+}
+
+trace::MetricsRegistry
+CampaignReport::toMetrics() const
+{
+    trace::MetricsRegistry m;
+    m.counter("campaign.sampled") = sampled;
+    m.counter("campaign.space.size") = spaceSize;
+    m.counter("campaign.span") = span;
+    emitCounts(m, "campaign.outcome", overall);
+    for (const auto &[kind, c] : byKind)
+        emitCounts(m, std::string("campaign.kind.") + kindSlug(kind),
+                   c);
+    for (const auto &[label, c] : byUnit)
+        emitCounts(m, "campaign.unit." + label, c);
+    for (unsigned b = 0; b < kLatencyBuckets; ++b) {
+        if (const auto n = latencyHist.count(b)) {
+            char key[48];
+            std::snprintf(key, sizeof key,
+                          "campaign.latency.hist.b%02u", b);
+            m.counter(key) = n;
+        }
+    }
+    if (latencySum)
+        m.counter("campaign.latency.sum") = latencySum;
+    if (latencyCount)
+        m.counter("campaign.latency.count") = latencyCount;
+    if (kernelLengthSum)
+        m.counter("campaign.latency.kernel_sum") = kernelLengthSum;
+
+    const auto cov = overall.coverageCi();
+    m.gauge("campaign.coverage") = overall.coverage();
+    m.gauge("campaign.coverage.wilson_lo") = cov.lo;
+    m.gauge("campaign.coverage.wilson_hi") = cov.hi;
+    const auto det = overall.detectionCi();
+    m.gauge("campaign.detection_rate") = overall.detectionRate();
+    m.gauge("campaign.detection_rate.wilson_lo") = det.lo;
+    m.gauge("campaign.detection_rate.wilson_hi") = det.hi;
+    const auto t = overall.total();
+    m.gauge("campaign.masked_rate") =
+        t ? double(overall.masked) / double(t) : 0.0;
+    m.gauge("campaign.sdc_rate") =
+        t ? double(overall.sdc) / double(t) : 0.0;
+    m.gauge("campaign.due_rate") =
+        t ? double(overall.due) / double(t) : 0.0;
+    m.gauge("campaign.latency.mean") = meanDetectionLatency();
+    for (const auto &[kind, c] : byKind)
+        m.gauge(std::string("campaign.kind.") + kindSlug(kind) +
+                ".coverage") = c.coverage();
+    return m;
+}
+
+std::string
+CampaignReport::toJson() const
+{
+    return toMetrics().toJson();
+}
+
+CampaignEngine::CampaignEngine(WorkloadFactory factory,
+                               EngineConfig cfg)
+    : factory_(std::move(factory)), cfg_(std::move(cfg))
+{
+}
+
+namespace {
+
+/** One injected experiment (thread-safe: everything is run-local). */
+RunRecord
+runOne(std::uint64_t run_index, const FaultSiteSpace &space,
+       Cycle span, const WorkloadFactory &factory,
+       const EngineConfig &cfg)
+{
+    const auto siteIdx = space.sampleIndex(cfg.seed, run_index);
+    const FaultSpec spec = space.site(siteIdx);
+
+    FaultInjector injector;
+    injector.add(spec);
+
+    auto w = factory();
+    gpu::Gpu g(cfg.gpu, cfg.dmr, /*seed=*/1, &injector);
+    w->setup(g);
+    // Watchdog: a fault can corrupt a loop counter and hang the
+    // kernel; give it a generous multiple of the fault-free span.
+    const Cycle watchdog = span * 20 + 100000;
+    const auto r = g.launch(w->program(), w->gridBlocks(),
+                            w->blockThreads(), watchdog);
+
+    RunRecord rec;
+    rec.kind = spec.kind;
+    rec.unit = spec.unit;
+    rec.activated = injector.activations() > 0;
+    const bool detected = r.dmr.errorsDetected > 0;
+    // The golden-reference comparison: Workload::verify checks the
+    // output buffers against the CPU reference, which the fault-free
+    // golden run was itself validated against (runVerified below).
+    const bool outputOk =
+        rec.activated && !detected && !r.hung ? w->verify(g) : true;
+    rec.cls = classifyOutcome(rec.activated, detected, r.hung,
+                              outputOk);
+    if (rec.cls == OutcomeClass::Detected &&
+        !r.dmr.errorLog.empty()) {
+        const Cycle det = r.dmr.errorLog.front().cycle;
+        const Cycle act = injector.firstActivationCycle();
+        rec.latency = det >= act ? det - act : 0;
+        rec.hasLatency = true;
+    }
+    return rec;
+}
+
+void
+fold(CampaignReport &rep, const RunRecord &rec)
+{
+    rep.overall.add(rec.cls, rec.activated);
+    rep.byKind[rec.kind].add(rec.cls, rec.activated);
+    rep.byUnit[unitLabel(rec.unit)].add(rec.cls, rec.activated);
+    if (rec.hasLatency) {
+        rep.latencyHist.add(latencyBucket(rec.latency));
+        rep.latencySum += rec.latency;
+        ++rep.latencyCount;
+        rep.kernelLengthSum += rep.span;
+    }
+    ++rep.sampled;
+}
+
+/** Configuration fingerprint a checkpoint must match to be resumed:
+ *  workload label, seed, planned sites, the site space (which folds
+ *  in the golden span), and the protection/machine knobs. */
+std::uint64_t
+configSignature(const EngineConfig &cfg, const FaultSiteSpace &space,
+                std::uint64_t planned)
+{
+    std::uint64_t h = splitmix64(0xca3f5a17u);
+    const auto mix = [&h](std::uint64_t v) {
+        h = splitmix64(h ^ v);
+    };
+    for (const char c : cfg.workload)
+        mix(static_cast<unsigned char>(c));
+    mix(cfg.seed);
+    mix(planned);
+    mix(space.signature());
+    mix(cfg.gpu.numSms);
+    mix(cfg.gpu.warpSize);
+    mix(cfg.dmr.enabled);
+    mix(cfg.dmr.intraWarp);
+    mix(cfg.dmr.interWarp);
+    mix(cfg.dmr.laneShuffle);
+    mix(cfg.dmr.replayQSize);
+    mix(static_cast<std::uint64_t>(cfg.dmr.mapping));
+    mix(cfg.dmr.samplingEpoch);
+    mix(cfg.dmr.samplingActive);
+    mix(cfg.dmr.arbitrateErrors);
+    return h;
+}
+
+void
+writeCheckpoint(const std::string &path, const CampaignReport &rep,
+                std::uint64_t signature)
+{
+    // Counters only (integers round-trip exactly; every gauge is
+    // derivable from them), plus the header the loader validates.
+    auto m = rep.toMetrics();
+    trace::MetricsRegistry state;
+    state.counter("campaign.checkpoint.version") = 1;
+    state.counter("campaign.checkpoint.signature") = signature;
+    for (const auto &[k, v] : m.counters())
+        state.counter(k) = v;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp);
+        if (!f) {
+            warped_warn("campaign: cannot write checkpoint ", tmp);
+            return;
+        }
+        f << state.toJson();
+    }
+    // Atomic-enough swap: a torn write never clobbers a good state.
+    std::remove(path.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        warped_warn("campaign: cannot move checkpoint into ", path);
+}
+
+/** Load @p path into @p rep; false (and an untouched report) when
+ *  the file is absent or does not match @p signature. */
+bool
+loadCheckpoint(const std::string &path, const EngineConfig &cfg,
+               std::uint64_t signature, CampaignReport &rep)
+{
+    std::ifstream f(path);
+    if (!f)
+        return false;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const auto kv = parseFlatCounters(ss.str());
+
+    const auto get = [&](const char *key) -> std::uint64_t {
+        const auto it = kv.find(key);
+        return it == kv.end() ? 0 : it->second;
+    };
+    if (get("campaign.checkpoint.version") != 1 ||
+        get("campaign.checkpoint.signature") != signature) {
+        warped_warn("campaign: checkpoint ", path,
+                    " does not match this configuration; ignoring");
+        return false;
+    }
+
+    rep.sampled = get("campaign.sampled");
+    rep.spaceSize = get("campaign.space.size");
+    rep.span = get("campaign.span");
+    restoreCounts(kv, "campaign.outcome", rep.overall);
+    for (const auto k : cfg.space.kinds) {
+        OutcomeCounts c;
+        restoreCounts(kv, std::string("campaign.kind.") + kindSlug(k),
+                      c);
+        if (c.total())
+            rep.byKind[k] = c;
+    }
+    for (const auto &u : cfg.space.units) {
+        OutcomeCounts c;
+        restoreCounts(kv, "campaign.unit." + unitLabel(u), c);
+        if (c.total())
+            rep.byUnit[unitLabel(u)] = c;
+    }
+    for (unsigned b = 0; b < kLatencyBuckets; ++b) {
+        char key[48];
+        std::snprintf(key, sizeof key, "campaign.latency.hist.b%02u",
+                      b);
+        if (const auto n = get(key))
+            rep.latencyHist.add(b, n);
+    }
+    rep.latencySum = get("campaign.latency.sum");
+    rep.latencyCount = get("campaign.latency.count");
+    rep.kernelLengthSum = get("campaign.latency.kernel_sum");
+    return true;
+}
+
+} // namespace
+
+CampaignReport
+CampaignEngine::run()
+{
+    // 1. Golden reference run: validates the fault-free machine
+    //    against the CPU reference and yields the cycle span that
+    //    anchors transient placement, the watchdog budget, and the
+    //    software-scheme latency baseline.
+    Cycle span;
+    {
+        auto w = factory_();
+        gpu::Gpu g(cfg_.gpu, cfg_.dmr);
+        span = workloads::runVerified(*w, g).cycles;
+    }
+
+    // 2. Resolve the site space and the sample size.
+    SiteSpaceConfig sc = cfg_.space;
+    sc.numSms = cfg_.gpu.numSms;
+    sc.warpSize = cfg_.gpu.warpSize;
+    const FaultSiteSpace space(sc, span);
+    planned_ = cfg_.sites
+                   ? cfg_.sites
+                   : stats::sampleSizeForMargin(cfg_.marginOfError,
+                                                stats::kZ95, 0.5,
+                                                space.size());
+    const auto signature = configSignature(cfg_, space, planned_);
+
+    CampaignReport rep;
+    rep.spaceSize = space.size();
+    rep.span = span;
+
+    // 3. Resume from a matching checkpoint when one exists.
+    if (!cfg_.checkpointPath.empty())
+        loadCheckpoint(cfg_.checkpointPath, cfg_, signature, rep);
+    if (rep.sampled > planned_)
+        warped_fatal("campaign: checkpoint has ", rep.sampled,
+                     " runs but only ", planned_, " are planned");
+
+    // 4. Chunked fan-out: each chunk runs on the pool, folds in
+    //    submission-index order (so the accumulated state is
+    //    worker-count-independent), then checkpoints.
+    sim::RunPool pool(cfg_.jobs);
+    const std::uint64_t chunkSize =
+        cfg_.checkpointEvery ? cfg_.checkpointEvery : 1000;
+    std::vector<RunRecord> records;
+    std::uint64_t chunks = 0;
+    while (rep.sampled < planned_) {
+        const auto base = rep.sampled;
+        const auto n = std::min(chunkSize, planned_ - base);
+        records.assign(static_cast<std::size_t>(n), RunRecord{});
+        pool.parallelFor(static_cast<std::size_t>(n),
+                         [&](std::size_t i) {
+                             records[i] =
+                                 runOne(base + i, space, span,
+                                        factory_, cfg_);
+                         });
+        for (const auto &rec : records)
+            fold(rep, rec);
+        if (!cfg_.checkpointPath.empty())
+            writeCheckpoint(cfg_.checkpointPath, rep, signature);
+        if (cfg_.stopAfterChunks && ++chunks >= cfg_.stopAfterChunks)
+            break;
+    }
+    return rep;
+}
+
+} // namespace fault
+} // namespace warped

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * fault::CampaignEngine — statistical fault-injection campaigns with
+ * outcome classification.
+ *
+ * The engine turns the paper's headline coverage claim into a
+ * measured, interval-bounded statement: it draws fault sites from a
+ * FaultSiteSpace (seeded, i.i.d.), runs one injected experiment per
+ * site against the workload's golden (fault-free) reference, and
+ * classifies every experiment into the standard fault-injection
+ * taxonomy:
+ *
+ *  - **Masked**:   no DMR alarm and the output matches the golden
+ *                  reference (the fault never activated, or its
+ *                  effect died out architecturally);
+ *  - **Detected**: the Warped-DMR comparator fired;
+ *  - **SDC**:      silent data corruption — wrong output, no alarm;
+ *  - **DUE**:      detectable uncorrectable event — the fault broke
+ *                  control flow and the watchdog ended the run.
+ *
+ * The resulting CampaignReport carries per-kind and per-unit outcome
+ * breakdowns, Wilson-score confidence intervals, detection-latency
+ * histograms, and a flat JSON rendering through trace::MetricsRegistry
+ * (sorted keys, fixed precision — byte-identical across `--jobs`
+ * values and safe to diff).
+ *
+ * Long campaigns checkpoint periodically to a JSON state file and
+ * resume from it: runs are folded in submission-index order in
+ * fixed-size chunks, so the accumulated state after run k is
+ * independent of the worker count, and a resumed campaign's final
+ * report is byte-identical to an uninterrupted one.
+ */
+
+#ifndef WARPED_FAULT_CAMPAIGN_ENGINE_HH
+#define WARPED_FAULT_CAMPAIGN_ENGINE_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "arch/gpu_config.hh"
+#include "dmr/dmr_config.hh"
+#include "fault/site_space.hh"
+#include "stats/confidence.hh"
+#include "stats/histogram.hh"
+#include "trace/metrics.hh"
+#include "workloads/workload.hh"
+
+namespace warped {
+namespace fault {
+
+/** The campaign outcome taxonomy (see file comment). */
+enum class OutcomeClass
+{
+    Masked,
+    Detected,
+    Sdc,
+    Due,
+};
+
+/** Lower-case stable label ("masked", "detected", "sdc", "due"). */
+const char *outcomeClassName(OutcomeClass c);
+
+/**
+ * Classify one finished injected run.
+ *
+ * @param activated whether the fault ever changed a produced value
+ * @param detected  whether the DMR comparator fired
+ * @param hung      whether the run hit its watchdog budget
+ * @param output_ok whether the output matches the golden reference
+ */
+OutcomeClass classifyOutcome(bool activated, bool detected, bool hung,
+                             bool output_ok);
+
+/** Outcome tally for one slice of the campaign (a kind, a unit, or
+ *  the whole campaign). */
+struct OutcomeCounts
+{
+    std::uint64_t masked = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t sdc = 0;
+    std::uint64_t due = 0;
+    /** Masked runs whose fault never even activated (subset of
+     *  `masked`). */
+    std::uint64_t notActivated = 0;
+
+    std::uint64_t total() const
+    {
+        return masked + detected + sdc + due;
+    }
+
+    void add(OutcomeClass c, bool activated);
+
+    /** Fraction of sampled sites whose injection raised the DMR
+     *  alarm — the campaign counterpart of the paper's Fig 9a
+     *  coverage (masked sites count against it; see
+     *  docs/FAULT_MODEL.md for why). */
+    double coverage() const;
+
+    /** Wilson interval around coverage(). */
+    stats::Interval coverageCi(double z = stats::kZ95) const;
+
+    /** Detected fraction of the *consequential* (non-masked) runs. */
+    double detectionRate() const;
+
+    /** Wilson interval around detectionRate(). */
+    stats::Interval detectionCi(double z = stats::kZ95) const;
+};
+
+/** Detection-latency histogram geometry: bucket b holds latencies
+ *  with bit-width b, i.e. [2^(b-1), 2^b) cycles (bucket 0 = zero
+ *  cycles). */
+inline constexpr unsigned kLatencyBuckets = 48;
+
+/** Bucket index for one latency value. */
+unsigned latencyBucket(std::uint64_t cycles);
+
+/** Aggregated campaign results (see file comment). */
+struct CampaignReport
+{
+    /** Enumerable site-space size the sample was drawn from. */
+    std::uint64_t spaceSize = 0;
+    /** Sites sampled and classified so far. */
+    std::uint64_t sampled = 0;
+    /** Fault-free reference run length in cycles. */
+    std::uint64_t span = 0;
+
+    OutcomeCounts overall;
+    std::map<FaultKind, OutcomeCounts> byKind;
+    /** Keyed by unit restriction label ("any", "SP", "SFU", "LDST"). */
+    std::map<std::string, OutcomeCounts> byUnit;
+
+    /** Cycles from firstActivationCycle() to the first DMR detection
+     *  event, log2-bucketed (see latencyBucket). */
+    stats::Histogram latencyHist{kLatencyBuckets};
+    std::uint64_t latencySum = 0;
+    /** Number of detected runs with a recorded latency. */
+    std::uint64_t latencyCount = 0;
+    /** Sum of golden-run lengths over those runs: the detection
+     *  latency a compare-at-kernel-end software scheme would pay. */
+    std::uint64_t kernelLengthSum = 0;
+
+    double meanDetectionLatency() const;
+
+    /**
+     * Flat metrics rendering: campaign.* counters and gauges in a
+     * trace::MetricsRegistry (sorted keys, fixed precision).
+     */
+    trace::MetricsRegistry toMetrics() const;
+
+    /** toMetrics() rendered as the registry's JSON document. */
+    std::string toJson() const;
+};
+
+/** Workload factory: a fresh instance per run (runs execute
+ *  concurrently). */
+using WorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>()>;
+
+/** Campaign parameters. */
+struct EngineConfig
+{
+    /** Workload label recorded in checkpoints; a resumed campaign
+     *  refuses a checkpoint written for a different label. */
+    std::string workload;
+
+    arch::GpuConfig gpu = arch::GpuConfig::testDefault();
+    dmr::DmrConfig dmr = dmr::DmrConfig::paperDefault();
+    SiteSpaceConfig space;
+
+    std::uint64_t seed = 42;
+
+    /** Sites to sample; 0 = derive from marginOfError via
+     *  stats::sampleSizeForMargin against the space size. */
+    std::uint64_t sites = 0;
+    /** Target 95 % margin of error when sites == 0. */
+    double marginOfError = 0.01;
+
+    /** Worker threads (sim::RunPool semantics: 0 = hardware
+     *  concurrency, 1 = sequential). The report is byte-identical
+     *  for every value. */
+    unsigned jobs = 1;
+
+    /** Checkpoint state file; empty = no checkpointing. */
+    std::string checkpointPath;
+    /** Runs per fold-and-checkpoint chunk. */
+    std::uint64_t checkpointEvery = 1000;
+    /** Test hook: stop (with a checkpoint written) after this many
+     *  chunks; 0 = run to completion. */
+    std::uint64_t stopAfterChunks = 0;
+};
+
+class CampaignEngine
+{
+  public:
+    /**
+     * @param factory builds a fresh workload instance per run
+     * @param cfg     campaign parameters
+     */
+    CampaignEngine(WorkloadFactory factory, EngineConfig cfg);
+
+    /**
+     * Run the campaign (resuming from cfg.checkpointPath if the file
+     * exists and matches) and return the final report. Also usable
+     * for a partial run via EngineConfig::stopAfterChunks.
+     */
+    CampaignReport run();
+
+    /** The sampled site count the configuration resolves to (derived
+     *  from marginOfError when sites == 0); valid after run(). */
+    std::uint64_t plannedSites() const { return planned_; }
+
+  private:
+    WorkloadFactory factory_;
+    EngineConfig cfg_;
+    std::uint64_t planned_ = 0;
+};
+
+} // namespace fault
+} // namespace warped
+
+#endif // WARPED_FAULT_CAMPAIGN_ENGINE_HH

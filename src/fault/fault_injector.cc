@@ -51,8 +51,15 @@ FaultInjector::apply(RegValue pure, const func::FaultCtx &ctx)
 
 RandomFaultHook::RandomFaultHook(double per_value_prob,
                                  std::uint64_t seed)
-    : prob_(per_value_prob), rng_(seed)
+    : prob_(per_value_prob), seed_(seed), rng_(seed)
 {
+}
+
+void
+RandomFaultHook::reset()
+{
+    rng_ = Rng(seed_);
+    activations_ = 0;
 }
 
 RegValue

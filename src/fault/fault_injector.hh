@@ -94,8 +94,18 @@ class RandomFaultHook final : public func::FaultHook
 
     std::uint64_t activations() const { return activations_; }
 
+    /**
+     * Restore the freshly-constructed state: zero the activation
+     * counter and re-seed the generator with the construction seed,
+     * so a hook reused across runs draws the identical corruption
+     * sequence instead of leaking counter and RNG state from the
+     * previous run (the FaultInjector::clear() counterpart).
+     */
+    void reset();
+
   private:
     double prob_;
+    std::uint64_t seed_;
     Rng rng_;
     std::uint64_t activations_ = 0;
 };

@@ -1,0 +1,126 @@
+#include "fault/site_space.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace fault {
+
+namespace {
+
+bool
+isTransient(FaultKind k)
+{
+    return k == FaultKind::TransientBitFlip;
+}
+
+} // namespace
+
+FaultSiteSpace::FaultSiteSpace(const SiteSpaceConfig &cfg, Cycle span)
+    : cfg_(cfg), span_(span)
+{
+    if (cfg_.kinds.empty() || cfg_.units.empty() || cfg_.numSms == 0 ||
+        cfg_.warpSize == 0 || cfg_.bits == 0)
+        warped_panic("FaultSiteSpace: empty axis");
+    if (!(cfg_.windowLo >= 0.0 && cfg_.windowHi <= 1.0 &&
+          cfg_.windowLo <= cfg_.windowHi))
+        warped_panic("FaultSiteSpace: bad window fractions [",
+                     cfg_.windowLo, ", ", cfg_.windowHi, "]");
+
+    pulseLo_ = static_cast<Cycle>(cfg_.windowLo * span);
+    const auto hi = static_cast<Cycle>(cfg_.windowHi * span);
+    pulseSpan_ = hi > pulseLo_ ? hi - pulseLo_ : 1;
+
+    if (cfg_.cycleWindows != 0)
+        windows_ = cfg_.cycleWindows;
+    else
+        windows_ = static_cast<unsigned>(
+            std::min<Cycle>(pulseSpan_, 4096));
+    if (windows_ == 0)
+        windows_ = 1;
+
+    const std::uint64_t place = std::uint64_t{cfg_.numSms} *
+                                cfg_.warpSize * cfg_.bits *
+                                cfg_.units.size();
+    sitesPerKind_[0] = place * windows_; // transient: one per pulse
+    sitesPerKind_[1] = place;            // stuck-at: whole-run window
+    size_ = 0;
+    for (const auto k : cfg_.kinds)
+        size_ += sitesPerKind_[isTransient(k) ? 0 : 1];
+}
+
+FaultSpec
+FaultSiteSpace::site(std::uint64_t index) const
+{
+    if (index >= size_)
+        warped_panic("FaultSiteSpace: index ", index,
+                     " out of space [0,", size_, ")");
+
+    // Locate the kind block, then decode the mixed-radix remainder:
+    // (((unit * sms + sm) * lanes + lane) * bits + bit) * windows + w.
+    FaultSpec spec;
+    std::uint64_t rest = index;
+    std::uint64_t windows = 1;
+    for (const auto k : cfg_.kinds) {
+        const auto block = sitesPerKind_[isTransient(k) ? 0 : 1];
+        if (rest < block) {
+            spec.kind = k;
+            windows = isTransient(k) ? windows_ : 1;
+            break;
+        }
+        rest -= block;
+    }
+
+    const std::uint64_t w = rest % windows;
+    rest /= windows;
+    spec.bit = static_cast<unsigned>(rest % cfg_.bits);
+    rest /= cfg_.bits;
+    spec.lane = static_cast<unsigned>(rest % cfg_.warpSize);
+    rest /= cfg_.warpSize;
+    spec.sm = static_cast<unsigned>(rest % cfg_.numSms);
+    rest /= cfg_.numSms;
+    spec.unit = cfg_.units[static_cast<std::size_t>(rest)];
+
+    if (isTransient(spec.kind)) {
+        // Window w's representative pulse cycle: the midpoint of the
+        // w-th equal slice of the eligible range.
+        const Cycle c =
+            pulseLo_ + (2 * w + 1) * pulseSpan_ / (2 * windows_);
+        spec.cycleBegin = c;
+        spec.cycleEnd = c;
+    }
+    return spec;
+}
+
+std::uint64_t
+FaultSiteSpace::sampleIndex(std::uint64_t seed,
+                            std::uint64_t run_index) const
+{
+    Rng rng(deriveSeed(seed, run_index));
+    return rng.nextBelow(size_);
+}
+
+std::uint64_t
+FaultSiteSpace::signature() const
+{
+    std::uint64_t h = splitmix64(0x5157a9d1u);
+    const auto mix = [&h](std::uint64_t v) {
+        h = splitmix64(h ^ v);
+    };
+    mix(cfg_.numSms);
+    mix(cfg_.warpSize);
+    mix(cfg_.bits);
+    mix(windows_);
+    mix(span_);
+    mix(static_cast<std::uint64_t>(cfg_.windowLo * 1e9));
+    mix(static_cast<std::uint64_t>(cfg_.windowHi * 1e9));
+    for (const auto k : cfg_.kinds)
+        mix(static_cast<std::uint64_t>(k) + 1);
+    for (const auto &u : cfg_.units)
+        mix(u ? static_cast<std::uint64_t>(*u) + 2 : 1);
+    return h;
+}
+
+} // namespace fault
+} // namespace warped

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * fault::FaultSiteSpace — the enumerable space of injectable faults.
+ *
+ * A *fault site* is one concrete place-and-time a fault could strike:
+ * (kind, SM, physical lane, output bit, unit restriction,
+ * cycle window). The space is the Cartesian product of those axes for
+ * a given workload's fault-free cycle span, flattened into a single
+ * dense index range [0, size()) so campaigns can either walk an
+ * exhaustive slice or draw seeded uniform samples and attach
+ * binomial confidence intervals to the results (stats/confidence.hh).
+ *
+ * Transient sites occupy one single-cycle pulse window each; the
+ * [windowLo, windowHi] fraction of the span is divided into
+ * `cycleWindows` evenly spaced pulse cycles. Stuck-at sites are
+ * permanent, so each (SM, lane, bit, unit) contributes exactly one
+ * site with the whole-run window.
+ */
+
+#ifndef WARPED_FAULT_SITE_SPACE_HH
+#define WARPED_FAULT_SITE_SPACE_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "fault/fault_injector.hh"
+
+namespace warped {
+namespace fault {
+
+/** Axis description for a FaultSiteSpace. */
+struct SiteSpaceConfig
+{
+    /** SMs and physical lanes of the machine under test. */
+    unsigned numSms = 1;
+    unsigned warpSize = 32;
+
+    /** Output bits considered (bit indices [0, bits)). */
+    unsigned bits = 32;
+
+    /** Fault kinds on the kind axis (must be non-empty). */
+    std::vector<FaultKind> kinds = {FaultKind::TransientBitFlip,
+                                    FaultKind::StuckAtZero,
+                                    FaultKind::StuckAtOne};
+
+    /**
+     * Unit restrictions on the unit axis. The default single
+     * `nullopt` entry means "any unit": the fault lives on the lane's
+     * output wire regardless of which execution unit drives it —
+     * the physical-lane model the rest of the repo uses.
+     */
+    std::vector<std::optional<isa::UnitType>> units = {std::nullopt};
+
+    /**
+     * Pulse-cycle count for transient sites; 0 = one window per
+     * cycle of the placement span, capped at 4096.
+     */
+    unsigned cycleWindows = 0;
+
+    /**
+     * Transient pulses are placed inside the fault-free span scaled
+     * by this fraction pair (the whole run by default).
+     */
+    double windowLo = 0.0, windowHi = 1.0;
+};
+
+class FaultSiteSpace
+{
+  public:
+    /**
+     * @param cfg  axis description
+     * @param span the workload's fault-free run length in cycles,
+     *             used to resolve transient pulse windows
+     */
+    FaultSiteSpace(const SiteSpaceConfig &cfg, Cycle span);
+
+    /** Total number of enumerable sites. */
+    std::uint64_t size() const { return size_; }
+
+    /** Resolved transient pulse-window count. */
+    unsigned cycleWindows() const { return windows_; }
+
+    const SiteSpaceConfig &config() const { return cfg_; }
+
+    /** Decode dense index @p index into its concrete fault spec. */
+    FaultSpec site(std::uint64_t index) const;
+
+    /**
+     * The site sampled for campaign run @p run_index under master
+     * seed @p seed: a uniform draw from a private per-run generator
+     * (deriveSeed), so draw i never depends on draws j < i, on the
+     * worker count, or on execution order. Sampling is *with*
+     * replacement — the draws are i.i.d., which is what the binomial
+     * confidence intervals assume.
+     */
+    std::uint64_t sampleIndex(std::uint64_t seed,
+                              std::uint64_t run_index) const;
+
+    /**
+     * Order-insensitive fingerprint of the axis description and
+     * span, used to refuse resuming a checkpoint against a different
+     * space.
+     */
+    std::uint64_t signature() const;
+
+  private:
+    SiteSpaceConfig cfg_;
+    Cycle span_;
+    Cycle pulseLo_ = 0;    ///< first eligible transient pulse cycle
+    Cycle pulseSpan_ = 1;  ///< eligible transient pulse range length
+    unsigned windows_ = 1; ///< transient pulse windows
+    std::uint64_t sitesPerKind_[2] = {0, 0}; ///< [transient, stuck-at]
+    std::uint64_t size_ = 0;
+};
+
+} // namespace fault
+} // namespace warped
+
+#endif // WARPED_FAULT_SITE_SPACE_HH

@@ -1,0 +1,63 @@
+#include "stats/confidence.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace stats {
+
+Interval
+wilsonInterval(std::uint64_t successes, std::uint64_t trials, double z)
+{
+    if (successes > trials)
+        warped_panic("wilsonInterval: ", successes, " successes in ",
+                     trials, " trials");
+    if (trials == 0)
+        return {0.0, 1.0};
+
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = p + z2 / (2.0 * n);
+    const double spread =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+
+    Interval iv;
+    iv.lo = (center - spread) / denom;
+    iv.hi = (center + spread) / denom;
+    // The score interval is algebraically inside [0, 1]; the clamps
+    // only absorb floating-point round-off at the exact endpoints.
+    if (successes == 0)
+        iv.lo = 0.0;
+    if (successes == trials)
+        iv.hi = 1.0;
+    if (iv.lo < 0.0)
+        iv.lo = 0.0;
+    if (iv.hi > 1.0)
+        iv.hi = 1.0;
+    return iv;
+}
+
+std::uint64_t
+sampleSizeForMargin(double margin, double z, double p,
+                    std::uint64_t population)
+{
+    if (margin <= 0.0 || p < 0.0 || p > 1.0)
+        warped_panic("sampleSizeForMargin: bad margin ", margin,
+                     " or proportion ", p);
+    const double n0 = z * z * p * (1.0 - p) / (margin * margin);
+    double n = n0;
+    if (population > 0) {
+        const double pop = static_cast<double>(population);
+        n = n0 / (1.0 + (n0 - 1.0) / pop);
+        if (n > pop)
+            n = pop;
+    }
+    const double up = std::ceil(n);
+    return up < 1.0 ? 1 : static_cast<std::uint64_t>(up);
+}
+
+} // namespace stats
+} // namespace warped

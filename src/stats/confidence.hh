@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Confidence-interval math for sampled fault-injection campaigns.
+ *
+ * A campaign estimates a binomial proportion (e.g. "fraction of fault
+ * sites whose injection is detected") from n sampled sites. The
+ * Wilson score interval is used instead of the textbook normal
+ * approximation because it behaves at the extremes the campaigns
+ * actually hit — proportions near 1.0 (coverage) and near 0.0 (SDC
+ * rate) — where the Wald interval collapses to a point or escapes
+ * [0, 1].
+ */
+
+#ifndef WARPED_STATS_CONFIDENCE_HH
+#define WARPED_STATS_CONFIDENCE_HH
+
+#include <cstdint>
+
+namespace warped {
+namespace stats {
+
+/** Two-sided z quantile for a 95 % confidence level. */
+inline constexpr double kZ95 = 1.959963984540054;
+
+/** A confidence interval [lo, hi] for a proportion. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 1.0;
+
+    double width() const { return hi - lo; }
+};
+
+/**
+ * Wilson score interval for @p successes out of @p trials at the
+ * two-sided z quantile @p z.
+ *
+ * Exact endpoint behaviour: 0 successes pins lo to exactly 0,
+ * successes == trials pins hi to exactly 1, and trials == 0 returns
+ * the vacuous [0, 1].
+ *
+ * @param successes observed success count (<= trials)
+ * @param trials    sample size
+ * @param z         two-sided normal quantile (default 95 %)
+ */
+Interval wilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                        double z = kZ95);
+
+/**
+ * Sample size needed so a proportion estimate's normal-approximation
+ * margin of error is at most @p margin at quantile @p z, assuming
+ * the worst-case (or a prior) proportion @p p and optionally applying
+ * the finite-population correction for a site space of @p population
+ * elements (0 = treat the space as infinite).
+ *
+ * @param margin     target half-width, e.g. 0.01 for +-1 pp
+ * @param z          two-sided normal quantile (default 95 %)
+ * @param p          assumed proportion (0.5 = worst case)
+ * @param population finite site-space size; 0 disables the correction
+ * @return the smallest sufficient sample size (at least 1)
+ */
+std::uint64_t sampleSizeForMargin(double margin, double z = kZ95,
+                                  double p = 0.5,
+                                  std::uint64_t population = 0);
+
+} // namespace stats
+} // namespace warped
+
+#endif // WARPED_STATS_CONFIDENCE_HH

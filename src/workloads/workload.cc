@@ -87,5 +87,24 @@ makeByNameScaled(const std::string &name, unsigned s)
     warped_fatal("unknown workload '", name, "'");
 }
 
+std::unique_ptr<Workload>
+makeByNameSized(const std::string &name, unsigned size)
+{
+    if (size == 0)
+        return makeByName(name);
+    if (name == "BFS") return makeBfs(size);
+    if (name == "Nqueen") return makeNqueen(size);
+    if (name == "MUM") return makeMum(size);
+    if (name == "SCAN") return makeScan(size);
+    if (name == "BitonicSort") return makeBitonicSort(size);
+    if (name == "Laplace") return makeLaplace(size);
+    if (name == "MatrixMul") return makeMatrixMul(size);
+    if (name == "RadixSort") return makeRadixSort(size);
+    if (name == "SHA") return makeSha(size);
+    if (name == "Libor") return makeLibor(size);
+    if (name == "CUFFT") return makeFft(size);
+    warped_fatal("unknown workload '", name, "'");
+}
+
 } // namespace workloads
 } // namespace warped

@@ -87,6 +87,17 @@ const std::vector<std::string> &allNames();
 std::unique_ptr<Workload> makeByNameScaled(const std::string &name,
                                            unsigned block_scale);
 
+/**
+ * Factory with the raw size parameter passed straight through to the
+ * per-workload factory: the block count for block-shaped workloads,
+ * the problem dimension n for Laplace and MatrixMul. 0 = the
+ * workload's default size. Fault campaigns use this to pick
+ * instances small enough that 10k+ injected runs stay tractable
+ * (e.g. `MatrixMul --size 64`).
+ */
+std::unique_ptr<Workload> makeByNameSized(const std::string &name,
+                                          unsigned size);
+
 } // namespace workloads
 } // namespace warped
 

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Unit tests: the campaign engine stack — Wilson intervals, sample
+ * sizing, the fault-site space, outcome classification, and the
+ * engine's determinism and checkpoint/resume guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+#include "fault/campaign_engine.hh"
+#include "stats/confidence.hh"
+
+using namespace warped;
+using namespace warped::fault;
+
+// ---------------------------------------------------------------------
+// stats/confidence.hh
+
+TEST(Wilson, KnownValues)
+{
+    // 9/10 successes at z95: the textbook Wilson interval.
+    const auto i = stats::wilsonInterval(9, 10);
+    EXPECT_NEAR(i.lo, 0.59585, 1e-4);
+    EXPECT_NEAR(i.hi, 0.98212, 1e-4);
+}
+
+TEST(Wilson, ZeroSuccessesPinsLowerBound)
+{
+    const auto i = stats::wilsonInterval(0, 10);
+    EXPECT_DOUBLE_EQ(i.lo, 0.0);
+    // hi = z^2 / (n + z^2)
+    EXPECT_NEAR(i.hi, 0.27753, 1e-4);
+}
+
+TEST(Wilson, AllSuccessesPinsUpperBound)
+{
+    const auto i = stats::wilsonInterval(10, 10);
+    EXPECT_NEAR(i.lo, 0.72247, 1e-4);
+    EXPECT_DOUBLE_EQ(i.hi, 1.0);
+}
+
+TEST(Wilson, NoTrialsIsVacuous)
+{
+    const auto i = stats::wilsonInterval(0, 0);
+    EXPECT_DOUBLE_EQ(i.lo, 0.0);
+    EXPECT_DOUBLE_EQ(i.hi, 1.0);
+}
+
+TEST(Wilson, IntervalShrinksWithTrials)
+{
+    const auto small = stats::wilsonInterval(90, 100);
+    const auto large = stats::wilsonInterval(9000, 10000);
+    EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+    EXPECT_GT(large.lo, 0.89);
+    EXPECT_LT(large.hi, 0.91);
+}
+
+TEST(SampleSize, ClassicValues)
+{
+    // The canonical "n = 385 for +-5 % at 95 %".
+    EXPECT_EQ(stats::sampleSizeForMargin(0.05), 385u);
+    EXPECT_EQ(stats::sampleSizeForMargin(0.01), 9604u);
+}
+
+TEST(SampleSize, FinitePopulationCorrection)
+{
+    // Against a population of 1000, +-5 % needs only 278 draws.
+    EXPECT_EQ(stats::sampleSizeForMargin(0.05, stats::kZ95, 0.5, 1000),
+              278u);
+    // A huge population is indistinguishable from infinite.
+    EXPECT_EQ(stats::sampleSizeForMargin(0.05, stats::kZ95, 0.5,
+                                         std::uint64_t{1} << 40),
+              385u);
+}
+
+// ---------------------------------------------------------------------
+// fault/site_space.hh
+
+namespace {
+
+SiteSpaceConfig
+smallSpaceCfg()
+{
+    SiteSpaceConfig sc;
+    sc.numSms = 2;
+    sc.warpSize = 4;
+    sc.bits = 8;
+    sc.cycleWindows = 16;
+    return sc;
+}
+
+} // namespace
+
+TEST(SiteSpace, SizeArithmetic)
+{
+    const FaultSiteSpace space(smallSpaceCfg(), 1000);
+    // place = 2 SMs * 4 lanes * 8 bits * 1 unit = 64.
+    // transient = 64 * 16 windows; each stuck-at kind = 64.
+    EXPECT_EQ(space.size(), 64u * 16 + 64 + 64);
+    EXPECT_EQ(space.cycleWindows(), 16u);
+}
+
+TEST(SiteSpace, DecodeCoversEveryAxisValue)
+{
+    const FaultSiteSpace space(smallSpaceCfg(), 1000);
+    std::set<std::tuple<int, unsigned, unsigned, unsigned, Cycle>> seen;
+    for (std::uint64_t i = 0; i < space.size(); ++i) {
+        const auto s = space.site(i);
+        EXPECT_LT(s.sm, 2u);
+        EXPECT_LT(s.lane, 4u);
+        EXPECT_LT(s.bit, 8u);
+        EXPECT_FALSE(s.unit.has_value());
+        if (s.kind == FaultKind::TransientBitFlip) {
+            EXPECT_EQ(s.cycleBegin, s.cycleEnd);
+            EXPECT_LT(s.cycleEnd, 1000u);
+        } else {
+            EXPECT_EQ(s.cycleBegin, 0u);
+            EXPECT_EQ(s.cycleEnd, ~Cycle{0});
+        }
+        seen.insert({static_cast<int>(s.kind), s.sm, s.lane, s.bit,
+                     s.cycleBegin});
+    }
+    // The decode is a bijection onto the axis product.
+    EXPECT_EQ(seen.size(), space.size());
+}
+
+TEST(SiteSpace, StuckAtOnlySpaceHasNoWindowAxis)
+{
+    auto sc = smallSpaceCfg();
+    sc.kinds = {FaultKind::StuckAtOne};
+    const FaultSiteSpace space(sc, /*span=*/0);
+    EXPECT_EQ(space.size(), 64u);
+}
+
+TEST(SiteSpace, SampleIsDeterministicAndOrderFree)
+{
+    const FaultSiteSpace space(smallSpaceCfg(), 1000);
+    // Draw i depends only on (seed, i): any permutation of evaluation
+    // order — i.e. any --jobs value — sees the same sites.
+    std::vector<std::uint64_t> fwd, bwd;
+    for (std::uint64_t i = 0; i < 200; ++i)
+        fwd.push_back(space.sampleIndex(42, i));
+    for (std::uint64_t i = 200; i-- > 0;)
+        bwd.push_back(space.sampleIndex(42, i));
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        EXPECT_EQ(fwd[i], bwd[199 - i]);
+        EXPECT_LT(fwd[i], space.size());
+    }
+    // A different master seed gives a different sequence.
+    bool differs = false;
+    for (std::uint64_t i = 0; i < 200 && !differs; ++i)
+        differs = space.sampleIndex(43, i) != fwd[i];
+    EXPECT_TRUE(differs);
+}
+
+TEST(SiteSpace, SignatureTracksAxes)
+{
+    const FaultSiteSpace a(smallSpaceCfg(), 1000);
+    const FaultSiteSpace same(smallSpaceCfg(), 1000);
+    EXPECT_EQ(a.signature(), same.signature());
+
+    auto sc = smallSpaceCfg();
+    sc.kinds = {FaultKind::StuckAtOne};
+    EXPECT_NE(FaultSiteSpace(sc, 1000).signature(), a.signature());
+    EXPECT_NE(FaultSiteSpace(smallSpaceCfg(), 999).signature(),
+              a.signature());
+}
+
+// ---------------------------------------------------------------------
+// outcome classification
+
+TEST(Outcome, ClassificationPriority)
+{
+    // Never-activated is Masked no matter what else happened.
+    EXPECT_EQ(classifyOutcome(false, false, false, true),
+              OutcomeClass::Masked);
+    // Detection outranks hang and corruption.
+    EXPECT_EQ(classifyOutcome(true, true, true, false),
+              OutcomeClass::Detected);
+    // An undetected hang is a DUE even if the output also differs.
+    EXPECT_EQ(classifyOutcome(true, false, true, false),
+              OutcomeClass::Due);
+    // Wrong output with no alarm is the SDC case.
+    EXPECT_EQ(classifyOutcome(true, false, false, false),
+              OutcomeClass::Sdc);
+    // Activated but architecturally masked.
+    EXPECT_EQ(classifyOutcome(true, false, false, true),
+              OutcomeClass::Masked);
+}
+
+TEST(Outcome, CountsAndRates)
+{
+    OutcomeCounts c;
+    c.add(OutcomeClass::Masked, false);
+    c.add(OutcomeClass::Masked, true);
+    c.add(OutcomeClass::Detected, true);
+    c.add(OutcomeClass::Detected, true);
+    c.add(OutcomeClass::Detected, true);
+    c.add(OutcomeClass::Sdc, true);
+    EXPECT_EQ(c.total(), 6u);
+    EXPECT_EQ(c.notActivated, 1u);
+    EXPECT_DOUBLE_EQ(c.coverage(), 3.0 / 6.0);
+    EXPECT_DOUBLE_EQ(c.detectionRate(), 3.0 / 4.0);
+    const auto ci = c.coverageCi();
+    EXPECT_LT(ci.lo, 0.5);
+    EXPECT_GT(ci.hi, 0.5);
+}
+
+TEST(Outcome, LatencyBucketsAreLog2)
+{
+    EXPECT_EQ(latencyBucket(0), 0u);
+    EXPECT_EQ(latencyBucket(1), 1u);
+    EXPECT_EQ(latencyBucket(2), 2u);
+    EXPECT_EQ(latencyBucket(3), 2u);
+    EXPECT_EQ(latencyBucket(4), 3u);
+    EXPECT_EQ(latencyBucket(1023), 10u);
+    EXPECT_EQ(latencyBucket(~std::uint64_t{0}), kLatencyBuckets - 1);
+}
+
+// ---------------------------------------------------------------------
+// the engine: determinism, resume, and protection ablation
+
+namespace {
+
+EngineConfig
+scanEngineCfg()
+{
+    EngineConfig ec;
+    ec.workload = "SCAN";
+    ec.gpu = arch::GpuConfig::testDefault();
+    ec.space.cycleWindows = 64;
+    ec.sites = 30;
+    ec.seed = 7;
+    return ec;
+}
+
+WorkloadFactory
+scanFactory()
+{
+    return [] { return workloads::makeScan(2); };
+}
+
+} // namespace
+
+TEST(CampaignEngine, ReportIsIdenticalForAnyJobsCount)
+{
+    auto ec = scanEngineCfg();
+    ec.jobs = 1;
+    const auto seq = CampaignEngine(scanFactory(), ec).run().toJson();
+    ec.jobs = 3;
+    const auto par = CampaignEngine(scanFactory(), ec).run().toJson();
+    EXPECT_EQ(seq, par);
+}
+
+TEST(CampaignEngine, ResumedCampaignMatchesUninterrupted)
+{
+    const std::string ckpt =
+        testing::TempDir() + "warped_campaign_ckpt.json";
+    std::remove(ckpt.c_str());
+
+    auto ec = scanEngineCfg();
+    ec.jobs = 2;
+    const auto full = CampaignEngine(scanFactory(), ec).run();
+
+    // Interrupt after one 10-run chunk...
+    ec.checkpointPath = ckpt;
+    ec.checkpointEvery = 10;
+    ec.stopAfterChunks = 1;
+    const auto partial = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(partial.sampled, 10u);
+
+    // ...then resume with a different worker count.
+    ec.stopAfterChunks = 0;
+    ec.jobs = 1;
+    const auto resumed = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(resumed.sampled, full.sampled);
+    EXPECT_EQ(resumed.toJson(), full.toJson());
+    std::remove(ckpt.c_str());
+}
+
+TEST(CampaignEngine, MismatchedCheckpointIsRefused)
+{
+    const std::string ckpt =
+        testing::TempDir() + "warped_campaign_ckpt2.json";
+    std::remove(ckpt.c_str());
+
+    auto ec = scanEngineCfg();
+    ec.checkpointPath = ckpt;
+    ec.checkpointEvery = 10;
+    ec.stopAfterChunks = 1;
+    CampaignEngine(scanFactory(), ec).run();
+
+    // A different campaign seed invalidates the state file: the stale
+    // checkpoint is ignored and the campaign restarts from zero (a
+    // resume would have carried the 10 prior runs to 20).
+    ec.seed = 8;
+    const auto restarted = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(restarted.sampled, 10u);
+    std::remove(ckpt.c_str());
+}
+
+TEST(CampaignEngine, DerivesSampleSizeFromMargin)
+{
+    auto ec = scanEngineCfg();
+    ec.sites = 0;
+    ec.marginOfError = 0.2; // tiny campaign: n0 = 25 (pre-correction)
+    ec.space.kinds = {FaultKind::StuckAtOne};
+    CampaignEngine eng(scanFactory(), ec);
+    const auto rep = eng.run();
+    EXPECT_EQ(eng.plannedSites(),
+              stats::sampleSizeForMargin(0.2, stats::kZ95, 0.5,
+                                         rep.spaceSize));
+    EXPECT_EQ(rep.sampled, eng.plannedSites());
+}
+
+TEST(CampaignEngine, ProtectionTurnsSdcIntoDetection)
+{
+    auto ec = scanEngineCfg();
+    ec.space.kinds = {FaultKind::StuckAtOne};
+    ec.sites = 12;
+
+    const auto prot = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(prot.overall.sdc, 0u);
+    EXPECT_GT(prot.overall.detected, 0u);
+    EXPECT_GT(prot.latencyCount, 0u);
+    // Comparator latency is far below kernel-end detection.
+    EXPECT_LT(prot.meanDetectionLatency(),
+              double(prot.kernelLengthSum) / prot.latencyCount);
+
+    ec.dmr = dmr::DmrConfig::off();
+    const auto unprot = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(unprot.overall.detected, 0u);
+    EXPECT_GT(unprot.overall.sdc + unprot.overall.due, 0u);
+}
+
+TEST(CampaignEngine, JsonCarriesTheHeadlineMetrics)
+{
+    auto ec = scanEngineCfg();
+    ec.sites = 10;
+    const auto json = CampaignEngine(scanFactory(), ec).run().toJson();
+    EXPECT_NE(json.find("\"campaign.sampled\": 10"), std::string::npos);
+    EXPECT_NE(json.find("campaign.coverage"), std::string::npos);
+    EXPECT_NE(json.find("campaign.coverage.wilson_lo"),
+              std::string::npos);
+    EXPECT_NE(json.find("campaign.space.size"), std::string::npos);
+}

@@ -233,3 +233,22 @@ TEST(RandomFaultHook, RateScalesActivations)
     const auto v = always.apply(0, c);
     EXPECT_EQ(std::popcount(v), 1);
 }
+
+TEST(RandomFaultHook, ResetRestoresConstructionState)
+{
+    // Regression: a hook reused across launches kept its RNG position
+    // and leaked the previous run's activation count.
+    func::FaultCtx c;
+    RandomFaultHook h(0.05, 11);
+    std::vector<RegValue> first;
+    for (unsigned i = 0; i < 500; ++i)
+        first.push_back(h.apply(i, c));
+    const auto acts = h.activations();
+    EXPECT_GT(acts, 0u);
+
+    h.reset();
+    EXPECT_EQ(h.activations(), 0u);
+    for (unsigned i = 0; i < 500; ++i)
+        EXPECT_EQ(h.apply(i, c), first[i]);
+    EXPECT_EQ(h.activations(), acts);
+}
