@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark: runs a pinned set of reference
+ * configurations (MatrixMul / BFS / Scan on 4 SMs, fixed seeds, DMR
+ * on and off, plus the fault-campaign reference mix) single-threaded
+ * and reports throughput through a trace::MetricsRegistry.
+ *
+ * Output contract (relied on by perf_compare and the perf_smoke
+ * ctest):
+ *  - counters (`perf.<config>.cycles`, `.instructions`, `.launches`)
+ *    depend only on the simulation seeds and are byte-identical
+ *    across runs and machines — any drift means simulator behavior
+ *    changed, not just speed;
+ *  - gauges (`perf.<config>.wall_ms`, `.cycles_per_sec`,
+ *    `.instr_per_sec`, `perf.peak_rss_mb`) carry wall-clock-derived
+ *    values and differ run to run.
+ *
+ * `--self-check` runs the suite twice and fails unless the
+ * deterministic half of the registry is identical — the
+ * determinism gate behind the perf_smoke ctest target.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "arch/gpu_config.hh"
+#include "common/logging.hh"
+#include "dmr/dmr_config.hh"
+#include "gpu/gpu.hh"
+#include "trace/metrics.hh"
+#include "workloads/workload.hh"
+
+using namespace warped;
+
+namespace {
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<workloads::Workload>()>;
+
+/** One pinned measurement configuration. */
+struct PerfConfig
+{
+    const char *name;
+    std::vector<WorkloadFactory> factories; ///< run back to back
+    dmr::DmrConfig dmr;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: perf_harness [--out FILE] [--repeat N] [--smoke] "
+        "[--self-check]\n"
+        "  --out FILE    write the metrics JSON here "
+        "(default BENCH_PR4.json)\n"
+        "  --repeat N    measure N back-to-back repetitions per "
+        "config (default 1)\n"
+        "  --smoke       tiny workload instances (CI smoke variant)\n"
+        "  --self-check  run the suite twice; exit 1 unless the\n"
+        "                deterministic counters match exactly\n");
+    std::exit(code);
+}
+
+/** Strict numeric flag parse: full-string, in-range, or usage+exit 2. */
+unsigned
+parseUnsignedArg(const char *flag, const char *text)
+{
+    if (!text || !*text)
+        usage(2);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || v > 0xFFFFFFFFul) {
+        std::fprintf(stderr, "perf_harness: bad value '%s' for %s\n",
+                     text, flag);
+        usage(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+/** The campaign machine: 4 SMs of the short-latency test GPU. */
+arch::GpuConfig
+referenceGpu()
+{
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.numSms = 4;
+    return cfg;
+}
+
+std::vector<PerfConfig>
+buildConfigs(bool smoke)
+{
+    // Workload sizes match bench/fault_campaign.cc's reference
+    // targets; the smoke variant shrinks them so CI finishes in
+    // seconds while exercising the same code paths.
+    const unsigned mm = smoke ? 32 : 64;
+    const unsigned blocks = smoke ? 2 : 4;
+
+    const WorkloadFactory matmul = [mm] {
+        return workloads::makeMatrixMul(mm);
+    };
+    const WorkloadFactory bfs = [blocks] {
+        return workloads::makeBfs(blocks);
+    };
+    const WorkloadFactory scan = [blocks] {
+        return workloads::makeScan(blocks);
+    };
+    const WorkloadFactory sha = [blocks] {
+        return workloads::makeSha(blocks);
+    };
+    const WorkloadFactory fft = [blocks] {
+        return workloads::makeFft(blocks);
+    };
+
+    const auto on = dmr::DmrConfig::paperDefault();
+    const auto off = dmr::DmrConfig::off();
+
+    std::vector<PerfConfig> configs;
+    configs.push_back({"matrixmul_dmr", {matmul}, on});
+    configs.push_back({"matrixmul_nodmr", {matmul}, off});
+    configs.push_back({"bfs_dmr", {bfs}, on});
+    configs.push_back({"bfs_nodmr", {bfs}, off});
+    configs.push_back({"scan_dmr", {scan}, on});
+    configs.push_back({"scan_nodmr", {scan}, off});
+    // The fault-campaign reference mix: every injection run in
+    // bench/fault_campaign simulates one of these five golden
+    // workloads under paper-default DMR, so their back-to-back
+    // throughput tracks campaign wall time directly.
+    configs.push_back(
+        {"campaign_ref", {bfs, scan, matmul, sha, fft}, on});
+    return configs;
+}
+
+double
+peakRssMb()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return double(ru.ru_maxrss) / 1024.0; // Linux: KiB
+}
+
+/** Run every config @p repeat times and fill @p m. */
+void
+measure(const std::vector<PerfConfig> &configs, unsigned repeat,
+        trace::MetricsRegistry &m)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto gpu_cfg = referenceGpu();
+
+    for (const auto &cfg : configs) {
+        std::uint64_t cycles = 0, instrs = 0, launches = 0;
+        const auto t0 = Clock::now();
+        for (unsigned rep = 0; rep < repeat; ++rep) {
+            for (const auto &factory : cfg.factories) {
+                auto w = factory();
+                gpu::Gpu g(gpu_cfg, cfg.dmr);
+                const auto r = workloads::runVerified(*w, g);
+                if (r.hung)
+                    warped_fatal("perf config ", cfg.name,
+                                 " hung — measurement void");
+                cycles += r.cycles;
+                instrs += r.issuedWarpInstrs;
+                ++launches;
+            }
+        }
+        const std::chrono::duration<double> dt = Clock::now() - t0;
+        const std::string p = std::string("perf.") + cfg.name;
+
+        m.counter(p + ".cycles") = cycles;
+        m.counter(p + ".instructions") = instrs;
+        m.counter(p + ".launches") = launches;
+        m.gauge(p + ".wall_ms") = dt.count() * 1e3;
+        m.gauge(p + ".cycles_per_sec") =
+            dt.count() > 0 ? double(cycles) / dt.count() : 0.0;
+        m.gauge(p + ".instr_per_sec") =
+            dt.count() > 0 ? double(instrs) / dt.count() : 0.0;
+
+        std::printf("  %-18s %10.1f ms  %12.0f cyc/s  %12.0f "
+                    "instr/s\n",
+                    cfg.name, dt.count() * 1e3,
+                    m.gauge(p + ".cycles_per_sec"),
+                    m.gauge(p + ".instr_per_sec"));
+    }
+    m.gauge("perf.peak_rss_mb") = peakRssMb();
+}
+
+/** The run-to-run-stable half of the registry (counters only). */
+std::string
+deterministicFingerprint(const trace::MetricsRegistry &m)
+{
+    std::string s;
+    for (const auto &[k, v] : m.counters())
+        s += k + "=" + std::to_string(v) + "\n";
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    std::string out = "BENCH_PR4.json";
+    unsigned repeat = 1;
+    bool smoke = false;
+    bool self_check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else if (std::strcmp(argv[i], "--repeat") == 0 &&
+                   i + 1 < argc) {
+            repeat = parseUnsignedArg("--repeat", argv[++i]);
+            if (repeat == 0)
+                usage(2);
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--self-check") == 0) {
+            self_check = true;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "perf_harness: unknown argument "
+                         "'%s'\n", argv[i]);
+            usage(2);
+        }
+    }
+
+    const auto configs = buildConfigs(smoke);
+    std::printf("perf_harness: %zu pinned configs, repeat=%u%s\n",
+                configs.size(), repeat, smoke ? " (smoke)" : "");
+
+    trace::MetricsRegistry m;
+    m.counter("perf.repeat") = repeat;
+    m.counter("perf.smoke") = smoke ? 1 : 0;
+    measure(configs, repeat, m);
+
+    if (self_check) {
+        trace::MetricsRegistry second;
+        second.counter("perf.repeat") = repeat;
+        second.counter("perf.smoke") = smoke ? 1 : 0;
+        std::printf("self-check: re-running suite\n");
+        measure(configs, repeat, second);
+        if (deterministicFingerprint(m) !=
+            deterministicFingerprint(second)) {
+            std::fprintf(stderr,
+                         "perf_harness: DETERMINISM FAILURE — "
+                         "counters differ between identical runs\n");
+            return 1;
+        }
+        std::printf("self-check: deterministic counters identical\n");
+    }
+
+    std::ofstream f(out);
+    if (!f) {
+        std::fprintf(stderr, "perf_harness: cannot write %s\n",
+                     out.c_str());
+        return 2;
+    }
+    f << m.toJson();
+    std::printf("metrics JSON written to %s\n", out.c_str());
+    return 0;
+}

@@ -10,7 +10,12 @@
  *   $ ./warped_sim SHA --sampling 1000:250 --arbitrate --disasm
  */
 
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -107,6 +112,63 @@ campaignUsage()
         "                      protection configuration under test\n");
 }
 
+void usage();
+
+/**
+ * Strict numeric flag parsing. Every numeric option goes through
+ * these: the whole argument must be digits (no sign, no trailing
+ * junk) and in range for the destination, or the relevant usage text
+ * is printed and the process exits 2. The previous prefix-accepting
+ * strtoul calls silently turned `--sites banana` into a zero-site
+ * campaign.
+ */
+[[noreturn]] void
+badNumericArg(const char *flag, const char *text, bool campaign)
+{
+    std::fprintf(stderr, "warped_sim: bad numeric value '%s' for %s\n",
+                 text ? text : "", flag);
+    if (campaign)
+        campaignUsage();
+    else
+        usage();
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64Arg(const char *flag, const char *text, bool campaign,
+            std::uint64_t max = ~std::uint64_t{0})
+{
+    if (!text || !std::isdigit(static_cast<unsigned char>(text[0])))
+        badNumericArg(flag, text, campaign);
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || *end != '\0' || v > max)
+        badNumericArg(flag, text, campaign);
+    return v;
+}
+
+unsigned
+parseU32Arg(const char *flag, const char *text, bool campaign)
+{
+    return static_cast<unsigned>(
+        parseU64Arg(flag, text, campaign, 0xFFFFFFFFull));
+}
+
+double
+parseF64Arg(const char *flag, const char *text, bool campaign)
+{
+    if (!text || !*text)
+        badNumericArg(flag, text, campaign);
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' ||
+        !std::isfinite(v))
+        badNumericArg(flag, text, campaign);
+    return v;
+}
+
 int
 campaignMain(int argc, char **argv)
 {
@@ -130,17 +192,11 @@ campaignMain(int argc, char **argv)
         };
         const char *v = nullptr;
         if (a == "--size") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            size = std::strtoul(v, nullptr, 10);
+            size = parseU32Arg("--size", next(), true);
         } else if (a == "--sites") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.sites = std::strtoull(v, nullptr, 10);
+            ec.sites = parseU64Arg("--sites", next(), true);
         } else if (a == "--moe") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.marginOfError = std::strtod(v, nullptr);
+            ec.marginOfError = parseF64Arg("--moe", next(), true);
         } else if (a == "--kinds") {
             if (!(v = next()))
                 return campaignUsage(), 2;
@@ -180,29 +236,21 @@ campaignMain(int argc, char **argv)
             else
                 return campaignUsage(), 2;
         } else if (a == "--windows") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.space.cycleWindows = std::strtoul(v, nullptr, 10);
+            ec.space.cycleWindows =
+                parseU32Arg("--windows", next(), true);
         } else if (a == "--sms") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            sms = std::strtoul(v, nullptr, 10);
+            sms = parseU32Arg("--sms", next(), true);
         } else if (a == "--seed") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.seed = std::strtoull(v, nullptr, 10);
+            ec.seed = parseU64Arg("--seed", next(), true);
         } else if (a == "--jobs") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.jobs = std::strtoul(v, nullptr, 10);
+            ec.jobs = parseU32Arg("--jobs", next(), true);
         } else if (a == "--checkpoint") {
             if (!(v = next()))
                 return campaignUsage(), 2;
             ec.checkpointPath = v;
         } else if (a == "--checkpoint-every") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.checkpointEvery = std::strtoull(v, nullptr, 10);
+            ec.checkpointEvery =
+                parseU64Arg("--checkpoint-every", next(), true);
         } else if (a == "--out") {
             if (!(v = next()))
                 return campaignUsage(), 2;
@@ -223,9 +271,7 @@ campaignMain(int argc, char **argv)
                                  ? dmr::MappingPolicy::Linear
                                  : dmr::MappingPolicy::CrossCluster;
         } else if (a == "--qsize") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.dmr.replayQSize = std::strtoul(v, nullptr, 10);
+            ec.dmr.replayQSize = parseU32Arg("--qsize", next(), true);
         } else {
             std::fprintf(stderr, "unknown campaign option %s\n",
                          a.c_str());
@@ -409,29 +455,23 @@ parse(int argc, char **argv, Options &o)
                                 ? dmr::MappingPolicy::Linear
                                 : dmr::MappingPolicy::CrossCluster;
         } else if (a == "--qsize") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.dmr.replayQSize = std::strtoul(v, nullptr, 10);
+            o.dmr.replayQSize = parseU32Arg("--qsize", next(), false);
         } else if (a == "--cluster") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.cluster = std::strtoul(v, nullptr, 10);
+            o.cluster = parseU32Arg("--cluster", next(), false);
         } else if (a == "--sms") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.numSms = std::strtoul(v, nullptr, 10);
+            o.numSms = parseU32Arg("--sms", next(), false);
         } else if (a == "--sampling") {
+            // E:A — both halves strict; sscanf accepted trailing
+            // junk ("1000:250x") and negative epochs.
             const char *v = next();
-            if (!v)
-                return false;
-            unsigned long e = 0, act = 0;
-            if (std::sscanf(v, "%lu:%lu", &e, &act) != 2)
-                return false;
-            o.dmr.samplingEpoch = e;
-            o.dmr.samplingActive = act;
+            const char *colon = v ? std::strchr(v, ':') : nullptr;
+            if (!colon)
+                badNumericArg("--sampling (expects E:A)", v, false);
+            const std::string epoch(v, colon);
+            o.dmr.samplingEpoch =
+                parseU32Arg("--sampling epoch", epoch.c_str(), false);
+            o.dmr.samplingActive =
+                parseU32Arg("--sampling active", colon + 1, false);
         } else if (a == "--sched") {
             const char *v = next();
             if (!v)
@@ -440,10 +480,7 @@ parse(int argc, char **argv, Options &o)
                           ? arch::SchedPolicy::GreedyThenOldest
                           : arch::SchedPolicy::LooseRoundRobin;
         } else if (a == "--schedulers") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.schedulers = std::strtoul(v, nullptr, 10);
+            o.schedulers = parseU32Arg("--schedulers", next(), false);
         } else if (a == "--bank-conflicts") {
             o.bankConflicts = true;
         } else if (a == "--coalescing") {
@@ -451,10 +488,7 @@ parse(int argc, char **argv, Options &o)
         } else if (a == "--contention") {
             o.contention = true;
         } else if (a == "--warp") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.warpSize = std::strtoul(v, nullptr, 10);
+            o.warpSize = parseU32Arg("--warp", next(), false);
         } else if (a == "--arbitrate") {
             o.dmr.arbitrateErrors = true;
         } else if (a == "--dmtr") {
@@ -465,20 +499,11 @@ parse(int argc, char **argv, Options &o)
                 return false;
             o.kernelFile = v;
         } else if (a == "--blocks") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.kblocks = std::strtoul(v, nullptr, 10);
+            o.kblocks = parseU32Arg("--blocks", next(), false);
         } else if (a == "--threads") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.kthreads = std::strtoul(v, nullptr, 10);
+            o.kthreads = parseU32Arg("--threads", next(), false);
         } else if (a == "--trace") {
-            const char *v = next();
-            if (!v)
-                return false;
-            o.trace = std::strtoul(v, nullptr, 10);
+            o.trace = parseU32Arg("--trace", next(), false);
         } else if (a == "--trace-out") {
             const char *v = next();
             if (!v)

@@ -56,7 +56,7 @@ DmrEngine::rawHazardStall(unsigned warp_id, const isa::Instruction &next,
     const std::uint64_t reads = readMaskOf(next);
     if (reads == 0)
         return false;
-    auto producer = queue_.popRawHazard(warp_id, reads, now);
+    const auto *producer = queue_.popRawHazard(warp_id, reads, now);
     if (!producer)
         return false;
     // The pipeline stalls this cycle; the freed units verify the
@@ -90,7 +90,7 @@ DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
                 static_cast<int>(t) == verifiedUnitThisCycle_) {
                 continue;
             }
-            if (auto e = queue_.popOldestOfType(ut, now)) {
+            if (const auto *e = queue_.popOldestOfType(ut, now)) {
                 interWarpVerify(e->rec, now);
                 ++stats_.unitDrainVerifications;
             }
@@ -115,9 +115,16 @@ DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
             ++stats_.interWarpInstrs;
         else
             ++stats_.intraWarpInstrs;
-        if (temporal)
-            pending_ = rec;
-        else if (!full_mask && cfg_.intraWarp)
+        if (temporal) {
+            if (&rec == &scratch()) {
+                // The SM executed into our scratch buffer: adopt it
+                // as the pending record by swapping buffer roles.
+                scratchIsA_ = !scratchIsA_;
+            } else {
+                pendingRec() = rec;
+            }
+            hasPending_ = true;
+        } else if (!full_mask && cfg_.intraWarp)
             intraWarpVerify(rec, now);
     }
     return stall;
@@ -126,11 +133,13 @@ DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
 unsigned
 DmrEngine::replayCheck(isa::UnitType next_type, Cycle now)
 {
-    if (!pending_)
+    if (!hasPending_)
         return 0;
 
-    func::ExecRecord pending = std::move(*pending_);
-    pending_.reset();
+    // Verified/queued in place: the pending buffer is not reused
+    // until the adopting onIssue of a later instruction.
+    hasPending_ = false;
+    const func::ExecRecord &pending = pendingRec();
 
     if (pending.instr.unit() != next_type) {
         // Different unit types: the pending instruction's units are
@@ -144,12 +153,15 @@ DmrEngine::replayCheck(isa::UnitType next_type, Cycle now)
 
     // Same type. Look for a queued instruction of a different type
     // whose unit is idle this cycle.
-    if (auto e = queue_.popDifferentType(next_type, rng_,
-                                         cfg_.dequeuePolicy, now)) {
+    if (const auto *e = queue_.popDifferentType(next_type, rng_,
+                                                cfg_.dequeuePolicy,
+                                                now)) {
         verifiedUnitThisCycle_ = static_cast<int>(e->rec.instr.unit());
+        // Verify the popped entry before the push below reuses its
+        // freed slot.
         interWarpVerify(e->rec, now);
         ++stats_.dequeueVerifications;
-        queue_.push(std::move(pending), now);
+        queue_.push(pending, now);
         ++stats_.enqueues;
         return 0;
     }
@@ -164,7 +176,7 @@ DmrEngine::replayCheck(isa::UnitType next_type, Cycle now)
         return 1;
     }
 
-    queue_.push(std::move(pending), now);
+    queue_.push(pending, now);
     ++stats_.enqueues;
     return 0;
 }
@@ -174,15 +186,15 @@ DmrEngine::onIdleCycle(Cycle now)
 {
     if (!cfg_.enabled || !cfg_.interWarp)
         return;
-    if (pending_) {
-        func::ExecRecord pending = std::move(*pending_);
-        pending_.reset();
+    if (hasPending_) {
+        hasPending_ = false;
+        const func::ExecRecord &pending = pendingRec();
         emit(trace::EventKind::IdleDrain, pending, now, 0);
         interWarpVerify(pending, now);
         ++stats_.idleDrainVerifications;
         return;
     }
-    if (auto e = queue_.popOldest(now)) {
+    if (const auto *e = queue_.popOldest(now)) {
         emit(trace::EventKind::IdleDrain, e->rec, now, 1);
         interWarpVerify(e->rec, now);
         ++stats_.idleDrainVerifications;
@@ -195,7 +207,7 @@ DmrEngine::drainAll(Cycle now)
     if (!cfg_.enabled || !cfg_.interWarp)
         return 0;
     std::uint64_t cycles = 0;
-    while (pending_ || !queue_.empty()) {
+    while (hasPending_ || !queue_.empty()) {
         ++cycles;
         onIdleCycle(now + cycles);
     }

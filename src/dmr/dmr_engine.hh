@@ -10,8 +10,6 @@
 #ifndef WARPED_DMR_DMR_ENGINE_HH
 #define WARPED_DMR_DMR_ENGINE_HH
 
-#include <optional>
-
 #include "arch/gpu_config.hh"
 #include "common/rng.hh"
 #include "dmr/dmr_config.hh"
@@ -49,8 +47,21 @@ class DmrEngine
      * Account and protect an issued instruction. Must be called for
      * every issue, in order. @return extra pipeline stall cycles
      * (1 when the ReplayQ was full with no co-execution partner).
+     *
+     * When @p rec is the engine's own scratch() record the engine
+     * adopts it by buffer swap instead of copying the ~2.6 KB
+     * payload; any other record (unit-test fixtures) is copied.
      */
     unsigned onIssue(const func::ExecRecord &rec, Cycle now);
+
+    /**
+     * Scratch record for the SM to execute the next instruction into
+     * (Executor::stepInto). Handing the engine its own scratch lets
+     * onIssue keep the record as the pending RF-stage instruction
+     * with a buffer swap — no per-issue copy. Contents are only
+     * meaningful between stepInto and the matching onIssue.
+     */
+    func::ExecRecord &scratch() { return scratchIsA_ ? bufA_ : bufB_; }
 
     /** No instruction issued this cycle: drain one verification. */
     void onIdleCycle(Cycle now);
@@ -79,7 +90,7 @@ class DmrEngine
     const ThreadCoreMapping &mapping() const { return mapping_; }
     const DmrConfig &config() const { return cfg_; }
     unsigned replayQueueSize() const { return queue_.size(); }
-    bool hasPending() const { return pending_.has_value(); }
+    bool hasPending() const { return hasPending_; }
 
   private:
     /** Intra-warp DMR: RFU pairing + comparison; updates coverage. */
@@ -114,9 +125,17 @@ class DmrEngine
     DmrStats stats_;
     trace::Recorder *recorder_ = nullptr;
 
-    /** The fully-utilized instruction currently in the RF stage,
-     *  awaiting the Replay Checker's decision. */
-    std::optional<func::ExecRecord> pending_;
+    /** Double buffer: one record is the SM-facing scratch()
+     *  (next instruction executes into it), the other holds the
+     *  fully-utilized instruction currently in the RF stage awaiting
+     *  the Replay Checker's decision (valid when hasPending_).
+     *  Adoption swaps the roles — tracked by a flag, not pointers,
+     *  so the engine stays trivially movable. */
+    func::ExecRecord bufA_, bufB_;
+    bool scratchIsA_ = true;
+    bool hasPending_ = false;
+
+    func::ExecRecord &pendingRec() { return scratchIsA_ ? bufB_ : bufA_; }
 
     /** Unit type used by a verification this cycle (-1 = none):
      *  the opportunistic drain must not double-book an issue slot. */

@@ -1,35 +1,58 @@
 #include "dmr/replay_queue.hh"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/logging.hh"
 
 namespace warped {
 namespace dmr {
 
+ReplayQueue::ReplayQueue(unsigned capacity)
+    : capacity_(capacity), slots_(capacity), writeBit_(capacity, 0)
+{
+    order_.reserve(capacity);
+    free_.reserve(capacity);
+    // Stack of free slots; pop from the back, so seed it in reverse
+    // for slot 0 to be handed out first (cosmetic only).
+    for (unsigned i = capacity; i-- > 0;)
+        free_.push_back(i);
+}
+
 void
-ReplayQueue::push(func::ExecRecord rec, Cycle now)
+ReplayQueue::push(const func::ExecRecord &rec, Cycle now)
 {
     if (full())
         warped_panic("ReplayQueue overflow (capacity ", capacity_, ")");
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    slots_[slot].rec = rec;
+    slots_[slot].enqueued = now;
+    writeBit_[slot] =
+        rec.instr.hasDst() ? 1ULL << rec.instr.dst.idx : 0;
+    writeRegMask_ |= writeBit_[slot];
+    order_.push_back(slot);
     if (recorder_) [[unlikely]]
-        recordEvent(trace::EventKind::ReplayPush, rec,
-                    entries_.size() + 1, now);
-    entries_.push_back({std::move(rec), now});
+        recordEvent(trace::EventKind::ReplayPush, rec, order_.size(),
+                    now);
     peakDepth_ = std::max(peakDepth_,
-                          static_cast<unsigned>(entries_.size()));
+                          static_cast<unsigned>(order_.size()));
 }
 
-ReplayQueue::Entry
-ReplayQueue::take(std::size_t i, Cycle now)
+const ReplayQueue::Entry *
+ReplayQueue::take(std::size_t pos, Cycle now)
 {
-    Entry e = std::move(entries_[i]);
-    entries_.erase(entries_.begin() + i);
+    const std::uint32_t slot = order_[pos];
+    order_.erase(order_.begin() + pos);
+    free_.push_back(slot);
+    // Rebuild the hazard fast-reject union (<= capacity_ ORs).
+    writeRegMask_ = 0;
+    for (const std::uint32_t s : order_)
+        writeRegMask_ |= writeBit_[s];
+    const Entry &e = slots_[slot];
     if (recorder_) [[unlikely]]
-        recordEvent(trace::EventKind::ReplayPop, e.rec,
-                    entries_.size(), now);
-    return e;
+        recordEvent(trace::EventKind::ReplayPop, e.rec, order_.size(),
+                    now);
+    return &e;
 }
 
 void
@@ -48,40 +71,50 @@ ReplayQueue::recordEvent(trace::EventKind kind,
     recorder_->record(smId_, ev);
 }
 
-std::optional<ReplayQueue::Entry>
+const ReplayQueue::Entry *
 ReplayQueue::popDifferentType(isa::UnitType busy, Rng &rng,
                               DequeuePolicy policy, Cycle now)
 {
-    std::vector<std::size_t> candidates;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (entries_[i].rec.instr.unit() != busy)
-            candidates.push_back(i);
+    // First pass: count qualifying entries, remembering the oldest.
+    std::size_t count = 0;
+    std::size_t first = 0;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (slots_[order_[i]].rec.instr.unit() != busy) {
+            if (count == 0)
+                first = i;
+            ++count;
+        }
     }
-    if (candidates.empty())
-        return std::nullopt;
-    const std::size_t pick =
-        (policy == DequeuePolicy::OldestFirst || candidates.size() == 1)
-            ? candidates[0]
-            : candidates[rng.nextBelow(candidates.size())];
-    return take(pick, now);
+    if (count == 0)
+        return nullptr;
+    if (policy == DequeuePolicy::OldestFirst || count == 1)
+        return take(first, now);
+    // Random pick: find the k-th qualifying entry (oldest-first
+    // enumeration, matching the candidate order the RNG indexes).
+    std::size_t k = rng.nextBelow(count);
+    for (std::size_t i = first; i < order_.size(); ++i) {
+        if (slots_[order_[i]].rec.instr.unit() != busy && k-- == 0)
+            return take(i, now);
+    }
+    warped_panic("popDifferentType: candidate walk out of sync");
 }
 
-std::optional<ReplayQueue::Entry>
+const ReplayQueue::Entry *
 ReplayQueue::popOldest(Cycle now)
 {
-    if (entries_.empty())
-        return std::nullopt;
+    if (order_.empty())
+        return nullptr;
     return take(0, now);
 }
 
-std::optional<ReplayQueue::Entry>
+const ReplayQueue::Entry *
 ReplayQueue::popOldestOfType(isa::UnitType t, Cycle now)
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (entries_[i].rec.instr.unit() == t)
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (slots_[order_[i]].rec.instr.unit() == t)
             return take(i, now);
     }
-    return std::nullopt;
+    return nullptr;
 }
 
 bool
@@ -97,25 +130,30 @@ bool
 ReplayQueue::hasRawHazard(unsigned warp_id,
                           std::uint64_t reg_read_mask) const
 {
-    for (const auto &e : entries_) {
+    if ((writeRegMask_ & reg_read_mask) == 0)
+        return false;
+    for (const std::uint32_t s : order_) {
+        const auto &e = slots_[s];
         if (e.rec.warpId == warp_id && writesInMask(e.rec, reg_read_mask))
             return true;
     }
     return false;
 }
 
-std::optional<ReplayQueue::Entry>
+const ReplayQueue::Entry *
 ReplayQueue::popRawHazard(unsigned warp_id, std::uint64_t reg_read_mask,
                           Cycle now)
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const auto &e = entries_[i];
+    if ((writeRegMask_ & reg_read_mask) == 0)
+        return nullptr;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        const auto &e = slots_[order_[i]];
         if (e.rec.warpId == warp_id &&
             writesInMask(e.rec, reg_read_mask)) {
             return take(i, now);
         }
     }
-    return std::nullopt;
+    return nullptr;
 }
 
 } // namespace dmr

@@ -7,14 +7,21 @@
  * the per-lane original execution results (§4.3.1: 32 lanes x 3
  * operands x 4B + 32 x 4B results + opcode = 514~516 B/entry, ~5 KB
  * for 10 entries).
+ *
+ * Storage is a fixed-capacity slot pool allocated once at
+ * construction: a FIFO order list of slot indices plus a free-slot
+ * stack. The queue sits on the per-issue path of every SM (Algorithm
+ * 1 consults it for each instruction), so dequeues shift a few
+ * 32-bit indices instead of erasing multi-KB entries, and no pop or
+ * push ever allocates.
  */
 
 #ifndef WARPED_DMR_REPLAY_QUEUE_HH
 #define WARPED_DMR_REPLAY_QUEUE_HH
 
 #include <cstddef>
-#include <deque>
-#include <optional>
+#include <cstdint>
+#include <vector>
 
 #include "common/rng.hh"
 #include "dmr/dmr_config.hh"
@@ -33,12 +40,12 @@ class ReplayQueue
         Cycle enqueued = 0;
     };
 
-    explicit ReplayQueue(unsigned capacity) : capacity_(capacity) {}
+    explicit ReplayQueue(unsigned capacity);
 
     unsigned capacity() const { return capacity_; }
-    unsigned size() const { return entries_.size(); }
-    bool empty() const { return entries_.empty(); }
-    bool full() const { return entries_.size() >= capacity_; }
+    unsigned size() const { return static_cast<unsigned>(order_.size()); }
+    bool empty() const { return order_.empty(); }
+    bool full() const { return order_.size() >= capacity_; }
 
     /** Deepest the queue has ever been (invariant: <= capacity). */
     unsigned peakDepth() const { return peakDepth_; }
@@ -52,29 +59,33 @@ class ReplayQueue
     }
 
     /** Enqueue an unverified instruction; caller checks !full(). */
-    void push(func::ExecRecord rec, Cycle now);
+    void push(const func::ExecRecord &rec, Cycle now);
 
     /**
      * Dequeue an entry whose unit type differs from @p busy — the
      * co-execution candidate of Algorithm 1. When several qualify the
      * pick follows @p policy: at random (paper §4.3) via @p rng, or
      * oldest-first (FIFO ablation).
+     *
+     * All pop operations return a pointer into the slot pool (or
+     * nullptr when nothing qualifies). The entry's slot is released,
+     * but its contents stay valid until the next push() — long enough
+     * for the engine to verify it without copying the ~2.6 KB record.
      */
-    std::optional<Entry>
-    popDifferentType(isa::UnitType busy, Rng &rng,
-                     DequeuePolicy policy = DequeuePolicy::Random,
-                     Cycle now = 0);
+    const Entry *popDifferentType(isa::UnitType busy, Rng &rng,
+                                  DequeuePolicy policy =
+                                      DequeuePolicy::Random,
+                                  Cycle now = 0);
 
     /** Dequeue the oldest entry (idle-cycle and end-of-kernel drain). */
-    std::optional<Entry> popOldest(Cycle now = 0);
+    const Entry *popOldest(Cycle now = 0);
 
     /**
      * Dequeue the oldest entry of unit type @p t — the opportunistic
      * per-unit drain: a queued instruction is re-executed as soon as
      * its execution unit has an idle issue slot (paper §4.3).
      */
-    std::optional<Entry> popOldestOfType(isa::UnitType t,
-                                         Cycle now = 0);
+    const Entry *popOldestOfType(isa::UnitType t, Cycle now = 0);
 
     /**
      * True when some queued entry of warp @p warp_id writes a register
@@ -87,9 +98,9 @@ class ReplayQueue
      * Dequeue the oldest entry of @p warp_id writing one of @p regs
      * (hazard resolution: verify the producer first).
      */
-    std::optional<Entry> popRawHazard(unsigned warp_id,
-                                      std::uint64_t reg_read_mask,
-                                      Cycle now = 0);
+    const Entry *popRawHazard(unsigned warp_id,
+                              std::uint64_t reg_read_mask,
+                              Cycle now = 0);
 
     /** Paper §4.3.1: bytes one entry occupies in hardware. */
     static constexpr std::size_t
@@ -104,8 +115,11 @@ class ReplayQueue
     static bool writesInMask(const func::ExecRecord &rec,
                              std::uint64_t reg_read_mask);
 
-    /** Remove entry @p i, emitting the ReplayPop event. */
-    Entry take(std::size_t i, Cycle now);
+    /** Remove the entry at FIFO position @p pos (index into the
+     *  order list), emitting the ReplayPop event. The slot is
+     *  returned to the free pool but its contents stay valid until
+     *  the next push. */
+    const Entry *take(std::size_t pos, Cycle now);
 
     /** Cold path: build + record a push/pop event (recorder_ set);
      *  @p depth_after is the queue depth after the operation. */
@@ -115,7 +129,14 @@ class ReplayQueue
 
     unsigned capacity_;
     unsigned peakDepth_ = 0;
-    std::deque<Entry> entries_;
+    std::vector<Entry> slots_;          ///< fixed pool, sized capacity_
+    std::vector<std::uint32_t> order_;  ///< oldest-first slot indices
+    std::vector<std::uint32_t> free_;   ///< unoccupied slot stack
+    /** Per-slot cached destination-register bit (0 when no dst). */
+    std::vector<std::uint64_t> writeBit_;
+    /** Union of destination-register bits over every queued entry:
+     *  a one-AND fast reject for the per-issue RAW hazard probe. */
+    std::uint64_t writeRegMask_ = 0;
     trace::Recorder *recorder_ = nullptr;
     unsigned smId_ = 0;
 };

@@ -155,9 +155,18 @@ ExecRecord
 Executor::step(arch::WarpContext &warp, const isa::Program &prog,
                mem::Memory &shared, const unsigned *lane_of, Cycle now)
 {
+    ExecRecord rec;
+    stepInto(warp, prog, shared, lane_of, now, rec);
+    return rec;
+}
+
+void
+Executor::stepInto(arch::WarpContext &warp, const isa::Program &prog,
+                   mem::Memory &shared, const unsigned *lane_of,
+                   Cycle now, ExecRecord &rec)
+{
     using isa::Opcode;
 
-    ExecRecord rec;
     const Pc pc = warp.stack().pc();
     const isa::Instruction &in = prog.at(pc);
     const LaneMask active = warp.stack().activeMask();
@@ -166,20 +175,40 @@ Executor::step(arch::WarpContext &warp, const isa::Program &prog,
     rec.instr = in;
     rec.pc = pc;
     rec.active = active;
+    rec.wasBranch = false;
+    rec.wasBarrier = false;
+    rec.wasExit = false;
+    rec.warpId = 0;
+    rec.traceId = 0;
 
     if (active.none())
         warped_panic("executing with empty active mask at pc ", pc);
+
+    // Per-instruction invariants, hoisted out of the lane loop.
+    const unsigned n_srcs = in.numSrcs();
+    const bool is_shuffle = isa::opcodeIsShuffle(in.op);
+    const bool hooked = in.hasDst() || in.isMem();
+    FaultCtx ctx;
+    ctx.sm = smId_;
+    ctx.unit = in.unit();
+    ctx.cycle = now;
+    ctx.isAddress = in.isMem();
+    LaneInfo li;
+    li.ctaid = static_cast<std::int32_t>(warp.blockId());
+    li.ntid = static_cast<std::int32_t>(warp.blockDim());
+    li.nctaid = static_cast<std::int32_t>(warp.gridDim());
+    li.warpId = static_cast<std::int32_t>(warp.warpInBlock());
 
     // Gather operands and compute per-thread results.
     for (unsigned slot = 0; slot < ws; ++slot) {
         if (!active.test(slot))
             continue;
         std::array<RegValue, 3> ops{0, 0, 0};
-        for (unsigned s = 0; s < in.numSrcs(); ++s) {
+        for (unsigned s = 0; s < n_srcs; ++s) {
             ops[s] = warp.reg(slot, in.src[s].idx);
             rec.operands[s][slot] = ops[s];
         }
-        if (isa::opcodeIsShuffle(in.op)) {
+        if (is_shuffle) {
             // Cross-lane gather: resolve the source slot now and
             // record its value as the operand. Inactive or
             // out-of-range sources fall back to the lane's own value
@@ -194,24 +223,14 @@ Executor::step(arch::WarpContext &warp, const isa::Program &prog,
                 ops[0] = warp.reg(src_slot, in.src[0].idx);
             rec.operands[0][slot] = ops[0];
         }
-        LaneInfo li;
         li.tid = static_cast<std::int32_t>(warp.tid(slot));
-        li.ctaid = static_cast<std::int32_t>(warp.blockId());
-        li.ntid = static_cast<std::int32_t>(warp.blockDim());
-        li.nctaid = static_cast<std::int32_t>(warp.gridDim());
         li.laneId = static_cast<std::int32_t>(slot);
-        li.warpId = static_cast<std::int32_t>(warp.warpInBlock());
         rec.laneInfo[slot] = li;
 
         RegValue pure = computeLane(in, ops, li);
 
-        if (in.hasDst() || in.isMem()) {
-            FaultCtx ctx;
-            ctx.sm = smId_;
+        if (hooked) {
             ctx.lane = lane_of ? lane_of[slot] : slot;
-            ctx.unit = in.unit();
-            ctx.cycle = now;
-            ctx.isAddress = in.isMem();
             pure = hook_->apply(pure, ctx);
         }
         rec.results[slot] = pure;
@@ -236,17 +255,17 @@ Executor::step(arch::WarpContext &warp, const isa::Program &prog,
                 taken.set(slot);
         }
         warp.stack().branch(taken, in.target, pc + 1, in.reconv);
-        return rec;
+        return;
       }
       case Opcode::BAR:
         rec.wasBarrier = true;
         warp.setAtBarrier(true);
         warp.stack().advanceTo(pc + 1);
-        return rec;
+        return;
       case Opcode::EXIT:
         rec.wasExit = true;
         warp.markExited(active);
-        return rec;
+        return;
       default:
         break;
     }
@@ -273,7 +292,6 @@ Executor::step(arch::WarpContext &warp, const isa::Program &prog,
     }
 
     warp.stack().advanceTo(pc + 1);
-    return rec;
 }
 
 } // namespace func

@@ -115,6 +115,19 @@ class Executor
                     mem::Memory &shared, const unsigned *lane_of,
                     Cycle now);
 
+    /**
+     * step() into a caller-owned record. The hot-path variant: the
+     * SM reuses one scratch ExecRecord across issues, so the ~2.6 KB
+     * of per-lane arrays are not zero-initialized on every
+     * instruction. Scalar fields are reset here; array slots are only
+     * written for lanes in the active mask, so stale data from a
+     * previous issue is never observable (every consumer masks by
+     * ExecRecord::active).
+     */
+    void stepInto(arch::WarpContext &warp, const isa::Program &prog,
+                  mem::Memory &shared, const unsigned *lane_of,
+                  Cycle now, ExecRecord &rec);
+
     unsigned smId() const { return smId_; }
     FaultHook &hook() { return *hook_; }
 

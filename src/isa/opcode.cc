@@ -1,33 +1,15 @@
 #include "isa/opcode.hh"
 
-#include <array>
-
 namespace warped {
 namespace isa {
 
 namespace {
 
-struct OpInfo
-{
-    const char *name;
-    UnitType unit;
-    std::uint8_t nSrcs;
-    bool hasDst;
-    bool isBranch;
+constexpr const char *kOpNames[] = {
+#define WARPED_OP_NAME(name, unit, nsrc, hasdst, isbr) #name,
+    WARPED_OPCODE_TABLE(WARPED_OP_NAME)
+#undef WARPED_OP_NAME
 };
-
-constexpr std::array kOpTable = {
-#define WARPED_OP_INFO(name, unit, nsrc, hasdst, isbr) \
-    OpInfo{#name, UnitType::unit, nsrc, hasdst != 0, isbr != 0},
-    WARPED_OPCODE_TABLE(WARPED_OP_INFO)
-#undef WARPED_OP_INFO
-};
-
-const OpInfo &
-info(Opcode op)
-{
-    return kOpTable[static_cast<std::size_t>(op)];
-}
 
 } // namespace
 
@@ -45,64 +27,10 @@ unitTypeName(UnitType t)
     return "?";
 }
 
-unsigned
-opcodeCount()
-{
-    return kOpTable.size();
-}
-
 const char *
 opcodeName(Opcode op)
 {
-    return info(op).name;
-}
-
-UnitType
-opcodeUnit(Opcode op)
-{
-    return info(op).unit;
-}
-
-unsigned
-opcodeNumSrcs(Opcode op)
-{
-    return info(op).nSrcs;
-}
-
-bool
-opcodeHasDst(Opcode op)
-{
-    return info(op).hasDst;
-}
-
-bool
-opcodeIsBranch(Opcode op)
-{
-    return info(op).isBranch;
-}
-
-bool
-opcodeIsLoad(Opcode op)
-{
-    return op == Opcode::LDG || op == Opcode::LDS;
-}
-
-bool
-opcodeIsStore(Opcode op)
-{
-    return op == Opcode::STG || op == Opcode::STS;
-}
-
-bool
-opcodeIsSharedMem(Opcode op)
-{
-    return op == Opcode::LDS || op == Opcode::STS;
-}
-
-bool
-opcodeIsShuffle(Opcode op)
-{
-    return op == Opcode::SHFL_XOR || op == Opcode::SHFL_DOWN;
+    return kOpNames[static_cast<std::size_t>(op)];
 }
 
 } // namespace isa

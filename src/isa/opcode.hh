@@ -111,35 +111,96 @@ enum class Opcode : std::uint8_t
 #undef WARPED_OP_ENUM
 };
 
+namespace detail {
+
+/** Static per-opcode properties, indexed by Opcode value. */
+struct OpInfo
+{
+    UnitType unit;
+    std::uint8_t nSrcs;
+    bool hasDst;
+    bool isBranch;
+};
+
+inline constexpr OpInfo kOpInfo[] = {
+#define WARPED_OP_INFO(name, unit, nsrc, hasdst, isbr) \
+    OpInfo{UnitType::unit, nsrc, hasdst != 0, isbr != 0},
+    WARPED_OPCODE_TABLE(WARPED_OP_INFO)
+#undef WARPED_OP_INFO
+};
+
+} // namespace detail
+
 /** Number of opcodes in the ISA. */
-unsigned opcodeCount();
+constexpr unsigned
+opcodeCount()
+{
+    return sizeof(detail::kOpInfo) / sizeof(detail::kOpInfo[0]);
+}
 
 /** Mnemonic for disassembly/diagnostics. */
 const char *opcodeName(Opcode op);
 
+// The classification predicates below sit on the per-lane execute and
+// per-issue schedule paths (hundreds of calls per simulated cycle), so
+// they are constexpr table/compare lookups rather than out-of-line
+// functions.
+
 /** Which execution unit the opcode occupies. */
-UnitType opcodeUnit(Opcode op);
+constexpr UnitType
+opcodeUnit(Opcode op)
+{
+    return detail::kOpInfo[static_cast<std::size_t>(op)].unit;
+}
 
 /** Number of register source operands (0..3). */
-unsigned opcodeNumSrcs(Opcode op);
+constexpr unsigned
+opcodeNumSrcs(Opcode op)
+{
+    return detail::kOpInfo[static_cast<std::size_t>(op)].nSrcs;
+}
 
 /** True when the opcode writes a destination register. */
-bool opcodeHasDst(Opcode op);
+constexpr bool
+opcodeHasDst(Opcode op)
+{
+    return detail::kOpInfo[static_cast<std::size_t>(op)].hasDst;
+}
 
 /** True for BRA/BRZ/BRNZ. */
-bool opcodeIsBranch(Opcode op);
+constexpr bool
+opcodeIsBranch(Opcode op)
+{
+    return detail::kOpInfo[static_cast<std::size_t>(op)].isBranch;
+}
 
 /** True for LDG/LDS (register write arrives from memory). */
-bool opcodeIsLoad(Opcode op);
+constexpr bool
+opcodeIsLoad(Opcode op)
+{
+    return op == Opcode::LDG || op == Opcode::LDS;
+}
 
 /** True for STG/STS. */
-bool opcodeIsStore(Opcode op);
+constexpr bool
+opcodeIsStore(Opcode op)
+{
+    return op == Opcode::STG || op == Opcode::STS;
+}
 
 /** True for operations touching shared (vs global) memory. */
-bool opcodeIsSharedMem(Opcode op);
+constexpr bool
+opcodeIsSharedMem(Opcode op)
+{
+    return op == Opcode::LDS || op == Opcode::STS;
+}
 
 /** True for the warp-shuffle cross-lane reads (SHFL_*). */
-bool opcodeIsShuffle(Opcode op);
+constexpr bool
+opcodeIsShuffle(Opcode op)
+{
+    return op == Opcode::SHFL_XOR || op == Opcode::SHFL_DOWN;
+}
 
 /**
  * Special values readable via S2R (selector stored in the

@@ -18,7 +18,8 @@ Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
       scoreboard_(cfg.maxThreadsPerSm / cfg.warpSize, prog.numRegs()),
       stats_(cfg.warpSize, prog.numRegs()),
       maxWarps_(cfg.maxThreadsPerSm / cfg.warpSize),
-      warps_(maxWarps_), warpBlockSlot_(maxWarps_, -1),
+      warps_(maxWarps_), warpState_(maxWarps_, kWarpEmpty),
+      warpBlockSlot_(maxWarps_, -1),
       blocks_(cfg.maxBlocksPerSm)
 {
     stats_.traceLimit = cfg.traceIssueLimit;
@@ -42,12 +43,7 @@ Sm::canAcceptBlock(unsigned block_threads) const
     if (!free_block)
         return false;
 
-    unsigned free_warps = 0;
-    for (unsigned w = 0; w < maxWarps_; ++w) {
-        if (!warps_[w].has_value())
-            ++free_warps;
-    }
-    if (free_warps < need_warps)
+    if (maxWarps_ - residentWarps_ < need_warps)
         return false;
 
     unsigned shared_in_use = 0;
@@ -88,36 +84,39 @@ Sm::assignBlock(unsigned block_id, unsigned block_threads,
                           grid_dim);
         scoreboard_.resetWarp(w);
         warpBlockSlot_[w] = static_cast<int>(slot);
+        warpState_[w] = warps_[w]->finished() ? kWarpFinished
+                                              : kWarpReady;
+        scanLimit_ = std::max(scanLimit_, w + 1);
         b.warpSlots.push_back(w);
         ++assigned;
         ++residentWarps_;
     }
+    b.liveWarps = 0;
+    for (unsigned w : b.warpSlots)
+        if (warpState_[w] != kWarpFinished)
+            ++b.liveWarps;
+    b.barrierWaiters = 0;
     residentThreads_ += block_threads;
 }
 
 void
 Sm::releaseBarriers()
 {
+    // A block's barrier opens when every live (non-finished) warp
+    // has arrived; the counters make the per-tick check O(blocks).
     for (auto &b : blocks_) {
-        if (!b.active)
+        if (!b.active || b.barrierWaiters == 0 ||
+            b.barrierWaiters != b.liveWarps) {
             continue;
-        bool any_waiting = false;
-        bool all_arrived = true;
-        for (unsigned w : b.warpSlots) {
-            const auto &warp = warps_[w];
-            if (!warp || warp->finished())
-                continue;
-            if (warp->atBarrier())
-                any_waiting = true;
-            else
-                all_arrived = false;
         }
-        if (any_waiting && all_arrived) {
-            for (unsigned w : b.warpSlots) {
-                if (warps_[w])
-                    warps_[w]->setAtBarrier(false);
+        for (unsigned w : b.warpSlots) {
+            if (warpState_[w] == kWarpBarrier) {
+                warps_[w]->setAtBarrier(false);
+                warpState_[w] = kWarpReady;
             }
         }
+        b.barrierWaiters = 0;
+        --barrierBlocks_;
     }
 }
 
@@ -134,10 +133,13 @@ Sm::retireIfDone(unsigned block_slot)
         if (warps_[w])
             threads += warps_[w]->validLanes().count();
         warps_[w].reset();
+        warpState_[w] = kWarpEmpty;
         warpBlockSlot_[w] = -1;
         scoreboard_.resetWarp(w);
         --residentWarps_;
     }
+    while (scanLimit_ > 0 && warpState_[scanLimit_ - 1] == kWarpEmpty)
+        --scanLimit_;
     residentThreads_ -= threads;
     b.active = false;
     b.shared.reset();
@@ -292,8 +294,12 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     const int block_slot = warpBlockSlot_[warp_slot];
     mem::Memory &shared = *blocks_[block_slot].shared;
 
-    func::ExecRecord rec = exec_.step(
-        *warp, prog_, shared, engine_.mapping().laneTable(), now);
+    // Execute into the engine's scratch record: no 2.6 KB
+    // zero-initialization per issue, and onIssue can adopt it as the
+    // pending RF-stage instruction without copying.
+    func::ExecRecord &rec = engine_.scratch();
+    exec_.stepInto(*warp, prog_, shared, engine_.mapping().laneTable(),
+                   now, rec);
     rec.warpId = warp_slot;
     rec.traceId = (std::uint64_t{smId_} << 40) | ++issueSeq_;
 
@@ -336,8 +342,16 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     stallCycles_ += stall;
     stats_.stallCyclesDmr += stall;
 
-    if (warp->finished())
+    // Mirror the executed warp's new schedulability.
+    if (warp->finished()) {
+        warpState_[warp_slot] = kWarpFinished;
+        --blocks_[block_slot].liveWarps;
         retireIfDone(block_slot);
+    } else if (warp->atBarrier()) {
+        warpState_[warp_slot] = kWarpBarrier;
+        if (blocks_[block_slot].barrierWaiters++ == 0)
+            ++barrierBlocks_;
+    }
 
     lastScheduled_ = warp_slot;
     lastProgress_ = now;
@@ -354,7 +368,8 @@ Sm::tick(Cycle now)
         return;
     }
 
-    releaseBarriers();
+    if (barrierBlocks_ > 0)
+        releaseBarriers();
 
     // Up to numSchedulers issues per cycle, each from a different
     // warp. With multiple schedulers each has private SP units, but
@@ -368,17 +383,23 @@ Sm::tick(Cycle now)
     // warp first (greedy) and then falls back to slot order (oldest).
     const bool gto =
         cfg_.schedPolicy == arch::SchedPolicy::GreedyThenOldest;
-    const unsigned base = lastScheduled_;
-    const unsigned scan_len = gto ? maxWarps_ + 1 : maxWarps_;
+    // Scan only up to the highest occupied slot. For LRR the base is
+    // clamped below the limit (retirement may have shrunk it past
+    // lastScheduled_); cyclic order over the occupied slots is
+    // unchanged because none sits at or above scanLimit_.
+    const unsigned limit = scanLimit_;
+    const unsigned base = gto ? lastScheduled_
+                              : std::min(lastScheduled_,
+                                         limit > 0 ? limit - 1 : 0);
+    const unsigned scan_len = gto ? limit + 1 : limit;
     for (unsigned i = 1;
          i <= scan_len && progress < cfg_.numSchedulers; ++i) {
         const unsigned w = gto ? (i == 1 ? base : i - 2)
-                               : (base + i) % maxWarps_;
-        const auto &warp = warps_[w];
-        if (!warp || warp->finished() || warp->atBarrier())
+                               : (base + i) % (limit > 0 ? limit : 1);
+        if (warpState_[w] != kWarpReady)
             continue;
         if (cfg_.numSchedulers > 1) {
-            const auto unit = prog_.at(warp->stack().pc()).unit();
+            const auto unit = prog_.at(warps_[w]->stack().pc()).unit();
             if (unit == isa::UnitType::LDST && ldst_used)
                 continue;
             if (unit == isa::UnitType::SFU && sfu_used)

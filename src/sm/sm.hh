@@ -95,9 +95,26 @@ class Sm
     {
         bool active = false;
         unsigned blockId = 0;
+        /** Resident warps not yet finished. */
+        unsigned liveWarps = 0;
+        /** Live warps currently waiting at the block barrier. */
+        unsigned barrierWaiters = 0;
         std::vector<unsigned> warpSlots;
         std::unique_ptr<mem::Memory> shared;
     };
+
+    // Schedulability of each warp slot, mirrored out of the
+    // WarpContext objects into one byte array: the per-cycle
+    // scheduler scan walks maxWarps_ slots and must not pull a
+    // multi-KB context into cache just to learn the slot is not
+    // issuable. Kept in sync wherever the underlying predicate
+    // (!warp || finished || atBarrier) can change: assignBlock,
+    // the post-execute step in tryIssue, releaseBarriers and
+    // retireIfDone.
+    static constexpr std::uint8_t kWarpEmpty = 0;
+    static constexpr std::uint8_t kWarpReady = 1;
+    static constexpr std::uint8_t kWarpBarrier = 2;
+    static constexpr std::uint8_t kWarpFinished = 3;
 
     enum class IssueOutcome { None, Issued, Stalled };
 
@@ -136,10 +153,20 @@ class Sm
 
     unsigned maxWarps_;
     std::vector<std::optional<arch::WarpContext>> warps_;
+    std::vector<std::uint8_t> warpState_; ///< kWarp* per slot
     std::vector<int> warpBlockSlot_; ///< warp slot -> block slot or -1
     std::vector<BlockSlot> blocks_;
     unsigned residentWarps_ = 0;
     unsigned residentThreads_ = 0;
+    /** 1 + highest occupied warp slot: warp allocation is first-fit
+     *  from slot 0, so the scheduler scan never needs to look past
+     *  this. Cyclic (LRR) order over the occupied slots is the same
+     *  mod scanLimit_ as mod maxWarps_ because every occupied slot
+     *  is below it. */
+    unsigned scanLimit_ = 0;
+    /** Active blocks with at least one warp waiting at the barrier;
+     *  releaseBarriers() is skipped when zero. */
+    unsigned barrierBlocks_ = 0;
     unsigned lastScheduled_ = 0;
     unsigned stallCycles_ = 0;
     Cycle lastProgress_ = 0;

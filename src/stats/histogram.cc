@@ -27,9 +27,12 @@ Histogram::total() const
 std::uint64_t
 Histogram::rangeCount(unsigned lo, unsigned hi) const
 {
+    // Clamp in size_t so an empty histogram can't wrap size() - 1;
+    // hi + 1 in size_t can't overflow for 32-bit hi.
+    const std::size_t end =
+        std::min<std::size_t>(std::size_t(hi) + 1, counts_.size());
     std::uint64_t sum = 0;
-    const unsigned top = std::min<unsigned>(hi, counts_.size() - 1);
-    for (unsigned v = lo; v <= top && v < counts_.size(); ++v)
+    for (std::size_t v = lo; v < end; ++v)
         sum += counts_[v];
     return sum;
 }

@@ -1,6 +1,7 @@
 #include "stats/launch_aggregator.hh"
 
 #include <algorithm>
+#include <array>
 #include <string>
 
 #include "common/logging.hh"
@@ -104,12 +105,29 @@ LaunchAggregator::buildMetrics()
     m.counter("sim.stallCyclesRaw") = r.stallCyclesRaw;
     m.counter("sim.blocksRetired") = r.blocksRetired;
 
+    // Composed per-unit keys, built once per process: buildMetrics
+    // runs for every launch (thousands per campaign), and repeated
+    // string concatenation showed up in the allocation profile.
+    struct UnitKeys
+    {
+        std::string issues, threadExecs, redundant;
+    };
+    static const std::array<UnitKeys, isa::kNumUnitTypes> kUnitKeys =
+        [] {
+            std::array<UnitKeys, isa::kNumUnitTypes> k;
+            for (unsigned t = 0; t < isa::kNumUnitTypes; ++t) {
+                const std::string unit =
+                    isa::unitTypeName(static_cast<isa::UnitType>(t));
+                k[t].issues = "sm.unitIssues." + unit;
+                k[t].threadExecs = "sm.unitThreadExecs." + unit;
+                k[t].redundant = "dmr.redundantThreadExecs." + unit;
+            }
+            return k;
+        }();
     for (unsigned t = 0; t < isa::kNumUnitTypes; ++t) {
-        const std::string unit =
-            isa::unitTypeName(static_cast<isa::UnitType>(t));
-        m.counter("sm.unitIssues." + unit) = r.unitIssues[t];
-        m.counter("sm.unitThreadExecs." + unit) = r.unitThreadExecs[t];
-        m.counter("dmr.redundantThreadExecs." + unit) =
+        m.counter(kUnitKeys[t].issues) = r.unitIssues[t];
+        m.counter(kUnitKeys[t].threadExecs) = r.unitThreadExecs[t];
+        m.counter(kUnitKeys[t].redundant) =
             r.dmr.redundantThreadExecs[t];
     }
 

@@ -36,8 +36,8 @@ TEST(ReplayQueue, CapacityAndFifoOrder)
     q.push(rec(isa::Opcode::FADD, 3), 12);
     EXPECT_TRUE(q.full());
     EXPECT_EQ(q.size(), 3u);
-    auto e = q.popOldest();
-    ASSERT_TRUE(e.has_value());
+    const auto *e = q.popOldest();
+    ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->rec.warpId, 1u);
     EXPECT_EQ(e->enqueued, 10u);
 }
@@ -47,7 +47,7 @@ TEST(ReplayQueue, ZeroCapacityIsAlwaysFull)
     ReplayQueue q(0);
     EXPECT_TRUE(q.full());
     EXPECT_TRUE(q.empty());
-    EXPECT_FALSE(q.popOldest().has_value());
+    EXPECT_EQ(q.popOldest(), nullptr);
 }
 
 TEST(ReplayQueue, OverflowPanics)
@@ -65,11 +65,11 @@ TEST(ReplayQueue, PopDifferentTypeSkipsBusyUnit)
     q.push(rec(isa::Opcode::IADD), 0);  // SP
     q.push(rec(isa::Opcode::LDG), 1);   // LDST
     // Busy unit is LDST: only the SP entry qualifies.
-    auto e = q.popDifferentType(isa::UnitType::LDST, rng);
-    ASSERT_TRUE(e.has_value());
+    const auto *e = q.popDifferentType(isa::UnitType::LDST, rng);
+    ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->rec.instr.op, isa::Opcode::IADD);
     // Now only the LDST entry remains: nothing differs from LDST.
-    EXPECT_FALSE(q.popDifferentType(isa::UnitType::LDST, rng));
+    EXPECT_EQ(q.popDifferentType(isa::UnitType::LDST, rng), nullptr);
     EXPECT_EQ(q.size(), 1u);
 }
 
@@ -83,8 +83,8 @@ TEST(ReplayQueue, PopDifferentTypeRandomPickIsFromCandidates)
         q.push(rec(isa::Opcode::IADD), 0);
         q.push(rec(isa::Opcode::SIN), 1);
         q.push(rec(isa::Opcode::LDG), 2);
-        auto e = q.popDifferentType(isa::UnitType::SP, rng);
-        ASSERT_TRUE(e.has_value());
+        const auto *e = q.popDifferentType(isa::UnitType::SP, rng);
+        ASSERT_NE(e, nullptr);
         EXPECT_NE(e->rec.instr.unit(), isa::UnitType::SP);
     }
 }
@@ -95,10 +95,10 @@ TEST(ReplayQueue, PopOldestOfType)
     q.push(rec(isa::Opcode::IADD, 1), 0);
     q.push(rec(isa::Opcode::LDG, 2), 1);
     q.push(rec(isa::Opcode::IMUL, 3), 2);
-    auto e = q.popOldestOfType(isa::UnitType::SP);
-    ASSERT_TRUE(e.has_value());
+    const auto *e = q.popOldestOfType(isa::UnitType::SP);
+    ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->rec.warpId, 1u); // oldest SP entry
-    EXPECT_FALSE(q.popOldestOfType(isa::UnitType::SFU).has_value());
+    EXPECT_EQ(q.popOldestOfType(isa::UnitType::SFU), nullptr);
 }
 
 TEST(ReplayQueue, RawHazardMatchesWarpAndRegister)
@@ -113,8 +113,8 @@ TEST(ReplayQueue, RawHazardMatchesWarpAndRegister)
     // Different warp reading r5: no hazard.
     EXPECT_FALSE(q.hasRawHazard(3, 1ULL << 5));
 
-    auto e = q.popRawHazard(2, 1ULL << 5);
-    ASSERT_TRUE(e.has_value());
+    const auto *e = q.popRawHazard(2, 1ULL << 5);
+    ASSERT_NE(e, nullptr);
     EXPECT_TRUE(q.empty());
 }
 
@@ -124,6 +124,95 @@ TEST(ReplayQueue, StoresDontCreateRawHazards)
     auto r = rec(isa::Opcode::STG, 1);
     q.push(r, 0);
     EXPECT_FALSE(q.hasRawHazard(1, ~0ULL));
+}
+
+TEST(ReplayQueue, OldestFirstPolicyDequeuesInFifoOrder)
+{
+    // Dequeue-order semantics must not depend on the storage layout:
+    // under OldestFirst, popDifferentType always returns the oldest
+    // qualifying entry, across interleaved pushes and pops.
+    ReplayQueue q(4);
+    Rng rng(7);
+    q.push(rec(isa::Opcode::SIN, 1), 0);  // SFU
+    q.push(rec(isa::Opcode::IADD, 2), 1); // SP
+    q.push(rec(isa::Opcode::LDG, 3), 2);  // LDST
+    q.push(rec(isa::Opcode::COS, 4), 3);  // SFU
+
+    const auto *e =
+        q.popDifferentType(isa::UnitType::SP, rng,
+                           dmr::DequeuePolicy::OldestFirst);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->rec.warpId, 1u); // oldest non-SP
+
+    // Interleave: refill the freed slot, order must stay FIFO.
+    q.push(rec(isa::Opcode::EX2, 5), 4); // SFU, newest
+    e = q.popDifferentType(isa::UnitType::SP, rng,
+                           dmr::DequeuePolicy::OldestFirst);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->rec.warpId, 3u); // LDST entry, still before warp 4
+
+    e = q.popDifferentType(isa::UnitType::SP, rng,
+                           dmr::DequeuePolicy::OldestFirst);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->rec.warpId, 4u);
+    e = q.popDifferentType(isa::UnitType::SP, rng,
+                           dmr::DequeuePolicy::OldestFirst);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->rec.warpId, 5u);
+    // Only the SP entry is left.
+    EXPECT_EQ(q.popDifferentType(isa::UnitType::SP, rng,
+                                 dmr::DequeuePolicy::OldestFirst),
+              nullptr);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(ReplayQueue, RandomPolicyMatchesRngOverCandidateList)
+{
+    // The random pick indexes an oldest-first candidate list with one
+    // Rng draw: nextBelow(#candidates). Replicate with an identically
+    // seeded Rng to pin the dequeue order exactly.
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        ReplayQueue q(4);
+        Rng rng(seed), model(seed);
+        q.push(rec(isa::Opcode::IADD, 0), 0); // SP (never qualifies)
+        q.push(rec(isa::Opcode::SIN, 1), 1);  // candidate 0
+        q.push(rec(isa::Opcode::LDG, 2), 2);  // candidate 1
+        q.push(rec(isa::Opcode::COS, 3), 3);  // candidate 2
+
+        const unsigned expect3[] = {1, 2, 3};
+        const auto *e = q.popDifferentType(isa::UnitType::SP, rng);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->rec.warpId, expect3[model.nextBelow(3)]);
+        const unsigned first = e->rec.warpId;
+
+        std::uint64_t remaining[2];
+        unsigned n = 0;
+        for (unsigned w = 1; w <= 3; ++w)
+            if (w != first)
+                remaining[n++] = w;
+        e = q.popDifferentType(isa::UnitType::SP, rng);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(e->rec.warpId, remaining[model.nextBelow(2)]);
+
+        // A single candidate is returned without consuming the Rng.
+        e = q.popDifferentType(isa::UnitType::SP, rng);
+        ASSERT_NE(e, nullptr);
+        EXPECT_EQ(rng.nextBelow(1000), model.nextBelow(1000));
+    }
+}
+
+TEST(ReplayQueue, PoppedEntryStaysValidUntilNextPush)
+{
+    // The engine verifies a popped entry and only then enqueues the
+    // pending instruction; the pointer contract backs that order.
+    ReplayQueue q(2);
+    q.push(rec(isa::Opcode::SIN, 7), 0);
+    const auto *e = q.popOldest();
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->rec.warpId, 7u);
+    EXPECT_EQ(e->rec.instr.op, isa::Opcode::SIN);
+    q.push(rec(isa::Opcode::IADD, 8), 1);
+    // After the push the slot may be reused; no expectations on *e.
 }
 
 TEST(ReplayQueue, EntryBytesMatchesPaperArithmetic)

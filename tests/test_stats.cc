@@ -45,6 +45,39 @@ TEST(Histogram, RangeClampsToDomain)
     EXPECT_EQ(h.rangeCount(2, 100), 1u);
 }
 
+TEST(Histogram, EmptyDomainRangeIsZero)
+{
+    // size 0: counts_.size() - 1 used to wrap during clamping; every
+    // query must come back zero regardless of bounds.
+    Histogram h(0);
+    EXPECT_EQ(h.size(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.rangeCount(0, 0), 0u);
+    EXPECT_EQ(h.rangeCount(0, 0xFFFFFFFFu), 0u);
+    EXPECT_EQ(h.rangeCount(5, 2), 0u);
+    EXPECT_DOUBLE_EQ(h.rangeFraction(0, 100), 0.0);
+}
+
+TEST(Histogram, SingleBucketRanges)
+{
+    Histogram h(1);
+    EXPECT_EQ(h.rangeCount(0, 0), 0u);
+    h.add(0, 7);
+    EXPECT_EQ(h.rangeCount(0, 0), 7u);
+    EXPECT_EQ(h.rangeCount(0, 0xFFFFFFFFu), 7u); // clamped to [0,0]
+    EXPECT_EQ(h.rangeCount(1, 5), 0u);           // entirely above
+    EXPECT_DOUBLE_EQ(h.rangeFraction(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(h.rangeFraction(1, 5), 0.0);
+}
+
+TEST(Histogram, InvertedRangeIsEmpty)
+{
+    Histogram h(8);
+    h.add(3);
+    EXPECT_EQ(h.rangeCount(5, 2), 0u);
+    EXPECT_DOUBLE_EQ(h.rangeFraction(5, 2), 0.0);
+}
+
 TEST(Mean, WeightedMean)
 {
     Mean m;
