@@ -36,6 +36,7 @@
 #include "common/logging.hh"
 #include "dmr/dmr_config.hh"
 #include "gpu/gpu.hh"
+#include "recovery/recovery_config.hh"
 #include "trace/metrics.hh"
 #include "workloads/workload.hh"
 
@@ -52,6 +53,7 @@ struct PerfConfig
     const char *name;
     std::vector<WorkloadFactory> factories; ///< run back to back
     dmr::DmrConfig dmr;
+    recovery::RecoveryConfig recovery; ///< default: disabled
 };
 
 [[noreturn]] void
@@ -60,14 +62,18 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: perf_harness [--out FILE] [--repeat N] [--smoke] "
-        "[--self-check]\n"
+        "[--self-check] [--recovery-noop-check]\n"
         "  --out FILE    write the metrics JSON here "
         "(default BENCH_PR4.json)\n"
         "  --repeat N    measure N back-to-back repetitions per "
         "config (default 1)\n"
         "  --smoke       tiny workload instances (CI smoke variant)\n"
         "  --self-check  run the suite twice; exit 1 unless the\n"
-        "                deterministic counters match exactly\n");
+        "                deterministic counters match exactly\n"
+        "  --recovery-noop-check\n"
+        "                skip measurement; exit 1 unless runs with\n"
+        "                recovery disabled are metric-identical to\n"
+        "                plain baseline runs (byte-identity gate)\n");
     std::exit(code);
 }
 
@@ -126,18 +132,25 @@ buildConfigs(bool smoke)
     const auto off = dmr::DmrConfig::off();
 
     std::vector<PerfConfig> configs;
-    configs.push_back({"matrixmul_dmr", {matmul}, on});
-    configs.push_back({"matrixmul_nodmr", {matmul}, off});
-    configs.push_back({"bfs_dmr", {bfs}, on});
-    configs.push_back({"bfs_nodmr", {bfs}, off});
-    configs.push_back({"scan_dmr", {scan}, on});
-    configs.push_back({"scan_nodmr", {scan}, off});
+    configs.push_back({"matrixmul_dmr", {matmul}, on, {}});
+    configs.push_back({"matrixmul_nodmr", {matmul}, off, {}});
+    // Rollback-replay enabled on the fault-free path: measures the
+    // pure checkpointing overhead (delta capture + BAR/EXIT drain
+    // stalls) the recovery engine adds on top of DMR.
+    configs.push_back({"matrixmul_dmr_recovery",
+                       {matmul},
+                       on,
+                       recovery::RecoveryConfig::paperDefault()});
+    configs.push_back({"bfs_dmr", {bfs}, on, {}});
+    configs.push_back({"bfs_nodmr", {bfs}, off, {}});
+    configs.push_back({"scan_dmr", {scan}, on, {}});
+    configs.push_back({"scan_nodmr", {scan}, off, {}});
     // The fault-campaign reference mix: every injection run in
     // bench/fault_campaign simulates one of these five golden
     // workloads under paper-default DMR, so their back-to-back
     // throughput tracks campaign wall time directly.
     configs.push_back(
-        {"campaign_ref", {bfs, scan, matmul, sha, fft}, on});
+        {"campaign_ref", {bfs, scan, matmul, sha, fft}, on, {}});
     return configs;
 }
 
@@ -163,7 +176,8 @@ measure(const std::vector<PerfConfig> &configs, unsigned repeat,
         for (unsigned rep = 0; rep < repeat; ++rep) {
             for (const auto &factory : cfg.factories) {
                 auto w = factory();
-                gpu::Gpu g(gpu_cfg, cfg.dmr);
+                gpu::Gpu g(gpu_cfg, cfg.dmr, /*seed=*/1,
+                           /*hook=*/nullptr, cfg.recovery);
                 const auto r = workloads::runVerified(*w, g);
                 if (r.hung)
                     warped_fatal("perf config ", cfg.name,
@@ -204,6 +218,62 @@ deterministicFingerprint(const trace::MetricsRegistry &m)
     return s;
 }
 
+/**
+ * Recovery noop gate: a Gpu built with recovery *disabled* must be
+ * byte-identical to the plain baseline — same per-launch metrics
+ * JSON, no recovery.* keys — even when the disabled config carries
+ * non-default knob values. This is the regression tripwire for the
+ * "recovery off means zero behavioral footprint" contract
+ * (docs/FAULT_MODEL.md); it runs over every non-recovery pinned
+ * config so drift in any workload's path is caught.
+ */
+bool
+recoveryNoopCheck(bool smoke)
+{
+    const auto gpu_cfg = referenceGpu();
+    recovery::RecoveryConfig noisyOff; // disabled, knobs deliberately
+    noisyOff.retryBudget = 1;          // non-default: must not leak
+    noisyOff.ringCapacity = 7;
+    noisyOff.rollbackPenalty = 99;
+
+    bool ok = true;
+    for (const auto &cfg : buildConfigs(smoke)) {
+        if (cfg.recovery.enabled)
+            continue;
+        for (const auto &factory : cfg.factories) {
+            auto wa = factory();
+            gpu::Gpu base(gpu_cfg, cfg.dmr);
+            const auto ra = workloads::runVerified(*wa, base);
+
+            auto wb = factory();
+            gpu::Gpu off(gpu_cfg, cfg.dmr, /*seed=*/1,
+                         /*hook=*/nullptr, noisyOff);
+            const auto rb = workloads::runVerified(*wb, off);
+
+            const auto ja = ra.metrics.toJson();
+            const auto jb = rb.metrics.toJson();
+            if (ja != jb) {
+                std::fprintf(stderr,
+                             "recovery-noop-check: %s — metrics "
+                             "differ between baseline and "
+                             "recovery-disabled runs\n",
+                             cfg.name);
+                ok = false;
+            }
+            if (jb.find("recovery") != std::string::npos) {
+                std::fprintf(stderr,
+                             "recovery-noop-check: %s — disabled run "
+                             "leaked recovery.* metrics keys\n",
+                             cfg.name);
+                ok = false;
+            }
+        }
+        std::printf("  %-18s recovery-off path identical\n",
+                    cfg.name);
+    }
+    return ok;
+}
+
 } // namespace
 
 int
@@ -215,6 +285,7 @@ main(int argc, char **argv)
     unsigned repeat = 1;
     bool smoke = false;
     bool self_check = false;
+    bool noop_check = false;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -228,6 +299,9 @@ main(int argc, char **argv)
             smoke = true;
         } else if (std::strcmp(argv[i], "--self-check") == 0) {
             self_check = true;
+        } else if (std::strcmp(argv[i], "--recovery-noop-check") ==
+                   0) {
+            noop_check = true;
         } else if (std::strcmp(argv[i], "--help") == 0) {
             usage(0);
         } else {
@@ -235,6 +309,20 @@ main(int argc, char **argv)
                          "'%s'\n", argv[i]);
             usage(2);
         }
+    }
+
+    if (noop_check) {
+        std::printf("perf_harness: recovery noop check%s\n",
+                    smoke ? " (smoke)" : "");
+        if (!recoveryNoopCheck(smoke)) {
+            std::fprintf(stderr,
+                         "perf_harness: RECOVERY NOOP FAILURE — "
+                         "disabled recovery perturbed the "
+                         "simulation\n");
+            return 1;
+        }
+        std::printf("recovery-noop-check: all configs identical\n");
+        return 0;
     }
 
     const auto configs = buildConfigs(smoke);

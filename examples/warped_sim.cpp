@@ -109,7 +109,17 @@ campaignUsage()
         "  --out F             write the campaign report JSON to F\n"
         "  --dmr off | --no-intra | --no-inter | --no-shuffle |\n"
         "  --mapping linear|cross | --qsize N\n"
-        "                      protection configuration under test\n");
+        "                      protection configuration under test\n"
+        "  --recovery          enable rollback-replay recovery:\n"
+        "                      detected mismatches are repaired in\n"
+        "                      place and classify as Recovered\n"
+        "  --recovery-budget N rollbacks allowed per incident window\n"
+        "                      before the warp gives up (default 3;\n"
+        "                      implies --recovery)\n"
+        "  --recovery-ring N   checkpoint deltas retained per SM\n"
+        "                      (default 4096; implies --recovery)\n"
+        "  --recovery-penalty N  stall cycles after a rollback\n"
+        "                      (default 8; implies --recovery)\n");
 }
 
 void usage();
@@ -272,6 +282,20 @@ campaignMain(int argc, char **argv)
                                  : dmr::MappingPolicy::CrossCluster;
         } else if (a == "--qsize") {
             ec.dmr.replayQSize = parseU32Arg("--qsize", next(), true);
+        } else if (a == "--recovery") {
+            ec.recovery.enabled = true;
+        } else if (a == "--recovery-budget") {
+            ec.recovery.enabled = true;
+            ec.recovery.retryBudget =
+                parseU32Arg("--recovery-budget", next(), true);
+        } else if (a == "--recovery-ring") {
+            ec.recovery.enabled = true;
+            ec.recovery.ringCapacity =
+                parseU32Arg("--recovery-ring", next(), true);
+        } else if (a == "--recovery-penalty") {
+            ec.recovery.enabled = true;
+            ec.recovery.rollbackPenalty =
+                parseU32Arg("--recovery-penalty", next(), true);
         } else {
             std::fprintf(stderr, "unknown campaign option %s\n",
                          a.c_str());
@@ -288,6 +312,8 @@ campaignMain(int argc, char **argv)
                 size ? std::to_string(size).c_str() : "default",
                 static_cast<unsigned long long>(ec.seed),
                 ec.gpu.toString().c_str());
+    if (ec.recovery.enabled)
+        std::printf("  %s\n", ec.recovery.toString().c_str());
 
     fault::CampaignEngine engine(
         [&] { return workloads::makeByNameSized(workload, size); },
@@ -312,6 +338,10 @@ campaignMain(int argc, char **argv)
     std::printf("  detected:  %8llu  (%5.2f%%)\n",
                 static_cast<unsigned long long>(o.detected),
                 frac(o.detected));
+    if (rep.recoveryEnabled)
+        std::printf("  recovered: %8llu  (%5.2f%%)\n",
+                    static_cast<unsigned long long>(o.recovered),
+                    frac(o.recovered));
     std::printf("  SDC:       %8llu  (%5.2f%%)\n",
                 static_cast<unsigned long long>(o.sdc), frac(o.sdc));
     std::printf("  DUE:       %8llu  (%5.2f%%)\n",
@@ -332,6 +362,29 @@ campaignMain(int argc, char **argv)
                     static_cast<unsigned long long>(rep.latencyCount),
                     double(rep.kernelLengthSum) /
                         double(rep.latencyCount));
+    if (rep.recoveryEnabled) {
+        const auto consequential = o.detected + o.recovered;
+        const auto rfrac =
+            consequential ? 100.0 * double(o.recovered) /
+                                double(consequential)
+                          : 0.0;
+        std::printf("recovered fraction (of detections):   %6.2f%%  "
+                    "(%llu rollbacks, %llu give-ups)\n",
+                    rfrac,
+                    static_cast<unsigned long long>(rep.rollbacks),
+                    static_cast<unsigned long long>(rep.giveUps));
+        if (rep.recoveryCount)
+            std::printf("mean recovery latency: %.1f cycles over "
+                        "%llu recoveries\n",
+                        rep.meanRecoveryCycles(),
+                        static_cast<unsigned long long>(
+                            rep.recoveryCount));
+        if (rep.abortedRuns)
+            std::printf("aborted runs retried then classified as "
+                        "DUE: %llu\n",
+                        static_cast<unsigned long long>(
+                            rep.abortedRuns));
+    }
 
     if (!rep.byKind.empty()) {
         std::printf("\nper-kind coverage:\n");

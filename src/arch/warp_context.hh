@@ -61,6 +61,11 @@ class WarpContext
     LaneMask exited() const { return exited_; }
     void markExited(LaneMask m);
 
+    /** Rollback support: overwrite the exited set with a snapshot.
+     *  Unlike markExited this does not touch the SIMT stack — the
+     *  recovery engine restores the stack separately. */
+    void restoreExited(LaneMask m) { exited_ = m; }
+
     bool atBarrier() const { return atBarrier_; }
     void setAtBarrier(bool b) { atBarrier_ = b; }
 

@@ -1,6 +1,7 @@
 #include "dmr/dmr_engine.hh"
 
 #include "common/logging.hh"
+#include "dmr/recovery_listener.hh"
 #include "dmr/rfu.hh"
 
 namespace warped {
@@ -107,6 +108,8 @@ DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
         // issues unprotected (it stays in the coverage denominator).
         if (!cfg_.activeAt(now)) {
             stats_.sampledOutThreadInstrs += active;
+            if (listener_)
+                listener_->onUnprotected(rec);
             return stall;
         }
         const bool temporal =
@@ -124,10 +127,48 @@ DmrEngine::onIssue(const func::ExecRecord &rec, Cycle now)
                 pendingRec() = rec;
             }
             hasPending_ = true;
-        } else if (!full_mask && cfg_.intraWarp)
+        } else if (!full_mask && cfg_.intraWarp) {
             intraWarpVerify(rec, now);
+        } else if (listener_) {
+            // Scheme gap (e.g. inter-warp disabled for a full mask):
+            // the record retires without ever being compared.
+            listener_->onUnprotected(rec);
+        }
     }
     return stall;
+}
+
+unsigned
+DmrEngine::squashWarp(unsigned warp_id, std::uint64_t min_trace_id,
+                      Cycle now)
+{
+    unsigned dropped = 0;
+    if (hasPending_) {
+        const func::ExecRecord &p = pendingRec();
+        if (p.warpId == warp_id && p.traceId >= min_trace_id) {
+            hasPending_ = false;
+            ++dropped;
+        }
+    }
+    dropped += queue_.squashWarp(warp_id, min_trace_id, now);
+    return dropped;
+}
+
+bool
+DmrEngine::preRetireVerify(unsigned warp_id, Cycle now)
+{
+    if (!cfg_.enabled)
+        return false;
+    if (hasPending_ && pendingRec().warpId == warp_id) {
+        hasPending_ = false;
+        interWarpVerify(pendingRec(), now);
+        return true;
+    }
+    if (const auto *e = queue_.popOldestOfWarp(warp_id, now)) {
+        interWarpVerify(e->rec, now);
+        return true;
+    }
+    return false;
 }
 
 unsigned
@@ -223,6 +264,7 @@ DmrEngine::intraWarpVerify(const func::ExecRecord &rec, Cycle now)
     const LaneMask lane_active = mapping_.toLaneSpace(rec.active);
 
     LaneMask covered_slots;
+    bool mismatch = false;
     for (unsigned c = 0; c < n_clusters; ++c) {
         const std::uint64_t bits = lane_active.clusterBits(c, w);
         if (bits == 0)
@@ -235,7 +277,7 @@ DmrEngine::intraWarpVerify(const func::ExecRecord &rec, Cycle now)
             const unsigned monitored_lane = c * w + verifies[m];
             const unsigned checker_lane = c * w + m;
             const unsigned slot = mapping_.slotOf(monitored_lane);
-            verifySlot(rec, slot, checker_lane, true, now);
+            mismatch |= verifySlot(rec, slot, checker_lane, true, now);
             covered_slots.set(slot);
             ++stats_.redundantThreadExecs[
                 static_cast<unsigned>(rec.instr.unit())];
@@ -247,6 +289,8 @@ DmrEngine::intraWarpVerify(const func::ExecRecord &rec, Cycle now)
     emit(trace::EventKind::IntraVerify, rec, now, covered);
     stats_.verifiedThreadInstrs += covered;
     stats_.intraVerifiedThreads += covered;
+    if (listener_)
+        listener_->onVerified(rec, mismatch, now);
 }
 
 void
@@ -254,6 +298,7 @@ DmrEngine::interWarpVerify(const func::ExecRecord &rec, Cycle now)
 {
     const unsigned w = gpu_.lanesPerCluster;
     unsigned verified = 0;
+    bool mismatch = false;
     for (unsigned slot = 0; slot < gpu_.warpSize; ++slot) {
         if (!rec.active.test(slot))
             continue;
@@ -261,7 +306,7 @@ DmrEngine::interWarpVerify(const func::ExecRecord &rec, Cycle now)
         const unsigned checker_lane =
             cfg_.laneShuffle ? shuffledLane(primary_lane, w)
                              : primary_lane;
-        verifySlot(rec, slot, checker_lane, false, now);
+        mismatch |= verifySlot(rec, slot, checker_lane, false, now);
         ++verified;
         ++stats_.redundantThreadExecs[
             static_cast<unsigned>(rec.instr.unit())];
@@ -269,9 +314,11 @@ DmrEngine::interWarpVerify(const func::ExecRecord &rec, Cycle now)
     emit(trace::EventKind::InterVerify, rec, now, verified);
     stats_.verifiedThreadInstrs += verified;
     stats_.interVerifiedThreads += verified;
+    if (listener_)
+        listener_->onVerified(rec, mismatch, now);
 }
 
-void
+bool
 DmrEngine::verifySlot(const func::ExecRecord &rec, unsigned slot,
                       unsigned checker_lane, bool intra, Cycle now)
 {
@@ -290,7 +337,8 @@ DmrEngine::verifySlot(const func::ExecRecord &rec, unsigned slot,
     const RegValue got = exec_.hook().apply(pure, ctx);
 
     ++stats_.comparisons;
-    if (got != rec.results[slot]) {
+    const bool mismatch = got != rec.results[slot];
+    if (mismatch) {
         ++stats_.errorsDetected;
         emit(trace::EventKind::ErrorDetected, rec, now, slot);
 
@@ -333,6 +381,7 @@ DmrEngine::verifySlot(const func::ExecRecord &rec, unsigned slot,
             stats_.errorLog.push_back(ev);
         }
     }
+    return mismatch;
 }
 
 } // namespace dmr

@@ -21,6 +21,8 @@
 namespace warped {
 namespace dmr {
 
+class RecoveryListener;
+
 class DmrEngine
 {
   public:
@@ -80,6 +82,32 @@ class DmrEngine
     void attachRecorder(trace::Recorder *rec);
 
     /**
+     * Subscribe the recovery engine to verification outcomes: every
+     * retired record reports verified-clean / mismatch / unprotected.
+     * nullptr detaches; disabled cost is one pointer test per retire.
+     */
+    void attachRecoveryListener(RecoveryListener *l) { listener_ = l; }
+
+    /**
+     * Rollback squash: drop the pending RF-stage record and every
+     * ReplayQ entry of @p warp_id with traceId >= @p min_trace_id —
+     * those issues are being architecturally undone and must not be
+     * verified (their recorded state is about to be replayed).
+     * @return records dropped.
+     */
+    unsigned squashWarp(unsigned warp_id, std::uint64_t min_trace_id,
+                        Cycle now);
+
+    /**
+     * Pre-retire drain: verify ONE outstanding record of @p warp_id
+     * (the pending RF-stage record or its oldest ReplayQ entry),
+     * consuming the caller's stall cycle. Used by the recovery gating
+     * so a warp never EXITs or passes a barrier with unverified
+     * instructions. @return true when a record was verified.
+     */
+    bool preRetireVerify(unsigned warp_id, Cycle now);
+
+    /**
      * Stamp end-of-launch derived statistics (the ReplayQ depth
      * watermark) into stats(). Called once per launch by Gpu::launch
      * so the per-issue path stays free of watermark folding.
@@ -99,8 +127,9 @@ class DmrEngine
     /** Inter-warp DMR: re-execute all lanes (shuffled) and compare. */
     void interWarpVerify(const func::ExecRecord &rec, Cycle now);
 
-    /** Re-run one thread slot on @p checker_lane and compare. */
-    void verifySlot(const func::ExecRecord &rec, unsigned slot,
+    /** Re-run one thread slot on @p checker_lane and compare.
+     *  @return true when the comparator flagged a mismatch. */
+    bool verifySlot(const func::ExecRecord &rec, unsigned slot,
                     unsigned checker_lane, bool intra, Cycle now);
 
     /** Algorithm 1, applied to the pending instruction when the next
@@ -124,6 +153,7 @@ class DmrEngine
     Rng rng_;
     DmrStats stats_;
     trace::Recorder *recorder_ = nullptr;
+    RecoveryListener *listener_ = nullptr;
 
     /** Double buffer: one record is the SM-facing scratch()
      *  (next instruction executes into it), the other holds the

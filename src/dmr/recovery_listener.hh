@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Verification-outcome listener: the seam between DMR detection and
+ * the rollback-replay recovery engine.
+ *
+ * The DMR engine is deliberately unaware of the recovery module (no
+ * dependency cycle): it only reports, per retired ExecRecord, whether
+ * the comparator matched. The recovery manager (src/recovery)
+ * implements this interface to clear checkpoints on clean
+ * verification and to request a rollback on a mismatch.
+ */
+
+#ifndef WARPED_DMR_RECOVERY_LISTENER_HH
+#define WARPED_DMR_RECOVERY_LISTENER_HH
+
+#include "common/types.hh"
+#include "func/executor.hh"
+
+namespace warped {
+namespace dmr {
+
+class RecoveryListener
+{
+  public:
+    virtual ~RecoveryListener() = default;
+
+    /**
+     * The engine finished verifying @p rec (intra- or inter-warp).
+     * @p mismatch is true when any covered lane disagreed with the
+     * recorded primary result.
+     */
+    virtual void onVerified(const func::ExecRecord &rec, bool mismatch,
+                            Cycle now) = 0;
+
+    /**
+     * The engine retired @p rec without verifying it (sampling epoch
+     * gated it out, or its type is not covered by the configured
+     * scheme). The record will never be compared, so any checkpoint
+     * held for it can be released.
+     */
+    virtual void onUnprotected(const func::ExecRecord &rec) = 0;
+};
+
+} // namespace dmr
+} // namespace warped
+
+#endif // WARPED_DMR_RECOVERY_LISTENER_HH

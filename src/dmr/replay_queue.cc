@@ -117,6 +117,33 @@ ReplayQueue::popOldestOfType(isa::UnitType t, Cycle now)
     return nullptr;
 }
 
+const ReplayQueue::Entry *
+ReplayQueue::popOldestOfWarp(unsigned warp_id, Cycle now)
+{
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+        if (slots_[order_[i]].rec.warpId == warp_id)
+            return take(i, now);
+    }
+    return nullptr;
+}
+
+unsigned
+ReplayQueue::squashWarp(unsigned warp_id, std::uint64_t min_trace_id,
+                        Cycle now)
+{
+    unsigned dropped = 0;
+    for (std::size_t i = 0; i < order_.size();) {
+        const Entry &e = slots_[order_[i]];
+        if (e.rec.warpId == warp_id && e.rec.traceId >= min_trace_id) {
+            take(i, now); // emits ReplayPop; slot returns to the pool
+            ++dropped;
+        } else {
+            ++i;
+        }
+    }
+    return dropped;
+}
+
 bool
 ReplayQueue::writesInMask(const func::ExecRecord &rec,
                           std::uint64_t reg_read_mask)

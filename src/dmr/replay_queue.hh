@@ -88,6 +88,22 @@ class ReplayQueue
     const Entry *popOldestOfType(isa::UnitType t, Cycle now = 0);
 
     /**
+     * Dequeue the oldest entry of warp @p warp_id regardless of type —
+     * the pre-retire drain: a warp about to EXIT or enter a barrier
+     * verifies its outstanding instructions first (recovery gating).
+     */
+    const Entry *popOldestOfWarp(unsigned warp_id, Cycle now = 0);
+
+    /**
+     * Drop every queued entry of warp @p warp_id with
+     * traceId >= @p min_trace_id. Rollback squash: those issues are
+     * being undone and must not be verified against restored state.
+     * @return entries dropped.
+     */
+    unsigned squashWarp(unsigned warp_id, std::uint64_t min_trace_id,
+                        Cycle now = 0);
+
+    /**
      * True when some queued entry of warp @p warp_id writes a register
      * in @p regs (bitset over register indices) — the RAW-on-
      * unverified-result hazard that must stall the consumer.

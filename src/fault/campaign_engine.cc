@@ -55,6 +55,15 @@ struct RunRecord
     std::optional<isa::UnitType> unit;
     std::uint64_t latency = 0;
     bool hasLatency = false;
+    /** Rollback-replay accounting (all zero with recovery off). */
+    std::uint64_t recoveryCycles = 0;
+    bool hasRecovery = false;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t giveUps = 0;
+    /** The run tripped a simulator panic twice (hang-DUE). */
+    bool aborted = false;
+    std::uint64_t runIndex = 0;
+    std::uint64_t siteIndex = 0;
 };
 
 void
@@ -67,6 +76,8 @@ emitCounts(trace::MetricsRegistry &m, const std::string &prefix,
         m.counter(prefix + ".masked.not_activated") = c.notActivated;
     if (c.detected)
         m.counter(prefix + ".detected") = c.detected;
+    if (c.recovered)
+        m.counter(prefix + ".recovered") = c.recovered;
     if (c.sdc)
         m.counter(prefix + ".sdc") = c.sdc;
     if (c.due)
@@ -84,6 +95,7 @@ restoreCounts(const std::map<std::string, std::uint64_t> &kv,
     c.masked = get(".masked");
     c.notActivated = get(".masked.not_activated");
     c.detected = get(".detected");
+    c.recovered = get(".recovered");
     c.sdc = get(".sdc");
     c.due = get(".due");
 }
@@ -132,6 +144,8 @@ outcomeClassName(OutcomeClass c)
         return "masked";
       case OutcomeClass::Detected:
         return "detected";
+      case OutcomeClass::Recovered:
+        return "recovered";
       case OutcomeClass::Sdc:
         return "sdc";
       case OutcomeClass::Due:
@@ -142,17 +156,30 @@ outcomeClassName(OutcomeClass c)
 
 OutcomeClass
 classifyOutcome(bool activated, bool detected, bool hung,
-                bool output_ok)
+                bool output_ok, bool recovered_clean)
 {
     if (!activated)
         return OutcomeClass::Masked;
     if (detected)
-        return OutcomeClass::Detected;
+        // Recovered is a refinement of Detected; SDC stays reachable
+        // only from the !detected branch below, so recovery can never
+        // turn a would-be-Detected run into a silent corruption.
+        return recovered_clean && !hung && output_ok
+                   ? OutcomeClass::Recovered
+                   : OutcomeClass::Detected;
     if (hung)
         return OutcomeClass::Due;
     if (!output_ok)
         return OutcomeClass::Sdc;
     return OutcomeClass::Masked;
+}
+
+OutcomeClass
+classifyOutcome(bool activated, bool detected, bool hung,
+                bool output_ok)
+{
+    return classifyOutcome(activated, detected, hung, output_ok,
+                           /*recovered_clean=*/false);
 }
 
 void
@@ -167,6 +194,9 @@ OutcomeCounts::add(OutcomeClass c, bool activated)
       case OutcomeClass::Detected:
         ++detected;
         break;
+      case OutcomeClass::Recovered:
+        ++recovered;
+        break;
       case OutcomeClass::Sdc:
         ++sdc;
         break;
@@ -180,28 +210,29 @@ double
 OutcomeCounts::coverage() const
 {
     const auto t = total();
-    return t == 0 ? 0.0 : double(detected) / double(t);
+    return t == 0 ? 0.0 : double(detected + recovered) / double(t);
 }
 
 stats::Interval
 OutcomeCounts::coverageCi(double z) const
 {
-    return stats::wilsonInterval(detected, total(), z);
+    return stats::wilsonInterval(detected + recovered, total(), z);
 }
 
 double
 OutcomeCounts::detectionRate() const
 {
-    const auto consequential = detected + sdc + due;
+    const auto consequential = detected + recovered + sdc + due;
     return consequential == 0
                ? 1.0
-               : double(detected) / double(consequential);
+               : double(detected + recovered) / double(consequential);
 }
 
 stats::Interval
 OutcomeCounts::detectionCi(double z) const
 {
-    return stats::wilsonInterval(detected, detected + sdc + due, z);
+    return stats::wilsonInterval(detected + recovered,
+                                 detected + recovered + sdc + due, z);
 }
 
 unsigned
@@ -216,6 +247,13 @@ CampaignReport::meanDetectionLatency() const
 {
     return latencyCount ? double(latencySum) / double(latencyCount)
                         : 0.0;
+}
+
+double
+CampaignReport::meanRecoveryCycles() const
+{
+    return recoveryCount ? double(recoverySum) / double(recoveryCount)
+                         : 0.0;
 }
 
 trace::MetricsRegistry
@@ -246,6 +284,28 @@ CampaignReport::toMetrics() const
     if (kernelLengthSum)
         m.counter("campaign.latency.kernel_sum") = kernelLengthSum;
 
+    // Every recovery key is zero-gated (counters) or gated on
+    // recoveryEnabled (gauges), so a recovery-off report renders
+    // byte-identically to one from a build without recovery.
+    for (unsigned b = 0; b < kLatencyBuckets; ++b) {
+        if (const auto n = recoveryHist.count(b)) {
+            char key[48];
+            std::snprintf(key, sizeof key,
+                          "campaign.recovery.hist.b%02u", b);
+            m.counter(key) = n;
+        }
+    }
+    if (recoverySum)
+        m.counter("campaign.recovery.sum") = recoverySum;
+    if (recoveryCount)
+        m.counter("campaign.recovery.count") = recoveryCount;
+    if (rollbacks)
+        m.counter("campaign.recovery.rollbacks") = rollbacks;
+    if (giveUps)
+        m.counter("campaign.recovery.giveups") = giveUps;
+    if (abortedRuns)
+        m.counter("campaign.aborted_runs") = abortedRuns;
+
     const auto cov = overall.coverageCi();
     m.gauge("campaign.coverage") = overall.coverage();
     m.gauge("campaign.coverage.wilson_lo") = cov.lo;
@@ -262,6 +322,20 @@ CampaignReport::toMetrics() const
     m.gauge("campaign.due_rate") =
         t ? double(overall.due) / double(t) : 0.0;
     m.gauge("campaign.latency.mean") = meanDetectionLatency();
+    if (recoveryEnabled) {
+        // Recovered fraction of the alarmed (detected ∪ recovered)
+        // runs: the paper-style "how many detections become full
+        // repairs" number, with its Wilson interval.
+        const auto alarmed = overall.detected + overall.recovered;
+        const auto rc =
+            stats::wilsonInterval(overall.recovered, alarmed);
+        m.gauge("campaign.recovered_fraction") =
+            alarmed ? double(overall.recovered) / double(alarmed)
+                    : 0.0;
+        m.gauge("campaign.recovered_fraction.wilson_lo") = rc.lo;
+        m.gauge("campaign.recovered_fraction.wilson_hi") = rc.hi;
+        m.gauge("campaign.recovery.mean") = meanRecoveryCycles();
+    }
     for (const auto &[kind, c] : byKind)
         m.gauge(std::string("campaign.kind.") + kindSlug(kind) +
                 ".coverage") = c.coverage();
@@ -291,36 +365,78 @@ runOne(std::uint64_t run_index, const FaultSiteSpace &space,
     const auto siteIdx = space.sampleIndex(cfg.seed, run_index);
     const FaultSpec spec = space.site(siteIdx);
 
-    FaultInjector injector;
-    injector.add(spec);
-
-    auto w = factory();
-    gpu::Gpu g(cfg.gpu, cfg.dmr, /*seed=*/1, &injector);
-    w->setup(g);
-    // Watchdog: a fault can corrupt a loop counter and hang the
-    // kernel; give it a generous multiple of the fault-free span.
-    const Cycle watchdog = span * 20 + 100000;
-    const auto r = g.launch(w->program(), w->gridBlocks(),
-                            w->blockThreads(), watchdog);
-
     RunRecord rec;
     rec.kind = spec.kind;
     rec.unit = spec.unit;
-    rec.activated = injector.activations() > 0;
-    const bool detected = r.dmr.errorsDetected > 0;
-    // The golden-reference comparison: Workload::verify checks the
-    // output buffers against the CPU reference, which the fault-free
-    // golden run was itself validated against (runVerified below).
-    const bool outputOk =
-        rec.activated && !detected && !r.hung ? w->verify(g) : true;
-    rec.cls = classifyOutcome(rec.activated, detected, r.hung,
-                              outputOk);
-    if (rec.cls == OutcomeClass::Detected &&
-        !r.dmr.errorLog.empty()) {
-        const Cycle det = r.dmr.errorLog.front().cycle;
-        const Cycle act = injector.firstActivationCycle();
-        rec.latency = det >= act ? det - act : 0;
-        rec.hasLatency = true;
+    rec.runIndex = run_index;
+    rec.siteIndex = siteIdx;
+
+    // An injected fault (or, with recovery on, a rollback livelock)
+    // can drive the simulator into one of its own sanity panics —
+    // warped_panic throws. That must cost the campaign one run, not
+    // the whole campaign: retry the same site once with identical
+    // seeding (everything below is a pure function of run_index), and
+    // if it throws again classify the site as a hang-DUE.
+    for (unsigned attempt = 0; attempt < 2; ++attempt) {
+        FaultInjector injector;
+        injector.add(spec);
+        auto w = factory();
+        try {
+            gpu::Gpu g(cfg.gpu, cfg.dmr, /*seed=*/1, &injector,
+                       cfg.recovery);
+            w->setup(g);
+            // Watchdog: a fault can corrupt a loop counter and hang
+            // the kernel; give it a generous multiple of the
+            // fault-free span.
+            const Cycle watchdog = span * 20 + 100000;
+            const auto r = g.launch(w->program(), w->gridBlocks(),
+                                    w->blockThreads(), watchdog);
+
+            rec.activated = injector.activations() > 0;
+            const bool detected = r.dmr.errorsDetected > 0;
+            const bool recoveredClean = cfg.recovery.enabled &&
+                                        detected &&
+                                        r.recovery.giveUps == 0;
+            // The golden-reference comparison: Workload::verify
+            // checks the output buffers against the CPU reference,
+            // which the fault-free golden run was itself validated
+            // against (runVerified below). A detected run's output
+            // only matters when rollback-replay claims a clean
+            // repair, so verify() is also called for those.
+            bool outputOk = true;
+            if (rec.activated && !r.hung &&
+                (!detected || recoveredClean))
+                outputOk = w->verify(g);
+            rec.cls = classifyOutcome(rec.activated, detected,
+                                      r.hung, outputOk,
+                                      recoveredClean);
+            if ((rec.cls == OutcomeClass::Detected ||
+                 rec.cls == OutcomeClass::Recovered) &&
+                !r.dmr.errorLog.empty()) {
+                const Cycle det = r.dmr.errorLog.front().cycle;
+                const Cycle act = injector.firstActivationCycle();
+                rec.latency = det >= act ? det - act : 0;
+                rec.hasLatency = true;
+            }
+            rec.rollbacks = r.recovery.rollbacks;
+            rec.giveUps = r.recovery.giveUps;
+            if (rec.cls == OutcomeClass::Recovered) {
+                rec.recoveryCycles = r.recovery.recoveryCycles;
+                rec.hasRecovery = true;
+            }
+            return rec;
+        } catch (const std::exception &e) {
+            if (attempt == 0)
+                continue;
+            warped_warn("campaign: run ", run_index, " (site ",
+                        siteIdx, ", seed ", cfg.seed,
+                        ") aborted twice: ", e.what(),
+                        "; classifying as hang-DUE");
+            rec.activated = true;
+            rec.cls = OutcomeClass::Due;
+            rec.hasLatency = false;
+            rec.aborted = true;
+        }
     }
     return rec;
 }
@@ -336,6 +452,18 @@ fold(CampaignReport &rep, const RunRecord &rec)
         rep.latencySum += rec.latency;
         ++rep.latencyCount;
         rep.kernelLengthSum += rep.span;
+    }
+    if (rec.hasRecovery) {
+        rep.recoveryHist.add(latencyBucket(rec.recoveryCycles));
+        rep.recoverySum += rec.recoveryCycles;
+        ++rep.recoveryCount;
+    }
+    rep.rollbacks += rec.rollbacks;
+    rep.giveUps += rec.giveUps;
+    if (rec.aborted) {
+        ++rep.abortedRuns;
+        if (rep.abortLog.size() < CampaignReport::kMaxAbortLog)
+            rep.abortLog.push_back({rec.runIndex, rec.siteIndex});
     }
     ++rep.sampled;
 }
@@ -367,6 +495,14 @@ configSignature(const EngineConfig &cfg, const FaultSiteSpace &space,
     mix(cfg.dmr.samplingEpoch);
     mix(cfg.dmr.samplingActive);
     mix(cfg.dmr.arbitrateErrors);
+    // Mixed only when enabled, so pre-recovery checkpoints keep
+    // resuming under the default (off) configuration.
+    if (cfg.recovery.enabled) {
+        mix(0x5ec0);
+        mix(cfg.recovery.retryBudget);
+        mix(cfg.recovery.ringCapacity);
+        mix(cfg.recovery.rollbackPenalty);
+    }
     return h;
 }
 
@@ -448,6 +584,18 @@ loadCheckpoint(const std::string &path, const EngineConfig &cfg,
     rep.latencySum = get("campaign.latency.sum");
     rep.latencyCount = get("campaign.latency.count");
     rep.kernelLengthSum = get("campaign.latency.kernel_sum");
+    for (unsigned b = 0; b < kLatencyBuckets; ++b) {
+        char key[48];
+        std::snprintf(key, sizeof key, "campaign.recovery.hist.b%02u",
+                      b);
+        if (const auto n = get(key))
+            rep.recoveryHist.add(b, n);
+    }
+    rep.recoverySum = get("campaign.recovery.sum");
+    rep.recoveryCount = get("campaign.recovery.count");
+    rep.rollbacks = get("campaign.recovery.rollbacks");
+    rep.giveUps = get("campaign.recovery.giveups");
+    rep.abortedRuns = get("campaign.aborted_runs");
     return true;
 }
 
@@ -459,7 +607,11 @@ CampaignEngine::run()
     // 1. Golden reference run: validates the fault-free machine
     //    against the CPU reference and yields the cycle span that
     //    anchors transient placement, the watchdog budget, and the
-    //    software-scheme latency baseline.
+    //    software-scheme latency baseline. Deliberately run with
+    //    recovery OFF even when the campaign enables it: the site
+    //    space is derived from this span, so recovery-on and
+    //    recovery-off campaigns sample the *same* sites and their
+    //    Detected/Recovered splits are directly comparable.
     Cycle span;
     {
         auto w = factory_();
@@ -482,6 +634,7 @@ CampaignEngine::run()
     CampaignReport rep;
     rep.spaceSize = space.size();
     rep.span = span;
+    rep.recoveryEnabled = cfg_.recovery.enabled;
 
     // 3. Resume from a matching checkpoint when one exists.
     if (!cfg_.checkpointPath.empty())

@@ -14,9 +14,19 @@
  *                  reference (the fault never activated, or its
  *                  effect died out architecturally);
  *  - **Detected**: the Warped-DMR comparator fired;
+ *  - **Recovered**: the comparator fired *and* the rollback-replay
+ *                  engine repaired the run — no give-ups, no hang,
+ *                  and the final output matches the golden
+ *                  reference. Only possible when
+ *                  EngineConfig::recovery is enabled; Recovered runs
+ *                  are a refinement of Detected, never of SDC, so
+ *                  enabling recovery can only move runs out of the
+ *                  Detected bucket.
  *  - **SDC**:      silent data corruption — wrong output, no alarm;
  *  - **DUE**:      detectable uncorrectable event — the fault broke
- *                  control flow and the watchdog ended the run.
+ *                  control flow and the watchdog ended the run, or
+ *                  the run tripped a simulator sanity panic twice
+ *                  (see the hang-DUE retry in the engine).
  *
  * The resulting CampaignReport carries per-kind and per-unit outcome
  * breakdowns, Wilson-score confidence intervals, detection-latency
@@ -38,10 +48,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/gpu_config.hh"
 #include "dmr/dmr_config.hh"
 #include "fault/site_space.hh"
+#include "recovery/recovery_config.hh"
 #include "stats/confidence.hh"
 #include "stats/histogram.hh"
 #include "trace/metrics.hh"
@@ -55,11 +67,13 @@ enum class OutcomeClass
 {
     Masked,
     Detected,
+    Recovered,
     Sdc,
     Due,
 };
 
-/** Lower-case stable label ("masked", "detected", "sdc", "due"). */
+/** Lower-case stable label ("masked", "detected", "recovered",
+ *  "sdc", "due"). */
 const char *outcomeClassName(OutcomeClass c);
 
 /**
@@ -69,7 +83,18 @@ const char *outcomeClassName(OutcomeClass c);
  * @param detected  whether the DMR comparator fired
  * @param hung      whether the run hit its watchdog budget
  * @param output_ok whether the output matches the golden reference
+ * @param recovered_clean whether rollback-replay ran with zero
+ *        give-ups (always false when recovery is disabled)
+ *
+ * A detected run is Recovered only when the recovery engine never
+ * gave up, the run finished (no hang), and the output is golden —
+ * anything less stays Detected. SDC remains reachable only from
+ * undetected runs, so turning recovery on can never mint a new SDC.
  */
+OutcomeClass classifyOutcome(bool activated, bool detected, bool hung,
+                             bool output_ok, bool recovered_clean);
+
+/** Recovery-oblivious overload (recovered_clean = false). */
 OutcomeClass classifyOutcome(bool activated, bool detected, bool hung,
                              bool output_ok);
 
@@ -79,6 +104,9 @@ struct OutcomeCounts
 {
     std::uint64_t masked = 0;
     std::uint64_t detected = 0;
+    /** Detected runs rollback-replay fully repaired (disjoint from
+     *  `detected`; zero whenever recovery is disabled). */
+    std::uint64_t recovered = 0;
     std::uint64_t sdc = 0;
     std::uint64_t due = 0;
     /** Masked runs whose fault never even activated (subset of
@@ -87,7 +115,7 @@ struct OutcomeCounts
 
     std::uint64_t total() const
     {
-        return masked + detected + sdc + due;
+        return masked + detected + recovered + sdc + due;
     }
 
     void add(OutcomeClass c, bool activated);
@@ -95,7 +123,8 @@ struct OutcomeCounts
     /** Fraction of sampled sites whose injection raised the DMR
      *  alarm — the campaign counterpart of the paper's Fig 9a
      *  coverage (masked sites count against it; see
-     *  docs/FAULT_MODEL.md for why). */
+     *  docs/FAULT_MODEL.md for why). Recovered runs were detected
+     *  runs first, so they count toward coverage. */
     double coverage() const;
 
     /** Wilson interval around coverage(). */
@@ -141,7 +170,38 @@ struct CampaignReport
      *  latency a compare-at-kernel-end software scheme would pay. */
     std::uint64_t kernelLengthSum = 0;
 
+    /** Whether EngineConfig::recovery was enabled — gates the
+     *  recovery gauges in toMetrics so recovery-off reports stay
+     *  byte-identical to pre-recovery ones. */
+    bool recoveryEnabled = false;
+
+    /** Cycles rollback-replay spent repairing each Recovered run
+     *  (LaunchResult recovery.recoveryCycles), log2-bucketed like
+     *  the detection-latency histogram. */
+    stats::Histogram recoveryHist{kLatencyBuckets};
+    std::uint64_t recoverySum = 0;
+    std::uint64_t recoveryCount = 0;
+    /** Rollbacks / give-ups summed over every injected run. */
+    std::uint64_t rollbacks = 0;
+    std::uint64_t giveUps = 0;
+
+    /** Runs that tripped a simulator sanity panic twice and were
+     *  force-classified as hang-DUE (see the engine's retry). */
+    std::uint64_t abortedRuns = 0;
+    /** First few aborted sites, for post-mortem reproduction (not
+     *  checkpointed — diagnostics only). */
+    struct AbortRecord
+    {
+        std::uint64_t runIndex;
+        std::uint64_t siteIndex;
+    };
+    static constexpr std::size_t kMaxAbortLog = 64;
+    std::vector<AbortRecord> abortLog;
+
     double meanDetectionLatency() const;
+
+    /** Mean repair cost over Recovered runs, in cycles. */
+    double meanRecoveryCycles() const;
 
     /**
      * Flat metrics rendering: campaign.* counters and gauges in a
@@ -167,6 +227,10 @@ struct EngineConfig
 
     arch::GpuConfig gpu = arch::GpuConfig::testDefault();
     dmr::DmrConfig dmr = dmr::DmrConfig::paperDefault();
+    /** Rollback-replay knobs; the default keeps recovery off, so the
+     *  report (and any checkpoint signature) is byte-identical to a
+     *  pre-recovery campaign. */
+    recovery::RecoveryConfig recovery;
     SiteSpaceConfig space;
 
     std::uint64_t seed = 42;

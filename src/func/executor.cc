@@ -163,7 +163,8 @@ Executor::step(arch::WarpContext &warp, const isa::Program &prog,
 void
 Executor::stepInto(arch::WarpContext &warp, const isa::Program &prog,
                    mem::Memory &shared, const unsigned *lane_of,
-                   Cycle now, ExecRecord &rec)
+                   Cycle now, ExecRecord &rec,
+                   std::vector<MemUndo> *undo)
 {
     using isa::Opcode;
 
@@ -284,6 +285,8 @@ Executor::stepInto(arch::WarpContext &warp, const isa::Program &prog,
             if (in.isLoad()) {
                 warp.setReg(slot, in.dst.idx, m.readWord(addr));
             } else {
+                if (undo) [[unlikely]]
+                    undo->push_back({&m, addr, m.readWord(addr)});
                 m.writeWord(addr, rec.operands[1][slot]);
             }
         } else if (in.hasDst()) {

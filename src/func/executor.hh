@@ -10,6 +10,7 @@
 #define WARPED_FUNC_EXECUTOR_HH
 
 #include <array>
+#include <vector>
 
 #include "arch/gpu_config.hh"
 #include "arch/warp_context.hh"
@@ -34,6 +35,18 @@ struct LaneInfo
 
 /** Maximum warp width the recording arrays support. */
 constexpr unsigned kMaxWarp = 64;
+
+/**
+ * Undo record for one memory word clobbered by a store. The recovery
+ * engine collects these during execution so a rollback can restore
+ * the pre-store contents in reverse write order.
+ */
+struct MemUndo
+{
+    mem::Memory *mem = nullptr;
+    Addr addr = 0;
+    RegValue old = 0;
+};
 
 /**
  * Everything observable about one executed warp instruction.
@@ -123,10 +136,16 @@ class Executor
      * written for lanes in the active mask, so stale data from a
      * previous issue is never observable (every consumer masks by
      * ExecRecord::active).
+     *
+     * When @p undo is non-null, every store appends the clobbered
+     * word's previous contents to it (recovery checkpointing); loads
+     * and register writes need no entries — the recovery delta saves
+     * old destination registers itself.
      */
     void stepInto(arch::WarpContext &warp, const isa::Program &prog,
                   mem::Memory &shared, const unsigned *lane_of,
-                  Cycle now, ExecRecord &rec);
+                  Cycle now, ExecRecord &rec,
+                  std::vector<MemUndo> *undo = nullptr);
 
     unsigned smId() const { return smId_; }
     FaultHook &hook() { return *hook_; }

@@ -12,13 +12,18 @@ namespace warped {
 namespace gpu {
 
 Gpu::Gpu(arch::GpuConfig cfg, dmr::DmrConfig dcfg, std::uint64_t seed,
-         func::FaultHook *hook)
-    : cfg_(cfg), dcfg_(dcfg), seed_(seed),
+         func::FaultHook *hook, recovery::RecoveryConfig rcfg)
+    : cfg_(cfg), dcfg_(dcfg), rcfg_(rcfg), seed_(seed),
       hook_(hook ? hook : &func::NullFaultHook::instance()),
       mem_(cfg.globalMemBytes), alloc_(cfg.globalMemBytes)
 {
     cfg_.validate();
     dcfg_.validate();
+    rcfg_.validate();
+    if (rcfg_.enabled && !dcfg_.enabled)
+        warped_fatal("recovery requires DMR: rollback-replay is "
+                     "triggered by comparator mismatches, which only "
+                     "the DMR engine produces");
 }
 
 LaunchResult
@@ -47,7 +52,7 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
     for (unsigned s = 0; s < cfg_.numSms; ++s) {
         sms.push_back(std::make_unique<sm::Sm>(cfg_, dcfg_, s, prog,
                                                mem_, *hook_, seed_,
-                                               mem_sys_ptr));
+                                               mem_sys_ptr, rcfg_));
     }
 
     // Fig 8b tracks one thread on one SM ("warp 1 thread ...").
@@ -70,7 +75,8 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
     stats::LaunchAggregator agg(cfg_.warpSize);
     for (auto &sp : sms) {
         sp->dmrEngine().finalizeStats();
-        agg.addSm(sp->stats(), sp->dmrEngine().stats());
+        agg.addSm(sp->stats(), sp->dmrEngine().stats(),
+                  sp->recovery() ? &sp->recovery()->stats() : nullptr);
     }
     if (recorder)
         agg.addTrace(*recorder);

@@ -18,6 +18,7 @@
 #include "func/fault_hook.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
+#include "recovery/recovery_config.hh"
 #include "sm/sm.hh"
 #include "stats/launch_result.hh"
 
@@ -35,15 +36,26 @@ class Gpu
      * @param dcfg Warped-DMR configuration
      * @param seed determinism seed for ReplayQ picks
      * @param hook fault boundary; nullptr = fault-free
+     * @param rcfg rollback-replay recovery knobs; the default ({},
+     *        disabled) leaves every recovery hook a null-pointer
+     *        test and the launch results byte-identical to builds
+     *        that predate the recovery engine. Enabling recovery
+     *        requires DMR to be enabled (there is no detection
+     *        signal to recover from otherwise).
      */
     Gpu(arch::GpuConfig cfg, dmr::DmrConfig dcfg,
-        std::uint64_t seed = 1, func::FaultHook *hook = nullptr);
+        std::uint64_t seed = 1, func::FaultHook *hook = nullptr,
+        recovery::RecoveryConfig rcfg = {});
 
     mem::Memory &mem() { return mem_; }
     const mem::Memory &mem() const { return mem_; }
     mem::LinearAllocator &allocator() { return alloc_; }
     const arch::GpuConfig &config() const { return cfg_; }
     const dmr::DmrConfig &dmrConfig() const { return dcfg_; }
+    const recovery::RecoveryConfig &recoveryConfig() const
+    {
+        return rcfg_;
+    }
 
     /**
      * Run @p prog over @p grid_blocks blocks of @p block_threads
@@ -62,6 +74,7 @@ class Gpu
   private:
     arch::GpuConfig cfg_;
     dmr::DmrConfig dcfg_;
+    recovery::RecoveryConfig rcfg_;
     std::uint64_t seed_;
     func::FaultHook *hook_;
     mem::Memory mem_;

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Knobs for the warp-granular checkpoint/rollback-replay recovery
+ * engine. Default-constructed config is fully disabled: every hot
+ * path in Sm/DmrEngine reduces to a single null-pointer test and the
+ * simulation stays byte-identical to a build without the module.
+ */
+
+#ifndef WARPED_RECOVERY_RECOVERY_CONFIG_HH
+#define WARPED_RECOVERY_RECOVERY_CONFIG_HH
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace recovery {
+
+struct RecoveryConfig
+{
+    /** Master switch. Requires DMR to be enabled (Gpu validates). */
+    bool enabled = false;
+
+    /**
+     * Rollbacks allowed per incident window (between two points where
+     * the warp's checkpoint chain fully verifies). A mismatch past
+     * the budget degrades to a structured give-up: the warp keeps its
+     * committed (possibly corrupt) state and the run stays a
+     * detection, never silent corruption.
+     */
+    unsigned retryBudget = 3;
+
+    /** Total checkpoint deltas retained per SM (oldest evicted). */
+    unsigned ringCapacity = 4096;
+
+    /** Cycles a warp stays blocked after its state is restored. */
+    unsigned rollbackPenalty = 8;
+
+    static RecoveryConfig off() { return {}; }
+
+    static RecoveryConfig
+    paperDefault()
+    {
+        RecoveryConfig c;
+        c.enabled = true;
+        return c;
+    }
+
+    void
+    validate() const
+    {
+        if (!enabled)
+            return;
+        if (ringCapacity == 0)
+            warped_panic("recovery.ringCapacity must be > 0");
+    }
+
+    std::string
+    toString() const
+    {
+        if (!enabled)
+            return "recovery=off";
+        return "recovery=on budget=" + std::to_string(retryBudget) +
+               " ring=" + std::to_string(ringCapacity) +
+               " penalty=" + std::to_string(rollbackPenalty);
+    }
+};
+
+} // namespace recovery
+} // namespace warped
+
+#endif // WARPED_RECOVERY_RECOVERY_CONFIG_HH

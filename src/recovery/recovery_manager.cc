@@ -1,0 +1,257 @@
+#include "recovery/recovery_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace recovery {
+
+RecoveryManager::RecoveryManager(const RecoveryConfig &cfg, unsigned sm_id,
+                                 unsigned num_warps)
+    : cfg_(cfg), smId_(sm_id), numWarps_(num_warps),
+      ring_(num_warps, cfg.ringCapacity),
+      pendingAnchor_(num_warps, 0), blockedUntil_(num_warps, 0),
+      attempts_(num_warps, 0), gaveUp_(num_warps, 0)
+{
+    cfg_.validate();
+}
+
+void
+RecoveryManager::emit(trace::EventKind kind, unsigned warp, Pc pc,
+                      std::uint64_t a0, std::uint64_t a1, Cycle now)
+{
+    if (!recorder_)
+        return;
+    trace::Event ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.unit = trace::kNoUnit;
+    ev.warp = warp;
+    ev.pc = pc;
+    ev.a0 = a0;
+    ev.a1 = a1;
+    recorder_->record(smId_, ev);
+}
+
+std::vector<func::MemUndo> *
+RecoveryManager::beginDelta(unsigned warp, const arch::WarpContext &ctx,
+                            const isa::Instruction &in, Cycle now)
+{
+    bool evicted = false;
+    Delta &d = ring_.push(warp, evicted);
+    if (evicted)
+        ++stats_.evictions;
+
+    d.traceId = 0; // stamped by commitDelta
+    d.pc = ctx.stack().pc();
+    d.cycle = now;
+    d.preStack = ctx.stack();
+    d.active = ctx.stack().activeMask();
+    d.preExited = ctx.exited();
+    d.preAtBarrier = ctx.atBarrier();
+    d.cleared = false;
+    d.hasDst = in.hasDst();
+    d.memUndo.clear();
+    if (d.hasDst) {
+        d.dstReg = in.dst.idx;
+        unsigned saved = 0;
+        const unsigned ws = ctx.warpSize();
+        for (unsigned slot = 0; slot < ws; ++slot) {
+            if (!d.active.test(slot))
+                continue;
+            d.oldDst[slot] = ctx.reg(slot, d.dstReg);
+            ++saved;
+        }
+        stats_.checkpointedRegs += saved;
+    }
+    return &d.memUndo;
+}
+
+void
+RecoveryManager::commitDelta(unsigned warp, const func::ExecRecord &rec)
+{
+    auto &chain = ring_.chain(warp);
+    if (chain.empty())
+        warped_panic("commitDelta without beginDelta (warp ", warp, ")");
+    Delta &d = chain.back();
+    d.traceId = rec.traceId;
+    stats_.memUndoEntries += d.memUndo.size();
+    ++stats_.checkpoints;
+    if (recorder_) [[unlikely]]
+        emit(trace::EventKind::Checkpoint, warp, d.pc, d.traceId,
+             chain.size(), d.cycle);
+    if (!rec.verifiable()) {
+        // Branch / BAR / EXIT / NOP: never enters the comparator, so
+        // its delta only exists to be undone by a younger anchor —
+        // and can be dropped as soon as it reaches the chain front.
+        d.cleared = true;
+        ring_.popCleared(warp);
+    }
+}
+
+void
+RecoveryManager::resetWarp(unsigned warp)
+{
+    ring_.dropChain(warp);
+    if (pendingAnchor_[warp] != 0) {
+        pendingAnchor_[warp] = 0;
+        --pendingCount_;
+    }
+    blockedUntil_[warp] = 0;
+    attempts_[warp] = 0;
+    gaveUp_[warp] = 0;
+}
+
+bool
+RecoveryManager::hasUnverified(unsigned warp) const
+{
+    return pendingAnchor_[warp] != 0 || ring_.hasUnverified(warp);
+}
+
+void
+RecoveryManager::release(unsigned warp, std::uint64_t trace_id,
+                         bool unprotected)
+{
+    auto &chain = ring_.chain(warp);
+    for (Delta &d : chain) {
+        if (d.traceId != trace_id)
+            continue;
+        d.cleared = true;
+        if (unprotected)
+            ++stats_.unprotectedCommits;
+        break;
+    }
+    ring_.popCleared(warp);
+    // The incident window closed: every outstanding instruction of
+    // the warp verified clean, so a future fault gets a fresh budget.
+    if (chain.empty() && pendingAnchor_[warp] == 0 && !gaveUp_[warp])
+        attempts_[warp] = 0;
+}
+
+void
+RecoveryManager::onVerified(const func::ExecRecord &rec, bool mismatch,
+                            Cycle now)
+{
+    (void)now;
+    const unsigned w = rec.warpId;
+    if (w >= numWarps_)
+        return; // unit-test fixture record: nothing checkpointed
+    if (!mismatch) {
+        release(w, rec.traceId, false);
+        return;
+    }
+    if (gaveUp_[w])
+        return; // structured degradation: stay detection-only
+    if (pendingAnchor_[w] == 0) {
+        pendingAnchor_[w] = rec.traceId;
+        ++pendingCount_;
+    } else {
+        pendingAnchor_[w] = std::min(pendingAnchor_[w], rec.traceId);
+    }
+}
+
+void
+RecoveryManager::onUnprotected(const func::ExecRecord &rec)
+{
+    const unsigned w = rec.warpId;
+    if (w >= numWarps_)
+        return;
+    release(w, rec.traceId, true);
+}
+
+int
+RecoveryManager::nextPendingWarp() const
+{
+    for (unsigned w = 0; w < numWarps_; ++w)
+        if (pendingAnchor_[w] != 0)
+            return static_cast<int>(w);
+    return -1;
+}
+
+RecoveryManager::Outcome
+RecoveryManager::doGiveUp(unsigned warp, std::uint64_t anchor, Cycle now)
+{
+    gaveUp_[warp] = 1;
+    ring_.dropChain(warp);
+    ++stats_.giveUps;
+    emit(trace::EventKind::RecoveryGiveUp, warp, 0, anchor,
+         attempts_[warp], now);
+    Outcome o;
+    o.gaveUp = true;
+    o.anchor = anchor;
+    return o;
+}
+
+RecoveryManager::Outcome
+RecoveryManager::rollback(unsigned warp, arch::WarpContext &ctx,
+                          dmr::DmrEngine &engine, Cycle now)
+{
+    if (pendingAnchor_[warp] == 0)
+        warped_panic("rollback without a pending request (warp ", warp,
+                     ")");
+    const std::uint64_t anchor = pendingAnchor_[warp];
+    pendingAnchor_[warp] = 0;
+    --pendingCount_;
+
+    auto &chain = ring_.chain(warp);
+    std::size_t idx = chain.size();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].traceId == anchor) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == chain.size()) {
+        // Anchor evicted from the bounded ring (or never captured):
+        // the pre-state is gone, recovery is impossible.
+        return doGiveUp(warp, anchor, now);
+    }
+
+    ++attempts_[warp];
+    if (attempts_[warp] > cfg_.retryBudget)
+        return doGiveUp(warp, anchor, now);
+
+    // Undo every delta younger than (and including) the anchor, in
+    // reverse issue order: memory words first (reverse write order),
+    // then the overwritten destination registers.
+    unsigned undone = 0;
+    for (std::size_t i = chain.size(); i-- > idx;) {
+        Delta &d = chain[i];
+        for (auto it = d.memUndo.rbegin(); it != d.memUndo.rend(); ++it)
+            it->mem->writeWord(it->addr, it->old);
+        if (d.hasDst) {
+            const unsigned ws = ctx.warpSize();
+            for (unsigned slot = 0; slot < ws; ++slot) {
+                if (d.active.test(slot))
+                    ctx.setReg(slot, d.dstReg, d.oldDst[slot]);
+            }
+        }
+        ++undone;
+    }
+
+    const Delta &a = chain[idx];
+    const Pc resume = a.pc;
+    ctx.stack() = a.preStack;
+    ctx.restoreExited(a.preExited);
+    ctx.setAtBarrier(a.preAtBarrier);
+
+    engine.squashWarp(warp, anchor, now);
+    ring_.trimFrom(warp, idx);
+
+    blockedUntil_[warp] = now + cfg_.rollbackPenalty;
+    ++stats_.rollbacks;
+    stats_.rolledBackInstrs += undone;
+    stats_.recoveryCycles += cfg_.rollbackPenalty;
+    emit(trace::EventKind::Rollback, warp, resume, anchor, undone, now);
+
+    Outcome o;
+    o.rolledBack = true;
+    o.resumePc = resume;
+    o.anchor = anchor;
+    o.undone = undone;
+    return o;
+}
+
+} // namespace recovery
+} // namespace warped

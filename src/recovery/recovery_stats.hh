@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Counters produced by the recovery engine. Header-only and
+ * dependency-free so stats::LaunchResult can embed a copy without a
+ * library cycle. All fields stay zero when recovery is disabled;
+ * the aggregator only emits recovery.* metrics when it saw at least
+ * one SM with recovery enabled, keeping disabled reports
+ * byte-identical to pre-recovery baselines.
+ */
+
+#ifndef WARPED_RECOVERY_RECOVERY_STATS_HH
+#define WARPED_RECOVERY_RECOVERY_STATS_HH
+
+#include <cstdint>
+
+namespace warped {
+namespace recovery {
+
+struct RecoveryStats
+{
+    std::uint64_t checkpoints = 0;      ///< deltas captured at issue
+    std::uint64_t checkpointedRegs = 0; ///< old dst values saved
+    std::uint64_t memUndoEntries = 0;   ///< old memory words saved
+    std::uint64_t rollbacks = 0;        ///< successful restores
+    std::uint64_t rolledBackInstrs = 0; ///< deltas undone across them
+    std::uint64_t giveUps = 0;          ///< budget/anchor give-ups
+    std::uint64_t evictions = 0;        ///< ring-capacity evictions
+    std::uint64_t retireStalls = 0;     ///< BAR/EXIT verify stalls
+    std::uint64_t recoveryCycles = 0;   ///< post-rollback block cycles
+    std::uint64_t unprotectedCommits = 0; ///< deltas released unverified
+
+    void
+    merge(const RecoveryStats &o)
+    {
+        checkpoints += o.checkpoints;
+        checkpointedRegs += o.checkpointedRegs;
+        memUndoEntries += o.memUndoEntries;
+        rollbacks += o.rollbacks;
+        rolledBackInstrs += o.rolledBackInstrs;
+        giveUps += o.giveUps;
+        evictions += o.evictions;
+        retireStalls += o.retireStalls;
+        recoveryCycles += o.recoveryCycles;
+        unprotectedCommits += o.unprotectedCommits;
+    }
+};
+
+} // namespace recovery
+} // namespace warped
+
+#endif // WARPED_RECOVERY_RECOVERY_STATS_HH

@@ -49,8 +49,19 @@ void
 RunPool::submit(std::function<void()> task)
 {
     if (jobs_ == 1) {
+        // Same failure contract as the threaded path: a throwing
+        // task fails only its own slot and the first exception is
+        // rethrown from wait(). Without the catch an inline-mode
+        // throw escapes out of submit() mid-loop and every run the
+        // caller meant to submit after it is silently lost.
         ++counters_.submitted;
-        task();
+        try {
+            task();
+        } catch (...) {
+            ++counters_.failed;
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         ++counters_.completed;
         return;
     }
@@ -72,8 +83,14 @@ RunPool::submit(std::function<void()> task)
 void
 RunPool::wait()
 {
-    if (jobs_ == 1)
+    if (jobs_ == 1) {
+        if (firstError_) {
+            auto err = firstError_;
+            firstError_ = nullptr;
+            std::rethrow_exception(err);
+        }
         return;
+    }
     std::unique_lock<std::mutex> lock(mutex_);
     idle_.wait(lock, [this] { return inFlight_ == 0; });
     if (firstError_) {

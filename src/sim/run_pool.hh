@@ -85,7 +85,9 @@ class RunPool
      * Enqueue one task. Blocks while the queue is at capacity
      * (bounded queue: submission can never outrun execution by more
      * than a few batches, keeping memory flat for huge campaigns).
-     * With jobs() == 1 the task runs inline instead.
+     * With jobs() == 1 the task runs inline instead; either way a
+     * throwing task only marks its own slot failed — the exception
+     * surfaces from wait(), never from submit().
      */
     void submit(std::function<void()> task);
 
@@ -107,12 +109,22 @@ class RunPool
     {
         if (jobs_ == 1) {
             // Inline fast path: still feed the lifecycle counters so
-            // a campaign's metrics don't depend on the job count.
+            // a campaign's metrics don't depend on the job count, and
+            // keep the threaded failure contract — a throw fails only
+            // slot i, the remaining slots still run, and wait()
+            // rethrows the first exception.
             for (std::size_t i = 0; i < n; ++i) {
                 ++counters_.submitted;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    ++counters_.failed;
+                    if (!firstError_)
+                        firstError_ = std::current_exception();
+                }
                 ++counters_.completed;
             }
+            wait();
             return;
         }
         for (std::size_t i = 0; i < n; ++i)

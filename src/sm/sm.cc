@@ -10,7 +10,7 @@ namespace sm {
 Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
        unsigned sm_id, const isa::Program &prog, mem::Memory &global,
        func::FaultHook &hook, std::uint64_t seed,
-       mem::MemorySystem *mem_sys)
+       mem::MemorySystem *mem_sys, const recovery::RecoveryConfig &rcfg)
     : cfg_(cfg), memSys_(mem_sys), smId_(sm_id), prog_(prog),
       global_(global),
       exec_(cfg, sm_id, global, hook),
@@ -24,6 +24,11 @@ Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
 {
     stats_.traceLimit = cfg.traceIssueLimit;
     stats_.trackIdleGaps = cfg.trackIdleGaps;
+    if (rcfg.enabled) {
+        recovery_ = std::make_unique<recovery::RecoveryManager>(
+            rcfg, sm_id, maxWarps_);
+        engine_.attachRecoveryListener(recovery_.get());
+    }
 }
 
 bool
@@ -83,6 +88,8 @@ Sm::assignBlock(unsigned block_id, unsigned block_threads,
                           assigned, block_threads, block_threads,
                           grid_dim);
         scoreboard_.resetWarp(w);
+        if (recovery_)
+            recovery_->resetWarp(w);
         warpBlockSlot_[w] = static_cast<int>(slot);
         warpState_[w] = warps_[w]->finished() ? kWarpFinished
                                               : kWarpReady;
@@ -273,6 +280,8 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     auto &warp = warps_[warp_slot];
     if (!warp || warp->finished() || warp->atBarrier())
         return IssueOutcome::None;
+    if (recovery_ && recovery_->blocked(warp_slot, now))
+        return IssueOutcome::None; // post-rollback penalty window
 
     const isa::Instruction &in = prog_.at(warp->stack().pc());
     if (!scoreboard_.ready(warp_slot, in, now))
@@ -280,6 +289,21 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     if (cfg_.modelCoalescing && in.isMem() &&
         !isa::opcodeIsSharedMem(in.op) && now < ldstPortFreeAt_) {
         return IssueOutcome::None; // LD/ST port still draining
+    }
+
+    // Recovery gating: a warp may not EXIT or enter a barrier while
+    // any of its instructions is still unverified — otherwise a later
+    // mismatch could not be rolled back (the final stores would have
+    // retired) and a rollback could cross a barrier. The stall cycle
+    // verifies one outstanding record, so the gate drains in bounded
+    // time; a pending rollback resolves on the next tick.
+    if (recovery_ &&
+        (in.op == isa::Opcode::BAR || in.op == isa::Opcode::EXIT) &&
+        recovery_->hasUnverified(warp_slot)) [[unlikely]] {
+        recovery_->countRetireStall();
+        engine_.preRetireVerify(warp_slot, now);
+        lastProgress_ = now;
+        return IssueOutcome::Stalled; // cycle consumed
     }
 
     // RAW hazard against an unverified ReplayQ result: the pipeline
@@ -298,10 +322,15 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     // zero-initialization per issue, and onIssue can adopt it as the
     // pending RF-stage instruction without copying.
     func::ExecRecord &rec = engine_.scratch();
+    std::vector<func::MemUndo> *undo = nullptr;
+    if (recovery_) [[unlikely]]
+        undo = recovery_->beginDelta(warp_slot, *warp, in, now);
     exec_.stepInto(*warp, prog_, shared, engine_.mapping().laneTable(),
-                   now, rec);
+                   now, rec, undo);
     rec.warpId = warp_slot;
     rec.traceId = (std::uint64_t{smId_} << 40) | ++issueSeq_;
+    if (recovery_) [[unlikely]]
+        recovery_->commitDelta(warp_slot, rec);
 
     unsigned extra_mem_cycles = 0;
     Cycle contended_ready = 0;
@@ -365,6 +394,25 @@ Sm::tick(Cycle now)
 
     if (stallCycles_ > 0) {
         --stallCycles_;
+        return;
+    }
+
+    // A comparator mismatch filed a rollback request: restoring the
+    // warp consumes this whole cycle (one rollback per tick keeps the
+    // restore deterministic and models the squash cost).
+    if (recovery_ && recovery_->hasPendingRollback()) [[unlikely]] {
+        const int w = recovery_->nextPendingWarp();
+        if (w < 0 || !warps_[static_cast<unsigned>(w)])
+            warped_panic("SM ", smId_, ": rollback request for an "
+                         "empty warp slot ", w);
+        const auto wu = static_cast<unsigned>(w);
+        recovery_->rollback(wu, *warps_[wu], engine_, now);
+        // Whether restored or given up, the warp is schedulable again
+        // (the retire gate kept it from ever reaching barrier/finish
+        // with unverified work).
+        warpState_[wu] = warps_[wu]->finished() ? kWarpFinished
+                                                : kWarpReady;
+        lastProgress_ = now;
         return;
     }
 

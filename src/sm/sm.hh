@@ -26,6 +26,8 @@
 #include "isa/program.hh"
 #include "mem/memory.hh"
 #include "mem/memory_system.hh"
+#include "recovery/recovery_config.hh"
+#include "recovery/recovery_manager.hh"
 #include "sm/scoreboard.hh"
 #include "sm/sm_stats.hh"
 #include "trace/recorder.hh"
@@ -44,11 +46,16 @@ class Sm
      * @param global GPU global memory
      * @param hook   execution-unit fault boundary
      * @param seed   RNG seed (ReplayQ random pick)
+     * @param mem_sys optional contention model
+     * @param rcfg   rollback-replay recovery knobs (default: off —
+     *               the recovery engine is not even constructed and
+     *               every hot-path hook is one null-pointer test)
      */
     Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
        unsigned sm_id, const isa::Program &prog, mem::Memory &global,
        func::FaultHook &hook, std::uint64_t seed,
-       mem::MemorySystem *mem_sys = nullptr);
+       mem::MemorySystem *mem_sys = nullptr,
+       const recovery::RecoveryConfig &rcfg = {});
 
     /** Room for another block of @p block_threads threads? */
     bool canAcceptBlock(unsigned block_threads) const;
@@ -65,7 +72,8 @@ class Sm
     drained() const
     {
         return !busy() && !engine_.hasPending() &&
-               engine_.replayQueueSize() == 0;
+               engine_.replayQueueSize() == 0 &&
+               (!recovery_ || recovery_->idle());
     }
 
     /** Advance one core-clock cycle. */
@@ -82,6 +90,14 @@ class Sm
     {
         recorder_ = rec;
         engine_.attachRecorder(rec);
+        if (recovery_)
+            recovery_->attachRecorder(rec);
+    }
+
+    /** Recovery engine, or nullptr when recovery is disabled. */
+    const recovery::RecoveryManager *recovery() const
+    {
+        return recovery_.get();
     }
 
     SmStats &stats() { return stats_; }
@@ -145,6 +161,8 @@ class Sm
     mem::Memory &global_;
     func::Executor exec_;
     dmr::DmrEngine engine_;
+    /** Rollback-replay engine; null when recovery is disabled. */
+    std::unique_ptr<recovery::RecoveryManager> recovery_;
     Scoreboard scoreboard_;
     SmStats stats_;
 

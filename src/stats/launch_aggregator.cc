@@ -15,7 +15,8 @@ LaunchAggregator::LaunchAggregator(unsigned warp_size)
 }
 
 void
-LaunchAggregator::addSm(sm::SmStats &st, const dmr::DmrStats &d)
+LaunchAggregator::addSm(sm::SmStats &st, const dmr::DmrStats &d,
+                        const recovery::RecoveryStats *rec)
 {
     auto &r = result_;
     st.typeRuns.finish();
@@ -78,6 +79,11 @@ LaunchAggregator::addSm(sm::SmStats &st, const dmr::DmrStats &d)
     for (const auto &ev : d.errorLog) {
         if (r.dmr.errorLog.size() < dmr::DmrStats::kMaxErrorLog)
             r.dmr.errorLog.push_back(ev);
+    }
+
+    if (rec) {
+        r.recoveryEnabled = true;
+        r.recovery.merge(*rec);
     }
 }
 
@@ -150,6 +156,24 @@ LaunchAggregator::buildMetrics()
     m.counter("dmr.comparisons") = d.comparisons;
     m.counter("dmr.errorsDetected") = d.errorsDetected;
     m.counter("dmr.sampledOutThreadInstrs") = d.sampledOutThreadInstrs;
+
+    // Recovery keys exist only when the engine was constructed, so a
+    // recovery-disabled run's registry (and every report derived from
+    // it) is byte-identical to one from a build without recovery.
+    if (r.recoveryEnabled) {
+        const auto &rv = r.recovery;
+        m.counter("recovery.checkpoints") = rv.checkpoints;
+        m.counter("recovery.checkpointedRegs") = rv.checkpointedRegs;
+        m.counter("recovery.memUndoEntries") = rv.memUndoEntries;
+        m.counter("recovery.rollbacks") = rv.rollbacks;
+        m.counter("recovery.rolledBackInstrs") = rv.rolledBackInstrs;
+        m.counter("recovery.giveUps") = rv.giveUps;
+        m.counter("recovery.evictions") = rv.evictions;
+        m.counter("recovery.retireStalls") = rv.retireStalls;
+        m.counter("recovery.recoveryCycles") = rv.recoveryCycles;
+        m.counter("recovery.unprotectedCommits") =
+            rv.unprotectedCommits;
+    }
 
     m.counter("trace.recorded") = traceRecorded_;
     m.counter("trace.dropped") = traceDropped_;

@@ -33,8 +33,14 @@ class LaunchAggregator
      * At most one SM may have trackRawDistance set (the Fig 8b
      * "warp 1, thread 0" tracker); a second tracker is a panic, and
      * samples append rather than overwrite.
+     *
+     * @p rec is the SM's recovery counters, or nullptr when recovery
+     * is disabled — only a non-null fold makes finish() emit
+     * recovery.* metric keys, keeping disabled reports byte-identical
+     * to pre-recovery baselines.
      */
-    void addSm(sm::SmStats &st, const dmr::DmrStats &d);
+    void addSm(sm::SmStats &st, const dmr::DmrStats &d,
+               const recovery::RecoveryStats *rec = nullptr);
 
     /**
      * Fold the launch's structured event stream in: merges the

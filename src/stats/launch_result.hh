@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dmr/dmr_stats.hh"
+#include "recovery/recovery_stats.hh"
 #include "sm/sm_stats.hh"
 #include "stats/histogram.hh"
 #include "trace/event.hh"
@@ -61,6 +62,12 @@ struct LaunchResult
 
     /** Warped-DMR counters summed over SMs. */
     dmr::DmrStats dmr;
+
+    /** Rollback-replay recovery counters summed over SMs. All zero —
+     *  and absent from the metrics registry — when recovery is off,
+     *  so disabled reports stay byte-identical to old baselines. */
+    recovery::RecoveryStats recovery;
+    bool recoveryEnabled = false;
 
     /** Merged bounded issue trace (cycle-ordered) when enabled. */
     std::vector<sm::TraceEvent> trace;

@@ -47,10 +47,17 @@ enum class EventKind : std::uint8_t
     ErrorDetected,  ///< comparator mismatch (a0 = traceId, a1 = slot)
     BlockDispatch,  ///< block assigned to an SM (a0 = block id)
     LaunchEnd,      ///< kernel drained (a0 = total cycles, a1 = hung)
+    Checkpoint,     ///< recovery delta captured at issue (a0 = traceId,
+                    ///< a1 = deltas outstanding for the warp)
+    Rollback,       ///< warp state restored to a checkpoint
+                    ///< (a0 = anchor traceId, a1 = deltas undone)
+    RecoveryGiveUp, ///< retry budget / anchor exhausted: structured
+                    ///< degradation to detection-only (a0 = anchor
+                    ///< traceId, a1 = rollback attempts used)
 };
 
 constexpr unsigned kNumEventKinds =
-    static_cast<unsigned>(EventKind::LaunchEnd) + 1;
+    static_cast<unsigned>(EventKind::RecoveryGiveUp) + 1;
 
 /** Stable lower-snake name used by the exporters and golden files. */
 const char *eventKindName(EventKind k);

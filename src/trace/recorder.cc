@@ -24,6 +24,9 @@ eventKindName(EventKind k)
       case EventKind::ErrorDetected: return "error_detected";
       case EventKind::BlockDispatch: return "block_dispatch";
       case EventKind::LaunchEnd: return "launch_end";
+      case EventKind::Checkpoint: return "checkpoint";
+      case EventKind::Rollback: return "rollback";
+      case EventKind::RecoveryGiveUp: return "recovery_giveup";
     }
     return "unknown";
 }

@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "fault/campaign_engine.hh"
+#include "mem/ecc.hh"
 #include "stats/confidence.hh"
 
 using namespace warped;
@@ -219,6 +220,50 @@ TEST(Outcome, LatencyBucketsAreLog2)
     EXPECT_EQ(latencyBucket(4), 3u);
     EXPECT_EQ(latencyBucket(1023), 10u);
     EXPECT_EQ(latencyBucket(~std::uint64_t{0}), kLatencyBuckets - 1);
+}
+
+TEST(Outcome, EccCorrectedMemoryFaultsFoldAsMaskedNotRecovered)
+{
+    // ECC / DMR interplay at the campaign boundary. The site space
+    // deliberately contains only execution-unit faults (memory is
+    // SECDED-protected per the paper's model), so a memory-bit upset
+    // enters a campaign only through the "never activated" door: ECC
+    // corrects the word before it can reach an execution unit. Fold a
+    // batch of such sites into OutcomeCounts with the recovery-aware
+    // classifier and check they land in masked — recovered stays 0,
+    // and the coverage Wilson machinery is untouched by them.
+    mem::EccMemory ecc(32);
+    OutcomeCounts c;
+    for (unsigned site = 0; site < 8; ++site) {
+        const Addr addr = 4 * site;
+        const std::uint32_t v = 0xa5a50000u + site;
+        ecc.writeWord(addr, v);
+        ecc.injectBitFlip(addr, (site * 7) % mem::Secded::kCodeBits);
+        mem::Secded::Status st = mem::Secded::Status::Ok;
+        const bool outputOk = ecc.readWord(addr, &st) == v;
+        ASSERT_TRUE(outputOk);
+        ASSERT_EQ(st, mem::Secded::Status::Corrected);
+        // Corrected before any execution unit consumed it: the DMR
+        // checker never fires and the campaign sees a dormant site,
+        // regardless of the recovered_clean flag the engine computes.
+        const auto cls = classifyOutcome(/*activated=*/false,
+                                         /*detected=*/false,
+                                         /*hung=*/false, outputOk,
+                                         /*recovered_clean=*/true);
+        EXPECT_EQ(cls, OutcomeClass::Masked);
+        c.add(cls, /*activated=*/false);
+    }
+    EXPECT_EQ(c.total(), 8u);
+    EXPECT_EQ(c.masked, 8u);
+    EXPECT_EQ(c.notActivated, 8u);
+    EXPECT_EQ(c.recovered, 0u);
+    EXPECT_EQ(c.detected, 0u);
+    EXPECT_EQ(c.sdc, 0u);
+    // All-masked campaigns have zero coverage and a vacuously perfect
+    // detection rate (no consequential runs); recovery must not
+    // perturb either.
+    EXPECT_DOUBLE_EQ(c.coverage(), 0.0);
+    EXPECT_DOUBLE_EQ(c.detectionRate(), 1.0);
 }
 
 // ---------------------------------------------------------------------

@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "fault/campaign_engine.hh"
 #include "mem/ecc.hh"
 
 using namespace warped;
@@ -123,4 +124,89 @@ TEST(EccMemory, SizeRoundsUpToWords)
 {
     EccMemory m(10);
     EXPECT_EQ(m.size(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// ECC / DMR interplay. Memory is SECDED-protected, so a memory bit
+// upset that ECC corrects never reaches the execution units and never
+// activates at the DMR checker boundary: it must classify as Masked
+// under the campaign taxonomy — never Detected, and never Recovered,
+// even when the rollback-replay engine is enabled. A double-bit error
+// is ECC's own detected-uncorrectable event (a DUE), not something
+// DMR's comparator or the recovery engine can claim credit for.
+// ---------------------------------------------------------------------------
+
+TEST(EccDmrInterplay, CorrectedMemoryUpsetClassifiesAsMasked)
+{
+    EccMemory m(64);
+    m.writeWord(16, 0xdeadbeefu);
+    m.injectBitFlip(16, 21);
+
+    Secded::Status st = Secded::Status::Ok;
+    EXPECT_EQ(m.readWord(16, &st), 0xdeadbeefu);
+    EXPECT_EQ(st, Secded::Status::Corrected);
+    EXPECT_EQ(m.correctedCount(), 1u);
+
+    // The corrected read means the fault never activated downstream:
+    // activated=false dominates every other flag, with recovery both
+    // off and on (recovered_clean=true must not promote a fault that
+    // DMR never saw).
+    using fault::classifyOutcome;
+    using fault::OutcomeClass;
+    EXPECT_EQ(classifyOutcome(false, false, false, true, false),
+              OutcomeClass::Masked);
+    EXPECT_EQ(classifyOutcome(false, false, false, true, true),
+              OutcomeClass::Masked);
+    // 4-arg legacy overload agrees.
+    EXPECT_EQ(classifyOutcome(false, false, false, true),
+              OutcomeClass::Masked);
+}
+
+TEST(EccDmrInterplay, EverySingleBitUpsetStaysMaskedUnderRecovery)
+{
+    // Property form: any single-bit upset in any stored word is
+    // absorbed by SECDED, so the whole single-bit memory fault space
+    // contributes only Masked outcomes to a recovery-enabled
+    // campaign.
+    Rng rng(23);
+    EccMemory m(32);
+    for (unsigned trial = 0; trial < 16; ++trial) {
+        const Addr addr = 4 * (rng.next() % 8);
+        const auto v = static_cast<std::uint32_t>(rng.next());
+        m.writeWord(addr, v);
+        const auto bit =
+            static_cast<unsigned>(rng.next() % Secded::kCodeBits);
+        m.injectBitFlip(addr, bit);
+        Secded::Status st = Secded::Status::Ok;
+        const auto got = m.readWord(addr, &st);
+        EXPECT_EQ(got, v) << "addr " << addr << " bit " << bit;
+        EXPECT_NE(st, Secded::Status::DoubleError);
+        EXPECT_EQ(fault::classifyOutcome(false, false, false, got == v,
+                                         true),
+                  fault::OutcomeClass::Masked);
+    }
+}
+
+TEST(EccDmrInterplay, DoubleErrorIsEccsDueNotDmrs)
+{
+    EccMemory m(64);
+    m.writeWord(32, 0x12345678u);
+    m.injectBitFlip(32, 3);
+    m.injectBitFlip(32, 17);
+
+    Secded::Status st = Secded::Status::Ok;
+    (void)m.readWord(32, &st);
+    EXPECT_EQ(st, Secded::Status::DoubleError);
+    EXPECT_EQ(m.doubleErrorCount(), 1u);
+
+    // The machine reports the uncorrectable error and halts the run:
+    // detected-uncorrectable maps to Due at the campaign level. DMR
+    // never flagged it (detected=false) and recovery cannot touch it.
+    EXPECT_EQ(fault::classifyOutcome(true, false, true, false, false),
+              fault::OutcomeClass::Due);
+    // Even a (hypothetical) clean recovery flag cannot promote a
+    // detected-then-hung run to Recovered: the hang blocks promotion
+    // and the run stays at plain Detected.
+    EXPECT_EQ(fault::classifyOutcome(true, true, true, false, true),
+              fault::OutcomeClass::Detected);
 }

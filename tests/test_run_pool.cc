@@ -80,6 +80,64 @@ TEST(RunPool, WaitRethrowsTheFirstTaskError)
     EXPECT_EQ(ran.load(), 1);
 }
 
+TEST(RunPool, InlineModeDrainsPastAThrowingTask)
+{
+    // jobs == 1 must keep the threaded failure contract: a throwing
+    // task fails only its own slot, every queued run after it still
+    // executes, and the first exception surfaces from wait().
+    // (Historically the throw escaped from submit()/parallelFor and
+    // the rest of the batch was silently lost.)
+    sim::RunPool pool(1);
+    std::vector<int> out(8, 0);
+    std::string what;
+    try {
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            if (i == 2)
+                throw std::runtime_error("first");
+            if (i == 5)
+                throw std::runtime_error("second");
+            out[i] = 1;
+        });
+        FAIL() << "parallelFor should have rethrown";
+    } catch (const std::runtime_error &e) {
+        what = e.what();
+    }
+    // The *first* error propagated, after the whole batch drained:
+    // the non-throwing slots — including those after the throws —
+    // all completed.
+    EXPECT_EQ(what, "first");
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i == 2 || i == 5 ? 0 : 1) << "slot " << i;
+
+    sim::RunPool pool2(1);
+    bool later_ran = false;
+    EXPECT_THROW(pool2.parallelFor(4,
+                                   [&](std::size_t i) {
+                                       if (i == 0)
+                                           throw std::runtime_error(
+                                               "boom");
+                                       if (i == 3)
+                                           later_ran = true;
+                                   }),
+                 std::runtime_error);
+    EXPECT_TRUE(later_ran);
+    const auto c = pool2.counters();
+    EXPECT_EQ(c.submitted, 4u);
+    EXPECT_EQ(c.completed, 4u);
+    EXPECT_EQ(c.failed, 1u);
+    // The error was consumed; the pool keeps working.
+    pool2.parallelFor(2, [](std::size_t) {});
+
+    // submit()-then-wait() follows the same contract.
+    sim::RunPool pool3(1);
+    int ran = 0;
+    pool3.submit([] { throw std::runtime_error("boom"); });
+    pool3.submit([&] { ++ran; });
+    EXPECT_THROW(pool3.wait(), std::runtime_error);
+    EXPECT_EQ(ran, 1);
+    pool3.wait(); // error consumed: returns
+}
+
 TEST(RunPool, SingleJobRunsInline)
 {
     sim::RunPool pool(1);
