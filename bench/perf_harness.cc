@@ -36,6 +36,7 @@
 #include "common/logging.hh"
 #include "dmr/dmr_config.hh"
 #include "gpu/gpu.hh"
+#include "protection/scheme_registry.hh"
 #include "recovery/recovery_config.hh"
 #include "trace/metrics.hh"
 #include "workloads/workload.hh"
@@ -54,6 +55,7 @@ struct PerfConfig
     std::vector<WorkloadFactory> factories; ///< run back to back
     dmr::DmrConfig dmr;
     recovery::RecoveryConfig recovery; ///< default: disabled
+    protection::SchemeConfig scheme;   ///< default: Warped-DMR
 };
 
 [[noreturn]] void
@@ -151,6 +153,20 @@ buildConfigs(bool smoke)
     // throughput tracks campaign wall time directly.
     configs.push_back(
         {"campaign_ref", {bfs, scan, matmul, sha, fft}, on, {}});
+    // Non-DMR protection backends through the seam: R-Thread is the
+    // cheapest software scheme with per-issue work, Replay-Compare
+    // the heaviest (full end-of-kernel replay), so together they
+    // bracket the per-issue cost of the ProtectionScheme dispatch.
+    configs.push_back({"matrixmul_rthread",
+                       {matmul},
+                       off,
+                       {},
+                       {protection::SchemeId::RThread}});
+    configs.push_back({"matrixmul_replay_compare",
+                       {matmul},
+                       off,
+                       {},
+                       {protection::SchemeId::ReplayCompare}});
     return configs;
 }
 
@@ -177,7 +193,8 @@ measure(const std::vector<PerfConfig> &configs, unsigned repeat,
             for (const auto &factory : cfg.factories) {
                 auto w = factory();
                 gpu::Gpu g(gpu_cfg, cfg.dmr, /*seed=*/1,
-                           /*hook=*/nullptr, cfg.recovery);
+                           /*hook=*/nullptr, cfg.recovery,
+                           cfg.scheme);
                 const auto r = workloads::runVerified(*w, g);
                 if (r.hung)
                     warped_fatal("perf config ", cfg.name,
@@ -242,12 +259,13 @@ recoveryNoopCheck(bool smoke)
             continue;
         for (const auto &factory : cfg.factories) {
             auto wa = factory();
-            gpu::Gpu base(gpu_cfg, cfg.dmr);
+            gpu::Gpu base(gpu_cfg, cfg.dmr, /*seed=*/1,
+                          /*hook=*/nullptr, {}, cfg.scheme);
             const auto ra = workloads::runVerified(*wa, base);
 
             auto wb = factory();
             gpu::Gpu off(gpu_cfg, cfg.dmr, /*seed=*/1,
-                         /*hook=*/nullptr, noisyOff);
+                         /*hook=*/nullptr, noisyOff, cfg.scheme);
             const auto rb = workloads::runVerified(*wb, off);
 
             const auto ja = ra.metrics.toJson();

@@ -1,0 +1,31 @@
+# scheme_noop_smoke driver: an explicit `--scheme warped-dmr
+# --protect-frac 1.0` run must write a metrics JSON byte-identical to
+# a run that never mentions the scheme flag at all. This is the
+# tripwire for the ProtectionScheme seam's "default backend has zero
+# behavioral and serialization footprint" contract — any key the
+# default path starts emitting, or any perturbation of the simulated
+# counters, fails the compare.
+execute_process(
+    COMMAND ${SIM} SCAN --sms 4
+            --metrics-out ${OUTDIR}/scheme_noop_default.json
+    RESULT_VARIABLE r1 OUTPUT_QUIET ERROR_QUIET)
+execute_process(
+    COMMAND ${SIM} SCAN --sms 4 --scheme warped-dmr --protect-frac 1.0
+            --metrics-out ${OUTDIR}/scheme_noop_explicit.json
+    RESULT_VARIABLE r2 OUTPUT_QUIET ERROR_QUIET)
+if(NOT r1 EQUAL 0)
+    message(FATAL_ERROR "default run failed (exit ${r1})")
+endif()
+if(NOT r2 EQUAL 0)
+    message(FATAL_ERROR "--scheme warped-dmr run failed (exit ${r2})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUTDIR}/scheme_noop_default.json
+            ${OUTDIR}/scheme_noop_explicit.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "scheme_noop_smoke: explicit --scheme warped-dmr metrics "
+            "differ from the default run — the seam leaked")
+endif()

@@ -18,13 +18,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <fstream>
 
 #include "common/logging.hh"
 #include "fault/campaign_engine.hh"
 #include "gpu/report.hh"
+#include "protection/scheme_registry.hh"
 #include "trace/export.hh"
+#include "trace/metrics.hh"
 #include "isa/assembler.hh"
 #include "power/power_model.hh"
 #include "workloads/workload.hh"
@@ -37,6 +40,7 @@ struct Options
 {
     std::string workload = "all";
     dmr::DmrConfig dmr = dmr::DmrConfig::paperDefault();
+    protection::SchemeConfig scheme;
     unsigned numSms = 30;
     unsigned cluster = 4;
     unsigned schedulers = 1;
@@ -107,9 +111,21 @@ campaignUsage()
         "  --checkpoint-every N  runs per checkpoint chunk "
         "(default 1000)\n"
         "  --out F             write the campaign report JSON to F\n"
+        "  --sched lrr|gto     warp scheduling policy (default lrr)\n"
+        "  --schedulers N      schedulers per SM (default 1)\n"
         "  --dmr off | --no-intra | --no-inter | --no-shuffle |\n"
         "  --mapping linear|cross | --qsize N\n"
         "                      protection configuration under test\n"
+        "  --scheme NAME       protection backend under test:\n"
+        "                      original, r-naive, r-thread, dmtr,\n"
+        "                      warped-dmr (default), partial-thread,\n"
+        "                      replay-compare\n"
+        "  --protect-frac F    protected warp-slot fraction for\n"
+        "                      --scheme partial-thread (default 1.0)\n"
+        "  --scheme-sweep      run the campaign once per backend over\n"
+        "                      the same site axes and emit one merged\n"
+        "                      JSON (sweep.<scheme>.* keys) plus a\n"
+        "                      coverage/overhead Pareto table\n"
         "  --recovery          enable rollback-replay recovery:\n"
         "                      detected mismatches are repaired in\n"
         "                      place and classify as Recovered\n"
@@ -179,6 +195,152 @@ parseF64Arg(const char *flag, const char *text, bool campaign)
     return v;
 }
 
+/**
+ * Strict scheme-name resolution: only the canonical CLI slugs from
+ * the protection registry are accepted; anything else prints the
+ * valid set and the usage text and exits 2 (same contract as the
+ * numeric options — no prefix or case forgiveness).
+ */
+protection::SchemeId
+parseSchemeArg(const char *text, bool campaign)
+{
+    if (text) {
+        if (const auto id = protection::schemeFromName(text))
+            return *id;
+    }
+    std::fprintf(stderr,
+                 "warped_sim: unknown scheme '%s' (expected one of:",
+                 text ? text : "");
+    for (const auto id : protection::allSchemes())
+        std::fprintf(stderr, " %s", protection::schemeCliName(id));
+    std::fprintf(stderr, ")\n");
+    if (campaign)
+        campaignUsage();
+    else
+        usage();
+    std::exit(2);
+}
+
+double
+parseProtectFracArg(const char *text, bool campaign)
+{
+    const double f = parseF64Arg("--protect-frac", text, campaign);
+    if (f < 0.0 || f > 1.0)
+        badNumericArg("--protect-frac (expects [0,1])",
+                      text, campaign);
+    return f;
+}
+
+/**
+ * `campaign <workload> --scheme-sweep`: one self-contained campaign
+ * per protection backend over the SAME site axes (kinds, units,
+ * windows, seed, sample count), merged into a single metrics JSON
+ * under `sweep.<scheme>.*` keys plus a printed Pareto table.
+ *
+ * Each backend's golden run executes UNDER that backend, so its span
+ * already contains the scheme's stall/replay cycles: the overhead
+ * column is span / Original-span - 1, the Fig-10 x-axis, while the
+ * coverage column (with its Wilson CI) is the y-axis. Original runs
+ * first to anchor the baseline.
+ */
+int
+schemeSweep(const std::string &workload, unsigned size,
+            const fault::EngineConfig &base, const std::string &outPath)
+{
+    struct Row
+    {
+        protection::SchemeId id;
+        std::uint64_t span = 0, sampled = 0, detected = 0;
+        std::uint64_t sdc = 0, due = 0, masked = 0;
+        double cov = 0, lo = 0, hi = 0, overhead = 0;
+    };
+    std::vector<Row> rows;
+    trace::MetricsRegistry merged;
+    std::uint64_t baseSpan = 0;
+
+    for (const auto id : protection::allSchemes()) {
+        fault::EngineConfig ec = base;
+        ec.scheme.id = id;
+        if (id != protection::SchemeId::PartialThread)
+            ec.scheme.protectFraction = 1.0;
+        // Per-scheme campaigns are self-contained; a shared
+        // checkpoint file would clobber across backends.
+        ec.checkpointPath.clear();
+        if (ec.recovery.enabled &&
+            !protection::schemeSupportsRecovery(id)) {
+            std::printf("  (recovery disabled for %s: no "
+                        "per-instruction detection)\n",
+                        protection::schemeDisplayName(id));
+            ec.recovery = {};
+        }
+        std::printf("sweep: %s ...\n",
+                    protection::schemeDisplayName(id));
+        std::fflush(stdout);
+
+        fault::CampaignEngine engine(
+            [&] {
+                return workloads::makeByNameSized(workload, size);
+            },
+            ec);
+        const auto rep = engine.run();
+        if (id == protection::SchemeId::Original)
+            baseSpan = rep.span; // enum order runs Original first
+
+        Row r;
+        r.id = id;
+        r.span = rep.span;
+        r.sampled = rep.sampled;
+        r.detected = rep.overall.detected + rep.overall.recovered;
+        r.sdc = rep.overall.sdc;
+        r.due = rep.overall.due;
+        r.masked = rep.overall.masked;
+        r.cov = rep.overall.coverage();
+        const auto ci = rep.overall.coverageCi();
+        r.lo = ci.lo;
+        r.hi = ci.hi;
+        r.overhead = baseSpan ? double(r.span) / double(baseSpan) - 1.0
+                              : 0.0;
+        rows.push_back(r);
+
+        const std::string k =
+            std::string("sweep.") + protection::schemeCliName(id);
+        merged.counter(k + ".span") = r.span;
+        merged.counter(k + ".sampled") = r.sampled;
+        merged.counter(k + ".detected") = r.detected;
+        merged.counter(k + ".sdc") = r.sdc;
+        merged.counter(k + ".due") = r.due;
+        merged.counter(k + ".masked") = r.masked;
+        merged.gauge(k + ".coverage") = r.cov;
+        merged.gauge(k + ".coverage.wilson_lo") = r.lo;
+        merged.gauge(k + ".coverage.wilson_hi") = r.hi;
+        merged.gauge(k + ".overhead") = r.overhead;
+    }
+
+    std::printf("\n%-16s %9s  %-18s %9s  %9s %9s %7s %7s\n",
+                "scheme", "coverage", "Wilson 95% CI", "overhead",
+                "span", "sampled", "SDC", "DUE");
+    for (const auto &r : rows)
+        std::printf("%-16s %8.2f%%  [%6.2f, %6.2f]   %+8.2f%%  "
+                    "%9llu %9llu %7llu %7llu\n",
+                    protection::schemeDisplayName(r.id), 100 * r.cov,
+                    100 * r.lo, 100 * r.hi, 100 * r.overhead,
+                    static_cast<unsigned long long>(r.span),
+                    static_cast<unsigned long long>(r.sampled),
+                    static_cast<unsigned long long>(r.sdc),
+                    static_cast<unsigned long long>(r.due));
+
+    if (!outPath.empty()) {
+        std::ofstream f(outPath);
+        if (!f) {
+            std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
+            return 1;
+        }
+        f << merged.toJson();
+        std::printf("\nsweep JSON written to %s\n", outPath.c_str());
+    }
+    return 0;
+}
+
 int
 campaignMain(int argc, char **argv)
 {
@@ -193,6 +355,10 @@ campaignMain(int argc, char **argv)
     ec.jobs = 0;
     unsigned sms = 4;
     unsigned size = 0;
+    unsigned schedulers = 0;
+    auto sched = arch::SchedPolicy::LooseRoundRobin;
+    bool schedSet = false;
+    bool sweep = false;
     std::string outPath;
 
     for (int i = 3; i < argc; ++i) {
@@ -296,6 +462,22 @@ campaignMain(int argc, char **argv)
             ec.recovery.enabled = true;
             ec.recovery.rollbackPenalty =
                 parseU32Arg("--recovery-penalty", next(), true);
+        } else if (a == "--scheme") {
+            ec.scheme.id = parseSchemeArg(next(), true);
+        } else if (a == "--protect-frac") {
+            ec.scheme.protectFraction =
+                parseProtectFracArg(next(), true);
+        } else if (a == "--scheme-sweep") {
+            sweep = true;
+        } else if (a == "--sched") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            sched = std::strcmp(v, "gto") == 0
+                        ? arch::SchedPolicy::GreedyThenOldest
+                        : arch::SchedPolicy::LooseRoundRobin;
+            schedSet = true;
+        } else if (a == "--schedulers") {
+            schedulers = parseU32Arg("--schedulers", next(), true);
         } else {
             std::fprintf(stderr, "unknown campaign option %s\n",
                          a.c_str());
@@ -306,6 +488,10 @@ campaignMain(int argc, char **argv)
 
     ec.gpu = arch::GpuConfig::testDefault();
     ec.gpu.numSms = sms;
+    if (schedSet)
+        ec.gpu.schedPolicy = sched;
+    if (schedulers)
+        ec.gpu.numSchedulers = schedulers;
 
     std::printf("campaign: %s (size %s), seed %llu, machine: %s\n",
                 workload.c_str(),
@@ -314,6 +500,13 @@ campaignMain(int argc, char **argv)
                 ec.gpu.toString().c_str());
     if (ec.recovery.enabled)
         std::printf("  %s\n", ec.recovery.toString().c_str());
+    if (!sweep &&
+        ec.scheme.id != protection::SchemeId::WarpedDmr)
+        std::printf("  scheme: %s\n",
+                    protection::schemeDisplayName(ec.scheme.id));
+
+    if (sweep)
+        return schemeSweep(workload, size, ec, outPath);
 
     fault::CampaignEngine engine(
         [&] { return workloads::makeByNameSized(workload, size); },
@@ -446,6 +639,14 @@ usage()
         "  --arbitrate           classify detections by majority "
         "vote\n"
         "  --dmtr                DMTR baseline mode\n"
+        "  --scheme NAME         protection backend: original, "
+        "r-naive,\n"
+        "                        r-thread, dmtr, warped-dmr "
+        "(default),\n"
+        "                        partial-thread, replay-compare\n"
+        "  --protect-frac F      protected warp-slot fraction for\n"
+        "                        --scheme partial-thread "
+        "(default 1.0)\n"
         "  --disasm              print the kernel disassembly\n"
         "  --trace N             print the first N issue events\n"
         "  --trace-out F         record structured events and write a\n"
@@ -546,6 +747,11 @@ parse(int argc, char **argv, Options &o)
             o.dmr.arbitrateErrors = true;
         } else if (a == "--dmtr") {
             o.dmr = dmr::DmrConfig::dmtr();
+        } else if (a == "--scheme") {
+            o.scheme.id = parseSchemeArg(next(), false);
+        } else if (a == "--protect-frac") {
+            o.scheme.protectFraction =
+                parseProtectFracArg(next(), false);
         } else if (a == "--kernel") {
             const char *v = next();
             if (!v)
@@ -590,7 +796,7 @@ runOne(const std::string &name, const Options &o,
        const arch::GpuConfig &cfg)
 {
     auto w = workloads::makeByName(name);
-    gpu::Gpu g(cfg, o.dmr);
+    gpu::Gpu g(cfg, o.dmr, /*seed=*/1, nullptr, {}, o.scheme);
     w->setup(g);
     if (o.disasm)
         std::printf("%s\n", w->program().disassemble().c_str());
@@ -726,7 +932,7 @@ main(int argc, char **argv)
         const auto prog = isa::parseProgram(text);
         if (o.disasm)
             std::printf("%s\n", prog.disassemble().c_str());
-        gpu::Gpu g(cfg, o.dmr);
+        gpu::Gpu g(cfg, o.dmr, /*seed=*/1, nullptr, {}, o.scheme);
         const auto r = g.launch(prog, o.kblocks, o.kthreads);
         if (o.json) {
             std::printf("%s\n",

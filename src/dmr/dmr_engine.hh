@@ -17,13 +17,20 @@
 #include "dmr/replay_queue.hh"
 #include "dmr/thread_mapping.hh"
 #include "func/executor.hh"
+#include "protection/protection_scheme.hh"
 
 namespace warped {
 namespace dmr {
 
 class RecoveryListener;
 
-class DmrEngine
+/**
+ * The reference `protection::ProtectionScheme`: both the paper's
+ * Warped-DMR and the DMTR baseline (which is the same engine under
+ * `DmrConfig::dmtr()` knobs). Remains directly constructible — the
+ * unit tests and ablations drive it without the seam.
+ */
+class DmrEngine final : public protection::ProtectionScheme
 {
   public:
     /**
@@ -35,6 +42,16 @@ class DmrEngine
     DmrEngine(const arch::GpuConfig &gpu, const DmrConfig &cfg,
               func::Executor &exec, std::uint64_t seed);
 
+    /** DMTR is this engine under DmrConfig::dmtr() knobs. */
+    protection::SchemeId
+    id() const override
+    {
+        return (cfg_.temporalAll && !cfg_.intraWarp)
+                   ? protection::SchemeId::Dmtr
+                   : protection::SchemeId::WarpedDmr;
+    }
+    bool supportsRecovery() const override { return true; }
+
     /**
      * Pre-issue check: true when @p next of warp @p warp_id reads a
      * register produced by an unverified ReplayQ entry. The engine
@@ -43,7 +60,7 @@ class DmrEngine
      * before allowing the consumer instruction to execute").
      */
     bool rawHazardStall(unsigned warp_id, const isa::Instruction &next,
-                        Cycle now);
+                        Cycle now) override;
 
     /**
      * Account and protect an issued instruction. Must be called for
@@ -54,7 +71,7 @@ class DmrEngine
      * adopts it by buffer swap instead of copying the ~2.6 KB
      * payload; any other record (unit-test fixtures) is copied.
      */
-    unsigned onIssue(const func::ExecRecord &rec, Cycle now);
+    unsigned onIssue(const func::ExecRecord &rec, Cycle now) override;
 
     /**
      * Scratch record for the SM to execute the next instruction into
@@ -63,30 +80,36 @@ class DmrEngine
      * with a buffer swap — no per-issue copy. Contents are only
      * meaningful between stepInto and the matching onIssue.
      */
-    func::ExecRecord &scratch() { return scratchIsA_ ? bufA_ : bufB_; }
+    func::ExecRecord &scratch() override { return scratchIsA_ ? bufA_ : bufB_; }
 
     /** No instruction issued this cycle: drain one verification. */
     void onIdleCycle(Cycle now);
+    /** Seam form: the engine drains whether the SM is mid-kernel or
+     *  post-retirement, so the busy flag is irrelevant here. */
+    void onIdleCycle(Cycle now, bool) override { onIdleCycle(now); }
 
     /**
      * End of kernel: verify the pending instruction and every queued
      * entry, one per cycle. @return cycles consumed.
      */
-    std::uint64_t drainAll(Cycle now);
+    std::uint64_t drainAll(Cycle now) override;
 
     /**
      * Emit structured trace events (Algorithm-1 decisions, RFU
      * forwarding, ReplayQ traffic, detections) to @p rec. nullptr
      * detaches; disabled tracing costs one pointer test per seam.
      */
-    void attachRecorder(trace::Recorder *rec);
+    void attachRecorder(trace::Recorder *rec) override;
 
     /**
      * Subscribe the recovery engine to verification outcomes: every
      * retired record reports verified-clean / mismatch / unprotected.
      * nullptr detaches; disabled cost is one pointer test per retire.
      */
-    void attachRecoveryListener(RecoveryListener *l) { listener_ = l; }
+    void attachRecoveryListener(RecoveryListener *l) override
+    {
+        listener_ = l;
+    }
 
     /**
      * Rollback squash: drop the pending RF-stage record and every
@@ -96,7 +119,7 @@ class DmrEngine
      * @return records dropped.
      */
     unsigned squashWarp(unsigned warp_id, std::uint64_t min_trace_id,
-                        Cycle now);
+                        Cycle now) override;
 
     /**
      * Pre-retire drain: verify ONE outstanding record of @p warp_id
@@ -105,20 +128,23 @@ class DmrEngine
      * so a warp never EXITs or passes a barrier with unverified
      * instructions. @return true when a record was verified.
      */
-    bool preRetireVerify(unsigned warp_id, Cycle now);
+    bool preRetireVerify(unsigned warp_id, Cycle now) override;
 
     /**
      * Stamp end-of-launch derived statistics (the ReplayQ depth
      * watermark) into stats(). Called once per launch by Gpu::launch
      * so the per-issue path stays free of watermark folding.
      */
-    void finalizeStats() { stats_.replayQPeak = queue_.peakDepth(); }
+    void finalizeStats() override
+    {
+        stats_.replayQPeak = queue_.peakDepth();
+    }
 
-    const DmrStats &stats() const { return stats_; }
-    const ThreadCoreMapping &mapping() const { return mapping_; }
+    const DmrStats &stats() const override { return stats_; }
+    const ThreadCoreMapping &mapping() const override { return mapping_; }
     const DmrConfig &config() const { return cfg_; }
-    unsigned replayQueueSize() const { return queue_.size(); }
-    bool hasPending() const { return hasPending_; }
+    unsigned replayQueueSize() const override { return queue_.size(); }
+    bool hasPending() const override { return hasPending_; }
 
   private:
     /** Intra-warp DMR: RFU pairing + comparison; updates coverage. */

@@ -43,8 +43,10 @@ struct CampaignResult
      *  detection latency — the "detect early" advantage over
      *  kernel-granularity software schemes (paper Sec 1). */
     std::uint64_t detectionLatencySum = 0;
-    /** Sum of fault-free kernel lengths of the detected runs: what a
-     *  compare-at-the-end software scheme's latency would be. */
+    /** Sum of fault-free kernel lengths of the detected runs: the
+     *  latency protection::ReplayCompareScheme pays, since its
+     *  comparator only fires at the end-of-kernel replay (run with
+     *  `--scheme replay-compare` to measure it directly). */
     std::uint64_t kernelLengthSum = 0;
 
     double

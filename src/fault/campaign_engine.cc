@@ -306,6 +306,17 @@ CampaignReport::toMetrics() const
     if (abortedRuns)
         m.counter("campaign.aborted_runs") = abortedRuns;
 
+    // Scheme identity, gated the same way: the default backend
+    // (Warped-DMR, full protection) emits nothing, so pre-seam
+    // reports and post-seam default reports are byte-identical.
+    if (scheme.id != protection::SchemeId::WarpedDmr ||
+        scheme.protectFraction != 1.0) {
+        m.counter("campaign.scheme.id") =
+            static_cast<std::uint64_t>(scheme.id);
+        m.gauge("campaign.scheme.protect_fraction") =
+            scheme.protectFraction;
+    }
+
     const auto cov = overall.coverageCi();
     m.gauge("campaign.coverage") = overall.coverage();
     m.gauge("campaign.coverage.wilson_lo") = cov.lo;
@@ -383,7 +394,7 @@ runOne(std::uint64_t run_index, const FaultSiteSpace &space,
         auto w = factory();
         try {
             gpu::Gpu g(cfg.gpu, cfg.dmr, /*seed=*/1, &injector,
-                       cfg.recovery);
+                       cfg.recovery, cfg.scheme);
             w->setup(g);
             // Watchdog: a fault can corrupt a loop counter and hang
             // the kernel; give it a generous multiple of the
@@ -503,6 +514,15 @@ configSignature(const EngineConfig &cfg, const FaultSiteSpace &space,
         mix(cfg.recovery.ringCapacity);
         mix(cfg.recovery.rollbackPenalty);
     }
+    // Likewise mixed only for non-default backends, so pre-seam
+    // checkpoints keep resuming under the default (Warped-DMR).
+    if (cfg.scheme.id != protection::SchemeId::WarpedDmr ||
+        cfg.scheme.protectFraction != 1.0) {
+        mix(0x5c3e);
+        mix(static_cast<std::uint64_t>(cfg.scheme.id));
+        mix(static_cast<std::uint64_t>(cfg.scheme.protectFraction *
+                                       1e9));
+    }
     return h;
 }
 
@@ -615,7 +635,8 @@ CampaignEngine::run()
     Cycle span;
     {
         auto w = factory_();
-        gpu::Gpu g(cfg_.gpu, cfg_.dmr);
+        gpu::Gpu g(cfg_.gpu, cfg_.dmr, /*seed=*/1, nullptr, {},
+                   cfg_.scheme);
         span = workloads::runVerified(*w, g).cycles;
     }
 
@@ -635,6 +656,7 @@ CampaignEngine::run()
     rep.spaceSize = space.size();
     rep.span = span;
     rep.recoveryEnabled = cfg_.recovery.enabled;
+    rep.scheme = cfg_.scheme;
 
     // 3. Resume from a matching checkpoint when one exists.
     if (!cfg_.checkpointPath.empty())

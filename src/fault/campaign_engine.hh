@@ -53,6 +53,7 @@
 #include "arch/gpu_config.hh"
 #include "dmr/dmr_config.hh"
 #include "fault/site_space.hh"
+#include "protection/scheme_registry.hh"
 #include "recovery/recovery_config.hh"
 #include "stats/confidence.hh"
 #include "stats/histogram.hh"
@@ -167,13 +168,22 @@ struct CampaignReport
     /** Number of detected runs with a recorded latency. */
     std::uint64_t latencyCount = 0;
     /** Sum of golden-run lengths over those runs: the detection
-     *  latency a compare-at-kernel-end software scheme would pay. */
+     *  latency protection::ReplayCompareScheme pays — its comparator
+     *  fires only at the end-of-kernel replay (run a campaign with
+     *  `--scheme replay-compare` to see the measured histogram land
+     *  in the top buckets). */
     std::uint64_t kernelLengthSum = 0;
 
     /** Whether EngineConfig::recovery was enabled — gates the
      *  recovery gauges in toMetrics so recovery-off reports stay
      *  byte-identical to pre-recovery ones. */
     bool recoveryEnabled = false;
+
+    /** The protection backend the campaign ran against. Non-default
+     *  schemes are recorded in toMetrics; the default (Warped-DMR)
+     *  emits nothing extra, keeping reports byte-identical to
+     *  pre-seam ones. */
+    protection::SchemeConfig scheme;
 
     /** Cycles rollback-replay spent repairing each Recovered run
      *  (LaunchResult recovery.recoveryCycles), log2-bucketed like
@@ -229,8 +239,14 @@ struct EngineConfig
     dmr::DmrConfig dmr = dmr::DmrConfig::paperDefault();
     /** Rollback-replay knobs; the default keeps recovery off, so the
      *  report (and any checkpoint signature) is byte-identical to a
-     *  pre-recovery campaign. */
+     *  pre-recovery campaign. Only schemes with per-instruction
+     *  detection support it (schemeSupportsRecovery) — Recovered is
+     *  unreachable otherwise. */
     recovery::RecoveryConfig recovery;
+    /** Protection backend under test; the default (Warped-DMR)
+     *  leaves reports and checkpoint signatures byte-identical to
+     *  pre-seam campaigns. */
+    protection::SchemeConfig scheme;
     SiteSpaceConfig space;
 
     std::uint64_t seed = 42;

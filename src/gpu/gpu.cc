@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "gpu/launch_loop.hh"
+#include "protection/scheme_registry.hh"
 #include "mem/memory_system.hh"
 #include "stats/launch_aggregator.hh"
 #include "trace/recorder.hh"
@@ -12,15 +13,23 @@ namespace warped {
 namespace gpu {
 
 Gpu::Gpu(arch::GpuConfig cfg, dmr::DmrConfig dcfg, std::uint64_t seed,
-         func::FaultHook *hook, recovery::RecoveryConfig rcfg)
-    : cfg_(cfg), dcfg_(dcfg), rcfg_(rcfg), seed_(seed),
+         func::FaultHook *hook, recovery::RecoveryConfig rcfg,
+         protection::SchemeConfig scfg)
+    : cfg_(cfg), dcfg_(dcfg), rcfg_(rcfg), scfg_(scfg), seed_(seed),
       hook_(hook ? hook : &func::NullFaultHook::instance()),
       mem_(cfg.globalMemBytes), alloc_(cfg.globalMemBytes)
 {
     cfg_.validate();
     dcfg_.validate();
     rcfg_.validate();
-    if (rcfg_.enabled && !dcfg_.enabled)
+    protection::validateSchemeConfig(scfg_);
+    if (rcfg_.enabled && !protection::schemeSupportsRecovery(scfg_.id))
+        warped_fatal("recovery requires per-instruction detection: "
+                     "scheme '", protection::schemeCliName(scfg_.id),
+                     "' reports errors (if at all) only after the "
+                     "state a rollback needs is gone");
+    if (rcfg_.enabled && protection::schemeUsesDmrEngine(scfg_.id) &&
+        !dcfg_.enabled)
         warped_fatal("recovery requires DMR: rollback-replay is "
                      "triggered by comparator mismatches, which only "
                      "the DMR engine produces");
@@ -52,7 +61,8 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
     for (unsigned s = 0; s < cfg_.numSms; ++s) {
         sms.push_back(std::make_unique<sm::Sm>(cfg_, dcfg_, s, prog,
                                                mem_, *hook_, seed_,
-                                               mem_sys_ptr, rcfg_));
+                                               mem_sys_ptr, rcfg_,
+                                               scfg_));
     }
 
     // Fig 8b tracks one thread on one SM ("warp 1 thread ...").
@@ -74,8 +84,8 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
 
     stats::LaunchAggregator agg(cfg_.warpSize);
     for (auto &sp : sms) {
-        sp->dmrEngine().finalizeStats();
-        agg.addSm(sp->stats(), sp->dmrEngine().stats(),
+        sp->scheme().finalizeStats();
+        agg.addSm(sp->stats(), sp->scheme().stats(),
                   sp->recovery() ? &sp->recovery()->stats() : nullptr);
     }
     if (recorder)

@@ -18,6 +18,7 @@
 #include "func/fault_hook.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
+#include "protection/protection_scheme.hh"
 #include "recovery/recovery_config.hh"
 #include "sm/sm.hh"
 #include "stats/launch_result.hh"
@@ -42,10 +43,16 @@ class Gpu
      *        that predate the recovery engine. Enabling recovery
      *        requires DMR to be enabled (there is no detection
      *        signal to recover from otherwise).
+     * @param scfg which protection backend guards each SM. The
+     *        default (Warped-DMR) routes through the DmrEngine under
+     *        @p dcfg, exactly as before the seam existed; recovery
+     *        additionally requires a scheme whose detections arrive
+     *        per instruction (schemeSupportsRecovery).
      */
     Gpu(arch::GpuConfig cfg, dmr::DmrConfig dcfg,
         std::uint64_t seed = 1, func::FaultHook *hook = nullptr,
-        recovery::RecoveryConfig rcfg = {});
+        recovery::RecoveryConfig rcfg = {},
+        protection::SchemeConfig scfg = {});
 
     mem::Memory &mem() { return mem_; }
     const mem::Memory &mem() const { return mem_; }
@@ -55,6 +62,10 @@ class Gpu
     const recovery::RecoveryConfig &recoveryConfig() const
     {
         return rcfg_;
+    }
+    const protection::SchemeConfig &schemeConfig() const
+    {
+        return scfg_;
     }
 
     /**
@@ -75,6 +86,7 @@ class Gpu
     arch::GpuConfig cfg_;
     dmr::DmrConfig dcfg_;
     recovery::RecoveryConfig rcfg_;
+    protection::SchemeConfig scfg_;
     std::uint64_t seed_;
     func::FaultHook *hook_;
     mem::Memory mem_;

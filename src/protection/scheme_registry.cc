@@ -1,0 +1,141 @@
+#include "protection/scheme_registry.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "dmr/dmr_config.hh"
+#include "dmr/dmr_engine.hh"
+#include "protection/partial_thread_scheme.hh"
+#include "protection/replay_compare_scheme.hh"
+#include "protection/software_schemes.hh"
+
+namespace warped {
+namespace protection {
+namespace {
+
+struct SchemeRow
+{
+    SchemeId id;
+    const char *cli;     ///< what --scheme takes
+    const char *display; ///< Fig-10 column label
+};
+
+/** THE name table: every scheme spelling in the tree resolves here. */
+constexpr SchemeRow kSchemes[kNumSchemes] = {
+    {SchemeId::Original, "original", "Original"},
+    {SchemeId::RNaive, "r-naive", "R-Naive"},
+    {SchemeId::RThread, "r-thread", "R-Thread"},
+    {SchemeId::Dmtr, "dmtr", "DMTR"},
+    {SchemeId::WarpedDmr, "warped-dmr", "Warped-DMR"},
+    {SchemeId::PartialThread, "partial-thread", "Partial-Thread"},
+    {SchemeId::ReplayCompare, "replay-compare", "Replay-Compare"},
+};
+
+const SchemeRow &
+row(SchemeId id)
+{
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= kNumSchemes)
+        warped_fatal("unknown SchemeId ", idx);
+    return kSchemes[idx];
+}
+
+} // namespace
+
+const char *
+schemeCliName(SchemeId id)
+{
+    return row(id).cli;
+}
+
+const char *
+schemeDisplayName(SchemeId id)
+{
+    return row(id).display;
+}
+
+std::optional<SchemeId>
+schemeFromName(std::string_view name)
+{
+    for (const auto &r : kSchemes)
+        if (name == r.cli)
+            return r.id;
+    return std::nullopt;
+}
+
+const std::array<SchemeId, kNumSchemes> &
+allSchemes()
+{
+    static const std::array<SchemeId, kNumSchemes> ids = [] {
+        std::array<SchemeId, kNumSchemes> a{};
+        for (std::size_t i = 0; i < kNumSchemes; ++i)
+            a[i] = kSchemes[i].id;
+        return a;
+    }();
+    return ids;
+}
+
+bool
+schemeSupportsRecovery(SchemeId id)
+{
+    switch (id) {
+    case SchemeId::Original:
+    case SchemeId::ReplayCompare:
+        return false;
+    default:
+        return true;
+    }
+}
+
+bool
+schemeUsesDmrEngine(SchemeId id)
+{
+    switch (id) {
+    case SchemeId::Dmtr:
+    case SchemeId::WarpedDmr:
+    case SchemeId::PartialThread:
+        return true;
+    default:
+        return false;
+    }
+}
+
+void
+validateSchemeConfig(const SchemeConfig &cfg)
+{
+    row(cfg.id); // fatal on out-of-range ids
+    if (!std::isfinite(cfg.protectFraction) ||
+        cfg.protectFraction < 0.0 || cfg.protectFraction > 1.0)
+        warped_fatal("protectFraction must be in [0,1], got ",
+                     cfg.protectFraction);
+}
+
+std::unique_ptr<ProtectionScheme>
+makeScheme(const SchemeConfig &cfg, const arch::GpuConfig &gpu,
+           const dmr::DmrConfig &dcfg, func::Executor &exec,
+           std::uint64_t seed)
+{
+    validateSchemeConfig(cfg);
+    switch (cfg.id) {
+    case SchemeId::Original:
+        return std::make_unique<OriginalScheme>(gpu, exec);
+    case SchemeId::RNaive:
+        return std::make_unique<RNaiveScheme>(gpu, exec);
+    case SchemeId::RThread:
+        return std::make_unique<RThreadScheme>(gpu, exec);
+    case SchemeId::Dmtr:
+        return std::make_unique<dmr::DmrEngine>(gpu, dmr::DmrConfig::dmtr(),
+                                                exec, seed);
+    case SchemeId::WarpedDmr:
+        return std::make_unique<dmr::DmrEngine>(gpu, dcfg, exec, seed);
+    case SchemeId::PartialThread:
+        return std::make_unique<PartialThreadScheme>(
+            gpu, dcfg, exec, seed, cfg.protectFraction);
+    case SchemeId::ReplayCompare:
+        return std::make_unique<ReplayCompareScheme>(gpu, exec);
+    }
+    warped_fatal("unreachable scheme id");
+}
+
+} // namespace protection
+} // namespace warped

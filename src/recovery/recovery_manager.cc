@@ -185,7 +185,8 @@ RecoveryManager::doGiveUp(unsigned warp, std::uint64_t anchor, Cycle now)
 
 RecoveryManager::Outcome
 RecoveryManager::rollback(unsigned warp, arch::WarpContext &ctx,
-                          dmr::DmrEngine &engine, Cycle now)
+                          protection::ProtectionScheme &engine,
+                          Cycle now)
 {
     if (pendingAnchor_[warp] == 0)
         warped_panic("rollback without a pending request (warp ", warp,

@@ -37,7 +37,7 @@
 
 #include "arch/warp_context.hh"
 #include "common/types.hh"
-#include "dmr/dmr_engine.hh"
+#include "protection/protection_scheme.hh"
 #include "dmr/recovery_listener.hh"
 #include "recovery/checkpoint_ring.hh"
 #include "recovery/recovery_config.hh"
@@ -121,7 +121,7 @@ class RecoveryManager : public dmr::RecoveryListener
      * the anchor was evicted or the retry budget is exhausted.
      */
     Outcome rollback(unsigned warp, arch::WarpContext &ctx,
-                     dmr::DmrEngine &engine, Cycle now);
+                     protection::ProtectionScheme &engine, Cycle now);
 
     /** Quiescent: no rollback requests outstanding (drain check). */
     bool idle() const { return pendingCount_ == 0; }

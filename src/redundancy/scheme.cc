@@ -9,31 +9,20 @@ namespace redundancy {
 const char *
 schemeName(Scheme s)
 {
-    switch (s) {
-      case Scheme::Original:
-        return "Original";
-      case Scheme::RNaive:
-        return "R-Naive";
-      case Scheme::RThread:
-        return "R-Thread";
-      case Scheme::Dmtr:
-        return "DMTR";
-      case Scheme::WarpedDmr:
-        return "Warped-DMR";
-    }
-    return "?";
+    return protection::schemeDisplayName(s);
 }
 
 namespace {
 
 gpu::LaunchResult
 launchOnce(const std::string &name, const arch::GpuConfig &cfg,
-           const dmr::DmrConfig &dcfg, unsigned block_scale = 1)
+           const dmr::DmrConfig &dcfg, unsigned block_scale = 1,
+           const protection::SchemeConfig &scfg = {})
 {
     auto w = workloads::makeByNameScaled(name, block_scale);
     if (!w)
         warped_fatal("workload '", name, "' cannot scale blocks");
-    gpu::Gpu g(cfg, dcfg);
+    gpu::Gpu g(cfg, dcfg, /*seed=*/1, /*hook=*/nullptr, {}, scfg);
     return workloads::runVerified(*w, g);
 }
 
@@ -99,6 +88,27 @@ runScheme(Scheme scheme, const std::string &name,
       case Scheme::WarpedDmr: {
         res.launch =
             launchOnce(name, cfg, dmr::DmrConfig::paperDefault());
+        res.kernelNs = res.launch.timeNs;
+        res.transferNs = tm.timeNs(in_b) + tm.timeNs(out_b);
+        break;
+      }
+      case Scheme::PartialThread: {
+        // No analytic shortcut: execute the backend (half the warp
+        // slots protected) behind the seam.
+        res.launch = launchOnce(
+            name, cfg, dmr::DmrConfig::paperDefault(), 1,
+            {protection::SchemeId::PartialThread, 0.5});
+        res.kernelNs = res.launch.timeNs;
+        res.transferNs = tm.timeNs(in_b) + tm.timeNs(out_b);
+        break;
+      }
+      case Scheme::ReplayCompare: {
+        // Measured: the launch time already contains the replay run;
+        // the end-of-kernel compare happens on-GPU during replay, so
+        // transfers match the original's.
+        res.launch =
+            launchOnce(name, cfg, dmr::DmrConfig::off(), 1,
+                       {protection::SchemeId::ReplayCompare});
         res.kernelNs = res.launch.timeNs;
         res.transferNs = tm.timeNs(in_b) + tm.timeNs(out_b);
         break;

@@ -2,7 +2,9 @@
  * @file
  * Error-detection scheme comparison (paper §5.3, Fig 10).
  *
- * Five configurations of the same workload:
+ * Analytic cost model over the scheme lineup (the names and ids come
+ * from the protection registry — redundancy::Scheme IS
+ * protection::SchemeId):
  *  - Original:   no protection.
  *  - R-Naive:    the kernel (and its host<->device transfers) run
  *                twice; outputs are compared on the CPU.
@@ -12,6 +14,9 @@
  *  - DMTR:       per-instruction temporal DMR with one cycle of
  *                slack (simplified SRT), on-GPU comparison.
  *  - Warped-DMR: the paper's mechanism, on-GPU comparison.
+ *  - Partial-Thread / Replay-Compare: the post-paper backends,
+ *                measured by executing them behind the
+ *                ProtectionScheme seam (no analytic shortcut).
  */
 
 #ifndef WARPED_REDUNDANCY_SCHEME_HH
@@ -21,6 +26,7 @@
 
 #include "arch/gpu_config.hh"
 #include "gpu/gpu.hh"
+#include "protection/scheme_registry.hh"
 #include "workloads/workload.hh"
 
 namespace warped {
@@ -43,15 +49,10 @@ struct TransferModel
     }
 };
 
-enum class Scheme
-{
-    Original,
-    RNaive,
-    RThread,
-    Dmtr,
-    WarpedDmr,
-};
+/** One id space for the whole tree: the protection registry's. */
+using Scheme = protection::SchemeId;
 
+/** Fig-10 display name; delegates to the protection registry. */
 const char *schemeName(Scheme s);
 
 struct SchemeResult

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "protection/scheme_registry.hh"
 
 namespace warped {
 namespace sm {
@@ -10,11 +11,13 @@ namespace sm {
 Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
        unsigned sm_id, const isa::Program &prog, mem::Memory &global,
        func::FaultHook &hook, std::uint64_t seed,
-       mem::MemorySystem *mem_sys, const recovery::RecoveryConfig &rcfg)
+       mem::MemorySystem *mem_sys, const recovery::RecoveryConfig &rcfg,
+       const protection::SchemeConfig &scfg)
     : cfg_(cfg), memSys_(mem_sys), smId_(sm_id), prog_(prog),
       global_(global),
       exec_(cfg, sm_id, global, hook),
-      engine_(cfg, dmr, exec_, seed + sm_id * 0x9e3779b9ULL),
+      scheme_(protection::makeScheme(scfg, cfg, dmr, exec_,
+                                     seed + sm_id * 0x9e3779b9ULL)),
       scoreboard_(cfg.maxThreadsPerSm / cfg.warpSize, prog.numRegs()),
       stats_(cfg.warpSize, prog.numRegs()),
       maxWarps_(cfg.maxThreadsPerSm / cfg.warpSize),
@@ -27,7 +30,7 @@ Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
     if (rcfg.enabled) {
         recovery_ = std::make_unique<recovery::RecoveryManager>(
             rcfg, sm_id, maxWarps_);
-        engine_.attachRecoveryListener(recovery_.get());
+        scheme_->attachRecoveryListener(recovery_.get());
     }
 }
 
@@ -202,7 +205,7 @@ Sm::recordIssue(const func::ExecRecord &rec, Cycle now)
         // Lane-granular gaps: a lane is busy this cycle iff the
         // issued instruction's (mapped) mask covers it.
         const LaneMask lanes =
-            engine_.mapping().toLaneSpace(rec.active);
+            scheme_->mapping().toLaneSpace(rec.active);
         for (unsigned l = 0; l < cfg_.warpSize; ++l) {
             if (lanes.test(l)) {
                 if (stats_.laneIdleRun[l] > 0) {
@@ -301,14 +304,14 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
         (in.op == isa::Opcode::BAR || in.op == isa::Opcode::EXIT) &&
         recovery_->hasUnverified(warp_slot)) [[unlikely]] {
         recovery_->countRetireStall();
-        engine_.preRetireVerify(warp_slot, now);
+        scheme_->preRetireVerify(warp_slot, now);
         lastProgress_ = now;
         return IssueOutcome::Stalled; // cycle consumed
     }
 
     // RAW hazard against an unverified ReplayQ result: the pipeline
     // stalls for a cycle while the producer is verified.
-    if (engine_.rawHazardStall(warp_slot, in, now)) {
+    if (scheme_->rawHazardStall(warp_slot, in, now)) {
         ++stats_.stallCyclesRaw;
         lastProgress_ = now;
         return IssueOutcome::Stalled; // cycle consumed
@@ -321,11 +324,11 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     // Execute into the engine's scratch record: no 2.6 KB
     // zero-initialization per issue, and onIssue can adopt it as the
     // pending RF-stage instruction without copying.
-    func::ExecRecord &rec = engine_.scratch();
+    func::ExecRecord &rec = scheme_->scratch();
     std::vector<func::MemUndo> *undo = nullptr;
     if (recovery_) [[unlikely]]
         undo = recovery_->beginDelta(warp_slot, *warp, in, now);
-    exec_.stepInto(*warp, prog_, shared, engine_.mapping().laneTable(),
+    exec_.stepInto(*warp, prog_, shared, scheme_->mapping().laneTable(),
                    now, rec, undo);
     rec.warpId = warp_slot;
     rec.traceId = (std::uint64_t{smId_} << 40) | ++issueSeq_;
@@ -367,7 +370,7 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
         traceCommit(rec, in, ready, now);
     ++stats_.busyCycles;
 
-    const unsigned stall = engine_.onIssue(rec, now);
+    const unsigned stall = scheme_->onIssue(rec, now);
     stallCycles_ += stall;
     stats_.stallCyclesDmr += stall;
 
@@ -406,7 +409,7 @@ Sm::tick(Cycle now)
             warped_panic("SM ", smId_, ": rollback request for an "
                          "empty warp slot ", w);
         const auto wu = static_cast<unsigned>(w);
-        recovery_->rollback(wu, *warps_[wu], engine_, now);
+        recovery_->rollback(wu, *warps_[wu], *scheme_, now);
         // Whether restored or given up, the warp is schedulable again
         // (the retire gate kept it from ever reaching barrier/finish
         // with unverified work).
@@ -485,7 +488,7 @@ Sm::tick(Cycle now)
         for (unsigned l = 0; l < cfg_.warpSize; ++l)
             ++stats_.laneIdleRun[l];
     }
-    engine_.onIdleCycle(now);
+    scheme_->onIdleCycle(now, busy());
 
     if (busy() && now - lastProgress_ > 1000000)
         warped_panic("SM ", smId_, " made no progress for 1M cycles: "

@@ -2,7 +2,7 @@
  * @file
  * One streaming multiprocessor: warp state, the single warp scheduler
  * feeding SP / SFU / LD-ST units (paper §2.2), the scoreboard, and the
- * attached Warped-DMR engine.
+ * attached protection backend (Warped-DMR by default).
  *
  * Pipeline model (Fig 7): FETCH(1) and DEC/SCHED(1) are folded into
  * the scheduler (functional-first simulation resolves branches at
@@ -21,11 +21,12 @@
 
 #include "arch/gpu_config.hh"
 #include "arch/warp_context.hh"
-#include "dmr/dmr_engine.hh"
+#include "dmr/dmr_config.hh"
 #include "func/executor.hh"
 #include "isa/program.hh"
 #include "mem/memory.hh"
 #include "mem/memory_system.hh"
+#include "protection/protection_scheme.hh"
 #include "recovery/recovery_config.hh"
 #include "recovery/recovery_manager.hh"
 #include "sm/scoreboard.hh"
@@ -50,12 +51,15 @@ class Sm
      * @param rcfg   rollback-replay recovery knobs (default: off —
      *               the recovery engine is not even constructed and
      *               every hot-path hook is one null-pointer test)
+     * @param scfg   which protection backend guards this SM (default:
+     *               Warped-DMR, i.e. the DmrEngine under @p dmr)
      */
     Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
        unsigned sm_id, const isa::Program &prog, mem::Memory &global,
        func::FaultHook &hook, std::uint64_t seed,
        mem::MemorySystem *mem_sys = nullptr,
-       const recovery::RecoveryConfig &rcfg = {});
+       const recovery::RecoveryConfig &rcfg = {},
+       const protection::SchemeConfig &scfg = {});
 
     /** Room for another block of @p block_threads threads? */
     bool canAcceptBlock(unsigned block_threads) const;
@@ -71,8 +75,8 @@ class Sm
     bool
     drained() const
     {
-        return !busy() && !engine_.hasPending() &&
-               engine_.replayQueueSize() == 0 &&
+        return !busy() && !scheme_->hasPending() &&
+               scheme_->replayQueueSize() == 0 &&
                (!recovery_ || recovery_->idle());
     }
 
@@ -89,7 +93,7 @@ class Sm
     attachRecorder(trace::Recorder *rec)
     {
         recorder_ = rec;
-        engine_.attachRecorder(rec);
+        scheme_->attachRecorder(rec);
         if (recovery_)
             recovery_->attachRecorder(rec);
     }
@@ -102,8 +106,11 @@ class Sm
 
     SmStats &stats() { return stats_; }
     const SmStats &stats() const { return stats_; }
-    dmr::DmrEngine &dmrEngine() { return engine_; }
-    const dmr::DmrEngine &dmrEngine() const { return engine_; }
+    protection::ProtectionScheme &scheme() { return *scheme_; }
+    const protection::ProtectionScheme &scheme() const
+    {
+        return *scheme_;
+    }
     unsigned id() const { return smId_; }
 
   private:
@@ -160,7 +167,7 @@ class Sm
     const isa::Program &prog_;
     mem::Memory &global_;
     func::Executor exec_;
-    dmr::DmrEngine engine_;
+    std::unique_ptr<protection::ProtectionScheme> scheme_;
     /** Rollback-replay engine; null when recovery is disabled. */
     std::unique_ptr<recovery::RecoveryManager> recovery_;
     Scoreboard scoreboard_;

@@ -225,5 +225,5 @@ TEST_F(SmFixture, DmrStallCyclesAreAccounted)
     runToCompletion(prog, 1, 32, d, &s);
     EXPECT_GT(s->stats().stallCyclesDmr, 0u);
     EXPECT_EQ(s->stats().stallCyclesDmr,
-              s->dmrEngine().stats().eagerStalls);
+              s->scheme().stats().eagerStalls);
 }
