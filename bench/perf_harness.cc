@@ -56,7 +56,21 @@ struct PerfConfig
     dmr::DmrConfig dmr;
     recovery::RecoveryConfig recovery; ///< default: disabled
     protection::SchemeConfig scheme;   ///< default: Warped-DMR
+    /** Memory-hierarchy knobs; the flat/no-ECC default keeps every
+     *  pre-existing config on the exact pre-banked machine. */
+    arch::MemModel memModel = arch::MemModel::Flat;
+    arch::EccKind ecc = arch::EccKind::None;
 };
+
+/** The config's machine: the reference GPU plus its memory knobs. */
+arch::GpuConfig
+configGpu(const arch::GpuConfig &base, const PerfConfig &cfg)
+{
+    auto gpu = base;
+    gpu.memModel = cfg.memModel;
+    gpu.eccKind = cfg.ecc;
+    return gpu;
+}
 
 [[noreturn]] void
 usage(int code)
@@ -167,6 +181,18 @@ buildConfigs(bool smoke)
                        off,
                        {},
                        {protection::SchemeId::ReplayCompare}});
+    // The ECC-protected banked memory hierarchy: same MatrixMul
+    // instance on the banked DRAM model with SECDED in the config, so
+    // the open-row bookkeeping and the [[unlikely]] fault-plane tests
+    // on the access paths are both priced. Fault-free runs never arm
+    // a plane, so this isolates the model's overhead, not the codec's.
+    configs.push_back({"matrixmul_ecc_banked",
+                       {matmul},
+                       on,
+                       {},
+                       {},
+                       arch::MemModel::Banked,
+                       arch::EccKind::Secded});
     return configs;
 }
 
@@ -192,8 +218,8 @@ measure(const std::vector<PerfConfig> &configs, unsigned repeat,
         for (unsigned rep = 0; rep < repeat; ++rep) {
             for (const auto &factory : cfg.factories) {
                 auto w = factory();
-                gpu::Gpu g(gpu_cfg, cfg.dmr, /*seed=*/1,
-                           /*hook=*/nullptr, cfg.recovery,
+                gpu::Gpu g(configGpu(gpu_cfg, cfg), cfg.dmr,
+                           /*seed=*/1, /*hook=*/nullptr, cfg.recovery,
                            cfg.scheme);
                 const auto r = workloads::runVerified(*w, g);
                 if (r.hung)
@@ -259,12 +285,12 @@ recoveryNoopCheck(bool smoke)
             continue;
         for (const auto &factory : cfg.factories) {
             auto wa = factory();
-            gpu::Gpu base(gpu_cfg, cfg.dmr, /*seed=*/1,
+            gpu::Gpu base(configGpu(gpu_cfg, cfg), cfg.dmr, /*seed=*/1,
                           /*hook=*/nullptr, {}, cfg.scheme);
             const auto ra = workloads::runVerified(*wa, base);
 
             auto wb = factory();
-            gpu::Gpu off(gpu_cfg, cfg.dmr, /*seed=*/1,
+            gpu::Gpu off(configGpu(gpu_cfg, cfg), cfg.dmr, /*seed=*/1,
                          /*hook=*/nullptr, noisyOff, cfg.scheme);
             const auto rb = workloads::runVerified(*wb, off);
 

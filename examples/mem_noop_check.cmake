@@ -1,0 +1,59 @@
+# mem_noop_smoke driver: an explicit `--mem-model flat --ecc none` run
+# must be byte-identical to a run that never mentions either flag —
+# both in the single-run metrics JSON and in a campaign report JSON.
+# This is the tripwire for the banked-memory/ECC work's "the flat
+# default has zero behavioral and serialization footprint" contract:
+# any counter the default path starts emitting, any perturbation of
+# the simulated cycles, or any campaign-signature drift fails the
+# compare.
+execute_process(
+    COMMAND ${SIM} SCAN --sms 4
+            --metrics-out ${OUTDIR}/mem_noop_default.json
+    RESULT_VARIABLE r1 OUTPUT_QUIET ERROR_QUIET)
+execute_process(
+    COMMAND ${SIM} SCAN --sms 4 --mem-model flat --ecc none
+            --metrics-out ${OUTDIR}/mem_noop_explicit.json
+    RESULT_VARIABLE r2 OUTPUT_QUIET ERROR_QUIET)
+if(NOT r1 EQUAL 0)
+    message(FATAL_ERROR "default run failed (exit ${r1})")
+endif()
+if(NOT r2 EQUAL 0)
+    message(FATAL_ERROR "--mem-model flat --ecc none run failed (exit ${r2})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUTDIR}/mem_noop_default.json
+            ${OUTDIR}/mem_noop_explicit.json
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    message(FATAL_ERROR
+            "mem_noop_smoke: explicit --mem-model flat --ecc none "
+            "metrics differ from the default run — the flat path leaked")
+endif()
+
+# Same contract for a campaign report (exec-only site space).
+execute_process(
+    COMMAND ${SIM} campaign SCAN --size 2 --sites 60 --seed 11 --jobs 2
+            --out ${OUTDIR}/mem_noop_camp_default.json
+    RESULT_VARIABLE r3 OUTPUT_QUIET ERROR_QUIET)
+execute_process(
+    COMMAND ${SIM} campaign SCAN --size 2 --sites 60 --seed 11 --jobs 2
+            --mem-model flat --ecc none
+            --out ${OUTDIR}/mem_noop_camp_explicit.json
+    RESULT_VARIABLE r4 OUTPUT_QUIET ERROR_QUIET)
+if(NOT r3 EQUAL 0)
+    message(FATAL_ERROR "default campaign failed (exit ${r3})")
+endif()
+if(NOT r4 EQUAL 0)
+    message(FATAL_ERROR "flat/none campaign failed (exit ${r4})")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUTDIR}/mem_noop_camp_default.json
+            ${OUTDIR}/mem_noop_camp_explicit.json
+    RESULT_VARIABLE cdiff)
+if(NOT cdiff EQUAL 0)
+    message(FATAL_ERROR
+            "mem_noop_smoke: explicit flat/none campaign report "
+            "differs from the default run — a gated key leaked")
+endif()

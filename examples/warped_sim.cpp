@@ -49,6 +49,8 @@ struct Options
     bool coalescing = false;
     bool contention = false;
     unsigned warpSize = 32;
+    arch::MemModel memModel = arch::MemModel::Flat;
+    arch::EccKind ecc = arch::EccKind::None;
     std::string kernelFile;
     unsigned kblocks = 4, kthreads = 128;
     bool disasm = false;
@@ -101,6 +103,20 @@ campaignUsage()
         "  --unit any|sp|sfu|ldst   unit axis of the site space\n"
         "  --windows N         transient pulse windows (default:\n"
         "                      one per cycle, capped at 4096)\n"
+        "  --fault-domain exec|mem|both\n"
+        "                      site-space domain: execution-lane\n"
+        "                      sites (default), memory-cell sites\n"
+        "                      (bank x row x column x bit x window\n"
+        "                      over the workload footprint, classified\n"
+        "                      as Masked/EccCorrected/Detected/SDC/\n"
+        "                      DUE), or both\n"
+        "  --mem-model flat|banked\n"
+        "                      global-memory organization (default\n"
+        "                      flat; banked adds per-bank open-row\n"
+        "                      DRAM timing)\n"
+        "  --ecc none|secded|chipkill\n"
+        "                      memory ECC codec deciding what a cell\n"
+        "                      upset decodes to on read (default none)\n"
         "  --sms N             SMs (default 4)\n"
         "  --seed N            campaign master seed (default 42)\n"
         "  --jobs N            worker threads (0 = hardware\n"
@@ -231,6 +247,51 @@ parseProtectFracArg(const char *text, bool campaign)
     return f;
 }
 
+/** Strict `--mem-model` resolution: exactly "flat" or "banked",
+ *  anything else exits 2 with usage (same contract as --scheme). */
+arch::MemModel
+parseMemModelArg(const char *text, bool campaign)
+{
+    if (text) {
+        if (std::strcmp(text, "flat") == 0)
+            return arch::MemModel::Flat;
+        if (std::strcmp(text, "banked") == 0)
+            return arch::MemModel::Banked;
+    }
+    std::fprintf(stderr,
+                 "warped_sim: unknown memory model '%s' (expected "
+                 "flat or banked)\n",
+                 text ? text : "");
+    if (campaign)
+        campaignUsage();
+    else
+        usage();
+    std::exit(2);
+}
+
+/** Strict `--ecc` resolution: none, secded or chipkill. */
+arch::EccKind
+parseEccArg(const char *text, bool campaign)
+{
+    if (text) {
+        if (std::strcmp(text, "none") == 0)
+            return arch::EccKind::None;
+        if (std::strcmp(text, "secded") == 0)
+            return arch::EccKind::Secded;
+        if (std::strcmp(text, "chipkill") == 0)
+            return arch::EccKind::Chipkill;
+    }
+    std::fprintf(stderr,
+                 "warped_sim: unknown ECC codec '%s' (expected none, "
+                 "secded or chipkill)\n",
+                 text ? text : "");
+    if (campaign)
+        campaignUsage();
+    else
+        usage();
+    std::exit(2);
+}
+
 /**
  * `campaign <workload> --scheme-sweep`: one self-contained campaign
  * per protection backend over the SAME site axes (kinds, units,
@@ -359,6 +420,10 @@ campaignMain(int argc, char **argv)
     auto sched = arch::SchedPolicy::LooseRoundRobin;
     bool schedSet = false;
     bool sweep = false;
+    auto memModel = arch::MemModel::Flat;
+    auto ecc = arch::EccKind::None;
+    enum class Domain { Exec, Mem, Both };
+    auto domain = Domain::Exec;
     std::string outPath;
 
     for (int i = 3; i < argc; ++i) {
@@ -469,6 +534,27 @@ campaignMain(int argc, char **argv)
                 parseProtectFracArg(next(), true);
         } else if (a == "--scheme-sweep") {
             sweep = true;
+        } else if (a == "--mem-model") {
+            memModel = parseMemModelArg(next(), true);
+        } else if (a == "--ecc") {
+            ecc = parseEccArg(next(), true);
+        } else if (a == "--fault-domain") {
+            if (!(v = next()))
+                return campaignUsage(), 2;
+            if (std::strcmp(v, "exec") == 0)
+                domain = Domain::Exec;
+            else if (std::strcmp(v, "mem") == 0)
+                domain = Domain::Mem;
+            else if (std::strcmp(v, "both") == 0)
+                domain = Domain::Both;
+            else {
+                std::fprintf(stderr,
+                             "warped_sim: unknown fault domain '%s' "
+                             "(expected exec, mem or both)\n",
+                             v);
+                campaignUsage();
+                return 2;
+            }
         } else if (a == "--sched") {
             if (!(v = next()))
                 return campaignUsage(), 2;
@@ -492,6 +578,10 @@ campaignMain(int argc, char **argv)
         ec.gpu.schedPolicy = sched;
     if (schedulers)
         ec.gpu.numSchedulers = schedulers;
+    ec.gpu.memModel = memModel;
+    ec.gpu.eccKind = ecc;
+    ec.space.execEnabled = domain != Domain::Mem;
+    ec.space.memEnabled = domain != Domain::Exec;
 
     std::printf("campaign: %s (size %s), seed %llu, machine: %s\n",
                 workload.c_str(),
@@ -504,6 +594,16 @@ campaignMain(int argc, char **argv)
         ec.scheme.id != protection::SchemeId::WarpedDmr)
         std::printf("  scheme: %s\n",
                     protection::schemeDisplayName(ec.scheme.id));
+    if (domain != Domain::Exec) {
+        std::printf("  fault domain: %s\n",
+                    domain == Domain::Mem ? "mem" : "both");
+        if (!protection::schemeCoversMemory(ec.scheme.id))
+            std::printf("  note: scheme %s cannot observe "
+                        "memory-data faults; ECC (%s) is the only "
+                        "memory-side protection\n",
+                        protection::schemeDisplayName(ec.scheme.id),
+                        arch::eccKindName(ec.gpu.eccKind));
+    }
 
     if (sweep)
         return schemeSweep(workload, size, ec, outPath);
@@ -535,6 +635,10 @@ campaignMain(int argc, char **argv)
         std::printf("  recovered: %8llu  (%5.2f%%)\n",
                     static_cast<unsigned long long>(o.recovered),
                     frac(o.recovered));
+    if (rep.memEnabled)
+        std::printf("  ecc-fixed: %8llu  (%5.2f%%)\n",
+                    static_cast<unsigned long long>(o.eccCorrected),
+                    frac(o.eccCorrected));
     std::printf("  SDC:       %8llu  (%5.2f%%)\n",
                 static_cast<unsigned long long>(o.sdc), frac(o.sdc));
     std::printf("  DUE:       %8llu  (%5.2f%%)\n",
@@ -591,6 +695,32 @@ campaignMain(int argc, char **argv)
         }
     }
 
+    if (rep.memEnabled) {
+        const auto t = o.total();
+        const auto escaped = o.sdc + o.due;
+        const auto esc = stats::wilsonInterval(escaped, t);
+        std::printf("\nescaped ECC and DMR (SDC+DUE):        %6.2f%%"
+                    "  Wilson 95%% CI [%5.2f, %5.2f]\n",
+                    t ? 100.0 * double(escaped) / double(t) : 0.0,
+                    100 * esc.lo, 100 * esc.hi);
+        if (!rep.byMemKind.empty()) {
+            std::printf("\nper-memory-kind outcomes "
+                        "(ecc-fixed / escaped):\n");
+            for (const auto &[kind, c] : rep.byMemKind) {
+                const auto kt = c.total();
+                const auto kfrac = [&](std::uint64_t n) {
+                    return kt ? 100.0 * double(n) / double(kt) : 0.0;
+                };
+                std::printf("  %-18s %6.2f%% / %6.2f%%  "
+                            "(%llu sampled)\n",
+                            mem::memFaultKindSlug(kind),
+                            kfrac(c.eccCorrected),
+                            kfrac(c.sdc + c.due),
+                            static_cast<unsigned long long>(kt));
+            }
+        }
+    }
+
     if (!outPath.empty()) {
         std::ofstream f(outPath);
         if (!f) {
@@ -635,6 +765,11 @@ usage()
         "  --bank-conflicts      model register-bank conflicts\n"
         "  --coalescing          model global-memory coalescing\n"
         "  --contention          model memory-partition contention\n"
+        "  --mem-model flat|banked  global-memory organization\n"
+        "                        (default flat; banked adds per-bank\n"
+        "                        open-row DRAM timing)\n"
+        "  --ecc none|secded|chipkill  memory ECC codec (default\n"
+        "                        none; only affects fault campaigns)\n"
         "  --warp N              warp width (default 32)\n"
         "  --arbitrate           classify detections by majority "
         "vote\n"
@@ -741,6 +876,10 @@ parse(int argc, char **argv, Options &o)
             o.coalescing = true;
         } else if (a == "--contention") {
             o.contention = true;
+        } else if (a == "--mem-model") {
+            o.memModel = parseMemModelArg(next(), false);
+        } else if (a == "--ecc") {
+            o.ecc = parseEccArg(next(), false);
         } else if (a == "--warp") {
             o.warpSize = parseU32Arg("--warp", next(), false);
         } else if (a == "--arbitrate") {
@@ -914,6 +1053,8 @@ main(int argc, char **argv)
     cfg.modelBankConflicts = o.bankConflicts;
     cfg.modelCoalescing = o.coalescing;
     cfg.modelMemContention = o.contention;
+    cfg.memModel = o.memModel;
+    cfg.eccKind = o.ecc;
     cfg.warpSize = o.warpSize;
     cfg.traceIssueLimit = o.trace;
     cfg.traceEvents = !o.traceOut.empty();

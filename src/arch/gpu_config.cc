@@ -7,6 +7,32 @@
 namespace warped {
 namespace arch {
 
+const char *
+memModelName(MemModel m)
+{
+    switch (m) {
+      case MemModel::Flat:
+        return "flat";
+      case MemModel::Banked:
+        return "banked";
+    }
+    return "?";
+}
+
+const char *
+eccKindName(EccKind k)
+{
+    switch (k) {
+      case EccKind::None:
+        return "none";
+      case EccKind::Secded:
+        return "secded";
+      case EccKind::Chipkill:
+        return "chipkill";
+    }
+    return "?";
+}
+
 GpuConfig
 GpuConfig::paperDefault()
 {
@@ -43,6 +69,16 @@ GpuConfig::validate() const
                      numSchedulers);
     if (clockGhz <= 0.0)
         warped_fatal("clockGhz must be positive");
+    if (memModel == MemModel::Banked) {
+        if (memBanks == 0)
+            warped_fatal("banked memory needs at least one bank");
+        if (memRowBytes < coalesceSegmentBytes ||
+            memRowBytes % coalesceSegmentBytes != 0)
+            warped_fatal("memRowBytes (", memRowBytes,
+                         ") must be a multiple of "
+                         "coalesceSegmentBytes (",
+                         coalesceSegmentBytes, ")");
+    }
 }
 
 std::string
@@ -56,6 +92,13 @@ GpuConfig::toString() const
        << "cy, SP " << spLatency << "cy, SFU " << sfuLatency
        << "cy, shmem " << sharedMemLatency << "cy, gmem "
        << globalMemLatency << "cy, clock " << clockGhz << " GHz";
+    // Appended only when non-default, so the header printed for a
+    // flat/no-ECC machine is byte-identical to pre-banked builds.
+    if (memModel == MemModel::Banked)
+        os << ", mem banked " << memBanks << "x" << memRowBytes
+           << "B rows (+" << memRowMissPenalty << "cy miss)";
+    if (eccKind != EccKind::None)
+        os << ", ecc " << eccKindName(eccKind);
     return os.str();
 }
 

@@ -20,6 +20,38 @@ enum class SchedPolicy
 };
 
 /**
+ * Global-memory organization. Flat is the paper's model (fixed
+ * latency, no structure); Banked adds a DRAM bank/row model behind
+ * the mem::MemorySystem seam: transactions queue per bank and pay a
+ * row-activation penalty on open-row misses.
+ */
+enum class MemModel
+{
+    Flat,   ///< fixed-latency byte array (the paper's §1 model)
+    Banked, ///< per-bank open-row DRAM timing via MemorySystem
+};
+
+/**
+ * ECC codec protecting global-memory words against cell upsets
+ * (mem::MemFaultPlane decides what a memory-side fault decodes to).
+ * None leaves upsets to propagate raw; Secded is the classic
+ * (39,32)+parity Hamming used by GPU DRAM; Chipkill corrects any
+ * single 4-bit symbol (one DRAM chip's slice) and detects two.
+ */
+enum class EccKind
+{
+    None,
+    Secded,
+    Chipkill,
+};
+
+/** CLI slug for a memory model ("flat", "banked"). */
+const char *memModelName(MemModel m);
+
+/** CLI slug for an ECC codec ("none", "secded", "chipkill"). */
+const char *eccKindName(EccKind k);
+
+/**
  * Static hardware parameters of the simulated GPGPU.
  *
  * Defaults model the paper's baseline (NVIDIA Fermi-style): 30 SMs,
@@ -122,6 +154,38 @@ struct GpuConfig
     bool modelMemContention = false;
     unsigned memoryPartitions = 6;
     unsigned memoryServicePeriod = 2;
+
+    /**
+     * Global-memory organization (default Flat — the paper's fixed-
+     * latency model, byte-identical to builds that predate the
+     * banked model). Banked routes every global access through the
+     * chip MemorySystem with per-bank open-row timing: a transaction
+     * to a bank's open row costs globalMemLatency, switching rows
+     * adds memRowMissPenalty, and each bank services one transaction
+     * per memoryServicePeriod cycles.
+     */
+    MemModel memModel = MemModel::Flat;
+    unsigned memBanks = 8;          ///< DRAM banks (Banked model)
+    unsigned memRowBytes = 2048;    ///< DRAM row (page) size per bank
+    unsigned memRowMissPenalty = 60; ///< extra cycles on a row switch
+
+    /**
+     * ECC codec on global-memory words (default None). Decides how a
+     * memory-cell upset injected by a fault campaign decodes on
+     * read: corrected transparently (EccCorrected), flagged as a
+     * detected-uncorrectable error (DUE), or passed through silently
+     * (candidate SDC). Purely a fault-model knob: it has zero effect
+     * on fault-free runs.
+     */
+    EccKind eccKind = EccKind::None;
+
+    /** Whether launches route global accesses through a chip-level
+     *  MemorySystem (contention and/or banked timing). */
+    bool
+    usesMemorySystem() const
+    {
+        return modelMemContention || memModel == MemModel::Banked;
+    }
 
     /** Cycle period in nanoseconds. */
     double cyclePeriodNs() const { return 1.0 / clockGhz; }

@@ -53,6 +53,10 @@ struct RunRecord
     bool activated = false;
     FaultKind kind = FaultKind::TransientBitFlip;
     std::optional<isa::UnitType> unit;
+    /** Memory-site run: folds into byMemKind instead of
+     *  byKind/byUnit. */
+    bool isMemory = false;
+    mem::MemFaultKind memKind = mem::MemFaultKind::Bit;
     std::uint64_t latency = 0;
     bool hasLatency = false;
     /** Rollback-replay accounting (all zero with recovery off). */
@@ -78,6 +82,8 @@ emitCounts(trace::MetricsRegistry &m, const std::string &prefix,
         m.counter(prefix + ".detected") = c.detected;
     if (c.recovered)
         m.counter(prefix + ".recovered") = c.recovered;
+    if (c.eccCorrected)
+        m.counter(prefix + ".ecc_corrected") = c.eccCorrected;
     if (c.sdc)
         m.counter(prefix + ".sdc") = c.sdc;
     if (c.due)
@@ -96,6 +102,7 @@ restoreCounts(const std::map<std::string, std::uint64_t> &kv,
     c.notActivated = get(".masked.not_activated");
     c.detected = get(".detected");
     c.recovered = get(".recovered");
+    c.eccCorrected = get(".ecc_corrected");
     c.sdc = get(".sdc");
     c.due = get(".due");
 }
@@ -146,6 +153,8 @@ outcomeClassName(OutcomeClass c)
         return "detected";
       case OutcomeClass::Recovered:
         return "recovered";
+      case OutcomeClass::EccCorrected:
+        return "ecc_corrected";
       case OutcomeClass::Sdc:
         return "sdc";
       case OutcomeClass::Due:
@@ -182,6 +191,27 @@ classifyOutcome(bool activated, bool detected, bool hung,
                            /*recovered_clean=*/false);
 }
 
+OutcomeClass
+classifyMemOutcome(bool activated, bool ecc_uncorrectable,
+                   bool ecc_corrected, bool detected, bool hung,
+                   bool output_ok)
+{
+    if (!activated)
+        return OutcomeClass::Masked;
+    if (ecc_uncorrectable || hung)
+        // The codec's uncorrectable flag is a machine-check class
+        // event: the run counts as a DUE even if the corrupt value
+        // happened not to reach the output.
+        return OutcomeClass::Due;
+    if (detected)
+        return OutcomeClass::Detected;
+    if (!output_ok)
+        return OutcomeClass::Sdc;
+    if (ecc_corrected)
+        return OutcomeClass::EccCorrected;
+    return OutcomeClass::Masked;
+}
+
 void
 OutcomeCounts::add(OutcomeClass c, bool activated)
 {
@@ -197,6 +227,9 @@ OutcomeCounts::add(OutcomeClass c, bool activated)
       case OutcomeClass::Recovered:
         ++recovered;
         break;
+      case OutcomeClass::EccCorrected:
+        ++eccCorrected;
+        break;
       case OutcomeClass::Sdc:
         ++sdc;
         break;
@@ -210,29 +243,34 @@ double
 OutcomeCounts::coverage() const
 {
     const auto t = total();
-    return t == 0 ? 0.0 : double(detected + recovered) / double(t);
+    return t == 0
+               ? 0.0
+               : double(detected + recovered + eccCorrected) /
+                     double(t);
 }
 
 stats::Interval
 OutcomeCounts::coverageCi(double z) const
 {
-    return stats::wilsonInterval(detected + recovered, total(), z);
+    return stats::wilsonInterval(detected + recovered + eccCorrected,
+                                 total(), z);
 }
 
 double
 OutcomeCounts::detectionRate() const
 {
-    const auto consequential = detected + recovered + sdc + due;
+    const auto caught = detected + recovered + eccCorrected;
+    const auto consequential = caught + sdc + due;
     return consequential == 0
                ? 1.0
-               : double(detected + recovered) / double(consequential);
+               : double(caught) / double(consequential);
 }
 
 stats::Interval
 OutcomeCounts::detectionCi(double z) const
 {
-    return stats::wilsonInterval(detected + recovered,
-                                 detected + recovered + sdc + due, z);
+    const auto caught = detected + recovered + eccCorrected;
+    return stats::wilsonInterval(caught, caught + sdc + due, z);
 }
 
 unsigned
@@ -269,6 +307,10 @@ CampaignReport::toMetrics() const
                    c);
     for (const auto &[label, c] : byUnit)
         emitCounts(m, "campaign.unit." + label, c);
+    for (const auto &[kind, c] : byMemKind)
+        emitCounts(m, std::string("campaign.memkind.") +
+                          mem::memFaultKindSlug(kind),
+                   c);
     for (unsigned b = 0; b < kLatencyBuckets; ++b) {
         if (const auto n = latencyHist.count(b)) {
             char key[48];
@@ -350,6 +392,43 @@ CampaignReport::toMetrics() const
     for (const auto &[kind, c] : byKind)
         m.gauge(std::string("campaign.kind.") + kindSlug(kind) +
                 ".coverage") = c.coverage();
+
+    // The memory-side protection surface, gated on memEnabled so
+    // execution-only reports render byte-identically to pre-memory
+    // builds: how much the ECC absorbed, and — the question the
+    // campaign exists to answer — how much *escaped* both ECC and
+    // DMR (memory-data faults are invisible to redundant execution,
+    // so without ECC the escaped fraction is the SDC+DUE mass).
+    if (memEnabled) {
+        const auto t = overall.total();
+        const auto escaped = overall.sdc + overall.due;
+        const auto esc = stats::wilsonInterval(escaped, t);
+        m.gauge("campaign.escaped_rate") =
+            t ? double(escaped) / double(t) : 0.0;
+        m.gauge("campaign.escaped_rate.wilson_lo") = esc.lo;
+        m.gauge("campaign.escaped_rate.wilson_hi") = esc.hi;
+        const auto ecc =
+            stats::wilsonInterval(overall.eccCorrected, t);
+        m.gauge("campaign.ecc.corrected_rate") =
+            t ? double(overall.eccCorrected) / double(t) : 0.0;
+        m.gauge("campaign.ecc.corrected_rate.wilson_lo") = ecc.lo;
+        m.gauge("campaign.ecc.corrected_rate.wilson_hi") = ecc.hi;
+        for (const auto &[kind, c] : byMemKind) {
+            const std::string p = std::string("campaign.memkind.") +
+                                  mem::memFaultKindSlug(kind);
+            const auto kt = c.total();
+            const auto kesc = stats::wilsonInterval(c.sdc + c.due, kt);
+            m.gauge(p + ".escaped_rate") =
+                kt ? double(c.sdc + c.due) / double(kt) : 0.0;
+            m.gauge(p + ".escaped_rate.wilson_lo") = kesc.lo;
+            m.gauge(p + ".escaped_rate.wilson_hi") = kesc.hi;
+            const auto kecc = stats::wilsonInterval(c.eccCorrected, kt);
+            m.gauge(p + ".corrected_rate") =
+                kt ? double(c.eccCorrected) / double(kt) : 0.0;
+            m.gauge(p + ".corrected_rate.wilson_lo") = kecc.lo;
+            m.gauge(p + ".corrected_rate.wilson_hi") = kecc.hi;
+        }
+    }
     return m;
 }
 
@@ -381,6 +460,54 @@ runOne(std::uint64_t run_index, const FaultSiteSpace &space,
     rec.unit = spec.unit;
     rec.runIndex = run_index;
     rec.siteIndex = siteIdx;
+
+    if (spec.isMemory) {
+        // Memory-cell upset: no execution-side hook; the fault lives
+        // in the global memory's fault plane and every read of the
+        // upset word is filtered through the configured ECC codec.
+        // Same twice-then-hang-DUE retry contract as below.
+        rec.isMemory = true;
+        rec.memKind = spec.memKind;
+        for (unsigned attempt = 0; attempt < 2; ++attempt) {
+            auto w = factory();
+            try {
+                gpu::Gpu g(cfg.gpu, cfg.dmr, /*seed=*/1, nullptr,
+                           cfg.recovery, cfg.scheme);
+                w->setup(g);
+                mem::MemFaultPlane plane(cfg.gpu.eccKind);
+                plane.inject(spec.memAddr, spec.memKind, spec.bit,
+                             spec.cycleBegin);
+                g.mem().attachFaultPlane(&plane);
+                const Cycle watchdog = span * 20 + 100000;
+                const auto r = g.launch(w->program(), w->gridBlocks(),
+                                        w->blockThreads(), watchdog);
+                // Host readback goes through the plane too, so an
+                // upset that survives in an output word is caught by
+                // verify() whether or not the kernel ever loaded it.
+                bool outputOk = true;
+                if (!r.hung)
+                    outputOk = w->verify(g);
+                g.mem().attachFaultPlane(nullptr);
+                rec.activated = plane.consumedReads() > 0;
+                rec.cls = classifyMemOutcome(
+                    rec.activated, plane.uncorrectable() > 0,
+                    plane.corrected() > 0, r.dmr.errorsDetected > 0,
+                    r.hung, outputOk);
+                return rec;
+            } catch (const std::exception &e) {
+                if (attempt == 0)
+                    continue;
+                warped_warn("campaign: memory run ", run_index,
+                            " (site ", siteIdx, ", seed ", cfg.seed,
+                            ") aborted twice: ", e.what(),
+                            "; classifying as hang-DUE");
+                rec.activated = true;
+                rec.cls = OutcomeClass::Due;
+                rec.aborted = true;
+            }
+        }
+        return rec;
+    }
 
     // An injected fault (or, with recovery on, a rollback livelock)
     // can drive the simulator into one of its own sanity panics —
@@ -456,8 +583,12 @@ void
 fold(CampaignReport &rep, const RunRecord &rec)
 {
     rep.overall.add(rec.cls, rec.activated);
-    rep.byKind[rec.kind].add(rec.cls, rec.activated);
-    rep.byUnit[unitLabel(rec.unit)].add(rec.cls, rec.activated);
+    if (rec.isMemory) {
+        rep.byMemKind[rec.memKind].add(rec.cls, rec.activated);
+    } else {
+        rep.byKind[rec.kind].add(rec.cls, rec.activated);
+        rep.byUnit[unitLabel(rec.unit)].add(rec.cls, rec.activated);
+    }
     if (rec.hasLatency) {
         rep.latencyHist.add(latencyBucket(rec.latency));
         rep.latencySum += rec.latency;
@@ -522,6 +653,22 @@ configSignature(const EngineConfig &cfg, const FaultSiteSpace &space,
         mix(static_cast<std::uint64_t>(cfg.scheme.id));
         mix(static_cast<std::uint64_t>(cfg.scheme.protectFraction *
                                        1e9));
+    }
+    // Memory model / ECC / fault-domain knobs, mixed only when any
+    // is non-default so pre-memory checkpoints keep resuming. (The
+    // site space's own memory axes are already in space.signature();
+    // this covers the machine knobs that change run *outcomes*.)
+    if (cfg.gpu.memModel != arch::MemModel::Flat ||
+        cfg.gpu.eccKind != arch::EccKind::None ||
+        cfg.space.memEnabled || !cfg.space.execEnabled) {
+        mix(0x3ecc);
+        mix(static_cast<std::uint64_t>(cfg.gpu.memModel));
+        mix(static_cast<std::uint64_t>(cfg.gpu.eccKind));
+        mix(cfg.gpu.memBanks);
+        mix(cfg.gpu.memRowBytes);
+        mix(cfg.gpu.memRowMissPenalty);
+        mix(cfg.space.execEnabled ? 1 : 0);
+        mix(cfg.space.memEnabled ? 1 : 0);
     }
     return h;
 }
@@ -594,6 +741,14 @@ loadCheckpoint(const std::string &path, const EngineConfig &cfg,
         if (c.total())
             rep.byUnit[unitLabel(u)] = c;
     }
+    for (const auto k : cfg.space.memKinds) {
+        OutcomeCounts c;
+        restoreCounts(kv, std::string("campaign.memkind.") +
+                              mem::memFaultKindSlug(k),
+                      c);
+        if (c.total())
+            rep.byMemKind[k] = c;
+    }
     for (unsigned b = 0; b < kLatencyBuckets; ++b) {
         char key[48];
         std::snprintf(key, sizeof key, "campaign.latency.hist.b%02u",
@@ -633,17 +788,29 @@ CampaignEngine::run()
     //    recovery-off campaigns sample the *same* sites and their
     //    Detected/Recovered splits are directly comparable.
     Cycle span;
+    std::uint64_t footprint_words = 0;
     {
         auto w = factory_();
         gpu::Gpu g(cfg_.gpu, cfg_.dmr, /*seed=*/1, nullptr, {},
                    cfg_.scheme);
         span = workloads::runVerified(*w, g).cycles;
+        // Device footprint the memory-cell axes cover: every word
+        // the workload's allocator handed out (inputs, outputs and
+        // scratch — dead words are legitimate Masked sites).
+        footprint_words = g.allocator().used() / 4;
     }
 
     // 2. Resolve the site space and the sample size.
     SiteSpaceConfig sc = cfg_.space;
     sc.numSms = cfg_.gpu.numSms;
     sc.warpSize = cfg_.gpu.warpSize;
+    if (sc.memEnabled) {
+        if (sc.memWords == 0)
+            sc.memWords = footprint_words;
+        // Annotate memory sites with the machine's DRAM geometry.
+        sc.memBanks = std::max(1u, cfg_.gpu.memBanks);
+        sc.memRowWords = std::max(1u, cfg_.gpu.memRowBytes / 4);
+    }
     const FaultSiteSpace space(sc, span);
     planned_ = cfg_.sites
                    ? cfg_.sites
@@ -657,6 +824,7 @@ CampaignEngine::run()
     rep.span = span;
     rep.recoveryEnabled = cfg_.recovery.enabled;
     rep.scheme = cfg_.scheme;
+    rep.memEnabled = sc.memEnabled;
 
     // 3. Resume from a matching checkpoint when one exists.
     if (!cfg_.checkpointPath.empty())

@@ -22,6 +22,10 @@
  *                  are a refinement of Detected, never of SDC, so
  *                  enabling recovery can only move runs out of the
  *                  Detected bucket.
+ *  - **EccCorrected**: memory sites only — the configured ECC codec
+ *                  transparently repaired every read of the upset
+ *                  word, no alarm needed and the output is golden.
+ *                  The memory-side analogue of Recovered;
  *  - **SDC**:      silent data corruption — wrong output, no alarm;
  *  - **DUE**:      detectable uncorrectable event — the fault broke
  *                  control flow and the watchdog ended the run, or
@@ -69,12 +73,13 @@ enum class OutcomeClass
     Masked,
     Detected,
     Recovered,
+    EccCorrected,
     Sdc,
     Due,
 };
 
 /** Lower-case stable label ("masked", "detected", "recovered",
- *  "sdc", "due"). */
+ *  "ecc_corrected", "sdc", "due"). */
 const char *outcomeClassName(OutcomeClass c);
 
 /**
@@ -99,6 +104,29 @@ OutcomeClass classifyOutcome(bool activated, bool detected, bool hung,
 OutcomeClass classifyOutcome(bool activated, bool detected, bool hung,
                              bool output_ok);
 
+/**
+ * Classify one finished *memory-site* run (the ECC-side taxonomy).
+ *
+ * @param activated        the upset word was read at least once
+ * @param ecc_uncorrectable the codec flagged a detected-but-
+ *        uncorrectable read — a memory DUE, regardless of output
+ * @param ecc_corrected    the codec transparently repaired a read
+ * @param detected         the execution-side DMR comparator fired
+ *        (essentially unreachable for memory data faults: redundant
+ *        executions consume the same corrupted value — the escape
+ *        this taxonomy exists to measure)
+ * @param hung             the run hit its watchdog budget
+ * @param output_ok        output matches the golden reference
+ *
+ * Precedence: never-read upsets are Masked; an uncorrectable flag or
+ * a hang is DUE; a DMR alarm is Detected; a wrong output is SDC;
+ * a corrected-and-clean run is EccCorrected; anything else (e.g. the
+ * upset was overwritten before any read went wrong) is Masked.
+ */
+OutcomeClass classifyMemOutcome(bool activated, bool ecc_uncorrectable,
+                                bool ecc_corrected, bool detected,
+                                bool hung, bool output_ok);
+
 /** Outcome tally for one slice of the campaign (a kind, a unit, or
  *  the whole campaign). */
 struct OutcomeCounts
@@ -108,6 +136,9 @@ struct OutcomeCounts
     /** Detected runs rollback-replay fully repaired (disjoint from
      *  `detected`; zero whenever recovery is disabled). */
     std::uint64_t recovered = 0;
+    /** Memory-site runs the ECC codec transparently repaired (zero
+     *  for execution-only campaigns). */
+    std::uint64_t eccCorrected = 0;
     std::uint64_t sdc = 0;
     std::uint64_t due = 0;
     /** Masked runs whose fault never even activated (subset of
@@ -116,7 +147,8 @@ struct OutcomeCounts
 
     std::uint64_t total() const
     {
-        return masked + detected + recovered + sdc + due;
+        return masked + detected + recovered + eccCorrected + sdc +
+               due;
     }
 
     void add(OutcomeClass c, bool activated);
@@ -125,7 +157,9 @@ struct OutcomeCounts
      *  alarm — the campaign counterpart of the paper's Fig 9a
      *  coverage (masked sites count against it; see
      *  docs/FAULT_MODEL.md for why). Recovered runs were detected
-     *  runs first, so they count toward coverage. */
+     *  runs first, so they count toward coverage; EccCorrected runs
+     *  count too — the ECC controller both detected and repaired
+     *  them (the combined DMR+ECC protection surface). */
     double coverage() const;
 
     /** Wilson interval around coverage(). */
@@ -160,6 +194,15 @@ struct CampaignReport
     std::map<FaultKind, OutcomeCounts> byKind;
     /** Keyed by unit restriction label ("any", "SP", "SFU", "LDST"). */
     std::map<std::string, OutcomeCounts> byUnit;
+    /** Memory-site runs broken down by upset shape (empty for
+     *  execution-only campaigns; memory runs fold here and into
+     *  `overall`, not into byKind/byUnit). */
+    std::map<mem::MemFaultKind, OutcomeCounts> byMemKind;
+
+    /** Whether the site space included the memory-cell block — gates
+     *  the ECC/escape gauges in toMetrics so exec-only reports stay
+     *  byte-identical to pre-memory ones. */
+    bool memEnabled = false;
 
     /** Cycles from firstActivationCycle() to the first DMR detection
      *  event, log2-bucketed (see latencyBucket). */

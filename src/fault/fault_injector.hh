@@ -19,6 +19,7 @@
 
 #include "common/rng.hh"
 #include "func/fault_hook.hh"
+#include "mem/mem_fault.hh"
 
 namespace warped {
 namespace fault {
@@ -44,6 +45,22 @@ struct FaultSpec
     Cycle cycleEnd = ~Cycle{0};
     /** Restrict to one execution-unit type (nullopt = any). */
     std::optional<isa::UnitType> unit;
+
+    /**
+     * Memory-cell site (set by FaultSiteSpace when the space includes
+     * the memory axes): the fault is an upset of the global-memory
+     * word at memAddr instead of an execution-lane corruption. The
+     * sm/lane/bit/cycle fields above keep their meaning where they
+     * apply (bit picks the corrupted cell; cycleBegin is the strike
+     * cycle); memBank/memRow/memCol are the site's decoded DRAM
+     * geometry, reported for locality breakdowns.
+     */
+    bool isMemory = false;
+    mem::MemFaultKind memKind = mem::MemFaultKind::Bit;
+    Addr memAddr = 0;
+    unsigned memBank = 0;
+    std::uint64_t memRow = 0;
+    unsigned memCol = 0;
 };
 
 class FaultInjector final : public func::FaultHook

@@ -40,14 +40,31 @@ FaultSiteSpace::FaultSiteSpace(const SiteSpaceConfig &cfg, Cycle span)
     if (windows_ == 0)
         windows_ = 1;
 
+    if (!cfg_.execEnabled && !cfg_.memEnabled)
+        warped_panic("FaultSiteSpace: no fault domain enabled");
+    if (cfg_.memEnabled &&
+        (cfg_.memKinds.empty() || cfg_.memWords == 0 ||
+         cfg_.memBits == 0 || cfg_.memBits > 32))
+        warped_panic("FaultSiteSpace: bad memory axes (",
+                     cfg_.memKinds.size(), " kinds, ", cfg_.memWords,
+                     " words, ", cfg_.memBits, " bits)");
+
     const std::uint64_t place = std::uint64_t{cfg_.numSms} *
                                 cfg_.warpSize * cfg_.bits *
                                 cfg_.units.size();
     sitesPerKind_[0] = place * windows_; // transient: one per pulse
     sitesPerKind_[1] = place;            // stuck-at: whole-run window
-    size_ = 0;
-    for (const auto k : cfg_.kinds)
-        size_ += sitesPerKind_[isTransient(k) ? 0 : 1];
+    execSites_ = 0;
+    if (cfg_.execEnabled)
+        for (const auto k : cfg_.kinds)
+            execSites_ += sitesPerKind_[isTransient(k) ? 0 : 1];
+    // Memory-cell block: (kind, word, bit, strike window), appended
+    // after the execution block so exec-only layouts are unchanged.
+    memSites_ = 0;
+    if (cfg_.memEnabled)
+        memSites_ = std::uint64_t{cfg_.memKinds.size()} *
+                    cfg_.memWords * cfg_.memBits * windows_;
+    size_ = execSites_ + memSites_;
 }
 
 FaultSpec
@@ -56,6 +73,33 @@ FaultSiteSpace::site(std::uint64_t index) const
     if (index >= size_)
         warped_panic("FaultSiteSpace: index ", index,
                      " out of space [0,", size_, ")");
+
+    if (index >= execSites_) {
+        // Memory block: ((kind * words + word) * bits + bit) *
+        // windows + w. Upsets are transient strikes (a cell flips at
+        // one cycle and stays corrupted until scrubbed/overwritten),
+        // so every memory site carries a pulse window.
+        FaultSpec spec;
+        spec.isMemory = true;
+        std::uint64_t rest = index - execSites_;
+        const std::uint64_t w = rest % windows_;
+        rest /= windows_;
+        spec.bit = static_cast<unsigned>(rest % cfg_.memBits);
+        rest /= cfg_.memBits;
+        const std::uint64_t word = rest % cfg_.memWords;
+        rest /= cfg_.memWords;
+        spec.memKind = cfg_.memKinds[static_cast<std::size_t>(rest)];
+        spec.memAddr = word * 4;
+        spec.memCol = static_cast<unsigned>(word % cfg_.memRowWords);
+        const std::uint64_t t = word / cfg_.memRowWords;
+        spec.memBank = static_cast<unsigned>(t % cfg_.memBanks);
+        spec.memRow = t / cfg_.memBanks;
+        const Cycle c =
+            pulseLo_ + (2 * w + 1) * pulseSpan_ / (2 * windows_);
+        spec.cycleBegin = c;
+        spec.cycleEnd = c;
+        return spec;
+    }
 
     // Locate the kind block, then decode the mixed-radix remainder:
     // (((unit * sms + sm) * lanes + lane) * bits + bit) * windows + w.
@@ -119,6 +163,19 @@ FaultSiteSpace::signature() const
         mix(static_cast<std::uint64_t>(k) + 1);
     for (const auto &u : cfg_.units)
         mix(u ? static_cast<std::uint64_t>(*u) + 2 : 1);
+    // Memory axes only perturb the fingerprint when enabled, so
+    // exec-only spaces (every pre-memory checkpoint) hash unchanged.
+    if (cfg_.memEnabled) {
+        mix(0x3e3);
+        mix(cfg_.memWords);
+        mix(cfg_.memBits);
+        mix(cfg_.memBanks);
+        mix(cfg_.memRowWords);
+        for (const auto k : cfg_.memKinds)
+            mix(static_cast<std::uint64_t>(k) + 1);
+    }
+    if (!cfg_.execEnabled)
+        mix(0xe0ff);
     return h;
 }
 

@@ -63,6 +63,35 @@ struct SiteSpaceConfig
      * by this fraction pair (the whole run by default).
      */
     double windowLo = 0.0, windowHi = 1.0;
+
+    /**
+     * Fault domains. Execution sites (the axes above) are the
+     * paper's model and stay on by default; memory sites extend the
+     * space with a memory-cell block — (memKind, word, bit, strike
+     * window) over the workload's device footprint — appended
+     * *after* the execution block so exec-only spaces keep their
+     * exact pre-memory index layout (and signature).
+     */
+    bool execEnabled = true;
+    bool memEnabled = false;
+
+    /** Memory-upset shapes on the memory kind axis. */
+    std::vector<mem::MemFaultKind> memKinds = {
+        mem::MemFaultKind::Bit, mem::MemFaultKind::DoubleBit,
+        mem::MemFaultKind::ChipBurst};
+
+    /** Protected 32-bit words (0 = filled in by the campaign from
+     *  the workload's allocator footprint). */
+    std::uint64_t memWords = 0;
+
+    /** Cell-bit axis width within a word. */
+    unsigned memBits = 32;
+
+    /** DRAM geometry used to annotate decoded memory sites (banks x
+     *  rows of memRowWords words); purely reporting, the upset model
+     *  itself is word-granular. */
+    unsigned memBanks = 8;
+    unsigned memRowWords = 512;
 };
 
 class FaultSiteSpace
@@ -77,6 +106,12 @@ class FaultSiteSpace
 
     /** Total number of enumerable sites. */
     std::uint64_t size() const { return size_; }
+
+    /** Sites in the execution block (indices [0, execSites())). */
+    std::uint64_t execSites() const { return execSites_; }
+
+    /** Sites in the appended memory block. */
+    std::uint64_t memSites() const { return memSites_; }
 
     /** Resolved transient pulse-window count. */
     unsigned cycleWindows() const { return windows_; }
@@ -111,6 +146,8 @@ class FaultSiteSpace
     Cycle pulseSpan_ = 1;  ///< eligible transient pulse range length
     unsigned windows_ = 1; ///< transient pulse windows
     std::uint64_t sitesPerKind_[2] = {0, 0}; ///< [transient, stuck-at]
+    std::uint64_t execSites_ = 0;
+    std::uint64_t memSites_ = 0;
     std::uint64_t size_ = 0;
 };
 

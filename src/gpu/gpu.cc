@@ -49,10 +49,11 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
                      prog.sharedBytes(), "B shared memory, SM has ",
                      cfg_.sharedMemBytes);
 
-    // One chip-level memory system when contention is modeled.
+    // One chip-level memory system when contention or banked DRAM
+    // timing is modeled.
     mem::MemorySystem mem_sys(cfg_);
     mem::MemorySystem *mem_sys_ptr =
-        cfg_.modelMemContention ? &mem_sys : nullptr;
+        cfg_.usesMemorySystem() ? &mem_sys : nullptr;
 
     // Sm holds references (config, program, memory) and is therefore
     // immovable; heap-allocate the array.
@@ -80,6 +81,8 @@ Gpu::launch(const isa::Program &prog, unsigned grid_blocks,
                     cycle_cap);
     if (recorder)
         loop.attachRecorder(&*recorder);
+    if (mem_.faultPlane()) [[unlikely]]
+        loop.attachFaultPlane(mem_.faultPlane());
     const auto outcome = loop.run();
 
     stats::LaunchAggregator agg(cfg_.warpSize);

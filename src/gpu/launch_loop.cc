@@ -1,6 +1,7 @@
 #include "gpu/launch_loop.hh"
 
 #include "common/logging.hh"
+#include "mem/mem_fault.hh"
 
 namespace warped {
 namespace gpu {
@@ -32,6 +33,12 @@ LaunchLoop::run()
     std::uint64_t ticks = 0;
 
     for (;;) {
+        // Keep the fault plane's clock in step so a memory upset
+        // strikes mid-run at its scheduled cycle (the final value
+        // also covers verify-time host readback).
+        if (plane_) [[unlikely]]
+            plane_->setNow(cycle);
+
         // Dispatch at most one block per SM per cycle.
         for (auto &s : sms_) {
             if (next_block < gridBlocks_ &&

@@ -17,6 +17,11 @@
 #include "trace/recorder.hh"
 
 namespace warped {
+
+namespace mem {
+class MemFaultPlane;
+}
+
 namespace gpu {
 
 class LaunchLoop
@@ -53,8 +58,20 @@ class LaunchLoop
      */
     void attachRecorder(trace::Recorder *rec);
 
+    /**
+     * Drive @p plane's simulation clock: the loop calls setNow once
+     * per cycle so memory-cell upsets strike at their scheduled
+     * cycle. Call before run(); nullptr (the default) = no fault
+     * plane and zero per-cycle cost beyond one pointer test.
+     */
+    void attachFaultPlane(mem::MemFaultPlane *plane)
+    {
+        plane_ = plane;
+    }
+
   private:
     trace::Recorder *recorder_ = nullptr;
+    mem::MemFaultPlane *plane_ = nullptr;
     std::vector<std::unique_ptr<sm::Sm>> &sms_;
     const std::string &kernelName_;
     unsigned gridBlocks_;

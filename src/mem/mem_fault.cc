@@ -1,0 +1,173 @@
+#include "mem/mem_fault.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "mem/codec.hh"
+
+namespace warped {
+namespace mem {
+
+const char *
+memFaultKindSlug(MemFaultKind k)
+{
+    switch (k) {
+      case MemFaultKind::Bit:
+        return "membit";
+      case MemFaultKind::DoubleBit:
+        return "memdouble";
+      case MemFaultKind::ChipBurst:
+        return "memchip";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Data-bit mask (over the 32-bit stored word) an upset corrupts. */
+RegValue
+upsetMask(MemFaultKind kind, unsigned bit)
+{
+    const unsigned b = bit % 32;
+    switch (kind) {
+      case MemFaultKind::Bit:
+        return RegValue{1} << b;
+      case MemFaultKind::DoubleBit:
+        return (RegValue{1} << b) | (RegValue{1} << ((b + 1) % 32));
+      case MemFaultKind::ChipBurst:
+        return RegValue{0xF} << (b & ~3u);
+    }
+    return 0;
+}
+
+} // namespace
+
+void
+MemFaultPlane::inject(Addr word_addr, MemFaultKind kind, unsigned bit,
+                      Cycle at)
+{
+    if (word_addr % 4 != 0)
+        warped_panic("memory upset address ", word_addr,
+                     " not word-aligned");
+    addr_ = word_addr;
+    kind_ = kind;
+    bit_ = bit;
+    at_ = at;
+    live_ = true;
+}
+
+RegValue
+MemFaultPlane::applyRead(RegValue raw)
+{
+    ++consumedReads_;
+    const RegValue mask = upsetMask(kind_, bit_);
+
+    switch (ecc_) {
+      case arch::EccKind::None:
+        return raw ^ mask;
+
+      case arch::EccKind::Secded: {
+        const SecdedCode &code = secded32();
+        SecdedCode::Codeword cw = code.encode(raw);
+        for (unsigned i = 0; i < 32; ++i)
+            if ((mask >> i) & 1)
+                cw.flip(code.dataPosition(i));
+        const SecdedCode::Decoded dec = code.decode(cw);
+        if (dec.status == CodecStatus::Corrected) {
+            ++corrected_;
+            live_ = false; // controller scrubs the repaired word
+            return raw;
+        }
+        if (dec.status == CodecStatus::Detected)
+            ++uncorrectable_;
+        // Detected: decoded (still corrupt) data reaches the lane
+        // with the DUE flag raised. Ok: a silent alias — the burst
+        // landed on another codeword and propagates undetected.
+        return static_cast<RegValue>(dec.data);
+      }
+
+      case arch::EccKind::Chipkill: {
+        // Data symbols occupy codeword bits [0,32), so the stored-
+        // word mask corrupts the codeword verbatim.
+        const ChipkillCode &code = chipkill();
+        const ChipkillCode::Decoded dec =
+            code.decode(code.encode(raw) ^ mask);
+        if (dec.status == CodecStatus::Corrected) {
+            ++corrected_;
+            live_ = false;
+            return raw;
+        }
+        if (dec.status == CodecStatus::Detected)
+            ++uncorrectable_;
+        return dec.data;
+      }
+    }
+    return raw;
+}
+
+RegValue
+MemFaultPlane::filterWord(Addr addr, RegValue raw)
+{
+    if (!live_ || addr != addr_ || now_ < at_)
+        return raw;
+    return applyRead(raw);
+}
+
+RegValue
+MemFaultPlane::goldenWord(const std::uint8_t *mem_base) const
+{
+    RegValue v;
+    std::memcpy(&v, mem_base + addr_, 4);
+    return v;
+}
+
+std::uint8_t
+MemFaultPlane::filterByte(Addr addr, std::uint8_t raw,
+                          const std::uint8_t *mem_base)
+{
+    if (!live_ || addr < addr_ || addr >= addr_ + 4 || now_ < at_)
+        return raw;
+    const RegValue seen = applyRead(goldenWord(mem_base));
+    return static_cast<std::uint8_t>(seen >> (8 * (addr - addr_)));
+}
+
+void
+MemFaultPlane::patchCopyOut(Addr addr, void *dst, std::size_t n,
+                            const std::uint8_t *mem_base)
+{
+    if (!live_ || now_ < at_)
+        return;
+    const Addr lo = addr > addr_ ? addr : addr_;
+    const Addr hi_read = addr + n;
+    const Addr hi_word = addr_ + 4;
+    const Addr hi = hi_read < hi_word ? hi_read : hi_word;
+    if (lo >= hi)
+        return;
+    const RegValue seen = applyRead(goldenWord(mem_base));
+    auto *out = static_cast<std::uint8_t *>(dst);
+    for (Addr a = lo; a < hi; ++a)
+        out[a - addr] = static_cast<std::uint8_t>(
+            seen >> (8 * (a - addr_)));
+}
+
+void
+MemFaultPlane::onWrite(Addr addr, std::size_t n)
+{
+    if (!live_ || now_ < at_)
+        return;
+    if (addr < addr_ + 4 && addr + n > addr_)
+        live_ = false; // store re-encodes the word: upset gone
+}
+
+void
+MemFaultPlane::reset()
+{
+    live_ = false;
+    now_ = 0;
+    consumedReads_ = 0;
+    corrected_ = 0;
+    uncorrectable_ = 0;
+}
+
+} // namespace mem
+} // namespace warped

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Memory-cell fault plane: the memory-side counterpart of the
+ * register-file FaultInjector.
+ *
+ * The paper's §1 fault model assumes DRAM is ECC-protected and
+ * scopes Warped-DMR to execution faults; this plane models the other
+ * side of that assumption so campaigns can measure what the ECC
+ * actually absorbs. A campaign arms at most one *upset* — a bit,
+ * bit-pair or chip-wide (4-bit) corruption of one stored word,
+ * striking at a chosen cycle — and the plane simulates, on every
+ * read of that word, what the corrupted codeword would decode to
+ * under the configured arch::EccKind:
+ *
+ *  - the stored bytes themselves stay golden (virtual corruption),
+ *    so a correction returns exact data with no state rollback;
+ *  - a corrected read scrubs the upset (the controller writes back
+ *    the repaired word), so later reads are clean;
+ *  - a detected-uncorrectable read raises the sticky `uncorrectable`
+ *    flag — the campaign classifies the run as a memory DUE;
+ *  - with EccKind::None (or a silent alias) the corrupted data
+ *    propagates into the pipeline — candidate SDC;
+ *  - any write to the word at-or-after the strike re-encodes the
+ *    cell and clears the upset; reads before the strike are clean.
+ *
+ * The plane hangs off the global mem::Memory behind one
+ * [[unlikely]] null-pointer test, so fault-free launches never pay
+ * for it.
+ */
+
+#ifndef WARPED_MEM_MEM_FAULT_HH
+#define WARPED_MEM_MEM_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "arch/gpu_config.hh"
+#include "common/types.hh"
+
+namespace warped {
+namespace mem {
+
+/** Shape of a memory-cell upset (the campaign's memory-fault axis). */
+enum class MemFaultKind
+{
+    Bit,       ///< single cell: ECC bread and butter
+    DoubleBit, ///< adjacent bit pair: SECDED detects, chipkill may fix
+    ChipBurst, ///< one 4-bit symbol (a dead chip slice): chipkill territory
+};
+
+inline constexpr unsigned kNumMemFaultKinds = 3;
+
+/** Campaign/metrics slug ("membit", "memdouble", "memchip"). */
+const char *memFaultKindSlug(MemFaultKind k);
+
+/**
+ * Holds one armed upset against a global-memory word and filters
+ * reads of that word through the configured ECC codec.
+ */
+class MemFaultPlane
+{
+  public:
+    explicit MemFaultPlane(arch::EccKind ecc) : ecc_(ecc) {}
+
+    /** Arm an upset of @p kind at word-aligned byte address
+     *  @p word_addr, striking at cycle @p at; @p bit picks the
+     *  corrupted bit (Bit), bit pair start (DoubleBit) or any bit of
+     *  the corrupted nibble (ChipBurst). */
+    void inject(Addr word_addr, MemFaultKind kind, unsigned bit,
+                Cycle at);
+
+    /** Advance the plane's notion of simulation time (driven once
+     *  per cycle by the launch loop; verify-time host reads keep the
+     *  final value, so they see the post-run cell state). */
+    void setNow(Cycle now) { now_ = now; }
+
+    /** Filter a word read at @p addr; returns what the load lane
+     *  sees. */
+    RegValue filterWord(Addr addr, RegValue raw);
+
+    /** Filter a byte read; @p mem_base lets the plane rebuild the
+     *  full golden word the byte belongs to. */
+    std::uint8_t filterByte(Addr addr, std::uint8_t raw,
+                            const std::uint8_t *mem_base);
+
+    /** Patch a bulk copy-out that overlaps the upset word (host
+     *  readback goes through the same ECC path as device loads). */
+    void patchCopyOut(Addr addr, void *dst, std::size_t n,
+                      const std::uint8_t *mem_base);
+
+    /** A store to [addr, addr+n) re-encodes any overlapped word and
+     *  clears a struck upset (writes before the strike leave the
+     *  pending upset armed: the cell flips later). */
+    void onWrite(Addr addr, std::size_t n);
+
+    /** Reads that observed the faulty word (0 => fault never
+     *  activated: the run is trivially Masked). */
+    std::uint64_t consumedReads() const { return consumedReads_; }
+    /** Reads the codec corrected transparently. */
+    std::uint64_t corrected() const { return corrected_; }
+    /** Reads flagged detected-but-uncorrectable (memory DUE). */
+    std::uint64_t uncorrectable() const { return uncorrectable_; }
+
+    arch::EccKind ecc() const { return ecc_; }
+
+    /** Disarm and zero all counters (campaign run reuse). */
+    void reset();
+
+  private:
+    RegValue applyRead(RegValue raw);
+    RegValue goldenWord(const std::uint8_t *mem_base) const;
+
+    arch::EccKind ecc_;
+    Cycle now_ = 0;
+
+    Addr addr_ = 0;          ///< word-aligned upset address
+    MemFaultKind kind_ = MemFaultKind::Bit;
+    unsigned bit_ = 0;
+    Cycle at_ = 0;           ///< strike cycle
+    bool live_ = false;
+
+    std::uint64_t consumedReads_ = 0;
+    std::uint64_t corrected_ = 0;
+    std::uint64_t uncorrectable_ = 0;
+};
+
+} // namespace mem
+} // namespace warped
+
+#endif // WARPED_MEM_MEM_FAULT_HH

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "mem/mem_fault.hh"
 
 namespace warped {
 namespace mem {
@@ -26,6 +27,8 @@ Memory::readWord(Addr addr) const
     check(addr, 4);
     RegValue v;
     std::memcpy(&v, bytes_.data() + addr, 4);
+    if (plane_) [[unlikely]]
+        v = plane_->filterWord(addr, v);
     return v;
 }
 
@@ -34,13 +37,18 @@ Memory::writeWord(Addr addr, RegValue value)
 {
     check(addr, 4);
     std::memcpy(bytes_.data() + addr, &value, 4);
+    if (plane_) [[unlikely]]
+        plane_->onWrite(addr, 4);
 }
 
 std::uint8_t
 Memory::readByte(Addr addr) const
 {
     check(addr, 1);
-    return bytes_[addr];
+    std::uint8_t b = bytes_[addr];
+    if (plane_) [[unlikely]]
+        b = plane_->filterByte(addr, b, bytes_.data());
+    return b;
 }
 
 void
@@ -48,6 +56,8 @@ Memory::writeByte(Addr addr, std::uint8_t value)
 {
     check(addr, 1);
     bytes_[addr] = value;
+    if (plane_) [[unlikely]]
+        plane_->onWrite(addr, 1);
 }
 
 void
@@ -55,6 +65,8 @@ Memory::copyIn(Addr addr, const void *src, std::size_t n)
 {
     check(addr, n);
     std::memcpy(bytes_.data() + addr, src, n);
+    if (plane_) [[unlikely]]
+        plane_->onWrite(addr, n);
 }
 
 void
@@ -62,6 +74,8 @@ Memory::copyOut(Addr addr, void *dst, std::size_t n) const
 {
     check(addr, n);
     std::memcpy(dst, bytes_.data() + addr, n);
+    if (plane_) [[unlikely]]
+        plane_->patchCopyOut(addr, dst, n, bytes_.data());
 }
 
 void

@@ -21,9 +21,16 @@
 namespace warped {
 namespace mem {
 
+class MemFaultPlane;
+
 /**
  * A flat, byte-addressable, bounds-checked memory. Used both for the
  * GPU's global memory and for per-block shared-memory segments.
+ *
+ * A fault campaign may attach a MemFaultPlane to the *global* memory
+ * for one run: every access is then filtered through the plane's ECC
+ * model. Without a plane (the default, and all fault-free runs) each
+ * access costs only one predictable null-pointer test.
  */
 class Memory
 {
@@ -31,6 +38,11 @@ class Memory
     explicit Memory(std::size_t bytes);
 
     std::size_t size() const { return bytes_.size(); }
+
+    /** Attach (or detach, with nullptr) a memory-cell fault plane.
+     *  Non-owning; the campaign run owns the plane. */
+    void attachFaultPlane(MemFaultPlane *plane) { plane_ = plane; }
+    MemFaultPlane *faultPlane() const { return plane_; }
 
     /** 32-bit word access; @p addr is a byte address (any alignment
      *  is accepted; workloads use 4-byte-aligned addresses). */
@@ -51,6 +63,7 @@ class Memory
     void check(Addr addr, std::size_t n) const;
 
     std::vector<std::uint8_t> bytes_;
+    MemFaultPlane *plane_ = nullptr; ///< non-owning; campaign-run scoped
 };
 
 /**

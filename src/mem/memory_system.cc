@@ -1,18 +1,32 @@
 #include "mem/memory_system.hh"
 
 #include <algorithm>
+#include <limits>
 
 namespace warped {
 namespace mem {
 
+namespace {
+
+/// openRow_ sentinel: bank has no row open yet (first touch misses).
+constexpr Addr kNoRow = std::numeric_limits<Addr>::max();
+
+} // namespace
+
 MemorySystem::MemorySystem(const arch::GpuConfig &cfg)
     : cfg_(cfg), partitionFreeAt_(std::max(1u, cfg.memoryPartitions), 0)
 {
+    if (cfg.memModel == arch::MemModel::Banked) {
+        bankFreeAt_.assign(std::max(1u, cfg.memBanks), 0);
+        openRow_.assign(bankFreeAt_.size(), kNoRow);
+    }
 }
 
 Cycle
 MemorySystem::access(Cycle now, const std::vector<Addr> &segments)
 {
+    if (cfg_.memModel == arch::MemModel::Banked)
+        return accessBanked(now, segments);
     Cycle done = now + cfg_.globalMemLatency;
     for (const Addr seg : segments) {
         const std::size_t p = seg % partitionFreeAt_.size();
@@ -22,6 +36,37 @@ MemorySystem::access(Cycle now, const std::vector<Addr> &segments)
         queueing_ += start - now;
         ++transactions_;
         done = std::max(done, resp);
+    }
+    return done;
+}
+
+Cycle
+MemorySystem::accessBanked(Cycle now, const std::vector<Addr> &segments)
+{
+    // Segments interleave across banks low-order first (adjacent
+    // segments hit adjacent banks — the usual DRAM interleave), and
+    // a bank's row index advances once per full sweep of all banks
+    // times the segments-per-row ratio.
+    const Addr banks = bankFreeAt_.size();
+    const Addr segs_per_row =
+        std::max<Addr>(1, cfg_.memRowBytes / cfg_.coalesceSegmentBytes);
+    Cycle done = now + cfg_.globalMemLatency;
+    for (const Addr seg : segments) {
+        const std::size_t b = static_cast<std::size_t>(seg % banks);
+        const Addr row = seg / banks / segs_per_row;
+        const Cycle start = std::max(now, bankFreeAt_[b]);
+        Cycle latency = cfg_.globalMemLatency;
+        if (openRow_[b] == row) {
+            ++rowHits_;
+        } else {
+            ++rowMisses_;
+            latency += cfg_.memRowMissPenalty;
+            openRow_[b] = row;
+        }
+        bankFreeAt_[b] = start + cfg_.memoryServicePeriod;
+        queueing_ += start - now;
+        ++transactions_;
+        done = std::max(done, start + latency);
     }
     return done;
 }

@@ -1,6 +1,7 @@
 /**
  * @file
- * Chip-level global-memory timing: partition queueing.
+ * Chip-level global-memory timing: partition queueing and, with
+ * GpuConfig::memModel == Banked, DRAM bank/row structure.
  *
  * The baseline model (and the paper's) charges every global access a
  * fixed latency. With GpuConfig::modelMemContention the chip instead
@@ -9,8 +10,13 @@
  * services one transaction per service period, and a warp access
  * completes when its slowest transaction is serviced — so
  * bandwidth-bound kernels see queueing delay on top of the DRAM
- * latency. Everything is computed at issue time (deterministic
- * look-ahead), which keeps the functional-first pipeline intact.
+ * latency. The Banked model refines the partition into memBanks
+ * open-row banks: consecutive segments interleave across banks, each
+ * bank keeps one row open, and a transaction landing on a different
+ * row pays memRowMissPenalty extra cycles (precharge + activate), so
+ * strided kernels trade row locality for bank parallelism.
+ * Everything is computed at issue time (deterministic look-ahead),
+ * which keeps the functional-first pipeline intact.
  */
 
 #ifndef WARPED_MEM_MEMORY_SYSTEM_HH
@@ -43,11 +49,22 @@ class MemorySystem
     /** Total queueing delay accumulated beyond the raw latency. */
     std::uint64_t queueingCycles() const { return queueing_; }
 
+    /** Banked model only: transactions hitting the bank's open row. */
+    std::uint64_t rowHits() const { return rowHits_; }
+    /** Banked model only: transactions that switched the open row. */
+    std::uint64_t rowMisses() const { return rowMisses_; }
+
   private:
+    Cycle accessBanked(Cycle now, const std::vector<Addr> &segments);
+
     const arch::GpuConfig &cfg_;
     std::vector<Cycle> partitionFreeAt_;
+    std::vector<Cycle> bankFreeAt_;  ///< Banked model
+    std::vector<Addr> openRow_;      ///< Banked: row open per bank
     std::uint64_t transactions_ = 0;
     std::uint64_t queueing_ = 0;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
 };
 
 } // namespace mem

@@ -100,6 +100,26 @@ schemeUsesDmrEngine(SchemeId id)
     }
 }
 
+bool
+schemeCoversMemory(SchemeId id)
+{
+    // Every registered scheme re-executes instructions on the values
+    // loads returned, so memory-data corruption is invisible to all
+    // of them — kept as an exhaustive switch so a future memory-side
+    // scheme has to take a stance here.
+    switch (id) {
+    case SchemeId::Original:
+    case SchemeId::RNaive:
+    case SchemeId::RThread:
+    case SchemeId::Dmtr:
+    case SchemeId::WarpedDmr:
+    case SchemeId::PartialThread:
+    case SchemeId::ReplayCompare:
+        return false;
+    }
+    return false;
+}
+
 void
 validateSchemeConfig(const SchemeConfig &cfg)
 {

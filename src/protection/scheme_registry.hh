@@ -56,6 +56,18 @@ bool schemeSupportsRecovery(SchemeId id);
  *  knobs — ReplayQ size, mapping, lane shuffle — apply to it). */
 bool schemeUsesDmrEngine(SchemeId id);
 
+/**
+ * Whether the scheme can observe *memory-data* faults. False for
+ * every execution-side scheme in the registry: redundant executions
+ * (spatial or temporal, any protect fraction) consume the same
+ * loaded value, so a corrupted memory cell produces two identical —
+ * equally wrong — results and no comparator ever fires. Memory
+ * faults are ECC territory (GpuConfig::eccKind); campaigns over the
+ * memory fault domain print a note when the selected scheme cannot
+ * contribute.
+ */
+bool schemeCoversMemory(SchemeId id);
+
 /** Fatal on out-of-range knobs (protectFraction outside [0,1]). */
 void validateSchemeConfig(const SchemeConfig &cfg);
 

@@ -339,8 +339,7 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     Cycle contended_ready = 0;
     const bool global_mem =
         in.isMem() && !isa::opcodeIsSharedMem(in.op);
-    if (global_mem && (cfg_.modelCoalescing ||
-                       (cfg_.modelMemContention && memSys_))) {
+    if (global_mem && (cfg_.modelCoalescing || memSys_)) {
         // One transaction per distinct memory segment the warp hits.
         std::set<Addr> segments;
         for (unsigned slot = 0; slot < cfg_.warpSize; ++slot) {
@@ -353,7 +352,7 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
             extra_mem_cycles = n > 1 ? n - 1 : 0;
             ldstPortFreeAt_ = now + 1 + extra_mem_cycles;
         }
-        if (cfg_.modelMemContention && memSys_) {
+        if (memSys_) {
             const std::vector<Addr> segs(segments.begin(),
                                          segments.end());
             contended_ready =

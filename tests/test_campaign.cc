@@ -13,6 +13,8 @@
 #include "common/logging.hh"
 #include "fault/campaign_engine.hh"
 #include "mem/ecc.hh"
+#include "mem/mem_fault.hh"
+#include "protection/scheme_registry.hh"
 #include "stats/confidence.hh"
 
 using namespace warped;
@@ -392,4 +394,307 @@ TEST(CampaignEngine, JsonCarriesTheHeadlineMetrics)
     EXPECT_NE(json.find("campaign.coverage.wilson_lo"),
               std::string::npos);
     EXPECT_NE(json.find("campaign.space.size"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// the memory fault domain: site-space axes, classification, and
+// engine invariants with ECC in the loop
+
+namespace {
+
+SiteSpaceConfig
+memSpaceCfg()
+{
+    auto sc = smallSpaceCfg();
+    sc.memEnabled = true;
+    sc.memWords = 24;
+    sc.memBits = 32;
+    sc.memBanks = 4;
+    sc.memRowWords = 3;
+    return sc;
+}
+
+} // namespace
+
+TEST(MemSiteSpace, MemoryBlockAppendsAfterTheExecBlock)
+{
+    const FaultSiteSpace execOnly(smallSpaceCfg(), 1000);
+    const FaultSiteSpace both(memSpaceCfg(), 1000);
+    // 3 kinds * 24 words * 32 bits * 16 windows.
+    EXPECT_EQ(both.memSites(), 3u * 24 * 32 * 16);
+    EXPECT_EQ(both.execSites(), execOnly.size());
+    EXPECT_EQ(both.size(), both.execSites() + both.memSites());
+    // The exec block's index layout is untouched by the appended
+    // memory block: pre-memory indices decode to the same sites.
+    for (std::uint64_t i = 0; i < execOnly.size(); i += 97) {
+        const auto a = execOnly.site(i);
+        const auto b = both.site(i);
+        EXPECT_FALSE(b.isMemory);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.sm, b.sm);
+        EXPECT_EQ(a.lane, b.lane);
+        EXPECT_EQ(a.bit, b.bit);
+        EXPECT_EQ(a.cycleBegin, b.cycleBegin);
+    }
+}
+
+TEST(MemSiteSpace, DecodeCoversEveryMemoryAxisValue)
+{
+    const FaultSiteSpace space(memSpaceCfg(), 1000);
+    std::set<std::tuple<int, Addr, unsigned, Cycle>> seen;
+    for (std::uint64_t i = space.execSites(); i < space.size(); ++i) {
+        const auto s = space.site(i);
+        ASSERT_TRUE(s.isMemory);
+        EXPECT_LT(s.memAddr, 24u * 4);
+        EXPECT_EQ(s.memAddr % 4, 0u);
+        EXPECT_LT(s.bit, 32u);
+        EXPECT_EQ(s.cycleBegin, s.cycleEnd);
+        EXPECT_LT(s.cycleEnd, 1000u);
+        // Geometry annotation is consistent with the word index:
+        // words fill a row (memRowWords), rows interleave over banks.
+        const Addr word = s.memAddr / 4;
+        EXPECT_EQ(s.memCol, word % 3);
+        EXPECT_EQ(s.memBank, (word / 3) % 4);
+        EXPECT_EQ(s.memRow, word / 3 / 4);
+        seen.insert({static_cast<int>(s.memKind), s.memAddr, s.bit,
+                     s.cycleBegin});
+    }
+    EXPECT_EQ(seen.size(), space.memSites());
+}
+
+TEST(MemSiteSpace, MemOnlySpaceDropsTheExecBlock)
+{
+    auto sc = memSpaceCfg();
+    sc.execEnabled = false;
+    const FaultSiteSpace space(sc, 1000);
+    EXPECT_EQ(space.execSites(), 0u);
+    EXPECT_EQ(space.size(), space.memSites());
+    EXPECT_TRUE(space.site(0).isMemory);
+}
+
+TEST(MemSiteSpace, SignatureIgnoresMemoryAxesUntilEnabled)
+{
+    // Zero-diff guarantee: pre-memory checkpoints must keep
+    // validating, so disabled memory knobs cannot perturb the hash.
+    const FaultSiteSpace base(smallSpaceCfg(), 1000);
+    auto sc = smallSpaceCfg();
+    sc.memWords = 999;
+    sc.memBanks = 2;
+    EXPECT_EQ(FaultSiteSpace(sc, 1000).signature(), base.signature());
+
+    // Enabled, every memory axis is load-bearing.
+    const FaultSiteSpace mem(memSpaceCfg(), 1000);
+    EXPECT_NE(mem.signature(), base.signature());
+    auto mc = memSpaceCfg();
+    mc.memWords = 25;
+    EXPECT_NE(FaultSiteSpace(mc, 1000).signature(), mem.signature());
+    mc = memSpaceCfg();
+    mc.memKinds = {mem::MemFaultKind::Bit};
+    EXPECT_NE(FaultSiteSpace(mc, 1000).signature(), mem.signature());
+    mc = memSpaceCfg();
+    mc.execEnabled = false;
+    EXPECT_NE(FaultSiteSpace(mc, 1000).signature(), mem.signature());
+}
+
+TEST(MemSiteSpace, BadMemoryAxesPanic)
+{
+    setVerbose(false);
+    auto sc = memSpaceCfg();
+    sc.memWords = 0; // engine fills this in; a space can't be built
+    EXPECT_THROW(FaultSiteSpace(sc, 1000), std::logic_error);
+    sc = memSpaceCfg();
+    sc.memBits = 33;
+    EXPECT_THROW(FaultSiteSpace(sc, 1000), std::logic_error);
+    sc = smallSpaceCfg();
+    sc.execEnabled = false; // memEnabled defaults false: no domain
+    EXPECT_THROW(FaultSiteSpace(sc, 1000), std::logic_error);
+}
+
+TEST(MemOutcome, ClassificationPriority)
+{
+    using fault::classifyMemOutcome;
+    // Never-consumed dominates everything: a corrupted cell nobody
+    // read is Masked even if the codec would have flagged it.
+    EXPECT_EQ(classifyMemOutcome(false, true, true, true, true, false),
+              OutcomeClass::Masked);
+    // An uncorrectable read is the machine-check DUE, outranking
+    // detection and corruption.
+    EXPECT_EQ(classifyMemOutcome(true, true, false, true, false, false),
+              OutcomeClass::Due);
+    // A hang is a DUE too.
+    EXPECT_EQ(classifyMemOutcome(true, false, false, false, true, true),
+              OutcomeClass::Due);
+    // DMR detection (e.g. a both-domains campaign where the load fed
+    // an address computation) outranks output corruption.
+    EXPECT_EQ(classifyMemOutcome(true, false, false, true, false,
+                                 false),
+              OutcomeClass::Detected);
+    // Wrong output with no alarm anywhere: the memory SDC.
+    EXPECT_EQ(classifyMemOutcome(true, false, false, false, false,
+                                 false),
+              OutcomeClass::Sdc);
+    // Corrected reads with clean output land in the ECC bucket...
+    EXPECT_EQ(classifyMemOutcome(true, false, true, false, false, true),
+              OutcomeClass::EccCorrected);
+    // ...and consumed-but-harmless corruption is architectural
+    // masking.
+    EXPECT_EQ(classifyMemOutcome(true, false, false, false, false,
+                                 true),
+              OutcomeClass::Masked);
+}
+
+TEST(MemOutcome, EccCorrectedCountsTowardTheProtectionSurface)
+{
+    OutcomeCounts c;
+    c.add(OutcomeClass::EccCorrected, true);
+    c.add(OutcomeClass::EccCorrected, true);
+    c.add(OutcomeClass::Detected, true);
+    c.add(OutcomeClass::Sdc, true);
+    EXPECT_EQ(c.eccCorrected, 2u);
+    EXPECT_EQ(c.total(), 4u);
+    // Corrected runs were detected-and-repaired by the ECC
+    // controller: they join the combined DMR+ECC coverage numerator.
+    EXPECT_DOUBLE_EQ(c.coverage(), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(c.detectionRate(), 3.0 / 4.0);
+}
+
+TEST(MemOutcome, NoSchemeCoversMemoryDataFaults)
+{
+    // The paper's scoping argument, as an exhaustive registry fact:
+    // redundant execution re-consumes the same loaded value, so
+    // every execution-side scheme is blind to memory-data faults.
+    for (const auto id : protection::allSchemes())
+        EXPECT_FALSE(protection::schemeCoversMemory(id))
+            << protection::schemeCliName(id);
+}
+
+namespace {
+
+EngineConfig
+memEngineCfg(arch::EccKind ecc)
+{
+    auto ec = scanEngineCfg();
+    ec.gpu.memModel = arch::MemModel::Banked;
+    ec.gpu.eccKind = ecc;
+    ec.space.memEnabled = true; // memWords filled from the footprint
+    ec.sites = 40;
+    ec.seed = 17;
+    return ec;
+}
+
+} // namespace
+
+TEST(MemCampaign, OutcomeSumInvariantHoldsAcrossSeedsAndCodecs)
+{
+    // Every sampled site lands in exactly one class, whatever mix of
+    // exec and memory sites the seed draws and whatever the codec.
+    for (const auto ecc :
+         {arch::EccKind::None, arch::EccKind::Secded,
+          arch::EccKind::Chipkill}) {
+        for (const std::uint64_t seed : {3ull, 9ull, 17ull}) {
+            auto ec = memEngineCfg(ecc);
+            ec.seed = seed;
+            ec.jobs = 2;
+            const auto rep = CampaignEngine(scanFactory(), ec).run();
+            const auto &o = rep.overall;
+            EXPECT_EQ(o.masked + o.detected + o.recovered +
+                          o.eccCorrected + o.sdc + o.due,
+                      rep.sampled);
+            EXPECT_TRUE(rep.memEnabled);
+            EXPECT_GT(rep.spaceSize, 0u);
+            // Per-kind splits re-sum to the overall tally.
+            std::uint64_t split = 0;
+            for (const auto &[k, c] : rep.byKind)
+                split += c.total();
+            for (const auto &[k, c] : rep.byMemKind)
+                split += c.total();
+            EXPECT_EQ(split, rep.sampled);
+        }
+    }
+}
+
+TEST(MemCampaign, ReportIsDeterministicAndJobCountFree)
+{
+    auto ec = memEngineCfg(arch::EccKind::Secded);
+    ec.jobs = 1;
+    const auto seq = CampaignEngine(scanFactory(), ec).run().toJson();
+    const auto again = CampaignEngine(scanFactory(), ec).run().toJson();
+    EXPECT_EQ(seq, again);
+    ec.jobs = 8;
+    const auto par = CampaignEngine(scanFactory(), ec).run().toJson();
+    EXPECT_EQ(seq, par);
+    // The memory gauges actually made it into the report.
+    EXPECT_NE(seq.find("campaign.ecc.corrected_rate"),
+              std::string::npos);
+    EXPECT_NE(seq.find("campaign.escaped_rate"), std::string::npos);
+}
+
+TEST(MemCampaign, SecdedAbsorbsSingleBitsThatEscapeUnderNoEcc)
+{
+    // The qualitative ECC story at campaign level, on a mem-only
+    // space restricted to single-bit upsets: with no ECC some
+    // consumed upsets corrupt the output (SDC); with SECDED every
+    // consumed single-bit upset is corrected and none escape.
+    auto ec = memEngineCfg(arch::EccKind::None);
+    ec.space.execEnabled = false;
+    ec.space.memKinds = {mem::MemFaultKind::Bit};
+    ec.sites = 60;
+    const auto none = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(none.overall.eccCorrected, 0u);
+    EXPECT_GT(none.overall.sdc, 0u);
+
+    ec.gpu.eccKind = arch::EccKind::Secded;
+    const auto sec = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_GT(sec.overall.eccCorrected, 0u);
+    EXPECT_EQ(sec.overall.sdc, 0u);
+    EXPECT_EQ(sec.overall.due, 0u);
+    // Identical site draws (same seed/space): activation parity.
+    EXPECT_EQ(sec.sampled, none.sampled);
+}
+
+TEST(MemCampaign, ResumedMemoryCampaignMatchesUninterrupted)
+{
+    // Checkpoint/resume replays memory-site sampling identically
+    // mid-campaign: same invariant as the exec-only resume test, on
+    // a mixed-domain space with a codec in the loop.
+    const std::string ckpt =
+        testing::TempDir() + "warped_campaign_mem_ckpt.json";
+    std::remove(ckpt.c_str());
+
+    auto ec = memEngineCfg(arch::EccKind::Chipkill);
+    ec.jobs = 2;
+    const auto full = CampaignEngine(scanFactory(), ec).run();
+
+    ec.checkpointPath = ckpt;
+    ec.checkpointEvery = 10;
+    ec.stopAfterChunks = 1;
+    const auto partial = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(partial.sampled, 10u);
+
+    ec.stopAfterChunks = 0;
+    ec.jobs = 1;
+    const auto resumed = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(resumed.sampled, full.sampled);
+    EXPECT_EQ(resumed.toJson(), full.toJson());
+    std::remove(ckpt.c_str());
+}
+
+TEST(MemCampaign, CodecChangeInvalidatesTheCheckpoint)
+{
+    // The codec participates in the config signature: a checkpoint
+    // written under SECDED must not seed a chipkill campaign.
+    const std::string ckpt =
+        testing::TempDir() + "warped_campaign_mem_ckpt2.json";
+    std::remove(ckpt.c_str());
+
+    auto ec = memEngineCfg(arch::EccKind::Secded);
+    ec.checkpointPath = ckpt;
+    ec.checkpointEvery = 10;
+    ec.stopAfterChunks = 1;
+    CampaignEngine(scanFactory(), ec).run();
+
+    ec.gpu.eccKind = arch::EccKind::Chipkill;
+    const auto restarted = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(restarted.sampled, 10u); // restarted, not resumed to 20
+    std::remove(ckpt.c_str());
 }

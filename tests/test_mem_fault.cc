@@ -1,0 +1,354 @@
+/**
+ * @file
+ * The memory-cell fault plane and the banked DRAM timing model: what
+ * a campaign's memory-fault runs actually exercise. Covers the
+ * per-codec read filtering (None propagates, SECDED corrects/flags,
+ * chipkill repairs whole-symbol bursts), the strike/write-ordering
+ * semantics, byte and bulk-copy interposition through mem::Memory,
+ * plane reuse via reset(), open-row bank timing, and the
+ * RandomFaultHook reset-replay guarantee checkpoint resume relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "arch/gpu_config.hh"
+#include "common/logging.hh"
+#include "fault/fault_injector.hh"
+#include "mem/mem_fault.hh"
+#include "mem/memory.hh"
+#include "mem/memory_system.hh"
+
+using namespace warped;
+using mem::MemFaultKind;
+using mem::MemFaultPlane;
+
+namespace {
+
+/// A Memory with one golden word at kAddr and a plane attached.
+constexpr Addr kAddr = 8;
+constexpr RegValue kGolden = 0xcafebabe;
+
+struct PlaneRig
+{
+    mem::Memory m{64};
+    MemFaultPlane plane;
+
+    explicit PlaneRig(arch::EccKind ecc) : plane(ecc)
+    {
+        m.writeWord(kAddr, kGolden);
+        m.attachFaultPlane(&plane);
+    }
+};
+
+} // namespace
+
+TEST(MemFaultPlane, SlugsAreStable)
+{
+    EXPECT_STREQ(memFaultKindSlug(MemFaultKind::Bit), "membit");
+    EXPECT_STREQ(memFaultKindSlug(MemFaultKind::DoubleBit),
+                 "memdouble");
+    EXPECT_STREQ(memFaultKindSlug(MemFaultKind::ChipBurst), "memchip");
+}
+
+TEST(MemFaultPlane, ReadsBeforeTheStrikeAreCleanAndUncounted)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, /*at*/ 10);
+    r.plane.setNow(9);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden);
+    EXPECT_EQ(r.plane.consumedReads(), 0u);
+}
+
+TEST(MemFaultPlane, NoEccPropagatesTheCorruptedWord)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    r.plane.setNow(10);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden ^ (1u << 5));
+    EXPECT_EQ(r.plane.consumedReads(), 1u);
+    EXPECT_EQ(r.plane.corrected(), 0u);
+    EXPECT_EQ(r.plane.uncorrectable(), 0u);
+    // Other words are untouched.
+    EXPECT_EQ(r.m.readWord(kAddr + 4), 0u);
+}
+
+TEST(MemFaultPlane, SecdedCorrectsAndScrubsASingleBit)
+{
+    PlaneRig r(arch::EccKind::Secded);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 17, 10);
+    r.plane.setNow(12);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden);
+    EXPECT_EQ(r.plane.corrected(), 1u);
+    // The corrected read scrubbed the cell: the next read is clean
+    // and no longer even consumes the (disarmed) upset.
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden);
+    EXPECT_EQ(r.plane.consumedReads(), 1u);
+    EXPECT_EQ(r.plane.corrected(), 1u);
+}
+
+TEST(MemFaultPlane, SecdedFlagsADoubleBitAsUncorrectable)
+{
+    PlaneRig r(arch::EccKind::Secded);
+    r.plane.inject(kAddr, MemFaultKind::DoubleBit, 3, 10);
+    r.plane.setNow(10);
+    (void)r.m.readWord(kAddr);
+    EXPECT_EQ(r.plane.uncorrectable(), 1u);
+    EXPECT_EQ(r.plane.corrected(), 0u);
+    // Uncorrectable is sticky machine-check state: the upset stays
+    // in the cell (no scrub happened) and keeps flagging.
+    (void)r.m.readWord(kAddr);
+    EXPECT_EQ(r.plane.uncorrectable(), 2u);
+}
+
+TEST(MemFaultPlane, SecdedSilentlyAliasesAnAlignedChipBurst)
+{
+    // The motivating gap: a 4-bit aligned burst flips data bits
+    // 12..15, whose SECDED positions XOR to a zero syndrome with even
+    // parity — the codec sees a clean word and hands corrupted data
+    // to the pipeline (candidate SDC, neither corrected nor flagged).
+    PlaneRig r(arch::EccKind::Secded);
+    r.plane.inject(kAddr, MemFaultKind::ChipBurst, 13, 10);
+    r.plane.setNow(10);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden ^ (0xfu << 12));
+    EXPECT_EQ(r.plane.consumedReads(), 1u);
+    EXPECT_EQ(r.plane.corrected(), 0u);
+    EXPECT_EQ(r.plane.uncorrectable(), 0u);
+}
+
+TEST(MemFaultPlane, ChipkillRepairsTheSameBurstExactly)
+{
+    PlaneRig r(arch::EccKind::Chipkill);
+    r.plane.inject(kAddr, MemFaultKind::ChipBurst, 13, 10);
+    r.plane.setNow(10);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden);
+    EXPECT_EQ(r.plane.corrected(), 1u);
+    EXPECT_EQ(r.plane.uncorrectable(), 0u);
+}
+
+TEST(MemFaultPlane, ChipkillCorrectsAPairInsideOneSymbol)
+{
+    // Bits 0 and 1 share symbol 0: still a single-symbol error.
+    PlaneRig r(arch::EccKind::Chipkill);
+    r.plane.inject(kAddr, MemFaultKind::DoubleBit, 0, 10);
+    r.plane.setNow(10);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden);
+    EXPECT_EQ(r.plane.corrected(), 1u);
+}
+
+TEST(MemFaultPlane, ChipkillFlagsAPairAcrossSymbols)
+{
+    // Bits 3 and 4 straddle symbols 0 and 1: two corrupted symbols
+    // exceed the distance-4 correction radius.
+    PlaneRig r(arch::EccKind::Chipkill);
+    r.plane.inject(kAddr, MemFaultKind::DoubleBit, 3, 10);
+    r.plane.setNow(10);
+    (void)r.m.readWord(kAddr);
+    EXPECT_EQ(r.plane.uncorrectable(), 1u);
+    EXPECT_EQ(r.plane.corrected(), 0u);
+}
+
+TEST(MemFaultPlane, WriteAtOrAfterStrikeClearsTheUpset)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    r.plane.setNow(11);
+    r.m.writeWord(kAddr, 0x1234);
+    EXPECT_EQ(r.m.readWord(kAddr), 0x1234u);
+    EXPECT_EQ(r.plane.consumedReads(), 0u);
+}
+
+TEST(MemFaultPlane, WriteBeforeStrikeLeavesThePendingUpsetArmed)
+{
+    // The cell flips *later*: a pre-strike store re-encodes a clean
+    // word, then the strike corrupts the new contents.
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    r.plane.setNow(4);
+    r.m.writeWord(kAddr, 0x1234);
+    r.plane.setNow(10);
+    EXPECT_EQ(r.m.readWord(kAddr), 0x1234u ^ (1u << 5));
+}
+
+TEST(MemFaultPlane, UnrelatedWritesDoNotDisarm)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    r.plane.setNow(12);
+    r.m.writeWord(kAddr + 4, 7);
+    r.m.writeByte(kAddr - 1, 9);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden ^ (1u << 5));
+}
+
+TEST(MemFaultPlane, ByteReadsSeeTheCorruptedLane)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 13, 10); // byte 1, bit 5
+    r.plane.setNow(10);
+    EXPECT_EQ(r.m.readByte(kAddr + 0), kGolden & 0xff);
+    EXPECT_EQ(r.m.readByte(kAddr + 1),
+              ((kGolden >> 8) & 0xff) ^ (1u << 5));
+    EXPECT_EQ(r.m.readByte(kAddr + 2), (kGolden >> 16) & 0xff);
+    // SECDED sees the same byte read and corrects it.
+    PlaneRig s(arch::EccKind::Secded);
+    s.plane.inject(kAddr, MemFaultKind::Bit, 13, 10);
+    s.plane.setNow(10);
+    EXPECT_EQ(s.m.readByte(kAddr + 1), (kGolden >> 8) & 0xff);
+    EXPECT_EQ(s.plane.corrected(), 1u);
+}
+
+TEST(MemFaultPlane, CopyOutIsPatchedLikeDeviceLoads)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    r.plane.setNow(10);
+    // A bulk readback spanning the upset word, at unaligned offsets.
+    std::uint8_t buf[16];
+    r.m.copyOut(kAddr - 2, buf, sizeof buf);
+    RegValue w = 0;
+    std::memcpy(&w, buf + 2, 4);
+    EXPECT_EQ(w, kGolden ^ (1u << 5));
+    EXPECT_EQ(buf[0], 0u);
+    EXPECT_EQ(r.plane.consumedReads(), 1u);
+    // Under SECDED the same readback is transparently repaired.
+    PlaneRig s(arch::EccKind::Secded);
+    s.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    s.plane.setNow(10);
+    std::uint32_t word = 0;
+    s.m.copyOut(kAddr, &word, 4);
+    EXPECT_EQ(word, kGolden);
+    EXPECT_EQ(s.plane.corrected(), 1u);
+}
+
+TEST(MemFaultPlane, ResetDisarmsAndZeroesCounters)
+{
+    PlaneRig r(arch::EccKind::None);
+    r.plane.inject(kAddr, MemFaultKind::Bit, 5, 10);
+    r.plane.setNow(10);
+    (void)r.m.readWord(kAddr);
+    EXPECT_EQ(r.plane.consumedReads(), 1u);
+    r.plane.reset();
+    EXPECT_EQ(r.plane.consumedReads(), 0u);
+    EXPECT_EQ(r.plane.corrected(), 0u);
+    EXPECT_EQ(r.plane.uncorrectable(), 0u);
+    EXPECT_EQ(r.m.readWord(kAddr), kGolden);
+    EXPECT_EQ(r.plane.consumedReads(), 0u);
+}
+
+TEST(MemFaultPlane, RejectsUnalignedInjection)
+{
+    setVerbose(false);
+    MemFaultPlane p(arch::EccKind::None);
+    EXPECT_THROW(p.inject(6, MemFaultKind::Bit, 0, 0),
+                 std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Banked DRAM timing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+arch::GpuConfig
+bankedCfg()
+{
+    auto cfg = arch::GpuConfig::testDefault();
+    cfg.memModel = arch::MemModel::Banked;
+    cfg.memBanks = 2;
+    cfg.memRowBytes = 256;
+    cfg.coalesceSegmentBytes = 128; // 2 segments per row
+    cfg.memRowMissPenalty = 60;
+    cfg.globalMemLatency = 100;
+    cfg.memoryServicePeriod = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(BankedMemorySystem, RowMissPaysThePenaltyRowHitDoesNot)
+{
+    mem::MemorySystem ms(bankedCfg());
+    // First touch of bank 0 opens row 0: a compulsory miss.
+    EXPECT_EQ(ms.access(0, {0}), 160u); // 100 + 60
+    EXPECT_EQ(ms.rowMisses(), 1u);
+    EXPECT_EQ(ms.rowHits(), 0u);
+    // Same row, later: open-row hit at the raw latency.
+    EXPECT_EQ(ms.access(200, {0}), 300u);
+    EXPECT_EQ(ms.rowHits(), 1u);
+    // Segment 4 maps to bank 0 row 1: the open row switches.
+    EXPECT_EQ(ms.access(400, {4}), 560u);
+    EXPECT_EQ(ms.rowMisses(), 2u);
+}
+
+TEST(BankedMemorySystem, AdjacentSegmentsInterleaveAcrossBanks)
+{
+    mem::MemorySystem ms(bankedCfg());
+    // Segments 0 and 1 land on different banks: both are compulsory
+    // misses but they proceed in parallel, so the warp completes at
+    // one miss latency, not two service periods apart.
+    EXPECT_EQ(ms.access(0, {0, 1}), 160u);
+    EXPECT_EQ(ms.rowMisses(), 2u);
+    EXPECT_EQ(ms.queueingCycles(), 0u);
+}
+
+TEST(BankedMemorySystem, SameBankConflictQueuesOnTheServicePeriod)
+{
+    mem::MemorySystem ms(bankedCfg());
+    // Segments 0 and 2 both map to bank 0, same row: the second
+    // transaction waits one service period behind the first (visible
+    // as queueing; the first access's row miss still dominates the
+    // warp's completion time).
+    EXPECT_EQ(ms.access(0, {0, 2}), 160u);
+    EXPECT_EQ(ms.queueingCycles(), 2u);
+    EXPECT_EQ(ms.rowMisses(), 1u);
+    EXPECT_EQ(ms.rowHits(), 1u);
+    EXPECT_EQ(ms.transactions(), 2u);
+}
+
+TEST(BankedMemorySystem, FlatModelKeepsRowCountersAtZero)
+{
+    auto cfg = bankedCfg();
+    cfg.memModel = arch::MemModel::Flat;
+    mem::MemorySystem ms(cfg);
+    (void)ms.access(0, {0, 1, 2, 3});
+    EXPECT_EQ(ms.rowHits(), 0u);
+    EXPECT_EQ(ms.rowMisses(), 0u);
+    EXPECT_EQ(ms.transactions(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// RandomFaultHook reset-replay: a checkpoint-resumed campaign rebuilds
+// its hooks and must draw the identical corruption sequence, or the
+// resumed half of the campaign silently diverges from the one-shot run.
+// ---------------------------------------------------------------------------
+
+TEST(RandomFaultHookReplay, ResetReplaysTheExactCorruptionSequence)
+{
+    fault::RandomFaultHook hook(0.5, 42);
+    auto drive = [&hook] {
+        std::vector<RegValue> out;
+        for (unsigned i = 0; i < 256; ++i) {
+            func::FaultCtx ctx;
+            ctx.sm = i % 4;
+            ctx.lane = i % 32;
+            ctx.cycle = i;
+            out.push_back(hook.apply(0xa5a5a5a5u + i, ctx));
+        }
+        return out;
+    };
+    const auto first = drive();
+    const auto acts = hook.activations();
+    EXPECT_GT(acts, 0u);
+
+    hook.reset();
+    EXPECT_EQ(hook.activations(), 0u);
+    EXPECT_EQ(drive(), first);
+    EXPECT_EQ(hook.activations(), acts);
+
+    // Without the reset the stream continues instead of replaying —
+    // the bug reset() exists to prevent.
+    const auto cont = drive();
+    EXPECT_NE(cont, first);
+}
