@@ -30,6 +30,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -39,11 +40,18 @@ usage(int code)
     std::fprintf(
         stderr,
         "usage: perf_compare BASELINE.json CURRENT.json "
-        "[--tolerance F] [--hard-fail-ratio F]\n"
+        "[--tolerance F] [--hard-fail-ratio F] "
+        "[--require-speedup KEY:F]...\n"
         "  --tolerance F        warn when throughput falls below\n"
         "                       baseline*(1-F)  (default 0.25)\n"
         "  --hard-fail-ratio F  exit 1 when baseline/current >= F\n"
-        "                       (default 2.0)\n");
+        "                       (default 2.0)\n"
+        "  --require-speedup KEY:F\n"
+        "                       exit 1 unless current[KEY] >=\n"
+        "                       baseline[KEY] * F — an improvement\n"
+        "                       gate (e.g. "
+        "perf.campaign_ref.instr_per_sec:2.0);\n"
+        "                       repeatable\n");
     std::exit(code);
 }
 
@@ -162,6 +170,25 @@ isThroughputKey(const std::string &k)
            endsWith(k, ".instr_per_sec");
 }
 
+/** One --require-speedup demand: current[key] >= baseline[key]*factor. */
+struct SpeedupReq
+{
+    std::string key;
+    double factor;
+};
+
+SpeedupReq
+parseSpeedupArg(const char *text)
+{
+    const char *colon = text ? std::strrchr(text, ':') : nullptr;
+    if (!colon || colon == text)
+        usage(2);
+    SpeedupReq r;
+    r.key.assign(text, colon);
+    r.factor = parseDoubleArg("--require-speedup", colon + 1);
+    return r;
+}
+
 } // namespace
 
 int
@@ -170,6 +197,7 @@ main(int argc, char **argv)
     std::string base_path, cur_path;
     double tolerance = 0.25;
     double hard_fail_ratio = 2.0;
+    std::vector<SpeedupReq> speedups;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
@@ -178,6 +206,9 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             hard_fail_ratio =
                 parseDoubleArg("--hard-fail-ratio", argv[++i]);
+        } else if (std::strcmp(argv[i], "--require-speedup") == 0 &&
+                   i + 1 < argc) {
+            speedups.push_back(parseSpeedupArg(argv[++i]));
         } else if (std::strcmp(argv[i], "--help") == 0) {
             usage(0);
         } else if (argv[i][0] == '-') {
@@ -246,6 +277,36 @@ main(int argc, char **argv)
         if (!base.count(key)) {
             std::printf("NOTE  %-40s new metric (not in baseline)\n",
                         key.c_str());
+        }
+    }
+
+    // Improvement gates: unlike the regression checks above these
+    // demand the current run be *faster* than the baseline by a
+    // factor — used when a PR's acceptance criterion is a speedup
+    // (current vs an old baseline), not parity.
+    for (const auto &req : speedups) {
+        const auto bit = base.find(req.key);
+        const auto cit = cur.find(req.key);
+        if (bit == base.end() || cit == cur.end() ||
+            bit->second <= 0.0) {
+            std::printf("FAIL  %-40s --require-speedup key missing "
+                        "or zero in %s\n", req.key.c_str(),
+                        bit == base.end() ? "baseline" : "current");
+            ++fails;
+            continue;
+        }
+        const double ratio = cit->second / bit->second;
+        if (ratio < req.factor) {
+            std::printf("FAIL  %-40s %.0f -> %.0f  (%.2fx, below "
+                        "the required %.2fx speedup)\n",
+                        req.key.c_str(), bit->second, cit->second,
+                        ratio, req.factor);
+            ++fails;
+        } else {
+            std::printf("PASS  %-40s %.0f -> %.0f  (%.2fx >= "
+                        "required %.2fx speedup)\n",
+                        req.key.c_str(), bit->second, cit->second,
+                        ratio, req.factor);
         }
     }
 

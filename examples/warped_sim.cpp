@@ -26,6 +26,7 @@
 #include "fault/campaign_engine.hh"
 #include "gpu/report.hh"
 #include "protection/scheme_registry.hh"
+#include "trace/binary.hh"
 #include "trace/export.hh"
 #include "trace/metrics.hh"
 #include "isa/assembler.hh"
@@ -785,7 +786,10 @@ usage()
         "  --disasm              print the kernel disassembly\n"
         "  --trace N             print the first N issue events\n"
         "  --trace-out F         record structured events and write a\n"
-        "                        Chrome trace_event JSON to F\n"
+        "                        Chrome trace_event JSON to F; a .bin\n"
+        "                        path writes the compact binary format\n"
+        "                        instead (convert offline with\n"
+        "                        tools/trace_convert)\n"
         "  --metrics-out F       write the flat metrics registry "
         "JSON to F\n"
         "                        (with 'all', the workload name is\n"
@@ -947,9 +951,22 @@ runOne(const std::string &name, const Options &o,
     const bool multi = o.workload == "all";
     if (!o.traceOut.empty()) {
         const auto path = exportPath(o.traceOut, name, multi);
-        std::ofstream f(path);
+        // A .bin destination selects the compact binary format
+        // (docs/TRACE_FORMAT.md); tools/trace_convert turns it into
+        // the byte-identical Chrome JSON offline. Anything else gets
+        // the Chrome trace_event JSON directly.
+        const bool binary =
+            path.size() >= 4 &&
+            path.compare(path.size() - 4, 4, ".bin") == 0;
+        std::ofstream f(path, binary
+                                  ? std::ios::out | std::ios::binary
+                                  : std::ios::out);
         if (!f)
             std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        else if (binary)
+            trace::writeBinaryTrace(
+                f, r.events, name,
+                r.metrics.counterValue("trace.dropped"));
         else
             trace::writeChromeTrace(f, r.events, name);
     }

@@ -20,6 +20,14 @@ namespace arch {
  * Per-warp functional state: thread register windows, the SIMT
  * reconvergence stack, exit/barrier status, and the warp's position
  * inside its block/grid.
+ *
+ * The register file is stored register-major — regs_[r] is a
+ * contiguous warpSize-wide plane of lane values — so the executor's
+ * structure-of-arrays hot path (Executor::stepInto) can gather a
+ * source operand or scatter a destination with one plane copy instead
+ * of warpSize strided loads. reg()/setReg() remain the bounds-checked
+ * scalar accessors for cold callers (recovery, tests, workload
+ * verification).
  */
 class WarpContext
 {
@@ -37,6 +45,17 @@ class WarpContext
                 unsigned warp_in_block, unsigned block_threads,
                 unsigned block_dim, unsigned grid_dim);
 
+    /**
+     * Re-point a pooled context at a new warp of the next block:
+     * equivalent to destroying and re-constructing with the same
+     * warp_size/num_regs, but reuses the register backing store so
+     * steady-state launches allocate nothing (Sm keeps contexts alive
+     * across block retirement).
+     */
+    void reinit(unsigned block_id, unsigned warp_in_block,
+                unsigned block_threads, unsigned block_dim,
+                unsigned grid_dim);
+
     unsigned warpSize() const { return warpSize_; }
     unsigned numRegs() const { return numRegs_; }
     unsigned blockId() const { return blockId_; }
@@ -53,6 +72,11 @@ class WarpContext
 
     RegValue reg(unsigned lane, RegIndex r) const;
     void setReg(unsigned lane, RegIndex r, RegValue v);
+
+    /** Contiguous per-lane plane of register @p r (SoA hot path);
+     *  element i is lane i's value. Bounds-checked once per plane. */
+    const RegValue *regPlane(RegIndex r) const;
+    RegValue *regPlane(RegIndex r);
 
     SimtStack &stack() { return stack_; }
     const SimtStack &stack() const { return stack_; }
@@ -83,7 +107,7 @@ class WarpContext
     LaneMask exited_;
     bool atBarrier_ = false;
     SimtStack stack_;
-    std::vector<RegValue> regs_; ///< lane-major: [lane * numRegs + r]
+    std::vector<RegValue> regs_; ///< register-major: [r * warpSize + lane]
 };
 
 } // namespace arch

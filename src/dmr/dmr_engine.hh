@@ -174,6 +174,12 @@ class DmrEngine final : public protection::ProtectionScheme
     const arch::GpuConfig &gpu_;
     DmrConfig cfg_;
     func::Executor &exec_;
+    /** Fault-free machine (NullFaultHook): re-execution may use the
+     *  vectorized plane compute and a masked bulk compare instead of
+     *  per-slot virtual hook dispatch. Mirrors Executor::hookIsNull(). */
+    bool hookIsNull_;
+    /** Scratch plane for the fast re-execute-and-compare path. */
+    std::array<RegValue, func::kMaxWarp> verifyPlane_{};
     ThreadCoreMapping mapping_;
     ReplayQueue queue_;
     Rng rng_;

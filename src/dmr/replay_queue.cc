@@ -7,8 +7,9 @@
 namespace warped {
 namespace dmr {
 
-ReplayQueue::ReplayQueue(unsigned capacity)
-    : capacity_(capacity), slots_(capacity), writeBit_(capacity, 0)
+ReplayQueue::ReplayQueue(unsigned capacity, unsigned warp_size)
+    : capacity_(capacity), warpSize_(warp_size), slots_(capacity),
+      writeBit_(capacity, 0)
 {
     order_.reserve(capacity);
     free_.reserve(capacity);
@@ -25,7 +26,7 @@ ReplayQueue::push(const func::ExecRecord &rec, Cycle now)
         warped_panic("ReplayQueue overflow (capacity ", capacity_, ")");
     const std::uint32_t slot = free_.back();
     free_.pop_back();
-    slots_[slot].rec = rec;
+    slots_[slot].rec.copyFrom(rec, warpSize_);
     slots_[slot].enqueued = now;
     writeBit_[slot] =
         rec.instr.hasDst() ? 1ULL << rec.instr.dst.idx : 0;

@@ -40,7 +40,14 @@ class ReplayQueue
         Cycle enqueued = 0;
     };
 
-    explicit ReplayQueue(unsigned capacity);
+    /**
+     * @param capacity  entries (paper: 10)
+     * @param warp_size machine warp width; pushes copy only this many
+     *                  thread slots of each record plane (the rest of
+     *                  the kMaxWarp-wide arrays is never read back)
+     */
+    explicit ReplayQueue(unsigned capacity,
+                         unsigned warp_size = func::kMaxWarp);
 
     unsigned capacity() const { return capacity_; }
     unsigned size() const { return static_cast<unsigned>(order_.size()); }
@@ -144,6 +151,7 @@ class ReplayQueue
                      std::uint64_t depth_after, Cycle now);
 
     unsigned capacity_;
+    unsigned warpSize_; ///< plane slots copied per push
     unsigned peakDepth_ = 0;
     std::vector<Entry> slots_;          ///< fixed pool, sized capacity_
     std::vector<std::uint32_t> order_;  ///< oldest-first slot indices

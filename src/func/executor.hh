@@ -9,6 +9,7 @@
 #ifndef WARPED_FUNC_EXECUTOR_HH
 #define WARPED_FUNC_EXECUTOR_HH
 
+#include <algorithm>
 #include <array>
 #include <vector>
 
@@ -83,6 +84,36 @@ struct ExecRecord
     {
         return instr.hasDst() || instr.isMem();
     }
+
+    /**
+     * Assign from @p o, copying only the first @p ws thread slots of
+     * the per-slot planes — and only the operand planes @p o's opcode
+     * reads. Headers, the active mask and every slot a consumer may
+     * touch (all < @p ws, since `active` covers at most the machine's
+     * warp size) match full assignment exactly; slots >= @p ws keep
+     * whatever was there before. Saves ~2 KB per ReplayQ push at warp
+     * size 32 vs copying the whole kMaxWarp-wide record.
+     */
+    void
+    copyFrom(const ExecRecord &o, unsigned ws)
+    {
+        if (ws > kMaxWarp)
+            ws = kMaxWarp;
+        instr = o.instr;
+        pc = o.pc;
+        warpId = o.warpId;
+        traceId = o.traceId;
+        active = o.active;
+        wasBranch = o.wasBranch;
+        wasBarrier = o.wasBarrier;
+        wasExit = o.wasExit;
+        for (unsigned s = 0; s < o.instr.numSrcs(); ++s)
+            std::copy_n(o.operands[s].data(), ws, operands[s].data());
+        std::copy_n(o.results.data(), ws, results.data());
+        // Lane info is only ever read back for S2R re-execution.
+        if (o.instr.op == isa::Opcode::S2R)
+            std::copy_n(o.laneInfo.data(), ws, laneInfo.data());
+    }
 };
 
 /**
@@ -109,6 +140,20 @@ class Executor
     static RegValue computeLane(const isa::Instruction &in,
                                 const std::array<RegValue, 3> &ops,
                                 const LaneInfo &li);
+
+    /**
+     * Plane (structure-of-arrays) form of computeLane: evaluate the
+     * instruction for all @p ws thread slots at once, writing
+     * @p out [0..ws). The opcode switch runs once per warp instead of
+     * once per lane, so the per-case loops vectorize. All slots are
+     * computed, active or not — callers mask by ExecRecord::active.
+     * Bit-identical to computeLane on every slot.
+     */
+    static void computePlane(
+        const isa::Instruction &in,
+        const std::array<std::array<RegValue, kMaxWarp>, 3> &ops,
+        const std::array<LaneInfo, kMaxWarp> &li, unsigned ws,
+        RegValue *out);
 
     /**
      * Execute the instruction at the warp's current PC for its active
@@ -150,11 +195,18 @@ class Executor
     unsigned smId() const { return smId_; }
     FaultHook &hook() { return *hook_; }
 
+    /** True when the fault boundary is the NullFaultHook: the hook is
+     *  the identity, so execution and DMR re-execution may take the
+     *  vectorized plane path with no per-lane virtual dispatch.
+     *  Detected once at construction. */
+    bool hookIsNull() const { return hookIsNull_; }
+
   private:
     const arch::GpuConfig &cfg_;
     unsigned smId_;
     mem::Memory &global_;
     FaultHook *hook_;
+    bool hookIsNull_;
 };
 
 } // namespace func

@@ -3,42 +3,47 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/buffer_pool.hh"
 #include "common/logging.hh"
 #include "mem/mem_fault.hh"
 
 namespace warped {
 namespace mem {
 
-Memory::Memory(std::size_t bytes) : bytes_(bytes, 0)
+Memory::Memory(std::size_t bytes)
+    : bytes_(common::acquireBuffer(bytes))
 {
+}
+
+Memory::~Memory()
+{
+    common::releaseBuffer(std::move(bytes_));
 }
 
 void
 Memory::check(Addr addr, std::size_t n) const
 {
     if (addr + n > bytes_.size() || addr + n < addr)
-        warped_panic("memory access [", addr, ", ", addr + n,
-                     ") out of bounds (size ", bytes_.size(), ")");
-}
-
-RegValue
-Memory::readWord(Addr addr) const
-{
-    check(addr, 4);
-    RegValue v;
-    std::memcpy(&v, bytes_.data() + addr, 4);
-    if (plane_) [[unlikely]]
-        v = plane_->filterWord(addr, v);
-    return v;
+        outOfBounds(addr, n);
 }
 
 void
-Memory::writeWord(Addr addr, RegValue value)
+Memory::outOfBounds(Addr addr, std::size_t n) const
 {
-    check(addr, 4);
-    std::memcpy(bytes_.data() + addr, &value, 4);
-    if (plane_) [[unlikely]]
-        plane_->onWrite(addr, 4);
+    warped_panic("memory access [", addr, ", ", addr + n,
+                 ") out of bounds (size ", bytes_.size(), ")");
+}
+
+RegValue
+Memory::filterWordSlow(Addr addr, RegValue v) const
+{
+    return plane_->filterWord(addr, v);
+}
+
+void
+Memory::onWriteSlow(Addr addr, std::size_t n)
+{
+    plane_->onWrite(addr, n);
 }
 
 std::uint8_t

@@ -14,6 +14,7 @@
 #define WARPED_MEM_MEMORY_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/types.hh"
@@ -35,7 +36,16 @@ class MemFaultPlane;
 class Memory
 {
   public:
+    /** Backing storage comes zeroed from the thread-local buffer pool
+     *  (common/buffer_pool.hh) and is retired back to it on
+     *  destruction, so per-launch Memory construction in campaign
+     *  loops reuses warm pages instead of paying mmap + soft faults
+     *  for every 8 MB global-memory image. */
     explicit Memory(std::size_t bytes);
+    ~Memory();
+
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
 
     std::size_t size() const { return bytes_.size(); }
 
@@ -45,9 +55,31 @@ class Memory
     MemFaultPlane *faultPlane() const { return plane_; }
 
     /** 32-bit word access; @p addr is a byte address (any alignment
-     *  is accepted; workloads use 4-byte-aligned addresses). */
-    RegValue readWord(Addr addr) const;
-    void writeWord(Addr addr, RegValue value);
+     *  is accepted; workloads use 4-byte-aligned addresses). Inline:
+     *  these sit in the executor's per-lane load/store loops, and the
+     *  bounds test plus memcpy must fold into them — the panic and
+     *  fault-plane branches call out of line. */
+    RegValue
+    readWord(Addr addr) const
+    {
+        if (addr + 4 > bytes_.size() || addr + 4 < addr) [[unlikely]]
+            outOfBounds(addr, 4);
+        RegValue v;
+        std::memcpy(&v, bytes_.data() + addr, 4);
+        if (plane_) [[unlikely]]
+            v = filterWordSlow(addr, v);
+        return v;
+    }
+
+    void
+    writeWord(Addr addr, RegValue value)
+    {
+        if (addr + 4 > bytes_.size() || addr + 4 < addr) [[unlikely]]
+            outOfBounds(addr, 4);
+        std::memcpy(bytes_.data() + addr, &value, 4);
+        if (plane_) [[unlikely]]
+            onWriteSlow(addr, 4);
+    }
 
     std::uint8_t readByte(Addr addr) const;
     void writeByte(Addr addr, std::uint8_t value);
@@ -61,6 +93,10 @@ class Memory
 
   private:
     void check(Addr addr, std::size_t n) const;
+    [[noreturn]] void outOfBounds(Addr addr, std::size_t n) const;
+    /** Out-of-line fault-plane hops (plane_ != nullptr only). */
+    RegValue filterWordSlow(Addr addr, RegValue v) const;
+    void onWriteSlow(Addr addr, std::size_t n);
 
     std::vector<std::uint8_t> bytes_;
     MemFaultPlane *plane_ = nullptr; ///< non-owning; campaign-run scoped

@@ -30,9 +30,12 @@
 namespace warped {
 namespace mem {
 
+/** Chip-shared global-memory timing model (see the file comment for
+ *  the partition/bank semantics). One instance per Gpu. */
 class MemorySystem
 {
   public:
+    /** @param cfg machine description; must outlive the system. */
     explicit MemorySystem(const arch::GpuConfig &cfg);
 
     /**

@@ -22,15 +22,16 @@ ReplayCompareScheme::onIssue(const func::ExecRecord &rec, Cycle now)
     const unsigned active = rec.active.count();
     stats_.verifiableThreadInstrs += active;
     replayExecs_[static_cast<unsigned>(rec.instr.unit())] += active;
+    // The eager hook-free recompute is one vectorized plane pass; the
+    // per-slot loop below only filters it against the committed
+    // results (bit-identical to per-slot computeLane).
+    std::array<RegValue, func::kMaxWarp> pure;
+    func::Executor::computePlane(rec.instr, rec.operands, rec.laneInfo,
+                                 gpu_.warpSize, pure.data());
     for (unsigned slot = 0; slot < gpu_.warpSize; ++slot) {
         if (!rec.active.test(slot))
             continue;
-        const std::array<RegValue, 3> ops = {rec.operands[0][slot],
-                                             rec.operands[1][slot],
-                                             rec.operands[2][slot]};
-        const RegValue pure = func::Executor::computeLane(
-            rec.instr, ops, rec.laneInfo[slot]);
-        if (pure == rec.results[slot])
+        if (pure[slot] == rec.results[slot])
             continue; // will compare equal on replay too
         if (candidates_.size() >= kMaxCandidates) {
             ++droppedCandidates_;
@@ -38,7 +39,8 @@ ReplayCompareScheme::onIssue(const func::ExecRecord &rec, Cycle now)
         }
         Candidate c;
         c.instr = rec.instr;
-        c.ops = ops;
+        c.ops = {rec.operands[0][slot], rec.operands[1][slot],
+                 rec.operands[2][slot]};
         c.laneInfo = rec.laneInfo[slot];
         c.result = rec.results[slot];
         c.slot = slot;

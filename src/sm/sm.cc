@@ -22,6 +22,7 @@ Sm::Sm(const arch::GpuConfig &cfg, const dmr::DmrConfig &dmr,
       stats_(cfg.warpSize, prog.numRegs()),
       maxWarps_(cfg.maxThreadsPerSm / cfg.warpSize),
       warps_(maxWarps_), warpState_(maxWarps_, kWarpEmpty),
+      warpPc_(maxWarps_, 0),
       warpBlockSlot_(maxWarps_, -1),
       blocks_(cfg.maxBlocksPerSm)
 {
@@ -78,24 +79,39 @@ Sm::assignBlock(unsigned block_id, unsigned block_threads,
     b.blockId = block_id;
     b.warpSlots.clear();
     // At least one word so shared-memory-free kernels still have a
-    // valid segment object.
-    b.shared = std::make_unique<mem::Memory>(
-        prog_.sharedBytes() ? prog_.sharedBytes() : 4u);
+    // valid segment object. A segment retained from a retired block
+    // is recycled (the program's shared size never changes within an
+    // SM, so after the first block this is a clear(), not an
+    // allocation).
+    const std::size_t shared_bytes =
+        prog_.sharedBytes() ? prog_.sharedBytes() : 4u;
+    if (b.shared && b.shared->size() == shared_bytes)
+        b.shared->clear();
+    else
+        b.shared = std::make_unique<mem::Memory>(shared_bytes);
 
     const unsigned need_warps = cfg_.warpsPerBlock(block_threads);
     unsigned assigned = 0;
     for (unsigned w = 0; w < maxWarps_ && assigned < need_warps; ++w) {
-        if (warps_[w].has_value())
+        if (warpState_[w] != kWarpEmpty)
             continue;
-        warps_[w].emplace(cfg_.warpSize, prog_.numRegs(), block_id,
-                          assigned, block_threads, block_threads,
-                          grid_dim);
+        if (warps_[w]) {
+            // Pooled context from a retired block: reuse its register
+            // backing store in place.
+            warps_[w]->reinit(block_id, assigned, block_threads,
+                              block_threads, grid_dim);
+        } else {
+            warps_[w].emplace(cfg_.warpSize, prog_.numRegs(), block_id,
+                              assigned, block_threads, block_threads,
+                              grid_dim);
+        }
         scoreboard_.resetWarp(w);
         if (recovery_)
             recovery_->resetWarp(w);
         warpBlockSlot_[w] = static_cast<int>(slot);
         warpState_[w] = warps_[w]->finished() ? kWarpFinished
                                               : kWarpReady;
+        warpPc_[w] = 0;
         scanLimit_ = std::max(scanLimit_, w + 1);
         b.warpSlots.push_back(w);
         ++assigned;
@@ -142,7 +158,8 @@ Sm::retireIfDone(unsigned block_slot)
     for (unsigned w : b.warpSlots) {
         if (warps_[w])
             threads += warps_[w]->validLanes().count();
-        warps_[w].reset();
+        // The context object stays behind as a pooled free slot
+        // (kWarpEmpty); assignBlock reinits it in place.
         warpState_[w] = kWarpEmpty;
         warpBlockSlot_[w] = -1;
         scoreboard_.resetWarp(w);
@@ -152,7 +169,7 @@ Sm::retireIfDone(unsigned block_slot)
         --scanLimit_;
     residentThreads_ -= threads;
     b.active = false;
-    b.shared.reset();
+    // b.shared is kept for recycling by the next assignBlock.
     b.warpSlots.clear();
     ++stats_.blocksRetired;
 }
@@ -280,13 +297,15 @@ Sm::traceCommit(const func::ExecRecord &rec, const isa::Instruction &in,
 Sm::IssueOutcome
 Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
 {
-    auto &warp = warps_[warp_slot];
-    if (!warp || warp->finished() || warp->atBarrier())
+    // Schedulability and PC come from the mirrored planes: a losing
+    // candidate (scoreboard not ready, port busy) is rejected without
+    // ever touching the multi-KB WarpContext object.
+    if (warpState_[warp_slot] != kWarpReady)
         return IssueOutcome::None;
     if (recovery_ && recovery_->blocked(warp_slot, now))
         return IssueOutcome::None; // post-rollback penalty window
 
-    const isa::Instruction &in = prog_.at(warp->stack().pc());
+    const isa::Instruction &in = prog_.at(warpPc_[warp_slot]);
     if (!scoreboard_.ready(warp_slot, in, now))
         return IssueOutcome::None;
     if (cfg_.modelCoalescing && in.isMem() &&
@@ -318,6 +337,7 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     }
     unit_out = in.unit();
 
+    auto &warp = warps_[warp_slot];
     const int block_slot = warpBlockSlot_[warp_slot];
     mem::Memory &shared = *blocks_[block_slot].shared;
 
@@ -373,15 +393,18 @@ Sm::tryIssue(unsigned warp_slot, Cycle now, isa::UnitType &unit_out)
     stallCycles_ += stall;
     stats_.stallCyclesDmr += stall;
 
-    // Mirror the executed warp's new schedulability.
+    // Mirror the executed warp's new schedulability and PC.
     if (warp->finished()) {
         warpState_[warp_slot] = kWarpFinished;
         --blocks_[block_slot].liveWarps;
         retireIfDone(block_slot);
-    } else if (warp->atBarrier()) {
-        warpState_[warp_slot] = kWarpBarrier;
-        if (blocks_[block_slot].barrierWaiters++ == 0)
-            ++barrierBlocks_;
+    } else {
+        warpPc_[warp_slot] = warp->stack().pc();
+        if (warp->atBarrier()) {
+            warpState_[warp_slot] = kWarpBarrier;
+            if (blocks_[block_slot].barrierWaiters++ == 0)
+                ++barrierBlocks_;
+        }
     }
 
     lastScheduled_ = warp_slot;
@@ -412,8 +435,12 @@ Sm::tick(Cycle now)
         // Whether restored or given up, the warp is schedulable again
         // (the retire gate kept it from ever reaching barrier/finish
         // with unverified work).
-        warpState_[wu] = warps_[wu]->finished() ? kWarpFinished
-                                                : kWarpReady;
+        if (warps_[wu]->finished()) {
+            warpState_[wu] = kWarpFinished;
+        } else {
+            warpState_[wu] = kWarpReady;
+            warpPc_[wu] = warps_[wu]->stack().pc();
+        }
         lastProgress_ = now;
         return;
     }
@@ -449,7 +476,7 @@ Sm::tick(Cycle now)
         if (warpState_[w] != kWarpReady)
             continue;
         if (cfg_.numSchedulers > 1) {
-            const auto unit = prog_.at(warps_[w]->stack().pc()).unit();
+            const auto unit = prog_.at(warpPc_[w]).unit();
             if (unit == isa::UnitType::LDST && ldst_used)
                 continue;
             if (unit == isa::UnitType::SFU && sfu_used)

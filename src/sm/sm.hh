@@ -177,8 +177,21 @@ class Sm
     std::uint64_t issueSeq_ = 0; ///< per-SM issue index (traceId low)
 
     unsigned maxWarps_;
+    /** Warp contexts are pooled: a slot's context survives block
+     *  retirement (warpState_ == kWarpEmpty marks the slot free) and
+     *  is reinit()ed in place by the next assignBlock, so
+     *  steady-state launches never reallocate register files. An
+     *  empty optional only means the slot has never been used. */
     std::vector<std::optional<arch::WarpContext>> warps_;
     std::vector<std::uint8_t> warpState_; ///< kWarp* per slot
+    /** Per-slot PC plane, mirrored out of the SIMT stacks like
+     *  warpState_: the scheduler's unit peek and tryIssue's
+     *  instruction fetch read this contiguous array instead of
+     *  chasing warp-object -> stack -> top-entry pointers. Synced
+     *  wherever the stack moves: assignBlock, the post-execute step
+     *  in tryIssue, and rollback. Only meaningful while
+     *  warpState_ == kWarpReady or kWarpBarrier. */
+    std::vector<Pc> warpPc_;
     std::vector<int> warpBlockSlot_; ///< warp slot -> block slot or -1
     std::vector<BlockSlot> blocks_;
     unsigned residentWarps_ = 0;

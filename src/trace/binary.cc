@@ -1,0 +1,139 @@
+#include "trace/binary.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace warped {
+namespace trace {
+
+namespace {
+
+// Serialization goes through explicit little-endian byte packing —
+// not struct memcpy — so the on-disk format is independent of host
+// padding and byte order.
+
+template <typename T>
+void
+putLe(std::ostream &os, T v)
+{
+    char buf[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, sizeof(T));
+}
+
+template <typename T>
+bool
+getLe(std::istream &is, T &v)
+{
+    char buf[sizeof(T)];
+    if (!is.read(buf, sizeof(T)))
+        return false;
+    v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    return true;
+}
+
+} // namespace
+
+void
+writeBinaryTrace(std::ostream &os, const std::vector<Event> &events,
+                 const std::string &process_label,
+                 std::uint64_t dropped)
+{
+    os.write(kBinaryMagic, sizeof(kBinaryMagic));
+    putLe<std::uint16_t>(os, kBinaryVersion);
+    putLe<std::uint8_t>(os, kBinaryLittleEndian);
+    putLe<std::uint8_t>(os, kBinaryRecordBytes);
+    putLe<std::uint64_t>(os, events.size());
+    putLe<std::uint64_t>(os, dropped);
+    putLe<std::uint32_t>(
+        os, static_cast<std::uint32_t>(process_label.size()));
+    os.write(process_label.data(),
+             static_cast<std::streamsize>(process_label.size()));
+
+    for (const Event &ev : events) {
+        putLe<std::uint64_t>(os, ev.cycle);
+        putLe<std::uint64_t>(os, ev.a0);
+        putLe<std::uint64_t>(os, ev.a1);
+        putLe<std::uint32_t>(os, ev.pc);
+        putLe<std::uint32_t>(os, ev.seq);
+        putLe<std::uint32_t>(os, ev.warp);
+        putLe<std::uint16_t>(os, ev.sm);
+        putLe<std::uint8_t>(os, static_cast<std::uint8_t>(ev.kind));
+        putLe<std::uint8_t>(os, ev.unit);
+    }
+}
+
+bool
+readBinaryTrace(std::istream &is, BinaryTrace &out, std::string &err)
+{
+    char magic[4];
+    if (!is.read(magic, 4) ||
+        std::memcmp(magic, kBinaryMagic, 4) != 0) {
+        err = "not a warped binary trace (bad magic)";
+        return false;
+    }
+    std::uint16_t version = 0;
+    std::uint8_t endian = 0, rec_bytes = 0;
+    std::uint64_t count = 0, dropped = 0;
+    std::uint32_t label_len = 0;
+    if (!getLe(is, version) || !getLe(is, endian) ||
+        !getLe(is, rec_bytes) || !getLe(is, count) ||
+        !getLe(is, dropped) || !getLe(is, label_len)) {
+        err = "truncated header";
+        return false;
+    }
+    if (version != kBinaryVersion) {
+        err = "unsupported version " + std::to_string(version);
+        return false;
+    }
+    if (endian != kBinaryLittleEndian) {
+        err = "unsupported endianness tag " + std::to_string(endian);
+        return false;
+    }
+    if (rec_bytes != kBinaryRecordBytes) {
+        err = "unsupported record size " + std::to_string(rec_bytes);
+        return false;
+    }
+
+    BinaryTrace bt;
+    bt.dropped = dropped;
+    bt.label.resize(label_len);
+    if (label_len &&
+        !is.read(bt.label.data(),
+                 static_cast<std::streamsize>(label_len))) {
+        err = "truncated label";
+        return false;
+    }
+
+    bt.events.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Event ev;
+        std::uint8_t kind = 0;
+        if (!getLe(is, ev.cycle) || !getLe(is, ev.a0) ||
+            !getLe(is, ev.a1) || !getLe(is, ev.pc) ||
+            !getLe(is, ev.seq) || !getLe(is, ev.warp) ||
+            !getLe(is, ev.sm) || !getLe(is, kind) ||
+            !getLe(is, ev.unit)) {
+            err = "truncated at record " + std::to_string(i) + " of " +
+                  std::to_string(count);
+            return false;
+        }
+        if (kind >= kNumEventKinds) {
+            err = "record " + std::to_string(i) +
+                  " has unknown event kind " + std::to_string(kind);
+            return false;
+        }
+        ev.kind = static_cast<EventKind>(kind);
+        bt.events.push_back(ev);
+    }
+    out = std::move(bt);
+    return true;
+}
+
+} // namespace trace
+} // namespace warped

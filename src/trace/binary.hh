@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compact binary rendering of a merged trace-event stream.
+ *
+ * The Chrome trace_event JSON exporter (export.hh) costs ~180 bytes
+ * of formatted text per event; launches that only *capture* a trace
+ * (campaign sweeps, CI artifact uploads) should not pay JSON
+ * formatting on the export path. This module writes the events
+ * exactly as the Recorder's ring buffers hold them — fixed-width
+ * little-endian records, 40 bytes each — plus a small self-describing
+ * header. `tools/trace_convert` turns the binary file into the
+ * byte-identical Chrome JSON offline, so every golden-trace diff
+ * still works.
+ *
+ * Format v1 (all integers little-endian, see docs/TRACE_FORMAT.md):
+ *
+ *     offset  size  field
+ *          0     4  magic "WDTR"
+ *          4     2  version (1)
+ *          6     1  endianness (1 = little; the only value written)
+ *          7     1  record size in bytes (40)
+ *          8     8  event count
+ *         16     8  ring-dropped count (events overwritten in the
+ *                   bounded rings and therefore NOT in this file)
+ *         24     4  label length N
+ *         28     N  process label (UTF-8, no terminator)
+ *       28+N  40*count  event records
+ *
+ * Record layout (40 bytes):
+ *
+ *     offset  size  field
+ *          0     8  cycle
+ *          8     8  a0
+ *         16     8  a1
+ *         24     4  pc
+ *         28     4  seq
+ *         32     4  warp
+ *         36     2  sm
+ *         38     1  kind (EventKind)
+ *         39     1  unit (isa::UnitType index or kNoUnit)
+ */
+
+#ifndef WARPED_TRACE_BINARY_HH
+#define WARPED_TRACE_BINARY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace warped {
+namespace trace {
+
+/** Binary trace header constants (format v1). */
+constexpr char kBinaryMagic[4] = {'W', 'D', 'T', 'R'};
+constexpr std::uint16_t kBinaryVersion = 1;
+constexpr std::uint8_t kBinaryLittleEndian = 1;
+constexpr std::uint8_t kBinaryRecordBytes = 40;
+
+/**
+ * Write @p events (already merged/ordered) as one binary trace
+ * document. @p dropped is the Recorder's ring-overwrite count for
+ * the launch — events that were recorded but are not in the file.
+ */
+void writeBinaryTrace(std::ostream &os,
+                      const std::vector<Event> &events,
+                      const std::string &process_label,
+                      std::uint64_t dropped = 0);
+
+/** A parsed binary trace document. */
+struct BinaryTrace
+{
+    std::string label;           ///< process label from the header
+    std::uint64_t dropped = 0;   ///< ring-overwritten event count
+    std::vector<Event> events;   ///< records, in file (= merged) order
+};
+
+/**
+ * Parse a binary trace document. @return false (with @p err filled)
+ * on bad magic, unsupported version/endianness/record size, or a
+ * truncated file; @p out is untouched on failure.
+ */
+bool readBinaryTrace(std::istream &is, BinaryTrace &out,
+                     std::string &err);
+
+} // namespace trace
+} // namespace warped
+
+#endif // WARPED_TRACE_BINARY_HH

@@ -26,6 +26,8 @@
 namespace warped {
 namespace trace {
 
+/** Per-launch event sink: one bounded ring per SM plus a chip lane
+ *  (see the file comment for the ownership and determinism rules). */
 class Recorder
 {
   public:

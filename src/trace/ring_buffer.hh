@@ -15,17 +15,27 @@
 namespace warped {
 namespace trace {
 
+/**
+ * Bounded most-recent-N container. Once full, each push overwrites
+ * the oldest entry and increments the drop counter — the counter is
+ * how a bounded trace capture stays honest about being a suffix of
+ * the stream rather than the whole stream (docs/TRACE_FORMAT.md,
+ * "Ring-drop accounting").
+ */
 template <typename T>
 class RingBuffer
 {
   public:
+    /** @param capacity most-recent entries kept; 0 = unbounded. */
     explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {}
 
     std::size_t capacity() const { return capacity_; }
     std::size_t size() const { return items_.size(); }
     bool unbounded() const { return capacity_ == 0; }
+    /** Entries overwritten so far (0 while unbounded or not full). */
     std::uint64_t dropped() const { return dropped_; }
 
+    /** Append @p v, evicting the oldest entry when at capacity. */
     void
     push(T v)
     {

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Fail CI when a "PR N:"-titled commit lands without its CHANGES.md
+# entry. The head commit's subject names the PR (repo convention:
+# "PR 7: ..."); CHANGES.md must then contain a matching "PR 7"
+# heading. Commits whose subject names no PR (fixups, reverts) pass —
+# the check guards the PR-landing commit itself, which is the one
+# that must carry the changelog.
+#
+# Usage: tools/check_changelog.sh [changes-file]   (from the repo root)
+
+set -eu
+
+changes="${1:-CHANGES.md}"
+
+if [ ! -f "$changes" ]; then
+    echo "check_changelog: $changes not found" >&2
+    exit 1
+fi
+
+if ! grep -Eq 'PR [0-9]+' "$changes"; then
+    echo "check_changelog: $changes has no 'PR <n>' entries at all" >&2
+    exit 1
+fi
+
+subject=$(git log -1 --format=%s)
+pr=$(printf '%s\n' "$subject" | sed -n 's/^PR \([0-9][0-9]*\):.*/\1/p')
+
+if [ -z "$pr" ]; then
+    echo "check_changelog: head commit does not name a PR" \
+         "('$subject') - skipping entry check"
+    exit 0
+fi
+
+if grep -Eq "PR ${pr}[^0-9]" "$changes"; then
+    echo "check_changelog: found CHANGES.md entry for PR ${pr}"
+    exit 0
+fi
+
+echo "check_changelog: head commit is 'PR ${pr}: ...' but $changes" \
+     "has no 'PR ${pr}' entry - add one describing this PR" >&2
+exit 1
