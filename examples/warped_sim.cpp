@@ -12,18 +12,27 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <fstream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "fault/campaign_engine.hh"
+#include "fault/shard.hh"
+#include "stats/accumulator.hh"
+#include "sim/shard_queue.hh"
+#include "sim/subprocess.hh"
 #include "gpu/report.hh"
 #include "protection/scheme_registry.hh"
 #include "trace/binary.hh"
@@ -126,7 +135,14 @@ campaignUsage()
         "  --checkpoint F      periodic JSON state file; an existing\n"
         "                      matching file resumes the campaign\n"
         "  --checkpoint-every N  runs per checkpoint chunk "
-        "(default 1000)\n"
+        "(default 1000;\n"
+        "                      N >= 1 — 0 is rejected)\n"
+        "  --strata T          stratified sampling: T transient\n"
+        "                      window buckets per unit (strata =\n"
+        "                      unit x bucket; default off = uniform\n"
+        "                      i.i.d. sampling). Reports add a\n"
+        "                      weighted stratified coverage estimate\n"
+        "                      with per-stratum Wilson CIs\n"
         "  --out F             write the campaign report JSON to F\n"
         "  --sched lrr|gto     warp scheduling policy (default lrr)\n"
         "  --schedulers N      schedulers per SM (default 1)\n"
@@ -152,7 +168,59 @@ campaignUsage()
         "  --recovery-ring N   checkpoint deltas retained per SM\n"
         "                      (default 4096; implies --recovery)\n"
         "  --recovery-penalty N  stall cycles after a rollback\n"
-        "                      (default 8; implies --recovery)\n");
+        "                      (default 8; implies --recovery)\n"
+        "\n"
+        "Sharded service (see docs/CAMPAIGN_SERVICE.md):\n"
+        "  warped_sim serve <workload> [campaign options] --shards N\n"
+        "  warped_sim shard <workload> [campaign options]\n"
+        "             --shard-index I --shard-count N --delta-out F\n");
+}
+
+void
+serveUsage()
+{
+    std::printf(
+        "usage: warped_sim serve <workload> [campaign options] "
+        "--shards N [options]\n"
+        "       warped_sim shard <workload> [campaign options] "
+        "--shard-index I\n"
+        "                  --shard-count N --delta-out F "
+        "[--expect-signature S]\n"
+        "\n"
+        "Sharded campaign service: `serve` splits the campaign into\n"
+        "N deterministic run-index shards, dispatches them to worker\n"
+        "processes (`warped_sim shard`), folds each worker's counter\n"
+        "delta into a mergeable aggregate, and re-issues any shard\n"
+        "whose worker dies. The final report is byte-identical to a\n"
+        "single-process `warped_sim campaign` run with the same\n"
+        "options, for every shard count, worker count, and failure\n"
+        "schedule (docs/CAMPAIGN_SERVICE.md).\n"
+        "\n"
+        "All `warped_sim campaign` options except --checkpoint,\n"
+        "--checkpoint-every and --scheme-sweep apply; notably\n"
+        "--strata T enables stratified sampling.\n"
+        "\n"
+        "serve options:\n"
+        "  --shards N          shard count (required, >= 1)\n"
+        "  --workers K         concurrent worker processes "
+        "(default 1)\n"
+        "  --state F           crash-safe aggregator state file; an\n"
+        "                      existing matching file resumes with\n"
+        "                      only the unfolded shards outstanding\n"
+        "  --out F             write the final report JSON to F\n"
+        "  --kill-worker-for-shard I\n"
+        "                      fault drill: SIGKILL shard I's worker\n"
+        "                      on its first attempt, exercising the\n"
+        "                      re-issue path\n"
+        "\n"
+        "shard options (normally supplied by serve):\n"
+        "  --shard-index I     which shard of the plan to run\n"
+        "  --shard-count N     total shards in the plan\n"
+        "  --delta-out F       where to write the delta JSON "
+        "(atomic)\n"
+        "  --expect-signature S  refuse to run (exit 3) unless this\n"
+        "                      worker derives configuration "
+        "signature S\n");
 }
 
 void usage();
@@ -293,6 +361,294 @@ parseEccArg(const char *text, bool campaign)
     std::exit(2);
 }
 
+enum class Domain
+{
+    Exec,
+    Mem,
+    Both
+};
+
+/**
+ * Everything the campaign-family subcommands (campaign / serve /
+ * shard) share: the engine configuration under assembly, the machine
+ * knobs that finalize into it, and the raw flag list to replay on a
+ * worker command line (orchestrator-only flags are withheld).
+ */
+struct CampaignCli
+{
+    std::string workload;
+    fault::EngineConfig ec;
+    unsigned sms = 4;
+    unsigned size = 0;
+    unsigned schedulers = 0;
+    arch::SchedPolicy sched = arch::SchedPolicy::LooseRoundRobin;
+    bool schedSet = false;
+    bool sweep = false;
+    arch::MemModel memModel = arch::MemModel::Flat;
+    arch::EccKind ecc = arch::EccKind::None;
+    Domain domain = Domain::Exec;
+    std::string outPath;
+    /** Campaign-level flags, verbatim, for worker command lines. */
+    std::vector<std::string> passThrough;
+};
+
+/**
+ * Parse the campaign-level option at argv[i], advancing i past its
+ * value(s). Returns false when the option is not a campaign-level
+ * one (the caller owns its mode-specific flags). Malformed values
+ * exit 2 through the strict parsers above.
+ */
+bool
+parseCampaignArg(int argc, char **argv, int &i, CampaignCli &c)
+{
+    const std::string a = argv[i];
+    const int start = i;
+    auto next = [&]() -> const char * {
+        return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    // Orchestrator-only flags must not replicate onto workers: a
+    // worker writing the orchestrator's checkpoint/out files would
+    // race it.
+    bool forward = true;
+    const char *v = nullptr;
+    fault::EngineConfig &ec = c.ec;
+    if (a == "--size") {
+        c.size = parseU32Arg("--size", next(), true);
+    } else if (a == "--sites") {
+        ec.sites = parseU64Arg("--sites", next(), true);
+    } else if (a == "--moe") {
+        ec.marginOfError = parseF64Arg("--moe", next(), true);
+    } else if (a == "--kinds") {
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        ec.space.kinds.clear();
+        for (const char *p = v; *p;) {
+            const char *comma = std::strchr(p, ',');
+            const std::string k =
+                comma ? std::string(p, comma) : std::string(p);
+            if (k == "transient")
+                ec.space.kinds.push_back(
+                    fault::FaultKind::TransientBitFlip);
+            else if (k == "stuck0")
+                ec.space.kinds.push_back(
+                    fault::FaultKind::StuckAtZero);
+            else if (k == "stuck1")
+                ec.space.kinds.push_back(
+                    fault::FaultKind::StuckAtOne);
+            else {
+                campaignUsage();
+                std::exit(2);
+            }
+            if (!comma)
+                break;
+            p = comma + 1;
+        }
+        if (ec.space.kinds.empty()) {
+            campaignUsage();
+            std::exit(2);
+        }
+    } else if (a == "--unit") {
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        if (std::strcmp(v, "any") == 0)
+            ec.space.units = {std::nullopt};
+        else if (std::strcmp(v, "sp") == 0)
+            ec.space.units = {isa::UnitType::SP};
+        else if (std::strcmp(v, "sfu") == 0)
+            ec.space.units = {isa::UnitType::SFU};
+        else if (std::strcmp(v, "ldst") == 0)
+            ec.space.units = {isa::UnitType::LDST};
+        else {
+            campaignUsage();
+            std::exit(2);
+        }
+    } else if (a == "--windows") {
+        ec.space.cycleWindows = parseU32Arg("--windows", next(), true);
+    } else if (a == "--strata") {
+        v = next();
+        const auto n = parseU32Arg("--strata", v, true);
+        if (n == 0)
+            badNumericArg("--strata (expects >= 1)", v, true);
+        ec.strataWindows = n;
+    } else if (a == "--sms") {
+        c.sms = parseU32Arg("--sms", next(), true);
+    } else if (a == "--seed") {
+        ec.seed = parseU64Arg("--seed", next(), true);
+    } else if (a == "--jobs") {
+        ec.jobs = parseU32Arg("--jobs", next(), true);
+    } else if (a == "--checkpoint") {
+        forward = false;
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        ec.checkpointPath = v;
+    } else if (a == "--checkpoint-every") {
+        forward = false;
+        v = next();
+        const auto n = parseU64Arg("--checkpoint-every", v, true);
+        // Zero would disable periodic checkpointing while claiming
+        // to configure it — reject outright (the engine would clamp,
+        // but a nonsensical CLI value is a user error).
+        if (n == 0)
+            badNumericArg("--checkpoint-every (expects >= 1)", v,
+                          true);
+        ec.checkpointEvery = n;
+    } else if (a == "--out") {
+        forward = false;
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        c.outPath = v;
+    } else if (a == "--dmr") {
+        if ((v = next()) && std::strcmp(v, "off") == 0)
+            ec.dmr = dmr::DmrConfig::off();
+    } else if (a == "--no-intra") {
+        ec.dmr.intraWarp = false;
+    } else if (a == "--no-inter") {
+        ec.dmr.interWarp = false;
+    } else if (a == "--no-shuffle") {
+        ec.dmr.laneShuffle = false;
+    } else if (a == "--mapping") {
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        ec.dmr.mapping = std::strcmp(v, "linear") == 0
+                             ? dmr::MappingPolicy::Linear
+                             : dmr::MappingPolicy::CrossCluster;
+    } else if (a == "--qsize") {
+        ec.dmr.replayQSize = parseU32Arg("--qsize", next(), true);
+    } else if (a == "--recovery") {
+        ec.recovery.enabled = true;
+    } else if (a == "--recovery-budget") {
+        ec.recovery.enabled = true;
+        ec.recovery.retryBudget =
+            parseU32Arg("--recovery-budget", next(), true);
+    } else if (a == "--recovery-ring") {
+        ec.recovery.enabled = true;
+        ec.recovery.ringCapacity =
+            parseU32Arg("--recovery-ring", next(), true);
+    } else if (a == "--recovery-penalty") {
+        ec.recovery.enabled = true;
+        ec.recovery.rollbackPenalty =
+            parseU32Arg("--recovery-penalty", next(), true);
+    } else if (a == "--scheme") {
+        ec.scheme.id = parseSchemeArg(next(), true);
+    } else if (a == "--protect-frac") {
+        ec.scheme.protectFraction = parseProtectFracArg(next(), true);
+    } else if (a == "--scheme-sweep") {
+        forward = false;
+        c.sweep = true;
+    } else if (a == "--mem-model") {
+        c.memModel = parseMemModelArg(next(), true);
+    } else if (a == "--ecc") {
+        c.ecc = parseEccArg(next(), true);
+    } else if (a == "--fault-domain") {
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        if (std::strcmp(v, "exec") == 0)
+            c.domain = Domain::Exec;
+        else if (std::strcmp(v, "mem") == 0)
+            c.domain = Domain::Mem;
+        else if (std::strcmp(v, "both") == 0)
+            c.domain = Domain::Both;
+        else {
+            std::fprintf(stderr,
+                         "warped_sim: unknown fault domain '%s' "
+                         "(expected exec, mem or both)\n",
+                         v);
+            campaignUsage();
+            std::exit(2);
+        }
+    } else if (a == "--sched") {
+        if (!(v = next())) {
+            campaignUsage();
+            std::exit(2);
+        }
+        c.sched = std::strcmp(v, "gto") == 0
+                      ? arch::SchedPolicy::GreedyThenOldest
+                      : arch::SchedPolicy::LooseRoundRobin;
+        c.schedSet = true;
+    } else if (a == "--schedulers") {
+        c.schedulers = parseU32Arg("--schedulers", next(), true);
+    } else {
+        return false;
+    }
+    if (forward)
+        for (int j = start; j <= i; ++j)
+            c.passThrough.push_back(argv[j]);
+    return true;
+}
+
+/** Resolve the machine knobs into the engine configuration. */
+void
+finalizeCampaignConfig(CampaignCli &c)
+{
+    c.ec.workload = c.workload;
+    c.ec.gpu = arch::GpuConfig::testDefault();
+    c.ec.gpu.numSms = c.sms;
+    if (c.schedSet)
+        c.ec.gpu.schedPolicy = c.sched;
+    if (c.schedulers)
+        c.ec.gpu.numSchedulers = c.schedulers;
+    c.ec.gpu.memModel = c.memModel;
+    c.ec.gpu.eccKind = c.ecc;
+    c.ec.space.execEnabled = c.domain != Domain::Mem;
+    c.ec.space.memEnabled = c.domain != Domain::Exec;
+}
+
+/** Crash-atomic text file write: tmp + rename, the same discipline
+ *  as the engine's checkpoints. */
+bool
+writeTextAtomic(const std::string &path, const std::string &text)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp);
+        if (!f)
+            return false;
+        f << text;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void
+printCampaignHeader(const CampaignCli &c, const char *verb)
+{
+    std::printf("%s: %s (size %s), seed %llu, machine: %s\n", verb,
+                c.workload.c_str(),
+                c.size ? std::to_string(c.size).c_str() : "default",
+                static_cast<unsigned long long>(c.ec.seed),
+                c.ec.gpu.toString().c_str());
+    if (c.ec.recovery.enabled)
+        std::printf("  %s\n", c.ec.recovery.toString().c_str());
+    if (!c.sweep && c.ec.scheme.id != protection::SchemeId::WarpedDmr)
+        std::printf("  scheme: %s\n",
+                    protection::schemeDisplayName(c.ec.scheme.id));
+    if (c.ec.strataWindows)
+        std::printf("  stratified sampling: %u window buckets per "
+                    "unit\n",
+                    c.ec.strataWindows);
+    if (c.domain != Domain::Exec) {
+        std::printf("  fault domain: %s\n",
+                    c.domain == Domain::Mem ? "mem" : "both");
+        if (!protection::schemeCoversMemory(c.ec.scheme.id))
+            std::printf("  note: scheme %s cannot observe "
+                        "memory-data faults; ECC (%s) is the only "
+                        "memory-side protection\n",
+                        protection::schemeDisplayName(c.ec.scheme.id),
+                        arch::eccKindName(c.ec.gpu.eccKind));
+    }
+}
+
 /**
  * `campaign <workload> --scheme-sweep`: one self-contained campaign
  * per protection backend over the SAME site axes (kinds, units,
@@ -403,217 +759,13 @@ schemeSweep(const std::string &workload, unsigned size,
     return 0;
 }
 
-int
-campaignMain(int argc, char **argv)
+/** The human-readable statistics block shared by `campaign` and
+ *  `serve` — everything derives from the mergeable counters in the
+ *  report, so a folded shard aggregate prints byte-identically to a
+ *  single-process run. */
+void
+printCampaignReport(const fault::CampaignReport &rep)
 {
-    if (argc < 3) {
-        campaignUsage();
-        return 2;
-    }
-    const std::string workload = argv[2];
-
-    fault::EngineConfig ec;
-    ec.workload = workload;
-    ec.jobs = 0;
-    unsigned sms = 4;
-    unsigned size = 0;
-    unsigned schedulers = 0;
-    auto sched = arch::SchedPolicy::LooseRoundRobin;
-    bool schedSet = false;
-    bool sweep = false;
-    auto memModel = arch::MemModel::Flat;
-    auto ecc = arch::EccKind::None;
-    enum class Domain { Exec, Mem, Both };
-    auto domain = Domain::Exec;
-    std::string outPath;
-
-    for (int i = 3; i < argc; ++i) {
-        const std::string a = argv[i];
-        auto next = [&]() -> const char * {
-            return i + 1 < argc ? argv[++i] : nullptr;
-        };
-        const char *v = nullptr;
-        if (a == "--size") {
-            size = parseU32Arg("--size", next(), true);
-        } else if (a == "--sites") {
-            ec.sites = parseU64Arg("--sites", next(), true);
-        } else if (a == "--moe") {
-            ec.marginOfError = parseF64Arg("--moe", next(), true);
-        } else if (a == "--kinds") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.space.kinds.clear();
-            for (const char *p = v; *p;) {
-                const char *comma = std::strchr(p, ',');
-                const std::string k =
-                    comma ? std::string(p, comma) : std::string(p);
-                if (k == "transient")
-                    ec.space.kinds.push_back(
-                        fault::FaultKind::TransientBitFlip);
-                else if (k == "stuck0")
-                    ec.space.kinds.push_back(
-                        fault::FaultKind::StuckAtZero);
-                else if (k == "stuck1")
-                    ec.space.kinds.push_back(
-                        fault::FaultKind::StuckAtOne);
-                else
-                    return campaignUsage(), 2;
-                if (!comma)
-                    break;
-                p = comma + 1;
-            }
-            if (ec.space.kinds.empty())
-                return campaignUsage(), 2;
-        } else if (a == "--unit") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            if (std::strcmp(v, "any") == 0)
-                ec.space.units = {std::nullopt};
-            else if (std::strcmp(v, "sp") == 0)
-                ec.space.units = {isa::UnitType::SP};
-            else if (std::strcmp(v, "sfu") == 0)
-                ec.space.units = {isa::UnitType::SFU};
-            else if (std::strcmp(v, "ldst") == 0)
-                ec.space.units = {isa::UnitType::LDST};
-            else
-                return campaignUsage(), 2;
-        } else if (a == "--windows") {
-            ec.space.cycleWindows =
-                parseU32Arg("--windows", next(), true);
-        } else if (a == "--sms") {
-            sms = parseU32Arg("--sms", next(), true);
-        } else if (a == "--seed") {
-            ec.seed = parseU64Arg("--seed", next(), true);
-        } else if (a == "--jobs") {
-            ec.jobs = parseU32Arg("--jobs", next(), true);
-        } else if (a == "--checkpoint") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.checkpointPath = v;
-        } else if (a == "--checkpoint-every") {
-            ec.checkpointEvery =
-                parseU64Arg("--checkpoint-every", next(), true);
-        } else if (a == "--out") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            outPath = v;
-        } else if (a == "--dmr") {
-            if ((v = next()) && std::strcmp(v, "off") == 0)
-                ec.dmr = dmr::DmrConfig::off();
-        } else if (a == "--no-intra") {
-            ec.dmr.intraWarp = false;
-        } else if (a == "--no-inter") {
-            ec.dmr.interWarp = false;
-        } else if (a == "--no-shuffle") {
-            ec.dmr.laneShuffle = false;
-        } else if (a == "--mapping") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            ec.dmr.mapping = std::strcmp(v, "linear") == 0
-                                 ? dmr::MappingPolicy::Linear
-                                 : dmr::MappingPolicy::CrossCluster;
-        } else if (a == "--qsize") {
-            ec.dmr.replayQSize = parseU32Arg("--qsize", next(), true);
-        } else if (a == "--recovery") {
-            ec.recovery.enabled = true;
-        } else if (a == "--recovery-budget") {
-            ec.recovery.enabled = true;
-            ec.recovery.retryBudget =
-                parseU32Arg("--recovery-budget", next(), true);
-        } else if (a == "--recovery-ring") {
-            ec.recovery.enabled = true;
-            ec.recovery.ringCapacity =
-                parseU32Arg("--recovery-ring", next(), true);
-        } else if (a == "--recovery-penalty") {
-            ec.recovery.enabled = true;
-            ec.recovery.rollbackPenalty =
-                parseU32Arg("--recovery-penalty", next(), true);
-        } else if (a == "--scheme") {
-            ec.scheme.id = parseSchemeArg(next(), true);
-        } else if (a == "--protect-frac") {
-            ec.scheme.protectFraction =
-                parseProtectFracArg(next(), true);
-        } else if (a == "--scheme-sweep") {
-            sweep = true;
-        } else if (a == "--mem-model") {
-            memModel = parseMemModelArg(next(), true);
-        } else if (a == "--ecc") {
-            ecc = parseEccArg(next(), true);
-        } else if (a == "--fault-domain") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            if (std::strcmp(v, "exec") == 0)
-                domain = Domain::Exec;
-            else if (std::strcmp(v, "mem") == 0)
-                domain = Domain::Mem;
-            else if (std::strcmp(v, "both") == 0)
-                domain = Domain::Both;
-            else {
-                std::fprintf(stderr,
-                             "warped_sim: unknown fault domain '%s' "
-                             "(expected exec, mem or both)\n",
-                             v);
-                campaignUsage();
-                return 2;
-            }
-        } else if (a == "--sched") {
-            if (!(v = next()))
-                return campaignUsage(), 2;
-            sched = std::strcmp(v, "gto") == 0
-                        ? arch::SchedPolicy::GreedyThenOldest
-                        : arch::SchedPolicy::LooseRoundRobin;
-            schedSet = true;
-        } else if (a == "--schedulers") {
-            schedulers = parseU32Arg("--schedulers", next(), true);
-        } else {
-            std::fprintf(stderr, "unknown campaign option %s\n",
-                         a.c_str());
-            campaignUsage();
-            return 2;
-        }
-    }
-
-    ec.gpu = arch::GpuConfig::testDefault();
-    ec.gpu.numSms = sms;
-    if (schedSet)
-        ec.gpu.schedPolicy = sched;
-    if (schedulers)
-        ec.gpu.numSchedulers = schedulers;
-    ec.gpu.memModel = memModel;
-    ec.gpu.eccKind = ecc;
-    ec.space.execEnabled = domain != Domain::Mem;
-    ec.space.memEnabled = domain != Domain::Exec;
-
-    std::printf("campaign: %s (size %s), seed %llu, machine: %s\n",
-                workload.c_str(),
-                size ? std::to_string(size).c_str() : "default",
-                static_cast<unsigned long long>(ec.seed),
-                ec.gpu.toString().c_str());
-    if (ec.recovery.enabled)
-        std::printf("  %s\n", ec.recovery.toString().c_str());
-    if (!sweep &&
-        ec.scheme.id != protection::SchemeId::WarpedDmr)
-        std::printf("  scheme: %s\n",
-                    protection::schemeDisplayName(ec.scheme.id));
-    if (domain != Domain::Exec) {
-        std::printf("  fault domain: %s\n",
-                    domain == Domain::Mem ? "mem" : "both");
-        if (!protection::schemeCoversMemory(ec.scheme.id))
-            std::printf("  note: scheme %s cannot observe "
-                        "memory-data faults; ECC (%s) is the only "
-                        "memory-side protection\n",
-                        protection::schemeDisplayName(ec.scheme.id),
-                        arch::eccKindName(ec.gpu.eccKind));
-    }
-
-    if (sweep)
-        return schemeSweep(workload, size, ec, outPath);
-
-    fault::CampaignEngine engine(
-        [&] { return workloads::makeByNameSized(workload, size); },
-        ec);
-    const auto rep = engine.run();
-
     const auto &o = rep.overall;
     std::printf("\nsite space: %llu sites, sampled %llu "
                 "(golden span %llu cycles)\n",
@@ -722,16 +874,470 @@ campaignMain(int argc, char **argv)
         }
     }
 
-    if (!outPath.empty()) {
-        std::ofstream f(outPath);
-        if (!f) {
-            std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
-            return 1;
+    if (rep.strataWindows && !rep.stratumSizes.empty()) {
+        std::vector<std::string> labels;
+        std::vector<std::uint64_t> sizes;
+        for (const auto &[label, sz] : rep.stratumSizes) {
+            labels.push_back(label);
+            sizes.push_back(sz);
         }
-        f << rep.toJson();
-        std::printf("\nreport JSON written to %s\n", outPath.c_str());
+        stats::StratifiedEstimator est(sizes);
+        for (std::size_t h = 0; h < labels.size(); ++h) {
+            const auto it = rep.byStratum.find(labels[h]);
+            if (it == rep.byStratum.end())
+                continue;
+            est.addCounts(h,
+                          fault::CampaignReport::caught(it->second),
+                          it->second.total());
+        }
+        const auto ci = est.interval();
+        const auto pooled = est.pooledWilson();
+        std::printf("\nstratified coverage estimate:         %6.2f%%"
+                    "  95%% CI [%5.2f, %5.2f]\n",
+                    100 * est.estimate(), 100 * ci.lo, 100 * ci.hi);
+        std::printf("  (%llu strata over %llu sites; pooled Wilson "
+                    "width %.3f vs stratified %.3f)\n",
+                    static_cast<unsigned long long>(labels.size()),
+                    static_cast<unsigned long long>(est.population()),
+                    pooled.hi - pooled.lo, ci.hi - ci.lo);
     }
+}
+
+/** Write the mergeable flat-counter report JSON, crash-atomically —
+ *  a torn report file is as useless as a torn checkpoint. */
+int
+writeReportJson(const fault::CampaignReport &rep,
+                const std::string &outPath)
+{
+    if (outPath.empty())
+        return 0;
+    if (!writeTextAtomic(outPath, rep.toJson())) {
+        std::fprintf(stderr, "cannot write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("\nreport JSON written to %s\n", outPath.c_str());
     return 0;
+}
+
+int
+campaignMain(int argc, char **argv)
+{
+    if (argc < 3) {
+        campaignUsage();
+        return 2;
+    }
+    CampaignCli c;
+    c.workload = argv[2];
+    c.ec.jobs = 0;
+
+    for (int i = 3; i < argc; ++i) {
+        if (!parseCampaignArg(argc, argv, i, c)) {
+            std::fprintf(stderr, "unknown campaign option %s\n",
+                         argv[i]);
+            campaignUsage();
+            return 2;
+        }
+    }
+    finalizeCampaignConfig(c);
+    printCampaignHeader(c, "campaign");
+
+    if (c.sweep)
+        return schemeSweep(c.workload, c.size, c.ec, c.outPath);
+
+    fault::CampaignEngine engine(
+        [&] {
+            return workloads::makeByNameSized(c.workload, c.size);
+        },
+        c.ec);
+    fault::CampaignReport rep;
+    try {
+        rep = engine.run();
+    } catch (const fault::CheckpointError &e) {
+        std::fprintf(stderr,
+                     "campaign: checkpoint %s is unusable: %s\n"
+                     "  (delete it to restart from scratch, or "
+                     "restore an intact copy)\n",
+                     c.ec.checkpointPath.c_str(), e.what());
+        return 1;
+    }
+    printCampaignReport(rep);
+    return writeReportJson(rep, c.outPath);
+}
+
+/**
+ * `warped_sim shard`: run one shard of a campaign plan and write the
+ * delta document (crash-atomically). Normally spawned by `serve`, but
+ * equally runnable by hand on another machine — the delta file is the
+ * whole protocol.
+ */
+int
+shardMain(int argc, char **argv)
+{
+    if (argc < 3) {
+        serveUsage();
+        return 2;
+    }
+    CampaignCli c;
+    c.workload = argv[2];
+    c.ec.jobs = 0;
+    std::uint64_t shardIndex = 0, shardCount = 0;
+    std::uint64_t expectSig = 0;
+    bool haveIndex = false, haveCount = false, haveSig = false;
+    std::string deltaOut;
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--shard-index") {
+            shardIndex = parseU64Arg("--shard-index", next(), true);
+            haveIndex = true;
+        } else if (a == "--shard-count") {
+            shardCount = parseU64Arg("--shard-count", next(), true);
+            haveCount = true;
+        } else if (a == "--expect-signature") {
+            expectSig =
+                parseU64Arg("--expect-signature", next(), true);
+            haveSig = true;
+        } else if (a == "--delta-out") {
+            const char *v = next();
+            if (!v) {
+                serveUsage();
+                return 2;
+            }
+            deltaOut = v;
+        } else if (parseCampaignArg(argc, argv, i, c)) {
+            // campaign-level option, already recorded
+        } else {
+            std::fprintf(stderr, "unknown shard option %s\n",
+                         argv[i]);
+            serveUsage();
+            return 2;
+        }
+    }
+    if (!haveIndex || !haveCount || shardCount == 0 ||
+        shardIndex >= shardCount || deltaOut.empty() || c.sweep) {
+        serveUsage();
+        return 2;
+    }
+    finalizeCampaignConfig(c);
+    // Workers never checkpoint: resumability is the orchestrator's
+    // job, and per-worker checkpoint files would collide.
+    c.ec.checkpointPath.clear();
+
+    fault::CampaignEngine engine(
+        [&] {
+            return workloads::makeByNameSized(c.workload, c.size);
+        },
+        c.ec);
+    engine.prepare();
+    if (haveSig && engine.signature() != expectSig) {
+        std::fprintf(stderr,
+                     "shard %llu: this configuration derives "
+                     "signature %llu, the orchestrator expects %llu "
+                     "— mismatched command lines; refusing to run\n",
+                     static_cast<unsigned long long>(shardIndex),
+                     static_cast<unsigned long long>(
+                         engine.signature()),
+                     static_cast<unsigned long long>(expectSig));
+        return 3;
+    }
+    const auto plans =
+        fault::planShards(engine.plannedSites(), shardCount);
+    const auto &plan =
+        plans[static_cast<std::size_t>(shardIndex)];
+    const auto rep = engine.runRange(plan.base, plan.count);
+
+    fault::ShardDelta d;
+    d.shard = plan.index;
+    d.base = plan.base;
+    d.count = plan.count;
+    d.signature = engine.signature();
+    d.counters = rep.toMetrics().counters();
+    if (!writeTextAtomic(deltaOut, d.toJson())) {
+        std::fprintf(stderr, "shard %llu: cannot write %s\n",
+                     static_cast<unsigned long long>(shardIndex),
+                     deltaOut.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "shard %llu/%llu: runs [%llu, %llu) -> %s\n",
+                 static_cast<unsigned long long>(shardIndex),
+                 static_cast<unsigned long long>(shardCount),
+                 static_cast<unsigned long long>(plan.base),
+                 static_cast<unsigned long long>(plan.base +
+                                                 plan.count),
+                 deltaOut.c_str());
+    return 0;
+}
+
+/**
+ * `warped_sim serve`: the campaign orchestrator. Splits the plan into
+ * shards, dispatches worker processes over a work queue, folds each
+ * delta into the aggregator (checkpointing the aggregate after every
+ * fold when --state is given) and re-issues shards whose worker died.
+ */
+int
+serveMain(int argc, char **argv)
+{
+    if (argc < 3) {
+        serveUsage();
+        return 2;
+    }
+    CampaignCli c;
+    c.workload = argv[2];
+    c.ec.jobs = 0;
+    std::uint64_t shards = 0;
+    unsigned workers = 1;
+    std::uint64_t killShard = 0;
+    bool haveKill = false;
+    std::string statePath;
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v = nullptr;
+        if (a == "--shards") {
+            v = next();
+            shards = parseU64Arg("--shards", v, true);
+            if (shards == 0)
+                badNumericArg("--shards (expects >= 1)", v, true);
+        } else if (a == "--workers") {
+            v = next();
+            workers = parseU32Arg("--workers", v, true);
+            if (workers == 0)
+                badNumericArg("--workers (expects >= 1)", v, true);
+        } else if (a == "--state") {
+            if (!(v = next())) {
+                serveUsage();
+                return 2;
+            }
+            statePath = v;
+        } else if (a == "--kill-worker-for-shard") {
+            killShard =
+                parseU64Arg("--kill-worker-for-shard", next(), true);
+            haveKill = true;
+        } else if (parseCampaignArg(argc, argv, i, c)) {
+            // campaign-level option, already recorded
+        } else {
+            std::fprintf(stderr, "unknown serve option %s\n",
+                         argv[i]);
+            serveUsage();
+            return 2;
+        }
+    }
+    if (shards == 0) {
+        std::fprintf(stderr, "serve: --shards is required\n");
+        serveUsage();
+        return 2;
+    }
+    if (c.sweep) {
+        std::fprintf(stderr,
+                     "serve: --scheme-sweep is not shardable "
+                     "(run it under `warped_sim campaign`)\n");
+        return 2;
+    }
+    finalizeCampaignConfig(c);
+    // The aggregator state file is the orchestrator's resume surface;
+    // engine checkpoints belong to single-process campaigns.
+    c.ec.checkpointPath.clear();
+    printCampaignHeader(c, "serve");
+
+    fault::CampaignEngine engine(
+        [&] {
+            return workloads::makeByNameSized(c.workload, c.size);
+        },
+        c.ec);
+    engine.prepare();
+    const auto total = engine.plannedSites();
+    const auto plans = fault::planShards(total, shards);
+    fault::ShardAggregator agg(engine.skeleton(), engine.signature(),
+                               total, shards);
+    std::printf("serve: %llu runs in %llu shards, %u worker(s), "
+                "signature %llu\n",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(shards), workers,
+                static_cast<unsigned long long>(engine.signature()));
+
+    if (!statePath.empty()) {
+        std::ifstream f(statePath);
+        if (f) {
+            std::stringstream ss;
+            ss << f.rdbuf();
+            try {
+                if (agg.loadState(ss.str()))
+                    std::printf("serve: resumed %s (%llu of %llu "
+                                "shards already folded)\n",
+                                statePath.c_str(),
+                                static_cast<unsigned long long>(
+                                    agg.foldedShards()),
+                                static_cast<unsigned long long>(
+                                    agg.totalShards()));
+            } catch (const fault::ShardError &e) {
+                std::fprintf(stderr,
+                             "serve: state %s is unusable: %s\n",
+                             statePath.c_str(), e.what());
+                return 1;
+            }
+        }
+    }
+
+    std::mutex aggMu; // guards agg, attempts, fatal, state writes
+    std::map<std::uint64_t, unsigned> attempts;
+    bool fatal = false;
+    const std::string deltaPrefix =
+        statePath.empty() ? std::string("warped_serve") : statePath;
+    const std::string exe = argv[0];
+
+    // Shards past the end of the run range (more shards than runs)
+    // produce an empty delta; fold them here rather than paying a
+    // worker's golden run for zero injections.
+    for (const auto shard : agg.pendingShards()) {
+        const auto &p = plans[static_cast<std::size_t>(shard)];
+        if (p.count != 0)
+            continue;
+        fault::ShardDelta d;
+        d.shard = p.index;
+        d.base = p.base;
+        d.count = 0;
+        d.signature = engine.signature();
+        d.counters =
+            engine.runRange(p.base, 0).toMetrics().counters();
+        agg.fold(d);
+    }
+
+    sim::ShardQueue queue(agg.pendingShards());
+
+    auto workerLoop = [&]() {
+        while (const auto s = queue.acquire()) {
+            const auto shard = *s;
+            unsigned attempt = 0;
+            {
+                std::lock_guard<std::mutex> lk(aggMu);
+                attempt = ++attempts[shard];
+                if (fatal) {
+                    // Drain mode: a permanent failure already doomed
+                    // the campaign; retire the queue without spawning
+                    // more workers.
+                    queue.ack(shard);
+                    continue;
+                }
+            }
+            const std::string deltaPath =
+                deltaPrefix + ".shard" + std::to_string(shard) +
+                ".json";
+            std::remove(deltaPath.c_str());
+            std::vector<std::string> cargv = {exe, "shard",
+                                              c.workload};
+            cargv.insert(cargv.end(), c.passThrough.begin(),
+                         c.passThrough.end());
+            cargv.push_back("--shard-index");
+            cargv.push_back(std::to_string(shard));
+            cargv.push_back("--shard-count");
+            cargv.push_back(std::to_string(shards));
+            cargv.push_back("--expect-signature");
+            cargv.push_back(std::to_string(engine.signature()));
+            cargv.push_back("--delta-out");
+            cargv.push_back(deltaPath);
+
+            sim::Subprocess proc(cargv);
+            if (haveKill && shard == killShard && attempt == 1) {
+                // Fault drill: the worker dies before it can write a
+                // delta, forcing the re-issue path.
+                proc.kill();
+            }
+            const auto res = proc.wait();
+
+            bool folded = false;
+            if (res.ok()) {
+                std::ifstream f(deltaPath);
+                std::stringstream ss;
+                ss << f.rdbuf();
+                try {
+                    const auto d =
+                        fault::ShardDelta::fromJson(ss.str());
+                    std::lock_guard<std::mutex> lk(aggMu);
+                    agg.fold(d);
+                    if (!statePath.empty() &&
+                        !writeTextAtomic(statePath, agg.stateJson()))
+                        warped_warn("serve: cannot write state file ",
+                                    statePath);
+                    folded = true;
+                } catch (const fault::ShardError &e) {
+                    std::fprintf(stderr,
+                                 "serve: shard %llu delta rejected: "
+                                 "%s\n",
+                                 static_cast<unsigned long long>(
+                                     shard),
+                                 e.what());
+                }
+                std::remove(deltaPath.c_str());
+            }
+            if (folded) {
+                queue.ack(shard);
+                continue;
+            }
+            if (!res.signaled && res.exitCode == 3) {
+                // The worker derived a different configuration
+                // signature; retrying cannot help.
+                std::lock_guard<std::mutex> lk(aggMu);
+                fatal = true;
+                queue.ack(shard);
+                continue;
+            }
+            if (attempt >= 3) {
+                std::fprintf(stderr,
+                             "serve: shard %llu failed %u times; "
+                             "giving up\n",
+                             static_cast<unsigned long long>(shard),
+                             attempt);
+                std::lock_guard<std::mutex> lk(aggMu);
+                fatal = true;
+                queue.ack(shard);
+                continue;
+            }
+            std::fprintf(stderr,
+                         "serve: shard %llu worker %s; re-issuing\n",
+                         static_cast<unsigned long long>(shard),
+                         res.signaled ? "was killed" : "failed");
+            queue.fail(shard);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(workerLoop);
+    for (auto &t : pool)
+        t.join();
+
+    if (fatal || !agg.complete()) {
+        std::fprintf(stderr,
+                     "serve: campaign incomplete (%llu of %llu "
+                     "shards folded)%s\n",
+                     static_cast<unsigned long long>(
+                         agg.foldedShards()),
+                     static_cast<unsigned long long>(
+                         agg.totalShards()),
+                     statePath.empty()
+                         ? ""
+                         : "; state file kept for resume");
+        return 1;
+    }
+    if (const auto r = queue.failures())
+        std::printf("serve: %llu shard re-issue(s) after worker "
+                    "death\n",
+                    static_cast<unsigned long long>(r));
+
+    const auto rep = agg.report();
+    printCampaignReport(rep);
+    const int rc = writeReportJson(rep, c.outPath);
+    if (rc == 0 && !statePath.empty())
+        std::remove(statePath.c_str());
+    return rc;
 }
 
 void
@@ -1053,6 +1659,14 @@ main(int argc, char **argv)
     if (argc > 1 && std::strcmp(argv[1], "campaign") == 0) {
         setVerbose(false);
         return campaignMain(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+        setVerbose(false);
+        return serveMain(argc, argv);
+    }
+    if (argc > 1 && std::strcmp(argv[1], "shard") == 0) {
+        setVerbose(false);
+        return shardMain(argc, argv);
     }
 
     Options o;

@@ -11,6 +11,7 @@
 #include "common/rng.hh"
 #include "gpu/gpu.hh"
 #include "sim/run_pool.hh"
+#include "stats/accumulator.hh"
 
 namespace warped {
 namespace fault {
@@ -68,6 +69,9 @@ struct RunRecord
     bool aborted = false;
     std::uint64_t runIndex = 0;
     std::uint64_t siteIndex = 0;
+    /** Stratum label under stratified sampling; empty when the
+     *  campaign samples uniformly. */
+    std::string stratumLabel;
 };
 
 void
@@ -105,40 +109,6 @@ restoreCounts(const std::map<std::string, std::uint64_t> &kv,
     c.eccCorrected = get(".ecc_corrected");
     c.sdc = get(".sdc");
     c.due = get(".due");
-}
-
-/**
- * Parse every `"key": <unsigned integer>` pair out of a flat JSON
- * document (quoted string values are skipped). This is the inverse
- * of the checkpoint writer below, which only ever emits that shape.
- */
-std::map<std::string, std::uint64_t>
-parseFlatCounters(const std::string &text)
-{
-    std::map<std::string, std::uint64_t> kv;
-    std::size_t i = 0;
-    while ((i = text.find('"', i)) != std::string::npos) {
-        const auto end = text.find('"', i + 1);
-        if (end == std::string::npos)
-            break;
-        const std::string key = text.substr(i + 1, end - i - 1);
-        std::size_t j = end + 1;
-        while (j < text.size() &&
-               (text[j] == ':' || std::isspace(
-                                      static_cast<unsigned char>(
-                                          text[j]))))
-            ++j;
-        if (j < text.size() &&
-            std::isdigit(static_cast<unsigned char>(text[j]))) {
-            std::uint64_t v = 0;
-            while (j < text.size() &&
-                   std::isdigit(static_cast<unsigned char>(text[j])))
-                v = v * 10 + (text[j++] - '0');
-            kv[key] = v;
-        }
-        i = j;
-    }
-    return kv;
 }
 
 } // namespace
@@ -311,6 +281,19 @@ CampaignReport::toMetrics() const
         emitCounts(m, std::string("campaign.memkind.") +
                           mem::memFaultKindSlug(kind),
                    c);
+    // Stratified-sampling surface, gated on strataWindows so uniform
+    // campaigns render byte-identically to pre-strata ones. The
+    // campaign.strata.* keys are configuration echo (bucket count and
+    // stratum populations — NOT additive across shard deltas); the
+    // campaign.stratum.<label>.* keys are per-stratum outcome tallies
+    // and sum like every other counter.
+    if (strataWindows) {
+        m.counter("campaign.strata.windows") = strataWindows;
+        for (const auto &[label, n] : stratumSizes)
+            m.counter("campaign.strata.size." + label) = n;
+        for (const auto &[label, c] : byStratum)
+            emitCounts(m, "campaign.stratum." + label, c);
+    }
     for (unsigned b = 0; b < kLatencyBuckets; ++b) {
         if (const auto n = latencyHist.count(b)) {
             char key[48];
@@ -393,6 +376,36 @@ CampaignReport::toMetrics() const
         m.gauge(std::string("campaign.kind.") + kindSlug(kind) +
                 ".coverage") = c.coverage();
 
+    // The stratified coverage estimator (Cochran): per-stratum
+    // proportions combined with population weights, plus per-stratum
+    // Wilson intervals. Same gate as the stratum counters above.
+    if (strataWindows && !stratumSizes.empty()) {
+        std::vector<std::uint64_t> sizes;
+        sizes.reserve(stratumSizes.size());
+        for (const auto &[label, n] : stratumSizes)
+            sizes.push_back(n);
+        stats::StratifiedEstimator est(std::move(sizes));
+        std::size_t h = 0;
+        for (const auto &[label, n] : stratumSizes) {
+            const auto it = byStratum.find(label);
+            if (it != byStratum.end())
+                est.addCounts(h, caught(it->second),
+                              it->second.total());
+            ++h;
+        }
+        const auto ci = est.interval();
+        m.gauge("campaign.coverage.stratified") = est.estimate();
+        m.gauge("campaign.coverage.stratified_lo") = ci.lo;
+        m.gauge("campaign.coverage.stratified_hi") = ci.hi;
+        for (const auto &[label, c] : byStratum) {
+            const auto w = c.coverageCi();
+            const std::string p = "campaign.stratum." + label;
+            m.gauge(p + ".coverage") = c.coverage();
+            m.gauge(p + ".coverage.wilson_lo") = w.lo;
+            m.gauge(p + ".coverage.wilson_hi") = w.hi;
+        }
+    }
+
     // The memory-side protection surface, gated on memEnabled so
     // execution-only reports render byte-identically to pre-memory
     // builds: how much the ECC absorbed, and — the question the
@@ -446,13 +459,17 @@ CampaignEngine::CampaignEngine(WorkloadFactory factory,
 
 namespace {
 
-/** One injected experiment (thread-safe: everything is run-local). */
+/** One injected experiment (thread-safe: everything is run-local).
+ *  With @p strat set the site is drawn within the run's stratum;
+ *  either way the draw is a pure function of (seed, run_index). */
 RunRecord
 runOne(std::uint64_t run_index, const FaultSiteSpace &space,
-       Cycle span, const WorkloadFactory &factory,
-       const EngineConfig &cfg)
+       const StratifiedSpace *strat, Cycle span,
+       const WorkloadFactory &factory, const EngineConfig &cfg)
 {
-    const auto siteIdx = space.sampleIndex(cfg.seed, run_index);
+    const auto siteIdx =
+        strat ? strat->siteForRun(cfg.seed, run_index)
+              : space.sampleIndex(cfg.seed, run_index);
     const FaultSpec spec = space.site(siteIdx);
 
     RunRecord rec;
@@ -460,6 +477,9 @@ runOne(std::uint64_t run_index, const FaultSiteSpace &space,
     rec.unit = spec.unit;
     rec.runIndex = run_index;
     rec.siteIndex = siteIdx;
+    if (strat)
+        rec.stratumLabel =
+            strat->stratum(strat->stratumOfRun(run_index)).label;
 
     if (spec.isMemory) {
         // Memory-cell upset: no execution-side hook; the fault lives
@@ -589,6 +609,8 @@ fold(CampaignReport &rep, const RunRecord &rec)
         rep.byKind[rec.kind].add(rec.cls, rec.activated);
         rep.byUnit[unitLabel(rec.unit)].add(rec.cls, rec.activated);
     }
+    if (!rec.stratumLabel.empty())
+        rep.byStratum[rec.stratumLabel].add(rec.cls, rec.activated);
     if (rec.hasLatency) {
         rep.latencyHist.add(latencyBucket(rec.latency));
         rep.latencySum += rec.latency;
@@ -670,6 +692,14 @@ configSignature(const EngineConfig &cfg, const FaultSiteSpace &space,
         mix(cfg.space.execEnabled ? 1 : 0);
         mix(cfg.space.memEnabled ? 1 : 0);
     }
+    // Stratified sampling changes which site run i draws, so a
+    // stratified checkpoint must never resume a uniform campaign (or
+    // vice versa). Mixed only when on, preserving every pre-strata
+    // signature.
+    if (cfg.strataWindows) {
+        mix(0x57a7);
+        mix(cfg.strataWindows);
+    }
     return h;
 }
 
@@ -679,10 +709,15 @@ writeCheckpoint(const std::string &path, const CampaignReport &rep,
 {
     // Counters only (integers round-trip exactly; every gauge is
     // derivable from them), plus the header the loader validates.
+    // Version 2 adds a payload fingerprint so a torn or damaged file
+    // is *detected* on resume instead of silently restoring a prefix
+    // of itself.
     auto m = rep.toMetrics();
     trace::MetricsRegistry state;
-    state.counter("campaign.checkpoint.version") = 1;
+    state.counter("campaign.checkpoint.version") = 2;
     state.counter("campaign.checkpoint.signature") = signature;
+    state.counter("campaign.checkpoint.fingerprint") =
+        trace::countersFingerprint(m.counters());
     for (const auto &[k, v] : m.counters())
         state.counter(k) = v;
     const std::string tmp = path + ".tmp";
@@ -694,61 +729,151 @@ writeCheckpoint(const std::string &path, const CampaignReport &rep,
         }
         f << state.toJson();
     }
-    // Atomic-enough swap: a torn write never clobbers a good state.
-    std::remove(path.c_str());
+    // Crash-atomic swap: rename(2) replaces the destination in one
+    // step, so every observable state of `path` is either the old
+    // complete checkpoint or the new complete one. (An earlier
+    // version removed the destination first — a crash in that window
+    // left no checkpoint at all.)
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         warped_warn("campaign: cannot move checkpoint into ", path);
 }
 
 /** Load @p path into @p rep; false (and an untouched report) when
- *  the file is absent or does not match @p signature. */
+ *  the file is absent or is a stale checkpoint (version or signature
+ *  mismatch — warned and ignored). Throws CheckpointError when the
+ *  file exists but is torn or fails its integrity fingerprint. */
 bool
-loadCheckpoint(const std::string &path, const EngineConfig &cfg,
-               std::uint64_t signature, CampaignReport &rep)
+loadCheckpoint(const std::string &path, std::uint64_t signature,
+               CampaignReport &rep)
 {
     std::ifstream f(path);
     if (!f)
         return false;
     std::stringstream ss;
     ss << f.rdbuf();
-    const auto kv = parseFlatCounters(ss.str());
+    const std::string text = ss.str();
+    if (!trace::flatJsonComplete(text))
+        throw CheckpointError(
+            "checkpoint " + path +
+            " is truncated (no closing '}'): the previous writer "
+            "crashed mid-write; delete the file to restart from zero");
+    auto kv = trace::parseFlatCounters(text);
 
     const auto get = [&](const char *key) -> std::uint64_t {
         const auto it = kv.find(key);
         return it == kv.end() ? 0 : it->second;
     };
-    if (get("campaign.checkpoint.version") != 1 ||
+    if (get("campaign.checkpoint.version") != 2 ||
         get("campaign.checkpoint.signature") != signature) {
         warped_warn("campaign: checkpoint ", path,
                     " does not match this configuration; ignoring");
         return false;
     }
+    const auto fingerprint = get("campaign.checkpoint.fingerprint");
+    kv.erase("campaign.checkpoint.version");
+    kv.erase("campaign.checkpoint.signature");
+    kv.erase("campaign.checkpoint.fingerprint");
+    if (fingerprint != trace::countersFingerprint(kv))
+        throw CheckpointError(
+            "checkpoint " + path +
+            " fails its integrity fingerprint: the file is damaged; "
+            "delete it to restart from zero");
 
-    rep.sampled = get("campaign.sampled");
-    rep.spaceSize = get("campaign.space.size");
-    rep.span = get("campaign.span");
+    restoreReportCounters(kv, rep);
+    return true;
+}
+
+} // namespace
+
+void
+restoreReportCounters(const std::map<std::string, std::uint64_t> &kv,
+                      CampaignReport &rep)
+{
+    const auto get = [&](const std::string &key) -> std::uint64_t {
+        const auto it = kv.find(key);
+        return it == kv.end() ? 0 : it->second;
+    };
+    const auto getInto = [&](const std::string &key,
+                             std::uint64_t &out) {
+        const auto it = kv.find(key);
+        if (it != kv.end())
+            out = it->second;
+    };
+    getInto("campaign.sampled", rep.sampled);
+    getInto("campaign.space.size", rep.spaceSize);
+    getInto("campaign.span", rep.span);
     restoreCounts(kv, "campaign.outcome", rep.overall);
-    for (const auto k : cfg.space.kinds) {
+
+    // Breakdown labels are discovered from the key set itself, so
+    // this restorer needs no engine configuration (the shard
+    // aggregator runs it over summed delta counters).
+    static constexpr std::pair<const char *, FaultKind> kKinds[] = {
+        {"transient", FaultKind::TransientBitFlip},
+        {"stuck0", FaultKind::StuckAtZero},
+        {"stuck1", FaultKind::StuckAtOne},
+    };
+    for (const auto &[slug, kind] : kKinds) {
         OutcomeCounts c;
-        restoreCounts(kv, std::string("campaign.kind.") + kindSlug(k),
-                      c);
+        restoreCounts(kv, std::string("campaign.kind.") + slug, c);
         if (c.total())
-            rep.byKind[k] = c;
+            rep.byKind[kind] = c;
     }
-    for (const auto &u : cfg.space.units) {
+    static constexpr std::pair<const char *, mem::MemFaultKind>
+        kMemKinds[] = {
+            {"membit", mem::MemFaultKind::Bit},
+            {"memdouble", mem::MemFaultKind::DoubleBit},
+            {"memchip", mem::MemFaultKind::ChipBurst},
+        };
+    for (const auto &[slug, kind] : kMemKinds) {
         OutcomeCounts c;
-        restoreCounts(kv, "campaign.unit." + unitLabel(u), c);
+        restoreCounts(kv, std::string("campaign.memkind.") + slug, c);
         if (c.total())
-            rep.byUnit[unitLabel(u)] = c;
+            rep.byMemKind[kind] = c;
     }
-    for (const auto k : cfg.space.memKinds) {
-        OutcomeCounts c;
-        restoreCounts(kv, std::string("campaign.memkind.") +
-                              mem::memFaultKindSlug(k),
-                      c);
-        if (c.total())
-            rep.byMemKind[k] = c;
+    // Unit labels carry no '.', so the label is the segment right
+    // after the prefix.
+    {
+        const std::string prefix = "campaign.unit.";
+        for (auto it = kv.lower_bound(prefix);
+             it != kv.end() &&
+             it->first.compare(0, prefix.size(), prefix) == 0;
+             ++it) {
+            const auto dot = it->first.find('.', prefix.size());
+            if (dot == std::string::npos)
+                continue;
+            const std::string label =
+                it->first.substr(prefix.size(), dot - prefix.size());
+            if (rep.byUnit.count(label))
+                continue;
+            OutcomeCounts c;
+            restoreCounts(kv, prefix + label, c);
+            if (c.total())
+                rep.byUnit[label] = c;
+        }
     }
+    // Stratum labels DO contain dots ("any.w03", "sp.perm"), so they
+    // are recovered from the campaign.strata.size.<label> echo keys
+    // (label = the whole remainder) — and, because the shard
+    // aggregator deliberately drops echo keys from its counter sum,
+    // also from the labels the caller's skeleton already carries.
+    {
+        const std::string prefix = "campaign.strata.size.";
+        for (auto it = kv.lower_bound(prefix);
+             it != kv.end() &&
+             it->first.compare(0, prefix.size(), prefix) == 0;
+             ++it)
+            rep.stratumSizes[it->first.substr(prefix.size())] =
+                it->second;
+        for (const auto &[label, n] : rep.stratumSizes) {
+            OutcomeCounts c;
+            restoreCounts(kv, "campaign.stratum." + label, c);
+            if (c.total())
+                rep.byStratum[label] = c;
+        }
+    }
+    if (const auto w = get("campaign.strata.windows"))
+        rep.strataWindows = static_cast<unsigned>(w);
+
     for (unsigned b = 0; b < kLatencyBuckets; ++b) {
         char key[48];
         std::snprintf(key, sizeof key, "campaign.latency.hist.b%02u",
@@ -771,14 +896,14 @@ loadCheckpoint(const std::string &path, const EngineConfig &cfg,
     rep.rollbacks = get("campaign.recovery.rollbacks");
     rep.giveUps = get("campaign.recovery.giveups");
     rep.abortedRuns = get("campaign.aborted_runs");
-    return true;
 }
 
-} // namespace
-
-CampaignReport
-CampaignEngine::run()
+void
+CampaignEngine::prepare()
 {
+    if (prepared_)
+        return;
+
     // 1. Golden reference run: validates the fault-free machine
     //    against the CPU reference and yields the cycle span that
     //    anchors transient placement, the watchdog budget, and the
@@ -811,34 +936,95 @@ CampaignEngine::run()
         sc.memBanks = std::max(1u, cfg_.gpu.memBanks);
         sc.memRowWords = std::max(1u, cfg_.gpu.memRowBytes / 4);
     }
-    const FaultSiteSpace space(sc, span);
+    span_ = span;
+    space_.emplace(sc, span);
     planned_ = cfg_.sites
                    ? cfg_.sites
                    : stats::sampleSizeForMargin(cfg_.marginOfError,
                                                 stats::kZ95, 0.5,
-                                                space.size());
-    const auto signature = configSignature(cfg_, space, planned_);
+                                                space_->size());
+    if (cfg_.strataWindows) {
+        strat_.emplace(*space_, cfg_.strataWindows);
+        strat_->allocate(planned_);
+    }
+    signature_ = configSignature(cfg_, *space_, planned_);
+    prepared_ = true;
+}
 
+CampaignReport
+CampaignEngine::skeleton()
+{
+    prepare();
     CampaignReport rep;
-    rep.spaceSize = space.size();
-    rep.span = span;
+    rep.spaceSize = space_->size();
+    rep.span = span_;
     rep.recoveryEnabled = cfg_.recovery.enabled;
     rep.scheme = cfg_.scheme;
-    rep.memEnabled = sc.memEnabled;
+    rep.memEnabled = space_->config().memEnabled;
+    if (strat_) {
+        rep.strataWindows = strat_->windowBuckets();
+        for (std::size_t h = 0; h < strat_->strata(); ++h)
+            rep.stratumSizes[strat_->stratum(h).label] =
+                strat_->stratum(h).size;
+    }
+    return rep;
+}
 
-    // 3. Resume from a matching checkpoint when one exists.
+CampaignReport
+CampaignEngine::runRange(std::uint64_t base, std::uint64_t count)
+{
+    CampaignReport rep = skeleton();
+    if (base + count > planned_ || base + count < base)
+        warped_fatal("campaign: shard range [", base, ", ",
+                     base + count, ") exceeds the ", planned_,
+                     " planned runs");
+    sim::RunPool pool(cfg_.jobs);
+    std::vector<RunRecord> records(static_cast<std::size_t>(count));
+    pool.parallelFor(static_cast<std::size_t>(count),
+                     [&](std::size_t i) {
+                         records[i] = runOne(
+                             base + i, *space_,
+                             strat_ ? &*strat_ : nullptr, span_,
+                             factory_, cfg_);
+                     });
+    for (const auto &rec : records)
+        fold(rep, rec);
+    return rep;
+}
+
+CampaignReport
+CampaignEngine::run()
+{
+    CampaignReport rep = skeleton();
+
+    // 3. Resume from a matching checkpoint when one exists. A torn
+    //    or damaged checkpoint throws CheckpointError — see
+    //    loadCheckpoint.
     if (!cfg_.checkpointPath.empty())
-        loadCheckpoint(cfg_.checkpointPath, cfg_, signature, rep);
+        loadCheckpoint(cfg_.checkpointPath, signature_, rep);
     if (rep.sampled > planned_)
         warped_fatal("campaign: checkpoint has ", rep.sampled,
                      " runs but only ", planned_, " are planned");
 
     // 4. Chunked fan-out: each chunk runs on the pool, folds in
     //    submission-index order (so the accumulated state is
-    //    worker-count-independent), then checkpoints.
+    //    worker-count-independent), then checkpoints. Nonsensical
+    //    chunk sizes are clamped (zero would never checkpoint inside
+    //    the loop; larger-than-campaign would only checkpoint at the
+    //    very end — both defeat the point of checkpointing).
     sim::RunPool pool(cfg_.jobs);
-    const std::uint64_t chunkSize =
-        cfg_.checkpointEvery ? cfg_.checkpointEvery : 1000;
+    std::uint64_t chunkSize = cfg_.checkpointEvery;
+    if (chunkSize == 0) {
+        warped_warn("campaign: checkpointEvery 0 would never "
+                    "checkpoint; clamping to 1000");
+        chunkSize = 1000;
+    }
+    if (planned_ && chunkSize > planned_) {
+        warped_warn("campaign: checkpointEvery ", chunkSize,
+                    " exceeds the ", planned_,
+                    " planned runs; clamping");
+        chunkSize = planned_;
+    }
     std::vector<RunRecord> records;
     std::uint64_t chunks = 0;
     while (rep.sampled < planned_) {
@@ -847,14 +1033,15 @@ CampaignEngine::run()
         records.assign(static_cast<std::size_t>(n), RunRecord{});
         pool.parallelFor(static_cast<std::size_t>(n),
                          [&](std::size_t i) {
-                             records[i] =
-                                 runOne(base + i, space, span,
-                                        factory_, cfg_);
+                             records[i] = runOne(
+                                 base + i, *space_,
+                                 strat_ ? &*strat_ : nullptr, span_,
+                                 factory_, cfg_);
                          });
         for (const auto &rec : records)
             fold(rep, rec);
         if (!cfg_.checkpointPath.empty())
-            writeCheckpoint(cfg_.checkpointPath, rep, signature);
+            writeCheckpoint(cfg_.checkpointPath, rep, signature_);
         if (cfg_.stopAfterChunks && ++chunks >= cfg_.stopAfterChunks)
             break;
     }

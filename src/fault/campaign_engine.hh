@@ -51,12 +51,15 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "arch/gpu_config.hh"
 #include "dmr/dmr_config.hh"
 #include "fault/site_space.hh"
+#include "fault/stratified.hh"
 #include "protection/scheme_registry.hh"
 #include "recovery/recovery_config.hh"
 #include "stats/confidence.hh"
@@ -66,6 +69,20 @@
 
 namespace warped {
 namespace fault {
+
+/**
+ * A campaign state file (checkpoint or shard delta) that exists but
+ * is structurally torn or fails its integrity fingerprint. Distinct
+ * from a *stale* checkpoint (configuration-signature mismatch), which
+ * is warned about and ignored: a torn file means the previous writer
+ * crashed mid-write or the file was damaged, and silently restarting
+ * from zero would destroy the very progress checkpointing exists to
+ * protect — so it is an error the caller must see.
+ */
+struct CheckpointError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
 
 /** The campaign outcome taxonomy (see file comment). */
 enum class OutcomeClass
@@ -204,6 +221,18 @@ struct CampaignReport
      *  byte-identical to pre-memory ones. */
     bool memEnabled = false;
 
+    /** Window buckets of the stratified sampler (0 = uniform
+     *  sampling). Gates every stratum key in toMetrics, so
+     *  non-stratified reports stay byte-identical to pre-strata
+     *  ones. */
+    unsigned strataWindows = 0;
+    /** Per-stratum outcome tallies, keyed by StratifiedSpace labels
+     *  ("any.w03", "sp.perm", "mem.w01", ...). */
+    std::map<std::string, OutcomeCounts> byStratum;
+    /** Stratum population sizes N_h — the weights of the stratified
+     *  estimator; filled for every stratum, sampled or not. */
+    std::map<std::string, std::uint64_t> stratumSizes;
+
     /** Cycles from firstActivationCycle() to the first DMR detection
      *  event, log2-bucketed (see latencyBucket). */
     stats::Histogram latencyHist{kLatencyBuckets};
@@ -256,6 +285,13 @@ struct CampaignReport
     /** Mean repair cost over Recovered runs, in cycles. */
     double meanRecoveryCycles() const;
 
+    /** Caught (detected + recovered + ecc-corrected) runs — the
+     *  "success" of every proportion this report estimates. */
+    static std::uint64_t caught(const OutcomeCounts &c)
+    {
+        return c.detected + c.recovered + c.eccCorrected;
+    }
+
     /**
      * Flat metrics rendering: campaign.* counters and gauges in a
      * trace::MetricsRegistry (sorted keys, fixed precision).
@@ -265,6 +301,20 @@ struct CampaignReport
     /** toMetrics() rendered as the registry's JSON document. */
     std::string toJson() const;
 };
+
+/**
+ * Rebuild every counter-derived field of @p rep from a flat counter
+ * map (the inverse of toMetrics' counter emission). Keys absent from
+ * @p kv leave the corresponding field untouched, so callers seed
+ * @p rep with a configuration skeleton first. The breakdown labels
+ * (kinds, units, memory kinds, strata) are discovered by scanning the
+ * key set — no configuration needed. Shared by the checkpoint loader
+ * and the shard aggregator; gauges are never restored (they are
+ * derived, and toMetrics recomputes them exactly).
+ */
+void
+restoreReportCounters(const std::map<std::string, std::uint64_t> &kv,
+                      CampaignReport &rep);
 
 /** Workload factory: a fresh instance per run (runs execute
  *  concurrently). */
@@ -300,6 +350,12 @@ struct EngineConfig
     /** Target 95 % margin of error when sites == 0. */
     double marginOfError = 0.01;
 
+    /** Stratified sampling: transient window buckets per unit (see
+     *  fault::StratifiedSpace). 0 = uniform i.i.d. sampling — the
+     *  pre-strata behaviour, byte-identical reports and checkpoint
+     *  signatures. */
+    unsigned strataWindows = 0;
+
     /** Worker threads (sim::RunPool semantics: 0 = hardware
      *  concurrency, 1 = sequential). The report is byte-identical
      *  for every value. */
@@ -327,17 +383,63 @@ class CampaignEngine
      * Run the campaign (resuming from cfg.checkpointPath if the file
      * exists and matches) and return the final report. Also usable
      * for a partial run via EngineConfig::stopAfterChunks.
+     *
+     * @throws CheckpointError when cfg.checkpointPath exists but is
+     *         torn or fails its integrity fingerprint (a *stale*
+     *         checkpoint — config mismatch — is warned and ignored
+     *         instead).
      */
     CampaignReport run();
 
+    /**
+     * Resolve the campaign plan without running any injections: the
+     * golden reference run, the site space, the planned sample size,
+     * the stratified sampler (when cfg.strataWindows > 0) and the
+     * configuration signature. Idempotent; run() and runRange() call
+     * it implicitly. Workers and the shard orchestrator call it
+     * directly — each process derives the identical plan from the
+     * identical configuration, and the signature proves it.
+     */
+    void prepare();
+
+    /**
+     * Classify campaign runs [base, base + count) and fold them — in
+     * run-index order — into a fresh delta report (a skeleton() plus
+     * exactly those runs). The site drawn for run i is a pure
+     * function of (seed, i), so a shard's delta is independent of
+     * which process runs it, and summing delta counters over any
+     * disjoint cover of [0, plannedSites()) reproduces the
+     * single-process report exactly.
+     */
+    CampaignReport runRange(std::uint64_t base, std::uint64_t count);
+
+    /** A zero-run report carrying every configuration-derived field
+     *  (space size, span, gating flags, stratum sizes). */
+    CampaignReport skeleton();
+
     /** The sampled site count the configuration resolves to (derived
-     *  from marginOfError when sites == 0); valid after run(). */
+     *  from marginOfError when sites == 0); valid after prepare(). */
     std::uint64_t plannedSites() const { return planned_; }
+
+    /** Configuration signature checkpoints and shard deltas must
+     *  match; valid after prepare(). */
+    std::uint64_t signature() const { return signature_; }
+
+    /** Golden-run cycle span; valid after prepare(). */
+    std::uint64_t span() const { return span_; }
+
+    /** The resolved site space; valid after prepare(). */
+    const FaultSiteSpace &space() const { return *space_; }
 
   private:
     WorkloadFactory factory_;
     EngineConfig cfg_;
     std::uint64_t planned_ = 0;
+    std::uint64_t signature_ = 0;
+    std::uint64_t span_ = 0;
+    std::optional<FaultSiteSpace> space_;
+    std::optional<StratifiedSpace> strat_;
+    bool prepared_ = false;
 };
 
 } // namespace fault

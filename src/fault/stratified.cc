@@ -1,0 +1,243 @@
+#include "fault/stratified.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/opcode.hh"
+#include "stats/accumulator.hh"
+
+namespace warped {
+namespace fault {
+
+namespace {
+
+bool
+isTransient(FaultKind k)
+{
+    return k == FaultKind::TransientBitFlip;
+}
+
+std::string
+unitSlug(const std::optional<isa::UnitType> &u)
+{
+    if (!u)
+        return "any";
+    std::string s = isa::unitTypeName(*u);
+    for (auto &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+bucketLabel(const std::string &prefix, unsigned t)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, ".w%02u", t);
+    return prefix + buf;
+}
+
+} // namespace
+
+StratifiedSpace::StratifiedSpace(const FaultSiteSpace &space,
+                                 unsigned window_buckets)
+{
+    const SiteSpaceConfig &cfg = space.config();
+    const unsigned windows = space.cycleWindows();
+    buckets_ = std::max(1u, std::min(window_buckets, windows));
+
+    // Kind-block bases replicate FaultSiteSpace::site()'s layout: the
+    // execution block is ordered by cfg.kinds, transient kinds occupy
+    // place*windows sites, stuck-at kinds place sites, where place =
+    // sms * lanes * bits * units. Within a kind block the unit axis
+    // is outermost, so a (kind, unit) chunk is contiguous.
+    const std::uint64_t place = std::uint64_t{cfg.numSms} *
+                                cfg.warpSize * cfg.bits *
+                                cfg.units.size();
+    const std::uint64_t perUnit =
+        std::uint64_t{cfg.numSms} * cfg.warpSize * cfg.bits;
+
+    std::vector<std::uint64_t> kindBase(cfg.kinds.size(), 0);
+    {
+        std::uint64_t base = 0;
+        for (std::size_t i = 0;
+             cfg.execEnabled && i < cfg.kinds.size(); ++i) {
+            kindBase[i] = base;
+            base += isTransient(cfg.kinds[i]) ? place * windows
+                                              : place;
+        }
+    }
+
+    const auto bucketRange = [&](unsigned t) {
+        const std::uint64_t w0 = std::uint64_t{windows} * t / buckets_;
+        const std::uint64_t w1 =
+            std::uint64_t{windows} * (t + 1) / buckets_;
+        return std::pair<std::uint64_t, std::uint64_t>(w0, w1);
+    };
+
+    bool anyStuck = false, anyTransient = false;
+    for (const auto k : cfg.kinds)
+        (isTransient(k) ? anyTransient : anyStuck) = true;
+
+    if (cfg.execEnabled) {
+        for (std::size_t u = 0; u < cfg.units.size(); ++u) {
+            const std::string uslug = unitSlug(cfg.units[u]);
+            if (anyTransient) {
+                for (unsigned t = 0; t < buckets_; ++t) {
+                    Stratum s;
+                    s.label = bucketLabel(uslug, t);
+                    const auto [w0, w1] = bucketRange(t);
+                    for (std::size_t i = 0; i < cfg.kinds.size();
+                         ++i) {
+                        if (!isTransient(cfg.kinds[i]))
+                            continue;
+                        Block b;
+                        b.base = kindBase[i] +
+                                 u * perUnit * windows + w0;
+                        b.stride = windows;
+                        b.innerCount = w1 - w0;
+                        b.outerCount = w1 > w0 ? perUnit : 0;
+                        if (b.size())
+                            s.blocks.push_back(b);
+                    }
+                    for (const auto &b : s.blocks)
+                        s.size += b.size();
+                    strata_.push_back(std::move(s));
+                }
+            }
+            if (anyStuck) {
+                Stratum s;
+                s.label = uslug + ".perm";
+                for (std::size_t i = 0; i < cfg.kinds.size(); ++i) {
+                    if (isTransient(cfg.kinds[i]))
+                        continue;
+                    Block b;
+                    b.base = kindBase[i] + u * perUnit;
+                    b.stride = 1;
+                    b.innerCount = 1;
+                    b.outerCount = perUnit;
+                    s.blocks.push_back(b);
+                }
+                for (const auto &b : s.blocks)
+                    s.size += b.size();
+                strata_.push_back(std::move(s));
+            }
+        }
+    }
+
+    if (space.memSites()) {
+        // Memory block layout (site_space.cc): index = execSites +
+        // ((kind*words + word)*bits + bit)*windows + w — the window
+        // axis is innermost, so a window bucket is one lattice.
+        const std::uint64_t rows = space.memSites() / windows;
+        for (unsigned t = 0; t < buckets_; ++t) {
+            const auto [w0, w1] = bucketRange(t);
+            Stratum s;
+            s.label = bucketLabel("mem", t);
+            Block b;
+            b.base = space.execSites() + w0;
+            b.stride = windows;
+            b.innerCount = w1 - w0;
+            b.outerCount = w1 > w0 ? rows : 0;
+            if (b.size())
+                s.blocks.push_back(b);
+            s.size = b.size();
+            strata_.push_back(std::move(s));
+        }
+    }
+
+    std::uint64_t total = 0;
+    for (const auto &s : strata_)
+        total += s.size;
+    if (total != space.size())
+        warped_panic("StratifiedSpace: strata cover ", total,
+                     " sites of ", space.size());
+}
+
+const StratifiedSpace::Stratum &
+StratifiedSpace::stratum(std::size_t h) const
+{
+    if (h >= strata_.size())
+        warped_panic("StratifiedSpace: stratum ", h, " out of ",
+                     strata_.size());
+    return strata_[h];
+}
+
+std::vector<std::string>
+StratifiedSpace::labels() const
+{
+    std::vector<std::string> out;
+    out.reserve(strata_.size());
+    for (const auto &s : strata_)
+        out.push_back(s.label);
+    return out;
+}
+
+std::vector<std::uint64_t>
+StratifiedSpace::sizes() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(strata_.size());
+    for (const auto &s : strata_)
+        out.push_back(s.size);
+    return out;
+}
+
+void
+StratifiedSpace::allocate(std::uint64_t total_runs)
+{
+    const auto alloc =
+        stats::proportionalAllocation(sizes(), total_runs);
+    allocPrefix_.assign(strata_.size() + 1, 0);
+    for (std::size_t h = 0; h < strata_.size(); ++h)
+        allocPrefix_[h + 1] = allocPrefix_[h] + alloc[h];
+    if (allocPrefix_.back() != total_runs)
+        warped_panic("StratifiedSpace: allocated ",
+                     allocPrefix_.back(), " of ", total_runs,
+                     " runs");
+}
+
+std::uint64_t
+StratifiedSpace::allocated(std::size_t h) const
+{
+    if (allocPrefix_.empty() || h + 1 >= allocPrefix_.size())
+        warped_panic("StratifiedSpace: allocated(", h,
+                     ") before allocate()");
+    return allocPrefix_[h + 1] - allocPrefix_[h];
+}
+
+std::size_t
+StratifiedSpace::stratumOfRun(std::uint64_t run_index) const
+{
+    if (allocPrefix_.empty() || run_index >= allocPrefix_.back())
+        warped_panic("StratifiedSpace: run ", run_index,
+                     " outside the allocated campaign");
+    const auto it = std::upper_bound(allocPrefix_.begin(),
+                                     allocPrefix_.end(), run_index);
+    return static_cast<std::size_t>(it - allocPrefix_.begin()) - 1;
+}
+
+std::uint64_t
+StratifiedSpace::siteForRun(std::uint64_t seed,
+                            std::uint64_t run_index) const
+{
+    const auto h = stratumOfRun(run_index);
+    const Stratum &s = strata_[h];
+    if (s.size == 0)
+        warped_panic("StratifiedSpace: run ", run_index,
+                     " allocated to empty stratum ", s.label);
+    Rng rng(deriveSeed(seed, run_index));
+    std::uint64_t r = rng.nextBelow(s.size);
+    for (const auto &b : s.blocks) {
+        if (r < b.size())
+            return b.at(r);
+        r -= b.size();
+    }
+    warped_panic("StratifiedSpace: draw escaped stratum ", s.label);
+}
+
+} // namespace fault
+} // namespace warped

@@ -1,0 +1,70 @@
+#include "sim/shard_queue.hh"
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace sim {
+
+ShardQueue::ShardQueue(std::vector<std::uint64_t> pending)
+    : pending_(pending.begin(), pending.end()),
+      remaining_(pending.size())
+{
+}
+
+std::optional<std::uint64_t>
+ShardQueue::acquire()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+        return !pending_.empty() || remaining_ == 0;
+    });
+    if (remaining_ == 0)
+        return std::nullopt;
+    const auto shard = pending_.front();
+    pending_.pop_front();
+    ++outstanding_;
+    return shard;
+}
+
+void
+ShardQueue::ack(std::uint64_t)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (outstanding_ == 0 || remaining_ == 0)
+        warped_panic("ShardQueue: ack without an issued shard");
+    --outstanding_;
+    --remaining_;
+    // Wake everyone when the campaign drains so blocked acquirers
+    // can observe completion and exit.
+    if (remaining_ == 0)
+        cv_.notify_all();
+}
+
+void
+ShardQueue::fail(std::uint64_t shard)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (outstanding_ == 0)
+        warped_panic("ShardQueue: fail without an issued shard");
+    --outstanding_;
+    ++failures_;
+    pending_.push_back(shard);
+    cv_.notify_one();
+}
+
+bool
+ShardQueue::done() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return remaining_ == 0;
+}
+
+std::uint64_t
+ShardQueue::failures() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return failures_;
+}
+
+} // namespace sim
+} // namespace warped

@@ -1,0 +1,115 @@
+#include "sim/subprocess.hh"
+
+#include "common/logging.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace warped {
+namespace sim {
+
+#if defined(_WIN32)
+
+Subprocess::Subprocess(const std::vector<std::string> &)
+{
+    warped_panic("Subprocess: not supported on this platform");
+}
+
+Subprocess::~Subprocess() = default;
+
+SubprocessResult
+Subprocess::wait()
+{
+    return result_;
+}
+
+void
+Subprocess::kill()
+{
+}
+
+#else
+
+Subprocess::Subprocess(const std::vector<std::string> &argv)
+{
+    if (argv.empty())
+        warped_panic("Subprocess: empty argv");
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = fork();
+    if (pid < 0)
+        warped_panic("Subprocess: fork failed: ",
+                     std::strerror(errno));
+    if (pid == 0) {
+        execvp(cargv[0], cargv.data());
+        // Exec failure must not return into the parent's stack; 127
+        // is the shell convention for "command not found".
+        std::fprintf(stderr, "subprocess: exec %s failed: %s\n",
+                     cargv[0], std::strerror(errno));
+        _exit(127);
+    }
+    pid_ = pid;
+}
+
+Subprocess::~Subprocess()
+{
+    if (!reaped_ && pid_ > 0) {
+        ::kill(static_cast<pid_t>(pid_), SIGKILL);
+        wait();
+    }
+}
+
+SubprocessResult
+Subprocess::wait()
+{
+    if (reaped_)
+        return result_;
+    int status = 0;
+    pid_t r;
+    do {
+        r = waitpid(static_cast<pid_t>(pid_), &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0)
+        warped_panic("Subprocess: waitpid failed: ",
+                     std::strerror(errno));
+    if (WIFEXITED(status)) {
+        result_.exitCode = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        result_.signaled = true;
+        result_.termSignal = WTERMSIG(status);
+    }
+    reaped_ = true;
+    pid_ = -1;
+    return result_;
+}
+
+void
+Subprocess::kill()
+{
+    if (!reaped_ && pid_ > 0)
+        ::kill(static_cast<pid_t>(pid_), SIGKILL);
+}
+
+#endif
+
+SubprocessResult
+runSubprocess(const std::vector<std::string> &argv)
+{
+    Subprocess p(argv);
+    return p.wait();
+}
+
+} // namespace sim
+} // namespace warped

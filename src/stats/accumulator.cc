@@ -1,0 +1,203 @@
+#include "stats/accumulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace warped {
+namespace stats {
+
+StratifiedEstimator::StratifiedEstimator(
+    std::vector<std::uint64_t> stratum_sizes)
+    : sizes_(std::move(stratum_sizes)), acc_(sizes_.size())
+{
+    for (const auto n : sizes_)
+        population_ += n;
+    if (population_ == 0)
+        warped_panic("StratifiedEstimator: empty population");
+}
+
+void
+StratifiedEstimator::add(std::size_t h, bool success)
+{
+    if (h >= acc_.size())
+        warped_panic("StratifiedEstimator: stratum ", h, " out of ",
+                     acc_.size());
+    acc_[h].add(success);
+}
+
+void
+StratifiedEstimator::addCounts(std::size_t h, std::uint64_t successes,
+                               std::uint64_t trials)
+{
+    if (h >= acc_.size())
+        warped_panic("StratifiedEstimator: stratum ", h, " out of ",
+                     acc_.size());
+    if (successes > trials)
+        warped_panic("StratifiedEstimator: ", successes,
+                     " successes in ", trials, " trials");
+    acc_[h].successes += successes;
+    acc_[h].trials += trials;
+}
+
+void
+StratifiedEstimator::merge(const StratifiedEstimator &o)
+{
+    if (o.sizes_ != sizes_)
+        warped_panic("StratifiedEstimator: merging mismatched "
+                     "stratifications (",
+                     sizes_.size(), " vs ", o.sizes_.size(),
+                     " strata)");
+    for (std::size_t h = 0; h < acc_.size(); ++h)
+        acc_[h].merge(o.acc_[h]);
+}
+
+const BinomialAccumulator &
+StratifiedEstimator::stratum(std::size_t h) const
+{
+    if (h >= acc_.size())
+        warped_panic("StratifiedEstimator: stratum ", h, " out of ",
+                     acc_.size());
+    return acc_[h];
+}
+
+std::uint64_t
+StratifiedEstimator::sampled() const
+{
+    std::uint64_t n = 0;
+    for (const auto &a : acc_)
+        n += a.trials;
+    return n;
+}
+
+double
+StratifiedEstimator::estimate() const
+{
+    if (population_ == 0 || sampled() == 0)
+        return 0.0;
+    // Pooled proportion over the sampled strata stands in for any
+    // empty stratum's estimate (see the header's degenerate policy).
+    BinomialAccumulator pooled;
+    for (const auto &a : acc_)
+        pooled.merge(a);
+    const double fallback = pooled.proportion();
+
+    double p = 0.0;
+    for (std::size_t h = 0; h < acc_.size(); ++h) {
+        const double w = double(sizes_[h]) / double(population_);
+        p += w *
+             (acc_[h].trials ? acc_[h].proportion() : fallback);
+    }
+    return std::clamp(p, 0.0, 1.0);
+}
+
+Interval
+StratifiedEstimator::interval(double z) const
+{
+    if (population_ == 0 || sampled() == 0)
+        return {0.0, 1.0};
+    double var = 0.0;
+    for (std::size_t h = 0; h < acc_.size(); ++h) {
+        const double w = double(sizes_[h]) / double(population_);
+        if (acc_[h].trials == 0) {
+            // Empty stratum: worst-case Bernoulli variance at one
+            // hypothetical draw — conservative, never degenerate.
+            var += w * w * 0.25;
+            continue;
+        }
+        const double ph = acc_[h].proportion();
+        var += w * w * ph * (1.0 - ph) / double(acc_[h].trials);
+    }
+    const double p = estimate();
+    const double half = z * std::sqrt(var);
+    return {std::max(0.0, p - half), std::min(1.0, p + half)};
+}
+
+Interval
+StratifiedEstimator::pooledWilson(double z) const
+{
+    BinomialAccumulator pooled;
+    for (const auto &a : acc_)
+        pooled.merge(a);
+    return pooled.wilson(z);
+}
+
+std::vector<std::uint64_t>
+proportionalAllocation(const std::vector<std::uint64_t> &stratum_sizes,
+                       std::uint64_t total_samples)
+{
+    std::vector<std::uint64_t> out(stratum_sizes.size(), 0);
+    std::uint64_t population = 0;
+    for (const auto n : stratum_sizes)
+        population += n;
+    if (population == 0 || total_samples == 0)
+        return out;
+
+    // Floor share per stratum, then hand the shortfall to the largest
+    // fractional remainders (lower index wins ties) — deterministic
+    // and exact. 128-bit-free formulation: remainders compared via
+    // (size * total) % population, which fits because sizes and
+    // samples are both far below 2^32 in every real campaign; guard
+    // anyway by falling back to long double when the product could
+    // overflow.
+    struct Rem
+    {
+        std::uint64_t rem;
+        std::size_t idx;
+    };
+    std::vector<Rem> rems;
+    rems.reserve(stratum_sizes.size());
+    std::uint64_t assigned = 0;
+    const bool overflow_safe =
+        total_samples == 0 ||
+        population <= ~std::uint64_t{0} / total_samples;
+    for (std::size_t h = 0; h < stratum_sizes.size(); ++h) {
+        std::uint64_t share, rem;
+        if (overflow_safe) {
+            const auto prod = stratum_sizes[h] * total_samples;
+            share = prod / population;
+            rem = prod % population;
+        } else {
+            const long double exact =
+                static_cast<long double>(stratum_sizes[h]) *
+                static_cast<long double>(total_samples) /
+                static_cast<long double>(population);
+            share = static_cast<std::uint64_t>(exact);
+            rem = static_cast<std::uint64_t>(
+                (exact - static_cast<long double>(share)) * 1e18L);
+        }
+        out[h] = share;
+        assigned += share;
+        rems.push_back({rem, h});
+    }
+    std::stable_sort(rems.begin(), rems.end(),
+                     [](const Rem &a, const Rem &b) {
+                         return a.rem > b.rem;
+                     });
+    for (std::size_t i = 0; assigned < total_samples; ++assigned, ++i)
+        ++out[rems[i % rems.size()].idx];
+
+    // Every nonzero stratum deserves at least one draw when the
+    // budget allows — steal from the largest allocations.
+    std::uint64_t nonzero = 0;
+    for (const auto n : stratum_sizes)
+        nonzero += n ? 1 : 0;
+    if (total_samples >= nonzero) {
+        for (std::size_t h = 0; h < out.size(); ++h) {
+            if (stratum_sizes[h] == 0 || out[h] > 0)
+                continue;
+            const auto donor = static_cast<std::size_t>(
+                std::max_element(out.begin(), out.end()) -
+                out.begin());
+            if (out[donor] > 1) {
+                --out[donor];
+                ++out[h];
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace warped

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Mergeable confidence-interval accumulators for distributed
+ * campaigns.
+ *
+ * A sharded campaign folds per-shard outcome deltas into one report;
+ * every statistic that survives the fold must be an *associative*
+ * reduction over runs (sums), with the derived quantities (rates,
+ * intervals) stamped once at the end. These accumulators hold exactly
+ * the Wilson-CI inputs — success and trial counts — so two of them
+ * merge by plain addition: merge(a, merge(b, c)) == merge(merge(a, b),
+ * c) and any shard order yields bit-identical final statistics.
+ *
+ * The stratified estimator implements textbook proportional-allocation
+ * stratified sampling (Cochran): the site space is partitioned into H
+ * strata of known sizes N_h; stratum h contributes weight
+ * W_h = N_h / N and a sampled proportion p_h, giving
+ *
+ *     p_st   = sum_h W_h * p_h
+ *     se_st  = sqrt( sum_h W_h^2 * p_h (1 - p_h) / n_h )
+ *
+ * The stratified interval is p_st +- z * se_st (clamped to [0, 1]).
+ * Per-stratum uncertainty stays available as an ordinary Wilson
+ * interval on (successes_h, n_h).
+ *
+ * Degenerate strata are handled conservatively, never by crashing:
+ *  - an *empty* stratum (n_h == 0) contributes the worst-case
+ *    variance W_h^2 * 0.25 (as if one run were drawn at p = 1/2) and
+ *    the pooled proportion of the sampled strata as its estimate;
+ *  - a *single-run* stratum uses its observed p_h with n_h = 1;
+ *  - an all-failure (e.g. all-Masked) stratum has p_h = 0, variance 0,
+ *    and a Wilson interval pinned to lo = 0 — the interval endpoints
+ *    stay inside [0, 1] by construction.
+ */
+
+#ifndef WARPED_STATS_ACCUMULATOR_HH
+#define WARPED_STATS_ACCUMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hh"
+
+namespace warped {
+namespace stats {
+
+/** Success/trial counts for one binomial proportion — the complete
+ *  Wilson-CI input, mergeable by addition. */
+struct BinomialAccumulator
+{
+    std::uint64_t successes = 0;
+    std::uint64_t trials = 0;
+
+    void
+    add(bool success)
+    {
+        successes += success ? 1 : 0;
+        ++trials;
+    }
+
+    /** Associative fold: plain component-wise addition. */
+    void
+    merge(const BinomialAccumulator &o)
+    {
+        successes += o.successes;
+        trials += o.trials;
+    }
+
+    double
+    proportion() const
+    {
+        return trials ? double(successes) / double(trials) : 0.0;
+    }
+
+    Interval
+    wilson(double z = kZ95) const
+    {
+        return wilsonInterval(successes, trials, z);
+    }
+};
+
+/**
+ * Proportional-allocation stratified estimator over H fixed strata.
+ *
+ * Stratum sizes (the population weights) are set once at
+ * construction; sampled counts accumulate per stratum and merge
+ * associatively across shards. estimate()/interval() stamp the
+ * derived statistics (see the file comment for the math and the
+ * degenerate-stratum policy).
+ */
+class StratifiedEstimator
+{
+  public:
+    StratifiedEstimator() = default;
+
+    /** @param stratum_sizes N_h for every stratum (fixed, > 0 total). */
+    explicit StratifiedEstimator(
+        std::vector<std::uint64_t> stratum_sizes);
+
+    std::size_t strata() const { return sizes_.size(); }
+
+    /** Population size N = sum of the stratum sizes. */
+    std::uint64_t population() const { return population_; }
+
+    /** Record one run's outcome in stratum @p h. */
+    void add(std::size_t h, bool success);
+
+    /** Add pre-folded counts into stratum @p h (checkpoint/shard
+     *  restore path). */
+    void addCounts(std::size_t h, std::uint64_t successes,
+                   std::uint64_t trials);
+
+    /** Associative fold of another estimator over the SAME strata. */
+    void merge(const StratifiedEstimator &o);
+
+    const BinomialAccumulator &stratum(std::size_t h) const;
+
+    /** Total sampled runs over all strata. */
+    std::uint64_t sampled() const;
+
+    /** The stratified point estimate p_st. */
+    double estimate() const;
+
+    /** The stratified z-interval around estimate(), clamped to
+     *  [0, 1]. Vacuous [0, 1] when nothing was sampled. */
+    Interval interval(double z = kZ95) const;
+
+    /** Plain pooled Wilson interval (ignores stratification) — the
+     *  width baseline stratification is compared against. */
+    Interval pooledWilson(double z = kZ95) const;
+
+  private:
+    std::vector<std::uint64_t> sizes_;
+    std::vector<BinomialAccumulator> acc_;
+    std::uint64_t population_ = 0;
+};
+
+/**
+ * Proportional sample allocation with the largest-remainder method:
+ * splits @p total_samples over strata proportionally to
+ * @p stratum_sizes, summing exactly to @p total_samples and
+ * deterministic for any input (ties broken by lower stratum index).
+ * Strata of nonzero size receive at least one sample when
+ * total_samples >= number of nonzero strata.
+ */
+std::vector<std::uint64_t>
+proportionalAllocation(const std::vector<std::uint64_t> &stratum_sizes,
+                       std::uint64_t total_samples);
+
+} // namespace stats
+} // namespace warped
+
+#endif // WARPED_STATS_ACCUMULATOR_HH

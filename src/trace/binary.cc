@@ -1,5 +1,6 @@
 #include "trace/binary.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -100,6 +101,21 @@ readBinaryTrace(std::istream &is, BinaryTrace &out, std::string &err)
         return false;
     }
 
+    // The header's sizes are untrusted input: a truncated or damaged
+    // file can carry an arbitrary label length or record count, and
+    // allocating on its say-so turns a bad file into a bad_alloc
+    // crash. Labels are bounded outright; the record vector grows as
+    // records actually arrive, with the reservation capped so a lying
+    // count costs at most one modest allocation before the truncation
+    // check fires.
+    constexpr std::uint32_t kMaxLabelBytes = 1u << 16;
+    constexpr std::uint64_t kMaxReserveRecords = 1u << 20;
+    if (label_len > kMaxLabelBytes) {
+        err = "implausible label length " + std::to_string(label_len) +
+              " (damaged header?)";
+        return false;
+    }
+
     BinaryTrace bt;
     bt.dropped = dropped;
     bt.label.resize(label_len);
@@ -110,7 +126,8 @@ readBinaryTrace(std::istream &is, BinaryTrace &out, std::string &err)
         return false;
     }
 
-    bt.events.reserve(count);
+    bt.events.reserve(static_cast<std::size_t>(
+        std::min(count, kMaxReserveRecords)));
     for (std::uint64_t i = 0; i < count; ++i) {
         Event ev;
         std::uint8_t kind = 0;

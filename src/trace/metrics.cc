@@ -1,8 +1,11 @@
 #include "trace/metrics.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <sstream>
+
+#include "common/rng.hh"
 
 namespace warped {
 namespace trace {
@@ -77,6 +80,69 @@ MetricsRegistry::toJson() const
     }
     os << "\n}\n";
     return os.str();
+}
+
+std::map<std::string, std::uint64_t>
+parseFlatCounters(const std::string &text)
+{
+    std::map<std::string, std::uint64_t> kv;
+    std::size_t i = 0;
+    while ((i = text.find('"', i)) != std::string::npos) {
+        const auto end = text.find('"', i + 1);
+        if (end == std::string::npos)
+            break;
+        const std::string key = text.substr(i + 1, end - i - 1);
+        std::size_t j = end + 1;
+        while (j < text.size() &&
+               (text[j] == ':' ||
+                std::isspace(static_cast<unsigned char>(text[j]))))
+            ++j;
+        if (j < text.size() &&
+            std::isdigit(static_cast<unsigned char>(text[j]))) {
+            std::uint64_t v = 0;
+            bool integral = true;
+            while (j < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[j])))
+                v = v * 10 + (text[j++] - '0');
+            // A '.' means a gauge — not a counter, skip it.
+            if (j < text.size() && text[j] == '.')
+                integral = false;
+            if (integral)
+                kv[key] = v;
+        }
+        i = j;
+    }
+    return kv;
+}
+
+bool
+flatJsonComplete(const std::string &text)
+{
+    const auto open = text.find('{');
+    if (open == std::string::npos)
+        return false;
+    const auto last = text.find_last_not_of(" \t\r\n");
+    return last != std::string::npos && last > open &&
+           text[last] == '}';
+}
+
+std::uint64_t
+countersFingerprint(const std::map<std::string, std::uint64_t> &kv,
+                    const std::string &skip_prefix)
+{
+    std::uint64_t h = splitmix64(0xf19e4a2bu);
+    const auto mix = [&h](std::uint64_t v) {
+        h = splitmix64(h ^ v);
+    };
+    for (const auto &[k, v] : kv) {
+        if (!skip_prefix.empty() &&
+            k.compare(0, skip_prefix.size(), skip_prefix) == 0)
+            continue;
+        for (const char c : k)
+            mix(static_cast<unsigned char>(c));
+        mix(v);
+    }
+    return h;
 }
 
 } // namespace trace

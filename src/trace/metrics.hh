@@ -85,6 +85,36 @@ class MetricsRegistry
     std::map<std::string, double> gauges_;
 };
 
+/**
+ * Parse every `"key": <unsigned integer>` pair out of a flat JSON
+ * document — the inverse of MetricsRegistry::toJson for the counter
+ * keys (gauges and quoted string values are skipped). Used by the
+ * campaign checkpoint and shard-delta loaders; tolerant of torn
+ * input, so callers MUST validate integrity separately (see
+ * flatJsonComplete and countersFingerprint).
+ */
+std::map<std::string, std::uint64_t>
+parseFlatCounters(const std::string &text);
+
+/**
+ * Structural completeness check for a flat metrics JSON document: the
+ * text must contain a '{' and its last non-whitespace character must
+ * be the matching '}'. A torn (partially written) document fails this
+ * even when parseFlatCounters would happily return its surviving
+ * prefix.
+ */
+bool flatJsonComplete(const std::string &text);
+
+/**
+ * Order-insensitive-input, deterministic fingerprint of a counter
+ * map: a splitmix64 chain over every key byte and value, in the
+ * map's sorted iteration order. Keys starting with @p skip_prefix
+ * are excluded (so a document can embed its own fingerprint).
+ */
+std::uint64_t
+countersFingerprint(const std::map<std::string, std::uint64_t> &kv,
+                    const std::string &skip_prefix = "");
+
 } // namespace trace
 } // namespace warped
 

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
 
 #include "common/logging.hh"
@@ -348,6 +350,105 @@ TEST(CampaignEngine, MismatchedCheckpointIsRefused)
     const auto restarted = CampaignEngine(scanFactory(), ec).run();
     EXPECT_EQ(restarted.sampled, 10u);
     std::remove(ckpt.c_str());
+}
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream f(path);
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+void
+spill(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path);
+    f << text;
+}
+
+} // namespace
+
+TEST(CampaignEngine, TornCheckpointIsAHardError)
+{
+    const std::string ckpt =
+        testing::TempDir() + "warped_campaign_torn.json";
+    std::remove(ckpt.c_str());
+
+    auto ec = scanEngineCfg();
+    ec.checkpointPath = ckpt;
+    ec.checkpointEvery = 10;
+    ec.stopAfterChunks = 1;
+    CampaignEngine(scanFactory(), ec).run();
+
+    // The previous writer "crashed mid-write": the document loses
+    // its tail, including the closing brace. Resuming must refuse
+    // loudly — silently restarting from zero would destroy the very
+    // progress checkpointing protects.
+    const auto text = slurp(ckpt);
+    ASSERT_FALSE(text.empty());
+    spill(ckpt, text.substr(0, text.size() / 2));
+
+    ec.stopAfterChunks = 0;
+    EXPECT_THROW(CampaignEngine(scanFactory(), ec).run(),
+                 CheckpointError);
+    std::remove(ckpt.c_str());
+}
+
+TEST(CampaignEngine, TamperedCheckpointFailsItsFingerprint)
+{
+    const std::string ckpt =
+        testing::TempDir() + "warped_campaign_tamper.json";
+    std::remove(ckpt.c_str());
+
+    auto ec = scanEngineCfg();
+    ec.checkpointPath = ckpt;
+    ec.checkpointEvery = 10;
+    ec.stopAfterChunks = 1;
+    CampaignEngine(scanFactory(), ec).run();
+
+    // Structurally intact JSON with one flipped digit: the payload
+    // fingerprint catches what the closing-brace check cannot.
+    auto text = slurp(ckpt);
+    const auto pos = text.find("\"campaign.sampled\": 10");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 22, "\"campaign.sampled\": 11");
+    spill(ckpt, text);
+
+    ec.stopAfterChunks = 0;
+    EXPECT_THROW(CampaignEngine(scanFactory(), ec).run(),
+                 CheckpointError);
+    std::remove(ckpt.c_str());
+}
+
+TEST(CampaignEngine, CheckpointEveryZeroIsClampedNotFatal)
+{
+    // The engine guards the degenerate chunk size (the CLI rejects
+    // it outright at parse time): a zero chunk would never fold any
+    // runs, spinning forever.
+    auto ec = scanEngineCfg();
+    ec.checkpointEvery = 0;
+    const auto rep = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(rep.sampled, 30u);
+    EXPECT_EQ(rep.toJson(),
+              CampaignEngine(scanFactory(), scanEngineCfg())
+                  .run()
+                  .toJson());
+}
+
+TEST(CampaignEngine, CheckpointEveryBeyondPlanIsClamped)
+{
+    auto ec = scanEngineCfg();
+    ec.checkpointEvery = 1u << 20; // far beyond the 30 planned runs
+    const auto rep = CampaignEngine(scanFactory(), ec).run();
+    EXPECT_EQ(rep.sampled, 30u);
+    EXPECT_EQ(rep.toJson(),
+              CampaignEngine(scanFactory(), scanEngineCfg())
+                  .run()
+                  .toJson());
 }
 
 TEST(CampaignEngine, DerivesSampleSizeFromMargin)

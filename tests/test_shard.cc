@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Unit tests: the sharded campaign service — shard planning, the
+ * delta protocol, aggregator determinism under every shard count and
+ * failure schedule, the crash-safe aggregator state, the dispatch
+ * queue, and the stratified estimator's degenerate-stratum edges.
+ *
+ * The headline invariant: for ANY disjoint cover of the run range,
+ * folding the shard deltas in ANY order, with duplicates and
+ * simulated worker deaths, reproduces the single-process campaign
+ * report byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fault/campaign_engine.hh"
+#include "fault/shard.hh"
+#include "fault/stratified.hh"
+#include "sim/shard_queue.hh"
+#include "stats/accumulator.hh"
+
+using namespace warped;
+using namespace warped::fault;
+
+namespace {
+
+EngineConfig
+scanEngineCfg()
+{
+    EngineConfig ec;
+    ec.workload = "SCAN";
+    ec.gpu = arch::GpuConfig::testDefault();
+    ec.space.cycleWindows = 64;
+    ec.sites = 30;
+    ec.seed = 7;
+    ec.jobs = 1;
+    return ec;
+}
+
+WorkloadFactory
+scanFactory()
+{
+    return [] { return workloads::makeScan(2); };
+}
+
+/** Fold every shard of @p plans (in the given order) into a fresh
+ *  aggregator and return the report JSON. */
+std::string
+shardedJson(const EngineConfig &ec, std::uint64_t shard_count,
+            const std::vector<std::uint64_t> &order)
+{
+    CampaignEngine orch(scanFactory(), ec);
+    orch.prepare();
+    const auto plans = planShards(orch.plannedSites(), shard_count);
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), shard_count);
+    for (const auto i : order)
+        agg.fold(runShardInProcess(
+            scanFactory(), ec,
+            plans[static_cast<std::size_t>(i)]));
+    EXPECT_TRUE(agg.complete());
+    return agg.report().toJson();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// planShards
+
+TEST(PlanShards, ContiguousCoverWithRemainderUpFront)
+{
+    const auto p = planShards(10, 3);
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p[0].base, 0u);
+    EXPECT_EQ(p[0].count, 4u); // 10 % 3 = 1 extra run, shard 0
+    EXPECT_EQ(p[1].base, 4u);
+    EXPECT_EQ(p[1].count, 3u);
+    EXPECT_EQ(p[2].base, 7u);
+    EXPECT_EQ(p[2].count, 3u);
+}
+
+TEST(PlanShards, MoreShardsThanRunsYieldsZeroCountShards)
+{
+    const auto p = planShards(2, 4);
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[0].count, 1u);
+    EXPECT_EQ(p[1].count, 1u);
+    EXPECT_EQ(p[2].count, 0u);
+    EXPECT_EQ(p[3].count, 0u);
+    // Zero-count shards still carry a consistent base.
+    EXPECT_EQ(p[2].base, 2u);
+    EXPECT_EQ(p[3].base, 2u);
+}
+
+TEST(PlanShards, SingleShardIsTheWholeRange)
+{
+    const auto p = planShards(1000000, 1);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0].base, 0u);
+    EXPECT_EQ(p[0].count, 1000000u);
+}
+
+// ---------------------------------------------------------------------
+// ShardDelta serialization
+
+TEST(ShardDelta, JsonRoundTrip)
+{
+    ShardDelta d;
+    d.shard = 3;
+    d.base = 120;
+    d.count = 40;
+    d.signature = 0xdeadbeefcafe;
+    d.counters["campaign.sampled"] = 40;
+    d.counters["campaign.outcome.detected"] = 17;
+    const auto text = d.toJson();
+    const auto back = ShardDelta::fromJson(text);
+    EXPECT_EQ(back.shard, d.shard);
+    EXPECT_EQ(back.base, d.base);
+    EXPECT_EQ(back.count, d.count);
+    EXPECT_EQ(back.signature, d.signature);
+    EXPECT_EQ(back.counters, d.counters);
+}
+
+TEST(ShardDelta, TornDocumentThrows)
+{
+    ShardDelta d;
+    d.counters["campaign.sampled"] = 1;
+    auto text = d.toJson();
+    // A worker killed mid-write leaves no closing brace.
+    text.resize(text.size() / 2);
+    EXPECT_THROW(ShardDelta::fromJson(text), ShardError);
+}
+
+TEST(ShardDelta, TamperedCounterFailsFingerprint)
+{
+    ShardDelta d;
+    d.counters["campaign.outcome.detected"] = 17;
+    auto text = d.toJson();
+    const auto pos = text.find(": 17");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 4, ": 18");
+    EXPECT_THROW(ShardDelta::fromJson(text), ShardError);
+}
+
+TEST(ShardDelta, UnsupportedVersionThrows)
+{
+    ShardDelta d;
+    auto text = d.toJson();
+    const auto pos = text.find("\"shard.version\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 18, "\"shard.version\": 9");
+    EXPECT_THROW(ShardDelta::fromJson(text), ShardError);
+}
+
+// ---------------------------------------------------------------------
+// aggregator determinism — the tentpole invariant
+
+TEST(ShardAggregator, AnyShardCountReproducesSingleProcessReport)
+{
+    const auto ec = scanEngineCfg();
+    const auto single =
+        CampaignEngine(scanFactory(), ec).run().toJson();
+
+    EXPECT_EQ(shardedJson(ec, 1, {0}), single);
+    EXPECT_EQ(shardedJson(ec, 3, {0, 1, 2}), single);
+    EXPECT_EQ(shardedJson(ec, 8, {0, 1, 2, 3, 4, 5, 6, 7}), single);
+}
+
+TEST(ShardAggregator, FoldOrderDoesNotMatter)
+{
+    const auto ec = scanEngineCfg();
+    EXPECT_EQ(shardedJson(ec, 8, {0, 1, 2, 3, 4, 5, 6, 7}),
+              shardedJson(ec, 8, {7, 2, 5, 0, 6, 1, 4, 3}));
+}
+
+TEST(ShardAggregator, WorkerDeathAndReissueIsInvisible)
+{
+    const auto ec = scanEngineCfg();
+    const auto single =
+        CampaignEngine(scanFactory(), ec).run().toJson();
+
+    CampaignEngine orch(scanFactory(), ec);
+    orch.prepare();
+    const auto plans = planShards(orch.plannedSites(), 3);
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), 3);
+
+    // Shard 1's first worker "dies": its delta is simply never
+    // delivered. The re-issued worker recomputes a bit-identical
+    // delta because run i's site depends only on (seed, i).
+    agg.fold(runShardInProcess(scanFactory(), ec, plans[0]));
+    const auto lost = runShardInProcess(scanFactory(), ec, plans[1]);
+    (void)lost;
+    agg.fold(runShardInProcess(scanFactory(), ec, plans[2]));
+    EXPECT_FALSE(agg.complete());
+    EXPECT_EQ(agg.pendingShards(), std::vector<std::uint64_t>{1});
+
+    const auto reissued =
+        runShardInProcess(scanFactory(), ec, plans[1]);
+    EXPECT_TRUE(agg.fold(reissued));
+    // A late duplicate delivery (the "dead" worker wasn't dead after
+    // all) folds idempotently.
+    EXPECT_FALSE(agg.fold(reissued));
+    EXPECT_TRUE(agg.complete());
+    EXPECT_EQ(agg.report().toJson(), single);
+}
+
+TEST(ShardAggregator, SignatureMismatchIsRejected)
+{
+    const auto ec = scanEngineCfg();
+    CampaignEngine orch(scanFactory(), ec);
+    orch.prepare();
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), 2);
+
+    auto other = ec;
+    other.seed = 8; // different campaign
+    CampaignEngine eng2(scanFactory(), other);
+    eng2.prepare();
+    const auto plans = planShards(eng2.plannedSites(), 2);
+    const auto d = runShardInProcess(scanFactory(), other, plans[0]);
+    EXPECT_THROW(agg.fold(d), ShardError);
+}
+
+TEST(ShardAggregator, RangeDisagreementIsRejected)
+{
+    const auto ec = scanEngineCfg();
+    CampaignEngine orch(scanFactory(), ec);
+    orch.prepare();
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), 2);
+    // A worker run with --shard-count 3 produces a range the 2-shard
+    // plan never issued.
+    const auto plans = planShards(orch.plannedSites(), 3);
+    const auto d = runShardInProcess(scanFactory(), ec, plans[0]);
+    EXPECT_THROW(agg.fold(d), ShardError);
+}
+
+TEST(ShardAggregator, StateRoundTripResumesPendingShardsOnly)
+{
+    const auto ec = scanEngineCfg();
+    const auto single =
+        CampaignEngine(scanFactory(), ec).run().toJson();
+
+    CampaignEngine orch(scanFactory(), ec);
+    orch.prepare();
+    const auto plans = planShards(orch.plannedSites(), 3);
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), 3);
+    agg.fold(runShardInProcess(scanFactory(), ec, plans[0]));
+    agg.fold(runShardInProcess(scanFactory(), ec, plans[2]));
+    const auto state = agg.stateJson();
+
+    // The orchestrator is killed; a new one restores the aggregate.
+    ShardAggregator resumed(orch.skeleton(), orch.signature(),
+                            orch.plannedSites(), 3);
+    ASSERT_TRUE(resumed.loadState(state));
+    EXPECT_EQ(resumed.foldedShards(), 2u);
+    EXPECT_EQ(resumed.pendingShards(),
+              std::vector<std::uint64_t>{1});
+    resumed.fold(runShardInProcess(scanFactory(), ec, plans[1]));
+    EXPECT_EQ(resumed.report().toJson(), single);
+}
+
+TEST(ShardAggregator, TornStateThrowsStaleStateIsIgnored)
+{
+    const auto ec = scanEngineCfg();
+    CampaignEngine orch(scanFactory(), ec);
+    orch.prepare();
+    const auto plans = planShards(orch.plannedSites(), 2);
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), 2);
+    agg.fold(runShardInProcess(scanFactory(), ec, plans[0]));
+    auto state = agg.stateJson();
+
+    // Torn mid-write: hard error, never a silent restart.
+    ShardAggregator fresh(orch.skeleton(), orch.signature(),
+                          orch.plannedSites(), 2);
+    EXPECT_THROW(
+        fresh.loadState(state.substr(0, state.size() / 2)),
+        ShardError);
+
+    // Stale (different shard layout): warned and ignored.
+    ShardAggregator other(orch.skeleton(), orch.signature(),
+                          orch.plannedSites(), 4);
+    EXPECT_FALSE(other.loadState(state));
+    EXPECT_EQ(other.foldedShards(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// stratified sampling end to end
+
+TEST(ShardAggregator, StratifiedCampaignShardsIdentically)
+{
+    auto ec = scanEngineCfg();
+    ec.strataWindows = 4;
+    const auto single =
+        CampaignEngine(scanFactory(), ec).run();
+    ASSERT_EQ(single.strataWindows, 4u);
+    ASSERT_FALSE(single.byStratum.empty());
+    ASSERT_FALSE(single.stratumSizes.empty());
+
+    EXPECT_EQ(shardedJson(ec, 3, {2, 0, 1}), single.toJson());
+}
+
+TEST(StratifiedSpace, PartitionsTheSiteSpaceExactly)
+{
+    const auto ec = scanEngineCfg();
+    CampaignEngine eng(scanFactory(), ec);
+    eng.prepare();
+    const StratifiedSpace strat(eng.space(), 4);
+
+    std::uint64_t covered = 0;
+    for (const auto sz : strat.sizes())
+        covered += sz;
+    EXPECT_EQ(covered, eng.space().size());
+    EXPECT_EQ(strat.labels().size(), strat.strata());
+}
+
+TEST(StratifiedSpace, AllocationIsExhaustiveAndInOrder)
+{
+    const auto ec = scanEngineCfg();
+    CampaignEngine eng(scanFactory(), ec);
+    eng.prepare();
+    StratifiedSpace strat(eng.space(), 4);
+    strat.allocate(100);
+
+    std::uint64_t sum = 0;
+    for (std::size_t h = 0; h < strat.strata(); ++h)
+        sum += strat.allocated(h);
+    EXPECT_EQ(sum, 100u);
+
+    // Every run index maps into the stratum that owns it, and the
+    // drawn site lies inside that stratum's blocks.
+    for (std::uint64_t r = 0; r < 100; ++r) {
+        const auto h = strat.stratumOfRun(r);
+        ASSERT_LT(h, strat.strata());
+        const auto site = strat.siteForRun(ec.seed, r);
+        EXPECT_LT(site, eng.space().size());
+    }
+}
+
+// ---------------------------------------------------------------------
+// stats::StratifiedEstimator edges (the Wilson-merge corner cases)
+
+TEST(StratifiedEstimator, MergeEqualsDirectAccumulation)
+{
+    const std::vector<std::uint64_t> sizes = {60, 40};
+    stats::StratifiedEstimator a(sizes), b(sizes), direct(sizes);
+    a.addCounts(0, 10, 20);
+    b.addCounts(0, 5, 10);
+    b.addCounts(1, 8, 8);
+    direct.addCounts(0, 15, 30);
+    direct.addCounts(1, 8, 8);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.estimate(), direct.estimate());
+    EXPECT_DOUBLE_EQ(a.interval().lo, direct.interval().lo);
+    EXPECT_DOUBLE_EQ(a.interval().hi, direct.interval().hi);
+    EXPECT_EQ(a.sampled(), direct.sampled());
+}
+
+TEST(StratifiedEstimator, EmptyStratumIsConservativeNotFatal)
+{
+    stats::StratifiedEstimator est({50, 50});
+    est.addCounts(0, 40, 50); // stratum 1 never sampled
+    const auto ci = est.interval();
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+    // The pooled proportion (0.8) substitutes for the unsampled
+    // stratum, so the point estimate stays 0.8...
+    EXPECT_NEAR(est.estimate(), 0.8, 1e-12);
+    // ...but the worst-case variance of the missing stratum widens
+    // the interval beyond the fully-sampled equivalent.
+    stats::StratifiedEstimator full({50, 50});
+    full.addCounts(0, 40, 50);
+    full.addCounts(1, 40, 50);
+    EXPECT_GT(ci.hi - ci.lo,
+              full.interval().hi - full.interval().lo);
+}
+
+TEST(StratifiedEstimator, AllMaskedStratumPinsAtZero)
+{
+    stats::StratifiedEstimator est({10, 10});
+    est.addCounts(0, 0, 10); // everything Masked: zero caught
+    est.addCounts(1, 0, 10);
+    EXPECT_DOUBLE_EQ(est.estimate(), 0.0);
+    const auto ci = est.interval();
+    EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+    EXPECT_DOUBLE_EQ(est.stratum(0).wilson().lo, 0.0);
+}
+
+TEST(StratifiedEstimator, SingleRunStratumIsWellDefined)
+{
+    stats::StratifiedEstimator est({100, 1});
+    est.addCounts(0, 50, 100);
+    est.addCounts(1, 1, 1);
+    const auto ci = est.interval();
+    EXPECT_GE(ci.lo, 0.0);
+    EXPECT_LE(ci.hi, 1.0);
+    EXPECT_GT(est.estimate(), 0.0);
+}
+
+TEST(ProportionalAllocation, ExactDeterministicAndCoversNonzero)
+{
+    const std::vector<std::uint64_t> sizes = {70, 20, 10, 0};
+    const auto n = stats::proportionalAllocation(sizes, 17);
+    ASSERT_EQ(n.size(), 4u);
+    EXPECT_EQ(n[0] + n[1] + n[2] + n[3], 17u);
+    EXPECT_EQ(n[3], 0u); // empty stratum draws nothing
+    EXPECT_GE(n[1], 1u); // nonzero strata draw at least one
+    EXPECT_GE(n[2], 1u);
+    // Deterministic: same inputs, same split.
+    EXPECT_EQ(stats::proportionalAllocation(sizes, 17), n);
+}
+
+// ---------------------------------------------------------------------
+// sim::ShardQueue
+
+TEST(ShardQueue, AcksDrainTheQueue)
+{
+    sim::ShardQueue q({0, 1, 2});
+    const auto a = q.acquire();
+    const auto b = q.acquire();
+    ASSERT_TRUE(a && b);
+    q.ack(*a);
+    q.ack(*b);
+    const auto c = q.acquire();
+    ASSERT_TRUE(c);
+    q.ack(*c);
+    EXPECT_TRUE(q.done());
+    EXPECT_FALSE(q.acquire());
+    EXPECT_EQ(q.failures(), 0u);
+}
+
+TEST(ShardQueue, FailReissuesTheShard)
+{
+    sim::ShardQueue q({5});
+    const auto a = q.acquire();
+    ASSERT_TRUE(a);
+    q.fail(*a); // worker died
+    const auto b = q.acquire();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(*b, 5u);
+    q.ack(*b);
+    EXPECT_TRUE(q.done());
+    EXPECT_EQ(q.failures(), 1u);
+}
+
+TEST(ShardQueue, EmptyQueueIsImmediatelyDone)
+{
+    sim::ShardQueue q({});
+    EXPECT_TRUE(q.done());
+    EXPECT_FALSE(q.acquire());
+}

@@ -209,6 +209,53 @@ TEST(BinaryTrace, RejectsUnknownEventKind)
     EXPECT_NE(err.find("kind"), std::string::npos) << err;
 }
 
+TEST(BinaryTrace, RejectsImplausibleLabelLength)
+{
+    // A damaged header can claim any label length; allocating on its
+    // say-so would turn a bad file into a bad_alloc. The reader
+    // bounds the label outright.
+    std::ostringstream os(std::ios::binary);
+    trace::writeBinaryTrace(os, {}, "x", 0);
+    std::string bytes = os.str();
+    for (int i = 0; i < 4; ++i)
+        bytes[24 + i] = static_cast<char>(0xff); // label_len field
+    std::istringstream in(bytes, std::ios::binary);
+    trace::BinaryTrace bt;
+    std::string err;
+    EXPECT_FALSE(trace::readBinaryTrace(in, bt, err));
+    EXPECT_NE(err.find("label length"), std::string::npos) << err;
+}
+
+TEST(BinaryTrace, TruncatedLabelIsRejected)
+{
+    std::ostringstream os(std::ios::binary);
+    trace::writeBinaryTrace(os, {}, "abcdef", 0);
+    std::string bytes = os.str();
+    bytes.resize(bytes.size() - 3); // clip inside the label
+    std::istringstream in(bytes, std::ios::binary);
+    trace::BinaryTrace bt;
+    std::string err;
+    EXPECT_FALSE(trace::readBinaryTrace(in, bt, err));
+    EXPECT_NE(err.find("truncated label"), std::string::npos) << err;
+}
+
+TEST(BinaryTrace, LyingRecordCountIsRejectedWithoutAllocating)
+{
+    // count = 2^56 with zero records present: the reservation is
+    // capped, so the reader fails on the missing first record
+    // instead of attempting an exabyte allocation.
+    std::ostringstream os(std::ios::binary);
+    trace::writeBinaryTrace(os, {}, "c", 0);
+    std::string bytes = os.str();
+    bytes[8 + 7] = 0x01; // count field (offset 8, little-endian)
+    std::istringstream in(bytes, std::ios::binary);
+    trace::BinaryTrace bt;
+    std::string err;
+    EXPECT_FALSE(trace::readBinaryTrace(in, bt, err));
+    EXPECT_NE(err.find("truncated at record 0"), std::string::npos)
+        << err;
+}
+
 TEST(BinaryTrace, PartialHeaderIsRejected)
 {
     std::istringstream in(std::string("WDTR\x01\x00", 6),

@@ -7,8 +7,47 @@
 # that must carry the changelog.
 #
 # Usage: tools/check_changelog.sh [changes-file]   (from the repo root)
+#        tools/check_changelog.sh --cli-smoke <warped_sim>
+#
+# --cli-smoke exercises the strict-CLI contract of the campaign-family
+# subcommands on a built warped_sim binary: malformed or missing
+# required arguments must exit 2 (usage), never run with a silently
+# defaulted value. CI runs it after the build so a new subcommand
+# can't land without its argument validation.
 
 set -eu
+
+if [ "${1:-}" = "--cli-smoke" ]; then
+    sim="${2:?usage: check_changelog.sh --cli-smoke <warped_sim>}"
+
+    expect_exit() {
+        want="$1"
+        shift
+        set +e
+        "$@" >/dev/null 2>&1
+        got=$?
+        set -e
+        if [ "$got" -ne "$want" ]; then
+            echo "check_changelog --cli-smoke: '$*' exited $got," \
+                 "expected $want" >&2
+            exit 1
+        fi
+    }
+
+    # Strict numeric parsing across the campaign family.
+    expect_exit 2 "$sim" campaign SCAN --sites banana
+    expect_exit 2 "$sim" campaign SCAN --checkpoint-every 0
+    expect_exit 2 "$sim" campaign SCAN --strata 0
+    # serve/shard required arguments and bounds.
+    expect_exit 2 "$sim" serve SCAN --sites 5
+    expect_exit 2 "$sim" serve SCAN --sites 5 --shards 0
+    expect_exit 2 "$sim" serve SCAN --sites 5 --shards 2 --workers 0
+    expect_exit 2 "$sim" shard SCAN --sites 5
+    expect_exit 2 "$sim" shard SCAN --sites 5 --shard-index 3 \
+        --shard-count 2 --delta-out /dev/null
+    echo "check_changelog --cli-smoke: campaign-family CLI edges OK"
+    exit 0
+fi
 
 changes="${1:-CHANGES.md}"
 
