@@ -31,8 +31,11 @@
 #include "fault/campaign_engine.hh"
 #include "fault/shard.hh"
 #include "stats/accumulator.hh"
+#include "sim/chaos.hh"
 #include "sim/shard_queue.hh"
+#include "sim/stream.hh"
 #include "sim/subprocess.hh"
+#include "sim/transport.hh"
 #include "gpu/report.hh"
 #include "protection/scheme_registry.hh"
 #include "trace/binary.hh"
@@ -186,15 +189,25 @@ serveUsage()
         "--shard-index I\n"
         "                  --shard-count N --delta-out F "
         "[--expect-signature S]\n"
+        "       warped_sim shard <workload> [campaign options] "
+        "--connect HOST:PORT\n"
         "\n"
         "Sharded campaign service: `serve` splits the campaign into\n"
         "N deterministic run-index shards, dispatches them to worker\n"
         "processes (`warped_sim shard`), folds each worker's counter\n"
         "delta into a mergeable aggregate, and re-issues any shard\n"
-        "whose worker dies. The final report is byte-identical to a\n"
-        "single-process `warped_sim campaign` run with the same\n"
-        "options, for every shard count, worker count, and failure\n"
+        "whose worker dies, hangs, or delivers a corrupt delta. The\n"
+        "final report is byte-identical to a single-process\n"
+        "`warped_sim campaign` run with the same options, for every\n"
+        "shard count, worker count, transport mix, and failure\n"
         "schedule (docs/CAMPAIGN_SERVICE.md).\n"
+        "\n"
+        "Workers reach the orchestrator two ways: spawned locally as\n"
+        "subprocesses (the default), or connecting over TCP when\n"
+        "serve is given --listen and workers are started with\n"
+        "--connect. Socket frames are length-prefixed and\n"
+        "CRC-checked; hung remote workers are detected by heartbeat\n"
+        "silence.\n"
         "\n"
         "All `warped_sim campaign` options except --checkpoint,\n"
         "--checkpoint-every and --scheme-sweep apply; notably\n"
@@ -202,16 +215,40 @@ serveUsage()
         "\n"
         "serve options:\n"
         "  --shards N          shard count (required, >= 1)\n"
-        "  --workers K         concurrent worker processes "
+        "  --workers K         concurrent dispatcher slots "
         "(default 1)\n"
         "  --state F           crash-safe aggregator state file; an\n"
         "                      existing matching file resumes with\n"
         "                      only the unfolded shards outstanding\n"
         "  --out F             write the final report JSON to F\n"
+        "  --listen HOST:PORT  also accept socket workers (port 0 =\n"
+        "                      ephemeral; see --port-file)\n"
+        "  --port-file F       write the bound listen port to F\n"
+        "  --heartbeat MS      heartbeat interval advertised to\n"
+        "                      socket workers (default 250; a worker\n"
+        "                      silent for 8x MS is declared hung)\n"
+        "  --shard-deadline MS hard per-shard wall-clock deadline on\n"
+        "                      any transport (default: none; hung\n"
+        "                      subprocess workers need this)\n"
+        "  --grace MS          how long to wait for an idle socket\n"
+        "                      worker before degrading a shard to a\n"
+        "                      local subprocess (default 1500)\n"
+        "  --no-local-fallback never degrade to local subprocesses;\n"
+        "                      wait for socket workers indefinitely\n"
+        "  --strikes N         consecutive failures of one shard\n"
+        "                      before the campaign aborts (default\n"
+        "                      3; raise it for deliberately hostile\n"
+        "                      networks, e.g. chaos drills)\n"
         "  --kill-worker-for-shard I\n"
-        "                      fault drill: SIGKILL shard I's worker\n"
-        "                      on its first attempt, exercising the\n"
-        "                      re-issue path\n"
+        "                      fault drill: SIGKILL shard I's local\n"
+        "                      worker on its first attempt,\n"
+        "                      exercising the re-issue path\n"
+        "  --hang-worker-for-shard I\n"
+        "                      fault drill: shard I's first worker\n"
+        "                      hangs (sleeps --hang-ms) instead of\n"
+        "                      computing, exercising the deadline /\n"
+        "                      heartbeat re-issue path\n"
+        "  --hang-ms MS        hang-drill duration (default 30000)\n"
         "\n"
         "shard options (normally supplied by serve):\n"
         "  --shard-index I     which shard of the plan to run\n"
@@ -220,7 +257,26 @@ serveUsage()
         "(atomic)\n"
         "  --expect-signature S  refuse to run (exit 3) unless this\n"
         "                      worker derives configuration "
-        "signature S\n");
+        "signature S\n"
+        "  --connect HOST:PORT serve shards over a socket instead of\n"
+        "                      running one from flags; deltas stream\n"
+        "                      back as CRC-checked frames and the\n"
+        "                      orchestrator validates the signature\n"
+        "                      at the Hello handshake (mismatch =>\n"
+        "                      exit 3)\n"
+        "  --connect-attempts N  consecutive failed connects before\n"
+        "                      giving up (default 8; backoff doubles\n"
+        "                      from 50ms, capped at 2s)\n"
+        "  --chaos SPEC        wrap the connection in a seeded fault\n"
+        "                      injector, e.g.\n"
+        "                      seed=7,drop=0.1,dup=0.1,corrupt=0.05,\n"
+        "                      trunc=0.05,disc=0.02,delay=5,"
+        "delayp=0.2\n"
+        "  --hang-for-shard I  drill: go silent on shard I once\n"
+        "                      (socket), or sleep before computing\n"
+        "                      (file mode)\n"
+        "  --hang-ms MS        how long the drill hangs "
+        "(default 10000)\n");
 }
 
 void usage();
@@ -278,6 +334,41 @@ parseF64Arg(const char *flag, const char *text, bool campaign)
         !std::isfinite(v))
         badNumericArg(flag, text, campaign);
     return v;
+}
+
+/**
+ * Strict HOST:PORT parsing for --listen / --connect. The host may be
+ * empty in --listen position ("":PORT binds every interface via
+ * 0.0.0.0); the port must be a plain decimal in [0, 65535]. Anything
+ * else exits 2 with the serve usage, like every other malformed
+ * option.
+ */
+void
+parseHostPortArg(const char *flag, const char *text, std::string &host,
+                 std::uint16_t &port, bool allowEmptyHost)
+{
+    const char *colon = text ? std::strrchr(text, ':') : nullptr;
+    if (!colon) {
+        std::fprintf(stderr,
+                     "warped_sim: %s expects HOST:PORT, got '%s'\n",
+                     flag, text ? text : "");
+        serveUsage();
+        std::exit(2);
+    }
+    host.assign(text, colon);
+    if (host.empty()) {
+        if (!allowEmptyHost) {
+            std::fprintf(stderr,
+                         "warped_sim: %s needs a host before the "
+                         "colon\n",
+                         flag);
+            serveUsage();
+            std::exit(2);
+        }
+        host = "0.0.0.0";
+    }
+    port = static_cast<std::uint16_t>(
+        parseU64Arg(flag, colon + 1, true, 65535));
 }
 
 /**
@@ -984,6 +1075,13 @@ shardMain(int argc, char **argv)
     std::uint64_t expectSig = 0;
     bool haveIndex = false, haveCount = false, haveSig = false;
     std::string deltaOut;
+    std::string connectHost;
+    std::uint16_t connectPort = 0;
+    bool haveConnect = false;
+    unsigned connectAttempts = 8;
+    sim::ChaosConfig chaos;
+    std::uint64_t hangShard = sim::kNoShard;
+    std::uint64_t hangMs = 10000;
 
     for (int i = 3; i < argc; ++i) {
         const std::string a = argv[i];
@@ -1007,6 +1105,34 @@ shardMain(int argc, char **argv)
                 return 2;
             }
             deltaOut = v;
+        } else if (a == "--connect") {
+            parseHostPortArg("--connect", next(), connectHost,
+                             connectPort, false);
+            haveConnect = true;
+        } else if (a == "--connect-attempts") {
+            const char *v = next();
+            connectAttempts =
+                parseU32Arg("--connect-attempts", v, true);
+            if (connectAttempts == 0)
+                badNumericArg("--connect-attempts (expects >= 1)", v,
+                              true);
+        } else if (a == "--chaos") {
+            const char *v = next();
+            if (!v) {
+                serveUsage();
+                return 2;
+            }
+            try {
+                chaos = sim::ChaosConfig::parse(v);
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "warped_sim: %s\n", e.what());
+                serveUsage();
+                return 2;
+            }
+        } else if (a == "--hang-for-shard") {
+            hangShard = parseU64Arg("--hang-for-shard", next(), true);
+        } else if (a == "--hang-ms") {
+            hangMs = parseU64Arg("--hang-ms", next(), true);
         } else if (parseCampaignArg(argc, argv, i, c)) {
             // campaign-level option, already recorded
         } else {
@@ -1016,8 +1142,19 @@ shardMain(int argc, char **argv)
             return 2;
         }
     }
-    if (!haveIndex || !haveCount || shardCount == 0 ||
-        shardIndex >= shardCount || deltaOut.empty() || c.sweep) {
+    if (haveConnect) {
+        // Socket mode: the assignment arrives over the wire, so the
+        // file-mode selectors make no sense here.
+        if (haveIndex || haveCount || !deltaOut.empty() || c.sweep) {
+            std::fprintf(stderr,
+                         "shard: --connect excludes --shard-index/"
+                         "--shard-count/--delta-out\n");
+            serveUsage();
+            return 2;
+        }
+    } else if (!haveIndex || !haveCount || shardCount == 0 ||
+               shardIndex >= shardCount || deltaOut.empty() ||
+               c.sweep) {
         serveUsage();
         return 2;
     }
@@ -1043,6 +1180,63 @@ shardMain(int argc, char **argv)
                      static_cast<unsigned long long>(expectSig));
         return 3;
     }
+
+    if (haveConnect) {
+        // One engine serves every assignment: runRange builds a
+        // fresh skeleton per call, so the golden run is paid once
+        // per worker process, not once per shard.
+        sim::SocketWorkerConfig wc;
+        wc.host = connectHost;
+        wc.port = connectPort;
+        wc.signature = engine.signature();
+        wc.connectAttempts = connectAttempts;
+        wc.chaos = chaos;
+        wc.hangShard = hangShard;
+        wc.hangMs = hangMs;
+        wc.seed = engine.signature() ^ chaos.seed;
+        const auto total = engine.plannedSites();
+        return sim::runSocketWorker(
+            wc,
+            [&](std::uint64_t shard,
+                std::uint64_t count) -> std::string {
+                const auto plans = fault::planShards(total, count);
+                if (shard >= plans.size())
+                    throw std::runtime_error(
+                        "assigned shard " + std::to_string(shard) +
+                        " of a " + std::to_string(plans.size()) +
+                        "-shard plan");
+                const auto &plan =
+                    plans[static_cast<std::size_t>(shard)];
+                const auto rep =
+                    engine.runRange(plan.base, plan.count);
+                fault::ShardDelta d;
+                d.shard = plan.index;
+                d.base = plan.base;
+                d.count = plan.count;
+                d.signature = engine.signature();
+                d.counters = rep.toMetrics().counters();
+                std::fprintf(
+                    stderr,
+                    "shard %llu/%llu: runs [%llu, %llu) -> socket\n",
+                    static_cast<unsigned long long>(shard),
+                    static_cast<unsigned long long>(count),
+                    static_cast<unsigned long long>(plan.base),
+                    static_cast<unsigned long long>(plan.base +
+                                                    plan.count));
+                return d.toJson();
+            });
+    }
+
+    if (hangShard == shardIndex) {
+        // File-mode wedge drill: the orchestrator's --shard-deadline
+        // is supposed to SIGKILL us mid-sleep and re-issue.
+        std::fprintf(stderr,
+                     "shard %llu: hang drill — sleeping %llums\n",
+                     static_cast<unsigned long long>(shardIndex),
+                     static_cast<unsigned long long>(hangMs));
+        sim::sleepMs(hangMs);
+    }
+
     const auto plans =
         fault::planShards(engine.plannedSites(), shardCount);
     const auto &plan =
@@ -1093,6 +1287,17 @@ serveMain(int argc, char **argv)
     std::uint64_t killShard = 0;
     bool haveKill = false;
     std::string statePath;
+    std::string listenHost;
+    std::uint16_t listenPort = 0;
+    bool haveListen = false;
+    std::string portFile;
+    std::uint64_t heartbeatMs = 250;
+    std::uint64_t deadlineMs = 0;
+    std::uint64_t graceMs = 1500;
+    bool noLocalFallback = false;
+    unsigned strikes = 3;
+    std::uint64_t hangShard = sim::kNoShard;
+    std::uint64_t hangMs = 30000;
 
     for (int i = 3; i < argc; ++i) {
         const std::string a = argv[i];
@@ -1116,10 +1321,48 @@ serveMain(int argc, char **argv)
                 return 2;
             }
             statePath = v;
+        } else if (a == "--listen") {
+            parseHostPortArg("--listen", next(), listenHost,
+                             listenPort, true);
+            haveListen = true;
+        } else if (a == "--port-file") {
+            if (!(v = next())) {
+                serveUsage();
+                return 2;
+            }
+            portFile = v;
+        } else if (a == "--heartbeat") {
+            v = next();
+            heartbeatMs = parseU64Arg("--heartbeat", v, true);
+            if (heartbeatMs == 0)
+                badNumericArg("--heartbeat (expects >= 1)", v, true);
+        } else if (a == "--shard-deadline") {
+            v = next();
+            deadlineMs = parseU64Arg("--shard-deadline", v, true);
+            if (deadlineMs == 0)
+                badNumericArg("--shard-deadline (expects >= 1)", v,
+                              true);
+        } else if (a == "--grace") {
+            v = next();
+            graceMs = parseU64Arg("--grace", v, true);
+            if (graceMs == 0)
+                badNumericArg("--grace (expects >= 1)", v, true);
+        } else if (a == "--no-local-fallback") {
+            noLocalFallback = true;
+        } else if (a == "--strikes") {
+            v = next();
+            strikes = parseU32Arg("--strikes", v, true);
+            if (strikes == 0)
+                badNumericArg("--strikes (expects >= 1)", v, true);
         } else if (a == "--kill-worker-for-shard") {
             killShard =
                 parseU64Arg("--kill-worker-for-shard", next(), true);
             haveKill = true;
+        } else if (a == "--hang-worker-for-shard") {
+            hangShard = parseU64Arg("--hang-worker-for-shard",
+                                    next(), true);
+        } else if (a == "--hang-ms") {
+            hangMs = parseU64Arg("--hang-ms", next(), true);
         } else if (parseCampaignArg(argc, argv, i, c)) {
             // campaign-level option, already recorded
         } else {
@@ -1131,6 +1374,14 @@ serveMain(int argc, char **argv)
     }
     if (shards == 0) {
         std::fprintf(stderr, "serve: --shards is required\n");
+        serveUsage();
+        return 2;
+    }
+    if (!haveListen && (noLocalFallback || !portFile.empty())) {
+        std::fprintf(stderr,
+                     "serve: %s only makes sense with --listen\n",
+                     noLocalFallback ? "--no-local-fallback"
+                                     : "--port-file");
         serveUsage();
         return 2;
     }
@@ -1192,6 +1443,51 @@ serveMain(int argc, char **argv)
         statePath.empty() ? std::string("warped_serve") : statePath;
     const std::string exe = argv[0];
 
+    // The local transport exists even under --listen (it is the
+    // grace-window fallback) unless --no-local-fallback severs it.
+    sim::SubprocessTransportConfig scfg;
+    scfg.workerArgv = {exe, "shard", c.workload};
+    scfg.workerArgv.insert(scfg.workerArgv.end(),
+                           c.passThrough.begin(),
+                           c.passThrough.end());
+    scfg.deltaPrefix = deltaPrefix;
+    scfg.shardCount = shards;
+    scfg.signature = engine.signature();
+    scfg.deadlineMs = deadlineMs;
+    scfg.killShard = haveKill ? killShard : sim::kNoShard;
+    scfg.hangShard = hangShard;
+    scfg.hangMs = hangMs;
+    sim::SubprocessTransport localTransport(scfg);
+
+    std::unique_ptr<sim::SocketTransport> socketTransport;
+    sim::Transport *transport = &localTransport;
+    if (haveListen) {
+        sim::SocketTransportConfig ncfg;
+        ncfg.host = listenHost;
+        ncfg.port = listenPort;
+        ncfg.signature = engine.signature();
+        ncfg.shardCount = shards;
+        ncfg.heartbeatMs = heartbeatMs;
+        ncfg.deadlineMs = deadlineMs;
+        ncfg.graceMs = graceMs;
+        ncfg.fallback = noLocalFallback ? nullptr : &localTransport;
+        socketTransport =
+            std::make_unique<sim::SocketTransport>(ncfg);
+        transport = socketTransport.get();
+        std::printf("serve: listening on %s:%u%s\n",
+                    ncfg.host.c_str(),
+                    unsigned(socketTransport->port()),
+                    noLocalFallback ? " (no local fallback)" : "");
+        if (!portFile.empty() &&
+            !writeTextAtomic(
+                portFile,
+                std::to_string(socketTransport->port()) + "\n")) {
+            std::fprintf(stderr, "serve: cannot write %s\n",
+                         portFile.c_str());
+            return 1;
+        }
+    }
+
     // Shards past the end of the run range (more shards than runs)
     // produce an empty delta; fold them here rather than paying a
     // worker's golden run for zero injections.
@@ -1220,45 +1516,20 @@ serveMain(int argc, char **argv)
                 attempt = ++attempts[shard];
                 if (fatal) {
                     // Drain mode: a permanent failure already doomed
-                    // the campaign; retire the queue without spawning
-                    // more workers.
+                    // the campaign; retire the queue without issuing
+                    // more work.
                     queue.ack(shard);
                     continue;
                 }
             }
-            const std::string deltaPath =
-                deltaPrefix + ".shard" + std::to_string(shard) +
-                ".json";
-            std::remove(deltaPath.c_str());
-            std::vector<std::string> cargv = {exe, "shard",
-                                              c.workload};
-            cargv.insert(cargv.end(), c.passThrough.begin(),
-                         c.passThrough.end());
-            cargv.push_back("--shard-index");
-            cargv.push_back(std::to_string(shard));
-            cargv.push_back("--shard-count");
-            cargv.push_back(std::to_string(shards));
-            cargv.push_back("--expect-signature");
-            cargv.push_back(std::to_string(engine.signature()));
-            cargv.push_back("--delta-out");
-            cargv.push_back(deltaPath);
-
-            sim::Subprocess proc(cargv);
-            if (haveKill && shard == killShard && attempt == 1) {
-                // Fault drill: the worker dies before it can write a
-                // delta, forcing the re-issue path.
-                proc.kill();
-            }
-            const auto res = proc.wait();
+            const auto res = transport->runShard(shard, attempt);
 
             bool folded = false;
-            if (res.ok()) {
-                std::ifstream f(deltaPath);
-                std::stringstream ss;
-                ss << f.rdbuf();
+            if (res.status ==
+                sim::TransportResult::Status::Delivered) {
                 try {
                     const auto d =
-                        fault::ShardDelta::fromJson(ss.str());
+                        fault::ShardDelta::fromJson(res.deltaJson);
                     std::lock_guard<std::mutex> lk(aggMu);
                     agg.fold(d);
                     if (!statePath.empty() &&
@@ -1274,35 +1545,42 @@ serveMain(int argc, char **argv)
                                      shard),
                                  e.what());
                 }
-                std::remove(deltaPath.c_str());
             }
             if (folded) {
                 queue.ack(shard);
                 continue;
             }
-            if (!res.signaled && res.exitCode == 3) {
+            if (res.status == sim::TransportResult::Status::Reject) {
                 // The worker derived a different configuration
                 // signature; retrying cannot help.
+                std::fprintf(stderr, "serve: shard %llu: %s\n",
+                             static_cast<unsigned long long>(shard),
+                             res.diag.c_str());
                 std::lock_guard<std::mutex> lk(aggMu);
                 fatal = true;
                 queue.ack(shard);
                 continue;
             }
-            if (attempt >= 3) {
+            if (attempt >= strikes) {
                 std::fprintf(stderr,
-                             "serve: shard %llu failed %u times; "
-                             "giving up\n",
+                             "serve: shard %llu failed %u times "
+                             "(last: %s); giving up\n",
                              static_cast<unsigned long long>(shard),
-                             attempt);
+                             attempt,
+                             res.diag.empty() ? "delta rejected"
+                                              : res.diag.c_str());
                 std::lock_guard<std::mutex> lk(aggMu);
                 fatal = true;
                 queue.ack(shard);
                 continue;
             }
             std::fprintf(stderr,
-                         "serve: shard %llu worker %s; re-issuing\n",
+                         "serve: shard %llu attempt %u failed (%s); "
+                         "re-issuing\n",
                          static_cast<unsigned long long>(shard),
-                         res.signaled ? "was killed" : "failed");
+                         attempt,
+                         res.diag.empty() ? "delta rejected"
+                                          : res.diag.c_str());
             queue.fail(shard);
         }
     };
@@ -1313,6 +1591,21 @@ serveMain(int argc, char **argv)
         pool.emplace_back(workerLoop);
     for (auto &t : pool)
         t.join();
+
+    if (socketTransport) {
+        socketTransport->stop();
+        std::printf("serve: socket transport: %llu worker(s) "
+                    "joined, %llu rejected, %llu shard(s) delivered "
+                    "remotely, %llu via local fallback\n",
+                    static_cast<unsigned long long>(
+                        socketTransport->workersJoined()),
+                    static_cast<unsigned long long>(
+                        socketTransport->workersRejected()),
+                    static_cast<unsigned long long>(
+                        socketTransport->remoteDeliveries()),
+                    static_cast<unsigned long long>(
+                        socketTransport->fallbackRuns()));
+    }
 
     if (fatal || !agg.complete()) {
         std::fprintf(stderr,

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+ * integrity check of the campaign service's socket transport
+ * (sim/wire.hh). Table-driven, byte at a time; the table is built
+ * once at first use.
+ *
+ * The standard check value applies: crc32 of the ASCII bytes
+ * "123456789" is 0xCBF43926.
+ */
+
+#ifndef WARPED_COMMON_CRC32_HH
+#define WARPED_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace warped {
+
+/** CRC-32 of @p n bytes at @p data, seeded with @p seed (pass the
+ *  previous return value to continue a running checksum). */
+std::uint32_t crc32(const void *data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+} // namespace warped
+
+#endif // WARPED_COMMON_CRC32_HH

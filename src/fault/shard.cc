@@ -28,6 +28,68 @@ require(const std::map<std::string, std::uint64_t> &kv,
     return it->second;
 }
 
+/** Upper bound on a delta/state document. Matches the wire layer's
+ *  frame bound (sim/wire.hh): a real delta is KiB-to-MiB of flat
+ *  counters; anything bigger is a corrupt length or a runaway file,
+ *  and parsing it would just burn memory before failing the
+ *  fingerprint anyway. */
+constexpr std::size_t kMaxDocumentBytes = 64u * 1024 * 1024;
+
+/** Upper bound on a single counter key. The longest legitimate keys
+ *  are strata echoes ("campaign.strata.<unit>.<bucket>..."), well
+ *  under a hundred bytes; a multi-KiB key means the document's
+ *  quoting was damaged and a chunk of text fused into one "key". */
+constexpr std::size_t kMaxKeyBytes = 4096;
+
+void
+boundDocument(const std::string &text, const char *what)
+{
+    if (text.size() > kMaxDocumentBytes)
+        throw ShardError(
+            std::string(what) + " is implausibly large (" +
+            std::to_string(text.size()) + " bytes, limit " +
+            std::to_string(kMaxDocumentBytes) +
+            "): refusing to parse a corrupt or hostile document");
+}
+
+void
+boundKeys(const std::map<std::string, std::uint64_t> &kv,
+          const char *what)
+{
+    for (const auto &[k, v] : kv) {
+        (void)v;
+        if (k.size() > kMaxKeyBytes)
+            throw ShardError(
+                std::string(what) + " contains a " +
+                std::to_string(k.size()) +
+                "-byte counter key: the document's structure is "
+                "damaged");
+    }
+}
+
+/** Strict decimal parse for the shard index embedded in an
+ *  "aggregator.have.N" key. Returns false on any non-digit — a
+ *  corrupted state file must be diagnosed, not crash the
+ *  orchestrator through an unhandled std::invalid_argument. */
+bool
+parseHaveIndex(const std::string &key, std::uint64_t &idx)
+{
+    const std::string digits = key.substr(16);
+    if (digits.empty() || digits.size() > 20)
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : digits) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t next = v * 10 + std::uint64_t(c - '0');
+        if (next < v)
+            return false; // overflowed 64 bits
+        v = next;
+    }
+    idx = v;
+    return true;
+}
+
 } // namespace
 
 std::vector<ShardPlan>
@@ -70,10 +132,12 @@ ShardDelta::toJson() const
 ShardDelta
 ShardDelta::fromJson(const std::string &text)
 {
+    boundDocument(text, "shard delta");
     if (!trace::flatJsonComplete(text))
         throw ShardError("shard delta is truncated (no closing '}'):"
                          " the worker died mid-write");
     auto kv = trace::parseFlatCounters(text);
+    boundKeys(kv, "shard delta");
     ShardDelta d;
     if (require(kv, "shard.version", "shard delta") != 1)
         throw ShardError("shard delta: unsupported version");
@@ -81,6 +145,14 @@ ShardDelta::fromJson(const std::string &text)
     d.base = require(kv, "shard.base", "shard delta");
     d.count = require(kv, "shard.count", "shard delta");
     d.signature = require(kv, "shard.signature", "shard delta");
+    // The header fields are untrusted input (they arrived over a
+    // file or socket): a run range that wraps 64 bits can only be a
+    // damaged document, and must not reach range arithmetic.
+    if (d.base + d.count < d.base)
+        throw ShardError("shard delta run range [" +
+                         std::to_string(d.base) + ", +" +
+                         std::to_string(d.count) +
+                         ") overflows: the header is corrupt");
     const auto fingerprint =
         require(kv, "shard.fingerprint", "shard delta");
     kv.erase("shard.version");
@@ -206,12 +278,14 @@ ShardAggregator::stateJson() const
 bool
 ShardAggregator::loadState(const std::string &text)
 {
+    boundDocument(text, "aggregator state");
     if (!trace::flatJsonComplete(text))
         throw ShardError(
             "aggregator state is truncated (no closing '}'): the "
             "previous orchestrator crashed mid-write; delete the "
             "state file to restart from zero");
     auto kv = trace::parseFlatCounters(text);
+    boundKeys(kv, "aggregator state");
     const auto get = [&](const char *key) -> std::uint64_t {
         const auto it = kv.find(key);
         return it == kv.end() ? 0 : it->second;
@@ -231,7 +305,14 @@ ShardAggregator::loadState(const std::string &text)
         const std::string &k = it->first;
         if (k.compare(0, 11, "aggregator.") == 0) {
             if (k.compare(0, 16, "aggregator.have.") == 0) {
-                const auto idx = std::stoull(k.substr(16));
+                std::uint64_t idx = 0;
+                if (!parseHaveIndex(k, idx))
+                    throw ShardError(
+                        "aggregator state contains a malformed "
+                        "shard marker '" +
+                        k +
+                        "': the file is damaged; delete it to "
+                        "restart from zero");
                 if (idx < shardCount_ && it->second)
                     have[static_cast<std::size_t>(idx)] = true;
             }

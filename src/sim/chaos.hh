@@ -1,0 +1,104 @@
+/**
+ * @file
+ * sim::ChaosTransport — a seeded fault injector for the socket
+ * transport, turning the repo's fault-injection philosophy on its
+ * own service layer.
+ *
+ * ChaosTransport decorates any Stream. The campaign service writes
+ * exactly one protocol frame per write() call, so the decorator can
+ * inject *frame-granular* faults on the send path:
+ *
+ *   - drop:       the frame silently never leaves
+ *   - duplicate:  the frame is sent twice (idempotent folds must
+ *                 absorb the echo)
+ *   - corrupt:    one byte is flipped (the CRC must catch it)
+ *   - truncate:   only a prefix is sent (the stream desynchronizes;
+ *                 the reader must diagnose, not wedge)
+ *   - disconnect: the connection is torn down mid-stream
+ *   - delay:      the frame is late (timeouts must not misfire)
+ *
+ * Every decision is drawn from a splitmix64 counter seeded by
+ * ChaosConfig::seed, so a chaos schedule is reproducible: the same
+ * seed against the same frame sequence makes the same faults. The
+ * service survives all of them without perturbing the final report —
+ * that is the invariant bench/transport_chaos drills.
+ */
+
+#ifndef WARPED_SIM_CHAOS_HH
+#define WARPED_SIM_CHAOS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/stream.hh"
+
+namespace warped {
+namespace sim {
+
+/** Per-frame fault probabilities (each in [0, 1]) and the schedule
+ *  seed. Defaults are all-zero: a no-op decorator. */
+struct ChaosConfig
+{
+    std::uint64_t seed = 0;
+    double dropFrame = 0.0;
+    double dupFrame = 0.0;
+    double corruptByte = 0.0;
+    double truncateFrame = 0.0;
+    double disconnect = 0.0;
+    std::uint64_t delayMs = 0; ///< applied to every delayed frame
+    double delayFrame = 0.0;
+
+    bool enabled() const
+    {
+        return dropFrame > 0 || dupFrame > 0 || corruptByte > 0 ||
+               truncateFrame > 0 || disconnect > 0 ||
+               delayFrame > 0;
+    }
+
+    /**
+     * Parse a spec like
+     * "seed=7,drop=0.1,dup=0.1,corrupt=0.05,trunc=0.05,disc=0.02,
+     *  delay=5,delayp=0.2".
+     * Unknown keys, malformed numbers, or probabilities outside
+     * [0, 1] throw std::invalid_argument with a diagnosis — the CLI
+     * turns that into the strict-usage exit 2.
+     */
+    static ChaosConfig parse(const std::string &spec);
+
+    std::string toString() const;
+};
+
+/** The decorator. Wraps (and owns) an inner stream. */
+class ChaosTransport : public Stream
+{
+  public:
+    ChaosTransport(std::unique_ptr<Stream> inner, ChaosConfig cfg);
+
+    int read(void *buf, std::size_t n, int timeout_ms) override;
+    bool write(const void *buf, std::size_t n) override;
+    void close() override;
+    bool isClosed() const override;
+
+    /** Faults injected so far (for drill reporting). */
+    std::uint64_t faultsInjected() const { return faults_; }
+
+  private:
+    /** Next uniform double in [0, 1) from the seeded counter. */
+    double roll();
+
+    std::unique_ptr<Stream> inner_;
+    ChaosConfig cfg_;
+    std::uint64_t ctr_ = 0;
+    std::uint64_t faults_ = 0;
+};
+
+/** Wrap @p s in a ChaosTransport when @p cfg has any fault enabled;
+ *  otherwise return @p s unchanged (zero overhead off). */
+std::unique_ptr<Stream> maybeChaos(std::unique_ptr<Stream> s,
+                                   const ChaosConfig &cfg);
+
+} // namespace sim
+} // namespace warped
+
+#endif // WARPED_SIM_CHAOS_HH

@@ -1,0 +1,298 @@
+#include "sim/stream.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+namespace warped {
+namespace sim {
+
+std::uint64_t
+monotonicMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+sleepMs(std::uint64_t ms)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::uint64_t
+backoffDelayMs(std::uint64_t base_ms, std::uint64_t cap_ms,
+               unsigned attempt, std::uint64_t seed)
+{
+    if (base_ms == 0)
+        base_ms = 1;
+    // base * 2^(attempt-1), saturating at cap.
+    std::uint64_t step = base_ms;
+    for (unsigned i = 1; i < attempt && step < cap_ms; ++i)
+        step *= 2;
+    if (step > cap_ms)
+        step = cap_ms;
+    // Deterministic jitter in [0, step/2]: decorrelates a fleet of
+    // workers hammering a restarted orchestrator without making any
+    // individual schedule irreproducible.
+    const std::uint64_t jitter =
+        splitmix64(seed ^ (0x9E3779B97F4A7C15ull * attempt)) %
+        (step / 2 + 1);
+    return step + jitter;
+}
+
+#if defined(_WIN32)
+
+TcpStream::TcpStream(int)
+{
+    warped_panic("TcpStream: not supported on this platform");
+}
+TcpStream::~TcpStream() = default;
+int
+TcpStream::read(void *, std::size_t, int)
+{
+    return kError;
+}
+bool
+TcpStream::write(const void *, std::size_t)
+{
+    return false;
+}
+void
+TcpStream::close()
+{
+}
+
+std::unique_ptr<Stream>
+connectTcp(const std::string &, std::uint16_t, int)
+{
+    return nullptr;
+}
+
+TcpListener::TcpListener(const std::string &, std::uint16_t)
+{
+    warped_panic("TcpListener: not supported on this platform");
+}
+TcpListener::~TcpListener() = default;
+std::unique_ptr<Stream>
+TcpListener::accept(int)
+{
+    return nullptr;
+}
+void
+TcpListener::close()
+{
+}
+
+#else
+
+namespace {
+
+bool
+parseAddr(const std::string &host, std::uint16_t port,
+          sockaddr_in &sa)
+{
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (host.empty() || host == "0.0.0.0") {
+        sa.sin_addr.s_addr = htonl(INADDR_ANY);
+        return true;
+    }
+    return inet_pton(AF_INET, host.c_str(), &sa.sin_addr) == 1;
+}
+
+} // namespace
+
+TcpStream::TcpStream(int fd) : fd_(fd)
+{
+    const int one = 1;
+    // Frames are small and latency-sensitive (heartbeats); Nagle
+    // would batch them behind a delta in flight.
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpStream::~TcpStream()
+{
+    close();
+}
+
+int
+TcpStream::read(void *buf, std::size_t n, int timeout_ms)
+{
+    if (fd_ < 0)
+        return kEof;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int pr;
+    do {
+        pr = ::poll(&pfd, 1, timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr == 0)
+        return kTimeout;
+    if (pr < 0)
+        return kError;
+    ssize_t r;
+    do {
+        r = ::recv(fd_, buf, n, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r > 0)
+        return static_cast<int>(r);
+    if (r == 0)
+        return kEof;
+    return kError;
+}
+
+bool
+TcpStream::write(const void *buf, std::size_t n)
+{
+    if (fd_ < 0)
+        return false;
+    const char *p = static_cast<const char *>(buf);
+    while (n > 0) {
+        ssize_t w;
+        do {
+            w = ::send(fd_, p, n, MSG_NOSIGNAL);
+        } while (w < 0 && errno == EINTR);
+        if (w <= 0)
+            return false;
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+void
+TcpStream::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::unique_ptr<Stream>
+connectTcp(const std::string &host, std::uint16_t port,
+           int timeout_ms)
+{
+    sockaddr_in sa{};
+    if (!parseAddr(host.empty() ? "127.0.0.1" : host, port, sa))
+        return nullptr;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    // Non-blocking connect so the bounded wait is honest.
+    const int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int r = ::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa));
+    if (r < 0 && errno != EINPROGRESS) {
+        ::close(fd);
+        return nullptr;
+    }
+    if (r < 0) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        int pr;
+        do {
+            pr = ::poll(&pfd, 1, timeout_ms);
+        } while (pr < 0 && errno == EINTR);
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (pr <= 0 ||
+            getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+            err != 0) {
+            ::close(fd);
+            return nullptr;
+        }
+    }
+    fcntl(fd, F_SETFL, flags);
+    return std::make_unique<TcpStream>(fd);
+}
+
+TcpListener::TcpListener(const std::string &host, std::uint16_t port)
+{
+    sockaddr_in sa{};
+    if (!parseAddr(host, port, sa))
+        warped_panic("TcpListener: bad listen address ", host);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        warped_panic("TcpListener: socket failed: ",
+                     std::strerror(errno));
+    const int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<sockaddr *>(&sa),
+               sizeof(sa)) < 0)
+        warped_panic("TcpListener: cannot bind ", host, ":", port,
+                     ": ", std::strerror(errno));
+    if (::listen(fd_, 64) < 0)
+        warped_panic("TcpListener: listen failed: ",
+                     std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd_, reinterpret_cast<sockaddr *>(&bound),
+                    &len) == 0)
+        port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+std::unique_ptr<Stream>
+TcpListener::accept(int timeout_ms)
+{
+    if (fd_ < 0)
+        return nullptr;
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int pr;
+    do {
+        pr = ::poll(&pfd, 1, timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr <= 0)
+        return nullptr;
+    int cfd;
+    do {
+        cfd = ::accept(fd_, nullptr, nullptr);
+    } while (cfd < 0 && errno == EINTR);
+    if (cfd < 0)
+        return nullptr;
+    return std::make_unique<TcpStream>(cfd);
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+#endif
+
+} // namespace sim
+} // namespace warped

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * sim::Stream — the byte-stream seam under the socket transport.
+ *
+ * The transport layer (sim/transport.hh) speaks frames over an
+ * abstract full-duplex byte stream. TcpStream is the real thing
+ * (POSIX sockets, poll-based read timeouts, MSG_NOSIGNAL writes so a
+ * dead peer is an error return, never a SIGPIPE); ChaosTransport
+ * (sim/chaos.hh) decorates any Stream with a seeded fault injector;
+ * tests substitute in-memory fakes.
+ *
+ * POSIX-only, like sim::Subprocess — the campaign service is gated
+ * the same way on Windows (construction panics).
+ */
+
+#ifndef WARPED_SIM_STREAM_HH
+#define WARPED_SIM_STREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace warped {
+namespace sim {
+
+class Stream
+{
+  public:
+    virtual ~Stream() = default;
+
+    /** Read outcome markers for read(): 0 is end-of-stream. */
+    static constexpr int kEof = 0;
+    static constexpr int kTimeout = -1;
+    static constexpr int kError = -2;
+
+    /**
+     * Read up to @p n bytes into @p buf, blocking at most
+     * @p timeout_ms milliseconds (-1 = forever). Returns the byte
+     * count (> 0), kEof on an orderly close, kTimeout when the wait
+     * expired, or kError on a connection error.
+     */
+    virtual int read(void *buf, std::size_t n, int timeout_ms) = 0;
+
+    /** Write all @p n bytes; false when the peer is gone. */
+    virtual bool write(const void *buf, std::size_t n) = 0;
+
+    /** Convenience for whole encoded frames: forwards to the
+     *  virtual write, so decorators still see one call per frame. */
+    bool write(const std::string &s)
+    {
+        return write(s.data(), s.size());
+    }
+
+    /** Close the stream (idempotent). */
+    virtual void close() = 0;
+
+    virtual bool isClosed() const = 0;
+};
+
+/** A connected TCP socket. Construct via connectTcp / TcpListener. */
+class TcpStream : public Stream
+{
+  public:
+    /** Takes ownership of a connected socket fd. */
+    explicit TcpStream(int fd);
+    ~TcpStream() override;
+
+    TcpStream(const TcpStream &) = delete;
+    TcpStream &operator=(const TcpStream &) = delete;
+
+    int read(void *buf, std::size_t n, int timeout_ms) override;
+    bool write(const void *buf, std::size_t n) override;
+    void close() override;
+    bool isClosed() const override { return fd_ < 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Connect to host:port with a bounded wait. Returns nullptr on
+ * failure (refused, unreachable, timeout) — connection failures are
+ * an expected, retried condition for workers (see backoffDelayMs),
+ * not a panic.
+ */
+std::unique_ptr<Stream> connectTcp(const std::string &host,
+                                   std::uint16_t port,
+                                   int timeout_ms);
+
+/** A listening TCP socket (the orchestrator side). */
+class TcpListener
+{
+  public:
+    /**
+     * Bind and listen on host:port. Port 0 binds an ephemeral port —
+     * read the real one back with port(). Panics when the address
+     * cannot be bound (a configuration error, not a runtime
+     * condition).
+     */
+    TcpListener(const std::string &host, std::uint16_t port);
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Accept one connection, waiting at most @p timeout_ms
+     *  (-1 = forever). nullptr on timeout or after close(). */
+    std::unique_ptr<Stream> accept(int timeout_ms);
+
+    /** The bound port (resolves an ephemeral bind). */
+    std::uint16_t port() const { return port_; }
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/** Monotonic milliseconds — the transport's single clock. */
+std::uint64_t monotonicMs();
+
+/** Sleep for @p ms milliseconds. */
+void sleepMs(std::uint64_t ms);
+
+/**
+ * Exponential backoff with deterministic jitter: attempt 1 waits
+ * ~base, each further attempt doubles, capped at @p cap_ms; the
+ * jitter term (up to half the step) is a pure function of
+ * (seed, attempt) via splitmix64, so a worker's reconnect schedule
+ * is reproducible from its seed — the same determinism discipline as
+ * the campaign's site draws.
+ */
+std::uint64_t backoffDelayMs(std::uint64_t base_ms,
+                             std::uint64_t cap_ms, unsigned attempt,
+                             std::uint64_t seed);
+
+} // namespace sim
+} // namespace warped
+
+#endif // WARPED_SIM_STREAM_HH

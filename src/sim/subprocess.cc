@@ -3,8 +3,10 @@
 #include "common/logging.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #if !defined(_WIN32)
 #include <csignal>
@@ -27,6 +29,12 @@ Subprocess::~Subprocess() = default;
 
 SubprocessResult
 Subprocess::wait()
+{
+    return result_;
+}
+
+std::optional<SubprocessResult>
+Subprocess::waitFor(std::uint64_t)
 {
     return result_;
 }
@@ -93,6 +101,42 @@ Subprocess::wait()
     reaped_ = true;
     pid_ = -1;
     return result_;
+}
+
+std::optional<SubprocessResult>
+Subprocess::waitFor(std::uint64_t timeout_ms)
+{
+    if (reaped_)
+        return result_;
+    // WNOHANG poll loop: cheap (the child does the real work), and
+    // immune to the lost-SIGCHLD races a signal-driven wait invites.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        int status = 0;
+        pid_t r;
+        do {
+            r = waitpid(static_cast<pid_t>(pid_), &status, WNOHANG);
+        } while (r < 0 && errno == EINTR);
+        if (r < 0)
+            warped_panic("Subprocess: waitpid failed: ",
+                         std::strerror(errno));
+        if (r > 0) {
+            if (WIFEXITED(status)) {
+                result_.exitCode = WEXITSTATUS(status);
+            } else if (WIFSIGNALED(status)) {
+                result_.signaled = true;
+                result_.termSignal = WTERMSIG(status);
+            }
+            reaped_ = true;
+            pid_ = -1;
+            return result_;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
 }
 
 void

@@ -20,6 +20,8 @@
 #ifndef WARPED_SIM_SUBPROCESS_HH
 #define WARPED_SIM_SUBPROCESS_HH
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,16 @@ class Subprocess
     /** Block until the child exits and return its status.
      *  Idempotent — later calls return the reaped status. */
     SubprocessResult wait();
+
+    /**
+     * Bounded wait: reap the child if it exits within
+     * @p timeout_ms milliseconds (WNOHANG poll loop), else return
+     * nullopt with the child still running. A hung worker must trip
+     * the dispatcher's re-issue logic, not stall the orchestrator —
+     * the caller kill()s and wait()s on timeout. Idempotent after
+     * the child has been reaped.
+     */
+    std::optional<SubprocessResult> waitFor(std::uint64_t timeout_ms);
 
     /** Send SIGKILL (test hook for the worker-death drills); the
      *  child must still be wait()ed. No-op after the child has been

@@ -1,0 +1,106 @@
+#include "sim/wire.hh"
+
+#include "common/crc32.hh"
+
+#include <cstring>
+
+namespace warped {
+namespace sim {
+namespace wire {
+
+namespace {
+
+const char kMagic[4] = {'W', 'D', 'F', '1'};
+
+void
+putU32le(std::string &out, std::uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t
+getU32le(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return static_cast<std::uint32_t>(u[0]) |
+           (static_cast<std::uint32_t>(u[1]) << 8) |
+           (static_cast<std::uint32_t>(u[2]) << 16) |
+           (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+} // namespace
+
+std::string
+encodeFrame(MsgType type, const std::string &payload)
+{
+    if (payload.size() > kMaxPayload)
+        throw WireError("frame payload exceeds the wire bound");
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size() + kTrailerBytes);
+    out.append(kMagic, sizeof(kMagic));
+    out.push_back(static_cast<char>(type));
+    putU32le(out, static_cast<std::uint32_t>(payload.size()));
+    out.append(payload);
+    // CRC over type + length + payload: everything after the magic.
+    const std::uint32_t crc =
+        crc32(out.data() + sizeof(kMagic), out.size() - sizeof(kMagic));
+    putU32le(out, crc);
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection doesn't accumulate every frame it ever parsed.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+    } else if (pos_ > 4096) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    const std::size_t avail = buf_.size() - pos_;
+    if (avail < kHeaderBytes)
+        return std::nullopt;
+    const char *p = buf_.data() + pos_;
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
+        throw WireError(
+            "bad frame magic: the byte stream lost frame alignment "
+            "(truncated or interleaved write); dropping the "
+            "connection");
+    const std::uint32_t len = getU32le(p + 5);
+    if (len > kMaxPayload)
+        throw WireError(
+            "frame length " + std::to_string(len) +
+            " exceeds the wire bound (" + std::to_string(kMaxPayload) +
+            "): corrupt length field; dropping the connection");
+    const std::size_t need = kHeaderBytes + len + kTrailerBytes;
+    if (avail < need)
+        return std::nullopt;
+    const std::uint32_t want = getU32le(p + kHeaderBytes + len);
+    const std::uint32_t got =
+        crc32(p + sizeof(kMagic), kHeaderBytes - sizeof(kMagic) + len);
+    if (want != got)
+        throw WireError(
+            "frame fails its CRC: the payload was corrupted in "
+            "flight; dropping the connection");
+    Frame f;
+    f.type = static_cast<MsgType>(static_cast<std::uint8_t>(p[4]));
+    f.payload.assign(p + kHeaderBytes, len);
+    pos_ += need;
+    return f;
+}
+
+} // namespace wire
+} // namespace sim
+} // namespace warped

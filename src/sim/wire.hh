@@ -1,0 +1,119 @@
+/**
+ * @file
+ * sim::wire — the campaign service's frame protocol.
+ *
+ * Everything the socket transport says travels in length-prefixed,
+ * CRC-checked frames:
+ *
+ * ```
+ * | magic "WDF1" | type (1) | length (4, LE) | payload | crc32 (4, LE) |
+ * ```
+ *
+ * The CRC covers type + length + payload, so a flipped bit anywhere
+ * after the magic is caught before the payload is interpreted. The
+ * length field is untrusted input: it is bounded (kMaxPayload) before
+ * any allocation, so a corrupt or hostile peer cannot make the reader
+ * reserve gigabytes. A wrong magic means the byte stream lost frame
+ * alignment (a truncated earlier frame, an interleaved write) — that
+ * is not recoverable within the connection, so the reader throws
+ * WireError and the caller drops the connection; the shard the peer
+ * was carrying is simply re-issued (fault/shard.hh makes re-delivery
+ * free).
+ *
+ * Payloads are opaque to this layer. The campaign service uses:
+ *
+ * | type      | payload                                   | direction |
+ * |-----------|-------------------------------------------|-----------|
+ * | Hello     | "<signature>" (decimal)                   | worker -> |
+ * | Assign    | "<shard> <shardCount> <heartbeatMs>"      | -> worker |
+ * | Heartbeat | empty                                     | worker -> |
+ * | Delta     | "<shard>\n" + ShardDelta::toJson document | worker -> |
+ * | Reject    | human-readable reason                     | -> worker |
+ * | Bye       | empty                                     | -> worker |
+ *
+ * The Delta payload carries its shard index ahead of the JSON so the
+ * orchestrator can discard a stale duplicate (a chaos-duplicated
+ * Delta still buffered from a previous assignment) without parsing
+ * the document — the index either matches the shard currently
+ * assigned on that connection or the frame is ignored.
+ */
+
+#ifndef WARPED_SIM_WIRE_HH
+#define WARPED_SIM_WIRE_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace warped {
+namespace sim {
+namespace wire {
+
+/** A corrupt, oversized, or desynchronized frame stream. */
+struct WireError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,
+    Assign = 2,
+    Heartbeat = 3,
+    Delta = 4,
+    Reject = 5,
+    Bye = 6,
+};
+
+struct Frame
+{
+    MsgType type = MsgType::Heartbeat;
+    std::string payload;
+};
+
+/** Frame header bytes before the payload (magic + type + length). */
+constexpr std::size_t kHeaderBytes = 9;
+
+/** Trailing CRC bytes. */
+constexpr std::size_t kTrailerBytes = 4;
+
+/** Upper bound on a frame payload. A shard delta is a flat counter
+ *  document — a few KiB for typical campaigns, a few MiB with very
+ *  wide strata — so 64 MiB is generous; anything larger is a corrupt
+ *  length field, not a real delta. */
+constexpr std::uint32_t kMaxPayload = 64u * 1024 * 1024;
+
+/** Serialize one frame (header + payload + CRC). */
+std::string encodeFrame(MsgType type, const std::string &payload);
+
+/**
+ * Incremental frame parser: feed() arbitrary byte chunks as they
+ * arrive from the stream, next() yields completed frames in order.
+ * A partial frame is simply not ready yet (next() returns nullopt);
+ * a *wrong* frame — bad magic, length beyond kMaxPayload, CRC
+ * mismatch — throws WireError with a diagnosis, after which the
+ * reader (and the connection it fed from) must be discarded.
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, std::size_t n);
+
+    /** Next completed frame, if the buffer holds one.
+     *  @throws WireError on a corrupt or desynchronized stream. */
+    std::optional<Frame> next();
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::string buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace wire
+} // namespace sim
+} // namespace warped
+
+#endif // WARPED_SIM_WIRE_HH

@@ -16,7 +16,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fault/campaign_engine.hh"
@@ -458,4 +461,180 @@ TEST(ShardQueue, EmptyQueueIsImmediatelyDone)
     sim::ShardQueue q({});
     EXPECT_TRUE(q.done());
     EXPECT_FALSE(q.acquire());
+}
+
+TEST(ShardQueue, ConcurrentAcquireAckFailEveryShardAckedExactlyOnce)
+{
+    // The dispatcher runs several threads against one queue; a lost
+    // wakeup on the final ack would leave blocked acquirers hanging
+    // forever, and a double-issue would fold a shard twice. Hammer
+    // the acquire/ack/fail cycle from many threads: every shard must
+    // be acked exactly once and every thread must come home.
+    constexpr std::uint64_t kShards = 64;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::uint64_t> all;
+    for (std::uint64_t i = 0; i < kShards; ++i)
+        all.push_back(i);
+    sim::ShardQueue q(all);
+
+    std::vector<unsigned> acks(kShards, 0);
+    std::vector<unsigned> fails(kShards, 0);
+    std::mutex mu;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            while (const auto s = q.acquire()) {
+                const auto shard = *s;
+                bool failOnce = false;
+                {
+                    std::lock_guard<std::mutex> lk(mu);
+                    ASSERT_LT(shard, kShards);
+                    // First visit by an odd-numbered thread fails
+                    // the shard once, exercising re-issue under
+                    // contention.
+                    if ((t & 1) && fails[shard] == 0) {
+                        ++fails[shard];
+                        failOnce = true;
+                    } else {
+                        ++acks[shard];
+                    }
+                }
+                if (failOnce)
+                    q.fail(shard);
+                else
+                    q.ack(shard);
+            }
+            // acquire() returned nullopt: all work must really be
+            // retired, not merely in flight.
+            EXPECT_TRUE(q.done());
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    for (std::uint64_t i = 0; i < kShards; ++i)
+        EXPECT_EQ(acks[static_cast<std::size_t>(i)], 1u)
+            << "shard " << i;
+    EXPECT_EQ(q.failures(),
+              std::accumulate(fails.begin(), fails.end(), 0u));
+}
+
+// ---------------------------------------------------------------------
+// delta hardening: corrupt, truncated, and oversized documents must
+// be diagnosed, never crash or silently mis-fold
+
+TEST(ShardDelta, EveryPrefixTruncationIsDiagnosedNotCrash)
+{
+    ShardDelta d;
+    d.shard = 1;
+    d.base = 10;
+    d.count = 5;
+    d.signature = 42;
+    d.counters["campaign.sampled"] = 5;
+    d.counters["campaign.outcome.sdc"] = 2;
+    const auto text = d.toJson();
+    // A worker can die after writing any byte count; every prefix
+    // must either throw ShardError or — when the cut lands after the
+    // closing brace and only sheds trailing whitespace — decode to
+    // the identical delta. Nothing in between is acceptable.
+    for (std::size_t n = 0; n < text.size(); ++n) {
+        const auto prefix = text.substr(0, n);
+        try {
+            const auto got = ShardDelta::fromJson(prefix);
+            EXPECT_EQ(got.shard, d.shard) << "prefix of " << n;
+            EXPECT_EQ(got.base, d.base) << "prefix of " << n;
+            EXPECT_EQ(got.count, d.count) << "prefix of " << n;
+            EXPECT_EQ(got.signature, d.signature)
+                << "prefix of " << n;
+            EXPECT_EQ(got.counters, d.counters)
+                << "prefix of " << n;
+            // Only a whitespace-trimmed full document may succeed.
+            EXPECT_EQ(prefix.find('}'), prefix.size() - 1)
+                << "prefix of " << n
+                << " bytes parsed without reaching the closing brace";
+        } catch (const ShardError &) {
+            // diagnosed, as required
+        }
+    }
+    EXPECT_NO_THROW(ShardDelta::fromJson(text));
+}
+
+TEST(ShardDelta, SingleByteCorruptionNeverMisfolds)
+{
+    ShardDelta d;
+    d.shard = 0;
+    d.base = 0;
+    d.count = 8;
+    d.signature = 7;
+    d.counters["campaign.sampled"] = 8;
+    d.counters["campaign.outcome.masked"] = 3;
+    const auto text = d.toJson();
+    // Flip one byte at a time through the whole document. Every
+    // variant must either throw ShardError or decode to a delta
+    // whose header and counters fingerprint-check internally — a
+    // corrupt document must never fold wrong numbers silently.
+    unsigned rejected = 0;
+    for (std::size_t at = 0; at < text.size(); ++at) {
+        std::string bad = text;
+        bad[at] ^= 0x08;
+        if (bad[at] == text[at])
+            continue;
+        try {
+            const auto back = ShardDelta::fromJson(bad);
+            // Parsed: the damage must have hit redundant whitespace
+            // or been absorbed into a *consistent* document. The
+            // fingerprint covers the counters, so the payload is
+            // intact.
+            EXPECT_EQ(back.counters, d.counters) << "byte " << at;
+        } catch (const ShardError &) {
+            ++rejected;
+        }
+    }
+    // The vast majority of flips must be caught outright.
+    EXPECT_GT(rejected, text.size() / 2);
+}
+
+TEST(ShardDelta, OversizedDocumentIsRefusedBeforeParsing)
+{
+    std::string huge = "{\"shard.version\": 1";
+    huge.append(70u * 1024 * 1024, ' ');
+    huge += "}";
+    EXPECT_THROW(ShardDelta::fromJson(huge), ShardError);
+}
+
+TEST(ShardDelta, RunawayKeyIsRefused)
+{
+    ShardDelta d;
+    d.counters[std::string(8192, 'k')] = 1;
+    EXPECT_THROW(ShardDelta::fromJson(d.toJson()), ShardError);
+}
+
+TEST(ShardDelta, OverflowingRunRangeIsRefused)
+{
+    ShardDelta d;
+    d.shard = 0;
+    d.base = ~std::uint64_t{0} - 1;
+    d.count = 5; // base + count wraps
+    d.signature = 1;
+    EXPECT_THROW(ShardDelta::fromJson(d.toJson()), ShardError);
+}
+
+TEST(ShardAggregator, CorruptHaveMarkerInStateIsDiagnosed)
+{
+    CampaignEngine orch(scanFactory(), scanEngineCfg());
+    orch.prepare();
+    ShardAggregator agg(orch.skeleton(), orch.signature(),
+                        orch.plannedSites(), 3);
+    auto plans = planShards(orch.plannedSites(), 3);
+    agg.fold(runShardInProcess(scanFactory(), scanEngineCfg(),
+                               plans[0]));
+    auto state = agg.stateJson();
+    const auto pos = state.find("aggregator.have.0");
+    ASSERT_NE(pos, std::string::npos);
+    // Damage the shard marker's digits: "have.0" -> "have.x". This
+    // used to escape as a raw std::invalid_argument out of
+    // std::stoull and crash the orchestrator.
+    state[pos + 16] = 'x';
+    ShardAggregator fresh(orch.skeleton(), orch.signature(),
+                          orch.plannedSites(), 3);
+    EXPECT_THROW(fresh.loadState(state), ShardError);
 }

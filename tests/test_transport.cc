@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Unit tests: the fault-tolerant transport layer under the sharded
+ * campaign service — CRC framing, the incremental frame reader's
+ * corruption diagnoses, the chaos injector's determinism, backoff
+ * arithmetic, bounded subprocess waits, and a full in-process
+ * loopback of SocketTransport against runSocketWorker, including the
+ * hung-worker heartbeat timeout and the signature-mismatch Reject.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/crc32.hh"
+#include "sim/chaos.hh"
+#include "sim/stream.hh"
+#include "sim/subprocess.hh"
+#include "sim/transport.hh"
+#include "sim/wire.hh"
+
+using namespace warped;
+using namespace warped::sim;
+
+// ---------------------------------------------------------------------
+// crc32
+
+TEST(Crc32, StandardCheckValue)
+{
+    // The canonical IEEE 802.3 check vector.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, SeedChainingEqualsOneShot)
+{
+    const std::string text = "the quick brown fox";
+    const auto whole = crc32(text.data(), text.size());
+    const auto first = crc32(text.data(), 7);
+    const auto chained = crc32(text.data() + 7, text.size() - 7, first);
+    EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32, SensitiveToEveryByte)
+{
+    std::string text = "payload-bytes";
+    const auto base = crc32(text.data(), text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        std::string bad = text;
+        bad[i] ^= 0x01;
+        EXPECT_NE(crc32(bad.data(), bad.size()), base) << "byte " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// wire framing
+
+namespace {
+
+void
+feedAll(wire::FrameReader &rd, const std::string &bytes)
+{
+    rd.feed(bytes.data(), bytes.size());
+}
+
+} // namespace
+
+TEST(Wire, RoundTripSingleFrame)
+{
+    const auto bytes =
+        wire::encodeFrame(wire::MsgType::Delta, "0\n{\"a\": 1}");
+    wire::FrameReader rd;
+    feedAll(rd, bytes);
+    const auto f = rd.next();
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->type, wire::MsgType::Delta);
+    EXPECT_EQ(f->payload, "0\n{\"a\": 1}");
+    EXPECT_FALSE(rd.next());
+    EXPECT_EQ(rd.buffered(), 0u);
+}
+
+TEST(Wire, ByteAtATimeFeedReassembles)
+{
+    const auto bytes = wire::encodeFrame(wire::MsgType::Hello, "42");
+    wire::FrameReader rd;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        rd.feed(bytes.data() + i, 1);
+        EXPECT_FALSE(rd.next()) << "frame completed early at " << i;
+    }
+    rd.feed(bytes.data() + bytes.size() - 1, 1);
+    const auto f = rd.next();
+    ASSERT_TRUE(f);
+    EXPECT_EQ(f->type, wire::MsgType::Hello);
+    EXPECT_EQ(f->payload, "42");
+}
+
+TEST(Wire, SeveralFramesInOneChunk)
+{
+    std::string bytes;
+    bytes += wire::encodeFrame(wire::MsgType::Heartbeat, "");
+    bytes += wire::encodeFrame(wire::MsgType::Assign, "3 8 250");
+    bytes += wire::encodeFrame(wire::MsgType::Bye, "");
+    wire::FrameReader rd;
+    feedAll(rd, bytes);
+    EXPECT_EQ(rd.next()->type, wire::MsgType::Heartbeat);
+    const auto assign = rd.next();
+    ASSERT_TRUE(assign);
+    EXPECT_EQ(assign->payload, "3 8 250");
+    EXPECT_EQ(rd.next()->type, wire::MsgType::Bye);
+    EXPECT_FALSE(rd.next());
+}
+
+TEST(Wire, EmptyPayloadRoundTrips)
+{
+    wire::FrameReader rd;
+    feedAll(rd, wire::encodeFrame(wire::MsgType::Heartbeat, ""));
+    const auto f = rd.next();
+    ASSERT_TRUE(f);
+    EXPECT_TRUE(f->payload.empty());
+}
+
+TEST(Wire, BadMagicIsADesyncDiagnosis)
+{
+    auto bytes = wire::encodeFrame(wire::MsgType::Hello, "7");
+    bytes[0] = 'X';
+    wire::FrameReader rd;
+    feedAll(rd, bytes);
+    EXPECT_THROW(rd.next(), wire::WireError);
+}
+
+TEST(Wire, TruncatedStreamThenGarbageDesyncs)
+{
+    // A truncated frame followed by a fresh frame: the reader sees
+    // leftover bytes where a magic should be — unrecoverable within
+    // the connection, and said so.
+    const auto a = wire::encodeFrame(wire::MsgType::Delta,
+                                     "1\n{\"k\": 2}");
+    const auto b = wire::encodeFrame(wire::MsgType::Heartbeat, "");
+    wire::FrameReader rd;
+    rd.feed(a.data(), a.size() / 2); // the "crash"
+    feedAll(rd, b);
+    // Either the partial frame never completes or the overlap is
+    // diagnosed; it must never yield a valid-looking frame.
+    try {
+        const auto f = rd.next();
+        if (f) {
+            // A frame that somehow completed must fail its CRC.
+            FAIL() << "corrupt stream produced a frame";
+        }
+    } catch (const wire::WireError &) {
+        // diagnosed — good
+    }
+}
+
+TEST(Wire, CorruptPayloadFailsCrc)
+{
+    auto bytes = wire::encodeFrame(wire::MsgType::Delta,
+                                   "2\n{\"x\": 1}");
+    bytes[bytes.size() - 6] ^= 0x10; // inside the payload
+    wire::FrameReader rd;
+    feedAll(rd, bytes);
+    EXPECT_THROW(rd.next(), wire::WireError);
+}
+
+TEST(Wire, CorruptTypeByteFailsCrc)
+{
+    auto bytes = wire::encodeFrame(wire::MsgType::Heartbeat, "");
+    bytes[4] ^= 0x01; // the type byte, covered by the CRC
+    wire::FrameReader rd;
+    feedAll(rd, bytes);
+    EXPECT_THROW(rd.next(), wire::WireError);
+}
+
+TEST(Wire, OversizedLengthIsRefusedBeforeAllocation)
+{
+    auto bytes = wire::encodeFrame(wire::MsgType::Delta, "small");
+    // Rewrite the little-endian length field to 3 GiB.
+    bytes[5] = char(0xFF);
+    bytes[6] = char(0xFF);
+    bytes[7] = char(0xFF);
+    bytes[8] = char(0xBF);
+    wire::FrameReader rd;
+    feedAll(rd, bytes);
+    EXPECT_THROW(rd.next(), wire::WireError);
+}
+
+// ---------------------------------------------------------------------
+// chaos injector
+
+namespace {
+
+/** Captures every write; reads are never used by the send-path
+ *  chaos tests. */
+class CaptureStream : public Stream
+{
+  public:
+    int read(void *, std::size_t, int) override { return kTimeout; }
+    bool write(const void *buf, std::size_t n) override
+    {
+        if (closed_)
+            return false;
+        writes_.emplace_back(static_cast<const char *>(buf), n);
+        return true;
+    }
+    void close() override { closed_ = true; }
+    bool isClosed() const override { return closed_; }
+
+    std::vector<std::string> writes_;
+    bool closed_ = false;
+};
+
+} // namespace
+
+TEST(ChaosConfig, ParsesFullSpec)
+{
+    const auto c = ChaosConfig::parse(
+        "seed=9,drop=0.25,dup=0.5,corrupt=0.125,trunc=0.0625,"
+        "disc=0.03125,delay=7,delayp=1");
+    EXPECT_EQ(c.seed, 9u);
+    EXPECT_DOUBLE_EQ(c.dropFrame, 0.25);
+    EXPECT_DOUBLE_EQ(c.dupFrame, 0.5);
+    EXPECT_DOUBLE_EQ(c.corruptByte, 0.125);
+    EXPECT_DOUBLE_EQ(c.truncateFrame, 0.0625);
+    EXPECT_DOUBLE_EQ(c.disconnect, 0.03125);
+    EXPECT_EQ(c.delayMs, 7u);
+    EXPECT_DOUBLE_EQ(c.delayFrame, 1.0);
+    EXPECT_TRUE(c.enabled());
+}
+
+TEST(ChaosConfig, EmptySpecIsDisabled)
+{
+    EXPECT_FALSE(ChaosConfig::parse("").enabled());
+    EXPECT_FALSE(ChaosConfig{}.enabled());
+}
+
+TEST(ChaosConfig, MalformedSpecsThrow)
+{
+    EXPECT_THROW(ChaosConfig::parse("bogus=1"),
+                 std::invalid_argument);
+    EXPECT_THROW(ChaosConfig::parse("drop"), std::invalid_argument);
+    EXPECT_THROW(ChaosConfig::parse("drop=1.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(ChaosConfig::parse("drop=-0.1"),
+                 std::invalid_argument);
+    EXPECT_THROW(ChaosConfig::parse("seed=abc"),
+                 std::invalid_argument);
+}
+
+TEST(ChaosTransport, DropEverythingClaimsSentSendsNothing)
+{
+    ChaosConfig cfg;
+    cfg.dropFrame = 1.0;
+    auto inner = std::make_unique<CaptureStream>();
+    auto *cap = inner.get();
+    ChaosTransport chaos(std::move(inner), cfg);
+    EXPECT_TRUE(chaos.write("frame-bytes", 11));
+    EXPECT_TRUE(cap->writes_.empty());
+    EXPECT_EQ(chaos.faultsInjected(), 1u);
+}
+
+TEST(ChaosTransport, DuplicateEverythingSendsTwice)
+{
+    ChaosConfig cfg;
+    cfg.dupFrame = 1.0;
+    auto inner = std::make_unique<CaptureStream>();
+    auto *cap = inner.get();
+    ChaosTransport chaos(std::move(inner), cfg);
+    const std::string frame = "frame";
+    EXPECT_TRUE(chaos.write(frame.data(), frame.size()));
+    ASSERT_EQ(cap->writes_.size(), 2u);
+    EXPECT_EQ(cap->writes_[0], frame);
+    EXPECT_EQ(cap->writes_[1], frame);
+}
+
+TEST(ChaosTransport, CorruptFlipsExactlyOneByte)
+{
+    ChaosConfig cfg;
+    cfg.corruptByte = 1.0;
+    auto inner = std::make_unique<CaptureStream>();
+    auto *cap = inner.get();
+    ChaosTransport chaos(std::move(inner), cfg);
+    const std::string frame = "abcdefgh";
+    EXPECT_TRUE(chaos.write(frame.data(), frame.size()));
+    ASSERT_EQ(cap->writes_.size(), 1u);
+    const auto &sent = cap->writes_[0];
+    ASSERT_EQ(sent.size(), frame.size());
+    unsigned diffs = 0;
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        diffs += sent[i] != frame[i];
+    EXPECT_EQ(diffs, 1u);
+}
+
+TEST(ChaosTransport, TruncateSendsStrictPrefixAndCloses)
+{
+    ChaosConfig cfg;
+    cfg.truncateFrame = 1.0;
+    auto inner = std::make_unique<CaptureStream>();
+    auto *cap = inner.get();
+    ChaosTransport chaos(std::move(inner), cfg);
+    const std::string frame = "0123456789";
+    EXPECT_FALSE(chaos.write(frame.data(), frame.size()));
+    ASSERT_EQ(cap->writes_.size(), 1u);
+    EXPECT_LT(cap->writes_[0].size(), frame.size());
+    EXPECT_GE(cap->writes_[0].size(), 1u);
+    EXPECT_EQ(frame.compare(0, cap->writes_[0].size(),
+                            cap->writes_[0]),
+              0);
+    EXPECT_TRUE(chaos.isClosed());
+}
+
+TEST(ChaosTransport, DisconnectClosesWithoutSending)
+{
+    ChaosConfig cfg;
+    cfg.disconnect = 1.0;
+    auto inner = std::make_unique<CaptureStream>();
+    auto *cap = inner.get();
+    ChaosTransport chaos(std::move(inner), cfg);
+    EXPECT_FALSE(chaos.write("x", 1));
+    EXPECT_TRUE(cap->writes_.empty());
+    EXPECT_TRUE(chaos.isClosed());
+}
+
+TEST(ChaosTransport, SameSeedSameSchedule)
+{
+    ChaosConfig cfg = ChaosConfig::parse(
+        "seed=1234,drop=0.3,dup=0.3,corrupt=0.2,trunc=0.1");
+    auto runOnce = [&] {
+        auto inner = std::make_unique<CaptureStream>();
+        auto *cap = inner.get();
+        ChaosTransport chaos(std::move(inner), cfg);
+        for (int i = 0; i < 50 && !chaos.isClosed(); ++i) {
+            const std::string frame =
+                "frame-" + std::to_string(i) + "-payload";
+            (void)chaos.write(frame.data(), frame.size());
+        }
+        return cap->writes_;
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+    EXPECT_EQ(a, b);
+}
+
+TEST(ChaosTransport, MaybeChaosIsZeroCostWhenDisabled)
+{
+    auto inner = std::make_unique<CaptureStream>();
+    auto *cap = inner.get();
+    auto s = maybeChaos(std::move(inner), ChaosConfig{});
+    // No decorator: the very same object comes back.
+    EXPECT_EQ(s.get(), cap);
+}
+
+// ---------------------------------------------------------------------
+// backoff
+
+TEST(Backoff, DoublesAndCaps)
+{
+    const std::uint64_t base = 50, cap = 2000, seed = 77;
+    std::uint64_t prevFloor = 0;
+    for (unsigned attempt = 1; attempt <= 12; ++attempt) {
+        const auto d = backoffDelayMs(base, cap, attempt, seed);
+        // Never below the exponential floor, never above cap + half
+        // a step of jitter.
+        const std::uint64_t floor =
+            attempt >= 7 ? cap
+                         : std::min<std::uint64_t>(
+                               cap, base << (attempt - 1));
+        EXPECT_GE(d, floor) << "attempt " << attempt;
+        EXPECT_LE(d, cap + cap / 2) << "attempt " << attempt;
+        EXPECT_GE(floor, prevFloor);
+        prevFloor = floor;
+    }
+}
+
+TEST(Backoff, DeterministicPerSeedAndAttempt)
+{
+    for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+        EXPECT_EQ(backoffDelayMs(50, 2000, attempt, 9),
+                  backoffDelayMs(50, 2000, attempt, 9));
+    }
+    // Different seeds should disagree somewhere (jitter is real).
+    bool differs = false;
+    for (unsigned attempt = 1; attempt <= 8; ++attempt)
+        differs |= backoffDelayMs(50, 2000, attempt, 1) !=
+                   backoffDelayMs(50, 2000, attempt, 2);
+    EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------
+// Subprocess::waitFor
+
+#if !defined(_WIN32)
+
+TEST(SubprocessWaitFor, QuickExitIsReapedWithinTimeout)
+{
+    Subprocess p({"true"});
+    const auto r = p.waitFor(5000);
+    ASSERT_TRUE(r);
+    EXPECT_TRUE(r->ok());
+}
+
+TEST(SubprocessWaitFor, HungChildTimesOutThenDiesOnKill)
+{
+    Subprocess p({"sleep", "30"});
+    const auto r = p.waitFor(100);
+    EXPECT_FALSE(r); // still running: the hung-worker case
+    p.kill();
+    const auto dead = p.waitFor(5000);
+    ASSERT_TRUE(dead);
+    EXPECT_TRUE(dead->signaled);
+}
+
+TEST(SubprocessWaitFor, IdempotentAfterReap)
+{
+    Subprocess p({"true"});
+    const auto first = p.wait();
+    EXPECT_TRUE(first.ok());
+    const auto again = p.waitFor(0);
+    ASSERT_TRUE(again);
+    EXPECT_TRUE(again->ok());
+}
+
+// ---------------------------------------------------------------------
+// loopback: SocketTransport <-> runSocketWorker, in one process
+
+namespace {
+
+/** A worker thread running the real socket-worker loop against a
+ *  local SocketTransport. */
+struct LoopbackWorker
+{
+    LoopbackWorker(std::uint16_t port, SocketWorkerConfig cfg,
+                   ShardComputeFn compute)
+    {
+        cfg.host = "127.0.0.1";
+        cfg.port = port;
+        th = std::thread([cfg = std::move(cfg),
+                          compute = std::move(compute), this] {
+            exitCode.store(runSocketWorker(cfg, compute));
+        });
+    }
+    ~LoopbackWorker()
+    {
+        if (th.joinable())
+            th.join();
+    }
+    std::thread th;
+    std::atomic<int> exitCode{-1};
+};
+
+std::string
+fakeDeltaJson(std::uint64_t shard, std::uint64_t count)
+{
+    return "{delta for " + std::to_string(shard) + "/" +
+           std::to_string(count) + "}";
+}
+
+} // namespace
+
+TEST(SocketLoopback, DeliversShardsEndToEnd)
+{
+    SocketTransportConfig cfg;
+    cfg.signature = 101;
+    cfg.shardCount = 4;
+    cfg.heartbeatMs = 50;
+    cfg.graceMs = 8000;
+    SocketTransport transport(cfg);
+
+    SocketWorkerConfig wc;
+    wc.signature = 101;
+    wc.connectAttempts = 20;
+    LoopbackWorker worker(transport.port(), wc, fakeDeltaJson);
+
+    for (std::uint64_t shard = 0; shard < 4; ++shard) {
+        const auto res = transport.runShard(shard, 1);
+        ASSERT_EQ(res.status, TransportResult::Status::Delivered)
+            << res.diag;
+        EXPECT_EQ(res.deltaJson, fakeDeltaJson(shard, 4));
+    }
+    EXPECT_EQ(transport.remoteDeliveries(), 4u);
+    EXPECT_EQ(transport.workersJoined(), 1u);
+    transport.stop(); // Bye dismisses the worker
+    worker.th.join();
+    EXPECT_EQ(worker.exitCode.load(), 0);
+}
+
+TEST(SocketLoopback, SignatureMismatchRejectsWorkerWithExit3)
+{
+    SocketTransportConfig cfg;
+    cfg.signature = 500;
+    cfg.shardCount = 1;
+    SocketTransport transport(cfg);
+
+    SocketWorkerConfig wc;
+    wc.signature = 999; // wrong
+    wc.connectAttempts = 20;
+    LoopbackWorker worker(transport.port(), wc, fakeDeltaJson);
+    worker.th.join();
+    EXPECT_EQ(worker.exitCode.load(), 3);
+    EXPECT_EQ(transport.workersRejected(), 1u);
+    EXPECT_EQ(transport.workersJoined(), 0u);
+}
+
+TEST(SocketLoopback, HungWorkerTripsHeartbeatTimeoutThenRecovers)
+{
+    SocketTransportConfig cfg;
+    cfg.signature = 7;
+    cfg.shardCount = 2;
+    cfg.heartbeatMs = 40; // timeout derives to 320ms
+    cfg.graceMs = 8000;
+    SocketTransport transport(cfg);
+
+    SocketWorkerConfig wc;
+    wc.signature = 7;
+    wc.connectAttempts = 30;
+    wc.hangShard = 0; // first assignment of shard 0 goes silent
+    wc.hangMs = 1200;
+    LoopbackWorker worker(transport.port(), wc, fakeDeltaJson);
+
+    const auto t0 = monotonicMs();
+    const auto first = transport.runShard(0, 1);
+    const auto detectMs = monotonicMs() - t0;
+    EXPECT_EQ(first.status, TransportResult::Status::Failed);
+    EXPECT_NE(first.diag.find("hung"), std::string::npos)
+        << first.diag;
+    // Detection must come from the heartbeat timeout, well before
+    // the worker's 1200ms wedge ends.
+    EXPECT_LT(detectMs, 1100u);
+
+    // The worker wakes, reconnects, and the re-issued shard lands.
+    const auto second = transport.runShard(0, 2);
+    ASSERT_EQ(second.status, TransportResult::Status::Delivered)
+        << second.diag;
+    EXPECT_EQ(second.deltaJson, fakeDeltaJson(0, 2));
+    transport.stop();
+    worker.th.join();
+    EXPECT_EQ(worker.exitCode.load(), 0);
+}
+
+TEST(SocketLoopback, ChaoticWorkerStillDeliversEveryShard)
+{
+    SocketTransportConfig cfg;
+    cfg.signature = 33;
+    cfg.shardCount = 6;
+    cfg.heartbeatMs = 40;
+    cfg.graceMs = 8000;
+    SocketTransport transport(cfg);
+
+    SocketWorkerConfig wc;
+    wc.signature = 33;
+    wc.connectAttempts = 60;
+    wc.backoffBaseMs = 5;
+    wc.backoffCapMs = 40;
+    wc.chaos = ChaosConfig::parse(
+        "seed=21,drop=0.1,dup=0.2,corrupt=0.08,trunc=0.05,disc=0.04");
+    LoopbackWorker worker(transport.port(), wc, fakeDeltaJson);
+
+    // Drive each shard to delivery through the same retry contract
+    // the orchestrator uses (unbounded here; the drill binary proves
+    // the 3-strike budget).
+    for (std::uint64_t shard = 0; shard < 6; ++shard) {
+        TransportResult res;
+        unsigned attempt = 0;
+        do {
+            res = transport.runShard(shard, ++attempt);
+        } while (res.status != TransportResult::Status::Delivered &&
+                 attempt < 10);
+        ASSERT_EQ(res.status, TransportResult::Status::Delivered)
+            << "shard " << shard << ": " << res.diag;
+        EXPECT_EQ(res.deltaJson, fakeDeltaJson(shard, 6));
+    }
+    transport.stop();
+    worker.th.join();
+    EXPECT_EQ(worker.exitCode.load(), 0);
+}
+
+#endif // !_WIN32
